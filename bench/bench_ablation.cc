@@ -1,0 +1,219 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A1: DPLL connected-component decomposition on/off;
+//   A2: DPLL variable-selection heuristic (most-occurrences vs lowest-var);
+//   A3: OBDD variable order (hierarchical blocks vs identity vs random);
+//   A4: Karp-Luby vs naive Monte Carlo at equal sample budgets (relative
+//       error on a small-probability query).
+// (The lifted engine's inclusion-exclusion ablation lives in
+// bench_inclusion_exclusion.)
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "boolean/lineage.h"
+#include "kc/obdd.h"
+#include "kc/order.h"
+#include "logic/parser.h"
+#include "wmc/dpll.h"
+#include "wmc/montecarlo.h"
+#include "workloads.h"
+
+namespace pdb {
+namespace {
+
+void PrintComponentAblation() {
+  bench::Section("A1: DPLL component decomposition");
+  // The universal constraint's lineage is a conjunction of independent
+  // per-constant blocks — exactly the shape the component rule exploits.
+  auto q = ParseFo("forall x forall y (S(x,y) => R(x))");
+  PDB_CHECK(q.ok());
+  std::printf("%4s %14s %14s %16s %16s\n", "n", "decisions(on)",
+              "splits(on)", "decisions(off)", "splits(off)");
+  for (size_t n : {4u, 8u, 12u, 16u}) {
+    Rng rng(n);
+    Database db = bench::TwoLevelDatabase(n, 2, &rng);
+    FormulaManager mgr;
+    auto lineage = BuildLineage(*q, db, &mgr);
+    PDB_CHECK(lineage.ok());
+    DpllOptions on;
+    on.use_components = true;
+    DpllCounter c_on(&mgr, WeightsFromProbabilities(lineage->probs), on);
+    PDB_CHECK(c_on.Compute(lineage->root).ok());
+    FormulaManager mgr2;
+    auto lineage2 = BuildLineage(*q, db, &mgr2);
+    DpllOptions off;
+    off.use_components = false;
+    DpllCounter c_off(&mgr2, WeightsFromProbabilities(lineage2->probs), off);
+    PDB_CHECK(c_off.Compute(lineage2->root).ok());
+    std::printf("%4zu %14llu %14llu %16llu %16llu\n", n,
+                static_cast<unsigned long long>(c_on.stats().decisions),
+                static_cast<unsigned long long>(c_on.stats().component_splits),
+                static_cast<unsigned long long>(c_off.stats().decisions),
+                static_cast<unsigned long long>(
+                    c_off.stats().component_splits));
+  }
+  std::printf("(components turn independent blocks into products)\n");
+}
+
+void PrintHeuristicAblation() {
+  bench::Section("A2: DPLL variable-selection heuristic on the H0 lineage");
+  auto ucq = FoToUcq(*ParseUcqShorthand("R(x), S(x,y), T(y)"));
+  std::printf("%4s %20s %18s\n", "n", "most-occurrences", "lowest-var");
+  for (size_t n : {3u, 4u, 5u}) {
+    Rng rng(n + 100);
+    Database db = bench::H0Database(n, &rng);
+    uint64_t counts[2];
+    DpllHeuristic heuristics[2] = {DpllHeuristic::kMostOccurrences,
+                                   DpllHeuristic::kLowestVar};
+    double values[2];
+    for (int h = 0; h < 2; ++h) {
+      FormulaManager mgr;
+      auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+      PDB_CHECK(lineage.ok());
+      DpllOptions options;
+      options.heuristic = heuristics[h];
+      DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs),
+                          options);
+      auto p = counter.Compute(lineage->root);
+      PDB_CHECK(p.ok());
+      counts[h] = counter.stats().decisions;
+      values[h] = *p;
+    }
+    PDB_CHECK(std::abs(values[0] - values[1]) < 1e-9);
+    std::printf("%4zu %20llu %18llu\n", n,
+                static_cast<unsigned long long>(counts[0]),
+                static_cast<unsigned long long>(counts[1]));
+  }
+}
+
+void PrintOrderAblation() {
+  bench::Section("A3: OBDD order on the hierarchical lineage R(x),S(x,y)");
+  auto q = ParseUcqShorthand("R(x), S(x,y)");
+  std::printf("%4s %16s %12s %14s\n", "n", "hierarchical", "identity",
+              "random(best3)");
+  for (size_t n : {4u, 8u, 16u, 32u}) {
+    Database db = bench::TwoLevelDatabase(n, 2);
+    FormulaManager mgr;
+    auto lineage = BuildLineage(*q, db, &mgr);
+    PDB_CHECK(lineage.ok());
+    Obdd hier(HierarchicalOrder(*lineage, db));
+    size_t hier_size = hier.Size(*hier.Compile(&mgr, lineage->root));
+    Obdd ident(IdentityOrder(lineage->vars.size()));
+    size_t ident_size = ident.Size(*ident.Compile(&mgr, lineage->root));
+    // Random orders interleave the blocks and blow up exponentially in the
+    // number of blocks; only sample them while n is tiny.
+    size_t best_random = SIZE_MAX;
+    if (n <= 8) {
+      Rng rng(n);
+      std::vector<VarId> order = IdentityOrder(lineage->vars.size());
+      for (int t = 0; t < 3; ++t) {
+        for (size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1], order[rng.Uniform(i)]);
+        }
+        Obdd obdd(order);
+        best_random = std::min(best_random,
+                               obdd.Size(*obdd.Compile(&mgr, lineage->root)));
+      }
+    }
+    if (best_random == SIZE_MAX) {
+      std::printf("%4zu %16zu %12zu %14s\n", n, hier_size, ident_size, "-");
+    } else {
+      std::printf("%4zu %16zu %12zu %14zu\n", n, hier_size, ident_size,
+                  best_random);
+    }
+  }
+  std::printf("(the hierarchical order is what makes Theorem 7.1(i) "
+              "linear)\n");
+}
+
+void PrintEstimatorAblation() {
+  bench::Section("A4: Karp-Luby vs naive MC on a small-probability query");
+  // Low tuple probabilities make the query probability tiny; naive MC's
+  // relative error explodes while Karp-Luby stays controlled.
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  Relation t("T", Schema::Anonymous(1));
+  for (int64_t i = 1; i <= 6; ++i) {
+    PDB_CHECK(r.AddTuple({Value(i)}, 0.02).ok());
+    PDB_CHECK(t.AddTuple({Value(i)}, 0.02).ok());
+    for (int64_t j = 1; j <= 6; ++j) {
+      PDB_CHECK(s.AddTuple({Value(i), Value(j)}, 0.05).ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  auto ucq = FoToUcq(*ParseUcqShorthand("R(x), S(x,y), T(y)"));
+  FormulaManager mgr;
+  auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+  PDB_CHECK(lineage.ok());
+  DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+  double truth = *counter.Compute(lineage->root);
+  auto dnf = BuildUcqDnf(*ucq, db);
+  PDB_CHECK(dnf.ok());
+  std::printf("truth = %.8g\n", truth);
+  std::printf("%10s %14s %12s %14s %12s\n", "samples", "karp-luby",
+              "rel_err", "naive_mc", "rel_err");
+  for (uint64_t samples : {1000u, 10000u, 100000u}) {
+    Rng kl_rng(7);
+    auto kl = KarpLubyDnf(dnf->terms, dnf->probs, samples, &kl_rng);
+    PDB_CHECK(kl.ok());
+    Rng mc_rng(8);
+    Estimate mc =
+        NaiveMonteCarlo(&mgr, lineage.value().root, lineage->probs, samples,
+                        &mc_rng);
+    std::printf("%10llu %14.8g %12.4f %14.8g %12.4f\n",
+                static_cast<unsigned long long>(samples), kl->value,
+                std::abs(kl->value - truth) / truth, mc.value,
+                std::abs(mc.value - truth) / truth);
+  }
+}
+
+void BM_DpllComponentsOn(benchmark::State& state) {
+  Rng rng(12);
+  Database db = bench::TwoLevelDatabase(12, 2, &rng);
+  auto ucq = FoToUcq(*ParseUcqShorthand("R(x), S(x,y)"));
+  FormulaManager mgr;
+  auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+  PDB_CHECK(lineage.ok());
+  for (auto _ : state) {
+    DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+    auto p = counter.Compute(lineage->root);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DpllComponentsOn);
+
+void BM_DpllComponentsOff(benchmark::State& state) {
+  Rng rng(12);
+  Database db = bench::TwoLevelDatabase(12, 2, &rng);
+  auto ucq = FoToUcq(*ParseUcqShorthand("R(x), S(x,y)"));
+  FormulaManager mgr;
+  auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+  PDB_CHECK(lineage.ok());
+  DpllOptions off;
+  off.use_components = false;
+  for (auto _ : state) {
+    DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs), off);
+    auto p = counter.Compute(lineage->root);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DpllComponentsOff);
+
+}  // namespace
+}  // namespace pdb
+
+int main(int argc, char** argv) {
+  pdb::PrintComponentAblation();
+  pdb::PrintHeuristicAblation();
+  pdb::PrintOrderAblation();
+  pdb::PrintEstimatorAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

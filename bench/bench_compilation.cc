@@ -1,0 +1,178 @@
+// E7 — Theorem 7.1 and Figure 2: query compilation.
+//
+// (i)  OBDD sizes: linear in n for the hierarchical CQ R(x),S(x,y) under
+//      the hierarchical order; >= (2^n - 1)/n for the non-hierarchical
+//      H0 CQ under the best of many orders.
+// (ii) lifted vs grounded separation: Q_J is computed by lifted inference
+//      in polynomial time, but the decision-DNNF built from the DPLL trace
+//      (the trace of *any* DPLL-style run, per Huang–Darwiche) grows
+//      exponentially with the domain size.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "boolean/lineage.h"
+#include "kc/obdd.h"
+#include "kc/order.h"
+#include "kc/trace_compiler.h"
+#include "lifted/lifted.h"
+#include "logic/parser.h"
+#include "workloads.h"
+
+namespace pdb {
+namespace {
+
+void PrintObddSizes() {
+  bench::Section("E7a: OBDD size, hierarchical vs non-hierarchical "
+                 "(Thm 7.1(i))");
+  auto safe = ParseUcqShorthand("R(x), S(x,y)");
+  auto hard = ParseUcqShorthand("R(x), S(x,y), T(y)");
+  std::printf("%4s %14s %20s %20s\n", "n", "hier_obdd", "nonhier_obdd",
+              "(2^n - 1)/n bound");
+  for (size_t n : {2u, 4u, 6u, 8u, 10u}) {
+    FormulaManager mgr1;
+    Database db1 = bench::TwoLevelDatabase(n, 2);
+    auto lin1 = BuildLineage(*safe, db1, &mgr1);
+    PDB_CHECK(lin1.ok());
+    Obdd obdd1(HierarchicalOrder(*lin1, db1));
+    size_t hier = obdd1.Size(*obdd1.Compile(&mgr1, lin1->root));
+
+    FormulaManager mgr2;
+    Database db2 = bench::H0Database(n);
+    auto lin2 = BuildLineage(*hard, db2, &mgr2);
+    PDB_CHECK(lin2.ok());
+    // Best size over a sample of random orders plus the structured one.
+    size_t best = SIZE_MAX;
+    {
+      Obdd obdd(HierarchicalOrder(*lin2, db2));
+      best = obdd.Size(*obdd.Compile(&mgr2, lin2->root));
+    }
+    // Random orders explode combinatorially on larger instances (a bad
+    // interleaving at n = 8 already exceeds 2^30 nodes); sample them only
+    // while affordable — the (2^n-1)/n bound holds for ALL orders anyway,
+    // and kc_test checks it exhaustively over every order at small n.
+    if (n <= 4) {
+      Rng rng(n);
+      std::vector<VarId> order = IdentityOrder(lin2->vars.size());
+      for (int trial = 0; trial < 8; ++trial) {
+        for (size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1], order[rng.Uniform(i)]);
+        }
+        Obdd obdd(order);
+        best = std::min(best, obdd.Size(*obdd.Compile(&mgr2, lin2->root)));
+      }
+    }
+    size_t bound = ((size_t{1} << n) - 1) / n;
+    std::printf("%4zu %14zu %20zu %20zu%s\n", n, hier, best, bound,
+                best >= bound ? "" : "  (BOUND VIOLATED)");
+  }
+  std::printf("(hierarchical sizes grow linearly: 3 nodes per block)\n");
+}
+
+void PrintDecisionDnnfSeparation() {
+  bench::Section(
+      "E7b: lifted poly time vs exponential decision-DNNF on Q_J "
+      "(Thm 7.1(ii) shape)");
+  auto qj_fo = ParseUcqShorthand("R(x), S(x,y), T(u), S(u,v)");
+  auto qj = FoToUcq(*qj_fo);
+  PDB_CHECK(qj.ok());
+  std::printf("%4s %8s %14s %14s %12s\n", "n", "vars", "dnnf_nodes",
+              "decisions", "lifted_ms");
+  size_t prev_nodes = 0;
+  for (size_t n = 2; n <= 7; ++n) {
+    Database db = bench::H0Database(n);
+    FormulaManager mgr;
+    auto lineage = BuildUcqLineage(*qj, db, &mgr);
+    PDB_CHECK(lineage.ok());
+    auto compiled = CompileToDecisionDnnf(
+        &mgr, lineage->root, WeightsFromProbabilities(lineage->probs));
+    PDB_CHECK(compiled.ok());
+    auto t0 = std::chrono::steady_clock::now();
+    auto lifted = LiftedProbability(*qj, db);
+    double lifted_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    PDB_CHECK(lifted.ok());
+    PDB_CHECK(std::abs(*lifted - compiled->probability) < 1e-9);
+    size_t nodes = compiled->circuit.Size(compiled->root);
+    std::printf("%4zu %8zu %14zu %14llu %12.3f%s\n", n, lineage->vars.size(),
+                nodes,
+                static_cast<unsigned long long>(compiled->stats.decisions),
+                lifted_ms,
+                prev_nodes > 0 && nodes > 3 * prev_nodes
+                    ? "   (super-poly growth)"
+                    : "");
+    prev_nodes = nodes;
+  }
+}
+
+void PrintFigure2() {
+  bench::Section("E7c: Figure 2 circuits");
+  {
+    Circuit c;
+    Circuit::Ref z = c.Decision(2, c.False(), c.True());
+    Circuit::Ref yz = c.Decision(1, c.False(), z);
+    Circuit::Ref y_or_z = c.Decision(1, z, c.True());
+    Circuit::Ref root = c.Decision(0, yz, y_or_z);
+    std::printf("Fig 2(a) FBDD ((!X)YZ | XY | XZ): %zu nodes, FBDD-valid: "
+                "%s, #models = %s\n",
+                c.Size(root), c.ValidateFbdd(root).ok() ? "yes" : "no",
+                c.CountModels(root).ToString().c_str());
+  }
+  {
+    Circuit c;
+    Circuit::Ref y = c.Decision(1, c.False(), c.True());
+    Circuit::Ref z = c.Decision(2, c.False(), c.True());
+    Circuit::Ref u = c.Decision(3, c.False(), c.True());
+    Circuit::Ref root =
+        c.Decision(0, c.And({y, z, u}),
+                   c.And({z, c.Decision(1, u, c.True())}));
+    std::printf("Fig 2(b) decision-DNNF ((!X)YZU | XYZ | XZU): %zu nodes, "
+                "valid: %s, #models = %s\n",
+                c.Size(root),
+                c.ValidateDecisionDnnf(root).ok() ? "yes" : "no",
+                c.CountModels(root).ToString().c_str());
+  }
+}
+
+void BM_ObddCompileHierarchical(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database db = bench::TwoLevelDatabase(n, 2);
+  auto q = ParseUcqShorthand("R(x), S(x,y)");
+  for (auto _ : state) {
+    FormulaManager mgr;
+    auto lineage = BuildLineage(*q, db, &mgr);
+    Obdd obdd(HierarchicalOrder(*lineage, db));
+    auto root = obdd.Compile(&mgr, lineage->root);
+    benchmark::DoNotOptimize(root);
+  }
+}
+BENCHMARK(BM_ObddCompileHierarchical)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DecisionDnnfQj(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database db = bench::H0Database(n);
+  auto qj = FoToUcq(*ParseUcqShorthand("R(x), S(x,y), T(u), S(u,v)"));
+  for (auto _ : state) {
+    FormulaManager mgr;
+    auto lineage = BuildUcqLineage(*qj, db, &mgr);
+    auto compiled = CompileToDecisionDnnf(
+        &mgr, lineage->root, WeightsFromProbabilities(lineage->probs));
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_DecisionDnnfQj)->Arg(3)->Arg(5);
+
+}  // namespace
+}  // namespace pdb
+
+int main(int argc, char** argv) {
+  pdb::PrintObddSizes();
+  pdb::PrintDecisionDnnfSeparation();
+  pdb::PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E2 — Theorem 2.2: PQE(H0) is #P-hard.
+//
+// Hardness shows up as exponential growth of every exact grounded method on
+// the H0 lineage over complete bipartite instances, while the approximate
+// engines (Karp-Luby on the DNF, naive Monte Carlo) converge at the
+// statistical O(1/sqrt(samples)) rate regardless of n.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "boolean/lineage.h"
+#include "logic/parser.h"
+#include "wmc/dpll.h"
+#include "wmc/montecarlo.h"
+#include "workloads.h"
+
+namespace pdb {
+namespace {
+
+// H0's dual CQ: lineage of exists x y (R & S & T) == complement of H0 under
+// complemented probabilities; the counting effort is identical and the DNF
+// makes Karp-Luby applicable.
+constexpr char kDualH0[] = "R(x), S(x,y), T(y)";
+
+void PrintScalingTable() {
+  bench::Section("E2: exact methods blow up on H0 (Theorem 2.2)");
+  std::printf("%4s %10s %12s %14s %12s\n", "n", "vars", "decisions",
+              "dpll_ms", "p");
+  auto q = ParseUcqShorthand(kDualH0);
+  PDB_CHECK(q.ok());
+  auto ucq = FoToUcq(*q);
+  for (size_t n = 2; n <= 8; ++n) {
+    Rng rng(7 * n);
+    Database db = bench::H0Database(n, &rng);
+    FormulaManager mgr;
+    auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+    PDB_CHECK(lineage.ok());
+    auto start = std::chrono::steady_clock::now();
+    DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+    auto p = counter.Compute(lineage->root);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    PDB_CHECK(p.ok());
+    std::printf("%4zu %10zu %12llu %14.2f %12.6f\n", n, lineage->vars.size(),
+                static_cast<unsigned long long>(counter.stats().decisions),
+                ms, *p);
+  }
+  std::printf("(decisions should grow exponentially with n)\n");
+}
+
+void PrintMonteCarloTable() {
+  bench::Section("E2b: Monte Carlo converges where exact counting cannot");
+  const size_t n = 12;  // far beyond comfortable exact counting
+  Rng rng(99);
+  Database db = bench::H0Database(n, &rng);
+  auto ucq = FoToUcq(*ParseUcqShorthand(kDualH0));
+  auto dnf = BuildUcqDnf(*ucq, db);
+  PDB_CHECK(dnf.ok());
+  FormulaManager mgr;
+  auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+  PDB_CHECK(lineage.ok());
+  std::printf("n=%zu, %zu lineage variables, %zu DNF terms\n", n,
+              lineage->vars.size(), dnf->terms.size());
+  std::printf("%10s %14s %12s %16s %12s\n", "samples", "karp-luby",
+              "kl_stderr", "naive_mc", "mc_stderr");
+  for (uint64_t samples : {1000u, 10000u, 100000u}) {
+    Rng kl_rng(5);
+    auto kl = KarpLubyDnf(dnf->terms, dnf->probs, samples, &kl_rng);
+    PDB_CHECK(kl.ok());
+    Rng mc_rng(6);
+    Estimate mc =
+        NaiveMonteCarlo(&mgr, lineage->root, lineage->probs, samples, &mc_rng);
+    std::printf("%10llu %14.6f %12.6f %16.6f %12.6f\n",
+                static_cast<unsigned long long>(samples), kl->value,
+                kl->stderr_, mc.value, mc.stderr_);
+  }
+  std::printf("(stderr should shrink ~3.2x per 10x samples)\n");
+}
+
+void BM_DpllOnH0(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7 * n);
+  Database db = bench::H0Database(n, &rng);
+  auto ucq = FoToUcq(*ParseUcqShorthand(kDualH0));
+  for (auto _ : state) {
+    FormulaManager mgr;
+    auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+    DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+    auto p = counter.Compute(lineage->root);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DpllOnH0)->DenseRange(3, 7, 1);
+
+void BM_KarpLubyOnH0(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7 * n);
+  Database db = bench::H0Database(n, &rng);
+  auto ucq = FoToUcq(*ParseUcqShorthand(kDualH0));
+  auto dnf = BuildUcqDnf(*ucq, db);
+  Rng sample_rng(1);
+  for (auto _ : state) {
+    auto est = KarpLubyDnf(dnf->terms, dnf->probs, 10000, &sample_rng);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_KarpLubyOnH0)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace pdb
+
+int main(int argc, char** argv) {
+  pdb::PrintScalingTable();
+  pdb::PrintMonteCarloTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// M1-M3 — substrate microbenchmarks: lineage construction throughput,
+// formula-manager operations, OBDD apply, DPLL cache behaviour, big-number
+// arithmetic. These watch the plumbing the experiment benches stand on.
+
+#include <benchmark/benchmark.h>
+
+#include "boolean/lineage.h"
+#include "kc/obdd.h"
+#include "kc/order.h"
+#include "logic/parser.h"
+#include "util/big_int.h"
+#include "util/rational.h"
+#include "wmc/dpll.h"
+#include "workloads.h"
+
+namespace pdb {
+namespace {
+
+void BM_LineageConstruction(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Database db = bench::TwoLevelDatabase(n, 4, &rng);
+  auto q = ParseUcqShorthand("R(x), S(x,y)");
+  auto ucq = FoToUcq(*q);
+  for (auto _ : state) {
+    FormulaManager mgr;
+    auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+    benchmark::DoNotOptimize(lineage);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.TupleCount()));
+}
+BENCHMARK(BM_LineageConstruction)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_FoLineageConstruction(benchmark::State& state) {
+  // Universal query: grounds over domain^2 pairs.
+  size_t n = static_cast<size_t>(state.range(0));
+  Database db = bench::TwoLevelDatabase(n, 2);
+  auto q = ParseFo("forall x forall y (S(x,y) => R(x))");
+  for (auto _ : state) {
+    FormulaManager mgr;
+    auto lineage = BuildLineage(*q, db, &mgr);
+    benchmark::DoNotOptimize(lineage);
+  }
+}
+BENCHMARK(BM_FoLineageConstruction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FormulaHashConsing(benchmark::State& state) {
+  for (auto _ : state) {
+    FormulaManager mgr;
+    NodeId acc = mgr.False();
+    for (VarId v = 0; v < 256; ++v) {
+      acc = mgr.Or(acc, mgr.And(mgr.Var(v), mgr.Var((v + 1) % 256)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FormulaHashConsing);
+
+void BM_ObddApply(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database db = bench::TwoLevelDatabase(n, 2);
+  auto q = ParseUcqShorthand("R(x), S(x,y)");
+  FormulaManager mgr;
+  auto lineage = BuildLineage(*q, db, &mgr);
+  PDB_CHECK(lineage.ok());
+  std::vector<VarId> order = HierarchicalOrder(*lineage, db);
+  for (auto _ : state) {
+    Obdd obdd(order);
+    auto root = obdd.Compile(&mgr, lineage->root);
+    benchmark::DoNotOptimize(root);
+  }
+}
+BENCHMARK(BM_ObddApply)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DpllCacheBehaviour(benchmark::State& state) {
+  // Heavily shared subformulas: measures the cache hit path.
+  FormulaManager mgr;
+  std::vector<NodeId> layer;
+  for (VarId v = 0; v < 16; ++v) layer.push_back(mgr.Var(v));
+  for (int rounds = 0; rounds < 3; ++rounds) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i + 1 < layer.size(); ++i) {
+      next.push_back(mgr.Or(layer[i], layer[i + 1]));
+    }
+    layer = std::move(next);
+  }
+  NodeId f = mgr.And(layer);
+  std::vector<double> probs(16, 0.5);
+  for (auto _ : state) {
+    DpllCounter counter(&mgr, WeightsFromProbabilities(probs));
+    auto p = counter.Compute(f);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DpllCacheBehaviour);
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  BigInt a = BigInt::Factorial(static_cast<uint64_t>(state.range(0)));
+  BigInt b = a + BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_BigRationalNormalize(benchmark::State& state) {
+  BigRational p = BigRational::FromDouble(0.7).Pow(
+      static_cast<uint64_t>(state.range(0)));
+  BigRational q = BigRational::FromDouble(0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p * q);
+  }
+}
+BENCHMARK(BM_BigRationalNormalize)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace pdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// E6 — Theorem 6.1: extensional plans give oblivious bounds.
+//
+// (a) regenerates the paper's Plan_1/Plan_2 example (footnote 9) on the
+//     Figure 1 database;
+// (b) measures, over random TIDs, how often and how tightly
+//     Plan_{D1} <= p_D(Q) <= Plan_D brackets the truth for the #P-hard H0
+//     query, including the min-over-all-plans upper bound;
+// (c) times plan execution vs exact inference.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "boolean/lineage.h"
+#include "logic/parser.h"
+#include "plans/bounds.h"
+#include "plans/enumerate.h"
+#include "wmc/dpll.h"
+#include "workloads.h"
+
+namespace pdb {
+namespace {
+
+ConjunctiveQuery CqOf(const char* text) {
+  auto fo = ParseUcqShorthand(text);
+  PDB_CHECK(fo.ok());
+  auto ucq = FoToUcq(*fo);
+  PDB_CHECK(ucq.ok() && ucq->size() == 1);
+  return ucq->disjuncts()[0];
+}
+
+double GroundTruth(const ConjunctiveQuery& cq, const Database& db) {
+  FormulaManager mgr;
+  auto lineage = BuildUcqLineage(Ucq({cq}), db, &mgr);
+  PDB_CHECK(lineage.ok());
+  DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+  return *counter.Compute(lineage->root);
+}
+
+void PrintFootnote9() {
+  bench::Section("E6a: Plan_1 / Plan_2 example (paper §6, footnote 9)");
+  Database db = bench::Figure1Database();
+  ConjunctiveQuery cq = CqOf("R(x), S(x,y)");
+  auto plans = EnumerateAllPlans(cq);
+  PDB_CHECK(plans.ok());
+  double truth = GroundTruth(cq, db);
+  const double p1 = 0.3, p2 = 0.5, q1 = 0.1, q2 = 0.2, q3 = 0.4, q4 = 0.6,
+               q5 = 0.7;
+  double paper_plan1 = 1 - (1 - p1 * q1) * (1 - p1 * q2) * (1 - p2 * q3) *
+                               (1 - p2 * q4) * (1 - p2 * q5);
+  double paper_plan2 =
+      1 - (1 - p1 * (1 - (1 - q1) * (1 - q2))) *
+              (1 - p2 * (1 - (1 - q3) * (1 - q4) * (1 - q5)));
+  std::printf("paper Plan_1 (unsafe) = %.9f\n", paper_plan1);
+  std::printf("paper Plan_2 (safe)   = %.9f\n", paper_plan2);
+  for (const PlanPtr& plan : *plans) {
+    double value = *ExecuteBooleanPlan(plan, db);
+    std::printf("  %-70s = %.9f%s\n", plan->ToString().c_str(), value,
+                std::abs(value - truth) < 1e-12 ? "  (safe: == truth)" : "");
+  }
+  std::printf("true probability      = %.9f\n", truth);
+}
+
+void PrintBoundsQuality() {
+  bench::Section("E6b: oblivious bounds on the #P-hard H0 query");
+  ConjunctiveQuery h0 = CqOf("R(x), S(x,y), T(y)");
+  std::printf("%6s %10s %10s %10s %10s %8s\n", "seed", "lower", "truth",
+              "upper", "gap", "inside");
+  size_t violations = 0;
+  double total_gap = 0;
+  const int kTrials = 12;
+  for (int seed = 0; seed < kTrials; ++seed) {
+    Rng rng(seed * 131 + 11);
+    Database db = bench::RandomDatabase({{"R", 1}, {"S", 2}, {"T", 1}}, 4,
+                                        0.8, &rng);
+    auto bounds = ComputePlanBounds(h0, db);
+    PDB_CHECK(bounds.ok());
+    double truth = GroundTruth(h0, db);
+    bool inside =
+        bounds->lower <= truth + 1e-9 && truth <= bounds->upper + 1e-9;
+    if (!inside) ++violations;
+    total_gap += bounds->upper - bounds->lower;
+    std::printf("%6d %10.6f %10.6f %10.6f %10.6f %8s\n", seed, bounds->lower,
+                truth, bounds->upper, bounds->upper - bounds->lower,
+                inside ? "yes" : "NO");
+  }
+  std::printf("bracket violations: %zu / %d, mean gap: %.6f\n", violations,
+              kTrials, total_gap / kTrials);
+}
+
+void PrintMinOverPlans() {
+  bench::Section("E6c: min-over-plans beats any single plan");
+  ConjunctiveQuery h0 = CqOf("R(x), S(x,y), T(y)");
+  double sum_single = 0, sum_min = 0, sum_truth = 0;
+  const int kTrials = 12;
+  for (int seed = 0; seed < kTrials; ++seed) {
+    Rng rng(seed * 977 + 5);
+    Database db = bench::RandomDatabase({{"R", 1}, {"S", 2}, {"T", 1}}, 4,
+                                        0.8, &rng);
+    auto plans = EnumerateAllPlans(h0);
+    PDB_CHECK(plans.ok());
+    double first = *ExecuteBooleanPlan((*plans)[0], db);
+    double best = first;
+    for (const PlanPtr& plan : *plans) {
+      best = std::min(best, *ExecuteBooleanPlan(plan, db));
+    }
+    sum_single += first;
+    sum_min += best;
+    sum_truth += GroundTruth(h0, db);
+  }
+  std::printf("mean first-plan upper bound : %.6f\n", sum_single / kTrials);
+  std::printf("mean min-over-plans bound   : %.6f\n", sum_min / kTrials);
+  std::printf("mean true probability       : %.6f\n", sum_truth / kTrials);
+}
+
+void BM_SafePlanExecution(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  Database db = bench::TwoLevelDatabase(n, 4, &rng);
+  ConjunctiveQuery cq = CqOf("R(x), S(x,y)");
+  auto plan = BuildSafePlan(cq);
+  PDB_CHECK(plan.ok());
+  for (auto _ : state) {
+    auto p = ExecuteBooleanPlan(*plan, db);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_SafePlanExecution)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AllPlansBounds(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Database db = bench::H0Database(n, &rng);
+  ConjunctiveQuery h0 = CqOf("R(x), S(x,y), T(y)");
+  for (auto _ : state) {
+    auto bounds = ComputePlanBounds(h0, db);
+    benchmark::DoNotOptimize(bounds);
+  }
+}
+BENCHMARK(BM_AllPlansBounds)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace pdb
+
+int main(int argc, char** argv) {
+  pdb::PrintFootnote9();
+  pdb::PrintBoundsQuality();
+  pdb::PrintMinOverPlans();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+/// \file workloads.h
+/// \brief Shared workload generators for the experiment benches.
+///
+/// Every bench regenerates one of the paper's figures/examples/theorem-level
+/// claims (see DESIGN.md's experiment index). The synthetic instances here
+/// parameterize exactly what the claims depend on: domain size, arity
+/// structure and tuple probabilities.
+
+#ifndef PDB_BENCH_WORKLOADS_H_
+#define PDB_BENCH_WORKLOADS_H_
+
+#include <cstdio>
+
+#include "storage/database.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pdb::bench {
+
+/// The paper's Figure 1 TID (string constants a1..a4, b1..b6).
+inline Database Figure1Database() {
+  Database db;
+  Relation r("R", Schema({{"x", ValueType::kString}}));
+  PDB_CHECK(r.AddTuple({Value("a1")}, 0.3).ok());
+  PDB_CHECK(r.AddTuple({Value("a2")}, 0.5).ok());
+  PDB_CHECK(r.AddTuple({Value("a3")}, 0.9).ok());
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  Relation s("S",
+             Schema({{"x", ValueType::kString}, {"y", ValueType::kString}}));
+  PDB_CHECK(s.AddTuple({Value("a1"), Value("b1")}, 0.1).ok());
+  PDB_CHECK(s.AddTuple({Value("a1"), Value("b2")}, 0.2).ok());
+  PDB_CHECK(s.AddTuple({Value("a2"), Value("b3")}, 0.4).ok());
+  PDB_CHECK(s.AddTuple({Value("a2"), Value("b4")}, 0.6).ok());
+  PDB_CHECK(s.AddTuple({Value("a2"), Value("b5")}, 0.7).ok());
+  PDB_CHECK(s.AddTuple({Value("a4"), Value("b6")}, 0.8).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  return db;
+}
+
+/// R(i) for i in [n]; S(i, j) for i in [n], j in [fanout]; probabilities
+/// drawn from `rng` or fixed 0.5 when rng is null.
+inline Database TwoLevelDatabase(size_t n, size_t fanout, Rng* rng = nullptr) {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  auto prob = [&] { return rng ? 0.1 + 0.8 * rng->NextDouble() : 0.5; };
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    for (size_t j = 1; j <= fanout; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           prob())
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  return db;
+}
+
+/// Complete bipartite H0 instance: R(i), T(j) unary over [n], S(i,j) over
+/// [n]x[n].
+inline Database H0Database(size_t n, Rng* rng = nullptr) {
+  Database db = TwoLevelDatabase(n, n, rng);
+  Relation t("T", Schema::Anonymous(1));
+  auto prob = [&] { return rng ? 0.1 + 0.8 * rng->NextDouble() : 0.5; };
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(t.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+  }
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+/// Random TID with the given per-relation arities over an integer domain.
+inline Database RandomDatabase(const std::vector<std::pair<std::string, size_t>>&
+                                   relations,
+                               size_t domain, double presence, Rng* rng) {
+  Database db;
+  for (const auto& [name, arity] : relations) {
+    Relation rel(name, Schema::Anonymous(arity));
+    size_t total = 1;
+    for (size_t i = 0; i < arity; ++i) total *= domain;
+    for (size_t combo = 0; combo < total; ++combo) {
+      if (!rng->Bernoulli(presence)) continue;
+      Tuple tuple;
+      size_t rest = combo;
+      for (size_t i = 0; i < arity; ++i) {
+        tuple.push_back(Value(static_cast<int64_t>(rest % domain + 1)));
+        rest /= domain;
+      }
+      PDB_CHECK(rel.AddTuple(std::move(tuple), rng->NextDouble()).ok());
+    }
+    PDB_CHECK(db.AddRelation(std::move(rel)).ok());
+  }
+  return db;
+}
+
+/// Prints a bench section header.
+inline void Section(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace pdb::bench
+
+#endif  // PDB_BENCH_WORKLOADS_H_

@@ -1,0 +1,100 @@
+// Data cleaning / deduplication scenario (one of the motivating
+// applications in the paper's introduction).
+//
+// A customer table was merged from two noisy sources; an entity-resolution
+// model attached a probability to every candidate record and to every
+// "same-entity" link. The engine answers business questions while carrying
+// the uncertainty through relational processing:
+//
+//   Customer(id, city)   P = confidence that the record is real
+//   SameAs(id, id')      P = confidence that the two ids are one entity
+//   Order(id, amount)    P = confidence the order parse is correct
+//
+//   $ ./build/examples/data_cleaning
+
+#include "util/check.h"
+#include <cstdio>
+
+#include "core/pdb.h"
+
+using namespace pdb;
+
+namespace {
+
+Database BuildDirtyDatabase() {
+  Database db;
+  Relation customer(
+      "Customer", Schema({{"id", ValueType::kInt}, {"city", ValueType::kString}}));
+  // Two sources disagree on customer 2's existence; record 4 is a likely
+  // duplicate of record 1.
+  PDB_CHECK(customer.AddTuple({Value(1), Value("tacoma")}, 0.95).ok());
+  PDB_CHECK(customer.AddTuple({Value(2), Value("spokane")}, 0.40).ok());
+  PDB_CHECK(customer.AddTuple({Value(3), Value("tacoma")}, 0.85).ok());
+  PDB_CHECK(customer.AddTuple({Value(4), Value("tacoma")}, 0.30).ok());
+  PDB_CHECK(db.AddRelation(std::move(customer)).ok());
+
+  Relation same("SameAs",
+                Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  PDB_CHECK(same.AddTuple({Value(1), Value(4)}, 0.7).ok());
+  PDB_CHECK(same.AddTuple({Value(2), Value(3)}, 0.1).ok());
+  PDB_CHECK(db.AddRelation(std::move(same)).ok());
+
+  Relation order("Order",
+                 Schema({{"id", ValueType::kInt}, {"amount", ValueType::kInt}}));
+  PDB_CHECK(order.AddTuple({Value(1), Value(120)}, 0.9).ok());
+  PDB_CHECK(order.AddTuple({Value(2), Value(80)}, 0.6).ok());
+  PDB_CHECK(order.AddTuple({Value(3), Value(250)}, 0.95).ok());
+  PDB_CHECK(order.AddTuple({Value(4), Value(40)}, 0.5).ok());
+  PDB_CHECK(db.AddRelation(std::move(order)).ok());
+  return db;
+}
+
+void Ask(const ProbDatabase& engine, const char* label, const char* query) {
+  auto answer = engine.Query(query);
+  if (!answer.ok()) {
+    std::printf("  %-52s error: %s\n", label,
+                answer.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-52s %.4f  (%s)\n", label, answer->probability,
+              InferenceMethodToString(answer->method));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("data_cleaning: querying an uncertain, deduplicated table\n\n");
+  ProbDatabase engine(BuildDirtyDatabase());
+
+  std::printf("Boolean checks:\n");
+  Ask(engine, "some customer in tacoma has an order",
+      "Customer(x, 'tacoma'), Order(x, a)");
+  Ask(engine, "any suspected duplicate pair exists", "SameAs(x, y)");
+  Ask(engine, "a duplicate pair where both records have orders",
+      "SameAs(x, y), Order(x, a), Order(y, b)");
+
+  std::printf("\nPer-city probability that at least one real customer "
+              "ordered:\n");
+  ConjunctiveQuery per_city({Atom("Customer", {Term::Var("x"), Term::Var("c")}),
+                             Atom("Order", {Term::Var("x"), Term::Var("a")})});
+  auto answers = engine.QueryWithAnswers(per_city, {"c"});
+  PDB_CHECK(answers.ok());
+  for (size_t i = 0; i < answers->size(); ++i) {
+    std::printf("  %-10s %.4f\n", answers->tuple(i)[0].ToString().c_str(),
+                answers->prob(i));
+  }
+
+  std::printf("\nPer-customer probability of being a confirmed duplicate:\n");
+  ConjunctiveQuery dup({Atom("Customer", {Term::Var("x"), Term::Var("c")}),
+                        Atom("SameAs", {Term::Var("x"), Term::Var("y")})});
+  auto dup_answers = engine.QueryWithAnswers(dup, {"x"});
+  PDB_CHECK(dup_answers.ok());
+  for (size_t i = 0; i < dup_answers->size(); ++i) {
+    std::printf("  id=%-7s %.4f\n",
+                dup_answers->tuple(i)[0].ToString().c_str(),
+                dup_answers->prob(i));
+  }
+
+  std::printf("\nDone.\n");
+  return 0;
+}

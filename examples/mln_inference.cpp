@@ -1,0 +1,77 @@
+// Markov Logic Network inference through the TID+constraint translation
+// (paper §3, Proposition 3.1).
+//
+// Reproduces the paper's running example: the soft constraint
+//
+//   3.9   Manager(M, E) => HighlyCompensated(M)
+//
+// is compiled into a tuple-independent database with an auxiliary relation
+// and a conditioning sentence Γ; conditional query answering then recovers
+// exactly the MLN's semantics (verified against brute-force enumeration).
+//
+//   $ ./build/examples/mln_inference
+
+#include "util/check.h"
+#include <cstdio>
+
+#include "logic/parser.h"
+#include "mln/mln.h"
+#include "mln/translate.h"
+
+using namespace pdb;
+
+int main() {
+  std::printf("mln_inference: Manager/HighlyCompensated (weight 3.9)\n\n");
+
+  Mln mln;
+  PDB_CHECK(mln.AddPredicate("Manager", 2).ok());
+  PDB_CHECK(mln.AddPredicate("HighlyCompensated", 1).ok());
+  auto delta = ParseFo("Manager(m, e) => HighlyCompensated(m)");
+  PDB_CHECK(delta.ok());
+  PDB_CHECK(mln.AddConstraint(3.9, {"m", "e"}, *delta).ok());
+  mln.SetDomain({Value("alice"), Value("bob")});
+
+  auto translation = TranslateMln(mln);
+  PDB_CHECK(translation.ok());
+  std::printf("Translated TID (aux tuples at p = 1/w = %.4f):\n%s\n",
+              1.0 / 3.9, translation->database.ToString().c_str());
+  std::printf("Constraint sentence:\n  %s\n\n",
+              translation->gamma->ToString().c_str());
+
+  const char* queries[] = {
+      "HighlyCompensated('alice')",
+      "Manager('alice','bob')",
+      "HighlyCompensated('alice') & Manager('alice','bob')",
+      "exists m exists e (Manager(m,e) & HighlyCompensated(m))",
+  };
+  std::printf("%-56s %10s %12s\n", "query", "exact MLN", "via TID+Gamma");
+  for (const char* text : queries) {
+    auto q = ParseFo(text);
+    PDB_CHECK(q.ok());
+    auto exact = mln.ExactQueryProbability(*q);
+    auto translated = TranslatedQueryProbability(*translation, *q);
+    PDB_CHECK(exact.ok() && translated.ok());
+    std::printf("%-56s %10.6f %12.6f\n", text, *exact, *translated);
+  }
+
+  // The paper's qualitative claim: the more employees someone manages, the
+  // likelier they are highly compensated.
+  std::printf("\nP(HighlyCompensated('alice') | #direct reports):\n");
+  auto p0 = *mln.ExactQueryProbability(*ParseFo("HighlyCompensated('alice')"));
+  auto joint1 = *mln.ExactQueryProbability(
+      *ParseFo("HighlyCompensated('alice') & Manager('alice','bob')"));
+  auto cond1 =
+      joint1 / *mln.ExactQueryProbability(*ParseFo("Manager('alice','bob')"));
+  auto joint2 = *mln.ExactQueryProbability(*ParseFo(
+      "HighlyCompensated('alice') & Manager('alice','bob') & "
+      "Manager('alice','alice')"));
+  auto cond2 = joint2 / *mln.ExactQueryProbability(*ParseFo(
+                            "Manager('alice','bob') & "
+                            "Manager('alice','alice')"));
+  std::printf("  unconditional: %.4f\n  1 report:      %.4f\n"
+              "  2 reports:     %.4f\n",
+              p0, cond1, cond2);
+
+  std::printf("\nDone.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Symmetric databases and lifted counting for FO² (paper §8).
+//
+// Symmetric databases model the grounded networks of statistical relational
+// models: every possible tuple of a relation has the same probability. For
+// FO² sentences, PQE is polynomial in the domain size (Theorem 8.1) — far
+// beyond what grounded inference can touch.
+//
+//   $ ./build/examples/symmetric_counting
+
+#include "util/check.h"
+#include <chrono>
+#include <cstdio>
+
+#include "logic/parser.h"
+#include "symmetric/fo2.h"
+#include "symmetric/symmetric.h"
+
+using namespace pdb;
+
+int main() {
+  std::printf("symmetric_counting: FO2 lifted counting (Theorem 8.1)\n\n");
+
+  auto h0 = ParseFo("forall x forall y (R(x) | S(x,y) | T(y))");
+  PDB_CHECK(h0.ok());
+
+  // H0 over symmetric databases: the closed form and the generic FO2 cell
+  // algorithm agree exactly (as rationals).
+  std::printf("p(H0) with pR = 1/2, pS = 3/4, pT = 1/4:\n");
+  std::printf("%6s %22s %22s\n", "n", "closed form", "FO2 cell algorithm");
+  for (size_t n : {2u, 4u, 8u, 16u}) {
+    SymmetricDatabase sym({{"R", 1, 0.5}, {"S", 2, 0.75}, {"T", 1, 0.25}}, n);
+    BigRational closed = H0SymmetricClosedForm(0.5, 0.75, 0.25, n);
+    auto cells = SymmetricPqe(*h0, sym);
+    PDB_CHECK(cells.ok());
+    PDB_CHECK(closed == *cells);  // exact rational equality
+    std::printf("%6zu %22.12g %22.12g\n", n, closed.ToDouble(),
+                cells->ToDouble());
+  }
+
+  // Scaling: large domains stay easy (polynomial), where grounded methods
+  // would need 2^(n^2 + 2n) world enumeration.
+  std::printf("\nLarge domains (scaled-float evaluation):\n");
+  for (size_t n : {50u, 100u, 200u}) {
+    auto start = std::chrono::steady_clock::now();
+    SymmetricDatabase sym({{"R", 1, 0.5}, {"S", 2, 0.9}, {"T", 1, 0.5}}, n);
+    auto p = SymmetricPqeApprox(*h0, sym);
+    PDB_CHECK(p.ok());
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    std::printf("  n=%-5zu p = %.6g   (%.1f ms; 2^%zu possible worlds)\n",
+                n, *p, ms, n * n + 2 * n);
+  }
+
+  // A sentence with an existential quantifier: skolemization with negative
+  // weights (Van den Broeck et al.), invisible to the caller.
+  std::printf("\nforall x exists y S(x,y)  ('no isolated node'):\n");
+  auto fe = ParseFo("forall x exists y S(x,y)");
+  for (size_t n : {2u, 5u, 10u, 30u}) {
+    SymmetricDatabase sym({{"S", 2, 0.3}}, n);
+    auto p = SymmetricPqe(*fe, sym);
+    PDB_CHECK(p.ok());
+    std::printf("  n=%-4zu p = %.6f\n", n, p->ToDouble());
+  }
+
+  // Friends-and-smokers style soft structure, purely universally
+  // quantified: smokers only befriend smokers.
+  std::printf("\nforall x forall y (Smokes(x) & Friends(x,y) => "
+              "Smokes(y)):\n");
+  auto fs = ParseFo(
+      "forall x forall y ((Smokes(x) & Friends(x,y)) => Smokes(y))");
+  PDB_CHECK(fs.ok());
+  for (size_t n : {2u, 4u, 8u, 16u}) {
+    SymmetricDatabase sym({{"Smokes", 1, 0.3}, {"Friends", 2, 0.2}}, n);
+    auto p = SymmetricPqe(*fs, sym);
+    PDB_CHECK(p.ok());
+    std::printf("  n=%-4zu p = %.6f\n", n, p->ToDouble());
+  }
+
+  std::printf("\nDone.\n");
+  return 0;
+}

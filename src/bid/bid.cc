@@ -1,0 +1,225 @@
+#include "bid/bid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "boolean/lineage.h"
+#include "util/check.h"
+#include "util/string_util.h"
+#include "wmc/dpll.h"
+
+namespace pdb {
+
+namespace {
+// Tolerance for "block probabilities sum to at most 1".
+constexpr double kBlockEps = 1e-9;
+}  // namespace
+
+BidRelation::BidRelation(std::string name, Schema schema, size_t key_arity)
+    : name_(std::move(name)), schema_(std::move(schema)),
+      key_arity_(key_arity) {
+  PDB_CHECK(key_arity_ <= schema_.arity());
+}
+
+Status BidRelation::AddTuple(Tuple tuple, double p) {
+  PDB_RETURN_NOT_OK(schema_.Validate(tuple));
+  if (!(p > 0.0) || p > 1.0) {
+    return Status::OutOfRange(
+        StrFormat("BID tuple probability %g outside (0, 1]", p));
+  }
+  for (const Tuple& existing : tuples_) {
+    if (existing == tuple) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate tuple %s in BID relation '%s'",
+                    TupleToString(tuple).c_str(), name_.c_str()));
+    }
+  }
+  Tuple key(tuple.begin(), tuple.begin() + static_cast<ptrdiff_t>(key_arity_));
+  double block_total = p;
+  auto it = blocks_.find(key);
+  if (it != blocks_.end()) {
+    for (size_t row : it->second) block_total += probs_[row];
+  }
+  if (block_total > 1.0 + kBlockEps) {
+    return Status::InvalidArgument(
+        StrFormat("block %s of '%s' would have total probability %g > 1",
+                  TupleToString(key).c_str(), name_.c_str(), block_total));
+  }
+  blocks_[key].push_back(tuples_.size());
+  tuples_.push_back(std::move(tuple));
+  probs_.push_back(p);
+  return Status::OK();
+}
+
+Relation BidRelation::MarginalRelation() const {
+  Relation out(name_, schema_);
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    PDB_CHECK(out.AddTuple(tuples_[i], probs_[i]).ok());
+  }
+  return out;
+}
+
+Status BidDatabase::AddRelation(BidRelation relation) {
+  std::string name = relation.name();
+  if (relations_.count(name) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("BID relation '%s' already exists", name.c_str()));
+  }
+  relations_.emplace(std::move(name), std::move(relation));
+  return Status::OK();
+}
+
+Result<const BidRelation*> BidDatabase::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(
+        StrFormat("no BID relation named '%s'", name.c_str()));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> BidDatabase::RelationNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+Database BidDatabase::MarginalDatabase() const {
+  Database db;
+  for (const auto& [name, rel] : relations_) {
+    PDB_CHECK(db.AddRelation(rel.MarginalRelation()).ok());
+  }
+  return db;
+}
+
+Database BidDatabase::SampleWorld(Rng* rng) const {
+  Database world;
+  for (const auto& [name, rel] : relations_) {
+    Relation sampled(rel.name(), rel.schema());
+    for (const auto& [key, rows] : rel.blocks()) {
+      double u = rng->NextDouble();
+      double acc = 0.0;
+      for (size_t row : rows) {
+        acc += rel.prob(row);
+        if (u < acc) {
+          PDB_CHECK(sampled.AddTuple(rel.tuple(row), 1.0).ok());
+          break;
+        }
+      }
+      // u >= acc after the loop: the block is empty in this world.
+    }
+    PDB_CHECK(world.AddRelation(std::move(sampled)).ok());
+  }
+  return world;
+}
+
+Result<BidEncoding> BuildBidEncoding(const BidDatabase& db,
+                                     FormulaManager* mgr) {
+  BidEncoding encoding;
+  for (const std::string& name : db.RelationNames()) {
+    PDB_ASSIGN_OR_RETURN(const BidRelation* rel, db.Get(name));
+    std::vector<NodeId>& indicators = encoding.indicators[name];
+    indicators.assign(rel->size(), mgr->False());
+    for (const auto& [key, rows] : rel->blocks()) {
+      // Sequential decomposition: tuple i present iff the first i-1 chain
+      // variables are false and X_i is true, with
+      //   q_i = p_i / (1 - sum_{j<i} p_j),
+      // which makes P(tuple i) = p_i exactly and the events disjoint.
+      double residual = 1.0;
+      NodeId prefix_all_false = mgr->True();
+      for (size_t row : rows) {
+        double p = rel->prob(row);
+        double q = residual <= 0.0 ? 1.0 : p / residual;
+        q = std::min(q, 1.0);
+        VarId var = static_cast<VarId>(encoding.probs.size());
+        encoding.probs.push_back(q);
+        NodeId x = mgr->Var(var);
+        indicators[row] = mgr->And(prefix_all_false, x);
+        prefix_all_false = mgr->And(prefix_all_false, mgr->Not(x));
+        residual -= p;
+      }
+    }
+  }
+  return encoding;
+}
+
+Result<double> BidDatabase::QueryProbability(const Ucq& ucq) const {
+  FormulaManager mgr;
+  PDB_ASSIGN_OR_RETURN(BidEncoding encoding, BuildBidEncoding(*this, &mgr));
+  Database marginal = MarginalDatabase();
+  std::vector<NodeId> disjuncts;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    std::vector<NodeId> terms;
+    Status st = EnumerateCqMatches(cq, marginal, [&](const CqMatch& match) {
+      std::vector<NodeId> lits;
+      lits.reserve(match.atom_rows.size());
+      for (const LineageVar& lv : match.atom_rows) {
+        lits.push_back(encoding.indicators[lv.relation][lv.row]);
+      }
+      terms.push_back(mgr.And(std::move(lits)));
+    });
+    PDB_RETURN_NOT_OK(st);
+    disjuncts.push_back(mgr.Or(std::move(terms)));
+  }
+  NodeId root = mgr.Or(std::move(disjuncts));
+  DpllCounter counter(&mgr, WeightsFromProbabilities(encoding.probs));
+  return counter.Compute(root);
+}
+
+Result<double> BidDatabase::QueryProbabilityBruteForce(
+    const Ucq& ucq, size_t max_choices) const {
+  // Enumerate, per block, which tuple (or none) is present.
+  struct Block {
+    const BidRelation* rel;
+    const std::vector<size_t>* rows;
+  };
+  std::vector<Block> blocks;
+  for (const auto& [name, rel] : relations_) {
+    for (const auto& [key, rows] : rel.blocks()) {
+      blocks.push_back({&rel, &rows});
+    }
+  }
+  size_t total = 1;
+  for (const Block& block : blocks) {
+    size_t options = block.rows->size() + 1;  // + empty block
+    if (total > max_choices / options) {
+      return Status::ResourceExhausted(
+          "BID brute force has too many block combinations");
+    }
+    total *= options;
+  }
+  FoPtr sentence = ucq.ToFo();
+  double probability = 0.0;
+  for (size_t combo = 0; combo < total; ++combo) {
+    size_t rest = combo;
+    double weight = 1.0;
+    Database world;
+    for (const auto& [name, rel] : relations_) {
+      PDB_CHECK(world.AddRelation(Relation(rel.name(), rel.schema())).ok());
+    }
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      size_t options = blocks[b].rows->size() + 1;
+      size_t pick = rest % options;
+      rest /= options;
+      double block_mass = 0.0;
+      for (size_t row : *blocks[b].rows) {
+        block_mass += blocks[b].rel->prob(row);
+      }
+      if (pick == blocks[b].rows->size()) {
+        weight *= std::max(0.0, 1.0 - block_mass);  // empty block
+      } else {
+        size_t row = (*blocks[b].rows)[pick];
+        weight *= blocks[b].rel->prob(row);
+        Relation* rel = *world.GetMutable(blocks[b].rel->name());
+        PDB_CHECK(rel->AddTuple(blocks[b].rel->tuple(row), 1.0).ok());
+      }
+    }
+    if (weight == 0.0) continue;
+    if (EvaluateOnWorld(sentence, world, world.ActiveDomain())) {
+      probability += weight;
+    }
+  }
+  return probability;
+}
+
+}  // namespace pdb

@@ -1,0 +1,111 @@
+/// \file bid.h
+/// \brief Block-independent-disjoint (BID) tables (paper §1, [16]).
+///
+/// A BID relation partitions its tuples into blocks by a key prefix: tuples
+/// within one block are mutually exclusive (at most one is present; the
+/// block may also be empty), and distinct blocks are independent. BID
+/// tables are the standard model for attribute-level uncertainty ("this
+/// sensor reading is 40 with p=0.6 or 41 with p=0.3").
+///
+/// Query evaluation reuses the whole grounded stack: each block becomes a
+/// chain of fresh independent Boolean variables whose sequential
+/// decomposition reproduces the block distribution exactly, each tuple's
+/// indicator becomes a small formula over the chain, and the UCQ lineage is
+/// assembled from those indicators (then counted with the DPLL engine).
+
+#ifndef PDB_BID_BID_H_
+#define PDB_BID_BID_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "boolean/formula.h"
+#include "logic/cq.h"
+#include "storage/database.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// One BID relation: the first `key_arity` columns are the block key.
+class BidRelation {
+ public:
+  BidRelation(std::string name, Schema schema, size_t key_arity);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t arity() const { return schema_.arity(); }
+  size_t key_arity() const { return key_arity_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Adds a tuple with probability p > 0; fails if the block's total
+  /// probability would exceed 1 (+eps) or on duplicates.
+  Status AddTuple(Tuple tuple, double p);
+
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  double prob(size_t i) const { return probs_[i]; }
+
+  /// Row indices grouped by block key, in insertion order per block.
+  const std::map<Tuple, std::vector<size_t>>& blocks() const {
+    return blocks_;
+  }
+
+  /// The marginal view: a plain relation with each tuple at its marginal
+  /// probability (correlations dropped) — used for match enumeration and
+  /// as a (wrong-on-purpose) independence baseline in tests.
+  Relation MarginalRelation() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  size_t key_arity_;
+  std::vector<Tuple> tuples_;
+  std::vector<double> probs_;
+  std::map<Tuple, std::vector<size_t>> blocks_;
+};
+
+/// A database of BID relations.
+class BidDatabase {
+ public:
+  Status AddRelation(BidRelation relation);
+  Result<const BidRelation*> Get(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+
+  /// Marginal TID view of every relation (for match enumeration).
+  Database MarginalDatabase() const;
+
+  /// Samples a possible world: per block, at most one tuple (chosen with
+  /// its probability; none with the residual probability).
+  Database SampleWorld(Rng* rng) const;
+
+  /// Exact probability of a monotone UCQ via the chain encoding + DPLL.
+  Result<double> QueryProbability(const Ucq& ucq) const;
+
+  /// Exact probability by enumerating per-block choices (the oracle;
+  /// exponential in the number of blocks, guarded).
+  Result<double> QueryProbabilityBruteForce(const Ucq& ucq,
+                                            size_t max_choices = 2000000)
+      const;
+
+ private:
+  std::map<std::string, BidRelation> relations_;
+};
+
+/// The chain encoding of one BID database: every tuple's presence as a
+/// Boolean formula over fresh independent variables.
+struct BidEncoding {
+  /// indicator[relation][row] = formula that is true iff the tuple is in
+  /// the world.
+  std::map<std::string, std::vector<NodeId>> indicators;
+  /// Probability of each chain variable.
+  std::vector<double> probs;
+};
+
+/// Builds the chain encoding into `mgr`. Exposed for tests.
+Result<BidEncoding> BuildBidEncoding(const BidDatabase& db,
+                                     FormulaManager* mgr);
+
+}  // namespace pdb
+
+#endif  // PDB_BID_BID_H_

@@ -1,0 +1,315 @@
+#include "boolean/lineage.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+// Assigns one Boolean variable per (relation, row), lazily.
+class VarTable {
+ public:
+  VarId VarFor(const std::string& relation, size_t row, double prob) {
+    auto key = std::make_pair(relation, row);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    VarId id = static_cast<VarId>(vars_.size());
+    ids_.emplace(std::move(key), id);
+    vars_.push_back({relation, row});
+    probs_.push_back(prob);
+    return id;
+  }
+
+  std::vector<LineageVar> TakeVars() { return std::move(vars_); }
+  std::vector<double> TakeProbs() { return std::move(probs_); }
+
+ private:
+  std::map<std::pair<std::string, size_t>, VarId> ids_;
+  std::vector<LineageVar> vars_;
+  std::vector<double> probs_;
+};
+
+// Recursive grounding of an FO formula with an environment binding
+// variables to values.
+class FoGrounder {
+ public:
+  FoGrounder(const Database& db, const std::vector<Value>& domain,
+             FormulaManager* mgr, VarTable* vars)
+      : db_(db), domain_(domain), mgr_(mgr), vars_(vars) {}
+
+  Result<NodeId> Ground(const FoPtr& f,
+                        std::map<std::string, Value>* env) {
+    switch (f->kind()) {
+      case FoKind::kTrue:
+        return mgr_->True();
+      case FoKind::kFalse:
+        return mgr_->False();
+      case FoKind::kAtom:
+        return GroundAtom(f->atom(), *env);
+      case FoKind::kNot: {
+        PDB_ASSIGN_OR_RETURN(NodeId c, Ground(f->children()[0], env));
+        return mgr_->Not(c);
+      }
+      case FoKind::kAnd:
+      case FoKind::kOr: {
+        std::vector<NodeId> kids;
+        kids.reserve(f->children().size());
+        for (const FoPtr& c : f->children()) {
+          PDB_ASSIGN_OR_RETURN(NodeId g, Ground(c, env));
+          kids.push_back(g);
+        }
+        return f->kind() == FoKind::kAnd ? mgr_->And(std::move(kids))
+                                         : mgr_->Or(std::move(kids));
+      }
+      case FoKind::kExists:
+      case FoKind::kForall: {
+        std::vector<NodeId> kids;
+        kids.reserve(domain_.size());
+        const std::string& var = f->quantified_var();
+        // Shadowing: remember any outer binding and restore it.
+        auto outer = env->find(var);
+        std::optional<Value> saved;
+        if (outer != env->end()) saved = outer->second;
+        for (const Value& v : domain_) {
+          (*env)[var] = v;
+          PDB_ASSIGN_OR_RETURN(NodeId g, Ground(f->children()[0], env));
+          kids.push_back(g);
+        }
+        if (saved.has_value()) {
+          (*env)[var] = *saved;
+        } else {
+          env->erase(var);
+        }
+        return f->kind() == FoKind::kExists ? mgr_->Or(std::move(kids))
+                                            : mgr_->And(std::move(kids));
+      }
+    }
+    return Status::Internal("unreachable FO kind");
+  }
+
+ private:
+  Result<NodeId> GroundAtom(const Atom& atom,
+                            const std::map<std::string, Value>& env) {
+    PDB_ASSIGN_OR_RETURN(const Relation* rel, db_.Get(atom.predicate));
+    if (rel->arity() != atom.arity()) {
+      return Status::InvalidArgument(
+          StrFormat("atom %s has arity %zu but relation has arity %zu",
+                    atom.ToString().c_str(), atom.arity(), rel->arity()));
+    }
+    Tuple tuple;
+    tuple.reserve(atom.arity());
+    for (const Term& t : atom.args) {
+      if (t.is_constant()) {
+        tuple.push_back(t.constant());
+      } else {
+        auto it = env.find(t.var());
+        if (it == env.end()) {
+          return Status::InvalidArgument(
+              StrFormat("unbound variable '%s' in atom %s", t.var().c_str(),
+                        atom.ToString().c_str()));
+        }
+        tuple.push_back(it->second);
+      }
+    }
+    auto row = rel->Find(tuple);
+    if (!row.ok()) return mgr_->False();  // missing tuple: probability 0
+    double p = rel->prob(*row);
+    if (p == 1.0) return mgr_->True();
+    if (p == 0.0) return mgr_->False();
+    return mgr_->Var(vars_->VarFor(atom.predicate, *row, p));
+  }
+
+  const Database& db_;
+  const std::vector<Value>& domain_;
+  FormulaManager* mgr_;
+  VarTable* vars_;
+};
+
+// Backtracking CQ match enumeration with per-(relation, bound positions)
+// hash indexes.
+class CqMatcher {
+ public:
+  CqMatcher(const ConjunctiveQuery& cq, const Database& db)
+      : cq_(cq), db_(db) {}
+
+  Status Run(const std::function<void(const CqMatch&)>& callback) {
+    const auto& atoms = cq_.atoms();
+    relations_.resize(atoms.size());
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      PDB_ASSIGN_OR_RETURN(relations_[i], db_.Get(atoms[i].predicate));
+      if (relations_[i]->arity() != atoms[i].arity()) {
+        return Status::InvalidArgument(
+            StrFormat("atom %s arity mismatch with relation (%zu vs %zu)",
+                      atoms[i].ToString().c_str(), atoms[i].arity(),
+                      relations_[i]->arity()));
+      }
+    }
+    match_.atom_rows.resize(atoms.size());
+    Recurse(0, callback);
+    return Status::OK();
+  }
+
+ private:
+  void Recurse(size_t atom_idx,
+               const std::function<void(const CqMatch&)>& callback) {
+    if (atom_idx == cq_.atoms().size()) {
+      callback(match_);
+      return;
+    }
+    const Atom& atom = cq_.atoms()[atom_idx];
+    const Relation& rel = *relations_[atom_idx];
+    // Determine bound positions and their required values; also detect
+    // repeated variables within the atom.
+    std::vector<size_t> bound_pos;
+    Tuple bound_vals;
+    std::map<std::string, size_t> var_first_pos;
+    for (size_t j = 0; j < atom.args.size(); ++j) {
+      const Term& t = atom.args[j];
+      if (t.is_constant()) {
+        bound_pos.push_back(j);
+        bound_vals.push_back(t.constant());
+      } else {
+        auto it = env_.find(t.var());
+        if (it != env_.end()) {
+          bound_pos.push_back(j);
+          bound_vals.push_back(it->second);
+        }
+      }
+    }
+    const std::vector<size_t>* rows;
+    std::vector<size_t> all_rows;
+    if (!bound_pos.empty()) {
+      const HashIndex& index = IndexFor(atom_idx, rel, bound_pos);
+      rows = &index.Lookup(bound_vals);
+    } else {
+      all_rows.resize(rel.size());
+      for (size_t r = 0; r < rel.size(); ++r) all_rows[r] = r;
+      rows = &all_rows;
+    }
+    for (size_t row : *rows) {
+      const Tuple& tuple = rel.tuple(row);
+      // Bind the free variables of this atom; verify repeated variables.
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (size_t j = 0; j < atom.args.size() && ok; ++j) {
+        const Term& t = atom.args[j];
+        if (t.is_constant()) continue;
+        auto it = env_.find(t.var());
+        if (it == env_.end()) {
+          env_.emplace(t.var(), tuple[j]);
+          newly_bound.push_back(t.var());
+        } else {
+          ok = (it->second == tuple[j]);
+        }
+      }
+      if (ok) {
+        match_.atom_rows[atom_idx] = {atom.predicate, row};
+        Recurse(atom_idx + 1, callback);
+      }
+      for (const std::string& v : newly_bound) env_.erase(v);
+    }
+  }
+
+  const HashIndex& IndexFor(size_t atom_idx, const Relation& rel,
+                            const std::vector<size_t>& bound_pos) {
+    auto key = std::make_pair(atom_idx, bound_pos);
+    auto it = indexes_.find(key);
+    if (it == indexes_.end()) {
+      it = indexes_.emplace(key, HashIndex(rel, bound_pos)).first;
+    }
+    return it->second;
+  }
+
+  const ConjunctiveQuery& cq_;
+  const Database& db_;
+  std::vector<const Relation*> relations_;
+  std::map<std::string, Value> env_;
+  CqMatch match_;
+  std::map<std::pair<size_t, std::vector<size_t>>, HashIndex> indexes_;
+};
+
+}  // namespace
+
+Result<Lineage> BuildLineage(const FoPtr& sentence, const Database& db,
+                             FormulaManager* mgr,
+                             const std::vector<Value>* domain) {
+  if (!sentence->FreeVariables().empty()) {
+    return Status::InvalidArgument(
+        "lineage requires a sentence without free variables");
+  }
+  std::vector<Value> active;
+  if (domain == nullptr) {
+    active = db.ActiveDomain();
+    domain = &active;
+  }
+  VarTable vars;
+  FoGrounder grounder(db, *domain, mgr, &vars);
+  std::map<std::string, Value> env;
+  PDB_ASSIGN_OR_RETURN(NodeId root, grounder.Ground(sentence, &env));
+  Lineage lineage;
+  lineage.root = root;
+  lineage.vars = vars.TakeVars();
+  lineage.probs = vars.TakeProbs();
+  return lineage;
+}
+
+Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
+                          const std::function<void(const CqMatch&)>& callback) {
+  CqMatcher matcher(cq, db);
+  return matcher.Run(callback);
+}
+
+Result<Lineage> BuildUcqLineage(const Ucq& ucq, const Database& db,
+                                FormulaManager* mgr) {
+  VarTable vars;
+  std::vector<NodeId> disjunct_nodes;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    std::vector<NodeId> term_nodes;
+    Status st = EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
+      std::vector<NodeId> lits;
+      lits.reserve(match.atom_rows.size());
+      for (const LineageVar& lv : match.atom_rows) {
+        const Relation* rel = db.Get(lv.relation).value();
+        double p = rel->prob(lv.row);
+        if (p == 1.0) continue;  // certain tuple contributes no literal
+        lits.push_back(mgr->Var(vars.VarFor(lv.relation, lv.row, p)));
+      }
+      term_nodes.push_back(mgr->And(std::move(lits)));
+    });
+    PDB_RETURN_NOT_OK(st);
+    disjunct_nodes.push_back(mgr->Or(std::move(term_nodes)));
+  }
+  Lineage lineage;
+  lineage.root = mgr->Or(std::move(disjunct_nodes));
+  lineage.vars = vars.TakeVars();
+  lineage.probs = vars.TakeProbs();
+  return lineage;
+}
+
+Result<DnfLineage> BuildUcqDnf(const Ucq& ucq, const Database& db) {
+  VarTable vars;
+  DnfLineage out;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    Status st = EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
+      std::vector<VarId> term;
+      term.reserve(match.atom_rows.size());
+      for (const LineageVar& lv : match.atom_rows) {
+        const Relation* rel = db.Get(lv.relation).value();
+        term.push_back(vars.VarFor(lv.relation, lv.row, rel->prob(lv.row)));
+      }
+      std::sort(term.begin(), term.end());
+      term.erase(std::unique(term.begin(), term.end()), term.end());
+      out.terms.push_back(std::move(term));
+    });
+    PDB_RETURN_NOT_OK(st);
+  }
+  out.vars = vars.TakeVars();
+  out.probs = vars.TakeProbs();
+  return out;
+}
+
+}  // namespace pdb

@@ -1,0 +1,80 @@
+/// \file lineage.h
+/// \brief Lineage construction: grounding a query over a TID into a Boolean
+/// formula (paper §7 and appendix "Lineage of an FO sentence").
+///
+/// Each stored tuple becomes one Boolean variable; the lineage F_{Q,DOM} is
+/// true under an assignment iff the corresponding possible world satisfies
+/// Q. Tuples outside the database have probability 0 and ground to the
+/// constant `false`.
+
+#ifndef PDB_BOOLEAN_LINEAGE_H_
+#define PDB_BOOLEAN_LINEAGE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "boolean/formula.h"
+#include "logic/cq.h"
+#include "logic/fo.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// Origin of a lineage variable: a row of a relation.
+struct LineageVar {
+  std::string relation;
+  size_t row = 0;
+};
+
+/// A grounded query: formula root plus the tuple <-> variable mapping.
+struct Lineage {
+  NodeId root = 0;
+  /// Metadata per VarId (index = VarId).
+  std::vector<LineageVar> vars;
+  /// Marginal probability per VarId.
+  std::vector<double> probs;
+};
+
+/// Grounds an FO sentence over `db`, quantifying over `domain` (defaults to
+/// the active domain). Inductive construction from the paper's appendix.
+Result<Lineage> BuildLineage(const FoPtr& sentence, const Database& db,
+                             FormulaManager* mgr,
+                             const std::vector<Value>* domain = nullptr);
+
+/// Grounds a UCQ by join-style enumeration of satisfying assignments —
+/// equivalent to BuildLineage on the UCQ's FO form but polynomial in the
+/// data rather than in domain^#vars. The result is a DNF.
+Result<Lineage> BuildUcqLineage(const Ucq& ucq, const Database& db,
+                                FormulaManager* mgr);
+
+/// One match of a CQ against the database: for each atom (by index), the
+/// matched row in its relation.
+struct CqMatch {
+  /// Parallel to cq.atoms(): (relation name, row id).
+  std::vector<LineageVar> atom_rows;
+};
+
+/// Enumerates all satisfying assignments ("matches") of a Boolean CQ against
+/// `db`, invoking `callback` for each. Uses hash indexes on already-bound
+/// positions. Returns an error if an atom references a missing relation or
+/// has an arity mismatch.
+Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
+                          const std::function<void(const CqMatch&)>& callback);
+
+/// The DNF lineage as explicit term lists (one clause of VarIds per CQ
+/// match), sharing variable ids with `lineage_vars` bookkeeping. Useful for
+/// Karp-Luby sampling and for the dissociation lower bound, which needs the
+/// per-tuple occurrence counts k (paper §6).
+struct DnfLineage {
+  std::vector<std::vector<VarId>> terms;
+  std::vector<LineageVar> vars;
+  std::vector<double> probs;
+};
+Result<DnfLineage> BuildUcqDnf(const Ucq& ucq, const Database& db);
+
+}  // namespace pdb
+
+#endif  // PDB_BOOLEAN_LINEAGE_H_

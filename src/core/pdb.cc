@@ -1,0 +1,315 @@
+#include "core/pdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "boolean/lineage.h"
+#include "util/check.h"
+#include "logic/analysis.h"
+#include "plans/bounds.h"
+#include "sql/sql.h"
+#include "util/string_util.h"
+#include "wmc/dpll.h"
+#include "wmc/montecarlo.h"
+
+namespace pdb {
+
+const char* InferenceMethodToString(InferenceMethod method) {
+  switch (method) {
+    case InferenceMethod::kLifted:
+      return "lifted";
+    case InferenceMethod::kGroundedExact:
+      return "grounded-exact";
+    case InferenceMethod::kMonteCarlo:
+      return "monte-carlo";
+    case InferenceMethod::kPlanBounds:
+      return "plan-bounds";
+  }
+  return "?";
+}
+
+Result<QueryAnswer> ProbDatabase::Query(const std::string& query_text,
+                                        const QueryOptions& options) const {
+  auto fo = ParseFo(query_text);
+  if (fo.ok()) {
+    // Boolean-query convention: free variables are existentially closed.
+    FoPtr sentence = *fo;
+    std::set<std::string> free = sentence->FreeVariables();
+    if (!free.empty()) {
+      sentence = Fo::Exists(
+          std::vector<std::string>(free.begin(), free.end()), sentence);
+    }
+    return QueryFo(sentence, options);
+  }
+  auto ucq = ParseUcqShorthand(query_text);
+  if (ucq.ok()) return QueryFo(*ucq, options);
+  return Status::InvalidArgument(
+      StrFormat("cannot parse query (as FO: %s; as UCQ: %s)",
+                fo.status().message().c_str(),
+                ucq.status().message().c_str()));
+}
+
+Result<QueryAnswer> ProbDatabase::QueryFo(const FoPtr& sentence,
+                                          const QueryOptions& options) const {
+  QueryAnswer answer;
+
+  // 1. Lifted inference (exact, polynomial time) when the query is safe.
+  if (options.prefer_lifted) {
+    LiftedStats stats;
+    auto lifted = LiftedProbabilityFo(sentence, db_, options.lifted, &stats);
+    if (lifted.ok()) {
+      answer.probability = *lifted;
+      answer.lower = answer.upper = *lifted;
+      answer.method = InferenceMethod::kLifted;
+      answer.exact = true;
+      answer.explanation = StrFormat(
+          "lifted inference: %llu separator groundings, %llu "
+          "inclusion-exclusions (%llu cancelled terms)",
+          static_cast<unsigned long long>(stats.separator_groundings),
+          static_cast<unsigned long long>(stats.inclusion_exclusions),
+          static_cast<unsigned long long>(stats.ie_terms_cancelled));
+      return answer;
+    }
+    if (lifted.status().code() != StatusCode::kUnsupported) {
+      return lifted.status();
+    }
+  }
+
+  // 2. Grounded exact inference within the decision budget.
+  FormulaManager mgr;
+  PDB_ASSIGN_OR_RETURN(Lineage lineage, BuildLineage(sentence, db_, &mgr));
+  DpllOptions dpll_options;
+  dpll_options.max_decisions = options.max_dpll_decisions;
+  DpllCounter counter(&mgr, WeightsFromProbabilities(lineage.probs),
+                      dpll_options);
+  auto grounded = counter.Compute(lineage.root);
+  if (grounded.ok()) {
+    answer.probability = *grounded;
+    answer.lower = answer.upper = *grounded;
+    answer.method = InferenceMethod::kGroundedExact;
+    answer.exact = true;
+    answer.explanation = StrFormat(
+        "grounded WMC: %llu decisions, %llu cache hits, %llu component "
+        "splits over %zu lineage variables",
+        static_cast<unsigned long long>(counter.stats().decisions),
+        static_cast<unsigned long long>(counter.stats().cache_hits),
+        static_cast<unsigned long long>(counter.stats().component_splits),
+        lineage.vars.size());
+    return answer;
+  }
+  if (grounded.status().code() != StatusCode::kResourceExhausted) {
+    return grounded.status();
+  }
+
+  // 3. Approximation. Plan bounds when the query is a self-join-free CQ.
+  std::optional<PlanBounds> bounds;
+  auto as_ucq = FoToUcq(sentence);
+  if (as_ucq.ok() && as_ucq->size() == 1 &&
+      as_ucq->disjuncts()[0].IsSelfJoinFree()) {
+    auto computed = ComputePlanBounds(as_ucq->disjuncts()[0], db_);
+    if (computed.ok()) bounds = *computed;
+  }
+  if (options.allow_monte_carlo && as_ucq.ok()) {
+    // UCQ lineages are monotone DNFs: Karp-Luby gives relative-error
+    // guarantees independent of how small the probability is.
+    auto dnf = BuildUcqDnf(*as_ucq, db_);
+    if (dnf.ok()) {
+      Rng rng(options.monte_carlo_seed);
+      auto estimate = KarpLubyDnf(dnf->terms, dnf->probs,
+                                  options.monte_carlo_samples, &rng);
+      if (estimate.ok()) {
+        answer.probability = estimate->value;
+        answer.lower = std::max(0.0, estimate->value - 2.0 * estimate->stderr_);
+        answer.upper = std::min(1.0, estimate->value + 2.0 * estimate->stderr_);
+        answer.method = InferenceMethod::kMonteCarlo;
+        answer.exact = false;
+        answer.explanation = StrFormat(
+            "Karp-Luby: %llu samples over %zu DNF terms, stderr %.2g",
+            static_cast<unsigned long long>(estimate->samples),
+            dnf->terms.size(), estimate->stderr_);
+        if (bounds.has_value()) {
+          answer.lower = std::max(answer.lower, bounds->lower);
+          answer.upper = std::min(answer.upper, bounds->upper);
+          answer.explanation += StrFormat(
+              "; plan bounds [%.6g, %.6g] over %zu plans", bounds->lower,
+              bounds->upper, bounds->num_plans);
+        }
+        return answer;
+      }
+    }
+  }
+  if (options.allow_monte_carlo) {
+    Rng rng(options.monte_carlo_seed);
+    Estimate estimate = NaiveMonteCarlo(&mgr, lineage.root, lineage.probs,
+                                        options.monte_carlo_samples, &rng);
+    answer.probability = estimate.value;
+    answer.lower = std::max(0.0, estimate.value - 2.0 * estimate.stderr_);
+    answer.upper = std::min(1.0, estimate.value + 2.0 * estimate.stderr_);
+    answer.method = InferenceMethod::kMonteCarlo;
+    answer.exact = false;
+    answer.explanation = StrFormat(
+        "Monte Carlo: %llu samples, stderr %.2g",
+        static_cast<unsigned long long>(estimate.samples), estimate.stderr_);
+    if (bounds.has_value()) {
+      answer.lower = std::max(answer.lower, bounds->lower);
+      answer.upper = std::min(answer.upper, bounds->upper);
+      answer.explanation += StrFormat(
+          "; plan bounds [%.6g, %.6g] over %zu plans", bounds->lower,
+          bounds->upper, bounds->num_plans);
+    }
+    return answer;
+  }
+  if (bounds.has_value()) {
+    answer.lower = bounds->lower;
+    answer.upper = bounds->upper;
+    answer.probability = 0.5 * (bounds->lower + bounds->upper);
+    answer.method = InferenceMethod::kPlanBounds;
+    answer.exact = false;
+    answer.explanation = StrFormat("oblivious plan bounds over %zu plans",
+                                   bounds->num_plans);
+    return answer;
+  }
+  return Status::ResourceExhausted(
+      "query is too hard for exact inference and approximation is disabled");
+}
+
+Result<double> ProbDatabase::ConditionalProbability(
+    const FoPtr& query, const FoPtr& evidence,
+    const QueryOptions& options) const {
+  FormulaManager mgr;
+  // Ground the conjunction and the evidence against one variable space:
+  // BuildLineage numbers variables per call, so ground the combined
+  // formula once and derive both roots from it via the shared manager.
+  FoPtr joint_sentence = Fo::And(query, evidence);
+  PDB_ASSIGN_OR_RETURN(Lineage joint, BuildLineage(joint_sentence, db_, &mgr));
+  DpllOptions dpll_options;
+  dpll_options.max_decisions = options.max_dpll_decisions;
+  DpllCounter joint_counter(&mgr, WeightsFromProbabilities(joint.probs),
+                            dpll_options);
+  PDB_ASSIGN_OR_RETURN(double p_joint, joint_counter.Compute(joint.root));
+
+  FormulaManager evidence_mgr;
+  PDB_ASSIGN_OR_RETURN(Lineage evidence_lineage,
+                       BuildLineage(evidence, db_, &evidence_mgr));
+  DpllCounter evidence_counter(
+      &evidence_mgr, WeightsFromProbabilities(evidence_lineage.probs),
+      dpll_options);
+  PDB_ASSIGN_OR_RETURN(double p_evidence,
+                       evidence_counter.Compute(evidence_lineage.root));
+  if (p_evidence == 0.0) {
+    return Status::InvalidArgument("evidence has probability zero");
+  }
+  return p_joint / p_evidence;
+}
+
+Result<std::vector<ProbDatabase::TupleInfluence>> ProbDatabase::TopInfluences(
+    const FoPtr& sentence, size_t k, const QueryOptions& options) const {
+  FormulaManager mgr;
+  PDB_ASSIGN_OR_RETURN(Lineage lineage, BuildLineage(sentence, db_, &mgr));
+  DpllOptions dpll_options;
+  dpll_options.max_decisions = options.max_dpll_decisions;
+  std::vector<TupleInfluence> influences;
+  for (VarId v = 0; v < lineage.vars.size(); ++v) {
+    NodeId present = mgr.Cofactor(lineage.root, v, true);
+    NodeId absent = mgr.Cofactor(lineage.root, v, false);
+    DpllCounter c1(&mgr, WeightsFromProbabilities(lineage.probs),
+                   dpll_options);
+    PDB_ASSIGN_OR_RETURN(double p1, c1.Compute(present));
+    DpllCounter c0(&mgr, WeightsFromProbabilities(lineage.probs),
+                   dpll_options);
+    PDB_ASSIGN_OR_RETURN(double p0, c0.Compute(absent));
+    const LineageVar& lv = lineage.vars[v];
+    PDB_ASSIGN_OR_RETURN(const Relation* rel, db_.Get(lv.relation));
+    influences.push_back({lv.relation, rel->tuple(lv.row), p1 - p0});
+  }
+  std::sort(influences.begin(), influences.end(),
+            [](const TupleInfluence& a, const TupleInfluence& b) {
+              return std::abs(a.influence) > std::abs(b.influence);
+            });
+  if (influences.size() > k) influences.resize(k);
+  return influences;
+}
+
+Result<QueryAnswer> ProbDatabase::QuerySqlBoolean(
+    const std::string& sql, const QueryOptions& options) const {
+  PDB_ASSIGN_OR_RETURN(CompiledSql compiled, CompileSql(sql, db_));
+  if (!compiled.boolean) {
+    return Status::InvalidArgument(
+        "query selects columns; use QuerySqlAnswers (or SELECT PROB())");
+  }
+  return QueryFo(Ucq({compiled.cq}).ToFo(), options);
+}
+
+Result<Relation> ProbDatabase::QuerySqlAnswers(
+    const std::string& sql, const QueryOptions& options) const {
+  PDB_ASSIGN_OR_RETURN(CompiledSql compiled, CompileSql(sql, db_));
+  if (compiled.boolean) {
+    return Status::InvalidArgument(
+        "SELECT PROB() is Boolean; use QuerySqlBoolean");
+  }
+  return QueryWithAnswers(compiled.cq, compiled.head_vars, options);
+}
+
+Result<Relation> ProbDatabase::QueryWithAnswers(
+    const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
+    const QueryOptions& options) const {
+  std::set<std::string> vars = cq.Variables();
+  for (const std::string& v : head_vars) {
+    if (vars.count(v) == 0) {
+      return Status::InvalidArgument(
+          StrFormat("head variable '%s' does not occur in the query",
+                    v.c_str()));
+    }
+  }
+  // Candidate answers: distinct head-tuple bindings among the CQ matches.
+  std::set<Tuple> candidates;
+  // Map head var -> (atom index, position) for extraction.
+  std::vector<std::pair<size_t, size_t>> positions;
+  for (const std::string& v : head_vars) {
+    bool found = false;
+    for (size_t i = 0; i < cq.atoms().size() && !found; ++i) {
+      const Atom& atom = cq.atoms()[i];
+      for (size_t j = 0; j < atom.args.size(); ++j) {
+        if (atom.args[j].is_variable() && atom.args[j].var() == v) {
+          positions.emplace_back(i, j);
+          found = true;
+          break;
+        }
+      }
+    }
+    PDB_CHECK(found);  // verified above: every head var occurs somewhere
+  }
+  PDB_RETURN_NOT_OK(EnumerateCqMatches(cq, db_, [&](const CqMatch& match) {
+    Tuple head;
+    head.reserve(positions.size());
+    for (const auto& [atom_idx, pos] : positions) {
+      const LineageVar& lv = match.atom_rows[atom_idx];
+      const Relation* rel = db_.Get(lv.relation).value();
+      head.push_back(rel->tuple(lv.row)[pos]);
+    }
+    candidates.insert(std::move(head));
+  }));
+
+  // Output schema: head variables typed by their first candidate (or int).
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < head_vars.size(); ++i) {
+    ValueType type = candidates.empty() ? ValueType::kInt
+                                        : (*candidates.begin())[i].type();
+    attrs.push_back({head_vars[i], type});
+  }
+  Relation out("answers", Schema(std::move(attrs)));
+  for (const Tuple& head : candidates) {
+    // Boolean residual query: substitute the head binding.
+    ConjunctiveQuery grounded = cq;
+    for (size_t i = 0; i < head_vars.size(); ++i) {
+      grounded = grounded.Substitute(head_vars[i], head[i]);
+    }
+    PDB_ASSIGN_OR_RETURN(QueryAnswer answer,
+                         QueryFo(Ucq({grounded}).ToFo(), options));
+    PDB_RETURN_NOT_OK(out.AddTuple(head, answer.probability));
+  }
+  return out;
+}
+
+}  // namespace pdb

@@ -1,0 +1,131 @@
+/// \file pdb.h
+/// \brief Public engine facade: a probabilistic database with automatic
+/// inference-strategy selection.
+///
+/// `ProbDatabase` owns a TID and answers queries by picking the best
+/// applicable method, mirroring the paper's architecture:
+///
+///   1. lifted inference (§5) — polynomial time, exact — when the query is
+///      safe;
+///   2. grounded inference (§7): lineage + DPLL-style weighted model
+///      counting — exact but possibly exponential — within a decision
+///      budget;
+///   3. otherwise approximation: extensional plan bounds (§6, for
+///      self-join-free CQs) and Monte Carlo estimation.
+///
+/// Boolean queries return a probability; non-Boolean conjunctive queries
+/// return a relation of answer tuples with their marginal probabilities.
+
+#ifndef PDB_CORE_PDB_H_
+#define PDB_CORE_PDB_H_
+
+#include <optional>
+#include <string>
+
+#include "lifted/lifted.h"
+#include "logic/parser.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// Which engine produced an answer.
+enum class InferenceMethod {
+  kLifted,
+  kGroundedExact,
+  kMonteCarlo,
+  kPlanBounds,
+};
+
+const char* InferenceMethodToString(InferenceMethod method);
+
+/// Answer to a Boolean query.
+struct QueryAnswer {
+  double probability = 0.0;
+  /// Guaranteed (or, for Monte Carlo, ±2σ) enclosure of the truth.
+  double lower = 0.0;
+  double upper = 1.0;
+  InferenceMethod method = InferenceMethod::kLifted;
+  bool exact = false;
+  std::string explanation;
+};
+
+/// Tuning for query evaluation.
+struct QueryOptions {
+  /// Try lifted inference first (turn off to force grounded evaluation).
+  bool prefer_lifted = true;
+  /// DPLL decision budget before falling back to approximation.
+  uint64_t max_dpll_decisions = 1u << 22;
+  /// Allow the Monte Carlo fallback.
+  bool allow_monte_carlo = true;
+  uint64_t monte_carlo_samples = 200000;
+  uint64_t monte_carlo_seed = 20200614;  // PODS'20 opening day
+  LiftedOptions lifted;
+};
+
+/// A tuple-independent probabilistic database plus its query engines.
+class ProbDatabase {
+ public:
+  ProbDatabase() = default;
+  explicit ProbDatabase(Database db) : db_(std::move(db)) {}
+
+  Database& database() { return db_; }
+  const Database& database() const { return db_; }
+
+  Status AddRelation(Relation relation) {
+    return db_.AddRelation(std::move(relation));
+  }
+
+  /// Parses and evaluates a Boolean query. The text may be an FO sentence
+  /// ("forall x forall y (S(x,y) => R(x))") or the datalog-style UCQ
+  /// shorthand ("R(x), S(x,y) ; T(u), S(u,v)"). Free variables are
+  /// existentially closed.
+  Result<QueryAnswer> Query(const std::string& query_text,
+                            const QueryOptions& options = {}) const;
+
+  /// Evaluates a Boolean FO sentence.
+  Result<QueryAnswer> QueryFo(const FoPtr& sentence,
+                              const QueryOptions& options = {}) const;
+
+  /// Evaluates a non-Boolean conjunctive query: `head_vars` become the
+  /// output columns, and each distinct answer tuple carries its marginal
+  /// probability. The CQ's remaining variables are existential.
+  Result<Relation> QueryWithAnswers(const ConjunctiveQuery& cq,
+                                    const std::vector<std::string>& head_vars,
+                                    const QueryOptions& options = {}) const;
+
+  /// Conditional probability P(query | evidence) — the paper's §3
+  /// mechanism for correlations: both sentences are grounded jointly and
+  /// the ratio P(query ∧ evidence) / P(evidence) is counted exactly.
+  Result<double> ConditionalProbability(const FoPtr& query,
+                                        const FoPtr& evidence,
+                                        const QueryOptions& options = {}) const;
+
+  /// Influence of each uncertain tuple on a Boolean query:
+  /// P(Q | t present) - P(Q | t absent), the sensitivity of the answer to
+  /// that tuple. Returns the `k` most influential tuples, largest absolute
+  /// influence first. Exact (lineage cofactors + DPLL).
+  struct TupleInfluence {
+    std::string relation;
+    Tuple tuple;
+    double influence = 0.0;
+  };
+  Result<std::vector<TupleInfluence>> TopInfluences(
+      const FoPtr& sentence, size_t k,
+      const QueryOptions& options = {}) const;
+
+  /// Evaluates "SELECT PROB() FROM ... WHERE ..." (see sql/sql.h).
+  Result<QueryAnswer> QuerySqlBoolean(const std::string& sql,
+                                      const QueryOptions& options = {}) const;
+
+  /// Evaluates a column-select SQL query: answer tuples with marginals.
+  Result<Relation> QuerySqlAnswers(const std::string& sql,
+                                   const QueryOptions& options = {}) const;
+
+ private:
+  Database db_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_CORE_PDB_H_

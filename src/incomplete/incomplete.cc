@@ -1,0 +1,249 @@
+#include "incomplete/incomplete.h"
+
+#include <set>
+
+#include "boolean/lineage.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+CoddTerm CoddTerm::Const(Value value) {
+  CoddTerm t;
+  t.is_null_ = false;
+  t.value_ = std::move(value);
+  return t;
+}
+
+CoddTerm CoddTerm::Null(std::string label) {
+  CoddTerm t;
+  t.is_null_ = true;
+  t.label_ = std::move(label);
+  return t;
+}
+
+const Value& CoddTerm::value() const {
+  PDB_CHECK(!is_null_);
+  return value_;
+}
+
+const std::string& CoddTerm::label() const {
+  PDB_CHECK(is_null_);
+  return label_;
+}
+
+std::string CoddTerm::ToString() const {
+  return is_null_ ? "?" + label_ : value_.ToString();
+}
+
+Status CoddRelation::AddRow(std::vector<CoddTerm> row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu does not match schema arity %zu", row.size(),
+                  schema_.arity()));
+  }
+  for (size_t j = 0; j < row.size(); ++j) {
+    if (!row[j].is_null() &&
+        row[j].value().type() != schema_.attribute(j).type) {
+      return Status::InvalidArgument(
+          StrFormat("constant in column %zu has the wrong type", j));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status IncompleteDatabase::AddRelation(CoddRelation relation) {
+  std::string name = relation.name();
+  if (relations_.count(name) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("Codd relation '%s' already exists", name.c_str()));
+  }
+  relations_.emplace(std::move(name), std::move(relation));
+  return Status::OK();
+}
+
+Result<const CoddRelation*> IncompleteDatabase::Get(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(
+        StrFormat("no Codd relation named '%s'", name.c_str()));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> IncompleteDatabase::RelationNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> IncompleteDatabase::NullLabels() const {
+  std::set<std::string> labels;
+  for (const auto& [name, rel] : relations_) {
+    for (size_t i = 0; i < rel.size(); ++i) {
+      for (const CoddTerm& t : rel.row(i)) {
+        if (t.is_null()) labels.insert(t.label());
+      }
+    }
+  }
+  return std::vector<std::string>(labels.begin(), labels.end());
+}
+
+Result<Database> IncompleteDatabase::Instantiate(
+    const std::map<std::string, Value>& valuation) const {
+  Database world;
+  for (const auto& [name, rel] : relations_) {
+    Relation instance(rel.name(), rel.schema());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      Tuple tuple;
+      tuple.reserve(rel.schema().arity());
+      for (size_t j = 0; j < rel.schema().arity(); ++j) {
+        const CoddTerm& t = rel.row(i)[j];
+        if (t.is_null()) {
+          auto it = valuation.find(t.label());
+          if (it == valuation.end()) {
+            return Status::InvalidArgument(
+                StrFormat("no value for null '%s'", t.label().c_str()));
+          }
+          if (it->second.type() != rel.schema().attribute(j).type) {
+            return Status::InvalidArgument(
+                StrFormat("null '%s' assigned a value of the wrong type",
+                          t.label().c_str()));
+          }
+          tuple.push_back(it->second);
+        } else {
+          tuple.push_back(t.value());
+        }
+      }
+      if (!instance.Contains(tuple)) {
+        PDB_RETURN_NOT_OK(instance.AddTuple(std::move(tuple), 1.0));
+      }
+    }
+    PDB_RETURN_NOT_OK(world.AddRelation(std::move(instance)));
+  }
+  return world;
+}
+
+namespace {
+
+// Fresh, pairwise-distinct value of the requested type for null index k.
+Value FreshValue(ValueType type, size_t k) {
+  switch (type) {
+    case ValueType::kInt:
+      return Value(static_cast<int64_t>(-1000000007 - static_cast<int64_t>(k)));
+    case ValueType::kDouble:
+      return Value(-1e18 - static_cast<double>(k));
+    case ValueType::kString:
+      return Value(StrFormat("__fresh_null_%zu", k));
+  }
+  return Value(0);
+}
+
+}  // namespace
+
+Result<bool> IncompleteDatabase::IsCertain(const Ucq& ucq) const {
+  // Determine each null's column type (must be used consistently).
+  std::map<std::string, ValueType> type_of;
+  for (const auto& [name, rel] : relations_) {
+    for (size_t i = 0; i < rel.size(); ++i) {
+      for (size_t j = 0; j < rel.schema().arity(); ++j) {
+        const CoddTerm& t = rel.row(i)[j];
+        if (!t.is_null()) continue;
+        ValueType type = rel.schema().attribute(j).type;
+        auto [it, inserted] = type_of.emplace(t.label(), type);
+        if (!inserted && it->second != type) {
+          return Status::Unsupported(
+              StrFormat("null '%s' is used in columns of different types",
+                        t.label().c_str()));
+        }
+      }
+    }
+  }
+  std::map<std::string, Value> naive;
+  size_t k = 0;
+  for (const auto& [label, type] : type_of) {
+    naive.emplace(label, FreshValue(type, k++));
+  }
+  PDB_ASSIGN_OR_RETURN(Database world, Instantiate(naive));
+  // Any match of any disjunct makes the (monotone) query true.
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    bool found = false;
+    PDB_RETURN_NOT_OK(EnumerateCqMatches(
+        cq, world, [&](const CqMatch&) { found = true; }));
+    if (found) return true;
+  }
+  return false;
+}
+
+namespace {
+
+Result<bool> ForAllValuations(
+    const IncompleteDatabase& db, const Ucq& ucq,
+    const std::vector<Value>& domain, size_t max_worlds, bool stop_on,
+    bool* result) {
+  std::vector<std::string> labels = db.NullLabels();
+  size_t total = 1;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (domain.empty()) {
+      return Status::InvalidArgument("empty valuation domain with nulls");
+    }
+    if (total > max_worlds / domain.size()) {
+      return Status::ResourceExhausted("too many null valuations");
+    }
+    total *= domain.size();
+  }
+  for (size_t combo = 0; combo < total; ++combo) {
+    std::map<std::string, Value> valuation;
+    size_t rest = combo;
+    for (const std::string& label : labels) {
+      valuation.emplace(label, domain[rest % domain.size()]);
+      rest /= domain.size();
+    }
+    auto world = db.Instantiate(valuation);
+    if (!world.ok()) continue;  // type-incompatible valuation: skip
+    bool holds = false;
+    for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+      Status st = EnumerateCqMatches(cq, *world,
+                                     [&](const CqMatch&) { holds = true; });
+      PDB_RETURN_NOT_OK(st);
+      if (holds) break;
+    }
+    if (holds == stop_on) {
+      *result = stop_on;
+      return true;  // short-circuit
+    }
+  }
+  *result = !stop_on;
+  return true;
+}
+
+}  // namespace
+
+Result<bool> IncompleteDatabase::IsCertainByEnumeration(
+    const Ucq& ucq, const std::vector<Value>& domain,
+    size_t max_worlds) const {
+  bool result = false;
+  // Certain iff no valuation falsifies the query: the scan stops early on
+  // the first world where the query fails (result = false); if every world
+  // satisfies it, result = true.
+  PDB_ASSIGN_OR_RETURN(bool ok, ForAllValuations(*this, ucq, domain,
+                                                 max_worlds,
+                                                 /*stop_on=*/false, &result));
+  (void)ok;
+  return result;
+}
+
+Result<bool> IncompleteDatabase::IsPossible(const Ucq& ucq,
+                                            const std::vector<Value>& domain,
+                                            size_t max_worlds) const {
+  bool result = false;
+  PDB_ASSIGN_OR_RETURN(bool ok, ForAllValuations(*this, ucq, domain,
+                                                 max_worlds,
+                                                 /*stop_on=*/true, &result));
+  (void)ok;
+  return result;
+}
+
+}  // namespace pdb

@@ -1,0 +1,106 @@
+/// \file incomplete.h
+/// \brief Incomplete databases and certain answers (paper §9).
+///
+/// An incomplete database is a set of possible worlds *without*
+/// probabilities — "a probabilistic database without the probabilities".
+/// This module implements the classic Codd-table representation: relations
+/// whose tuples may contain labelled nulls; every assignment of domain
+/// constants to nulls yields one possible world.
+///
+/// A Boolean query is *certain* iff it holds in every possible world. For
+/// monotone queries (UCQs) certainty is decided by naive evaluation
+/// (Imielinski–Lipski): treat each null as a fresh distinct constant and
+/// evaluate normally. `IsCertain` implements that; `IsCertainByEnumeration`
+/// is the exponential oracle used to validate it in tests.
+
+#ifndef PDB_INCOMPLETE_INCOMPLETE_H_
+#define PDB_INCOMPLETE_INCOMPLETE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logic/cq.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// A cell of a Codd table: a constant or a labelled null.
+class CoddTerm {
+ public:
+  static CoddTerm Const(Value value);
+  /// Labelled null; equal labels denote the same unknown value.
+  static CoddTerm Null(std::string label);
+
+  bool is_null() const { return is_null_; }
+  const Value& value() const;
+  const std::string& label() const;
+
+  std::string ToString() const;
+
+ private:
+  bool is_null_ = false;
+  Value value_;
+  std::string label_;
+};
+
+/// A relation whose tuples may contain labelled nulls.
+class CoddRelation {
+ public:
+  CoddRelation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  const std::vector<CoddTerm>& row(size_t i) const { return rows_[i]; }
+
+  /// Adds a row; constants must match the schema types.
+  Status AddRow(std::vector<CoddTerm> row);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<CoddTerm>> rows_;
+};
+
+/// An incomplete database: Codd tables over a shared null namespace.
+class IncompleteDatabase {
+ public:
+  Status AddRelation(CoddRelation relation);
+  Result<const CoddRelation*> Get(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+
+  /// Sorted labels of all nulls appearing anywhere.
+  std::vector<std::string> NullLabels() const;
+
+  /// The possible world obtained by substituting `valuation[label]` for
+  /// each null (labels missing from the map are an error). Duplicate rows
+  /// collapse (set semantics).
+  Result<Database> Instantiate(
+      const std::map<std::string, Value>& valuation) const;
+
+  /// Certain answer for a monotone UCQ by naive evaluation: nulls become
+  /// fresh distinct constants, then the query is evaluated normally.
+  Result<bool> IsCertain(const Ucq& ucq) const;
+
+  /// Certainty by enumerating all valuations of the nulls over `domain`
+  /// (the oracle; exponential, guarded by `max_worlds`). For monotone
+  /// queries over a domain containing fresh constants this agrees with
+  /// IsCertain.
+  Result<bool> IsCertainByEnumeration(const Ucq& ucq,
+                                      const std::vector<Value>& domain,
+                                      size_t max_worlds = 1000000) const;
+
+  /// True iff some valuation satisfies the query (the "possible" modality).
+  Result<bool> IsPossible(const Ucq& ucq, const std::vector<Value>& domain,
+                          size_t max_worlds = 1000000) const;
+
+ private:
+  std::map<std::string, CoddRelation> relations_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_INCOMPLETE_INCOMPLETE_H_

@@ -1,0 +1,315 @@
+#include "kc/circuit.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+Circuit::Circuit() {
+  nodes_.push_back({CircuitKind::kFalse, true, 0, {}});
+  nodes_.push_back({CircuitKind::kTrue, true, 0, {}});
+}
+
+Circuit::Ref Circuit::AddNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<Ref>(nodes_.size() - 1);
+}
+
+Circuit::Ref Circuit::Literal(VarId var, bool positive) {
+  return AddNode({CircuitKind::kLiteral, positive, var, {}});
+}
+
+Circuit::Ref Circuit::Decision(VarId var, Ref lo, Ref hi) {
+  return AddNode({CircuitKind::kDecision, true, var, {lo, hi}});
+}
+
+Circuit::Ref Circuit::And(std::vector<Ref> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return children[0];
+  return AddNode({CircuitKind::kAnd, true, 0, std::move(children)});
+}
+
+Circuit::Ref Circuit::Or(std::vector<Ref> children) {
+  if (children.empty()) return False();
+  if (children.size() == 1) return children[0];
+  return AddNode({CircuitKind::kOr, true, 0, std::move(children)});
+}
+
+size_t Circuit::Size(Ref f) const {
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    Ref cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    for (Ref c : nodes_[cur].children) stack.push_back(c);
+  }
+  return seen.size();
+}
+
+size_t Circuit::EdgeCount(Ref f) const {
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{f};
+  size_t edges = 0;
+  while (!stack.empty()) {
+    Ref cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    edges += nodes_[cur].children.size();
+    for (Ref c : nodes_[cur].children) stack.push_back(c);
+  }
+  return edges;
+}
+
+const std::vector<VarId>& Circuit::VarsOf(Ref f) {
+  auto it = vars_cache_.find(f);
+  if (it != vars_cache_.end()) return it->second;
+  std::vector<VarId> vars;
+  const Node& n = nodes_[f];
+  if (n.kind == CircuitKind::kLiteral || n.kind == CircuitKind::kDecision) {
+    vars.push_back(n.var);
+  }
+  for (Ref c : n.children) {
+    const std::vector<VarId>& sub = VarsOf(c);
+    std::vector<VarId> merged;
+    merged.reserve(vars.size() + sub.size());
+    std::set_union(vars.begin(), vars.end(), sub.begin(), sub.end(),
+                   std::back_inserter(merged));
+    vars = std::move(merged);
+  }
+  return vars_cache_.emplace(f, std::move(vars)).first->second;
+}
+
+double Circuit::Wmc(Ref f, const WeightMap& weights) {
+  std::unordered_map<Ref, double> memo;
+  // Product of (w+w̄) over vars in `all` missing from `sub`, optionally
+  // skipping `decided`.
+  auto freed = [&](const std::vector<VarId>& all, const std::vector<VarId>& sub,
+                   VarId decided, bool has_decided) {
+    double prod = 1.0;
+    size_t j = 0;
+    for (VarId v : all) {
+      while (j < sub.size() && sub[j] < v) ++j;
+      bool in_sub = j < sub.size() && sub[j] == v;
+      if (!in_sub && !(has_decided && v == decided)) {
+        prod *= weights[v].sum();
+      }
+    }
+    return prod;
+  };
+  std::function<double(Ref)> eval = [&](Ref node) -> double {
+    const Node& n = nodes_[node];
+    switch (n.kind) {
+      case CircuitKind::kFalse:
+        return 0.0;
+      case CircuitKind::kTrue:
+        return 1.0;
+      case CircuitKind::kLiteral:
+        return n.positive ? weights[n.var].w_true : weights[n.var].w_false;
+      default:
+        break;
+    }
+    auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    double result = 0.0;
+    const std::vector<VarId> all = VarsOf(node);
+    switch (n.kind) {
+      case CircuitKind::kDecision: {
+        double lo_val = eval(n.children[0]) *
+                        freed(all, VarsOf(n.children[0]), n.var, true);
+        double hi_val = eval(n.children[1]) *
+                        freed(all, VarsOf(n.children[1]), n.var, true);
+        result = weights[n.var].w_false * lo_val +
+                 weights[n.var].w_true * hi_val;
+        break;
+      }
+      case CircuitKind::kAnd: {
+        // Independent AND: children's variable sets partition vars(node).
+        result = 1.0;
+        for (Ref c : n.children) result *= eval(c);
+        break;
+      }
+      case CircuitKind::kOr: {
+        // Deterministic OR: children are disjoint events; each child's
+        // count is promoted to the full variable set of this node.
+        for (Ref c : n.children) {
+          result += eval(c) * freed(all, VarsOf(c), 0, false);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    memo.emplace(node, result);
+    return result;
+  };
+  return eval(f);
+}
+
+BigInt Circuit::CountModels(Ref f) {
+  // Model count relative to vars(node), then promoted by the caller.
+  std::unordered_map<Ref, BigInt> memo;
+  auto freed_count = [&](const std::vector<VarId>& all,
+                         const std::vector<VarId>& sub, VarId decided,
+                         bool has_decided) {
+    int missing = 0;
+    size_t j = 0;
+    for (VarId v : all) {
+      while (j < sub.size() && sub[j] < v) ++j;
+      bool in_sub = j < sub.size() && sub[j] == v;
+      if (!in_sub && !(has_decided && v == decided)) ++missing;
+    }
+    return BigInt::Pow2(missing);
+  };
+  std::function<BigInt(Ref)> eval = [&](Ref node) -> BigInt {
+    const Node& n = nodes_[node];
+    switch (n.kind) {
+      case CircuitKind::kFalse:
+        return BigInt(0);
+      case CircuitKind::kTrue:
+        return BigInt(1);
+      case CircuitKind::kLiteral:
+        return BigInt(1);
+      default:
+        break;
+    }
+    auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    BigInt result;
+    const std::vector<VarId> all = VarsOf(node);
+    switch (n.kind) {
+      case CircuitKind::kDecision: {
+        BigInt lo_val =
+            eval(n.children[0]) *
+            freed_count(all, VarsOf(n.children[0]), n.var, true);
+        BigInt hi_val =
+            eval(n.children[1]) *
+            freed_count(all, VarsOf(n.children[1]), n.var, true);
+        result = lo_val + hi_val;
+        break;
+      }
+      case CircuitKind::kAnd: {
+        result = BigInt(1);
+        for (Ref c : n.children) result *= eval(c);
+        break;
+      }
+      case CircuitKind::kOr: {
+        for (Ref c : n.children) {
+          result += eval(c) * freed_count(all, VarsOf(c), 0, false);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    memo.emplace(node, result);
+    return result;
+  };
+  return eval(f);
+}
+
+bool Circuit::Evaluate(Ref f, const std::vector<bool>& assignment) const {
+  const Node& n = nodes_[f];
+  switch (n.kind) {
+    case CircuitKind::kFalse:
+      return false;
+    case CircuitKind::kTrue:
+      return true;
+    case CircuitKind::kLiteral: {
+      bool value = n.var < assignment.size() && assignment[n.var];
+      return n.positive ? value : !value;
+    }
+    case CircuitKind::kDecision: {
+      bool value = n.var < assignment.size() && assignment[n.var];
+      return Evaluate(value ? n.children[1] : n.children[0], assignment);
+    }
+    case CircuitKind::kAnd:
+      for (Ref c : n.children) {
+        if (!Evaluate(c, assignment)) return false;
+      }
+      return true;
+    case CircuitKind::kOr:
+      for (Ref c : n.children) {
+        if (Evaluate(c, assignment)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+Status PathCheck(const Circuit& circuit, Circuit::Ref node,
+                 std::set<VarId>* path, bool allow_and) {
+  CircuitKind k = circuit.kind(node);
+  switch (k) {
+    case CircuitKind::kFalse:
+    case CircuitKind::kTrue:
+      return Status::OK();
+    case CircuitKind::kLiteral:
+      return Status::InvalidArgument("literal leaves are not FBDD nodes");
+    case CircuitKind::kDecision: {
+      VarId v = circuit.var(node);
+      if (!path->insert(v).second) {
+        return Status::InvalidArgument(
+            StrFormat("variable x%u repeated along a path", v));
+      }
+      Status lo = PathCheck(circuit, circuit.lo(node), path, allow_and);
+      if (lo.ok()) lo = PathCheck(circuit, circuit.hi(node), path, allow_and);
+      path->erase(v);
+      return lo;
+    }
+    case CircuitKind::kAnd: {
+      if (!allow_and) {
+        return Status::InvalidArgument("AND node in a plain FBDD");
+      }
+      for (Circuit::Ref c : circuit.children(node)) {
+        PDB_RETURN_NOT_OK(PathCheck(circuit, c, path, allow_and));
+      }
+      return Status::OK();
+    }
+    case CircuitKind::kOr:
+      return Status::InvalidArgument("OR node in a decision circuit");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Circuit::ValidateFbdd(Ref f) const {
+  std::set<VarId> path;
+  return PathCheck(*this, f, &path, /*allow_and=*/false);
+}
+
+Status Circuit::ValidateDecisionDnnf(Ref f) {
+  std::set<VarId> path;
+  PDB_RETURN_NOT_OK(PathCheck(*this, f, &path, /*allow_and=*/true));
+  // AND children must have pairwise disjoint variable sets.
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    Ref cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    if (kind(cur) == CircuitKind::kAnd) {
+      std::set<VarId> used;
+      for (Ref c : children(cur)) {
+        for (VarId v : VarsOf(c)) {
+          if (!used.insert(v).second) {
+            return Status::InvalidArgument(StrFormat(
+                "AND children share variable x%u (not decomposable)", v));
+          }
+        }
+      }
+    }
+    for (Ref c : children(cur)) stack.push_back(c);
+  }
+  return Status::OK();
+}
+
+}  // namespace pdb

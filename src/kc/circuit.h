@@ -1,0 +1,105 @@
+/// \file circuit.h
+/// \brief Knowledge-compilation circuits: FBDD, decision-DNNF, d-DNNF
+/// (paper §7, Fig. 2).
+///
+/// One node store covers the whole family:
+///  * FBDD: decision nodes only, no variable repeated along a path;
+///  * decision-DNNF: FBDD plus independent-AND nodes (children with
+///    disjoint variable sets);
+///  * d-DNNF: adds deterministic-OR nodes (children pairwise disjoint as
+///    events) and literal leaves.
+/// `ValidateFbdd` / `ValidateDecisionDnnf` check the structural invariants;
+/// WMC is linear in the circuit size.
+
+#ifndef PDB_KC_CIRCUIT_H_
+#define PDB_KC_CIRCUIT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "boolean/formula.h"
+#include "util/status.h"
+#include "wmc/weights.h"
+
+namespace pdb {
+
+enum class CircuitKind : uint8_t {
+  kFalse,
+  kTrue,
+  kLiteral,   ///< a variable or its negation
+  kDecision,  ///< Shannon node: if var then hi else lo
+  kAnd,       ///< independent conjunction (disjoint variable sets)
+  kOr,        ///< deterministic disjunction (disjoint events)
+};
+
+/// A DAG of circuit nodes. Node 0 is false, node 1 is true.
+class Circuit {
+ public:
+  using Ref = uint32_t;
+  static constexpr Ref kFalseRef = 0;
+  static constexpr Ref kTrueRef = 1;
+
+  Circuit();
+
+  Ref False() const { return kFalseRef; }
+  Ref True() const { return kTrueRef; }
+  Ref Literal(VarId var, bool positive);
+  Ref Decision(VarId var, Ref lo, Ref hi);
+  Ref And(std::vector<Ref> children);
+  Ref Or(std::vector<Ref> children);
+
+  CircuitKind kind(Ref f) const { return nodes_[f].kind; }
+  VarId var(Ref f) const { return nodes_[f].var; }
+  bool literal_positive(Ref f) const { return nodes_[f].positive; }
+  Ref lo(Ref f) const { return nodes_[f].children[0]; }
+  Ref hi(Ref f) const { return nodes_[f].children[1]; }
+  const std::vector<Ref>& children(Ref f) const { return nodes_[f].children; }
+
+  /// Number of nodes reachable from `f` (terminals included).
+  size_t Size(Ref f) const;
+  /// Number of edges reachable from `f`.
+  size_t EdgeCount(Ref f) const;
+  /// Total nodes in the store.
+  size_t TotalNodes() const { return nodes_.size(); }
+
+  /// Sorted distinct variables below `f` (cached).
+  const std::vector<VarId>& VarsOf(Ref f);
+
+  /// Weighted model count relative to vars(f); with probability weights
+  /// this is the probability of the represented function.
+  double Wmc(Ref f, const WeightMap& weights);
+
+  /// Exact model count over exactly vars(root) (2^|free| counted for
+  /// don't-care variables below decision branches).
+  BigInt CountModels(Ref f);
+
+  /// Evaluates the circuit under an assignment.
+  bool Evaluate(Ref f, const std::vector<bool>& assignment) const;
+
+  /// Checks FBDD-ness: only decision nodes/terminals, and no path from `f`
+  /// repeats a variable.
+  Status ValidateFbdd(Ref f) const;
+
+  /// Checks decision-DNNF-ness: decision/AND/terminals, AND children have
+  /// pairwise disjoint variable sets, and no path repeats a decision
+  /// variable.
+  Status ValidateDecisionDnnf(Ref f);
+
+ private:
+  struct Node {
+    CircuitKind kind;
+    bool positive = true;
+    VarId var = 0;
+    std::vector<Ref> children;
+  };
+
+  Ref AddNode(Node node);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Ref, std::vector<VarId>> vars_cache_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_KC_CIRCUIT_H_

@@ -1,0 +1,184 @@
+#include "kc/obdd.h"
+
+#include <functional>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+size_t Obdd::NodeKeyHash::operator()(
+    const std::tuple<uint32_t, Ref, Ref>& k) const {
+  return HashValues(std::get<0>(k), std::get<1>(k), std::get<2>(k));
+}
+
+size_t Obdd::OpKeyHash::operator()(const std::tuple<int, Ref, Ref>& k) const {
+  return HashValues(std::get<0>(k), std::get<1>(k), std::get<2>(k));
+}
+
+Obdd::Obdd(std::vector<VarId> order) : order_(std::move(order)) {
+  for (uint32_t i = 0; i < order_.size(); ++i) {
+    PDB_CHECK(level_of_var_.emplace(order_[i], i).second);
+  }
+  nodes_.push_back({UINT32_MAX, 0, 0});  // terminal false (placeholder)
+  nodes_.push_back({UINT32_MAX, 0, 0});  // terminal true (placeholder)
+}
+
+Obdd::Ref Obdd::MakeNode(uint32_t level, Ref lo, Ref hi) {
+  if (lo == hi) return lo;  // reduction rule
+  auto key = std::make_tuple(level, lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({level, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+Obdd::Ref Obdd::Apply(OpCode op, Ref a, Ref b) {
+  // Terminal cases.
+  if (op == kOpNot) {
+    if (a == kFalse) return kTrue;
+    if (a == kTrue) return kFalse;
+  } else if (op == kOpAnd) {
+    if (a == kFalse || b == kFalse) return kFalse;
+    if (a == kTrue) return b;
+    if (b == kTrue) return a;
+    if (a == b) return a;
+    if (a > b) std::swap(a, b);  // commutative: canonicalize the cache key
+  } else {  // kOpOr
+    if (a == kTrue || b == kTrue) return kTrue;
+    if (a == kFalse) return b;
+    if (b == kFalse) return a;
+    if (a == b) return a;
+    if (a > b) std::swap(a, b);
+  }
+  auto key = std::make_tuple(static_cast<int>(op), a, b);
+  auto it = op_cache_.find(key);
+  if (it != op_cache_.end()) return it->second;
+  Ref result;
+  if (op == kOpNot) {
+    const Node& n = nodes_[a];
+    result = MakeNode(n.level, Apply(kOpNot, n.lo, 0), Apply(kOpNot, n.hi, 0));
+  } else {
+    uint32_t la = level(a);
+    uint32_t lb = level(b);
+    uint32_t top = std::min(la, lb);
+    Ref a_lo = la == top ? nodes_[a].lo : a;
+    Ref a_hi = la == top ? nodes_[a].hi : a;
+    Ref b_lo = lb == top ? nodes_[b].lo : b;
+    Ref b_hi = lb == top ? nodes_[b].hi : b;
+    result = MakeNode(top, Apply(op, a_lo, b_lo), Apply(op, a_hi, b_hi));
+  }
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+Obdd::Ref Obdd::And(Ref a, Ref b) { return Apply(kOpAnd, a, b); }
+Obdd::Ref Obdd::Or(Ref a, Ref b) { return Apply(kOpOr, a, b); }
+Obdd::Ref Obdd::Not(Ref a) { return Apply(kOpNot, a, 0); }
+
+Result<Obdd::Ref> Obdd::Compile(FormulaManager* mgr, NodeId root) {
+  switch (mgr->kind(root)) {
+    case FormulaKind::kFalse:
+      return False();
+    case FormulaKind::kTrue:
+      return True();
+    case FormulaKind::kVar: {
+      auto it = level_of_var_.find(mgr->var(root));
+      if (it == level_of_var_.end()) {
+        return Status::InvalidArgument(
+            StrFormat("variable x%u missing from the OBDD order",
+                      mgr->var(root)));
+      }
+      return MakeNode(it->second, kFalse, kTrue);
+    }
+    case FormulaKind::kNot: {
+      PDB_ASSIGN_OR_RETURN(Ref c, Compile(mgr, mgr->children(root)[0]));
+      return Not(c);
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      bool is_and = mgr->kind(root) == FormulaKind::kAnd;
+      Ref acc = is_and ? kTrue : kFalse;
+      for (NodeId c : mgr->children(root)) {
+        PDB_ASSIGN_OR_RETURN(Ref compiled, Compile(mgr, c));
+        acc = is_and ? And(acc, compiled) : Or(acc, compiled);
+      }
+      return acc;
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+size_t Obdd::Size(Ref f) const {
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{f};
+  size_t count = 0;
+  while (!stack.empty()) {
+    Ref cur = stack.back();
+    stack.pop_back();
+    if (cur <= 1 || !seen.insert(cur).second) continue;
+    ++count;
+    stack.push_back(nodes_[cur].lo);
+    stack.push_back(nodes_[cur].hi);
+  }
+  return count;
+}
+
+double Obdd::Wmc(Ref f, const WeightMap& weights) {
+  // wmc(node) is relative to the levels from node.level to the bottom;
+  // skipped levels between a node and its children contribute (w + w̄).
+  std::unordered_map<Ref, double> memo;
+  // Product of (w + w̄) over the levels in [from, to): the weight mass of
+  // variables skipped between a node and its child (don't-cares). Computed
+  // directly (not via suffix-quotients) so zero-sum weights — e.g. the
+  // skolemization pair (1, -1) — stay exact.
+  auto skip_product = [&](uint32_t from, uint32_t to) {
+    double prod = 1.0;
+    for (uint32_t l = from; l < to; ++l) prod *= weights[order_[l]].sum();
+    return prod;
+  };
+  std::function<double(Ref)> eval = [&](Ref node) -> double {
+    if (node == kFalse) return 0.0;
+    if (node == kTrue) return 1.0;
+    auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[node];
+    VarId v = order_[n.level];
+    auto branch = [&](Ref child) {
+      return eval(child) * skip_product(n.level + 1, level(child));
+    };
+    double result = weights[v].w_false * branch(n.lo) +
+                    weights[v].w_true * branch(n.hi);
+    memo.emplace(node, result);
+    return result;
+  };
+  // The root may itself start below level 0.
+  return eval(f) * skip_product(0, level(f));
+}
+
+BigInt Obdd::CountModels(Ref f) {
+  std::unordered_map<Ref, BigInt> memo;
+  std::function<BigInt(Ref)> eval = [&](Ref node) -> BigInt {
+    if (node == kFalse) return BigInt(0);
+    if (node == kTrue) return BigInt(1);
+    auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[node];
+    auto branch = [&](Ref child) {
+      BigInt value = eval(child);
+      uint32_t skipped = level(child) - n.level - 1;
+      return value * BigInt::Pow2(static_cast<int>(skipped));
+    };
+    BigInt result = branch(n.lo) + branch(n.hi);
+    memo.emplace(node, result);
+    return result;
+  };
+  BigInt value = eval(f);
+  return value * BigInt::Pow2(static_cast<int>(level(f)));
+}
+
+}  // namespace pdb

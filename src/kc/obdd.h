@@ -1,0 +1,93 @@
+/// \file obdd.h
+/// \brief Ordered Binary Decision Diagrams (paper §7).
+///
+/// A reduced OBDD with an explicit variable order: levels 0..n-1 map to
+/// VarIds. Standard unique-table construction with a memoized Apply.
+/// Theorem 7.1(i): hierarchical self-join-free CQ lineages admit linear-size
+/// OBDDs under the right order, non-hierarchical ones are exponential under
+/// every order — kc/order.h provides the orders, bench_compilation measures
+/// the sizes.
+
+#ifndef PDB_KC_OBDD_H_
+#define PDB_KC_OBDD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "boolean/formula.h"
+#include "wmc/weights.h"
+
+namespace pdb {
+
+/// An OBDD manager over a fixed variable order.
+class Obdd {
+ public:
+  using Ref = uint32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  /// `order[level]` is the VarId tested at that level (root level 0).
+  /// Every variable of any formula compiled later must appear in the order.
+  explicit Obdd(std::vector<VarId> order);
+
+  Ref False() const { return kFalse; }
+  Ref True() const { return kTrue; }
+
+  /// The (reduced, unique) node testing `level` with the given branches.
+  Ref MakeNode(uint32_t level, Ref lo, Ref hi);
+
+  /// Compiles a formula into the OBDD via bottom-up Apply.
+  Result<Ref> Compile(FormulaManager* mgr, NodeId root);
+
+  Ref And(Ref a, Ref b);
+  Ref Or(Ref a, Ref b);
+  Ref Not(Ref a);
+
+  /// Number of decision nodes reachable from `f` (terminals excluded).
+  size_t Size(Ref f) const;
+
+  /// Total nodes ever created (terminals excluded).
+  size_t TotalNodes() const { return nodes_.size() - 2; }
+
+  /// Weighted model count relative to all variables in the order.
+  /// With probability weights this is the probability of the function.
+  double Wmc(Ref f, const WeightMap& weights);
+
+  /// Exact model count over all 2^n assignments of the ordered variables.
+  BigInt CountModels(Ref f);
+
+  uint32_t num_levels() const { return static_cast<uint32_t>(order_.size()); }
+  VarId var_at_level(uint32_t level) const { return order_[level]; }
+
+ private:
+  struct Node {
+    uint32_t level;
+    Ref lo;
+    Ref hi;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const std::tuple<uint32_t, Ref, Ref>& k) const;
+  };
+  struct OpKeyHash {
+    size_t operator()(const std::tuple<int, Ref, Ref>& k) const;
+  };
+
+  uint32_t level(Ref f) const {
+    return f <= 1 ? num_levels() : nodes_[f].level;
+  }
+
+  enum OpCode { kOpAnd = 0, kOpOr = 1, kOpNot = 2 };
+  Ref Apply(OpCode op, Ref a, Ref b);
+
+  std::vector<VarId> order_;
+  std::unordered_map<VarId, uint32_t> level_of_var_;
+  std::vector<Node> nodes_;  // [0]/[1] are placeholder terminals
+  std::unordered_map<std::tuple<uint32_t, Ref, Ref>, Ref, NodeKeyHash>
+      unique_;
+  std::unordered_map<std::tuple<int, Ref, Ref>, Ref, OpKeyHash> op_cache_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_KC_OBDD_H_

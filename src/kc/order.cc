@@ -1,0 +1,95 @@
+#include "kc/order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "kc/obdd.h"
+#include "util/check.h"
+
+namespace pdb {
+
+std::vector<VarId> IdentityOrder(size_t num_vars) {
+  std::vector<VarId> order(num_vars);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<VarId> OrderByTupleKey(
+    const Lineage& lineage, const Database& db,
+    const std::function<std::string(const LineageVar&, const Tuple&)>& key) {
+  std::vector<std::pair<std::string, VarId>> keyed;
+  keyed.reserve(lineage.vars.size());
+  for (VarId v = 0; v < lineage.vars.size(); ++v) {
+    const LineageVar& lv = lineage.vars[v];
+    const Relation* rel = db.Get(lv.relation).value();
+    std::string k = key(lv, rel->tuple(lv.row));
+    // Relation name and row break ties deterministically.
+    keyed.emplace_back(k + "\x01" + lv.relation + "\x01" +
+                           std::to_string(lv.row),
+                       v);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<VarId> order;
+  order.reserve(keyed.size());
+  for (const auto& [k, v] : keyed) order.push_back(v);
+  return order;
+}
+
+std::vector<VarId> HierarchicalOrder(const Lineage& lineage,
+                                     const Database& db, size_t root_col) {
+  return OrderByTupleKey(
+      lineage, db, [root_col](const LineageVar& lv, const Tuple& tuple) {
+        (void)lv;
+        return root_col < tuple.size() ? tuple[root_col].ToString()
+                                       : std::string();
+      });
+}
+
+std::vector<std::vector<VarId>> AllOrders(size_t num_vars) {
+  PDB_CHECK(num_vars <= 8);
+  std::vector<VarId> order = IdentityOrder(num_vars);
+  std::vector<std::vector<VarId>> out;
+  do {
+    out.push_back(order);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+namespace {
+
+// Compiles `root` under `order` and returns the OBDD size.
+Result<size_t> SizeUnderOrder(FormulaManager* mgr, NodeId root,
+                              const std::vector<VarId>& order) {
+  Obdd obdd(order);
+  PDB_ASSIGN_OR_RETURN(Obdd::Ref compiled, obdd.Compile(mgr, root));
+  return obdd.Size(compiled);
+}
+
+}  // namespace
+
+Result<std::vector<VarId>> GreedySwapOrderSearch(FormulaManager* mgr,
+                                                 NodeId root,
+                                                 std::vector<VarId> initial,
+                                                 size_t max_passes,
+                                                 size_t* best_size) {
+  PDB_ASSIGN_OR_RETURN(size_t current, SizeUnderOrder(mgr, root, initial));
+  for (size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (size_t i = 0; i + 1 < initial.size(); ++i) {
+      std::swap(initial[i], initial[i + 1]);
+      PDB_ASSIGN_OR_RETURN(size_t candidate,
+                           SizeUnderOrder(mgr, root, initial));
+      if (candidate < current) {
+        current = candidate;
+        improved = true;
+      } else {
+        std::swap(initial[i], initial[i + 1]);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+  if (best_size != nullptr) *best_size = current;
+  return initial;
+}
+
+}  // namespace pdb

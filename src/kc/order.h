@@ -1,0 +1,55 @@
+/// \file order.h
+/// \brief Variable orders for OBDD compilation.
+///
+/// Theorem 7.1(i): for a hierarchical self-join-free CQ the lineage admits a
+/// linear-size OBDD — under an order that keeps each root-variable block
+/// contiguous. `HierarchicalOrder` derives such an order from lineage
+/// metadata; `IdentityOrder` is the baseline.
+
+#ifndef PDB_KC_ORDER_H_
+#define PDB_KC_ORDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "boolean/lineage.h"
+#include "storage/database.h"
+
+namespace pdb {
+
+/// Variables 0..n-1 in index order.
+std::vector<VarId> IdentityOrder(size_t num_vars);
+
+/// Orders lineage variables by a caller-supplied key: variables are sorted
+/// by (key, relation, row), so equal keys form contiguous blocks. The key
+/// function receives each variable's origin and its tuple.
+std::vector<VarId> OrderByTupleKey(
+    const Lineage& lineage, const Database& db,
+    const std::function<std::string(const LineageVar&, const Tuple&)>& key);
+
+/// The hierarchical order for a two-level CQ like R(x), S(x,y): blocks
+/// grouped by the value in column `root_col` of every relation (column 0 by
+/// default) — R(a) adjacent to all S(a, *).
+std::vector<VarId> HierarchicalOrder(const Lineage& lineage,
+                                     const Database& db, size_t root_col = 0);
+
+/// All permutations of the variables (for exhaustively verifying the
+/// every-order lower bound on small instances). n! entries; n must be <= 8.
+std::vector<std::vector<VarId>> AllOrders(size_t num_vars);
+
+/// Local search over variable orders (a compile-based stand-in for BDD
+/// sifting): starting from `initial`, repeatedly tries swapping adjacent
+/// positions and keeps any swap that shrinks the compiled OBDD, until a
+/// pass makes no progress or `max_passes` is reached. Returns the best
+/// order found and its size via `best_size`. Each probe recompiles the
+/// formula, so use on moderate instances.
+Result<std::vector<VarId>> GreedySwapOrderSearch(FormulaManager* mgr,
+                                                 NodeId root,
+                                                 std::vector<VarId> initial,
+                                                 size_t max_passes,
+                                                 size_t* best_size);
+
+}  // namespace pdb
+
+#endif  // PDB_KC_ORDER_H_

@@ -1,0 +1,19 @@
+#include "kc/trace_compiler.h"
+
+namespace pdb {
+
+Result<DecisionDnnfResult> CompileToDecisionDnnf(FormulaManager* mgr,
+                                                 NodeId root,
+                                                 const WeightMap& weights,
+                                                 DpllOptions options) {
+  DecisionDnnfResult result;
+  CircuitTraceSink sink(&result.circuit);
+  options.trace = &sink;
+  DpllCounter counter(mgr, weights, options);
+  PDB_ASSIGN_OR_RETURN(result.probability, counter.Compute(root));
+  result.root = static_cast<Circuit::Ref>(counter.root_trace());
+  result.stats = counter.stats();
+  return result;
+}
+
+}  // namespace pdb

@@ -1,0 +1,74 @@
+/// \file trace_compiler.h
+/// \brief DPLL trace -> decision-DNNF compilation (paper §7).
+///
+/// Huang & Darwiche: the trace of a DPLL-style algorithm with caching and
+/// components *is* a decision-DNNF. `CircuitTraceSink` materializes the
+/// trace into a `Circuit`; `CompileToDecisionDnnf` runs the counter and
+/// returns the circuit, so the circuit's size is exactly the runtime-trace
+/// size that Theorem 7.1(ii) lower-bounds.
+
+#ifndef PDB_KC_TRACE_COMPILER_H_
+#define PDB_KC_TRACE_COMPILER_H_
+
+#include <map>
+#include <tuple>
+
+#include "kc/circuit.h"
+#include "wmc/dpll.h"
+
+namespace pdb {
+
+/// Builds circuit nodes from DPLL trace callbacks, deduplicating on
+/// structure so cache hits share subcircuits.
+class CircuitTraceSink : public DpllTraceSink {
+ public:
+  explicit CircuitTraceSink(Circuit* circuit) : circuit_(circuit) {}
+
+  Ref TrueNode() override { return Circuit::kTrueRef; }
+  Ref FalseNode() override { return Circuit::kFalseRef; }
+
+  Ref Decision(VarId var, Ref lo, Ref hi) override {
+    auto key = std::make_tuple(var, lo, hi);
+    auto it = decisions_.find(key);
+    if (it != decisions_.end()) return it->second;
+    Ref ref = circuit_->Decision(var, static_cast<Circuit::Ref>(lo),
+                                 static_cast<Circuit::Ref>(hi));
+    decisions_.emplace(key, ref);
+    return ref;
+  }
+
+  Ref AndNode(const std::vector<Ref>& children) override {
+    auto it = ands_.find(children);
+    if (it != ands_.end()) return it->second;
+    std::vector<Circuit::Ref> kids;
+    kids.reserve(children.size());
+    for (Ref r : children) kids.push_back(static_cast<Circuit::Ref>(r));
+    Ref ref = circuit_->And(std::move(kids));
+    ands_.emplace(children, ref);
+    return ref;
+  }
+
+ private:
+  Circuit* circuit_;
+  std::map<std::tuple<VarId, Ref, Ref>, Ref> decisions_;
+  std::map<std::vector<Ref>, Ref> ands_;
+};
+
+/// Result of compiling a formula by running DPLL and recording the trace.
+struct DecisionDnnfResult {
+  Circuit circuit;
+  Circuit::Ref root = Circuit::kFalseRef;
+  double probability = 0.0;
+  DpllStats stats;
+};
+
+/// Runs the DPLL counter on `root` with the given weights and returns the
+/// decision-DNNF trace together with the computed count.
+Result<DecisionDnnfResult> CompileToDecisionDnnf(FormulaManager* mgr,
+                                                 NodeId root,
+                                                 const WeightMap& weights,
+                                                 DpllOptions options = {});
+
+}  // namespace pdb
+
+#endif  // PDB_KC_TRACE_COMPILER_H_

@@ -1,0 +1,181 @@
+#include "logic/containment.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+// Backtracking homomorphism search: maps each atom of `from` (in order) to
+// some atom of `to` with a consistent variable assignment.
+bool ExtendHomomorphism(const std::vector<Atom>& from,
+                        const std::vector<Atom>& to, size_t atom_idx,
+                        std::map<std::string, Term>* assignment) {
+  if (atom_idx == from.size()) return true;
+  const Atom& atom = from[atom_idx];
+  for (const Atom& target : to) {
+    if (target.predicate != atom.predicate ||
+        target.args.size() != atom.args.size()) {
+      continue;
+    }
+    // Try mapping atom -> target.
+    std::vector<std::pair<std::string, Term>> added;
+    bool ok = true;
+    for (size_t j = 0; j < atom.args.size() && ok; ++j) {
+      const Term& s = atom.args[j];
+      const Term& t = target.args[j];
+      if (s.is_constant()) {
+        ok = (t == s);
+      } else {
+        auto it = assignment->find(s.var());
+        if (it == assignment->end()) {
+          assignment->emplace(s.var(), t);
+          added.emplace_back(s.var(), t);
+        } else {
+          ok = (it->second == t);
+        }
+      }
+    }
+    if (ok && ExtendHomomorphism(from, to, atom_idx + 1, assignment)) {
+      return true;
+    }
+    for (const auto& [var, term] : added) assignment->erase(var);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasHomomorphism(const ConjunctiveQuery& from,
+                     const ConjunctiveQuery& to) {
+  std::map<std::string, Term> assignment;
+  return ExtendHomomorphism(from.atoms(), to.atoms(), 0, &assignment);
+}
+
+bool CqImplies(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return HasHomomorphism(q2, q1);
+}
+
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return CqImplies(q1, q2) && CqImplies(q2, q1);
+}
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq) {
+  // First deduplicate syntactically identical atoms.
+  std::vector<Atom> atoms;
+  for (const Atom& a : cq.atoms()) {
+    if (std::find(atoms.begin(), atoms.end(), a) == atoms.end()) {
+      atoms.push_back(a);
+    }
+  }
+  // Greedily drop atoms while the original maps homomorphically into the
+  // remainder (which then is equivalent: remainder implies original trivially
+  // in the other direction since dropping atoms weakens a CQ... the
+  // direction needed is original => remainder, which holds syntactically,
+  // and remainder => original, which is the homomorphism we test).
+  bool changed = true;
+  while (changed && atoms.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      std::vector<Atom> without = atoms;
+      without.erase(without.begin() + static_cast<ptrdiff_t>(i));
+      ConjunctiveQuery candidate(without);
+      if (HasHomomorphism(ConjunctiveQuery(atoms), candidate)) {
+        atoms = std::move(without);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return ConjunctiveQuery(std::move(atoms));
+}
+
+namespace {
+
+// Renders atoms under a given variable renaming, sorted, as the
+// canonicalization candidate string.
+std::string RenderWithRenaming(
+    const std::vector<Atom>& atoms,
+    const std::map<std::string, std::string>& renaming) {
+  std::vector<std::string> parts;
+  parts.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    std::string s = a.predicate + "(";
+    for (size_t j = 0; j < a.args.size(); ++j) {
+      if (j > 0) s += ",";
+      const Term& t = a.args[j];
+      if (t.is_variable()) {
+        s += renaming.at(t.var());
+      } else if (t.constant().is_string()) {
+        s += "'" + t.constant().AsString() + "'";
+      } else {
+        s += t.constant().ToString();
+      }
+    }
+    s += ")";
+    parts.push_back(std::move(s));
+  }
+  std::sort(parts.begin(), parts.end());
+  return StrJoin(parts, ",");
+}
+
+// Signature-based fallback renaming for queries with many variables: order
+// variables by an occurrence signature, breaking ties by name.
+std::map<std::string, std::string> HeuristicRenaming(
+    const std::vector<Atom>& atoms) {
+  std::map<std::string, std::string> signature;
+  for (const Atom& a : atoms) {
+    for (size_t j = 0; j < a.args.size(); ++j) {
+      if (a.args[j].is_variable()) {
+        signature[a.args[j].var()] +=
+            StrFormat("|%s/%zu", a.predicate.c_str(), j);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> ordered(signature.begin(),
+                                                           signature.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& x, const auto& y) {
+              return std::tie(x.second, x.first) < std::tie(y.second, y.first);
+            });
+  std::map<std::string, std::string> renaming;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    renaming[ordered[i].first] = StrFormat("x%zu", i);
+  }
+  return renaming;
+}
+
+}  // namespace
+
+std::string CanonicalCqString(const ConjunctiveQuery& cq) {
+  ConjunctiveQuery minimized = MinimizeCq(cq);
+  std::set<std::string> var_set = minimized.Variables();
+  std::vector<std::string> vars(var_set.begin(), var_set.end());
+  if (vars.size() > kExactCanonLimit) {
+    return RenderWithRenaming(minimized.atoms(),
+                              HeuristicRenaming(minimized.atoms()));
+  }
+  // Exhaustive: best string over all bijections vars -> x0..x{k-1}.
+  std::vector<std::string> targets;
+  targets.reserve(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) targets.push_back(StrFormat("x%zu", i));
+  std::string best;
+  std::vector<size_t> perm(vars.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  do {
+    std::map<std::string, std::string> renaming;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      renaming[vars[i]] = targets[perm[i]];
+    }
+    std::string candidate = RenderWithRenaming(minimized.atoms(), renaming);
+    if (best.empty() || candidate < best) best = std::move(candidate);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  if (best.empty()) best = RenderWithRenaming(minimized.atoms(), {});
+  return best;
+}
+
+}  // namespace pdb

@@ -1,0 +1,50 @@
+/// \file containment.h
+/// \brief CQ homomorphisms, containment, equivalence, minimization, and
+/// canonical forms.
+///
+/// The lifted inference engine's inclusion–exclusion rule (paper §5) sums
+/// coefficients over logically equivalent conjunctions of CQs; cancellation
+/// of #P-hard terms is only possible if equivalent terms are recognized.
+/// Equivalence of Boolean CQs is decided through homomorphisms (Chandra &
+/// Merlin), and canonical strings give equivalence classes a hashable key.
+
+#ifndef PDB_LOGIC_CONTAINMENT_H_
+#define PDB_LOGIC_CONTAINMENT_H_
+
+#include <optional>
+#include <string>
+
+#include "logic/cq.h"
+
+namespace pdb {
+
+/// True iff a homomorphism `from` -> `to` exists: a mapping of variables to
+/// terms (constants map to themselves) sending every atom of `from` to an
+/// atom of `to`.
+bool HasHomomorphism(const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+/// Logical implication of Boolean CQs: q1 implies q2 iff there is a
+/// homomorphism from q2 to q1.
+bool CqImplies(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Logical equivalence: homomorphisms both ways.
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// The core of `cq`: a minimal equivalent subquery, computed by repeatedly
+/// dropping atoms while an endomorphism onto the remainder exists.
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq);
+
+/// A canonical string for the equivalence class of `cq`: the query is
+/// minimized, then variables are renamed by the lexicographically best
+/// bijection (exhaustive for <= kExactCanonLimit variables, signature-based
+/// heuristic beyond — the heuristic is sound but may give distinct strings
+/// to some equivalent queries, which can only cost the caller an
+/// optimization, never correctness).
+std::string CanonicalCqString(const ConjunctiveQuery& cq);
+
+/// Number of variables up to which canonicalization is exhaustive.
+inline constexpr size_t kExactCanonLimit = 7;
+
+}  // namespace pdb
+
+#endif  // PDB_LOGIC_CONTAINMENT_H_

@@ -1,0 +1,221 @@
+#include "logic/cq.h"
+
+#include <map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+std::set<std::string> ConjunctiveQuery::Variables() const {
+  std::set<std::string> vars;
+  for (const Atom& a : atoms_) {
+    auto sub = a.Variables();
+    vars.insert(sub.begin(), sub.end());
+  }
+  return vars;
+}
+
+std::set<std::string> ConjunctiveQuery::Predicates() const {
+  std::set<std::string> preds;
+  for (const Atom& a : atoms_) preds.insert(a.predicate);
+  return preds;
+}
+
+bool ConjunctiveQuery::IsSelfJoinFree() const {
+  std::set<std::string> seen;
+  for (const Atom& a : atoms_) {
+    if (!seen.insert(a.predicate).second) return false;
+  }
+  return true;
+}
+
+ConjunctiveQuery ConjunctiveQuery::RenameVariables(
+    const std::string& suffix) const {
+  ConjunctiveQuery out;
+  for (const Atom& a : atoms_) {
+    Atom renamed = a;
+    for (Term& t : renamed.args) {
+      if (t.is_variable()) t = Term::Var(t.var() + suffix);
+    }
+    out.AddAtom(std::move(renamed));
+  }
+  return out;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Substitute(const std::string& var,
+                                              const Value& value) const {
+  ConjunctiveQuery out;
+  for (const Atom& a : atoms_) {
+    Atom subst = a;
+    for (Term& t : subst.args) {
+      if (t.is_variable() && t.var() == var) t = Term::Const(value);
+    }
+    out.AddAtom(std::move(subst));
+  }
+  return out;
+}
+
+FoPtr ConjunctiveQuery::ToFo() const {
+  if (atoms_.empty()) return Fo::True();
+  std::vector<FoPtr> parts;
+  parts.reserve(atoms_.size());
+  for (const Atom& a : atoms_) parts.push_back(Fo::MakeAtom(a));
+  FoPtr body = Fo::And(std::move(parts));
+  std::set<std::string> vars = Variables();
+  return Fo::Exists(std::vector<std::string>(vars.begin(), vars.end()), body);
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  if (atoms_.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(atoms_.size());
+  for (const Atom& a : atoms_) parts.push_back(a.ToString());
+  return StrJoin(parts, ", ");
+}
+
+std::set<std::string> Ucq::Predicates() const {
+  std::set<std::string> preds;
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    auto sub = cq.Predicates();
+    preds.insert(sub.begin(), sub.end());
+  }
+  return preds;
+}
+
+FoPtr Ucq::ToFo() const {
+  if (disjuncts_.empty()) return Fo::False();
+  std::vector<FoPtr> parts;
+  parts.reserve(disjuncts_.size());
+  for (const ConjunctiveQuery& cq : disjuncts_) parts.push_back(cq.ToFo());
+  return Fo::Or(std::move(parts));
+}
+
+std::string Ucq::ToString() const {
+  if (disjuncts_.empty()) return "false";
+  std::vector<std::string> parts;
+  parts.reserve(disjuncts_.size());
+  for (const ConjunctiveQuery& cq : disjuncts_) parts.push_back(cq.ToString());
+  return StrJoin(parts, " ; ");
+}
+
+namespace {
+
+// Renames bound variables to fresh names; `renaming` maps in-scope source
+// names to their fresh replacements.
+FoPtr StandardizeApartImpl(const FoPtr& f,
+                           std::map<std::string, std::string> renaming,
+                           int* counter) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+      return f;
+    case FoKind::kAtom: {
+      Atom atom = f->atom();
+      for (Term& t : atom.args) {
+        if (t.is_variable()) {
+          auto it = renaming.find(t.var());
+          if (it != renaming.end()) t = Term::Var(it->second);
+        }
+      }
+      return Fo::MakeAtom(std::move(atom));
+    }
+    case FoKind::kNot:
+      return Fo::Not(StandardizeApartImpl(f->children()[0], renaming, counter));
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      std::vector<FoPtr> kids;
+      kids.reserve(f->children().size());
+      for (const FoPtr& c : f->children()) {
+        kids.push_back(StandardizeApartImpl(c, renaming, counter));
+      }
+      return f->kind() == FoKind::kAnd ? Fo::And(std::move(kids))
+                                       : Fo::Or(std::move(kids));
+    }
+    case FoKind::kExists:
+    case FoKind::kForall: {
+      std::string fresh = StrFormat("v%d", (*counter)++);
+      renaming[f->quantified_var()] = fresh;
+      FoPtr body = StandardizeApartImpl(f->children()[0], renaming, counter);
+      return f->kind() == FoKind::kExists ? Fo::Exists(fresh, std::move(body))
+                                          : Fo::Forall(fresh, std::move(body));
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+FoPtr StandardizeApart(const FoPtr& f) {
+  int counter = 0;
+  return StandardizeApartImpl(f, {}, &counter);
+}
+
+namespace {
+
+// Builds the DNF of the quantifier-stripped body: each result entry is an
+// atom list representing one disjunct. `f` must be negation- and
+// forall-free.
+Result<std::vector<std::vector<Atom>>> ToDnf(const FoPtr& f) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+      return std::vector<std::vector<Atom>>{{}};
+    case FoKind::kFalse:
+      return std::vector<std::vector<Atom>>{};
+    case FoKind::kAtom:
+      return std::vector<std::vector<Atom>>{{f->atom()}};
+    case FoKind::kExists:
+      return ToDnf(f->children()[0]);
+    case FoKind::kOr: {
+      std::vector<std::vector<Atom>> out;
+      for (const FoPtr& c : f->children()) {
+        PDB_ASSIGN_OR_RETURN(auto sub, ToDnf(c));
+        for (auto& d : sub) out.push_back(std::move(d));
+      }
+      return out;
+    }
+    case FoKind::kAnd: {
+      std::vector<std::vector<Atom>> acc{{}};
+      for (const FoPtr& c : f->children()) {
+        PDB_ASSIGN_OR_RETURN(auto sub, ToDnf(c));
+        std::vector<std::vector<Atom>> next;
+        next.reserve(acc.size() * sub.size());
+        for (const auto& left : acc) {
+          for (const auto& right : sub) {
+            std::vector<Atom> merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case FoKind::kNot:
+      return Status::InvalidArgument(
+          "FoToUcq requires a negation-free sentence (got '!')");
+    case FoKind::kForall:
+      return Status::InvalidArgument(
+          "FoToUcq requires an existential sentence (got 'forall')");
+  }
+  return Status::Internal("unreachable FO kind");
+}
+
+}  // namespace
+
+Result<Ucq> FoToUcq(const FoPtr& sentence) {
+  if (!sentence->FreeVariables().empty()) {
+    return Status::InvalidArgument(
+        "FoToUcq requires a sentence without free variables");
+  }
+  FoPtr nnf = ToNnf(sentence);
+  FoPtr apart = StandardizeApart(nnf);
+  PDB_ASSIGN_OR_RETURN(auto dnf, ToDnf(apart));
+  Ucq out;
+  for (auto& atoms : dnf) {
+    out.AddDisjunct(ConjunctiveQuery(std::move(atoms)));
+  }
+  return out;
+}
+
+}  // namespace pdb

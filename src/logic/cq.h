@@ -1,0 +1,101 @@
+/// \file cq.h
+/// \brief Conjunctive queries (CQ) and unions of conjunctive queries (UCQ).
+///
+/// A Boolean conjunctive query is the existential closure of a set of atoms
+/// (Eq. 6 in the paper); a UCQ is a disjunction of CQs. These are the query
+/// classes for which the dichotomy theorem (paper §4) and the lifted
+/// inference rules (paper §5) are implemented.
+
+#ifndef PDB_LOGIC_CQ_H_
+#define PDB_LOGIC_CQ_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/fo.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// A Boolean conjunctive query: all variables existentially quantified.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  explicit ConjunctiveQuery(std::vector<Atom> atoms)
+      : atoms_(std::move(atoms)) {}
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  void AddAtom(Atom atom) { atoms_.push_back(std::move(atom)); }
+
+  /// Sorted set of distinct variables.
+  std::set<std::string> Variables() const;
+  /// Sorted set of predicate symbols.
+  std::set<std::string> Predicates() const;
+
+  /// True iff no predicate symbol occurs in two atoms.
+  bool IsSelfJoinFree() const;
+
+  /// Renames every variable v to v + suffix (used to standardize CQs apart
+  /// before merging conjunctions).
+  ConjunctiveQuery RenameVariables(const std::string& suffix) const;
+
+  /// Substitutes `value` for variable `var` in all atoms.
+  ConjunctiveQuery Substitute(const std::string& var,
+                              const Value& value) const;
+
+  /// The equivalent FO sentence (existential closure of the conjunction).
+  FoPtr ToFo() const;
+
+  std::string ToString() const;
+
+  bool operator==(const ConjunctiveQuery& other) const {
+    return atoms_ == other.atoms_;
+  }
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+/// A union (disjunction) of Boolean conjunctive queries.
+class Ucq {
+ public:
+  Ucq() = default;
+  explicit Ucq(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  size_t size() const { return disjuncts_.size(); }
+  bool empty() const { return disjuncts_.empty(); }
+
+  void AddDisjunct(ConjunctiveQuery cq) {
+    disjuncts_.push_back(std::move(cq));
+  }
+
+  std::set<std::string> Predicates() const;
+
+  /// The equivalent FO sentence.
+  FoPtr ToFo() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+/// Converts a monotone existential FO sentence to an equivalent UCQ.
+/// Requirements (checked): after NNF the formula contains no negation and no
+/// universal quantifier, and it has no free variables. Bound variables are
+/// standardized apart, then the body is put in disjunctive normal form.
+Result<Ucq> FoToUcq(const FoPtr& sentence);
+
+/// Renames bound variables so that every quantifier binds a distinct fresh
+/// name ("v0", "v1", ...). Exposed for tests and reused by FoToUcq.
+FoPtr StandardizeApart(const FoPtr& f);
+
+}  // namespace pdb
+
+#endif  // PDB_LOGIC_CQ_H_

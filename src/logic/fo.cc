@@ -1,0 +1,496 @@
+#include "logic/fo.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "storage/database.h"
+#include "util/check.h"
+
+namespace pdb {
+
+// ---------------------------------------------------------------------------
+// Term
+// ---------------------------------------------------------------------------
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.is_variable_ = true;
+  t.var_name_ = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value value) {
+  Term t;
+  t.is_variable_ = false;
+  t.value_ = std::move(value);
+  return t;
+}
+
+const std::string& Term::var() const {
+  PDB_CHECK(is_variable_);
+  return var_name_;
+}
+
+const Value& Term::constant() const {
+  PDB_CHECK(!is_variable_);
+  return value_;
+}
+
+bool Term::operator==(const Term& other) const {
+  if (is_variable_ != other.is_variable_) return false;
+  return is_variable_ ? var_name_ == other.var_name_ : value_ == other.value_;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (is_variable_ != other.is_variable_) return is_variable_;
+  return is_variable_ ? var_name_ < other.var_name_ : value_ < other.value_;
+}
+
+std::string Term::ToString() const {
+  if (is_variable_) return var_name_;
+  if (value_.is_string()) return "'" + value_.AsString() + "'";
+  return value_.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Atom
+// ---------------------------------------------------------------------------
+
+std::set<std::string> Atom::Variables() const {
+  std::set<std::string> vars;
+  for (const Term& t : args) {
+    if (t.is_variable()) vars.insert(t.var());
+  }
+  return vars;
+}
+
+bool Atom::operator<(const Atom& other) const {
+  if (predicate != other.predicate) return predicate < other.predicate;
+  return args < other.args;
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fo construction with local simplification
+// ---------------------------------------------------------------------------
+
+// Internal factory with access to Fo's private members (friend of Fo).
+struct FoBuilder {
+  static FoPtr Build(FoKind kind, Atom atom, std::vector<FoPtr> children,
+                     std::string var) {
+    auto node = std::shared_ptr<Fo>(new Fo());
+    node->kind_ = kind;
+    node->atom_ = std::move(atom);
+    node->children_ = std::move(children);
+    node->var_ = std::move(var);
+    return node;
+  }
+};
+
+FoPtr Fo::True() {
+  static const FoPtr kTrueNode =
+      FoBuilder::Build(FoKind::kTrue, Atom(), {}, "");
+  return kTrueNode;
+}
+
+FoPtr Fo::False() {
+  static const FoPtr kFalseNode =
+      FoBuilder::Build(FoKind::kFalse, Atom(), {}, "");
+  return kFalseNode;
+}
+
+FoPtr Fo::MakeAtom(Atom atom) {
+  return FoBuilder::Build(FoKind::kAtom, std::move(atom), {}, "");
+}
+
+FoPtr Fo::Not(FoPtr f) {
+  PDB_CHECK(f != nullptr);
+  switch (f->kind()) {
+    case FoKind::kTrue:
+      return False();
+    case FoKind::kFalse:
+      return True();
+    case FoKind::kNot:
+      return f->children()[0];
+    default:
+      return FoBuilder::Build(FoKind::kNot, Atom(), {std::move(f)}, "");
+  }
+}
+
+FoPtr Fo::And(std::vector<FoPtr> children) {
+  std::vector<FoPtr> flat;
+  for (FoPtr& c : children) {
+    PDB_CHECK(c != nullptr);
+    if (c->kind() == FoKind::kTrue) continue;
+    if (c->kind() == FoKind::kFalse) return False();
+    if (c->kind() == FoKind::kAnd) {
+      for (const FoPtr& g : c->children()) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  return FoBuilder::Build(FoKind::kAnd, Atom(), std::move(flat), "");
+}
+
+FoPtr Fo::Or(std::vector<FoPtr> children) {
+  std::vector<FoPtr> flat;
+  for (FoPtr& c : children) {
+    PDB_CHECK(c != nullptr);
+    if (c->kind() == FoKind::kFalse) continue;
+    if (c->kind() == FoKind::kTrue) return True();
+    if (c->kind() == FoKind::kOr) {
+      for (const FoPtr& g : c->children()) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return False();
+  if (flat.size() == 1) return flat[0];
+  return FoBuilder::Build(FoKind::kOr, Atom(), std::move(flat), "");
+}
+
+FoPtr Fo::Implies(FoPtr a, FoPtr b) { return Or(Not(std::move(a)), std::move(b)); }
+
+FoPtr Fo::Iff(FoPtr a, FoPtr b) {
+  return Or(And(a, b), And(Not(a), Not(b)));
+}
+
+FoPtr Fo::Exists(std::string var, FoPtr body) {
+  PDB_CHECK(body != nullptr);
+  if (body->kind() == FoKind::kTrue || body->kind() == FoKind::kFalse) {
+    return body;  // quantifying a constant over a nonempty domain
+  }
+  return FoBuilder::Build(FoKind::kExists, Atom(), {std::move(body)},
+                          std::move(var));
+}
+
+FoPtr Fo::Exists(const std::vector<std::string>& vars, FoPtr body) {
+  for (size_t i = vars.size(); i-- > 0;) body = Exists(vars[i], std::move(body));
+  return body;
+}
+
+FoPtr Fo::Forall(std::string var, FoPtr body) {
+  PDB_CHECK(body != nullptr);
+  if (body->kind() == FoKind::kTrue || body->kind() == FoKind::kFalse) {
+    return body;
+  }
+  return FoBuilder::Build(FoKind::kForall, Atom(), {std::move(body)},
+                          std::move(var));
+}
+
+FoPtr Fo::Forall(const std::vector<std::string>& vars, FoPtr body) {
+  for (size_t i = vars.size(); i-- > 0;) body = Forall(vars[i], std::move(body));
+  return body;
+}
+
+// ---------------------------------------------------------------------------
+// Queries on the AST
+// ---------------------------------------------------------------------------
+
+std::set<std::string> Fo::FreeVariables() const {
+  std::set<std::string> out;
+  switch (kind_) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+      break;
+    case FoKind::kAtom:
+      out = atom_.Variables();
+      break;
+    case FoKind::kNot:
+    case FoKind::kAnd:
+    case FoKind::kOr:
+      for (const FoPtr& c : children_) {
+        auto sub = c->FreeVariables();
+        out.insert(sub.begin(), sub.end());
+      }
+      break;
+    case FoKind::kExists:
+    case FoKind::kForall:
+      out = children_[0]->FreeVariables();
+      out.erase(var_);
+      break;
+  }
+  return out;
+}
+
+std::set<std::string> Fo::Predicates() const {
+  std::set<std::string> out;
+  if (kind_ == FoKind::kAtom) {
+    out.insert(atom_.predicate);
+    return out;
+  }
+  for (const FoPtr& c : children_) {
+    auto sub = c->Predicates();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::string Fo::ToString() const {
+  switch (kind_) {
+    case FoKind::kTrue:
+      return "true";
+    case FoKind::kFalse:
+      return "false";
+    case FoKind::kAtom:
+      return atom_.ToString();
+    case FoKind::kNot:
+      return "!" + children_[0]->ToString();
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      const char* sep = kind_ == FoKind::kAnd ? " & " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case FoKind::kExists:
+      return "exists " + var_ + " " + children_[0]->ToString();
+    case FoKind::kForall:
+      return "forall " + var_ + " " + children_[0]->ToString();
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Transformations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+FoPtr MapAtomTerms(const FoPtr& f,
+                   const std::function<Term(const Term&)>& map_term,
+                   const std::string& shadow_var) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+      return f;
+    case FoKind::kAtom: {
+      Atom atom = f->atom();
+      for (Term& t : atom.args) t = map_term(t);
+      return Fo::MakeAtom(std::move(atom));
+    }
+    case FoKind::kNot:
+      return Fo::Not(MapAtomTerms(f->children()[0], map_term, shadow_var));
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      std::vector<FoPtr> kids;
+      kids.reserve(f->children().size());
+      for (const FoPtr& c : f->children()) {
+        kids.push_back(MapAtomTerms(c, map_term, shadow_var));
+      }
+      return f->kind() == FoKind::kAnd ? Fo::And(std::move(kids))
+                                       : Fo::Or(std::move(kids));
+    }
+    case FoKind::kExists:
+    case FoKind::kForall: {
+      if (f->quantified_var() == shadow_var) return f;  // shadowed
+      FoPtr body = MapAtomTerms(f->children()[0], map_term, shadow_var);
+      return f->kind() == FoKind::kExists
+                 ? Fo::Exists(f->quantified_var(), std::move(body))
+                 : Fo::Forall(f->quantified_var(), std::move(body));
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+FoPtr Substitute(const FoPtr& f, const std::string& var, const Value& value) {
+  return MapAtomTerms(
+      f,
+      [&](const Term& t) {
+        if (t.is_variable() && t.var() == var) return Term::Const(value);
+        return t;
+      },
+      var);
+}
+
+FoPtr RenameVariable(const FoPtr& f, const std::string& from,
+                     const std::string& to) {
+  return MapAtomTerms(
+      f,
+      [&](const Term& t) {
+        if (t.is_variable() && t.var() == from) return Term::Var(to);
+        return t;
+      },
+      from);
+}
+
+FoPtr ToNnf(const FoPtr& f) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+    case FoKind::kAtom:
+      return f;
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      std::vector<FoPtr> kids;
+      for (const FoPtr& c : f->children()) kids.push_back(ToNnf(c));
+      return f->kind() == FoKind::kAnd ? Fo::And(std::move(kids))
+                                       : Fo::Or(std::move(kids));
+    }
+    case FoKind::kExists:
+      return Fo::Exists(f->quantified_var(), ToNnf(f->children()[0]));
+    case FoKind::kForall:
+      return Fo::Forall(f->quantified_var(), ToNnf(f->children()[0]));
+    case FoKind::kNot: {
+      const FoPtr& g = f->children()[0];
+      switch (g->kind()) {
+        case FoKind::kTrue:
+          return Fo::False();
+        case FoKind::kFalse:
+          return Fo::True();
+        case FoKind::kAtom:
+          return f;  // literal, already NNF
+        case FoKind::kNot:
+          return ToNnf(g->children()[0]);
+        case FoKind::kAnd:
+        case FoKind::kOr: {
+          std::vector<FoPtr> kids;
+          for (const FoPtr& c : g->children()) kids.push_back(ToNnf(Fo::Not(c)));
+          return g->kind() == FoKind::kAnd ? Fo::Or(std::move(kids))
+                                           : Fo::And(std::move(kids));
+        }
+        case FoKind::kExists:
+          return Fo::Forall(g->quantified_var(),
+                            ToNnf(Fo::Not(g->children()[0])));
+        case FoKind::kForall:
+          return Fo::Exists(g->quantified_var(),
+                            ToNnf(Fo::Not(g->children()[0])));
+      }
+      break;
+    }
+  }
+  return f;
+}
+
+Result<FoPtr> DualQuery(const FoPtr& f) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+      return Fo::False();
+    case FoKind::kFalse:
+      return Fo::True();
+    case FoKind::kAtom:
+      return f;
+    case FoKind::kNot:
+      return Status::InvalidArgument(
+          "dual query is defined for negation-free sentences");
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      std::vector<FoPtr> kids;
+      for (const FoPtr& c : f->children()) {
+        PDB_ASSIGN_OR_RETURN(FoPtr d, DualQuery(c));
+        kids.push_back(std::move(d));
+      }
+      return f->kind() == FoKind::kAnd ? Fo::Or(std::move(kids))
+                                       : Fo::And(std::move(kids));
+    }
+    case FoKind::kExists: {
+      PDB_ASSIGN_OR_RETURN(FoPtr d, DualQuery(f->children()[0]));
+      return Fo::Forall(f->quantified_var(), std::move(d));
+    }
+    case FoKind::kForall: {
+      PDB_ASSIGN_OR_RETURN(FoPtr d, DualQuery(f->children()[0]));
+      return Fo::Exists(f->quantified_var(), std::move(d));
+    }
+  }
+  return Status::Internal("unreachable FO kind");
+}
+
+bool IsNegationFree(const FoPtr& f) {
+  if (f->kind() == FoKind::kNot) return false;
+  for (const FoPtr& c : f->children()) {
+    if (!IsNegationFree(c)) return false;
+  }
+  return true;
+}
+
+bool StructurallyEqual(const FoPtr& a, const FoPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+      return true;
+    case FoKind::kAtom:
+      return a->atom() == b->atom();
+    case FoKind::kExists:
+    case FoKind::kForall:
+      if (a->quantified_var() != b->quantified_var()) return false;
+      break;
+    default:
+      break;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!StructurallyEqual(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+bool EvaluateOnWorld(const FoPtr& f, const Database& world,
+                     const std::vector<Value>& domain) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+      return true;
+    case FoKind::kFalse:
+      return false;
+    case FoKind::kAtom: {
+      const Atom& atom = f->atom();
+      Tuple tuple;
+      tuple.reserve(atom.args.size());
+      for (const Term& t : atom.args) {
+        PDB_CHECK(t.is_constant());  // sentence fully grounded at this point
+        tuple.push_back(t.constant());
+      }
+      auto rel = world.Get(atom.predicate);
+      return rel.ok() && (*rel)->Contains(tuple);
+    }
+    case FoKind::kNot:
+      return !EvaluateOnWorld(f->children()[0], world, domain);
+    case FoKind::kAnd:
+      for (const FoPtr& c : f->children()) {
+        if (!EvaluateOnWorld(c, world, domain)) return false;
+      }
+      return true;
+    case FoKind::kOr:
+      for (const FoPtr& c : f->children()) {
+        if (EvaluateOnWorld(c, world, domain)) return true;
+      }
+      return false;
+    case FoKind::kExists:
+      for (const Value& v : domain) {
+        if (EvaluateOnWorld(Substitute(f->children()[0], f->quantified_var(), v),
+                            world, domain)) {
+          return true;
+        }
+      }
+      return false;
+    case FoKind::kForall:
+      for (const Value& v : domain) {
+        if (!EvaluateOnWorld(
+                Substitute(f->children()[0], f->quantified_var(), v), world,
+                domain)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace pdb

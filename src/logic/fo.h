@@ -1,0 +1,172 @@
+/// \file fo.h
+/// \brief First-order logic: terms, atoms, and sentence ASTs.
+///
+/// Queries in pdb are Boolean first-order sentences over the database
+/// vocabulary (paper §2). The AST is immutable and shared via
+/// `std::shared_ptr`; transformation helpers (substitution, NNF, dual, ...)
+/// return new trees.
+///
+/// Syntax conventions (see parser.h): identifiers in term position are
+/// variables; constants are integer literals or single-quoted strings.
+
+#ifndef PDB_LOGIC_FO_H_
+#define PDB_LOGIC_FO_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// A term: either a variable (by name) or a constant value.
+class Term {
+ public:
+  /// Creates a variable term.
+  static Term Var(std::string name);
+  /// Creates a constant term.
+  static Term Const(Value value);
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+
+  /// Variable name; only valid for variables.
+  const std::string& var() const;
+  /// Constant value; only valid for constants.
+  const Value& constant() const;
+
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const;
+
+  std::string ToString() const;
+
+ private:
+  bool is_variable_ = true;
+  std::string var_name_;
+  Value value_;
+};
+
+/// A relational atom: predicate symbol applied to terms, e.g. S(x, 'b1').
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(std::string pred, std::vector<Term> arguments)
+      : predicate(std::move(pred)), args(std::move(arguments)) {}
+
+  size_t arity() const { return args.size(); }
+
+  /// Sorted set of distinct variable names occurring in the atom.
+  std::set<std::string> Variables() const;
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+  bool operator<(const Atom& other) const;
+
+  std::string ToString() const;
+};
+
+class Fo;
+/// Shared, immutable FO subtree.
+using FoPtr = std::shared_ptr<const Fo>;
+
+/// Node kinds of the FO AST. Implication is desugared by the parser.
+enum class FoKind {
+  kTrue,
+  kFalse,
+  kAtom,
+  kNot,
+  kAnd,     ///< n-ary conjunction
+  kOr,      ///< n-ary disjunction
+  kExists,  ///< one quantified variable per node
+  kForall,
+};
+
+/// An immutable first-order formula node.
+class Fo {
+ public:
+  static FoPtr True();
+  static FoPtr False();
+  static FoPtr MakeAtom(Atom atom);
+  /// Negation; collapses double negation and constants.
+  static FoPtr Not(FoPtr f);
+  /// n-ary conjunction; flattens nested ANDs and folds constants.
+  static FoPtr And(std::vector<FoPtr> children);
+  static FoPtr And(FoPtr a, FoPtr b) { return And(std::vector<FoPtr>{a, b}); }
+  /// n-ary disjunction; flattens nested ORs and folds constants.
+  static FoPtr Or(std::vector<FoPtr> children);
+  static FoPtr Or(FoPtr a, FoPtr b) { return Or(std::vector<FoPtr>{a, b}); }
+  /// a => b, desugared to !a | b.
+  static FoPtr Implies(FoPtr a, FoPtr b);
+  /// a <=> b, desugared to (a & b) | (!a & !b).
+  static FoPtr Iff(FoPtr a, FoPtr b);
+  static FoPtr Exists(std::string var, FoPtr body);
+  /// Binds several variables at once, innermost-last.
+  static FoPtr Exists(const std::vector<std::string>& vars, FoPtr body);
+  static FoPtr Forall(std::string var, FoPtr body);
+  static FoPtr Forall(const std::vector<std::string>& vars, FoPtr body);
+
+  FoKind kind() const { return kind_; }
+  /// The atom; only valid when kind() == kAtom.
+  const Atom& atom() const { return atom_; }
+  /// Children; for kNot a single child, for kAnd/kOr all conjuncts/disjuncts,
+  /// for quantifiers the body.
+  const std::vector<FoPtr>& children() const { return children_; }
+  /// Quantified variable; only valid for kExists/kForall.
+  const std::string& quantified_var() const { return var_; }
+
+  /// Free variables of the formula.
+  std::set<std::string> FreeVariables() const;
+  /// All predicate symbols used.
+  std::set<std::string> Predicates() const;
+
+  std::string ToString() const;
+
+ private:
+  friend struct FoBuilder;  // internal factory (fo.cc)
+  Fo() = default;
+
+  FoKind kind_ = FoKind::kTrue;
+  Atom atom_;
+  std::vector<FoPtr> children_;
+  std::string var_;
+};
+
+/// Substitutes constant `value` for every free occurrence of variable `var`.
+FoPtr Substitute(const FoPtr& f, const std::string& var, const Value& value);
+
+/// Renames free variable `from` to variable `to` (capture is the caller's
+/// responsibility; used with fresh names only).
+FoPtr RenameVariable(const FoPtr& f, const std::string& from,
+                     const std::string& to);
+
+/// Negation normal form: pushes negations down to atoms.
+FoPtr ToNnf(const FoPtr& f);
+
+/// The dual sentence (paper §2): swap AND/OR and FORALL/EXISTS. Requires the
+/// formula to be negation-free (apply after checking with IsNegationFree).
+Result<FoPtr> DualQuery(const FoPtr& f);
+
+/// True iff no kNot node occurs anywhere.
+bool IsNegationFree(const FoPtr& f);
+
+/// Structural equality of formulas (no semantic reasoning).
+bool StructurallyEqual(const FoPtr& a, const FoPtr& b);
+
+/// Evaluates a sentence on a deterministic world: a tuple is "in" the world
+/// iff it is present in `world` (probabilities are ignored). Quantifiers
+/// range over `domain`. The formula must be a sentence (no free variables).
+class Database;  // storage/database.h
+bool EvaluateOnWorld(const FoPtr& f, const Database& world,
+                     const std::vector<Value>& domain);
+
+}  // namespace pdb
+
+#endif  // PDB_LOGIC_FO_H_

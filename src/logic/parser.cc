@@ -1,0 +1,363 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInteger,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kAnd,      // '&' or 'and'
+  kOr,       // '|' or 'or'
+  kNot,      // '!' or 'not'
+  kImplies,  // '=>'
+  kIff,      // '<=>'
+  kForall,
+  kExists,
+  kTrue,
+  kFalse,
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_')) {
+          ++j;
+        }
+        std::string word = text_.substr(i, j - i);
+        TokKind kind = TokKind::kIdent;
+        if (word == "forall") kind = TokKind::kForall;
+        else if (word == "exists") kind = TokKind::kExists;
+        else if (word == "and") kind = TokKind::kAnd;
+        else if (word == "or") kind = TokKind::kOr;
+        else if (word == "not") kind = TokKind::kNot;
+        else if (word == "true") kind = TokKind::kTrue;
+        else if (word == "false") kind = TokKind::kFalse;
+        out.push_back({kind, std::move(word), start});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        size_t j = i + 1;
+        while (j < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[j]))) {
+          ++j;
+        }
+        out.push_back({TokKind::kInteger, text_.substr(i, j - i), start});
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        size_t j = i + 1;
+        while (j < text_.size() && text_[j] != '\'') ++j;
+        if (j >= text_.size()) {
+          return Status::InvalidArgument(
+              StrFormat("unterminated string literal at offset %zu", start));
+        }
+        out.push_back({TokKind::kString, text_.substr(i + 1, j - i - 1), start});
+        i = j + 1;
+        continue;
+      }
+      switch (c) {
+        case '(':
+          out.push_back({TokKind::kLParen, "(", start});
+          ++i;
+          break;
+        case ')':
+          out.push_back({TokKind::kRParen, ")", start});
+          ++i;
+          break;
+        case ',':
+          out.push_back({TokKind::kComma, ",", start});
+          ++i;
+          break;
+        case ';':
+          out.push_back({TokKind::kSemicolon, ";", start});
+          ++i;
+          break;
+        case '.':
+          out.push_back({TokKind::kDot, ".", start});
+          ++i;
+          break;
+        case '&':
+          out.push_back({TokKind::kAnd, "&", start});
+          ++i;
+          break;
+        case '|':
+          out.push_back({TokKind::kOr, "|", start});
+          ++i;
+          break;
+        case '!':
+          out.push_back({TokKind::kNot, "!", start});
+          ++i;
+          break;
+        case '=':
+          if (i + 1 < text_.size() && text_[i + 1] == '>') {
+            out.push_back({TokKind::kImplies, "=>", start});
+            i += 2;
+            break;
+          }
+          return Status::InvalidArgument(
+              StrFormat("unexpected '=' at offset %zu", start));
+        case '<':
+          if (i + 2 < text_.size() && text_[i + 1] == '=' &&
+              text_[i + 2] == '>') {
+            out.push_back({TokKind::kIff, "<=>", start});
+            i += 3;
+            break;
+          }
+          return Status::InvalidArgument(
+              StrFormat("unexpected '<' at offset %zu", start));
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %zu", c, start));
+      }
+    }
+    out.push_back({TokKind::kEnd, "", text_.size()});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FoPtr> ParseSentence() {
+    PDB_ASSIGN_OR_RETURN(FoPtr f, ParseQuantified());
+    PDB_RETURN_NOT_OK(Expect(TokKind::kEnd, "end of input"));
+    return f;
+  }
+
+  Result<FoPtr> ParseUcq() {
+    std::vector<FoPtr> disjuncts;
+    for (;;) {
+      std::vector<FoPtr> atoms;
+      for (;;) {
+        PDB_ASSIGN_OR_RETURN(FoPtr atom, ParseAtom());
+        atoms.push_back(std::move(atom));
+        if (Peek().kind != TokKind::kComma) break;
+        Advance();
+      }
+      disjuncts.push_back(Fo::And(std::move(atoms)));
+      if (Peek().kind != TokKind::kSemicolon) break;
+      Advance();
+    }
+    PDB_RETURN_NOT_OK(Expect(TokKind::kEnd, "end of input"));
+    FoPtr body = Fo::Or(std::move(disjuncts));
+    std::set<std::string> vars = body->FreeVariables();
+    return Fo::Exists(std::vector<std::string>(vars.begin(), vars.end()),
+                      body);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s at offset %zu, found '%s'", what,
+                    Peek().pos, Peek().text.c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<FoPtr> ParseQuantified() {
+    if (Peek().kind == TokKind::kForall || Peek().kind == TokKind::kExists) {
+      bool is_forall = Advance().kind == TokKind::kForall;
+      std::vector<std::string> vars;
+      // The first identifier is always a quantified variable; afterwards an
+      // identifier followed by '(' starts the body (an atom). A list of
+      // variables before a parenthesized body therefore needs the optional
+      // dot: "forall x y . (S(x,y) => R(x))".
+      while (Peek().kind == TokKind::kIdent &&
+             (vars.empty() || tokens_[pos_ + 1].kind != TokKind::kLParen)) {
+        vars.push_back(Advance().text);
+      }
+      if (vars.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("quantifier without variables at offset %zu",
+                      Peek().pos));
+      }
+      if (Peek().kind == TokKind::kDot) Advance();
+      PDB_ASSIGN_OR_RETURN(FoPtr body, ParseQuantified());
+      return is_forall ? Fo::Forall(vars, std::move(body))
+                       : Fo::Exists(vars, std::move(body));
+    }
+    return ParseIff();
+  }
+
+  Result<FoPtr> ParseIff() {
+    PDB_ASSIGN_OR_RETURN(FoPtr lhs, ParseImplication());
+    while (Peek().kind == TokKind::kIff) {
+      Advance();
+      PDB_ASSIGN_OR_RETURN(FoPtr rhs, ParseImplication());
+      lhs = Fo::Iff(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FoPtr> ParseImplication() {
+    PDB_ASSIGN_OR_RETURN(FoPtr lhs, ParseDisjunction());
+    if (Peek().kind == TokKind::kImplies) {
+      Advance();
+      PDB_ASSIGN_OR_RETURN(FoPtr rhs, ParseImplication());
+      return Fo::Implies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FoPtr> ParseDisjunction() {
+    std::vector<FoPtr> parts;
+    PDB_ASSIGN_OR_RETURN(FoPtr first, ParseConjunction());
+    parts.push_back(std::move(first));
+    while (Peek().kind == TokKind::kOr) {
+      Advance();
+      PDB_ASSIGN_OR_RETURN(FoPtr next, ParseConjunction());
+      parts.push_back(std::move(next));
+    }
+    return parts.size() == 1 ? parts[0] : Fo::Or(std::move(parts));
+  }
+
+  Result<FoPtr> ParseConjunction() {
+    std::vector<FoPtr> parts;
+    PDB_ASSIGN_OR_RETURN(FoPtr first, ParseUnary());
+    parts.push_back(std::move(first));
+    while (Peek().kind == TokKind::kAnd) {
+      Advance();
+      PDB_ASSIGN_OR_RETURN(FoPtr next, ParseUnary());
+      parts.push_back(std::move(next));
+    }
+    return parts.size() == 1 ? parts[0] : Fo::And(std::move(parts));
+  }
+
+  Result<FoPtr> ParseUnary() {
+    switch (Peek().kind) {
+      case TokKind::kForall:
+      case TokKind::kExists:
+        // Quantifiers bind tighter than binary connectives here, so
+        // "A & exists y B" parses as A & (exists y B).
+        return ParseQuantified();
+      case TokKind::kNot: {
+        Advance();
+        PDB_ASSIGN_OR_RETURN(FoPtr inner, ParseUnary());
+        return Fo::Not(std::move(inner));
+      }
+      case TokKind::kLParen: {
+        Advance();
+        PDB_ASSIGN_OR_RETURN(FoPtr inner, ParseQuantified());
+        PDB_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokKind::kTrue:
+        Advance();
+        return Fo::True();
+      case TokKind::kFalse:
+        Advance();
+        return Fo::False();
+      case TokKind::kIdent:
+        return ParseAtom();
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected token '%s' at offset %zu",
+                      Peek().text.c_str(), Peek().pos));
+    }
+  }
+
+  Result<FoPtr> ParseAtom() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument(
+          StrFormat("expected predicate name at offset %zu", Peek().pos));
+    }
+    std::string pred = Advance().text;
+    PDB_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+    std::vector<Term> args;
+    if (Peek().kind != TokKind::kRParen) {
+      for (;;) {
+        PDB_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        args.push_back(std::move(t));
+        if (Peek().kind != TokKind::kComma) break;
+        Advance();
+      }
+    }
+    PDB_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    return Fo::MakeAtom(Atom(std::move(pred), std::move(args)));
+  }
+
+  Result<Term> ParseTerm() {
+    switch (Peek().kind) {
+      case TokKind::kIdent:
+        return Term::Var(Advance().text);
+      case TokKind::kInteger: {
+        int64_t v = std::stoll(Advance().text);
+        return Term::Const(Value(v));
+      }
+      case TokKind::kString:
+        return Term::Const(Value(Advance().text));
+      default:
+        return Status::InvalidArgument(
+            StrFormat("expected term at offset %zu, found '%s'", Peek().pos,
+                      Peek().text.c_str()));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FoPtr> ParseFo(const std::string& text) {
+  Lexer lexer(text);
+  PDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSentence();
+}
+
+Result<FoPtr> ParseUcqShorthand(const std::string& text) {
+  Lexer lexer(text);
+  PDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseUcq();
+}
+
+}  // namespace pdb

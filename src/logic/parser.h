@@ -1,0 +1,51 @@
+/// \file parser.h
+/// \brief Text syntax for first-order sentences and UCQs.
+///
+/// FO syntax (case-sensitive keywords):
+///
+///   sentence    := quantified
+///   quantified  := ('forall'|'exists') var+ '.'? quantified | iff
+///   iff         := implication ('<=>' implication)*
+///   implication := disjunction ('=>' implication)?
+///   disjunction := conjunction (('|'|'or') conjunction)*
+///   conjunction := unary (('&'|'and') unary)*
+///   unary       := ('!'|'not') unary | '(' sentence ')' | atom
+///                | 'true' | 'false'
+///   atom        := IDENT '(' term (',' term)* ')'
+///   term        := IDENT          -- a variable
+///                | INTEGER        -- an integer constant
+///                | '\'' chars '\'' -- a string constant
+///
+/// Example: forall x forall y (S(x,y) => R(x))
+///
+/// Disambiguation: after the first quantified variable, an identifier
+/// followed by '(' starts the body. Multi-variable lists before a
+/// parenthesized body therefore need the dot: "forall x y . (...)".
+///
+/// Datalog-style UCQ shorthand (all variables implicitly existential):
+///
+///   ucq      := conj (';' conj)*
+///   conj     := atom (',' atom)*
+///
+/// Example: R(x), S(x,y) ; T(u), S(u,v)
+
+#ifndef PDB_LOGIC_PARSER_H_
+#define PDB_LOGIC_PARSER_H_
+
+#include <string>
+
+#include "logic/fo.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// Parses an FO sentence (or formula with free variables) from `text`.
+Result<FoPtr> ParseFo(const std::string& text);
+
+/// Parses the datalog-style UCQ shorthand; returns the equivalent FO
+/// sentence (existential closure of a disjunction of conjunctions).
+Result<FoPtr> ParseUcqShorthand(const std::string& text);
+
+}  // namespace pdb
+
+#endif  // PDB_LOGIC_PARSER_H_

@@ -1,0 +1,236 @@
+#include "mln/mln.h"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "boolean/formula.h"
+#include "boolean/lineage.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+Status Mln::AddPredicate(const std::string& name, size_t arity) {
+  for (const auto& [existing, a] : predicates_) {
+    if (existing == name) {
+      return Status::InvalidArgument(
+          StrFormat("predicate '%s' already declared", name.c_str()));
+    }
+  }
+  predicates_.emplace_back(name, arity);
+  return Status::OK();
+}
+
+Status Mln::AddConstraint(double weight, std::vector<std::string> free_vars,
+                          FoPtr formula) {
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    return Status::OutOfRange(
+        StrFormat("constraint weight %g must be positive and finite",
+                  weight));
+  }
+  std::set<std::string> declared(free_vars.begin(), free_vars.end());
+  if (formula->FreeVariables() != declared) {
+    return Status::InvalidArgument(
+        "declared free variables do not match the formula");
+  }
+  for (const std::string& pred : formula->Predicates()) {
+    bool found = false;
+    for (const auto& [name, arity] : predicates_) {
+      if (name == pred) found = true;
+    }
+    if (!found) {
+      return Status::NotFound(
+          StrFormat("constraint uses undeclared predicate '%s'",
+                    pred.c_str()));
+    }
+  }
+  constraints_.push_back({weight, std::move(free_vars), std::move(formula)});
+  return Status::OK();
+}
+
+Result<Database> Mln::CompleteDatabase(double p) const {
+  Database db;
+  if (domain_.empty()) {
+    return Status::FailedPrecondition("MLN domain is empty");
+  }
+  ValueType type = domain_[0].type();
+  for (const Value& v : domain_) {
+    if (v.type() != type) {
+      return Status::InvalidArgument("MLN domain mixes value types");
+    }
+  }
+  for (const auto& [name, arity] : predicates_) {
+    Relation rel(name, Schema::Anonymous(arity, type));
+    size_t total = 1;
+    for (size_t i = 0; i < arity; ++i) total *= domain_.size();
+    for (size_t combo = 0; combo < total; ++combo) {
+      Tuple tuple;
+      size_t rest = combo;
+      for (size_t i = 0; i < arity; ++i) {
+        tuple.push_back(domain_[rest % domain_.size()]);
+        rest /= domain_.size();
+      }
+      PDB_RETURN_NOT_OK(rel.AddTuple(std::move(tuple), p));
+    }
+    PDB_RETURN_NOT_OK(db.AddRelation(std::move(rel)));
+  }
+  return db;
+}
+
+size_t Mln::NumGroundAtoms() const {
+  size_t count = 0;
+  for (const auto& [name, arity] : predicates_) {
+    size_t total = 1;
+    for (size_t i = 0; i < arity; ++i) total *= domain_.size();
+    count += total;
+  }
+  return count;
+}
+
+Result<std::vector<std::pair<double, FoPtr>>> Mln::GroundConstraints() const {
+  std::vector<std::pair<double, FoPtr>> out;
+  for (const SoftConstraint& c : constraints_) {
+    size_t total = 1;
+    for (size_t i = 0; i < c.free_vars.size(); ++i) total *= domain_.size();
+    for (size_t combo = 0; combo < total; ++combo) {
+      FoPtr ground = c.formula;
+      size_t rest = combo;
+      for (const std::string& var : c.free_vars) {
+        ground = Substitute(ground, var, domain_[rest % domain_.size()]);
+        rest /= domain_.size();
+      }
+      out.emplace_back(c.weight, std::move(ground));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr size_t kMaxGroundAtoms = 22;
+
+}  // namespace
+
+namespace {
+
+struct MlnEnumeration {
+  double z = 0.0;
+  double query_weight = 0.0;
+};
+
+}  // namespace
+
+static Result<MlnEnumeration> EnumerateMlnWorlds(const Mln& mln,
+                                                 const FoPtr& query);
+
+Result<double> Mln::PartitionFunction() const {
+  PDB_ASSIGN_OR_RETURN(MlnEnumeration e, EnumerateMlnWorlds(*this, Fo::True()));
+  return e.z;
+}
+
+Result<double> Mln::ExactQueryProbability(const FoPtr& query) const {
+  PDB_ASSIGN_OR_RETURN(MlnEnumeration e, EnumerateMlnWorlds(*this, query));
+  if (e.z == 0.0) {
+    return Status::InvalidArgument("MLN partition function is zero");
+  }
+  return e.query_weight / e.z;
+}
+
+static Result<MlnEnumeration> EnumerateMlnWorlds(const Mln& mln,
+                                                 const FoPtr& query) {
+  const size_t n = mln.NumGroundAtoms();
+  if (n > kMaxGroundAtoms) {
+    return Status::ResourceExhausted(
+        StrFormat("exact MLN inference over %zu ground atoms exceeds the "
+                  "limit of %zu",
+                  n, kMaxGroundAtoms));
+  }
+  PDB_ASSIGN_OR_RETURN(Database complete, mln.CompleteDatabase());
+  PDB_ASSIGN_OR_RETURN(auto ground, mln.GroundConstraints());
+  const std::vector<Value>& domain = mln.domain();
+
+  // Ground everything to Boolean formulas over the complete tuple space.
+  FormulaManager mgr;
+  // The lineage var table must be shared across formulas: ground the
+  // conjunction "query marker" trick — instead, ground each formula with
+  // the same manager and a shared database; variable identity is
+  // (relation,row), which BuildLineage below preserves only per call. To
+  // share, ground one combined formula per constraint AND the query in one
+  // pass each with a persistent var table: we emulate this by grounding a
+  // single vector of sentences through repeated BuildLineage calls on the
+  // same manager and merging var maps by (relation, row).
+  struct GroundFormula {
+    NodeId node;
+    double weight;  // 0 marks the query
+  };
+  std::map<std::pair<std::string, size_t>, VarId> var_of_tuple;
+  auto ground_sentence = [&](const FoPtr& sentence) -> Result<NodeId> {
+    PDB_ASSIGN_OR_RETURN(Lineage lineage,
+                         BuildLineage(sentence, complete, &mgr, &domain));
+    // Remap this lineage's local vars onto the shared (relation,row) vars.
+    // BuildLineage numbers vars per call, so rebuild with substitution.
+    std::vector<NodeId> remap(lineage.vars.size());
+    bool identity = true;
+    for (VarId v = 0; v < lineage.vars.size(); ++v) {
+      auto key = std::make_pair(lineage.vars[v].relation, lineage.vars[v].row);
+      auto [it, inserted] =
+          var_of_tuple.emplace(key, static_cast<VarId>(var_of_tuple.size()));
+      remap[v] = mgr.Var(it->second);
+      if (it->second != v) identity = false;
+    }
+    if (identity) return lineage.root;
+    // Substitute var v -> shared var via repeated cofactor-style rebuild:
+    // cheaper here is a recursive rebuild.
+    std::function<NodeId(NodeId)> rebuild = [&](NodeId f) -> NodeId {
+      switch (mgr.kind(f)) {
+        case FormulaKind::kFalse:
+        case FormulaKind::kTrue:
+          return f;
+        case FormulaKind::kVar:
+          return remap[mgr.var(f)];
+        case FormulaKind::kNot:
+          return mgr.Not(rebuild(mgr.children(f)[0]));
+        case FormulaKind::kAnd:
+        case FormulaKind::kOr: {
+          // Copy: rebuilding children creates nodes, which can invalidate
+          // the children() span.
+          auto cs = mgr.children(f);
+          std::vector<NodeId> original(cs.begin(), cs.end());
+          std::vector<NodeId> kids;
+          kids.reserve(original.size());
+          for (NodeId c : original) kids.push_back(rebuild(c));
+          return mgr.kind(f) == FormulaKind::kAnd ? mgr.And(std::move(kids))
+                                                  : mgr.Or(std::move(kids));
+        }
+      }
+      return f;
+    };
+    return rebuild(lineage.root);
+  };
+
+  std::vector<GroundFormula> factors;
+  for (const auto& [w, sentence] : ground) {
+    PDB_ASSIGN_OR_RETURN(NodeId node, ground_sentence(sentence));
+    factors.push_back({node, w});
+  }
+  PDB_ASSIGN_OR_RETURN(NodeId query_node, ground_sentence(query));
+
+  // Enumerate all worlds over the full tuple space.
+  const size_t num_vars = n;
+  double z = 0.0;
+  double q_weight = 0.0;
+  std::vector<bool> assignment(num_vars, false);
+  for (uint64_t mask = 0; mask < (1ULL << num_vars); ++mask) {
+    for (size_t i = 0; i < num_vars; ++i) assignment[i] = (mask >> i) & 1;
+    double w = 1.0;
+    for (const GroundFormula& g : factors) {
+      if (mgr.Evaluate(g.node, assignment)) w *= g.weight;
+    }
+    z += w;
+    if (mgr.Evaluate(query_node, assignment)) q_weight += w;
+  }
+  return MlnEnumeration{z, q_weight};
+}
+
+}  // namespace pdb

@@ -1,0 +1,81 @@
+/// \file mln.h
+/// \brief Markov Logic Networks (paper §3).
+///
+/// An MLN is a set of soft constraints (w, Δ) over a relational vocabulary
+/// and a finite domain. Grounding every constraint yields a Markov network
+/// whose factors contribute weight w when the ground formula holds and 1
+/// otherwise; p(W) = weight(W)/Z. This module implements the exact
+/// semantics by world enumeration (the oracle), and mln/translate.h the
+/// paper's reduction to a TID conditioned on a constraint (Prop. 3.1).
+
+#ifndef PDB_MLN_MLN_H_
+#define PDB_MLN_MLN_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/fo.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// One soft constraint (w, Δ): Δ's free variables are listed explicitly and
+/// are universally ground over the domain.
+struct SoftConstraint {
+  double weight = 1.0;
+  std::vector<std::string> free_vars;
+  FoPtr formula;
+};
+
+/// A Markov Logic Network over a fixed vocabulary and finite domain.
+class Mln {
+ public:
+  /// Declares a predicate. All predicates used in constraints/queries must
+  /// be declared.
+  Status AddPredicate(const std::string& name, size_t arity);
+
+  /// Adds a soft constraint; weight must be positive and finite (hard
+  /// constraints are approximated by large weights). The formula's free
+  /// variables must match `free_vars`.
+  Status AddConstraint(double weight, std::vector<std::string> free_vars,
+                       FoPtr formula);
+
+  void SetDomain(std::vector<Value> domain) { domain_ = std::move(domain); }
+
+  const std::vector<Value>& domain() const { return domain_; }
+  const std::vector<SoftConstraint>& constraints() const {
+    return constraints_;
+  }
+  const std::vector<std::pair<std::string, size_t>>& predicates() const {
+    return predicates_;
+  }
+
+  /// A database containing every possible tuple of every declared predicate
+  /// over the domain, each with probability `p`. The MLN's translation to a
+  /// TID (paper §3) and the lineage-based conditional computation both
+  /// ground against this complete instance.
+  Result<Database> CompleteDatabase(double p = 0.5) const;
+
+  /// Number of ground atoms (random variables) of the grounded network.
+  size_t NumGroundAtoms() const;
+
+  /// All groundings of all constraints: (weight, ground sentence).
+  Result<std::vector<std::pair<double, FoPtr>>> GroundConstraints() const;
+
+  /// Exact partition function Z by enumerating all possible worlds
+  /// (exponential; guarded).
+  Result<double> PartitionFunction() const;
+
+  /// Exact p_MLN(query) by world enumeration (the test oracle).
+  Result<double> ExactQueryProbability(const FoPtr& query) const;
+
+ private:
+  std::vector<std::pair<std::string, size_t>> predicates_;
+  std::vector<SoftConstraint> constraints_;
+  std::vector<Value> domain_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_MLN_MLN_H_

@@ -1,0 +1,61 @@
+/// \file translate.h
+/// \brief MLN -> TID + constraint translation (paper §3, Prop. 3.1, and the
+/// appendix's two propositional constructions).
+///
+/// Every soft constraint (w, Δ(x̄)) becomes a fresh auxiliary relation F_i
+/// of matching arity plus one conjunct of the global constraint Γ:
+///
+///  * disjunctive mode (w > 1, Prop. 3.1):  p(F_i) = 1/w — the weight
+///        pair is (1/(w-1), 1), i.e. probability 1/w; the paper prints the
+///        weight 1/(w-1) as the probability (see EXPERIMENTS.md) —
+///        Γ_i = ∀x̄ (F_i(x̄) ∨ Δ_i(x̄));
+///  * biconditional mode (any w > 0):       p(F_i) = w/(1+w),
+///        Γ_i = ∀x̄ (F_i(x̄) <=> Δ_i(x̄)).
+///
+/// Original predicates get probability 1/2 on every possible tuple. Then
+/// for any query Q over the original vocabulary,
+/// p_MLN(Q) = p_D(Q | Γ) = p_D(Q ∧ Γ) / p_D(Γ).
+
+#ifndef PDB_MLN_TRANSLATE_H_
+#define PDB_MLN_TRANSLATE_H_
+
+#include "mln/mln.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// Which appendix construction to use per constraint.
+enum class MlnTranslationMode {
+  /// Γ_i = F_i ∨ Δ_i with p = 1/w; requires every weight > 1.
+  kDisjunctive,
+  /// Γ_i = F_i <=> Δ_i with p = w/(1+w); works for every weight > 0.
+  kBiconditional,
+  /// kDisjunctive where w > 1, kBiconditional otherwise.
+  kAuto,
+};
+
+/// A translated MLN: a TID plus the conditioning constraint.
+struct MlnTranslation {
+  /// TID: original predicates at probability 1/2 over all possible tuples,
+  /// plus one auxiliary relation per constraint.
+  Database database;
+  /// The sentence Γ (conjunction over all constraints).
+  FoPtr gamma;
+  /// Quantification domain (the MLN's domain).
+  std::vector<Value> domain;
+};
+
+/// Performs the translation.
+Result<MlnTranslation> TranslateMln(const Mln& mln,
+                                    MlnTranslationMode mode =
+                                        MlnTranslationMode::kAuto);
+
+/// p_D(query | Γ) computed by grounding query ∧ Γ and Γ to lineages and
+/// running the DPLL counter. `query` ranges over the original vocabulary.
+Result<double> TranslatedQueryProbability(const MlnTranslation& translation,
+                                          const FoPtr& query);
+
+}  // namespace pdb
+
+#endif  // PDB_MLN_TRANSLATE_H_

@@ -1,0 +1,92 @@
+#include "openworld/openworld.h"
+
+#include "boolean/lineage.h"
+#include "lifted/lifted.h"
+#include "util/string_util.h"
+#include "wmc/dpll.h"
+
+namespace pdb {
+
+Result<Database> OpenWorldDatabase::LambdaCompletion(
+    size_t max_tuples) const {
+  if (lambda_ < 0.0 || lambda_ > 1.0) {
+    return Status::OutOfRange(StrFormat("lambda %g outside [0,1]", lambda_));
+  }
+  std::vector<Value> domain = db_.ActiveDomain();
+  Database completed;
+  for (const std::string& name : db_.RelationNames()) {
+    PDB_ASSIGN_OR_RETURN(const Relation* rel, db_.Get(name));
+    Relation extended(rel->name(), rel->schema());
+    for (size_t i = 0; i < rel->size(); ++i) {
+      PDB_RETURN_NOT_OK(extended.AddTuple(rel->tuple(i), rel->prob(i)));
+    }
+    // Every unlisted tuple over the (type-compatible) active domain gets λ.
+    const size_t arity = rel->arity();
+    std::vector<std::vector<Value>> columns(arity);
+    for (size_t j = 0; j < arity; ++j) {
+      for (const Value& v : domain) {
+        if (v.type() == rel->schema().attribute(j).type) {
+          columns[j].push_back(v);
+        }
+      }
+    }
+    size_t total = 1;
+    bool empty = false;
+    for (const auto& col : columns) {
+      if (col.empty()) empty = true;
+      if (!empty && col.size() > max_tuples / std::max<size_t>(total, 1)) {
+        return Status::ResourceExhausted(
+            StrFormat("lambda-completion of '%s' exceeds %zu tuples",
+                      name.c_str(), max_tuples));
+      }
+      total *= col.empty() ? 0 : col.size();
+    }
+    if (!empty && lambda_ > 0.0) {
+      for (size_t combo = 0; combo < total; ++combo) {
+        Tuple tuple;
+        tuple.reserve(arity);
+        size_t rest = combo;
+        for (size_t j = 0; j < arity; ++j) {
+          tuple.push_back(columns[j][rest % columns[j].size()]);
+          rest /= columns[j].size();
+        }
+        if (rel->Contains(tuple)) continue;
+        PDB_RETURN_NOT_OK(extended.AddTuple(std::move(tuple), lambda_));
+      }
+    }
+    PDB_RETURN_NOT_OK(completed.AddRelation(std::move(extended)));
+  }
+  return completed;
+}
+
+namespace {
+
+Result<double> ExactUcqProbability(const Ucq& ucq, const Database& db,
+                                   uint64_t max_dpll_decisions) {
+  auto lifted = LiftedProbability(ucq, db);
+  if (lifted.ok()) return *lifted;
+  if (lifted.status().code() != StatusCode::kUnsupported) {
+    return lifted.status();
+  }
+  FormulaManager mgr;
+  PDB_ASSIGN_OR_RETURN(Lineage lineage, BuildUcqLineage(ucq, db, &mgr));
+  DpllOptions options;
+  options.max_decisions = max_dpll_decisions;
+  DpllCounter counter(&mgr, WeightsFromProbabilities(lineage.probs), options);
+  return counter.Compute(lineage.root);
+}
+
+}  // namespace
+
+Result<OpenWorldDatabase::Interval> OpenWorldDatabase::QueryInterval(
+    const Ucq& ucq, uint64_t max_dpll_decisions, size_t max_tuples) const {
+  Interval interval;
+  PDB_ASSIGN_OR_RETURN(
+      interval.lower, ExactUcqProbability(ucq, db_, max_dpll_decisions));
+  PDB_ASSIGN_OR_RETURN(Database completed, LambdaCompletion(max_tuples));
+  PDB_ASSIGN_OR_RETURN(
+      interval.upper, ExactUcqProbability(ucq, completed, max_dpll_decisions));
+  return interval;
+}
+
+}  // namespace pdb

@@ -1,0 +1,58 @@
+/// \file openworld.h
+/// \brief Open-world probabilistic databases (paper §9, Ceylan et al.
+/// KR'16).
+///
+/// A closed-world TID fixes p = 0 for every tuple it does not list. An
+/// OpenPDB instead allows each unlisted tuple an unknown probability in
+/// [0, λ]. For a *monotone* query the probability is then an interval:
+///
+///   lower  = P over the closed-world database (all unknowns at 0),
+///   upper  = P over the λ-completion (every possible unlisted tuple
+///            added at probability λ),
+///
+/// both computed with the ordinary engines — monotonicity makes the two
+/// extreme completions the exact endpoints.
+
+#ifndef PDB_OPENWORLD_OPENWORLD_H_
+#define PDB_OPENWORLD_OPENWORLD_H_
+
+#include "logic/cq.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// An open-world probabilistic database: a TID plus the default probability
+/// bound λ for unlisted tuples.
+class OpenWorldDatabase {
+ public:
+  /// `lambda` in [0, 1]; 0 recovers the closed-world semantics.
+  OpenWorldDatabase(Database db, double lambda)
+      : db_(std::move(db)), lambda_(lambda) {}
+
+  const Database& closed_world() const { return db_; }
+  double lambda() const { return lambda_; }
+
+  /// The λ-completion: every tuple over the active domain that is not
+  /// listed is added with probability λ. `max_tuples` guards the
+  /// domain^arity materialization.
+  Result<Database> LambdaCompletion(size_t max_tuples = 1000000) const;
+
+  /// Probability interval of a monotone UCQ. Both endpoints are exact
+  /// (lifted when safe, grounded otherwise, within `max_dpll_decisions`).
+  struct Interval {
+    double lower = 0.0;
+    double upper = 1.0;
+  };
+  Result<Interval> QueryInterval(const Ucq& ucq,
+                                 uint64_t max_dpll_decisions = 1u << 22,
+                                 size_t max_tuples = 1000000) const;
+
+ private:
+  Database db_;
+  double lambda_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_OPENWORLD_OPENWORLD_H_

@@ -1,0 +1,65 @@
+/// \file pdb_all.h
+/// \brief Umbrella header: includes the whole public API.
+///
+/// Convenience for downstream users; individual components remain
+/// includable on their own (and the library targets are per-subsystem, so
+/// linking only what you use stays possible).
+
+#ifndef PDB_PDB_ALL_H_
+#define PDB_PDB_ALL_H_
+
+// Substrate.
+#include "util/big_int.h"       // IWYU pragma: export
+#include "util/check.h"         // IWYU pragma: export
+#include "util/random.h"        // IWYU pragma: export
+#include "util/rational.h"      // IWYU pragma: export
+#include "util/scaled_float.h"  // IWYU pragma: export
+#include "util/status.h"        // IWYU pragma: export
+
+// Storage.
+#include "storage/csv.h"       // IWYU pragma: export
+#include "storage/database.h"  // IWYU pragma: export
+#include "storage/relation.h"  // IWYU pragma: export
+
+// Logic.
+#include "logic/analysis.h"     // IWYU pragma: export
+#include "logic/containment.h"  // IWYU pragma: export
+#include "logic/cq.h"           // IWYU pragma: export
+#include "logic/fo.h"           // IWYU pragma: export
+#include "logic/parser.h"       // IWYU pragma: export
+
+// Lineage + grounded inference.
+#include "boolean/formula.h"  // IWYU pragma: export
+#include "boolean/lineage.h"  // IWYU pragma: export
+#include "wmc/dpll.h"         // IWYU pragma: export
+#include "wmc/enumeration.h"  // IWYU pragma: export
+#include "wmc/montecarlo.h"   // IWYU pragma: export
+#include "wmc/weights.h"      // IWYU pragma: export
+
+// Knowledge compilation.
+#include "kc/circuit.h"         // IWYU pragma: export
+#include "kc/obdd.h"            // IWYU pragma: export
+#include "kc/order.h"           // IWYU pragma: export
+#include "kc/trace_compiler.h"  // IWYU pragma: export
+
+// Lifted inference + plans.
+#include "lifted/lifted.h"     // IWYU pragma: export
+#include "lifted/safety.h"     // IWYU pragma: export
+#include "plans/bounds.h"      // IWYU pragma: export
+#include "plans/enumerate.h"   // IWYU pragma: export
+#include "plans/plan.h"        // IWYU pragma: export
+
+// Correlations, symmetry, and other data models.
+#include "bid/bid.h"                  // IWYU pragma: export
+#include "incomplete/incomplete.h"    // IWYU pragma: export
+#include "mln/mln.h"                  // IWYU pragma: export
+#include "mln/translate.h"            // IWYU pragma: export
+#include "openworld/openworld.h"      // IWYU pragma: export
+#include "symmetric/fo2.h"            // IWYU pragma: export
+#include "symmetric/symmetric.h"      // IWYU pragma: export
+
+// Frontends and the engine facade.
+#include "core/pdb.h"  // IWYU pragma: export
+#include "sql/sql.h"   // IWYU pragma: export
+
+#endif  // PDB_PDB_ALL_H_

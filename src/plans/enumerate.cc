@@ -1,0 +1,185 @@
+#include "plans/enumerate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "logic/analysis.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+Result<PlanPtr> PlanForEliminationOrder(
+    const ConjunctiveQuery& cq, const std::vector<std::string>& order) {
+  if (!cq.IsSelfJoinFree()) {
+    return Status::Unsupported(
+        "plan enumeration is limited to self-join-free queries (paper §6)");
+  }
+  std::set<std::string> query_vars = cq.Variables();
+  if (std::set<std::string>(order.begin(), order.end()) != query_vars) {
+    return Status::InvalidArgument(
+        "elimination order must be a permutation of the query variables");
+  }
+  // Working set of operands.
+  std::vector<PlanPtr> operands;
+  for (const Atom& atom : cq.atoms()) operands.push_back(PlanNode::Scan(atom));
+  for (const std::string& x : order) {
+    // Join every operand mentioning x (left-deep, in list order).
+    std::vector<PlanPtr> with_x;
+    std::vector<PlanPtr> rest;
+    for (PlanPtr& op : operands) {
+      const auto& vars = op->output_vars();
+      if (std::find(vars.begin(), vars.end(), x) != vars.end()) {
+        with_x.push_back(std::move(op));
+      } else {
+        rest.push_back(std::move(op));
+      }
+    }
+    PDB_CHECK(!with_x.empty());
+    PlanPtr joined = with_x[0];
+    for (size_t i = 1; i < with_x.size(); ++i) {
+      joined = PlanNode::Join(joined, with_x[i]);
+    }
+    // Project x away, keeping everything else.
+    std::vector<std::string> keep;
+    for (const std::string& v : joined->output_vars()) {
+      if (v != x) keep.push_back(v);
+    }
+    rest.push_back(PlanNode::Project(joined, std::move(keep)));
+    operands = std::move(rest);
+  }
+  // All operands are now variable-free; join them (probabilities multiply).
+  PlanPtr plan = operands[0];
+  for (size_t i = 1; i < operands.size(); ++i) {
+    plan = PlanNode::Join(plan, operands[i]);
+  }
+  return plan;
+}
+
+Result<std::vector<PlanPtr>> EnumerateAllPlans(const ConjunctiveQuery& cq,
+                                               size_t max_vars) {
+  std::set<std::string> var_set = cq.Variables();
+  if (var_set.size() > max_vars) {
+    return Status::ResourceExhausted(
+        StrFormat("enumerating plans over %zu variables exceeds the limit "
+                  "of %zu",
+                  var_set.size(), max_vars));
+  }
+  std::vector<std::string> order(var_set.begin(), var_set.end());
+  std::vector<PlanPtr> plans;
+  std::set<std::string> seen;
+  if (order.empty()) {
+    PDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanForEliminationOrder(cq, order));
+    plans.push_back(std::move(plan));
+    return plans;
+  }
+  std::sort(order.begin(), order.end());
+  do {
+    PDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanForEliminationOrder(cq, order));
+    if (seen.insert(plan->ToString()).second) plans.push_back(std::move(plan));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return plans;
+}
+
+namespace {
+
+// Recursive safe-plan construction: returns a plan whose output variables
+// are exactly `output` (a subset of vars(sub-query)).
+Result<PlanPtr> SafePlanRec(const std::vector<Atom>& atoms,
+                            const std::set<std::string>& output) {
+  PDB_CHECK(!atoms.empty());
+  // Variables still to be projected away.
+  std::set<std::string> remaining;
+  for (const Atom& atom : atoms) {
+    for (const std::string& v : atom.Variables()) {
+      if (output.count(v) == 0) remaining.insert(v);
+    }
+  }
+  if (remaining.empty()) {
+    // Pure join (with per-atom projection onto output).
+    PlanPtr plan;
+    for (const Atom& atom : atoms) {
+      PlanPtr scan = PlanNode::Scan(atom);
+      plan = plan == nullptr ? scan : PlanNode::Join(plan, scan);
+    }
+    return plan;
+  }
+  // Split into components connected via `remaining` variables.
+  std::vector<int> component(atoms.size(), -1);
+  int num_components = 0;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (component[i] != -1) continue;
+    // BFS from atom i over shared remaining-vars.
+    std::vector<size_t> queue{i};
+    component[i] = num_components;
+    while (!queue.empty()) {
+      size_t cur = queue.back();
+      queue.pop_back();
+      std::set<std::string> cur_vars = atoms[cur].Variables();
+      for (size_t j = 0; j < atoms.size(); ++j) {
+        if (component[j] != -1) continue;
+        for (const std::string& v : atoms[j].Variables()) {
+          if (remaining.count(v) > 0 && cur_vars.count(v) > 0) {
+            component[j] = num_components;
+            queue.push_back(j);
+            break;
+          }
+        }
+      }
+    }
+    ++num_components;
+  }
+  if (num_components > 1) {
+    PlanPtr plan;
+    for (int c = 0; c < num_components; ++c) {
+      std::vector<Atom> sub;
+      std::set<std::string> sub_output;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (component[i] == c) {
+          sub.push_back(atoms[i]);
+          for (const std::string& v : atoms[i].Variables()) {
+            if (output.count(v) > 0) sub_output.insert(v);
+          }
+        }
+      }
+      PDB_ASSIGN_OR_RETURN(PlanPtr sub_plan, SafePlanRec(sub, sub_output));
+      plan = plan == nullptr ? sub_plan : PlanNode::Join(plan, sub_plan);
+    }
+    return plan;
+  }
+  // One component: find root variables (remaining vars present in every
+  // atom of the component).
+  std::set<std::string> roots = remaining;
+  for (const Atom& atom : atoms) {
+    std::set<std::string> vars = atom.Variables();
+    std::set<std::string> inter;
+    std::set_intersection(roots.begin(), roots.end(), vars.begin(),
+                          vars.end(), std::inserter(inter, inter.begin()));
+    roots = std::move(inter);
+    if (roots.empty()) break;
+  }
+  if (roots.empty()) {
+    return Status::Unsupported(
+        "query is not hierarchical: no safe plan exists (Theorem 4.3)");
+  }
+  std::set<std::string> inner_output = output;
+  inner_output.insert(roots.begin(), roots.end());
+  PDB_ASSIGN_OR_RETURN(PlanPtr inner, SafePlanRec(atoms, inner_output));
+  return PlanNode::Project(
+      inner, std::vector<std::string>(output.begin(), output.end()));
+}
+
+}  // namespace
+
+Result<PlanPtr> BuildSafePlan(const ConjunctiveQuery& cq) {
+  if (!cq.IsSelfJoinFree()) {
+    return Status::Unsupported(
+        "safe plans are defined here for self-join-free queries");
+  }
+  if (cq.empty()) {
+    return Status::InvalidArgument("cannot build a plan for the empty query");
+  }
+  return SafePlanRec(cq.atoms(), {});
+}
+
+}  // namespace pdb

@@ -1,0 +1,37 @@
+/// \file enumerate.h
+/// \brief Plan enumeration and safe-plan construction for self-join-free
+/// Boolean CQs (paper §6).
+///
+/// Each variable elimination order yields one plan: scan every atom, and for
+/// each variable in order, join the operands containing it and ⊕-project it
+/// away. The paper's Plan_1/Plan_2 example corresponds to the two orders of
+/// {x, y} for R(x), S(x,y). The safe plan (when the query is hierarchical)
+/// is built directly from the hierarchical decomposition.
+
+#ifndef PDB_PLANS_ENUMERATE_H_
+#define PDB_PLANS_ENUMERATE_H_
+
+#include <vector>
+
+#include "plans/plan.h"
+
+namespace pdb {
+
+/// Builds the plan induced by eliminating variables in `order` (must be a
+/// permutation of the query's variables). The query must be self-join-free.
+Result<PlanPtr> PlanForEliminationOrder(const ConjunctiveQuery& cq,
+                                        const std::vector<std::string>& order);
+
+/// All plans over all variable elimination orders (deduplicated by
+/// structure). Fails if the query has more than `max_vars` variables.
+Result<std::vector<PlanPtr>> EnumerateAllPlans(const ConjunctiveQuery& cq,
+                                               size_t max_vars = 7);
+
+/// The safe plan of a hierarchical self-join-free CQ (Dalvi–Suciu);
+/// Unsupported when the query is not hierarchical (then no safe plan
+/// exists, Theorem 4.3).
+Result<PlanPtr> BuildSafePlan(const ConjunctiveQuery& cq);
+
+}  // namespace pdb
+
+#endif  // PDB_PLANS_ENUMERATE_H_

@@ -1,0 +1,84 @@
+/// \file sql.h
+/// \brief A SQL frontend for conjunctive queries.
+///
+/// The paper's §6 argument is that probabilistic inference can ride along
+/// inside a standard SQL engine. This module gives pdb the matching
+/// surface: a conjunctive SELECT block compiles to a ConjunctiveQuery plus
+/// head variables, and the engine's strategy selection does the rest.
+///
+/// Grammar (keywords case-insensitive):
+///
+///   query      := SELECT select_list FROM from_list [WHERE condition_list]
+///   select_list:= PROB()                      -- Boolean: the probability
+///               | column (',' column)*        -- answer tuples + marginals
+///   column     := [alias '.'] attribute
+///   from_list  := table [AS] alias? (',' table [AS] alias?)*
+///   condition  := operand '=' operand ( AND condition )*
+///   operand    := column | integer | 'string'
+///
+/// Example:
+///   SELECT PROB() FROM R, S WHERE R.x = S.x
+///   SELECT c.city FROM Customer c, Orders o WHERE c.id = o.id
+
+#ifndef PDB_SQL_SQL_H_
+#define PDB_SQL_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/cq.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// Parsed-but-unresolved SQL (no catalog access yet).
+struct SqlColumnRef {
+  std::string alias;  // empty when unqualified
+  std::string column;
+};
+
+struct SqlTableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+struct SqlCondition {
+  enum class OperandKind { kColumn, kLiteral };
+  OperandKind lhs_kind = OperandKind::kColumn;
+  SqlColumnRef lhs_column;
+  Value lhs_literal;
+  OperandKind rhs_kind = OperandKind::kColumn;
+  SqlColumnRef rhs_column;
+  Value rhs_literal;
+};
+
+struct SqlSelect {
+  bool boolean = false;  // SELECT PROB()
+  std::vector<SqlColumnRef> columns;
+  std::vector<SqlTableRef> from;
+  std::vector<SqlCondition> where;
+};
+
+/// Parses the SELECT block (no schema checks yet).
+Result<SqlSelect> ParseSql(const std::string& text);
+
+/// A compiled query: the Boolean CQ plus the head variables corresponding
+/// to the select list (empty for SELECT PROB()).
+struct CompiledSql {
+  ConjunctiveQuery cq;
+  std::vector<std::string> head_vars;
+  bool boolean = false;
+};
+
+/// Resolves a parsed SELECT against the catalog: every FROM entry becomes
+/// an atom with one variable per column, equalities unify variables or
+/// pin constants, and select columns become head variables.
+Result<CompiledSql> CompileSql(const SqlSelect& select, const Database& db);
+
+/// Convenience: parse + compile.
+Result<CompiledSql> CompileSql(const std::string& text, const Database& db);
+
+}  // namespace pdb
+
+#endif  // PDB_SQL_SQL_H_

@@ -1,0 +1,106 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace pdb {
+
+Result<Relation> RelationFromCsv(const std::string& name, const Schema& schema,
+                                 const std::string& text,
+                                 const CsvOptions& options) {
+  Relation relation(name, schema);
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool skipped_header = !options.has_header;
+  const size_t expected_fields =
+      schema.arity() + (options.has_probability_column ? 1 : 0);
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StrTrim(line).empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    std::vector<std::string> fields = StrSplit(line, options.separator);
+    if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected %zu fields, got %zu", line_no,
+                    expected_fields, fields.size()));
+    }
+    Tuple tuple;
+    tuple.reserve(schema.arity());
+    for (size_t i = 0; i < schema.arity(); ++i) {
+      auto value = Value::Parse(fields[i], schema.attribute(i).type);
+      if (!value.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu, field %zu: %s", line_no, i,
+            value.status().message().c_str()));
+      }
+      tuple.push_back(std::move(*value));
+    }
+    double p = 1.0;
+    if (options.has_probability_column) {
+      auto prob = Value::Parse(fields.back(), ValueType::kDouble);
+      if (!prob.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad probability '%s'", line_no,
+                      fields.back().c_str()));
+      }
+      p = prob->AsDouble();
+    }
+    Status added = relation.AddTuple(std::move(tuple), p);
+    if (!added.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %s", line_no, added.message().c_str()));
+    }
+  }
+  return relation;
+}
+
+Result<Relation> RelationFromCsvFile(const std::string& name,
+                                     const Schema& schema,
+                                     const std::string& path,
+                                     const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return RelationFromCsv(name, schema, buffer.str(), options);
+}
+
+std::string RelationToCsv(const Relation& relation, char separator) {
+  std::string out;
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    out += schema.attribute(i).name;
+    out += separator;
+  }
+  out += "P\n";
+  for (size_t row = 0; row < relation.size(); ++row) {
+    const Tuple& t = relation.tuple(row);
+    for (const Value& v : t) {
+      out += v.ToString();
+      out += separator;
+    }
+    out += StrFormat("%.17g\n", relation.prob(row));
+  }
+  return out;
+}
+
+Status RelationToCsvFile(const Relation& relation, const std::string& path,
+                         char separator) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  out << RelationToCsv(relation, separator);
+  return Status::OK();
+}
+
+}  // namespace pdb

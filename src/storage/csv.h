@@ -1,0 +1,49 @@
+/// \file csv.h
+/// \brief Loading and saving probabilistic relations as CSV.
+///
+/// Format: one row per tuple; the data columns in schema order followed by a
+/// final probability column. A header line is optional on load and always
+/// written on save. Deterministic relations may omit the probability column
+/// (every tuple then has probability 1).
+
+#ifndef PDB_STORAGE_CSV_H_
+#define PDB_STORAGE_CSV_H_
+
+#include <string>
+
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;
+  /// When true the last column is the tuple probability; otherwise all
+  /// probabilities are 1.
+  bool has_probability_column = true;
+};
+
+/// Parses CSV `text` into a relation named `name` with the given schema
+/// (data columns only; the probability column is implied by options).
+Result<Relation> RelationFromCsv(const std::string& name, const Schema& schema,
+                                 const std::string& text,
+                                 const CsvOptions& options = {});
+
+/// Reads a relation from the file at `path`.
+Result<Relation> RelationFromCsvFile(const std::string& name,
+                                     const Schema& schema,
+                                     const std::string& path,
+                                     const CsvOptions& options = {});
+
+/// Serializes `relation` to CSV text (header + rows + probability column).
+std::string RelationToCsv(const Relation& relation, char separator = ',');
+
+/// Writes `relation` to the file at `path`.
+Status RelationToCsvFile(const Relation& relation, const std::string& path,
+                         char separator = ',');
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_CSV_H_

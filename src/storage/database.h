@@ -1,0 +1,61 @@
+/// \file database.h
+/// \brief The database catalog: a set of named probabilistic relations.
+///
+/// A `Database` is the concrete representation of a tuple-independent
+/// probabilistic database (paper §2): listing each possible tuple's marginal
+/// probability fully determines the distribution over possible worlds.
+
+#ifndef PDB_STORAGE_DATABASE_H_
+#define PDB_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// Catalog of named relations forming one probabilistic database instance.
+class Database {
+ public:
+  /// Registers `relation` under its name. Fails on duplicate names.
+  Status AddRelation(Relation relation);
+
+  /// Creates and registers an empty relation.
+  Status CreateRelation(const std::string& name, Schema schema);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Immutable lookup; NotFound if absent.
+  Result<const Relation*> Get(const std::string& name) const;
+
+  /// Mutable lookup; NotFound if absent.
+  Result<Relation*> GetMutable(const std::string& name);
+
+  /// Names of all relations, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  /// All distinct values appearing anywhere in the database, sorted.
+  /// This is the active domain used when grounding quantifiers.
+  std::vector<Value> ActiveDomain() const;
+
+  /// Total number of stored tuples across relations.
+  size_t TupleCount() const;
+
+  /// Samples one possible world: each tuple kept independently with its
+  /// probability (Eq. 3 of the paper). The result is a deterministic
+  /// database (all probabilities 1).
+  Database SampleWorld(Rng* rng) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_DATABASE_H_

@@ -1,0 +1,78 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace pdb {
+
+Status Relation::AddTuple(Tuple tuple, double p) {
+  PDB_RETURN_NOT_OK(schema_.Validate(tuple));
+  if (p < 0.0 || p > 1.0) {
+    return Status::OutOfRange(
+        StrFormat("probability %g outside [0, 1]", p));
+  }
+  if (index_.count(tuple) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("duplicate tuple %s in relation '%s'",
+                  TupleToString(tuple).c_str(), name_.c_str()));
+  }
+  index_.emplace(tuple, tuples_.size());
+  tuples_.push_back(std::move(tuple));
+  probs_.push_back(p);
+  return Status::OK();
+}
+
+Result<size_t> Relation::Find(const Tuple& tuple) const {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) {
+    return Status::NotFound(StrFormat("tuple %s not in relation '%s'",
+                                      TupleToString(tuple).c_str(),
+                                      name_.c_str()));
+  }
+  return it->second;
+}
+
+double Relation::ProbOf(const Tuple& tuple) const {
+  auto found = Find(tuple);
+  return found.ok() ? probs_[*found] : 0.0;
+}
+
+std::vector<Value> Relation::DistinctValues(size_t col) const {
+  std::set<Value> seen;
+  for (const Tuple& t : tuples_) seen.insert(t[col]);
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+bool Relation::IsDeterministic() const {
+  return std::all_of(probs_.begin(), probs_.end(),
+                     [](double p) { return p == 1.0; });
+}
+
+std::string Relation::ToString() const {
+  std::string out = name_ + schema_.ToString() + " {\n";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    out += StrFormat("  %s : %g\n", TupleToString(tuples_[i]).c_str(),
+                     probs_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+HashIndex::HashIndex(const Relation& relation, std::vector<size_t> key_cols)
+    : key_cols_(std::move(key_cols)) {
+  for (size_t row = 0; row < relation.size(); ++row) {
+    Tuple key;
+    key.reserve(key_cols_.size());
+    for (size_t col : key_cols_) key.push_back(relation.tuple(row)[col]);
+    buckets_[std::move(key)].push_back(row);
+  }
+}
+
+const std::vector<size_t>& HashIndex::Lookup(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+}  // namespace pdb

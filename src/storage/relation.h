@@ -1,0 +1,91 @@
+/// \file relation.h
+/// \brief Probabilistic relations: tuples plus marginal probabilities.
+///
+/// In a tuple-independent database (TID, paper §2) every stored tuple is an
+/// independent probabilistic event with marginal probability `t.P`; tuples
+/// not stored have probability 0. A deterministic relation is the special
+/// case where every probability is 1.
+
+#ifndef PDB_STORAGE_RELATION_H_
+#define PDB_STORAGE_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// A named set of distinct tuples, each carrying a marginal probability.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t arity() const { return schema_.arity(); }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Appends a tuple with probability `p` in [0, 1]. Rejects duplicates
+  /// (a TID lists each possible tuple at most once) and schema mismatches.
+  Status AddTuple(Tuple tuple, double p = 1.0);
+
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  double prob(size_t i) const { return probs_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// Overwrites the probability of row `i`.
+  void set_prob(size_t i, double p) { probs_[i] = p; }
+
+  /// Row index of `tuple`, or NotFound.
+  Result<size_t> Find(const Tuple& tuple) const;
+  bool Contains(const Tuple& tuple) const { return Find(tuple).ok(); }
+
+  /// Marginal probability of `tuple` (0 when absent).
+  double ProbOf(const Tuple& tuple) const;
+
+  /// Sorted distinct values of column `col`.
+  std::vector<Value> DistinctValues(size_t col) const;
+
+  /// True iff every tuple has probability exactly 1.
+  bool IsDeterministic() const;
+
+  /// Multi-line human-readable dump (name, schema, rows with probabilities).
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  std::vector<double> probs_;
+  std::unordered_map<Tuple, size_t> index_;  // tuple -> row id
+};
+
+/// Equality (hash) index on a subset of a relation's columns, for joins and
+/// selections in the extensional plan executor.
+class HashIndex {
+ public:
+  /// Builds an index of `relation` keyed on `key_cols`.
+  HashIndex(const Relation& relation, std::vector<size_t> key_cols);
+
+  /// Row ids whose key columns equal `key` (same order as key_cols).
+  const std::vector<size_t>& Lookup(const Tuple& key) const;
+
+  const std::vector<size_t>& key_cols() const { return key_cols_; }
+
+ private:
+  std::vector<size_t> key_cols_;
+  std::unordered_map<Tuple, std::vector<size_t>> buckets_;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_RELATION_H_

@@ -1,0 +1,55 @@
+#include "storage/schema.h"
+
+#include "util/string_util.h"
+
+namespace pdb {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Schema Schema::Anonymous(size_t arity, ValueType type) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back({StrFormat("a%zu", i), type});
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound(StrFormat("no attribute named '%s'", name.c_str()));
+}
+
+Status Schema::Validate(const Tuple& tuple) const {
+  if (tuple.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple arity %zu does not match schema arity %zu",
+                  tuple.size(), attributes_.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].type() != attributes_[i].type) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute '%s' expects %s but tuple has %s",
+          attributes_[i].name.c_str(), ValueTypeToString(attributes_[i].type),
+          ValueTypeToString(tuple[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ": ";
+    out += ValueTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pdb

@@ -1,0 +1,56 @@
+/// \file schema.h
+/// \brief Relation schemas: named, typed attribute lists.
+
+#ifndef PDB_STORAGE_SCHEMA_H_
+#define PDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// One attribute of a relation.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of attributes describing the tuples of a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Convenience: attributes "a0".."a{n-1}" all of the given type.
+  static Schema Anonymous(size_t arity, ValueType type = ValueType::kInt);
+
+  size_t arity() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Checks that `tuple` matches this schema's arity and types.
+  Status Validate(const Tuple& tuple) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_SCHEMA_H_

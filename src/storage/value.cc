@@ -1,0 +1,107 @@
+#include "storage/value.h"
+
+#include <charconv>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int64_t Value::AsInt() const {
+  PDB_CHECK(is_int());
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  PDB_CHECK(is_double());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  PDB_CHECK(is_string());
+  return std::get<std::string>(data_);
+}
+
+Result<Value> Value::Parse(std::string_view text, ValueType type) {
+  text = StrTrim(text);
+  switch (type) {
+    case ValueType::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(text.begin(), text.end(), v);
+      if (ec != std::errc() || ptr != text.end()) {
+        return Status::InvalidArgument(
+            StrFormat("cannot parse '%.*s' as int",
+                      static_cast<int>(text.size()), text.data()));
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      std::string buf(text);
+      char* end = nullptr;
+      double v = std::strtod(buf.c_str(), &end);
+      if (end != buf.c_str() + buf.size() || buf.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("cannot parse '%s' as double", buf.c_str()));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(std::string(text));
+  }
+  return Status::Internal("unreachable value type");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return StrFormat("%g", std::get<double>(data_));
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+size_t Value::hash() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return HashValues(0, std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return HashValues(1, std::get<double>(data_));
+    case ValueType::kString:
+      return HashValues(2, std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+size_t HashTuple(const Tuple& tuple) {
+  size_t seed = 0x811c9dc5;
+  for (const Value& v : tuple) seed = HashCombine(seed, v.hash());
+  return seed;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pdb

@@ -1,0 +1,86 @@
+/// \file value.h
+/// \brief Typed values and tuples — the unit of data in relations.
+
+#ifndef PDB_STORAGE_VALUE_H_
+#define PDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdb {
+
+/// Type tag of a Value.
+enum class ValueType {
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single typed datum. Totally ordered (first by type, then by value) so
+/// values can key ordered and unordered containers alike.
+class Value {
+ public:
+  /// Integer 0.
+  Value() : data_(int64_t{0}) {}
+  Value(int64_t v) : data_(v) {}                 // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}            // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}                  // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Typed accessors; calling the wrong one is a programmer error.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Parses `text` as the requested type.
+  static Result<Value> Parse(std::string_view text, ValueType type);
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+  std::string ToString() const;
+
+  size_t hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+/// A row: a fixed-arity sequence of values.
+using Tuple = std::vector<Value>;
+
+/// Hash of a whole tuple.
+size_t HashTuple(const Tuple& tuple);
+
+/// Renders a tuple as "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace pdb
+
+template <>
+struct std::hash<pdb::Value> {
+  size_t operator()(const pdb::Value& v) const { return v.hash(); }
+};
+
+template <>
+struct std::hash<pdb::Tuple> {
+  size_t operator()(const pdb::Tuple& t) const { return pdb::HashTuple(t); }
+};
+
+#endif  // PDB_STORAGE_VALUE_H_

@@ -1,0 +1,623 @@
+#include "symmetric/fo2.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+#include "util/scaled_float.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+bool IsQuantifierFree(const FoPtr& f) {
+  if (f->kind() == FoKind::kExists || f->kind() == FoKind::kForall) {
+    return false;
+  }
+  for (const FoPtr& c : f->children()) {
+    if (!IsQuantifierFree(c)) return false;
+  }
+  return true;
+}
+
+Result<Fo2Clause> ParseClause(const FoPtr& clause) {
+  if (clause->kind() != FoKind::kForall) {
+    return Status::Unsupported(
+        StrFormat("FO2 shape expects forall-rooted clauses, got: %s",
+                  clause->ToString().c_str()));
+  }
+  const std::string outer = clause->quantified_var();
+  FoPtr body = clause->children()[0];
+  Fo2Clause out;
+  FoPtr matrix;
+  std::string inner;
+  if (body->kind() == FoKind::kForall) {
+    out.shape = Fo2Clause::Shape::kForallForall;
+    inner = body->quantified_var();
+    matrix = body->children()[0];
+  } else if (body->kind() == FoKind::kExists) {
+    out.shape = Fo2Clause::Shape::kForallExists;
+    inner = body->quantified_var();
+    matrix = body->children()[0];
+  } else {
+    // Single-variable clause ∀x φ(x) == ∀x∀y φ(x) over a nonempty domain.
+    out.shape = Fo2Clause::Shape::kForallForall;
+    inner = "";
+    matrix = body;
+  }
+  if (!IsQuantifierFree(matrix)) {
+    return Status::Unsupported(
+        "FO2 shape requires a quantifier-free matrix per clause");
+  }
+  // Normalize variable names to "x"/"y" (inner first: it shadows the outer
+  // binder when the names collide).
+  if (!inner.empty()) matrix = RenameVariable(matrix, inner, "__fo2_y");
+  matrix = RenameVariable(matrix, outer, "__fo2_x");
+  matrix = RenameVariable(matrix, "__fo2_x", "x");
+  matrix = RenameVariable(matrix, "__fo2_y", "y");
+  for (const std::string& v : matrix->FreeVariables()) {
+    if (v != "x" && v != "y") {
+      return Status::InvalidArgument(
+          StrFormat("clause matrix has unbound variable '%s'", v.c_str()));
+    }
+  }
+  out.matrix = matrix;
+  return out;
+}
+
+}  // namespace
+
+Result<Fo2Sentence> ParseFo2Shape(const FoPtr& sentence) {
+  Fo2Sentence out;
+  FoPtr nnf = ToNnf(sentence);
+  std::vector<FoPtr> conjuncts;
+  if (nnf->kind() == FoKind::kAnd) {
+    conjuncts = nnf->children();
+  } else if (nnf->kind() == FoKind::kTrue) {
+    return out;
+  } else {
+    conjuncts.push_back(nnf);
+  }
+  for (const FoPtr& clause : conjuncts) {
+    PDB_ASSIGN_OR_RETURN(Fo2Clause parsed, ParseClause(clause));
+    out.clauses.push_back(std::move(parsed));
+  }
+  return out;
+}
+
+namespace {
+
+// Atom access patterns within a two-variable matrix.
+enum class Pattern { kUx, kUy, kXx, kXy, kYx, kYy };
+
+Result<Pattern> PatternOf(const Atom& atom) {
+  for (const Term& t : atom.args) {
+    if (!t.is_variable()) {
+      return Status::Unsupported(
+          "FO2 symmetric counting does not support constants in atoms");
+    }
+  }
+  if (atom.arity() == 1) {
+    const std::string& v = atom.args[0].var();
+    if (v == "x") return Pattern::kUx;
+    if (v == "y") return Pattern::kUy;
+  } else if (atom.arity() == 2) {
+    const std::string& a = atom.args[0].var();
+    const std::string& b = atom.args[1].var();
+    if (a == "x" && b == "x") return Pattern::kXx;
+    if (a == "x" && b == "y") return Pattern::kXy;
+    if (a == "y" && b == "x") return Pattern::kYx;
+    if (a == "y" && b == "y") return Pattern::kYy;
+  }
+  return Status::Unsupported(
+      StrFormat("atom %s is not a one/two-variable x/y atom",
+                atom.ToString().c_str()));
+}
+
+// Truth values of every slot for one evaluation context.
+struct SlotAssign {
+  // Indexed by unary / binary predicate index.
+  std::vector<char> ux, uy;
+  std::vector<char> xx, xy, yx, yy;
+};
+
+// Evaluates a quantifier-free matrix under a slot assignment.
+Result<bool> EvalMatrix(const FoPtr& f, const SlotAssign& a,
+                        const std::map<std::string, size_t>& unary_index,
+                        const std::map<std::string, size_t>& binary_index) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+      return true;
+    case FoKind::kFalse:
+      return false;
+    case FoKind::kAtom: {
+      PDB_ASSIGN_OR_RETURN(Pattern p, PatternOf(f->atom()));
+      const std::string& pred = f->atom().predicate;
+      if (p == Pattern::kUx || p == Pattern::kUy) {
+        auto it = unary_index.find(pred);
+        if (it == unary_index.end()) {
+          return Status::InvalidArgument(
+              StrFormat("predicate '%s' used as unary but not declared so",
+                        pred.c_str()));
+        }
+        return static_cast<bool>(p == Pattern::kUx ? a.ux[it->second]
+                                                   : a.uy[it->second]);
+      }
+      auto it = binary_index.find(pred);
+      if (it == binary_index.end()) {
+        return Status::InvalidArgument(
+            StrFormat("predicate '%s' used as binary but not declared so",
+                      pred.c_str()));
+      }
+      switch (p) {
+        case Pattern::kXx:
+          return static_cast<bool>(a.xx[it->second]);
+        case Pattern::kXy:
+          return static_cast<bool>(a.xy[it->second]);
+        case Pattern::kYx:
+          return static_cast<bool>(a.yx[it->second]);
+        case Pattern::kYy:
+          return static_cast<bool>(a.yy[it->second]);
+        default:
+          break;
+      }
+      return Status::Internal("unreachable pattern");
+    }
+    case FoKind::kNot: {
+      PDB_ASSIGN_OR_RETURN(
+          bool inner, EvalMatrix(f->children()[0], a, unary_index,
+                                 binary_index));
+      return !inner;
+    }
+    case FoKind::kAnd:
+      for (const FoPtr& c : f->children()) {
+        PDB_ASSIGN_OR_RETURN(bool v,
+                             EvalMatrix(c, a, unary_index, binary_index));
+        if (!v) return false;
+      }
+      return true;
+    case FoKind::kOr:
+      for (const FoPtr& c : f->children()) {
+        PDB_ASSIGN_OR_RETURN(bool v,
+                             EvalMatrix(c, a, unary_index, binary_index));
+        if (v) return true;
+      }
+      return false;
+    default:
+      return Status::Internal("quantifier in FO2 matrix evaluation");
+  }
+}
+
+// Does any matrix mention a reflexive binary atom (B(x,x) or B(y,y))?
+bool MentionsReflexive(const FoPtr& f) {
+  if (f->kind() == FoKind::kAtom) {
+    const Atom& atom = f->atom();
+    if (atom.arity() == 2 && atom.args[0].is_variable() &&
+        atom.args[1].is_variable() &&
+        atom.args[0].var() == atom.args[1].var()) {
+      return true;
+    }
+    return false;
+  }
+  for (const FoPtr& c : f->children()) {
+    if (MentionsReflexive(c)) return true;
+  }
+  return false;
+}
+
+template <typename Num>
+struct NumTraits;
+
+template <>
+struct NumTraits<BigRational> {
+  static BigRational One() { return BigRational(1); }
+  static BigRational FromBigInt(const BigInt& v) { return BigRational(v); }
+  static BigRational FromSize(size_t v) {
+    return BigRational(static_cast<int64_t>(v));
+  }
+  static bool IsZero(const BigRational& v) { return v.is_zero(); }
+  static BigRational FromRational(const BigRational& v) { return v; }
+};
+
+template <>
+struct NumTraits<ScaledFloat> {
+  static ScaledFloat One() { return ScaledFloat(1.0); }
+  static ScaledFloat FromBigInt(const BigInt& v) {
+    return ScaledFloat::FromBigInt(v);
+  }
+  static ScaledFloat FromSize(size_t v) {
+    return ScaledFloat(static_cast<double>(v));
+  }
+  static bool IsZero(const ScaledFloat& v) { return v.is_zero(); }
+  static ScaledFloat FromRational(const BigRational& v) {
+    return ScaledFloat(v.ToDouble());
+  }
+};
+
+// The cell-decomposition count of a conjunction of ∀x∀y matrices.
+template <typename Num>
+Result<Num> CellWfomc(
+    const std::vector<FoPtr>& matrices,
+    const std::vector<std::string>& unary,
+    const std::vector<std::string>& binary,
+    const std::map<std::string, std::pair<Num, Num>>& weights, size_t n,
+    size_t max_terms) {
+  using T = NumTraits<Num>;
+  std::map<std::string, size_t> unary_index;
+  for (size_t i = 0; i < unary.size(); ++i) unary_index[unary[i]] = i;
+  std::map<std::string, size_t> binary_index;
+  for (size_t i = 0; i < binary.size(); ++i) binary_index[binary[i]] = i;
+
+  bool reflexive_in_cells = false;
+  for (const FoPtr& m : matrices) {
+    if (MentionsReflexive(m)) reflexive_in_cells = true;
+  }
+  const size_t num_unary = unary.size();
+  const size_t num_binary = binary.size();
+  const size_t cell_bits =
+      num_unary + (reflexive_in_cells ? num_binary : 0);
+  if (cell_bits > 16 || 2 * num_binary > 16) {
+    return Status::ResourceExhausted(
+        "too many predicates for FO2 cell decomposition");
+  }
+
+  auto weight_of = [&](const std::string& pred, bool value) -> const Num& {
+    auto it = weights.find(pred);
+    PDB_CHECK(it != weights.end());
+    return value ? it->second.first : it->second.second;
+  };
+
+  // --- Enumerate valid cells. ---
+  struct Cell {
+    std::vector<char> unary_vals;
+    std::vector<char> reflexive_vals;  // only when reflexive_in_cells
+    Num weight;
+  };
+  std::vector<Cell> cells;
+  for (size_t mask = 0; mask < (size_t{1} << cell_bits); ++mask) {
+    Cell cell;
+    cell.unary_vals.resize(num_unary);
+    for (size_t i = 0; i < num_unary; ++i) {
+      cell.unary_vals[i] = static_cast<char>((mask >> i) & 1);
+    }
+    if (reflexive_in_cells) {
+      cell.reflexive_vals.resize(num_binary);
+      for (size_t i = 0; i < num_binary; ++i) {
+        cell.reflexive_vals[i] =
+            static_cast<char>((mask >> (num_unary + i)) & 1);
+      }
+    }
+    Num unary_weight = T::One();
+    for (size_t i = 0; i < num_unary; ++i) {
+      unary_weight = unary_weight * weight_of(unary[i], cell.unary_vals[i]);
+    }
+    // Validity and the reflexive-atom mass: ψ(x,x) must hold.
+    SlotAssign assign;
+    assign.ux = cell.unary_vals;
+    assign.uy = cell.unary_vals;
+    Num reflexive_mass;
+    bool any = false;
+    if (reflexive_in_cells) {
+      assign.xx = cell.reflexive_vals;
+      assign.xy = cell.reflexive_vals;
+      assign.yx = cell.reflexive_vals;
+      assign.yy = cell.reflexive_vals;
+      bool ok = true;
+      for (const FoPtr& m : matrices) {
+        PDB_ASSIGN_OR_RETURN(bool v,
+                             EvalMatrix(m, assign, unary_index, binary_index));
+        if (!v) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        any = true;
+        reflexive_mass = T::One();
+        for (size_t i = 0; i < num_binary; ++i) {
+          reflexive_mass =
+              reflexive_mass * weight_of(binary[i], cell.reflexive_vals[i]);
+        }
+      }
+    } else {
+      // Sum the reflexive atoms out of ψ(x,x).
+      reflexive_mass = Num();
+      for (size_t rmask = 0; rmask < (size_t{1} << num_binary); ++rmask) {
+        std::vector<char> rvals(num_binary);
+        for (size_t i = 0; i < num_binary; ++i) {
+          rvals[i] = static_cast<char>((rmask >> i) & 1);
+        }
+        assign.xx = rvals;
+        assign.xy = rvals;
+        assign.yx = rvals;
+        assign.yy = rvals;
+        bool ok = true;
+        for (const FoPtr& m : matrices) {
+          PDB_ASSIGN_OR_RETURN(
+              bool v, EvalMatrix(m, assign, unary_index, binary_index));
+          if (!v) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        Num w = T::One();
+        for (size_t i = 0; i < num_binary; ++i) {
+          w = w * weight_of(binary[i], rvals[i]);
+        }
+        reflexive_mass = reflexive_mass + w;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    cell.weight = unary_weight * reflexive_mass;
+    if (T::IsZero(cell.weight)) continue;
+    cells.push_back(std::move(cell));
+  }
+  const size_t num_cells = cells.size();
+  if (num_cells == 0) return Num();  // no element type is consistent
+
+  // --- Pairwise masses r_ij. ---
+  std::vector<std::vector<Num>> r(num_cells, std::vector<Num>(num_cells));
+  for (size_t i = 0; i < num_cells; ++i) {
+    for (size_t j = i; j < num_cells; ++j) {
+      Num mass;
+      for (size_t cmask = 0; cmask < (size_t{1} << (2 * num_binary));
+           ++cmask) {
+        std::vector<char> xy(num_binary), yx(num_binary);
+        for (size_t b = 0; b < num_binary; ++b) {
+          xy[b] = static_cast<char>((cmask >> (2 * b)) & 1);
+          yx[b] = static_cast<char>((cmask >> (2 * b + 1)) & 1);
+        }
+        // ψ(x,y): x typed by cell i, y by cell j.
+        SlotAssign fwd;
+        fwd.ux = cells[i].unary_vals;
+        fwd.uy = cells[j].unary_vals;
+        fwd.xx = reflexive_in_cells ? cells[i].reflexive_vals
+                                    : std::vector<char>(num_binary, 0);
+        fwd.yy = reflexive_in_cells ? cells[j].reflexive_vals
+                                    : std::vector<char>(num_binary, 0);
+        fwd.xy = xy;
+        fwd.yx = yx;
+        bool ok = true;
+        for (const FoPtr& m : matrices) {
+          PDB_ASSIGN_OR_RETURN(bool v,
+                               EvalMatrix(m, fwd, unary_index, binary_index));
+          if (!v) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        // ψ(y,x): roles swapped.
+        SlotAssign bwd;
+        bwd.ux = cells[j].unary_vals;
+        bwd.uy = cells[i].unary_vals;
+        bwd.xx = fwd.yy;
+        bwd.yy = fwd.xx;
+        bwd.xy = yx;
+        bwd.yx = xy;
+        for (const FoPtr& m : matrices) {
+          PDB_ASSIGN_OR_RETURN(bool v,
+                               EvalMatrix(m, bwd, unary_index, binary_index));
+          if (!v) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        Num w = T::One();
+        for (size_t b = 0; b < num_binary; ++b) {
+          w = w * weight_of(binary[b], xy[b]);
+          w = w * weight_of(binary[b], yx[b]);
+        }
+        mass = mass + w;
+      }
+      r[i][j] = mass;
+      r[j][i] = mass;
+    }
+  }
+
+  // --- Guard the number of cell-count vectors. ---
+  BigInt num_vectors = BigInt::Binomial(n + num_cells - 1, num_cells - 1);
+  if (num_vectors > BigInt(static_cast<int64_t>(max_terms))) {
+    return Status::ResourceExhausted(StrFormat(
+        "FO2 counting needs %s cell-count vectors (limit %zu)",
+        num_vectors.ToString().c_str(), max_terms));
+  }
+
+  // --- Sum over compositions of n into num_cells parts. ---
+  // Power tables: pow_cell[i][c] = w_i^c (c <= n); pow_pair[i][j][e] =
+  // r_ij^e (e up to the largest needed exponent). Avoids repeated Pow calls
+  // and any big-integer factorial arithmetic in the inner loop.
+  std::vector<std::vector<Num>> pow_cell(num_cells);
+  for (size_t i = 0; i < num_cells; ++i) {
+    pow_cell[i].resize(n + 1);
+    pow_cell[i][0] = T::One();
+    for (size_t c = 1; c <= n; ++c) {
+      pow_cell[i][c] = pow_cell[i][c - 1] * cells[i].weight;
+    }
+  }
+  const size_t max_pair_exp = n * n;
+  std::vector<std::vector<std::vector<Num>>> pow_pair(
+      num_cells, std::vector<std::vector<Num>>(num_cells));
+  for (size_t i = 0; i < num_cells; ++i) {
+    for (size_t j = i; j < num_cells; ++j) {
+      std::vector<Num>& powers = pow_pair[i][j];
+      powers.resize(max_pair_exp + 1);
+      powers[0] = T::One();
+      for (size_t e = 1; e <= max_pair_exp; ++e) {
+        powers[e] = powers[e - 1] * r[i][j];
+      }
+    }
+  }
+  // The multinomial n!/(n_1!..n_C!) equals prod_i C(remaining_i, n_i) with
+  // remaining_1 = n and remaining_{i+1} = remaining_i - n_i; the binomials
+  // are maintained incrementally in Num arithmetic.
+  Num total;
+  std::vector<size_t> counts(num_cells, 0);
+  std::function<void(size_t, size_t, Num)> recurse =
+      [&](size_t idx, size_t remaining, Num prefix) {
+        // `prefix` includes the binomials, cell weights, within-cell pair
+        // masses, and cross masses against cells < idx.
+        if (idx + 1 == num_cells) {
+          size_t c = remaining;
+          counts[idx] = c;
+          Num term = prefix * pow_cell[idx][c] *
+                     pow_pair[idx][idx][c * (c - 1) / 2];
+          for (size_t j = 0; j < idx; ++j) {
+            term = term * pow_pair[j][idx][counts[j] * c];
+          }
+          total = total + term;
+          return;
+        }
+        Num binom = T::One();  // C(remaining, 0)
+        for (size_t c = 0; c <= remaining; ++c) {
+          counts[idx] = c;
+          Num factor = prefix * binom * pow_cell[idx][c] *
+                       pow_pair[idx][idx][c * (c - 1) / 2];
+          for (size_t j = 0; j < idx; ++j) {
+            factor = factor * pow_pair[j][idx][counts[j] * c];
+          }
+          recurse(idx + 1, remaining - c, std::move(factor));
+          if (c < remaining) {
+            // C(remaining, c+1) = C(remaining, c) * (remaining-c) / (c+1).
+            binom = binom * T::FromSize(remaining - c) / T::FromSize(c + 1);
+          }
+        }
+      };
+  recurse(0, n, T::One());
+  return total;
+}
+
+// Skolemizes the sentence and gathers the ∀∀ matrices and the extended
+// weight/arity maps. Num-typed weights derive from the rational input.
+template <typename Num>
+Result<Num> RunWfomc(const Fo2Sentence& sentence, const Fo2Weights& weights,
+                     size_t n, size_t max_terms) {
+  using T = NumTraits<Num>;
+  if (n == 0) {
+    return Status::InvalidArgument("domain size must be positive");
+  }
+  std::map<std::string, std::pair<Num, Num>> w;
+  std::map<std::string, size_t> arities = weights.arities;
+  for (const auto& [pred, pair] : weights.weights) {
+    w.emplace(pred, std::make_pair(T::FromRational(pair.first),
+                                   T::FromRational(pair.second)));
+  }
+  std::vector<FoPtr> matrices;
+  int skolem_counter = 0;
+  for (const Fo2Clause& clause : sentence.clauses) {
+    if (clause.shape == Fo2Clause::Shape::kForallForall) {
+      matrices.push_back(clause.matrix);
+    } else {
+      // Skolemization (Van den Broeck et al.): ∀x∃y φ becomes
+      // ∀x∀y (¬φ ∨ A(x)) with w(A) = 1, w̄(A) = -1.
+      std::string name = StrFormat("__skolem%d", skolem_counter++);
+      arities[name] = 1;
+      w.emplace(name,
+                std::make_pair(T::FromRational(BigRational(1)),
+                               T::FromRational(BigRational(-1))));
+      FoPtr skolem_atom =
+          Fo::MakeAtom(Atom(name, {Term::Var("x")}));
+      matrices.push_back(Fo::Or(Fo::Not(clause.matrix), skolem_atom));
+    }
+  }
+  // Partition predicates by arity; verify every used predicate is known.
+  std::vector<std::string> unary, binary;
+  for (const auto& [pred, arity] : arities) {
+    if (arity == 1) {
+      unary.push_back(pred);
+    } else if (arity == 2) {
+      binary.push_back(pred);
+    } else {
+      return Status::Unsupported(
+          StrFormat("FO2 counting supports arities 1 and 2; '%s' has %zu",
+                    pred.c_str(), arity));
+    }
+    if (w.find(pred) == w.end()) {
+      return Status::InvalidArgument(
+          StrFormat("no weights for predicate '%s'", pred.c_str()));
+    }
+  }
+  for (const FoPtr& m : matrices) {
+    for (const std::string& pred : m->Predicates()) {
+      if (arities.find(pred) == arities.end()) {
+        return Status::NotFound(
+            StrFormat("predicate '%s' has no declared arity", pred.c_str()));
+      }
+    }
+  }
+  return CellWfomc<Num>(matrices, unary, binary, w, n, max_terms);
+}
+
+}  // namespace
+
+Result<BigRational> SymmetricWfomcExact(const Fo2Sentence& sentence,
+                                        const Fo2Weights& weights, size_t n,
+                                        size_t max_terms) {
+  return RunWfomc<BigRational>(sentence, weights, n, max_terms);
+}
+
+Result<double> SymmetricWfomcApprox(const Fo2Sentence& sentence,
+                                    const Fo2Weights& weights, size_t n,
+                                    size_t max_terms) {
+  PDB_ASSIGN_OR_RETURN(ScaledFloat value, RunWfomc<ScaledFloat>(
+                                              sentence, weights, n, max_terms));
+  return value.ToDouble();
+}
+
+namespace {
+
+Result<Fo2Weights> WeightsFromSymmetricDb(const SymmetricDatabase& db) {
+  Fo2Weights out;
+  for (const SymmetricRelation& rel : db.relations()) {
+    BigRational p = BigRational::FromDouble(rel.prob);
+    out.weights.emplace(rel.name, std::make_pair(p, BigRational(1) - p));
+    out.arities.emplace(rel.name, rel.arity);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BigRational> SymmetricPqe(const FoPtr& sentence,
+                                 const SymmetricDatabase& db,
+                                 size_t max_terms) {
+  PDB_ASSIGN_OR_RETURN(Fo2Weights weights, WeightsFromSymmetricDb(db));
+  auto direct = ParseFo2Shape(sentence);
+  if (direct.ok()) {
+    return SymmetricWfomcExact(*direct, weights, db.domain_size(), max_terms);
+  }
+  // ∃-rooted sentences: P(Q) = 1 - P(¬Q).
+  auto complemented = ParseFo2Shape(Fo::Not(sentence));
+  if (complemented.ok()) {
+    PDB_ASSIGN_OR_RETURN(
+        BigRational p, SymmetricWfomcExact(*complemented, weights,
+                                           db.domain_size(), max_terms));
+    return BigRational(1) - p;
+  }
+  return direct.status();
+}
+
+Result<double> SymmetricPqeApprox(const FoPtr& sentence,
+                                  const SymmetricDatabase& db,
+                                  size_t max_terms) {
+  PDB_ASSIGN_OR_RETURN(Fo2Weights weights, WeightsFromSymmetricDb(db));
+  auto direct = ParseFo2Shape(sentence);
+  if (direct.ok()) {
+    return SymmetricWfomcApprox(*direct, weights, db.domain_size(),
+                                max_terms);
+  }
+  auto complemented = ParseFo2Shape(Fo::Not(sentence));
+  if (complemented.ok()) {
+    PDB_ASSIGN_OR_RETURN(
+        double p, SymmetricWfomcApprox(*complemented, weights,
+                                       db.domain_size(), max_terms));
+    return 1.0 - p;
+  }
+  return direct.status();
+}
+
+}  // namespace pdb

@@ -1,0 +1,87 @@
+/// \file fo2.h
+/// \brief Lifted counting for FO² over symmetric databases (Theorem 8.1).
+///
+/// Implements the Van den Broeck et al. pipeline that makes PQE(Q)
+/// polynomial in the domain size for every FO² sentence:
+///
+///   1. the sentence is brought to a conjunction of ∀x∀y φ and ∀x∃y φ
+///      clauses (a Scott-style shape; `ParseFo2Shape` recognizes it, and
+///      `SymmetricPqe` additionally handles ∃-rooted sentences through
+///      their complement);
+///   2. every ∀x∃y clause is skolemized with a fresh unary predicate of
+///      weights (1, -1) — negative weights cancel exactly the worlds that
+///      violate the existential;
+///   3. the resulting single ∀x∀y sentence is counted by cell
+///      decomposition: elements are typed by their unary (and, when the
+///      matrix mentions reflexive atoms, their B(x,x)) assignments; the
+///      count is a sum over cell-count vectors (n_1..n_C), polynomial in n
+///      for a fixed sentence.
+
+#ifndef PDB_SYMMETRIC_FO2_H_
+#define PDB_SYMMETRIC_FO2_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logic/fo.h"
+#include "symmetric/symmetric.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// One clause of the recognized FO² shape; the matrix is quantifier-free
+/// over variables named exactly "x" and "y".
+struct Fo2Clause {
+  enum class Shape {
+    kForallForall,  ///< ∀x∀y matrix
+    kForallExists,  ///< ∀x∃y matrix
+  };
+  Shape shape = Shape::kForallForall;
+  FoPtr matrix;
+};
+
+/// A sentence in FO² normal shape: the conjunction of its clauses.
+struct Fo2Sentence {
+  std::vector<Fo2Clause> clauses;
+};
+
+/// Recognizes conjunctions of ∀x∀y φ / ∀x∃y φ / ∀x φ(x) clauses and
+/// normalizes quantified variables to "x"/"y". Unsupported shapes are
+/// rejected (callers may complement ∃-rooted sentences first).
+Result<Fo2Sentence> ParseFo2Shape(const FoPtr& sentence);
+
+/// Weighted pair per predicate (exact).
+struct Fo2Weights {
+  std::map<std::string, std::pair<BigRational, BigRational>> weights;
+  std::map<std::string, size_t> arities;
+};
+
+/// Exact symmetric WFOMC of the sentence over domain size n.
+/// With probability weights (p, 1-p) the result is the query probability.
+/// `max_terms` caps the number of cell-count vectors.
+Result<BigRational> SymmetricWfomcExact(const Fo2Sentence& sentence,
+                                        const Fo2Weights& weights, size_t n,
+                                        size_t max_terms = 2000000);
+
+/// Same algorithm in scaled floating point (large n).
+Result<double> SymmetricWfomcApprox(const Fo2Sentence& sentence,
+                                    const Fo2Weights& weights, size_t n,
+                                    size_t max_terms = 2000000);
+
+/// PQE over a symmetric database for an FO² sentence: handles ∀-rooted
+/// shapes directly and ∃-rooted ones via 1 - P(¬Q). Returns the exact
+/// probability as a rational.
+Result<BigRational> SymmetricPqe(const FoPtr& sentence,
+                                 const SymmetricDatabase& db,
+                                 size_t max_terms = 2000000);
+
+/// Double-precision variant for large domains.
+Result<double> SymmetricPqeApprox(const FoPtr& sentence,
+                                  const SymmetricDatabase& db,
+                                  size_t max_terms = 2000000);
+
+}  // namespace pdb
+
+#endif  // PDB_SYMMETRIC_FO2_H_

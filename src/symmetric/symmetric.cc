@@ -1,0 +1,95 @@
+#include "symmetric/symmetric.h"
+
+#include "util/check.h"
+#include "util/scaled_float.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+Result<const SymmetricRelation*> SymmetricDatabase::Find(
+    const std::string& name) const {
+  for (const SymmetricRelation& rel : relations_) {
+    if (rel.name == name) return &rel;
+  }
+  return Status::NotFound(
+      StrFormat("no symmetric relation named '%s'", name.c_str()));
+}
+
+std::vector<Value> SymmetricDatabase::Domain() const {
+  std::vector<Value> domain;
+  domain.reserve(domain_size_);
+  for (size_t i = 1; i <= domain_size_; ++i) {
+    domain.push_back(Value(static_cast<int64_t>(i)));
+  }
+  return domain;
+}
+
+Result<Database> SymmetricDatabase::Materialize(size_t max_tuples) const {
+  Database db;
+  size_t total_tuples = 0;
+  for (const SymmetricRelation& rel : relations_) {
+    size_t count = 1;
+    for (size_t i = 0; i < rel.arity; ++i) count *= domain_size_;
+    total_tuples += count;
+    if (total_tuples > max_tuples) {
+      return Status::ResourceExhausted(
+          StrFormat("materializing the symmetric database needs %zu tuples "
+                    "(limit %zu)",
+                    total_tuples, max_tuples));
+    }
+    Relation stored(rel.name, Schema::Anonymous(rel.arity, ValueType::kInt));
+    for (size_t combo = 0; combo < count; ++combo) {
+      Tuple tuple;
+      size_t rest = combo;
+      for (size_t i = 0; i < rel.arity; ++i) {
+        tuple.push_back(Value(static_cast<int64_t>(rest % domain_size_ + 1)));
+        rest /= domain_size_;
+      }
+      PDB_RETURN_NOT_OK(stored.AddTuple(std::move(tuple), rel.prob));
+    }
+    PDB_RETURN_NOT_OK(db.AddRelation(std::move(stored)));
+  }
+  return db;
+}
+
+BigRational H0SymmetricClosedForm(double p_r, double p_s, double p_t,
+                                  size_t n) {
+  const BigRational pr = BigRational::FromDouble(p_r);
+  const BigRational ps = BigRational::FromDouble(p_s);
+  const BigRational pt = BigRational::FromDouble(p_t);
+  const BigRational one(1);
+  BigRational total;
+  for (size_t k = 0; k <= n; ++k) {
+    BigRational r_part = BigRational(BigInt::Binomial(n, k)) * pr.Pow(k) *
+                         (one - pr).Pow(n - k);
+    for (size_t l = 0; l <= n; ++l) {
+      BigRational t_part = BigRational(BigInt::Binomial(n, l)) * pt.Pow(l) *
+                           (one - pt).Pow(n - l);
+      BigRational s_part = ps.Pow((n - k) * (n - l));
+      total += r_part * t_part * s_part;
+    }
+  }
+  return total;
+}
+
+double H0SymmetricClosedFormApprox(double p_r, double p_s, double p_t,
+                                   size_t n) {
+  const ScaledFloat pr(p_r);
+  const ScaledFloat ps(p_s);
+  const ScaledFloat pt(p_t);
+  const ScaledFloat one(1.0);
+  ScaledFloat total;
+  for (size_t k = 0; k <= n; ++k) {
+    ScaledFloat r_part = ScaledFloat::FromBigInt(BigInt::Binomial(n, k)) *
+                         pr.Pow(k) * (one - pr).Pow(n - k);
+    for (size_t l = 0; l <= n; ++l) {
+      ScaledFloat t_part = ScaledFloat::FromBigInt(BigInt::Binomial(n, l)) *
+                           pt.Pow(l) * (one - pt).Pow(n - l);
+      ScaledFloat s_part = ps.Pow((n - k) * (n - l));
+      total += r_part * t_part * s_part;
+    }
+  }
+  return total.ToDouble();
+}
+
+}  // namespace pdb

@@ -1,0 +1,80 @@
+/// \file symmetric.h
+/// \brief Symmetric probabilistic databases (paper §8).
+///
+/// A symmetric database assigns every possible tuple of a relation the same
+/// probability p_R; the instance is fully described by the vocabulary, the
+/// per-relation probabilities, and the domain size n. This module provides
+/// the representation, materialization to an ordinary TID (for brute-force
+/// cross-checks), and the paper's closed form for p_D(H0).
+
+#ifndef PDB_SYMMETRIC_SYMMETRIC_H_
+#define PDB_SYMMETRIC_SYMMETRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// One relation of a symmetric database.
+struct SymmetricRelation {
+  std::string name;
+  size_t arity = 1;
+  double prob = 0.5;
+};
+
+/// A symmetric probabilistic database: vocabulary + domain size.
+class SymmetricDatabase {
+ public:
+  SymmetricDatabase(std::vector<SymmetricRelation> relations,
+                    size_t domain_size)
+      : relations_(std::move(relations)), domain_size_(domain_size) {}
+
+  const std::vector<SymmetricRelation>& relations() const {
+    return relations_;
+  }
+  size_t domain_size() const { return domain_size_; }
+
+  /// Finds a relation's declaration.
+  Result<const SymmetricRelation*> Find(const std::string& name) const;
+
+  /// Materializes the full TID over the integer domain 1..n (every
+  /// possible tuple present with its relation's probability). Guarded by
+  /// `max_tuples`.
+  Result<Database> Materialize(size_t max_tuples = 2000000) const;
+
+  /// The integer domain 1..n as values.
+  std::vector<Value> Domain() const;
+
+ private:
+  std::vector<SymmetricRelation> relations_;
+  size_t domain_size_;
+};
+
+/// Exact closed form for p_D(H0), H0 = forall x forall y
+/// (R(x) | S(x,y) | T(y)), over a symmetric database (paper §8):
+///
+///   sum_{k,l} C(n,k) C(n,l) pR^k (1-pR)^(n-k) pT^l (1-pT)^(n-l)
+///             pS^((n-k)(n-l))
+///
+/// Erratum note: the paper prints the final exponent as n^2 - k*l, but a
+/// pair (i,j) needs S(i,j) only when i is NOT in R and j is NOT in T, i.e.
+/// for (n-k)(n-l) pairs. The printed exponent disagrees with brute-force
+/// enumeration already at n = 1 (0.625 vs the true 0.875 at p = 1/2); the
+/// corrected exponent matches enumeration and the FO2 cell algorithm for
+/// all tested instances (see symmetric_test.cc and EXPERIMENTS.md).
+///
+/// Probabilities are taken as exact dyadic rationals of the given doubles.
+BigRational H0SymmetricClosedForm(double p_r, double p_s, double p_t,
+                                  size_t n);
+
+/// Same closed form in scaled floating point (usable for very large n).
+double H0SymmetricClosedFormApprox(double p_r, double p_s, double p_t,
+                                   size_t n);
+
+}  // namespace pdb
+
+#endif  // PDB_SYMMETRIC_SYMMETRIC_H_

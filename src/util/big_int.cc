@@ -1,0 +1,387 @@
+#include "util/big_int.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+constexpr uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  negative_ = value < 0;
+  // Avoid overflow on INT64_MIN by working in unsigned space.
+  uint64_t mag =
+      negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
+    mag >>= 32;
+  }
+  Normalize();
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  text = StrTrim(text);
+  if (text.empty()) return Status::InvalidArgument("empty integer literal");
+  bool negative = false;
+  size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) return Status::InvalidArgument("sign without digits");
+  BigInt out;
+  const BigInt ten(10);
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrFormat("bad digit '%c' in integer literal", c));
+    }
+    out = out * ten + BigInt(c - '0');
+  }
+  out.negative_ = negative;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Pow2(int exp) {
+  PDB_CHECK(exp >= 0);
+  BigInt out;
+  out.limbs_.assign(exp / 32 + 1, 0);
+  out.limbs_.back() = 1u << (exp % 32);
+  return out;
+}
+
+void BigInt::Trim(std::vector<uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+void BigInt::Normalize() {
+  Trim(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+int BigInt::CmpMag(const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  PDB_DCHECK(CmpMag(a, b) >= 0);
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= b[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::DivMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b,
+                                     std::vector<uint32_t>* remainder) {
+  PDB_CHECK(!b.empty());
+  if (CmpMag(a, b) < 0) {
+    *remainder = a;
+    Trim(remainder);
+    return {};
+  }
+  // Bit-by-bit long division: simple and fast enough for our magnitudes.
+  const int total_bits = static_cast<int>(a.size()) * 32;
+  std::vector<uint32_t> quot(a.size(), 0);
+  std::vector<uint32_t> rem;
+  for (int bit = total_bits - 1; bit >= 0; --bit) {
+    // rem = rem << 1 | a.bit(bit)
+    uint32_t carry = (a[bit / 32] >> (bit % 32)) & 1u;
+    for (size_t i = 0; i < rem.size(); ++i) {
+      uint32_t next = rem[i] >> 31;
+      rem[i] = (rem[i] << 1) | carry;
+      carry = next;
+    }
+    if (carry) rem.push_back(carry);
+    if (CmpMag(rem, b) >= 0) {
+      rem = SubMag(rem, b);
+      quot[bit / 32] |= 1u << (bit % 32);
+    }
+  }
+  Trim(&quot);
+  Trim(&rem);
+  *remainder = std::move(rem);
+  return quot;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMag(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CmpMag(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMag(limbs_, other.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMag(other.limbs_, limbs_);
+      out.negative_ = other.negative_;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out;
+  out.limbs_ = MulMag(limbs_, other.limbs_);
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  PDB_CHECK(!other.is_zero());
+  BigInt out;
+  std::vector<uint32_t> rem;
+  out.limbs_ = DivMag(limbs_, other.limbs_, &rem);
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  PDB_CHECK(!other.is_zero());
+  BigInt out;
+  std::vector<uint32_t> rem;
+  DivMag(limbs_, other.limbs_, &rem);
+  out.limbs_ = std::move(rem);
+  out.negative_ = negative_;  // remainder has the dividend's sign
+  out.Normalize();
+  return out;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  return negative_ == other.negative_ && limbs_ == other.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_;
+  int cmp = CmpMag(limbs_, other.limbs_);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::Pow(uint64_t exp) const {
+  BigInt base = *this;
+  BigInt out(1);
+  while (exp > 0) {
+    if (exp & 1) out *= base;
+    exp >>= 1;
+    if (exp) base *= base;
+  }
+  return out;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a = a.Abs();
+  b = b.Abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return BigInt();
+  if (k > n - k) k = n - k;
+  BigInt out(1);
+  for (uint64_t i = 1; i <= k; ++i) {
+    out *= BigInt(static_cast<int64_t>(n - k + i));
+    out = out / BigInt(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+BigInt BigInt::Factorial(uint64_t n) {
+  BigInt out(1);
+  for (uint64_t i = 2; i <= n; ++i) out *= BigInt(static_cast<int64_t>(i));
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide by 10^9 to extract decimal chunks.
+  const BigInt chunk(1000000000);
+  BigInt cur = Abs();
+  std::vector<uint32_t> parts;
+  while (!cur.is_zero()) {
+    BigInt rem = cur % chunk;
+    cur = cur / chunk;
+    int64_t r = rem.is_zero() ? 0 : rem.ToInt64().value();
+    parts.push_back(static_cast<uint32_t>(r));
+  }
+  std::string out = negative_ ? "-" : "";
+  out += std::to_string(parts.back());
+  for (size_t i = parts.size() - 1; i-- > 0;) {
+    out += StrFormat("%09u", parts[i]);
+  }
+  return out;
+}
+
+double BigInt::ToDouble() const {
+  double out = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  if (limbs_.size() > 2) return Status::OutOfRange("BigInt exceeds int64");
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > (1ULL << 63)) return Status::OutOfRange("BigInt exceeds int64");
+    return static_cast<int64_t>(~mag + 1);
+  }
+  if (mag > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::OutOfRange("BigInt exceeds int64");
+  }
+  return static_cast<int64_t>(mag);
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+int BigInt::TrailingZeroBits() const {
+  if (limbs_.empty()) return 0;
+  int bits = 0;
+  for (uint32_t limb : limbs_) {
+    if (limb == 0) {
+      bits += 32;
+      continue;
+    }
+    uint32_t v = limb;
+    while ((v & 1u) == 0) {
+      ++bits;
+      v >>= 1;
+    }
+    break;
+  }
+  return bits;
+}
+
+bool BigInt::IsPowerOfTwo() const {
+  if (limbs_.empty()) return false;
+  return BitLength() == TrailingZeroBits() + 1;
+}
+
+BigInt BigInt::ShiftRight(int k) const {
+  PDB_CHECK(k >= 0);
+  BigInt out;
+  out.negative_ = negative_;
+  const int limb_shift = k / 32;
+  const int bit_shift = k % 32;
+  if (static_cast<size_t>(limb_shift) >= limbs_.size()) return BigInt();
+  out.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  if (bit_shift > 0) {
+    uint32_t carry = 0;
+    for (size_t i = out.limbs_.size(); i-- > 0;) {
+      uint32_t cur = out.limbs_[i];
+      out.limbs_[i] = (cur >> bit_shift) | carry;
+      carry = cur << (32 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+size_t BigInt::hash() const {
+  size_t seed = negative_ ? 0x9e3779b9u : 0x85ebca6bu;
+  for (uint32_t limb : limbs_) seed = HashCombine(seed, limb);
+  return seed;
+}
+
+}  // namespace pdb

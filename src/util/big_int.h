@@ -1,0 +1,133 @@
+/// \file big_int.h
+/// \brief Arbitrary-precision signed integers.
+///
+/// Used wherever floating point would silently lose the answer: exact model
+/// counts (up to 2^n models), exact weighted model counting over rational
+/// probabilities, and the symmetric-database lifted counting algorithm whose
+/// intermediate terms involve p^{n^2}-scale magnitudes.
+///
+/// Representation: sign + little-endian base-2^32 limbs, no leading zero
+/// limbs, zero is the empty limb vector with positive sign.
+
+#ifndef PDB_UTIL_BIG_INT_H_
+#define PDB_UTIL_BIG_INT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdb {
+
+/// Arbitrary-precision signed integer.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From a machine integer.
+  BigInt(int64_t value);  // NOLINT(runtime/explicit): intended conversion.
+
+  /// Parses a decimal string with optional leading '-'.
+  static Result<BigInt> FromString(std::string_view text);
+
+  /// 2^exp. `exp` must be >= 0.
+  static BigInt Pow2(int exp);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  /// Sign as -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  /// `other` must be nonzero.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder matching operator/ (same sign as dividend). Nonzero divisor.
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator<=(const BigInt& other) const { return !(other < *this); }
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator>=(const BigInt& other) const { return !(*this < other); }
+
+  /// this^exp with exp >= 0 (binary exponentiation).
+  BigInt Pow(uint64_t exp) const;
+
+  /// Greatest common divisor of |a| and |b|; result is non-negative.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Binomial coefficient C(n, k) computed exactly.
+  static BigInt Binomial(uint64_t n, uint64_t k);
+
+  /// n! computed exactly.
+  static BigInt Factorial(uint64_t n);
+
+  /// Decimal representation.
+  std::string ToString() const;
+
+  /// Nearest double (may overflow to +/-inf for huge values).
+  double ToDouble() const;
+
+  /// Value as int64 if representable.
+  Result<int64_t> ToInt64() const;
+
+  /// Number of significant bits of |value| (0 for zero).
+  int BitLength() const;
+
+  /// Number of trailing zero bits of |value| (0 for zero).
+  int TrailingZeroBits() const;
+
+  /// True iff |value| == 2^k for some k >= 0.
+  bool IsPowerOfTwo() const;
+
+  /// |this| / 2^k with the original sign (k <= TrailingZeroBits() keeps the
+  /// value exact; larger k truncates).
+  BigInt ShiftRight(int k) const;
+
+  size_t hash() const;
+
+ private:
+  // Unsigned helpers over limb vectors (little-endian base 2^32).
+  static std::vector<uint32_t> AddMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Returns -1/0/+1 comparing magnitudes.
+  static int CmpMag(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b);
+  // Long division of magnitudes; quotient returned, remainder via out-param.
+  static std::vector<uint32_t> DivMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b,
+                                      std::vector<uint32_t>* remainder);
+  static void Trim(std::vector<uint32_t>* limbs);
+
+  void Normalize();
+
+  bool negative_ = false;
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace pdb
+
+template <>
+struct std::hash<pdb::BigInt> {
+  size_t operator()(const pdb::BigInt& v) const { return v.hash(); }
+};
+
+#endif  // PDB_UTIL_BIG_INT_H_

@@ -1,0 +1,47 @@
+/// \file hash.h
+/// \brief Hash-combining utilities used by hash-consed structures
+/// (Boolean formula DAG, OBDD unique tables, DPLL caches).
+
+#ifndef PDB_UTIL_HASH_H_
+#define PDB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace pdb {
+
+/// Mixes `v` into the running hash `seed` (boost::hash_combine style, with a
+/// 64-bit golden-ratio constant and extra avalanche).
+inline size_t HashCombine(size_t seed, size_t v) {
+  // splitmix64 finalizer applied to v before combining.
+  uint64_t x = v;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return seed ^ (static_cast<size_t>(x) + 0x9e3779b97f4a7c15ULL +
+                 (seed << 6) + (seed >> 2));
+}
+
+/// Hashes each argument with std::hash and combines them.
+template <typename... Ts>
+size_t HashValues(const Ts&... values) {
+  size_t seed = 0x5bd1e995;
+  ((seed = HashCombine(seed, std::hash<Ts>{}(values))), ...);
+  return seed;
+}
+
+/// Hashes a contiguous range of hashable items.
+template <typename It>
+size_t HashRange(It begin, It end) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = begin; it != end; ++it) {
+    seed = HashCombine(seed, std::hash<std::decay_t<decltype(*it)>>{}(*it));
+  }
+  return seed;
+}
+
+}  // namespace pdb
+
+#endif  // PDB_UTIL_HASH_H_

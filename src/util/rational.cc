@@ -1,0 +1,138 @@
+#include "util/rational.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+BigRational::BigRational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  PDB_CHECK(!den_.is_zero());
+  Normalize();
+}
+
+void BigRational::Normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  // Fast path for dyadic denominators (the common case throughout pdb,
+  // since probabilities enter as doubles): gcd(num, 2^k) is a shift, which
+  // avoids quadratic big-integer division on huge operands.
+  if (den_.IsPowerOfTwo()) {
+    int shift = std::min(num_.TrailingZeroBits(), den_.TrailingZeroBits());
+    if (shift > 0) {
+      num_ = num_.ShiftRight(shift);
+      den_ = den_.ShiftRight(shift);
+    }
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+BigRational BigRational::FromDouble(double value) {
+  PDB_CHECK(std::isfinite(value));
+  if (value == 0.0) return BigRational();
+  int exp = 0;
+  double mantissa = std::frexp(value, &exp);  // value = mantissa * 2^exp
+  // Scale mantissa to a 53-bit integer.
+  int64_t scaled = static_cast<int64_t>(std::ldexp(mantissa, 53));
+  exp -= 53;
+  BigInt num(scaled);
+  if (exp >= 0) return BigRational(num * BigInt::Pow2(exp), BigInt(1));
+  return BigRational(std::move(num), BigInt::Pow2(-exp));
+}
+
+Result<BigRational> BigRational::FromString(std::string_view text) {
+  text = StrTrim(text);
+  size_t slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    PDB_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(text.substr(0, slash)));
+    PDB_ASSIGN_OR_RETURN(BigInt den,
+                         BigInt::FromString(text.substr(slash + 1)));
+    if (den.is_zero()) return Status::InvalidArgument("zero denominator");
+    return BigRational(std::move(num), std::move(den));
+  }
+  size_t dot = text.find('.');
+  if (dot != std::string_view::npos) {
+    std::string digits(text.substr(0, dot));
+    std::string_view frac = text.substr(dot + 1);
+    digits.append(frac);
+    PDB_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(digits));
+    return BigRational(std::move(num), BigInt(10).Pow(frac.size()));
+  }
+  PDB_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(text));
+  return BigRational(std::move(num));
+}
+
+BigRational BigRational::operator-() const {
+  BigRational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+BigRational BigRational::operator+(const BigRational& other) const {
+  return BigRational(num_ * other.den_ + other.num_ * den_,
+                     den_ * other.den_);
+}
+
+BigRational BigRational::operator-(const BigRational& other) const {
+  return BigRational(num_ * other.den_ - other.num_ * den_,
+                     den_ * other.den_);
+}
+
+BigRational BigRational::operator*(const BigRational& other) const {
+  return BigRational(num_ * other.num_, den_ * other.den_);
+}
+
+BigRational BigRational::operator/(const BigRational& other) const {
+  PDB_CHECK(!other.is_zero());
+  return BigRational(num_ * other.den_, den_ * other.num_);
+}
+
+bool BigRational::operator<(const BigRational& other) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return num_ * other.den_ < other.num_ * den_;
+}
+
+BigRational BigRational::Pow(uint64_t exp) const {
+  BigRational out(1);
+  out.num_ = num_.Pow(exp);
+  out.den_ = den_.Pow(exp);
+  return out;  // already in lowest terms since num_/den_ were coprime
+}
+
+double BigRational::ToDouble() const {
+  if (num_.is_zero()) return 0.0;
+  // Shift both sides into a safely representable window, then divide and
+  // reapply the exponent difference.
+  int shift_num = std::max(0, num_.BitLength() - 900);
+  int shift_den = std::max(0, den_.BitLength() - 900);
+  BigInt n = shift_num > 0 ? num_ / BigInt::Pow2(shift_num) : num_;
+  BigInt d = shift_den > 0 ? den_ / BigInt::Pow2(shift_den) : den_;
+  double val = n.ToDouble() / d.ToDouble();
+  return val * std::pow(2.0, shift_num - shift_den);
+}
+
+std::string BigRational::ToString() const {
+  if (den_ == BigInt(1)) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+size_t BigRational::hash() const {
+  return HashCombine(num_.hash(), den_.hash());
+}
+
+}  // namespace pdb

@@ -1,0 +1,89 @@
+/// \file rational.h
+/// \brief Exact rational arithmetic over BigInt.
+///
+/// Probabilities in a TID are given as rationals; computing with
+/// BigRational end-to-end makes the "exact" oracles in tests and the
+/// symmetric-database module genuinely exact, with a careful final
+/// conversion to double that avoids overflow/underflow of huge
+/// numerators/denominators.
+
+#ifndef PDB_UTIL_RATIONAL_H_
+#define PDB_UTIL_RATIONAL_H_
+
+#include <string>
+
+#include "util/big_int.h"
+
+namespace pdb {
+
+/// Exact rational number, always stored in lowest terms with a positive
+/// denominator.
+class BigRational {
+ public:
+  /// Zero.
+  BigRational() : num_(0), den_(1) {}
+  /// Integer value.
+  BigRational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  BigRational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  /// num/den; den must be nonzero.
+  BigRational(BigInt num, BigInt den);
+
+  /// Exact value of a double (every finite double is a dyadic rational).
+  static BigRational FromDouble(double value);
+
+  /// Parses "a/b" or a decimal like "0.25" or an integer.
+  static Result<BigRational> FromString(std::string_view text);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  int sign() const { return num_.sign(); }
+
+  BigRational operator-() const;
+  BigRational operator+(const BigRational& other) const;
+  BigRational operator-(const BigRational& other) const;
+  BigRational operator*(const BigRational& other) const;
+  /// Exact division; other must be nonzero.
+  BigRational operator/(const BigRational& other) const;
+
+  BigRational& operator+=(const BigRational& o) { return *this = *this + o; }
+  BigRational& operator-=(const BigRational& o) { return *this = *this - o; }
+  BigRational& operator*=(const BigRational& o) { return *this = *this * o; }
+  BigRational& operator/=(const BigRational& o) { return *this = *this / o; }
+
+  bool operator==(const BigRational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const BigRational& other) const { return !(*this == other); }
+  bool operator<(const BigRational& other) const;
+  bool operator<=(const BigRational& other) const { return !(other < *this); }
+  bool operator>(const BigRational& other) const { return other < *this; }
+  bool operator>=(const BigRational& other) const { return !(*this < other); }
+
+  /// this^exp for exp >= 0.
+  BigRational Pow(uint64_t exp) const;
+
+  /// Nearest double, robust to huge numerator/denominator magnitudes.
+  double ToDouble() const;
+
+  /// "num/den" (or just "num" when den == 1).
+  std::string ToString() const;
+
+  size_t hash() const;
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace pdb
+
+template <>
+struct std::hash<pdb::BigRational> {
+  size_t operator()(const pdb::BigRational& v) const { return v.hash(); }
+};
+
+#endif  // PDB_UTIL_RATIONAL_H_

@@ -1,0 +1,142 @@
+/// \file scaled_float.h
+/// \brief Floating point with an explicit wide exponent.
+///
+/// The symmetric-database algorithms (paper §8) multiply terms like
+/// p^(n^2), far below double's exponent range. ScaledFloat keeps a double
+/// mantissa in [0.5, 1) (or 0) and a separate 64-bit binary exponent, so
+/// magnitude never under/overflows while signs (needed for skolemization's
+/// negative weights) still work. ~53 bits of precision.
+
+#ifndef PDB_UTIL_SCALED_FLOAT_H_
+#define PDB_UTIL_SCALED_FLOAT_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/big_int.h"
+
+namespace pdb {
+
+/// value = mantissa * 2^exponent, mantissa in (-1,-0.5] ∪ {0} ∪ [0.5,1).
+class ScaledFloat {
+ public:
+  ScaledFloat() = default;
+  ScaledFloat(double value) { *this = FromDouble(value); }  // NOLINT
+
+  static ScaledFloat FromDouble(double value) {
+    ScaledFloat out;
+    if (value == 0.0) return out;
+    int exp = 0;
+    out.mantissa_ = std::frexp(value, &exp);
+    out.exponent_ = exp;
+    return out;
+  }
+
+  static ScaledFloat FromBigInt(const BigInt& value) {
+    if (value.is_zero()) return ScaledFloat();
+    int bits = value.BitLength();
+    // Keep the top ~60 bits for the mantissa.
+    int shift = bits > 60 ? bits - 60 : 0;
+    BigInt scaled = shift > 0 ? value / BigInt::Pow2(shift) : value;
+    ScaledFloat out = FromDouble(scaled.ToDouble());
+    out.exponent_ += shift;
+    return out;
+  }
+
+  bool is_zero() const { return mantissa_ == 0.0; }
+  double mantissa() const { return mantissa_; }
+  int64_t exponent() const { return exponent_; }
+
+  /// log10 of |value| (for reporting); -inf when zero.
+  double Log10Abs() const {
+    if (is_zero()) return -HUGE_VAL;
+    return std::log10(std::fabs(mantissa_)) +
+           static_cast<double>(exponent_) * 0.30102999566398119521;
+  }
+
+  double ToDouble() const {
+    if (is_zero()) return 0.0;
+    if (exponent_ > 1023) return mantissa_ > 0 ? HUGE_VAL : -HUGE_VAL;
+    if (exponent_ < -1073) return 0.0;
+    return std::ldexp(mantissa_, static_cast<int>(exponent_));
+  }
+
+  ScaledFloat operator-() const {
+    ScaledFloat out = *this;
+    out.mantissa_ = -out.mantissa_;
+    return out;
+  }
+
+  ScaledFloat operator*(const ScaledFloat& other) const {
+    if (is_zero() || other.is_zero()) return ScaledFloat();
+    ScaledFloat out;
+    out.mantissa_ = mantissa_ * other.mantissa_;
+    out.exponent_ = exponent_ + other.exponent_;
+    out.Normalize();
+    return out;
+  }
+
+  ScaledFloat operator+(const ScaledFloat& other) const {
+    if (is_zero()) return other;
+    if (other.is_zero()) return *this;
+    // Align to the larger exponent; drop the smaller term if negligible.
+    const ScaledFloat* big = this;
+    const ScaledFloat* small = &other;
+    if (big->exponent_ < small->exponent_) std::swap(big, small);
+    int64_t diff = big->exponent_ - small->exponent_;
+    if (diff > 200) return *big;
+    ScaledFloat out;
+    out.mantissa_ =
+        big->mantissa_ + std::ldexp(small->mantissa_, -static_cast<int>(diff));
+    out.exponent_ = big->exponent_;
+    out.Normalize();
+    return out;
+  }
+
+  ScaledFloat operator-(const ScaledFloat& other) const {
+    return *this + (-other);
+  }
+
+  /// Division; `other` must be nonzero.
+  ScaledFloat operator/(const ScaledFloat& other) const {
+    if (is_zero()) return ScaledFloat();
+    ScaledFloat out;
+    out.mantissa_ = mantissa_ / other.mantissa_;
+    out.exponent_ = exponent_ - other.exponent_;
+    out.Normalize();
+    return out;
+  }
+
+  ScaledFloat& operator+=(const ScaledFloat& o) { return *this = *this + o; }
+  ScaledFloat& operator*=(const ScaledFloat& o) { return *this = *this * o; }
+
+  /// this^exp, exp >= 0.
+  ScaledFloat Pow(uint64_t exp) const {
+    ScaledFloat base = *this;
+    ScaledFloat out = FromDouble(1.0);
+    while (exp > 0) {
+      if (exp & 1) out *= base;
+      exp >>= 1;
+      if (exp) base *= base;
+    }
+    return out;
+  }
+
+ private:
+  void Normalize() {
+    if (mantissa_ == 0.0) {
+      exponent_ = 0;
+      return;
+    }
+    int exp = 0;
+    mantissa_ = std::frexp(mantissa_, &exp);
+    exponent_ += exp;
+  }
+
+  double mantissa_ = 0.0;
+  int64_t exponent_ = 0;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_UTIL_SCALED_FLOAT_H_

@@ -1,0 +1,135 @@
+/// \file status.h
+/// \brief Error handling primitives: `Status` and `Result<T>`.
+///
+/// Fallible public APIs in pdb return `Status` (or `Result<T>` when they
+/// produce a value) instead of throwing exceptions, following the idiom of
+/// production database codebases (Arrow, RocksDB, LevelDB). Programmer errors
+/// (broken invariants) abort via the PDB_CHECK macros in check.h.
+
+#ifndef PDB_UTIL_STATUS_H_
+#define PDB_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pdb {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad query text, bad schema, ...)
+  kNotFound,          ///< a named entity (relation, attribute) is missing
+  kOutOfRange,        ///< numeric value outside the legal range
+  kUnsupported,       ///< legal input outside the scope of the algorithm
+  kFailedPrecondition,///< call sequence violated (e.g. executing unbound plan)
+  kResourceExhausted, ///< configured limit (nodes, time, memory) exceeded
+  kInternal,          ///< bug: should never be surfaced to users
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// An error code plus message. Cheap to move; `ok()` is the common case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error `Status`. Never both.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Undefined behaviour when !ok() (checked in debug).
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when a value is held
+};
+
+/// Propagates a non-OK Status from an expression, like Arrow's macro.
+#define PDB_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::pdb::Status _pdb_status = (expr);        \
+    if (!_pdb_status.ok()) return _pdb_status; \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define PDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define PDB_ASSIGN_OR_RETURN(lhs, expr) \
+  PDB_ASSIGN_OR_RETURN_IMPL(PDB_CONCAT_(_pdb_result_, __LINE__), lhs, expr)
+
+#define PDB_CONCAT_INNER_(a, b) a##b
+#define PDB_CONCAT_(a, b) PDB_CONCAT_INNER_(a, b)
+
+}  // namespace pdb
+
+#endif  // PDB_UTIL_STATUS_H_

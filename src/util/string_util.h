@@ -1,0 +1,30 @@
+/// \file string_util.h
+/// \brief Small string helpers shared across modules (splitting, joining,
+/// printf-style formatting into std::string).
+
+#ifndef PDB_UTIL_STRING_UTIL_H_
+#define PDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdb {
+
+/// Splits `text` on `sep`. Keeps empty fields; "a,,b" -> {"a","","b"}.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace pdb
+
+#endif  // PDB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,166 @@
+#include "wmc/dpll.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+// Union-find for component grouping.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<double> DpllCounter::Compute(NodeId root) {
+  PDB_ASSIGN_OR_RETURN(CacheEntry entry, Count(root));
+  root_trace_ = entry.trace;
+  return entry.value;
+}
+
+VarId DpllCounter::ChooseVar(NodeId f) {
+  const std::vector<VarId>& vars = mgr_->VarsOf(f);
+  PDB_CHECK(!vars.empty());
+  if (options_.heuristic == DpllHeuristic::kLowestVar) return vars[0];
+  // kMostOccurrences: the variable contained in the most top-level children.
+  FormulaKind k = mgr_->kind(f);
+  if (k != FormulaKind::kAnd && k != FormulaKind::kOr) return vars[0];
+  std::map<VarId, size_t> counts;
+  for (NodeId c : mgr_->children(f)) {
+    for (VarId v : mgr_->VarsOf(c)) ++counts[v];
+  }
+  VarId best = vars[0];
+  size_t best_count = 0;
+  for (const auto& [v, n] : counts) {
+    if (n > best_count) {
+      best = v;
+      best_count = n;
+    }
+  }
+  return best;
+}
+
+double DpllCounter::FreedVarsFactor(const std::vector<VarId>& all,
+                                    const std::vector<VarId>& sub,
+                                    VarId decided) {
+  double factor = 1.0;
+  size_t j = 0;
+  for (VarId v : all) {
+    while (j < sub.size() && sub[j] < v) ++j;
+    bool in_sub = j < sub.size() && sub[j] == v;
+    if (!in_sub && v != decided) factor *= weights_[v].sum();
+  }
+  return factor;
+}
+
+Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
+  DpllTraceSink* sink = options_.trace;
+  switch (mgr_->kind(f)) {
+    case FormulaKind::kTrue:
+      return CacheEntry{1.0, sink ? sink->TrueNode() : 0};
+    case FormulaKind::kFalse:
+      return CacheEntry{0.0, sink ? sink->FalseNode() : 0};
+    case FormulaKind::kVar: {
+      VarId v = mgr_->var(f);
+      CacheEntry entry{weights_[v].w_true, 0};
+      if (sink) {
+        entry.trace = sink->Decision(v, sink->FalseNode(), sink->TrueNode());
+      }
+      return entry;
+    }
+    default:
+      break;
+  }
+  auto it = cache_.find(f);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+
+  CacheEntry result;
+  // Negative literal: !x.
+  if (mgr_->kind(f) == FormulaKind::kNot &&
+      mgr_->kind(mgr_->children(f)[0]) == FormulaKind::kVar) {
+    VarId v = mgr_->var(mgr_->children(f)[0]);
+    result.value = weights_[v].w_false;
+    if (sink) {
+      result.trace = sink->Decision(v, sink->TrueNode(), sink->FalseNode());
+    }
+    cache_.emplace(f, result);
+    return result;
+  }
+
+  // Connected-component decomposition of conjunctions.
+  if (options_.use_components && mgr_->kind(f) == FormulaKind::kAnd) {
+    auto kids = mgr_->children(f);
+    UnionFind uf(kids.size());
+    std::map<VarId, size_t> first_child_of_var;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      for (VarId v : mgr_->VarsOf(kids[i])) {
+        auto [pos, inserted] = first_child_of_var.emplace(v, i);
+        if (!inserted) uf.Union(i, pos->second);
+      }
+    }
+    std::map<size_t, std::vector<NodeId>> groups;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      groups[uf.Find(i)].push_back(kids[i]);
+    }
+    if (groups.size() > 1) {
+      ++stats_.component_splits;
+      double product = 1.0;
+      std::vector<DpllTraceSink::Ref> refs;
+      for (auto& [rep, members] : groups) {
+        NodeId component = mgr_->And(members);
+        PDB_ASSIGN_OR_RETURN(CacheEntry sub, Count(component));
+        product *= sub.value;
+        if (sink) refs.push_back(sub.trace);
+      }
+      result.value = product;
+      if (sink) result.trace = sink->AndNode(refs);
+      cache_.emplace(f, result);
+      return result;
+    }
+  }
+
+  // Shannon expansion.
+  if (++stats_.decisions > options_.max_decisions) {
+    return Status::ResourceExhausted(
+        StrFormat("DPLL exceeded %llu decisions",
+                  static_cast<unsigned long long>(options_.max_decisions)));
+  }
+  VarId v = ChooseVar(f);
+  const std::vector<VarId> all_vars = mgr_->VarsOf(f);  // copy: map may grow
+  NodeId f0 = mgr_->Cofactor(f, v, false);
+  NodeId f1 = mgr_->Cofactor(f, v, true);
+  PDB_ASSIGN_OR_RETURN(CacheEntry e0, Count(f0));
+  PDB_ASSIGN_OR_RETURN(CacheEntry e1, Count(f1));
+  double corr0 = FreedVarsFactor(all_vars, mgr_->VarsOf(f0), v);
+  double corr1 = FreedVarsFactor(all_vars, mgr_->VarsOf(f1), v);
+  result.value = weights_[v].w_false * e0.value * corr0 +
+                 weights_[v].w_true * e1.value * corr1;
+  if (sink) result.trace = sink->Decision(v, e0.trace, e1.trace);
+  cache_.emplace(f, result);
+  return result;
+}
+
+}  // namespace pdb

@@ -1,0 +1,103 @@
+/// \file dpll.h
+/// \brief DPLL-style exact weighted model counting (paper §7).
+///
+/// Full backtracking search in the style of Cachet/sharpSAT: Shannon
+/// expansion (rule 11), formula caching (hash-consing makes equal
+/// subformulas identical node ids), and connected-component decomposition of
+/// conjunctions (rule 12). The search trace can be recorded through a
+/// `DpllTraceSink`, which — per Huang & Darwiche — yields a decision-DNNF
+/// (see kc/trace_compiler.h).
+///
+/// Weighted counts are computed relative to the variable set of each
+/// subformula; variables eliminated by simplification are re-introduced as
+/// (w + w̄) factors, so general (even negative) weights are supported.
+
+#ifndef PDB_WMC_DPLL_H_
+#define PDB_WMC_DPLL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "boolean/formula.h"
+#include "wmc/weights.h"
+
+namespace pdb {
+
+/// Receives the search trace of a DPLL run; implemented by the knowledge
+/// compiler (kc/trace_compiler.h) to build a decision-DNNF.
+class DpllTraceSink {
+ public:
+  /// Opaque reference to a trace node.
+  using Ref = uint64_t;
+
+  virtual ~DpllTraceSink() = default;
+  virtual Ref TrueNode() = 0;
+  virtual Ref FalseNode() = 0;
+  /// A Shannon expansion on `var`: lo is the false branch, hi the true one.
+  virtual Ref Decision(VarId var, Ref lo, Ref hi) = 0;
+  /// A component split: conjunction of variable-disjoint children.
+  virtual Ref AndNode(const std::vector<Ref>& children) = 0;
+};
+
+/// Variable selection strategies for the Shannon expansion.
+enum class DpllHeuristic {
+  kLowestVar,        ///< smallest VarId first (a static order)
+  kMostOccurrences,  ///< variable occurring in most DAG nodes first
+};
+
+/// Options for a DPLL run.
+struct DpllOptions {
+  bool use_components = true;
+  DpllHeuristic heuristic = DpllHeuristic::kMostOccurrences;
+  /// Abort with ResourceExhausted after this many Shannon expansions.
+  uint64_t max_decisions = UINT64_MAX;
+  /// Optional trace sink; may be null.
+  DpllTraceSink* trace = nullptr;
+};
+
+/// Statistics of a DPLL run.
+struct DpllStats {
+  uint64_t decisions = 0;
+  uint64_t cache_hits = 0;
+  uint64_t component_splits = 0;
+};
+
+/// Exact weighted model counter.
+class DpllCounter {
+ public:
+  DpllCounter(FormulaManager* mgr, WeightMap weights, DpllOptions options = {})
+      : mgr_(mgr), weights_(std::move(weights)), options_(options) {}
+
+  /// WMC of `root` relative to its own variable set. With probability
+  /// weights this is exactly the probability of the formula.
+  Result<double> Compute(NodeId root);
+
+  const DpllStats& stats() const { return stats_; }
+
+  /// Trace reference of the most recent Compute (valid when a sink is set).
+  DpllTraceSink::Ref root_trace() const { return root_trace_; }
+
+ private:
+  struct CacheEntry {
+    double value = 0;
+    DpllTraceSink::Ref trace = 0;
+  };
+
+  Result<CacheEntry> Count(NodeId f);
+  VarId ChooseVar(NodeId f);
+  /// Product of (w+w̄) over variables in `all` but not in `sub`.
+  double FreedVarsFactor(const std::vector<VarId>& all,
+                         const std::vector<VarId>& sub, VarId decided);
+
+  FormulaManager* mgr_;
+  WeightMap weights_;
+  DpllOptions options_;
+  DpllStats stats_;
+  std::unordered_map<NodeId, CacheEntry> cache_;
+  DpllTraceSink::Ref root_trace_ = 0;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_WMC_DPLL_H_

@@ -1,0 +1,44 @@
+/// \file enumeration.h
+/// \brief Brute-force model enumeration: the ground-truth oracle.
+///
+/// Exponential in the number of variables; used in tests and as the exact
+/// reference for every other inference method. WMC over a variable set V
+/// (superset of the formula's variables) sums Π-weights over all 2^|V|
+/// assignments; with probability weights and V = vars(F) this is exactly
+/// p(F).
+
+#ifndef PDB_WMC_ENUMERATION_H_
+#define PDB_WMC_ENUMERATION_H_
+
+#include "boolean/formula.h"
+#include "wmc/weights.h"
+
+namespace pdb {
+
+/// Max variables accepted by the double enumerator.
+inline constexpr size_t kMaxEnumerationVars = 30;
+/// Max variables accepted by the exact enumerator.
+inline constexpr size_t kMaxExactEnumerationVars = 24;
+
+/// Probability that `root` is true when each variable v is independently
+/// true with probability weights[v] interpreted as (p, 1-p) pairs must hold
+/// w_true + w_false == 1. Use EnumerateWmc for general weights.
+Result<double> EnumerateProbability(FormulaManager* mgr, NodeId root,
+                                    const std::vector<double>& probs);
+
+/// Weighted model count over exactly the variables of `root`.
+Result<double> EnumerateWmc(FormulaManager* mgr, NodeId root,
+                            const WeightMap& weights);
+
+/// Exact rational versions of the above.
+Result<BigRational> EnumerateProbabilityExact(
+    FormulaManager* mgr, NodeId root, const std::vector<double>& probs);
+Result<BigRational> EnumerateWmcExact(FormulaManager* mgr, NodeId root,
+                                      const RationalWeightMap& weights);
+
+/// Unweighted model count #F over the variables of `root` (exact).
+Result<BigInt> CountModels(FormulaManager* mgr, NodeId root);
+
+}  // namespace pdb
+
+#endif  // PDB_WMC_ENUMERATION_H_

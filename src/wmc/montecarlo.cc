@@ -1,0 +1,113 @@
+#include "wmc/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pdb {
+
+Estimate NaiveMonteCarlo(FormulaManager* mgr, NodeId root,
+                         const std::vector<double>& probs, uint64_t samples,
+                         Rng* rng) {
+  const std::vector<VarId>& vars = mgr->VarsOf(root);
+  size_t max_var = 0;
+  for (VarId v : vars) max_var = std::max<size_t>(max_var, v);
+  std::vector<bool> assignment(vars.empty() ? 0 : max_var + 1, false);
+  uint64_t hits = 0;
+  for (uint64_t s = 0; s < samples; ++s) {
+    for (VarId v : vars) assignment[v] = rng->Bernoulli(probs[v]);
+    if (mgr->Evaluate(root, assignment)) ++hits;
+  }
+  Estimate est;
+  est.samples = samples;
+  est.value = samples == 0 ? 0.0 : static_cast<double>(hits) / samples;
+  est.stderr_ =
+      samples == 0 ? 0.0
+                   : std::sqrt(est.value * (1.0 - est.value) / samples);
+  return est;
+}
+
+Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
+                             const std::vector<double>& probs,
+                             uint64_t samples, Rng* rng) {
+  if (terms.empty()) {
+    return Estimate{0.0, 0.0, samples};
+  }
+  // Per-term probabilities and the union-bound total U.
+  std::vector<double> term_probs(terms.size());
+  double total = 0.0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    double p = 1.0;
+    for (VarId v : terms[i]) {
+      if (v >= probs.size()) {
+        return Status::InvalidArgument("term variable outside weight map");
+      }
+      p *= probs[v];
+    }
+    term_probs[i] = p;
+    total += p;
+  }
+  if (total == 0.0) {
+    return Estimate{0.0, 0.0, samples};
+  }
+  // Cumulative distribution for term sampling.
+  std::vector<double> cumulative(terms.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    acc += term_probs[i] / total;
+    cumulative[i] = acc;
+  }
+  // All variables mentioned by any term.
+  std::vector<VarId> all_vars;
+  for (const auto& t : terms) {
+    all_vars.insert(all_vars.end(), t.begin(), t.end());
+  }
+  std::sort(all_vars.begin(), all_vars.end());
+  all_vars.erase(std::unique(all_vars.begin(), all_vars.end()),
+                 all_vars.end());
+  size_t max_var = all_vars.empty() ? 0 : all_vars.back() + 1;
+  std::vector<bool> assignment(max_var, false);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (uint64_t s = 0; s < samples; ++s) {
+    // Pick a term proportional to its probability.
+    double u = rng->NextDouble();
+    size_t chosen =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin();
+    if (chosen >= terms.size()) chosen = terms.size() - 1;
+    // Sample an assignment conditioned on the chosen term being true.
+    for (VarId v : all_vars) assignment[v] = rng->Bernoulli(probs[v]);
+    for (VarId v : terms[chosen]) assignment[v] = true;
+    // Count how many terms the assignment satisfies (>= 1 by construction).
+    size_t satisfied = 0;
+    for (const auto& term : terms) {
+      bool sat = true;
+      for (VarId v : term) {
+        if (!assignment[v]) {
+          sat = false;
+          break;
+        }
+      }
+      if (sat) ++satisfied;
+    }
+    PDB_CHECK(satisfied >= 1);
+    double x = total / static_cast<double>(satisfied);
+    sum += x;
+    sum_sq += x * x;
+  }
+  Estimate est;
+  est.samples = samples;
+  if (samples > 0) {
+    est.value = sum / static_cast<double>(samples);
+    double variance =
+        std::max(0.0, sum_sq / static_cast<double>(samples) -
+                          est.value * est.value);
+    est.stderr_ = std::sqrt(variance / static_cast<double>(samples));
+  }
+  return est;
+}
+
+}  // namespace pdb

@@ -1,0 +1,43 @@
+/// \file montecarlo.h
+/// \brief Approximate inference: naive Monte Carlo over possible worlds and
+/// the Karp–Luby FPRAS for DNF lineages.
+///
+/// These are the practical fallback when PQE(Q) is #P-hard (paper §2, §10):
+/// both return unbiased estimates with O(1/sqrt(samples)) error; Karp-Luby's
+/// relative error is independent of how small the probability is.
+
+#ifndef PDB_WMC_MONTECARLO_H_
+#define PDB_WMC_MONTECARLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "boolean/formula.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pdb {
+
+/// An estimate with its standard error.
+struct Estimate {
+  double value = 0.0;
+  double stderr_ = 0.0;
+  uint64_t samples = 0;
+};
+
+/// Naive sampling: draw `samples` assignments (variable v true with
+/// probability probs[v]) and report the fraction satisfying `root`.
+Estimate NaiveMonteCarlo(FormulaManager* mgr, NodeId root,
+                         const std::vector<double>& probs, uint64_t samples,
+                         Rng* rng);
+
+/// Karp–Luby estimator for a DNF given as term lists (each term a
+/// conjunction of positive variables). Requires at least one term with
+/// nonzero probability; probabilities must lie in [0, 1].
+Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
+                             const std::vector<double>& probs,
+                             uint64_t samples, Rng* rng);
+
+}  // namespace pdb
+
+#endif  // PDB_WMC_MONTECARLO_H_

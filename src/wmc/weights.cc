@@ -1,0 +1,22 @@
+#include "wmc/weights.h"
+
+namespace pdb {
+
+WeightMap WeightsFromProbabilities(const std::vector<double>& probs) {
+  WeightMap out;
+  out.reserve(probs.size());
+  for (double p : probs) out.push_back(WeightPair::Probability(p));
+  return out;
+}
+
+RationalWeightMap RationalWeightsFromProbabilities(
+    const std::vector<double>& probs) {
+  RationalWeightMap out;
+  out.reserve(probs.size());
+  for (double p : probs) {
+    out.push_back(RationalWeightPair::Probability(BigRational::FromDouble(p)));
+  }
+  return out;
+}
+
+}  // namespace pdb

@@ -1,0 +1,61 @@
+/// \file weights.h
+/// \brief Variable weights for weighted model counting.
+///
+/// Following the paper's appendix, every Boolean variable carries a weight
+/// pair (w, w̄) for its true/false polarities. Probabilities are the special
+/// case (p, 1-p); MLN factor variables and skolemization atoms use general —
+/// possibly negative — weights, e.g. the (1, -1) pair of Van den Broeck's
+/// skolemization.
+
+#ifndef PDB_WMC_WEIGHTS_H_
+#define PDB_WMC_WEIGHTS_H_
+
+#include <vector>
+
+#include "util/rational.h"
+
+namespace pdb {
+
+/// Real weight pair (w for true, w_false for false).
+struct WeightPair {
+  double w_true = 1.0;
+  double w_false = 1.0;
+
+  static WeightPair Probability(double p) { return {p, 1.0 - p}; }
+  /// MLN-style weight w: (w, 1).
+  static WeightPair MlnWeight(double w) { return {w, 1.0}; }
+  /// Skolemization pair (1, -1).
+  static WeightPair Skolem() { return {1.0, -1.0}; }
+
+  double sum() const { return w_true + w_false; }
+};
+
+/// Weights for variables 0..n-1.
+using WeightMap = std::vector<WeightPair>;
+
+/// Builds the probability-semantics weight map for tuple probabilities.
+WeightMap WeightsFromProbabilities(const std::vector<double>& probs);
+
+/// Exact rational weight pair (for the exact oracles and the symmetric
+/// module).
+struct RationalWeightPair {
+  BigRational w_true = BigRational(1);
+  BigRational w_false = BigRational(1);
+
+  static RationalWeightPair Probability(const BigRational& p) {
+    return {p, BigRational(1) - p};
+  }
+  static RationalWeightPair Skolem() { return {BigRational(1), BigRational(-1)}; }
+
+  BigRational sum() const { return w_true + w_false; }
+};
+
+using RationalWeightMap = std::vector<RationalWeightPair>;
+
+/// Exact weights from double probabilities (doubles convert exactly).
+RationalWeightMap RationalWeightsFromProbabilities(
+    const std::vector<double>& probs);
+
+}  // namespace pdb
+
+#endif  // PDB_WMC_WEIGHTS_H_

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "boolean/formula.h"
+#include "boolean/lineage.h"
+#include "logic/parser.h"
+#include "test_common.h"
+
+namespace pdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FormulaManager: construction and simplification
+// ---------------------------------------------------------------------------
+
+TEST(FormulaTest, HashConsing) {
+  FormulaManager mgr;
+  NodeId a = mgr.Var(0);
+  NodeId b = mgr.Var(1);
+  EXPECT_EQ(mgr.And(a, b), mgr.And(b, a));  // sorted children
+  EXPECT_EQ(mgr.Or(a, b), mgr.Or(b, a));
+  EXPECT_EQ(mgr.Var(0), a);
+  EXPECT_EQ(mgr.Not(mgr.Not(a)), a);
+}
+
+TEST(FormulaTest, ConstantFolding) {
+  FormulaManager mgr;
+  NodeId a = mgr.Var(0);
+  EXPECT_EQ(mgr.And(a, mgr.True()), a);
+  EXPECT_EQ(mgr.And(a, mgr.False()), mgr.False());
+  EXPECT_EQ(mgr.Or(a, mgr.False()), a);
+  EXPECT_EQ(mgr.Or(a, mgr.True()), mgr.True());
+  EXPECT_EQ(mgr.And(std::vector<NodeId>{}), mgr.True());
+  EXPECT_EQ(mgr.Or(std::vector<NodeId>{}), mgr.False());
+}
+
+TEST(FormulaTest, ComplementAnnihilation) {
+  FormulaManager mgr;
+  NodeId a = mgr.Var(0);
+  EXPECT_EQ(mgr.And(a, mgr.Not(a)), mgr.False());
+  EXPECT_EQ(mgr.Or(a, mgr.Not(a)), mgr.True());
+}
+
+TEST(FormulaTest, FlattensNested) {
+  FormulaManager mgr;
+  NodeId a = mgr.Var(0), b = mgr.Var(1), c = mgr.Var(2);
+  NodeId nested = mgr.And(mgr.And(a, b), c);
+  NodeId flat = mgr.And(std::vector<NodeId>{a, b, c});
+  EXPECT_EQ(nested, flat);
+  EXPECT_EQ(mgr.children(flat).size(), 3u);
+}
+
+TEST(FormulaTest, VarsOfIsSortedUnion) {
+  FormulaManager mgr;
+  NodeId f = mgr.Or(mgr.And(mgr.Var(3), mgr.Var(1)), mgr.Var(2));
+  EXPECT_EQ(mgr.VarsOf(f), (std::vector<VarId>{1, 2, 3}));
+  EXPECT_TRUE(mgr.VarsOf(mgr.True()).empty());
+}
+
+TEST(FormulaTest, Evaluate) {
+  FormulaManager mgr;
+  // (x0 & !x1) | x2
+  NodeId f = mgr.Or(mgr.And(mgr.Var(0), mgr.Not(mgr.Var(1))), mgr.Var(2));
+  EXPECT_TRUE(mgr.Evaluate(f, {true, false, false}));
+  EXPECT_FALSE(mgr.Evaluate(f, {true, true, false}));
+  EXPECT_TRUE(mgr.Evaluate(f, {false, false, true}));
+  EXPECT_FALSE(mgr.Evaluate(f, {false, false, false}));
+}
+
+TEST(FormulaTest, CofactorSimplifies) {
+  FormulaManager mgr;
+  NodeId f = mgr.Or(mgr.And(mgr.Var(0), mgr.Var(1)), mgr.Var(2));
+  EXPECT_EQ(mgr.Cofactor(f, 0, true), mgr.Or(mgr.Var(1), mgr.Var(2)));
+  EXPECT_EQ(mgr.Cofactor(f, 0, false), mgr.Var(2));
+  EXPECT_EQ(mgr.Cofactor(f, 3, true), f);  // var absent: unchanged
+  // Cofactor through negation.
+  NodeId g = mgr.Not(mgr.And(mgr.Var(0), mgr.Var(1)));
+  EXPECT_EQ(mgr.Cofactor(g, 0, true), mgr.Not(mgr.Var(1)));
+  EXPECT_EQ(mgr.Cofactor(g, 0, false), mgr.True());
+}
+
+TEST(FormulaTest, CountReachable) {
+  FormulaManager mgr;
+  NodeId shared = mgr.And(mgr.Var(0), mgr.Var(1));
+  NodeId f = mgr.Or(shared, mgr.And(shared, mgr.Var(2)));
+  // Nodes: or, and(0,1), and(0,1,2), x0, x1, x2 -> 6.
+  EXPECT_EQ(mgr.CountReachable(f), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Lineage
+// ---------------------------------------------------------------------------
+
+TEST(LineageTest, Example21LineageStructure) {
+  Database db = testing::BuildFigure1Database();
+  FormulaManager mgr;
+  auto q = ParseFo("forall x forall y (S(x,y) => R(x))");
+  auto lineage = BuildLineage(*q, db, &mgr);
+  ASSERT_TRUE(lineage.ok());
+  // All 9 uncertain tuples appear.
+  EXPECT_EQ(lineage->vars.size(), 9u);
+  // Probability bookkeeping matches the database.
+  for (size_t v = 0; v < lineage->vars.size(); ++v) {
+    const Relation* rel = *db.Get(lineage->vars[v].relation);
+    EXPECT_DOUBLE_EQ(lineage->probs[v], rel->prob(lineage->vars[v].row));
+  }
+}
+
+TEST(LineageTest, LineageAgreesWithWorldSemantics) {
+  // For random worlds, evaluating the lineage under the world's indicator
+  // assignment equals evaluating the query on the world (appendix def).
+  Database db = testing::BuildFigure1Database();
+  FormulaManager mgr;
+  std::vector<Value> domain = db.ActiveDomain();
+  auto q = ParseFo("forall x forall y (S(x,y) => R(x))");
+  auto lineage = BuildLineage(*q, db, &mgr);
+  ASSERT_TRUE(lineage.ok());
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Database world = db.SampleWorld(&rng);
+    std::vector<bool> assignment(lineage->vars.size(), false);
+    for (size_t v = 0; v < lineage->vars.size(); ++v) {
+      const LineageVar& lv = lineage->vars[v];
+      const Relation* original = *db.Get(lv.relation);
+      assignment[v] = (*world.Get(lv.relation))->Contains(
+          original->tuple(lv.row));
+    }
+    EXPECT_EQ(mgr.Evaluate(lineage->root, assignment),
+              EvaluateOnWorld(*q, world, domain));
+  }
+}
+
+TEST(LineageTest, MissingTuplesGroundToFalse) {
+  Database db = testing::BuildFigure1Database();
+  FormulaManager mgr;
+  // R('zzz') is not a possible tuple: the existential lineage is just the
+  // disjunction over stored R tuples.
+  auto q = ParseFo("exists x R(x)");
+  auto lineage = BuildLineage(*q, db, &mgr);
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(lineage->vars.size(), 3u);
+}
+
+TEST(LineageTest, CertainTuplesFoldAway) {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  ASSERT_TRUE(r.AddTuple({Value(1)}, 1.0).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r)).ok());
+  FormulaManager mgr;
+  auto lineage = BuildLineage(*ParseFo("exists x R(x)"), db, &mgr);
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(lineage->root, mgr.True());
+  EXPECT_TRUE(lineage->vars.empty());
+}
+
+TEST(LineageTest, RejectsFreeVariablesAndUnknownRelations) {
+  Database db = testing::BuildFigure1Database();
+  FormulaManager mgr;
+  EXPECT_FALSE(BuildLineage(*ParseFo("exists y S(x, y)"), db, &mgr).ok());
+  EXPECT_FALSE(BuildLineage(*ParseFo("exists x Zap(x)"), db, &mgr).ok());
+}
+
+TEST(LineageTest, UcqLineageMatchesFoLineage) {
+  Database db = testing::BuildFigure1Database();
+  auto fo = ParseUcqShorthand("R(x), S(x,y)");
+  auto ucq = FoToUcq(*fo);
+  ASSERT_TRUE(ucq.ok());
+  FormulaManager mgr1;
+  auto join_lineage = BuildUcqLineage(*ucq, db, &mgr1);
+  ASSERT_TRUE(join_lineage.ok());
+  FormulaManager mgr2;
+  auto fo_lineage = BuildLineage(*fo, db, &mgr2);
+  ASSERT_TRUE(fo_lineage.ok());
+  // Same number of satisfying assignments over the same variable origins:
+  // check via truth tables keyed by (relation, row).
+  // Both lineages involve R(a1),R(a2),S(a1,*),S(a2,*) tuples only.
+  EXPECT_EQ(mgr1.VarsOf(join_lineage->root).size(),
+            mgr2.VarsOf(fo_lineage->root).size());
+}
+
+TEST(LineageTest, EnumerateCqMatchesCountsJoins) {
+  Database db = testing::BuildFigure1Database();
+  auto ucq = FoToUcq(*ParseUcqShorthand("R(x), S(x,y)"));
+  size_t matches = 0;
+  ASSERT_TRUE(EnumerateCqMatches(ucq->disjuncts()[0], db,
+                                 [&](const CqMatch&) { ++matches; })
+                  .ok());
+  // R(a1) joins S(a1,b1),S(a1,b2); R(a2) joins S(a2,b3..b5): 5 matches.
+  EXPECT_EQ(matches, 5u);
+}
+
+TEST(LineageTest, EnumerateHandlesConstantsAndRepeats) {
+  Database db;
+  Relation s("S", Schema::Anonymous(2));
+  ASSERT_TRUE(s.AddTuple({Value(1), Value(1)}, 0.5).ok());
+  ASSERT_TRUE(s.AddTuple({Value(1), Value(2)}, 0.5).ok());
+  ASSERT_TRUE(s.AddTuple({Value(2), Value(2)}, 0.5).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(s)).ok());
+  // S(x,x): diagonal only.
+  ConjunctiveQuery diag({Atom("S", {Term::Var("x"), Term::Var("x")})});
+  size_t matches = 0;
+  ASSERT_TRUE(
+      EnumerateCqMatches(diag, db, [&](const CqMatch&) { ++matches; }).ok());
+  EXPECT_EQ(matches, 2u);
+  // S(1, y): constant selection.
+  ConjunctiveQuery sel({Atom("S", {Term::Const(Value(1)), Term::Var("y")})});
+  matches = 0;
+  ASSERT_TRUE(
+      EnumerateCqMatches(sel, db, [&](const CqMatch&) { ++matches; }).ok());
+  EXPECT_EQ(matches, 2u);
+}
+
+TEST(LineageTest, DnfTermsDeduplicateVars) {
+  Database db;
+  Relation s("S", Schema::Anonymous(2));
+  ASSERT_TRUE(s.AddTuple({Value(1), Value(1)}, 0.5).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(s)).ok());
+  // S(x,y) & S(y,x) matched by the symmetric tuple (1,1) twice -> one var.
+  ConjunctiveQuery cq({Atom("S", {Term::Var("x"), Term::Var("y")}),
+                       Atom("S", {Term::Var("y"), Term::Var("x")})});
+  auto dnf = BuildUcqDnf(Ucq({cq}), db);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->terms.size(), 1u);
+  EXPECT_EQ(dnf->terms[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdb

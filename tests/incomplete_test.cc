@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "incomplete/incomplete.h"
+#include "logic/parser.h"
+#include "test_common.h"
+#include "util/string_util.h"
+
+namespace pdb {
+namespace {
+
+Ucq UcqOf(const char* text) {
+  auto fo = ParseUcqShorthand(text);
+  PDB_CHECK(fo.ok());
+  auto ucq = FoToUcq(*fo);
+  PDB_CHECK(ucq.ok());
+  return *ucq;
+}
+
+// R(1), R(?n); S(1, 2), S(?n, 3).
+IncompleteDatabase SampleDb() {
+  IncompleteDatabase db;
+  CoddRelation r("R", Schema::Anonymous(1));
+  PDB_CHECK(r.AddRow({CoddTerm::Const(Value(1))}).ok());
+  PDB_CHECK(r.AddRow({CoddTerm::Null("n")}).ok());
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  CoddRelation s("S", Schema::Anonymous(2));
+  PDB_CHECK(s.AddRow({CoddTerm::Const(Value(1)), CoddTerm::Const(Value(2))})
+                .ok());
+  PDB_CHECK(s.AddRow({CoddTerm::Null("n"), CoddTerm::Const(Value(3))}).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  return db;
+}
+
+std::vector<Value> Domain() {
+  // Constants of the database plus fresh values (so enumeration covers
+  // "null differs from everything" worlds).
+  return {Value(1), Value(2), Value(3), Value(97), Value(98)};
+}
+
+TEST(CoddTest, RowValidation) {
+  CoddRelation r("R", Schema::Anonymous(2));
+  EXPECT_FALSE(r.AddRow({CoddTerm::Const(Value(1))}).ok());  // arity
+  EXPECT_FALSE(
+      r.AddRow({CoddTerm::Const(Value("x")), CoddTerm::Const(Value(1))})
+          .ok());  // type
+  EXPECT_TRUE(
+      r.AddRow({CoddTerm::Null("a"), CoddTerm::Const(Value(1))}).ok());
+}
+
+TEST(IncompleteTest, InstantiateSubstitutesAndDeduplicates) {
+  IncompleteDatabase db = SampleDb();
+  auto world = db.Instantiate({{"n", Value(1)}});
+  ASSERT_TRUE(world.ok());
+  // R(1) and R(?n -> 1) collapse to one tuple.
+  EXPECT_EQ((*world->Get("R"))->size(), 1u);
+  EXPECT_TRUE((*world->Get("S"))->Contains({Value(1), Value(3)}));
+  // Missing valuation entries are errors.
+  EXPECT_FALSE(db.Instantiate({}).ok());
+  // Wrong type is an error.
+  EXPECT_FALSE(db.Instantiate({{"n", Value("oops")}}).ok());
+}
+
+TEST(IncompleteTest, CertainAnswers) {
+  IncompleteDatabase db = SampleDb();
+  // R(1) holds in every world.
+  EXPECT_TRUE(*db.IsCertain(UcqOf("R(1)")));
+  // Some S-tuple with first column 1 always exists.
+  Ucq s1({ConjunctiveQuery(
+      {Atom("S", {Term::Const(Value(1)), Term::Var("y")})})});
+  EXPECT_TRUE(*db.IsCertain(s1));
+  // R(x), S(x, y) is certain: x = 1 works in every world? S(1,2) and R(1)
+  // are both constant rows, so yes.
+  EXPECT_TRUE(*db.IsCertain(UcqOf("R(x), S(x,y)")));
+  // S(2, 3) only holds when ?n = 2: possible but not certain.
+  Ucq s23({ConjunctiveQuery(
+      {Atom("S", {Term::Const(Value(2)), Term::Const(Value(3))})})});
+  EXPECT_FALSE(*db.IsCertain(s23));
+  EXPECT_TRUE(*db.IsPossible(s23, Domain()));
+  // S(97, 97) holds in no world.
+  Ucq nowhere({ConjunctiveQuery(
+      {Atom("S", {Term::Const(Value(97)), Term::Const(Value(97))})})});
+  EXPECT_FALSE(*db.IsCertain(nowhere));
+  EXPECT_FALSE(*db.IsPossible(nowhere, Domain()));
+}
+
+TEST(IncompleteTest, NaiveEvaluationMatchesEnumeration) {
+  IncompleteDatabase db = SampleDb();
+  const char* queries[] = {
+      "R(x)",
+      "R(x), S(x,y)",
+      "S(x, 3)",
+      "S(x, y), R(y)",
+      "R(2)",
+  };
+  for (const char* text : queries) {
+    Ucq ucq = UcqOf(text);
+    auto naive = db.IsCertain(ucq);
+    auto enumerated = db.IsCertainByEnumeration(ucq, Domain());
+    ASSERT_TRUE(naive.ok()) << text;
+    ASSERT_TRUE(enumerated.ok()) << text;
+    EXPECT_EQ(*naive, *enumerated) << text;
+  }
+}
+
+TEST(IncompleteTest, SharedNullCorrelatesRows) {
+  // ?n appears in R and S: worlds where R contains n also have S(n, 3) —
+  // so "exists x (R(x) & S(x, 3))" is certain even though no constant row
+  // witnesses it.
+  IncompleteDatabase db = SampleDb();
+  EXPECT_TRUE(*db.IsCertain(UcqOf("R(x), S(x, 3)")));
+  EXPECT_TRUE(*db.IsCertainByEnumeration(UcqOf("R(x), S(x, 3)"), Domain()));
+}
+
+TEST(IncompleteTest, NoNullsDegeneratesToOrdinaryEvaluation) {
+  IncompleteDatabase db;
+  CoddRelation r("R", Schema::Anonymous(1));
+  PDB_CHECK(r.AddRow({CoddTerm::Const(Value(5))}).ok());
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  EXPECT_TRUE(*db.IsCertain(UcqOf("R(5)")));
+  EXPECT_FALSE(*db.IsCertain(UcqOf("R(6)")));
+  EXPECT_EQ(db.NullLabels().size(), 0u);
+}
+
+TEST(IncompleteTest, EnumerationGuard) {
+  IncompleteDatabase db;
+  CoddRelation r("R", Schema::Anonymous(2));
+  for (int i = 0; i < 12; ++i) {
+    PDB_CHECK(r.AddRow({CoddTerm::Null(StrFormat("a%d", i)),
+                        CoddTerm::Null(StrFormat("b%d", i))})
+                  .ok());
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  EXPECT_EQ(db.IsCertainByEnumeration(UcqOf("R(x,y)"), Domain(), 1000)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+  // Naive evaluation is unaffected by the blowup.
+  EXPECT_TRUE(*db.IsCertain(UcqOf("R(x,y)")));
+}
+
+}  // namespace
+}  // namespace pdb

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "boolean/lineage.h"
+#include "kc/circuit.h"
+#include "kc/obdd.h"
+#include "kc/order.h"
+#include "kc/trace_compiler.h"
+#include "lifted/lifted.h"
+#include "logic/parser.h"
+#include "test_common.h"
+#include "wmc/enumeration.h"
+
+namespace pdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OBDD basics
+// ---------------------------------------------------------------------------
+
+TEST(ObddTest, TerminalAndLiteral) {
+  Obdd obdd({0, 1});
+  EXPECT_EQ(obdd.And(obdd.True(), obdd.False()), obdd.False());
+  Obdd::Ref x0 = obdd.MakeNode(0, obdd.False(), obdd.True());
+  EXPECT_EQ(obdd.Size(x0), 1u);
+  EXPECT_EQ(obdd.Not(obdd.Not(x0)), x0);
+}
+
+TEST(ObddTest, ReductionRules) {
+  Obdd obdd({0, 1});
+  // lo == hi collapses.
+  Obdd::Ref x1 = obdd.MakeNode(1, obdd.False(), obdd.True());
+  EXPECT_EQ(obdd.MakeNode(0, x1, x1), x1);
+  // Unique table: same triple -> same node.
+  EXPECT_EQ(obdd.MakeNode(0, obdd.False(), x1),
+            obdd.MakeNode(0, obdd.False(), x1));
+}
+
+TEST(ObddTest, CompileMatchesEnumeration) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    FormulaManager mgr;
+    Rng rng(seed + 1000);
+    // Random formula over 8 vars (reusing the generator shape inline).
+    std::vector<NodeId> literals;
+    for (VarId v = 0; v < 8; ++v) literals.push_back(mgr.Var(v));
+    std::vector<NodeId> clauses;
+    for (int c = 0; c < 6; ++c) {
+      std::vector<NodeId> lits;
+      for (int l = 0; l < 3; ++l) {
+        NodeId lit = literals[rng.Uniform(8)];
+        if (rng.Bernoulli(0.5)) lit = mgr.Not(lit);
+        lits.push_back(lit);
+      }
+      clauses.push_back(mgr.Or(std::move(lits)));
+    }
+    NodeId f = mgr.And(std::move(clauses));
+    std::vector<double> probs(8);
+    for (double& p : probs) p = rng.NextDouble();
+    Obdd obdd(IdentityOrder(8));
+    auto compiled = obdd.Compile(&mgr, f);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_NEAR(obdd.Wmc(*compiled, WeightsFromProbabilities(probs)),
+                *EnumerateProbability(&mgr, f, probs), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(ObddTest, CountModels) {
+  FormulaManager mgr;
+  NodeId f = mgr.Or(mgr.Var(0), mgr.Var(1));  // 3 models over 2 vars
+  Obdd obdd(IdentityOrder(2));
+  EXPECT_EQ(obdd.CountModels(*obdd.Compile(&mgr, f)), BigInt(3));
+  // Model count accounts for skipped levels: same formula in a 4-var order
+  // has 3 * 4 = 12 models.
+  Obdd wide(IdentityOrder(4));
+  EXPECT_EQ(wide.CountModels(*wide.Compile(&mgr, f)), BigInt(12));
+}
+
+TEST(ObddTest, MissingVariableInOrderIsError) {
+  FormulaManager mgr;
+  Obdd obdd(IdentityOrder(1));
+  EXPECT_FALSE(obdd.Compile(&mgr, mgr.Var(5)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 7.1(i): OBDD size, hierarchical vs non-hierarchical
+// ---------------------------------------------------------------------------
+
+// Builds the chain database R(i), S(i,j) for i in [n], j in [fanout].
+Database TwoLevelDb(size_t n, size_t fanout) {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, 0.5).ok());
+    for (size_t j = 1; j <= fanout; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           0.5)
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  return db;
+}
+
+// Complete bipartite H0 database over n x n.
+Database H0Db(size_t n) {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation t("T", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, 0.5).ok());
+    PDB_CHECK(t.AddTuple({Value(static_cast<int64_t>(i))}, 0.5).ok());
+    for (size_t j = 1; j <= n; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           0.5)
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  return db;
+}
+
+TEST(ObddSizeTest, HierarchicalLineageHasLinearObdd) {
+  auto fo = ParseUcqShorthand("R(x), S(x,y)");
+  std::vector<size_t> sizes;
+  for (size_t n : {4, 8, 16}) {
+    Database db = TwoLevelDb(n, 2);
+    FormulaManager mgr;
+    auto lineage = BuildLineage(*fo, db, &mgr);
+    ASSERT_TRUE(lineage.ok());
+    Obdd obdd(HierarchicalOrder(*lineage, db));
+    auto root = obdd.Compile(&mgr, lineage->root);
+    ASSERT_TRUE(root.ok());
+    sizes.push_back(obdd.Size(*root));
+  }
+  // Linear growth: size(2n) <= 2.5 * size(n) and absolute size stays tiny.
+  EXPECT_LE(sizes[1], sizes[0] * 5 / 2 + 4);
+  EXPECT_LE(sizes[2], sizes[1] * 5 / 2 + 4);
+  EXPECT_LE(sizes[2], 16u * 3u * 3u);
+}
+
+TEST(ObddSizeTest, NonHierarchicalLineageBlowsUpUnderEveryOrder) {
+  // Theorem 7.1(i)(b): every OBDD for the H0 lineage has size
+  // >= (2^n - 1)/n. Verify exhaustively over all orders at n = 2 and for a
+  // sample of orders at n = 3.
+  auto fo = ParseUcqShorthand("R(x), S(x,y), T(y)");
+  for (size_t n : {2u, 3u}) {
+    Database db = H0Db(n);
+    FormulaManager mgr;
+    auto lineage = BuildLineage(*fo, db, &mgr);
+    ASSERT_TRUE(lineage.ok());
+    const size_t num_vars = lineage->vars.size();
+    size_t best = SIZE_MAX;
+    if (num_vars <= 8) {
+      for (const auto& order : AllOrders(num_vars)) {
+        Obdd obdd(order);
+        auto root = obdd.Compile(&mgr, lineage->root);
+        ASSERT_TRUE(root.ok());
+        best = std::min(best, obdd.Size(*root));
+      }
+    } else {
+      Rng rng(n);
+      std::vector<VarId> order = IdentityOrder(num_vars);
+      for (int trial = 0; trial < 200; ++trial) {
+        for (size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1], order[rng.Uniform(i)]);
+        }
+        Obdd obdd(order);
+        auto root = obdd.Compile(&mgr, lineage->root);
+        ASSERT_TRUE(root.ok());
+        best = std::min(best, obdd.Size(*root));
+      }
+    }
+    EXPECT_GE(best, ((size_t{1} << n) - 1) / n) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Circuits: Figure 2 of the paper
+// ---------------------------------------------------------------------------
+
+TEST(CircuitTest, Figure2aFbdd) {
+  // FBDD for (!X)YZ | XY | XZ, variables X=0, Y=1, Z=2 (Fig. 2a).
+  Circuit c;
+  // Left branch (X=0): Y then Z.
+  Circuit::Ref z_node = c.Decision(2, c.False(), c.True());
+  Circuit::Ref y_then_z = c.Decision(1, c.False(), z_node);
+  // Right branch (X=1): Y -> true, else Z.
+  Circuit::Ref y_or_z = c.Decision(1, z_node, c.True());
+  Circuit::Ref root = c.Decision(0, y_then_z, y_or_z);
+  ASSERT_TRUE(c.ValidateFbdd(root).ok());
+  // Truth table check against the formula.
+  FormulaManager mgr;
+  NodeId x = mgr.Var(0), y = mgr.Var(1), z = mgr.Var(2);
+  NodeId f = mgr.Or(std::vector<NodeId>{
+      mgr.And(std::vector<NodeId>{mgr.Not(x), y, z}), mgr.And(x, y),
+      mgr.And(x, z)});
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<bool> assignment = {bool(mask & 1), bool(mask & 2),
+                                    bool(mask & 4)};
+    EXPECT_EQ(c.Evaluate(root, assignment), mgr.Evaluate(f, assignment));
+  }
+  // WMC equality.
+  std::vector<double> probs = {0.3, 0.6, 0.8};
+  EXPECT_NEAR(c.Wmc(root, WeightsFromProbabilities(probs)),
+              *EnumerateProbability(&mgr, f, probs), 1e-12);
+}
+
+TEST(CircuitTest, Figure2bDecisionDnnf) {
+  // decision-DNNF for (!X)YZU | XYZ | XZU (Fig. 2b): decision on X; the
+  // X=0 branch is Y&Z&U (conjunction of independent decisions), the X=1
+  // branch is Z & (Y or U).
+  Circuit c;
+  Circuit::Ref y = c.Decision(1, c.False(), c.True());
+  Circuit::Ref z = c.Decision(2, c.False(), c.True());
+  Circuit::Ref u = c.Decision(3, c.False(), c.True());
+  Circuit::Ref yzu = c.And({y, z, u});
+  Circuit::Ref y_or_u = c.Decision(1, u, c.True());
+  Circuit::Ref x1 = c.And({z, y_or_u});
+  Circuit::Ref root = c.Decision(0, yzu, x1);
+  ASSERT_TRUE(c.ValidateDecisionDnnf(root).ok());
+  EXPECT_FALSE(c.ValidateFbdd(root).ok());  // has AND nodes
+  FormulaManager mgr;
+  NodeId fx = mgr.Var(0), fy = mgr.Var(1), fz = mgr.Var(2), fu = mgr.Var(3);
+  NodeId f = mgr.Or(std::vector<NodeId>{
+      mgr.And(std::vector<NodeId>{mgr.Not(fx), fy, fz, fu}),
+      mgr.And(std::vector<NodeId>{fx, fy, fz}),
+      mgr.And(std::vector<NodeId>{fx, fz, fu})});
+  for (int mask = 0; mask < 16; ++mask) {
+    std::vector<bool> assignment = {bool(mask & 1), bool(mask & 2),
+                                    bool(mask & 4), bool(mask & 8)};
+    EXPECT_EQ(c.Evaluate(root, assignment), mgr.Evaluate(f, assignment));
+  }
+  std::vector<double> probs = {0.2, 0.4, 0.5, 0.9};
+  EXPECT_NEAR(c.Wmc(root, WeightsFromProbabilities(probs)),
+              *EnumerateProbability(&mgr, f, probs), 1e-12);
+  EXPECT_EQ(c.CountModels(root), *CountModels(&mgr, f));
+}
+
+TEST(CircuitTest, ValidatorsRejectBrokenCircuits) {
+  Circuit c;
+  // Repeated variable along a path.
+  Circuit::Ref inner = c.Decision(0, c.False(), c.True());
+  Circuit::Ref repeated = c.Decision(0, inner, c.True());
+  EXPECT_FALSE(c.ValidateFbdd(repeated).ok());
+  // Non-decomposable AND.
+  Circuit::Ref x = c.Decision(0, c.False(), c.True());
+  Circuit::Ref and_node = c.And({x, x});
+  EXPECT_FALSE(c.ValidateDecisionDnnf(and_node).ok());
+}
+
+TEST(CircuitTest, DeterministicOrWmc) {
+  // d-DNNF: x | (!x & y) — children are disjoint events.
+  Circuit c;
+  Circuit::Ref x = c.Literal(0, true);
+  Circuit::Ref not_x = c.Literal(0, false);
+  Circuit::Ref y = c.Literal(1, true);
+  Circuit::Ref branch = c.And({not_x, y});
+  Circuit::Ref root = c.Or({x, branch});
+  std::vector<double> probs = {0.3, 0.7};
+  // P = 0.3 + 0.7*0.7 = 0.79.
+  EXPECT_NEAR(c.Wmc(root, WeightsFromProbabilities(probs)), 0.79, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Trace compilation: DPLL trace == decision-DNNF
+// ---------------------------------------------------------------------------
+
+TEST(TraceCompilerTest, TraceIsValidDecisionDnnfAndMatchesCount) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Database db;
+    Rng rng(seed + 50);
+    testing::AddRandomRelation(&db, "R", 1, &rng);
+    testing::AddRandomRelation(&db, "S", 2, &rng);
+    testing::AddRandomRelation(&db, "T", 1, &rng);
+    auto fo = ParseUcqShorthand("R(x), S(x,y), T(y)");
+    FormulaManager mgr;
+    auto lineage = BuildLineage(*fo, db, &mgr);
+    ASSERT_TRUE(lineage.ok());
+    auto result = CompileToDecisionDnnf(
+        &mgr, lineage->root, WeightsFromProbabilities(lineage->probs));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->circuit.ValidateDecisionDnnf(result->root).ok());
+    // Circuit WMC == DPLL count == enumeration.
+    EXPECT_NEAR(result->circuit.Wmc(result->root,
+                                    WeightsFromProbabilities(lineage->probs)),
+                result->probability, 1e-9);
+    if (lineage->vars.size() <= 20) {
+      EXPECT_NEAR(result->probability,
+                  *EnumerateProbability(&mgr, lineage->root, lineage->probs),
+                  1e-9);
+    }
+  }
+}
+
+TEST(TraceCompilerTest, CacheHitsShareSubcircuits) {
+  // The trace of a cached DPLL run is a DAG: compiling the same subformula
+  // twice must not duplicate nodes.
+  FormulaManager mgr;
+  NodeId shared = mgr.Or(mgr.Var(0), mgr.Var(1));
+  NodeId f = mgr.And(mgr.Or(shared, mgr.Var(2)), mgr.Or(shared, mgr.Var(3)));
+  auto result = CompileToDecisionDnnf(
+      &mgr, f, WeightsFromProbabilities({0.5, 0.5, 0.5, 0.5}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->circuit.Size(result->root), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Orders
+// ---------------------------------------------------------------------------
+
+TEST(OrderTest, GreedySwapSearchRecoversGoodOrders) {
+  // Start from a deliberately interleaved (bad) order of the hierarchical
+  // lineage; the local search should recover a near-block order.
+  Database db = TwoLevelDb(6, 2);
+  FormulaManager mgr;
+  auto lineage = BuildLineage(*ParseUcqShorthand("R(x), S(x,y)"), db, &mgr);
+  ASSERT_TRUE(lineage.ok());
+  std::vector<VarId> good = HierarchicalOrder(*lineage, db);
+  Obdd good_obdd(good);
+  size_t good_size = good_obdd.Size(*good_obdd.Compile(&mgr, lineage->root));
+  // Bad order: reverse-interleave.
+  std::vector<VarId> bad;
+  for (size_t i = 0; i < good.size(); i += 2) bad.push_back(good[i]);
+  for (size_t i = 1; i < good.size(); i += 2) bad.push_back(good[i]);
+  std::reverse(bad.begin() + static_cast<ptrdiff_t>(bad.size() / 2),
+               bad.end());
+  Obdd bad_obdd(bad);
+  size_t bad_size = bad_obdd.Size(*bad_obdd.Compile(&mgr, lineage->root));
+  size_t found_size = 0;
+  auto found = GreedySwapOrderSearch(&mgr, lineage->root, bad, 50,
+                                     &found_size);
+  ASSERT_TRUE(found.ok());
+  // Local search never worsens the order (the fully scrambled start can
+  // itself be a swap-local minimum — expected of sifting-style moves).
+  EXPECT_LE(found_size, bad_size);
+  // From a light perturbation of the good order it recovers the optimum.
+  std::vector<VarId> perturbed = good;
+  std::swap(perturbed[1], perturbed[2]);
+  std::swap(perturbed[4], perturbed[5]);
+  size_t recovered_size = 0;
+  auto recovered = GreedySwapOrderSearch(&mgr, lineage->root, perturbed, 50,
+                                         &recovered_size);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_LE(recovered_size, good_size);
+  // The returned order really compiles to the reported size, and counts
+  // the same function.
+  Obdd check(*found);
+  auto compiled = check.Compile(&mgr, lineage->root);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(check.Size(*compiled), found_size);
+  EXPECT_NEAR(check.Wmc(*compiled, WeightsFromProbabilities(lineage->probs)),
+              good_obdd.Wmc(*good_obdd.Compile(&mgr, lineage->root),
+                            WeightsFromProbabilities(lineage->probs)),
+              1e-12);
+}
+
+TEST(OrderTest, AllOrdersEnumeratesPermutations) {
+  EXPECT_EQ(AllOrders(3).size(), 6u);
+  EXPECT_EQ(AllOrders(0).size(), 1u);
+}
+
+TEST(OrderTest, HierarchicalOrderGroupsBlocks) {
+  Database db = TwoLevelDb(3, 2);
+  FormulaManager mgr;
+  auto lineage = BuildLineage(*ParseUcqShorthand("R(x), S(x,y)"), db, &mgr);
+  ASSERT_TRUE(lineage.ok());
+  std::vector<VarId> order = HierarchicalOrder(*lineage, db);
+  ASSERT_EQ(order.size(), lineage->vars.size());
+  // Consecutive runs share the same first column value.
+  std::vector<std::string> keys;
+  for (VarId v : order) {
+    const LineageVar& lv = lineage->vars[v];
+    keys.push_back((*db.Get(lv.relation))->tuple(lv.row)[0].ToString());
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+}  // namespace
+}  // namespace pdb

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "mln/mln.h"
+#include "mln/translate.h"
+#include "test_common.h"
+#include "util/random.h"
+
+namespace pdb {
+namespace {
+
+// The paper's §3 example: Manager/HighlyCompensated with weight 3.9, over a
+// tiny domain.
+Mln ManagerMln(double weight, size_t domain_size) {
+  Mln mln;
+  PDB_CHECK(mln.AddPredicate("Manager", 2).ok());
+  PDB_CHECK(mln.AddPredicate("HighlyCompensated", 1).ok());
+  auto delta = ParseFo("Manager(m, e) => HighlyCompensated(m)");
+  PDB_CHECK(delta.ok());
+  PDB_CHECK(mln.AddConstraint(weight, {"m", "e"}, *delta).ok());
+  std::vector<Value> domain;
+  for (size_t i = 1; i <= domain_size; ++i) {
+    domain.push_back(Value(static_cast<int64_t>(i)));
+  }
+  mln.SetDomain(std::move(domain));
+  return mln;
+}
+
+TEST(MlnTest, ConstraintValidation) {
+  Mln mln;
+  ASSERT_TRUE(mln.AddPredicate("R", 1).ok());
+  EXPECT_FALSE(mln.AddPredicate("R", 2).ok());  // duplicate
+  auto formula = ParseFo("R(x)");
+  EXPECT_FALSE(mln.AddConstraint(-1.0, {"x"}, *formula).ok());  // bad weight
+  EXPECT_FALSE(mln.AddConstraint(2.0, {"y"}, *formula).ok());   // var mismatch
+  auto unknown = ParseFo("Zap(x)");
+  EXPECT_FALSE(mln.AddConstraint(2.0, {"x"}, *unknown).ok());
+  EXPECT_TRUE(mln.AddConstraint(2.0, {"x"}, *formula).ok());
+}
+
+TEST(MlnTest, GroundingCounts) {
+  Mln mln = ManagerMln(3.9, 2);
+  EXPECT_EQ(mln.NumGroundAtoms(), 4u + 2u);  // Manager 2x2, HC 2
+  auto ground = mln.GroundConstraints();
+  ASSERT_TRUE(ground.ok());
+  EXPECT_EQ(ground->size(), 4u);  // (m,e) in 2x2
+  for (const auto& [w, sentence] : *ground) {
+    EXPECT_DOUBLE_EQ(w, 3.9);
+    EXPECT_TRUE(sentence->FreeVariables().empty());
+  }
+}
+
+TEST(MlnTest, UniformWhenNoConstraints) {
+  Mln mln;
+  ASSERT_TRUE(mln.AddPredicate("R", 1).ok());
+  mln.SetDomain({Value(1), Value(2)});
+  // Without constraints every world has weight 1: p(R(1)) = 1/2.
+  auto p = mln.ExactQueryProbability(*ParseFo("R(1)"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.5, 1e-12);
+  auto z = mln.PartitionFunction();
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR(*z, 4.0, 1e-12);  // 2^2 worlds, weight 1 each
+}
+
+TEST(MlnTest, SingleGroundAtomClosedForm) {
+  // One predicate R over a single constant, constraint (w, R(x)):
+  // p(R) = w / (1 + w).
+  Mln mln;
+  ASSERT_TRUE(mln.AddPredicate("R", 1).ok());
+  mln.SetDomain({Value(1)});
+  ASSERT_TRUE(mln.AddConstraint(3.0, {"x"}, *ParseFo("R(x)")).ok());
+  auto p = mln.ExactQueryProbability(*ParseFo("R(1)"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 3.0 / 4.0, 1e-12);
+}
+
+TEST(MlnTest, ManagerExampleMonotoneInEvidenceStructure) {
+  // "the more employees m manages the higher the probability of being
+  // highly compensated" — check the paper's §3 narrative quantitatively:
+  // p(HC(1) | Manager(1,*) count) increases with the count.
+  Mln mln = ManagerMln(3.9, 2);
+  auto p_hc = *mln.ExactQueryProbability(*ParseFo("HighlyCompensated(1)"));
+  auto p_hc_given_one = *mln.ExactQueryProbability(
+      *ParseFo("HighlyCompensated(1) & Manager(1,2)"));
+  auto p_one = *mln.ExactQueryProbability(*ParseFo("Manager(1,2)"));
+  auto p_hc_given_two = *mln.ExactQueryProbability(
+      *ParseFo("HighlyCompensated(1) & Manager(1,1) & Manager(1,2)"));
+  auto p_two =
+      *mln.ExactQueryProbability(*ParseFo("Manager(1,1) & Manager(1,2)"));
+  double cond1 = p_hc_given_one / p_one;
+  double cond2 = p_hc_given_two / p_two;
+  EXPECT_GT(cond1, p_hc);
+  EXPECT_GT(cond2, cond1);
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 3.1: translation equivalence
+// ---------------------------------------------------------------------------
+
+TEST(MlnTranslationTest, AuxProbabilityMatchesPaper) {
+  // w = 3.9: the appendix's weight pair (1/(w-1), 1) corresponds to
+  // probability 1/w (the paper prints the weight 1/2.9 as the probability;
+  // exact enumeration confirms 1/w — see EXPERIMENTS.md).
+  Mln mln = ManagerMln(3.9, 2);
+  auto translation = TranslateMln(mln, MlnTranslationMode::kDisjunctive);
+  ASSERT_TRUE(translation.ok());
+  const Relation* aux = *translation->database.Get("F0");
+  ASSERT_EQ(aux->size(), 4u);
+  for (size_t i = 0; i < aux->size(); ++i) {
+    EXPECT_NEAR(aux->prob(i), 1.0 / 3.9, 1e-12);
+  }
+  const Relation* manager = *translation->database.Get("Manager");
+  for (size_t i = 0; i < manager->size(); ++i) {
+    EXPECT_DOUBLE_EQ(manager->prob(i), 0.5);
+  }
+}
+
+TEST(MlnTranslationTest, Proposition31Equivalence) {
+  Mln mln = ManagerMln(3.9, 2);
+  const char* queries[] = {
+      "HighlyCompensated(1)",
+      "Manager(1,2)",
+      "Manager(1,2) & HighlyCompensated(1)",
+      "exists m exists e (Manager(m,e) & HighlyCompensated(m))",
+      "forall m (HighlyCompensated(m))",
+  };
+  auto translation = TranslateMln(mln, MlnTranslationMode::kDisjunctive);
+  ASSERT_TRUE(translation.ok());
+  for (const char* text : queries) {
+    auto q = ParseFo(text);
+    ASSERT_TRUE(q.ok()) << text;
+    double exact = *mln.ExactQueryProbability(*q);
+    auto translated = TranslatedQueryProbability(*translation, *q);
+    ASSERT_TRUE(translated.ok()) << text;
+    EXPECT_NEAR(*translated, exact, 1e-9) << text;
+  }
+}
+
+TEST(MlnTranslationTest, BiconditionalModeMatchesToo) {
+  Mln mln = ManagerMln(3.9, 2);
+  auto translation = TranslateMln(mln, MlnTranslationMode::kBiconditional);
+  ASSERT_TRUE(translation.ok());
+  auto q = ParseFo("HighlyCompensated(1)");
+  double exact = *mln.ExactQueryProbability(*q);
+  EXPECT_NEAR(*TranslatedQueryProbability(*translation, *q), exact, 1e-9);
+}
+
+TEST(MlnTranslationTest, SmallWeightsUseBiconditional) {
+  // w < 1 ("managers are typically NOT highly compensated").
+  Mln mln = ManagerMln(0.4, 2);
+  auto translation = TranslateMln(mln);  // auto mode
+  ASSERT_TRUE(translation.ok());
+  auto q = ParseFo("HighlyCompensated(1)");
+  double exact = *mln.ExactQueryProbability(*q);
+  EXPECT_NEAR(*TranslatedQueryProbability(*translation, *q), exact, 1e-9);
+  // Forced disjunctive mode must reject w <= 1.
+  EXPECT_FALSE(TranslateMln(mln, MlnTranslationMode::kDisjunctive).ok());
+}
+
+TEST(MlnTranslationTest, RandomMlnsMatch) {
+  // Property test: random two-predicate MLNs over a 2-element domain.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 37);
+    Mln mln;
+    ASSERT_TRUE(mln.AddPredicate("A", 1).ok());
+    ASSERT_TRUE(mln.AddPredicate("B", 1).ok());
+    mln.SetDomain({Value(1), Value(2)});
+    double w1 = 0.3 + 4.0 * rng.NextDouble();
+    double w2 = 0.3 + 4.0 * rng.NextDouble();
+    ASSERT_TRUE(mln.AddConstraint(w1, {"x"}, *ParseFo("A(x) => B(x)")).ok());
+    ASSERT_TRUE(mln.AddConstraint(w2, {"x"}, *ParseFo("B(x)")).ok());
+    auto translation = TranslateMln(mln);
+    ASSERT_TRUE(translation.ok());
+    const char* queries[] = {"A(1)", "B(2)", "A(1) & B(1)",
+                             "exists x (A(x) & B(x))"};
+    for (const char* text : queries) {
+      auto q = ParseFo(text);
+      double exact = *mln.ExactQueryProbability(*q);
+      auto translated = TranslatedQueryProbability(*translation, *q);
+      ASSERT_TRUE(translated.ok());
+      EXPECT_NEAR(*translated, exact, 1e-8)
+          << text << " seed " << seed << " w1=" << w1 << " w2=" << w2;
+    }
+  }
+}
+
+TEST(MlnTest, ExactInferenceGuardsSize) {
+  Mln mln;
+  ASSERT_TRUE(mln.AddPredicate("Manager", 2).ok());
+  std::vector<Value> domain;
+  for (int64_t i = 1; i <= 5; ++i) domain.push_back(Value(i));
+  mln.SetDomain(std::move(domain));  // 25 ground atoms > limit
+  EXPECT_EQ(mln.ExactQueryProbability(*ParseFo("Manager(1,1)"))
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pdb

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "boolean/lineage.h"
+#include "logic/parser.h"
+#include "openworld/openworld.h"
+#include "test_common.h"
+#include "wmc/dpll.h"
+
+namespace pdb {
+namespace {
+
+Ucq UcqOf(const char* text) {
+  auto fo = ParseUcqShorthand(text);
+  PDB_CHECK(fo.ok());
+  auto ucq = FoToUcq(*fo);
+  PDB_CHECK(ucq.ok());
+  return *ucq;
+}
+
+Database SmallDb() {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  PDB_CHECK(r.AddTuple({Value(1)}, 0.5).ok());
+  PDB_CHECK(s.AddTuple({Value(1), Value(2)}, 0.5).ok());
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  return db;
+}
+
+TEST(OpenWorldTest, LambdaCompletionAddsUnlistedTuples) {
+  OpenWorldDatabase open(SmallDb(), 0.1);
+  auto completed = open.LambdaCompletion();
+  ASSERT_TRUE(completed.ok());
+  // Active domain {1, 2}: R gets 2 tuples, S gets 4.
+  EXPECT_EQ((*completed->Get("R"))->size(), 2u);
+  EXPECT_EQ((*completed->Get("S"))->size(), 4u);
+  // Listed tuples keep their probability; unlisted get lambda.
+  EXPECT_DOUBLE_EQ((*completed->Get("R"))->ProbOf({Value(1)}), 0.5);
+  EXPECT_DOUBLE_EQ((*completed->Get("R"))->ProbOf({Value(2)}), 0.1);
+  EXPECT_DOUBLE_EQ((*completed->Get("S"))->ProbOf({Value(2), Value(2)}), 0.1);
+}
+
+TEST(OpenWorldTest, ZeroLambdaIsClosedWorld) {
+  OpenWorldDatabase open(SmallDb(), 0.0);
+  auto interval = open.QueryInterval(UcqOf("R(x), S(x,y)"));
+  ASSERT_TRUE(interval.ok());
+  EXPECT_DOUBLE_EQ(interval->lower, interval->upper);
+  EXPECT_DOUBLE_EQ(interval->lower, 0.25);  // 0.5 * 0.5
+}
+
+TEST(OpenWorldTest, IntervalBracketsAndGrowsWithLambda) {
+  Ucq q = UcqOf("R(x), S(x,y)");
+  double prev_upper = 0.0;
+  for (double lambda : {0.0, 0.05, 0.2, 0.5}) {
+    OpenWorldDatabase open(SmallDb(), lambda);
+    auto interval = open.QueryInterval(q);
+    ASSERT_TRUE(interval.ok()) << "lambda " << lambda;
+    EXPECT_LE(interval->lower, interval->upper + 1e-12);
+    EXPECT_DOUBLE_EQ(interval->lower, 0.25);  // lower is closed-world
+    EXPECT_GE(interval->upper, prev_upper - 1e-12);  // monotone in lambda
+    prev_upper = interval->upper;
+  }
+}
+
+TEST(OpenWorldTest, UpperEndpointMatchesDirectEvaluation) {
+  OpenWorldDatabase open(SmallDb(), 0.3);
+  Ucq q = UcqOf("R(x), S(x,y)");
+  auto interval = open.QueryInterval(q);
+  ASSERT_TRUE(interval.ok());
+  auto completed = open.LambdaCompletion();
+  ASSERT_TRUE(completed.ok());
+  FormulaManager mgr;
+  auto lineage = BuildUcqLineage(q, *completed, &mgr);
+  ASSERT_TRUE(lineage.ok());
+  DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+  EXPECT_NEAR(interval->upper, *counter.Compute(lineage->root), 1e-10);
+}
+
+TEST(OpenWorldTest, HardQueryStillBracketed) {
+  Database db;
+  Rng rng(3);
+  testing::RandomTidOptions options;
+  options.domain_size = 3;
+  testing::AddRandomRelation(&db, "R", 1, &rng, options);
+  testing::AddRandomRelation(&db, "S", 2, &rng, options);
+  testing::AddRandomRelation(&db, "T", 1, &rng, options);
+  OpenWorldDatabase open(std::move(db), 0.1);
+  auto interval = open.QueryInterval(UcqOf("R(x), S(x,y), T(y)"));
+  ASSERT_TRUE(interval.ok());
+  EXPECT_LE(interval->lower, interval->upper + 1e-12);
+  EXPECT_GT(interval->upper, interval->lower);  // open world adds mass
+}
+
+TEST(OpenWorldTest, GuardsAndErrors) {
+  OpenWorldDatabase bad(SmallDb(), 1.5);
+  EXPECT_EQ(bad.LambdaCompletion().status().code(), StatusCode::kOutOfRange);
+  OpenWorldDatabase open(SmallDb(), 0.1);
+  EXPECT_EQ(open.LambdaCompletion(/*max_tuples=*/1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pdb

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/pdb.h"
+#include "sql/sql.h"
+#include "test_common.h"
+
+namespace pdb {
+namespace {
+
+// Customer(id, city), Orders(id, amount) with probabilities.
+Database ShopDb() {
+  Database db;
+  Relation customer("Customer", Schema({{"id", ValueType::kInt},
+                                        {"city", ValueType::kString}}));
+  PDB_CHECK(customer.AddTuple({Value(1), Value("tacoma")}, 0.9).ok());
+  PDB_CHECK(customer.AddTuple({Value(2), Value("spokane")}, 0.4).ok());
+  PDB_CHECK(db.AddRelation(std::move(customer)).ok());
+  Relation orders("Orders", Schema({{"id", ValueType::kInt},
+                                    {"amount", ValueType::kInt}}));
+  PDB_CHECK(orders.AddTuple({Value(1), Value(120)}, 0.5).ok());
+  PDB_CHECK(orders.AddTuple({Value(2), Value(80)}, 0.25).ok());
+  PDB_CHECK(db.AddRelation(std::move(orders)).ok());
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(SqlParseTest, BooleanSelect) {
+  auto parsed = ParseSql(
+      "SELECT PROB() FROM Customer c, Orders o WHERE c.id = o.id");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->boolean);
+  ASSERT_EQ(parsed->from.size(), 2u);
+  EXPECT_EQ(parsed->from[0].table, "Customer");
+  EXPECT_EQ(parsed->from[0].alias, "c");
+  ASSERT_EQ(parsed->where.size(), 1u);
+}
+
+TEST(SqlParseTest, ColumnSelectWithLiterals) {
+  auto parsed = ParseSql(
+      "select city from Customer where id = 1 and city = 'tacoma'");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->boolean);
+  ASSERT_EQ(parsed->columns.size(), 1u);
+  EXPECT_EQ(parsed->columns[0].column, "city");
+  EXPECT_EQ(parsed->where.size(), 2u);
+}
+
+TEST(SqlParseTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseSql("select prob() from Customer").ok());
+  EXPECT_TRUE(ParseSql("SELECT id FROM Customer AS c;").ok());
+}
+
+TEST(SqlParseTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM Customer").ok());
+  EXPECT_FALSE(ParseSql("SELECT PROB() Customer").ok());
+  EXPECT_FALSE(ParseSql("SELECT PROB() FROM Customer WHERE id =").ok());
+  EXPECT_FALSE(ParseSql("SELECT PROB() FROM Customer WHERE id < 3").ok());
+  EXPECT_FALSE(ParseSql("SELECT x FROM t WHERE a = 'unterminated").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+TEST(SqlCompileTest, JoinBecomesSharedVariable) {
+  Database db = ShopDb();
+  auto compiled = CompileSql(
+      "SELECT PROB() FROM Customer c, Orders o WHERE c.id = o.id", db);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_TRUE(compiled->boolean);
+  ASSERT_EQ(compiled->cq.size(), 2u);
+  // The id columns share one variable.
+  EXPECT_EQ(compiled->cq.atoms()[0].args[0],
+            compiled->cq.atoms()[1].args[0]);
+  EXPECT_TRUE(compiled->cq.IsSelfJoinFree());
+}
+
+TEST(SqlCompileTest, LiteralsPinConstants) {
+  Database db = ShopDb();
+  auto compiled = CompileSql(
+      "SELECT PROB() FROM Customer WHERE city = 'tacoma'", db);
+  ASSERT_TRUE(compiled.ok());
+  const Term& city = compiled->cq.atoms()[0].args[1];
+  ASSERT_TRUE(city.is_constant());
+  EXPECT_EQ(city.constant().AsString(), "tacoma");
+}
+
+TEST(SqlCompileTest, UnqualifiedColumnsAndAmbiguity) {
+  Database db = ShopDb();
+  // "city" is unambiguous; "id" appears in both tables.
+  EXPECT_TRUE(CompileSql("SELECT city FROM Customer", db).ok());
+  auto ambiguous =
+      CompileSql("SELECT PROB() FROM Customer, Orders WHERE id = 1", db);
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kInvalidArgument);
+  auto unknown = CompileSql("SELECT zzz FROM Customer", db);
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  auto missing_table = CompileSql("SELECT PROB() FROM Nope", db);
+  EXPECT_EQ(missing_table.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SqlCompileTest, ContradictionIsRejected) {
+  Database db = ShopDb();
+  auto contradiction = CompileSql(
+      "SELECT PROB() FROM Customer WHERE id = 1 AND id = 2", db);
+  EXPECT_FALSE(contradiction.ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through ProbDatabase
+// ---------------------------------------------------------------------------
+
+TEST(SqlQueryTest, BooleanProbability) {
+  ProbDatabase engine(ShopDb());
+  auto p = engine.QuerySqlBoolean(
+      "SELECT PROB() FROM Customer c, Orders o WHERE c.id = o.id");
+  ASSERT_TRUE(p.ok());
+  // P = 1 - (1 - .9*.5)(1 - .4*.25) = 1 - .55*.9 = 0.505.
+  EXPECT_NEAR(p->probability, 0.505, 1e-12);
+  EXPECT_TRUE(p->exact);
+  // Selection by literal.
+  auto tacoma = engine.QuerySqlBoolean(
+      "SELECT PROB() FROM Customer WHERE city = 'tacoma'");
+  EXPECT_NEAR(tacoma->probability, 0.9, 1e-12);
+}
+
+TEST(SqlQueryTest, AnswerRelation) {
+  ProbDatabase engine(ShopDb());
+  auto answers = engine.QuerySqlAnswers(
+      "SELECT c.city FROM Customer c, Orders o WHERE c.id = o.id");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 2u);
+  EXPECT_NEAR(answers->ProbOf({Value("tacoma")}), 0.9 * 0.5, 1e-12);
+  EXPECT_NEAR(answers->ProbOf({Value("spokane")}), 0.4 * 0.25, 1e-12);
+}
+
+TEST(SqlQueryTest, MismatchedEntryPointsAreRejected) {
+  ProbDatabase engine(ShopDb());
+  EXPECT_FALSE(engine.QuerySqlBoolean("SELECT city FROM Customer").ok());
+  EXPECT_FALSE(
+      engine.QuerySqlAnswers("SELECT PROB() FROM Customer").ok());
+}
+
+TEST(SqlQueryTest, SqlMatchesUcqPath) {
+  ProbDatabase engine(ShopDb());
+  auto via_sql = engine.QuerySqlBoolean(
+      "SELECT PROB() FROM Customer c, Orders o WHERE c.id = o.id");
+  auto via_ucq = engine.Query("Customer(x, c), Orders(x, a)");
+  ASSERT_TRUE(via_sql.ok());
+  ASSERT_TRUE(via_ucq.ok());
+  EXPECT_NEAR(via_sql->probability, via_ucq->probability, 1e-12);
+}
+
+}  // namespace
+}  // namespace pdb

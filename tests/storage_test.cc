@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "test_common.h"
+#include "util/random.h"
+
+namespace pdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42}), d(2.5), s("abc");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 2.5);
+  EXPECT_EQ(s.AsString(), "abc");
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  // Across types: int < double < string (by variant index).
+  EXPECT_LT(Value(5), Value(1.0));
+  EXPECT_LT(Value(9.0), Value("a"));
+  EXPECT_LT(Value(3), Value(7));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, EqualityRespectsType) {
+  EXPECT_NE(Value(1), Value(1.0));
+  EXPECT_EQ(Value("x"), Value(std::string("x")));
+}
+
+TEST(ValueTest, Parse) {
+  EXPECT_EQ(Value::Parse("42", ValueType::kInt)->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Parse(" 0.5 ", ValueType::kDouble)->AsDouble(), 0.5);
+  EXPECT_EQ(Value::Parse("hi", ValueType::kString)->AsString(), "hi");
+  EXPECT_FALSE(Value::Parse("4x", ValueType::kInt).ok());
+  EXPECT_FALSE(Value::Parse("", ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, HashDistinguishesTypes) {
+  EXPECT_NE(Value(1).hash(), Value(1.0).hash());
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, IndexOfAndValidate) {
+  Schema schema({{"x", ValueType::kInt}, {"y", ValueType::kString}});
+  EXPECT_EQ(*schema.IndexOf("y"), 1u);
+  EXPECT_FALSE(schema.IndexOf("z").ok());
+  EXPECT_TRUE(schema.Validate({Value(1), Value("a")}).ok());
+  EXPECT_FALSE(schema.Validate({Value(1)}).ok());
+  EXPECT_FALSE(schema.Validate({Value(1), Value(2)}).ok());
+}
+
+TEST(SchemaTest, Anonymous) {
+  Schema schema = Schema::Anonymous(3, ValueType::kInt);
+  EXPECT_EQ(schema.arity(), 3u);
+  EXPECT_EQ(schema.attribute(2).name, "a2");
+}
+
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+TEST(RelationTest, AddAndFind) {
+  Relation rel("R", Schema::Anonymous(2));
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(2)}, 0.5).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(3)}, 0.25).ok());
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.Contains({Value(1), Value(2)}));
+  EXPECT_DOUBLE_EQ(rel.ProbOf({Value(1), Value(3)}), 0.25);
+  EXPECT_DOUBLE_EQ(rel.ProbOf({Value(9), Value(9)}), 0.0);
+}
+
+TEST(RelationTest, RejectsDuplicates) {
+  Relation rel("R", Schema::Anonymous(1));
+  ASSERT_TRUE(rel.AddTuple({Value(1)}, 0.5).ok());
+  Status dup = rel.AddTuple({Value(1)}, 0.9);
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, RejectsBadProbability) {
+  Relation rel("R", Schema::Anonymous(1));
+  EXPECT_EQ(rel.AddTuple({Value(1)}, -0.1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(rel.AddTuple({Value(1)}, 1.5).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(rel.AddTuple({Value(1)}, 0.0).ok());  // 0 and 1 are legal
+}
+
+TEST(RelationTest, RejectsSchemaMismatch) {
+  Relation rel("R", Schema({{"x", ValueType::kString}}));
+  EXPECT_FALSE(rel.AddTuple({Value(1)}, 0.5).ok());
+}
+
+TEST(RelationTest, DistinctValuesSorted) {
+  Relation rel("S", Schema::Anonymous(2));
+  ASSERT_TRUE(rel.AddTuple({Value(2), Value(7)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(7)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(2), Value(8)}, 1).ok());
+  std::vector<Value> xs = rel.DistinctValues(0);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0].AsInt(), 1);
+  EXPECT_EQ(xs[1].AsInt(), 2);
+  EXPECT_EQ(rel.DistinctValues(1).size(), 2u);
+}
+
+TEST(RelationTest, IsDeterministic) {
+  Relation rel("R", Schema::Anonymous(1));
+  ASSERT_TRUE(rel.AddTuple({Value(1)}, 1.0).ok());
+  EXPECT_TRUE(rel.IsDeterministic());
+  ASSERT_TRUE(rel.AddTuple({Value(2)}, 0.5).ok());
+  EXPECT_FALSE(rel.IsDeterministic());
+}
+
+TEST(HashIndexTest, LookupByKey) {
+  Relation rel("S", Schema::Anonymous(2));
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(10)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(11)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(2), Value(12)}, 1).ok());
+  HashIndex index(rel, {0});
+  EXPECT_EQ(index.Lookup({Value(1)}).size(), 2u);
+  EXPECT_EQ(index.Lookup({Value(2)}).size(), 1u);
+  EXPECT_TRUE(index.Lookup({Value(3)}).empty());
+  HashIndex pair_index(rel, {0, 1});
+  EXPECT_EQ(pair_index.Lookup({Value(1), Value(11)}).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseTest, CatalogOperations) {
+  Database db = testing::BuildFigure1Database();
+  EXPECT_TRUE(db.HasRelation("R"));
+  EXPECT_TRUE(db.HasRelation("S"));
+  EXPECT_FALSE(db.HasRelation("T"));
+  EXPECT_EQ((*db.Get("R"))->size(), 3u);
+  EXPECT_FALSE(db.Get("T").ok());
+  EXPECT_EQ(db.TupleCount(), 9u);
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"R", "S"}));
+}
+
+TEST(DatabaseTest, DuplicateRelationRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("R", Schema::Anonymous(1)).ok());
+  EXPECT_FALSE(db.CreateRelation("R", Schema::Anonymous(2)).ok());
+}
+
+TEST(DatabaseTest, ActiveDomain) {
+  Database db = testing::BuildFigure1Database();
+  std::vector<Value> domain = db.ActiveDomain();
+  // a1..a4 and b1..b6 -> 10 distinct constants.
+  EXPECT_EQ(domain.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(domain.begin(), domain.end()));
+}
+
+TEST(DatabaseTest, SampleWorldRespectsExtremes) {
+  Database db;
+  Relation rel("R", Schema::Anonymous(1));
+  ASSERT_TRUE(rel.AddTuple({Value(1)}, 1.0).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(2)}, 0.0).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(rel)).ok());
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Database world = db.SampleWorld(&rng);
+    const Relation* r = *world.Get("R");
+    EXPECT_TRUE(r->Contains({Value(1)}));
+    EXPECT_FALSE(r->Contains({Value(2)}));
+    EXPECT_TRUE(r->IsDeterministic());
+  }
+}
+
+TEST(DatabaseTest, SampleWorldFrequency) {
+  Database db;
+  Relation rel("R", Schema::Anonymous(1));
+  ASSERT_TRUE(rel.AddTuple({Value(1)}, 0.25).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(rel)).ok());
+  Rng rng(11);
+  int present = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if ((*db.SampleWorld(&rng).Get("R"))->size() == 1) ++present;
+  }
+  EXPECT_NEAR(static_cast<double>(present) / kTrials, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, ParseWithHeaderAndProbability) {
+  Schema schema({{"x", ValueType::kString}, {"y", ValueType::kInt}});
+  const std::string text =
+      "x,y,P\n"
+      "a,1,0.5\n"
+      "b,2,1.0\n";
+  auto rel = RelationFromCsv("T", schema, text);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_DOUBLE_EQ(rel->ProbOf({Value("a"), Value(1)}), 0.5);
+}
+
+TEST(CsvTest, ParseWithoutProbabilityColumn) {
+  Schema schema({{"x", ValueType::kInt}});
+  CsvOptions options;
+  options.has_probability_column = false;
+  options.has_header = false;
+  auto rel = RelationFromCsv("T", schema, "1\n2\n3\n", options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 3u);
+  EXPECT_TRUE(rel->IsDeterministic());
+}
+
+TEST(CsvTest, ErrorsCarryLineNumbers) {
+  Schema schema({{"x", ValueType::kInt}});
+  auto bad_fields = RelationFromCsv("T", schema, "x,P\n1,0.5,9\n");
+  ASSERT_FALSE(bad_fields.ok());
+  EXPECT_NE(bad_fields.status().message().find("line 2"), std::string::npos);
+  auto bad_prob = RelationFromCsv("T", schema, "x,P\n1,maybe\n");
+  EXPECT_FALSE(bad_prob.ok());
+  auto bad_value = RelationFromCsv("T", schema, "x,P\nseven,0.5\n");
+  EXPECT_FALSE(bad_value.ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Database db = testing::BuildFigure1Database();
+  const Relation* r = *db.Get("R");
+  const std::string path = ::testing::TempDir() + "/pdb_csv_roundtrip.csv";
+  ASSERT_TRUE(RelationToCsvFile(*r, path).ok());
+  Schema schema({{"x", ValueType::kString}});
+  auto back = RelationFromCsvFile("R", schema, path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), r->size());
+  for (size_t i = 0; i < r->size(); ++i) {
+    EXPECT_EQ(back->tuple(i), r->tuple(i));
+    EXPECT_DOUBLE_EQ(back->prob(i), r->prob(i));
+  }
+  EXPECT_FALSE(
+      RelationFromCsvFile("R", schema, "/nonexistent/nope.csv").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Database db = testing::BuildFigure1Database();
+  const Relation* s = *db.Get("S");
+  std::string text = RelationToCsv(*s);
+  Schema schema({{"x", ValueType::kString}, {"y", ValueType::kString}});
+  auto back = RelationFromCsv("S", schema, text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), s->size());
+  for (size_t i = 0; i < s->size(); ++i) {
+    EXPECT_EQ(back->tuple(i), s->tuple(i));
+    EXPECT_DOUBLE_EQ(back->prob(i), s->prob(i));
+  }
+}
+
+}  // namespace
+}  // namespace pdb

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boolean/lineage.h"
+#include "logic/parser.h"
+#include "symmetric/fo2.h"
+#include "symmetric/symmetric.h"
+#include "test_common.h"
+#include "mln/mln.h"
+#include "wmc/dpll.h"
+#include "wmc/enumeration.h"
+
+namespace pdb {
+namespace {
+
+SymmetricDatabase H0Sym(double pr, double ps, double pt, size_t n) {
+  return SymmetricDatabase({{"R", 1, pr}, {"S", 2, ps}, {"T", 1, pt}}, n);
+}
+
+// Exact grounded reference on the materialized symmetric database.
+double GroundTruth(const FoPtr& sentence, const SymmetricDatabase& sym) {
+  auto db = sym.Materialize();
+  PDB_CHECK(db.ok());
+  FormulaManager mgr;
+  auto domain = sym.Domain();
+  auto lineage = BuildLineage(sentence, *db, &mgr, &domain);
+  PDB_CHECK(lineage.ok());
+  DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+  auto p = counter.Compute(lineage->root);
+  PDB_CHECK(p.ok());
+  return *p;
+}
+
+// ---------------------------------------------------------------------------
+// SymmetricDatabase basics
+// ---------------------------------------------------------------------------
+
+TEST(SymmetricDbTest, MaterializeShape) {
+  SymmetricDatabase sym = H0Sym(0.5, 0.25, 0.75, 3);
+  auto db = sym.Materialize();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db->Get("R"))->size(), 3u);
+  EXPECT_EQ((*db->Get("S"))->size(), 9u);
+  EXPECT_DOUBLE_EQ((*db->Get("S"))->prob(0), 0.25);
+  // Guard.
+  SymmetricDatabase big({{"S", 2, 0.5}}, 10000);
+  EXPECT_EQ(big.Materialize().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's closed form for H0 (§8)
+// ---------------------------------------------------------------------------
+
+TEST(SymmetricTest, H0ClosedFormMatchesBruteForceTinyDomains) {
+  auto h0 = ParseFo("forall x forall y (R(x) | S(x,y) | T(y))");
+  ASSERT_TRUE(h0.ok());
+  for (size_t n : {1u, 2u, 3u}) {
+    for (auto [pr, ps, pt] : {std::tuple{0.5, 0.5, 0.5},
+                              std::tuple{0.25, 0.75, 0.5},
+                              std::tuple{0.0, 1.0, 0.5}}) {
+      SymmetricDatabase sym = H0Sym(pr, ps, pt, n);
+      double closed = H0SymmetricClosedForm(pr, ps, pt, n).ToDouble();
+      double brute = GroundTruth(*h0, sym);
+      EXPECT_NEAR(closed, brute, 1e-9)
+          << "n=" << n << " p=(" << pr << "," << ps << "," << pt << ")";
+    }
+  }
+}
+
+TEST(SymmetricTest, H0ClosedFormApproxAgreesWithExact) {
+  for (size_t n : {5u, 10u, 20u}) {
+    double exact = H0SymmetricClosedForm(0.5, 0.75, 0.25, n).ToDouble();
+    double approx = H0SymmetricClosedFormApprox(0.5, 0.75, 0.25, n);
+    EXPECT_NEAR(approx, exact, 1e-9 + 1e-9 * exact) << "n=" << n;
+  }
+}
+
+TEST(SymmetricTest, H0ClosedFormScalesToLargeDomains) {
+  // Polynomial-time evaluation far beyond brute force (Theorem 8.1 spirit).
+  double p100 = H0SymmetricClosedFormApprox(0.5, 0.9, 0.5, 100);
+  EXPECT_GE(p100, 0.0);
+  EXPECT_LE(p100, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// FO2 shape recognition
+// ---------------------------------------------------------------------------
+
+TEST(Fo2ShapeTest, RecognizesClauses) {
+  auto s = ParseFo2Shape(*ParseFo(
+      "(forall x forall y (R(x) | S(x,y))) & (forall x exists y S(x,y))"));
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->clauses.size(), 2u);
+  EXPECT_EQ(s->clauses[0].shape, Fo2Clause::Shape::kForallForall);
+  EXPECT_EQ(s->clauses[1].shape, Fo2Clause::Shape::kForallExists);
+}
+
+TEST(Fo2ShapeTest, NormalizesVariableNames) {
+  auto s = ParseFo2Shape(*ParseFo("forall u forall v (S(u,v) => R(u))"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->clauses[0].matrix->FreeVariables(),
+            (std::set<std::string>{"x", "y"}));
+}
+
+TEST(Fo2ShapeTest, SingleVariableClause) {
+  auto s = ParseFo2Shape(*ParseFo("forall x R(x)"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->clauses[0].shape, Fo2Clause::Shape::kForallForall);
+}
+
+TEST(Fo2ShapeTest, RejectsThreeVariables) {
+  EXPECT_FALSE(
+      ParseFo2Shape(*ParseFo("forall x forall y forall z (S(x,y) | S(y,z))"))
+          .ok());
+  EXPECT_FALSE(ParseFo2Shape(*ParseFo("exists x R(x)")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// FO2 symmetric WFOMC (Theorem 8.1)
+// ---------------------------------------------------------------------------
+
+struct Fo2Case {
+  const char* name;
+  const char* sentence;
+};
+
+class Fo2WfomcTest : public ::testing::TestWithParam<Fo2Case> {};
+
+TEST_P(Fo2WfomcTest, MatchesBruteForceOnTinyDomains) {
+  auto q = ParseFo(GetParam().sentence);
+  ASSERT_TRUE(q.ok());
+  for (size_t n : {1u, 2u, 3u}) {
+    SymmetricDatabase sym = H0Sym(0.25, 0.5, 0.75, n);
+    auto lifted = SymmetricPqe(*q, sym);
+    ASSERT_TRUE(lifted.ok())
+        << GetParam().name << ": " << lifted.status().ToString();
+    double brute = GroundTruth(*q, sym);
+    EXPECT_NEAR(lifted->ToDouble(), brute, 1e-9)
+        << GetParam().name << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sentences, Fo2WfomcTest,
+    ::testing::Values(
+        Fo2Case{"h0", "forall x forall y (R(x) | S(x,y) | T(y))"},
+        Fo2Case{"implication", "forall x forall y (S(x,y) => R(x))"},
+        Fo2Case{"dual_h0", "exists x exists y (R(x) & S(x,y) & T(y))"},
+        Fo2Case{"symmetric_rel", "forall x forall y (S(x,y) => S(y,x))"},
+        Fo2Case{"reflexive", "forall x S(x,x)"},
+        Fo2Case{"irreflexive_like", "forall x (S(x,x) => R(x))"},
+        Fo2Case{"forall_exists", "forall x exists y S(x,y)"},
+        Fo2Case{"fe_conj",
+                "(forall x exists y S(x,y)) & (forall x forall y (S(x,y) "
+                "=> R(x)))"},
+        Fo2Case{"exists_unary", "exists x R(x)"},
+        Fo2Case{"unary_only", "forall x (R(x) | T(x))"}),
+    [](const ::testing::TestParamInfo<Fo2Case>& info) {
+      return info.param.name;
+    });
+
+TEST(Fo2WfomcTest2, MatchesH0ClosedForm) {
+  auto h0 = ParseFo("forall x forall y (R(x) | S(x,y) | T(y))");
+  for (size_t n : {2u, 4u, 8u}) {
+    SymmetricDatabase sym = H0Sym(0.5, 0.25, 0.75, n);
+    auto cells = SymmetricPqe(*h0, sym);
+    ASSERT_TRUE(cells.ok());
+    BigRational closed = H0SymmetricClosedForm(0.5, 0.25, 0.75, n);
+    EXPECT_EQ(*cells, closed) << "n=" << n;  // both are exact rationals
+  }
+}
+
+TEST(Fo2WfomcTest2, PolynomialScalingToLargeDomains) {
+  auto h0 = ParseFo("forall x forall y (R(x) | S(x,y) | T(y))");
+  SymmetricDatabase sym = H0Sym(0.5, 0.9, 0.5, 60);
+  auto p = SymmetricPqeApprox(*h0, sym);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_GE(*p, 0.0);
+  EXPECT_LE(*p, 1.0);
+  EXPECT_NEAR(*p, H0SymmetricClosedFormApprox(0.5, 0.9, 0.5, 60), 1e-6);
+}
+
+TEST(Fo2WfomcTest2, SkolemizationExactness) {
+  // forall x exists y S(x,y): P = (1 - (1-p)^n)^n by independence.
+  auto q = ParseFo("forall x exists y S(x,y)");
+  for (size_t n : {1u, 2u, 4u, 6u}) {
+    SymmetricDatabase sym({{"S", 2, 0.5}}, n);
+    auto p = SymmetricPqe(*q, sym);
+    ASSERT_TRUE(p.ok());
+    double expected =
+        std::pow(1.0 - std::pow(0.5, static_cast<double>(n)),
+                 static_cast<double>(n));
+    EXPECT_NEAR(p->ToDouble(), expected, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Fo2WfomcTest2, ExtremeProbabilities) {
+  auto q = ParseFo("forall x forall y (S(x,y) => R(x))");
+  SymmetricDatabase all_s({{"R", 1, 0.5}, {"S", 2, 1.0}}, 3);
+  // S certain: constraint holds iff R full: p = (1/2)^3.
+  EXPECT_NEAR(SymmetricPqe(*q, all_s)->ToDouble(), 0.125, 1e-12);
+  SymmetricDatabase no_s({{"R", 1, 0.5}, {"S", 2, 0.0}}, 3);
+  EXPECT_NEAR(SymmetricPqe(*q, no_s)->ToDouble(), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Lifted MLN inference (SlimShot-style): the paper-§3 translation produces
+// a symmetric database, so conditional MLN queries reduce to FO2 counting.
+// ---------------------------------------------------------------------------
+
+TEST(Fo2MlnTest, SymmetricMlnInferenceMatchesEnumeration) {
+  const double w = 3.9;
+  // Gamma = forall x,y (F(x,y) | !Manager(x,y) | HC(x));
+  // Q = exists x,y (Manager(x,y) & HC(x)); then
+  // p_MLN(Q) = 1 - P(!Q & Gamma) / P(Gamma), both FO2-countable.
+  auto gamma = ParseFo(
+      "forall x forall y (F(x,y) | !Manager(x,y) | HighlyCompensated(x))");
+  auto not_q_and_gamma = ParseFo(
+      "(forall x forall y (!Manager(x,y) | !HighlyCompensated(x))) & "
+      "(forall x forall y (F(x,y) | !Manager(x,y) | "
+      "HighlyCompensated(x)))");
+  ASSERT_TRUE(gamma.ok() && not_q_and_gamma.ok());
+  // Reference: exact MLN enumeration at n = 2 (via the mln module).
+  Mln mln;
+  ASSERT_TRUE(mln.AddPredicate("Manager", 2).ok());
+  ASSERT_TRUE(mln.AddPredicate("HighlyCompensated", 1).ok());
+  auto delta = ParseFo("Manager(m, e) => HighlyCompensated(m)");
+  ASSERT_TRUE(mln.AddConstraint(w, {"m", "e"}, *delta).ok());
+  mln.SetDomain({Value(1), Value(2)});
+  auto q = ParseFo("exists m exists e (Manager(m,e) & HighlyCompensated(m))");
+  double reference = *mln.ExactQueryProbability(*q);
+
+  SymmetricDatabase db2({{"Manager", 2, 0.5},
+                         {"HighlyCompensated", 1, 0.5},
+                         {"F", 2, 1.0 / w}},
+                        2);
+  auto p_gamma = SymmetricPqe(*gamma, db2);
+  auto p_notq_gamma = SymmetricPqe(*not_q_and_gamma, db2);
+  ASSERT_TRUE(p_gamma.ok()) << p_gamma.status().ToString();
+  ASSERT_TRUE(p_notq_gamma.ok()) << p_notq_gamma.status().ToString();
+  double lifted_mln = 1.0 - (*p_notq_gamma / *p_gamma).ToDouble();
+  EXPECT_NEAR(lifted_mln, reference, 1e-9);
+}
+
+TEST(Fo2MlnTest, LiftedMlnScalesFarBeyondEnumeration) {
+  const double w = 3.9;
+  SymmetricDatabase big({{"Manager", 2, 0.5},
+                         {"HighlyCompensated", 1, 0.5},
+                         {"F", 2, 1.0 / w}},
+                        30);  // 930 ground atoms: enumeration is hopeless
+  auto gamma = ParseFo(
+      "forall x forall y (F(x,y) | !Manager(x,y) | HighlyCompensated(x))");
+  auto p_gamma = SymmetricPqe(*gamma, big);
+  ASSERT_TRUE(p_gamma.ok());
+  EXPECT_GT(p_gamma->ToDouble(), 0.0);
+  EXPECT_LT(p_gamma->ToDouble(), 1.0);
+}
+
+TEST(Fo2WfomcTest2, GuardsTermExplosion) {
+  auto h0 = ParseFo("forall x forall y (R(x) | S(x,y) | T(y))");
+  SymmetricDatabase sym = H0Sym(0.5, 0.5, 0.5, 500);
+  EXPECT_EQ(SymmetricPqe(*h0, sym, /*max_terms=*/1000).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pdb

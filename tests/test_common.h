@@ -1,0 +1,89 @@
+/// \file test_common.h
+/// \brief Shared fixtures: the paper's Figure 1 database, random TIDs, and
+/// cross-implementation probability helpers.
+
+#ifndef PDB_TESTS_TEST_COMMON_H_
+#define PDB_TESTS_TEST_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pdb::testing {
+
+/// Probabilities used for Figure 1 (concrete values for p1..p3, q1..q6).
+struct Figure1Probs {
+  double p1 = 0.3, p2 = 0.5, p3 = 0.9;
+  double q1 = 0.1, q2 = 0.2, q3 = 0.4, q4 = 0.6, q5 = 0.7, q6 = 0.8;
+};
+
+/// Builds the TID of Figure 1(a): R(x) with a1..a3, S(x,y) with the six
+/// rows, string-typed constants 'a1'..'a4', 'b1'..'b6'.
+inline Database BuildFigure1Database(const Figure1Probs& p = {}) {
+  Database db;
+  Relation r("R", Schema({{"x", ValueType::kString}}));
+  PDB_CHECK(r.AddTuple({Value("a1")}, p.p1).ok());
+  PDB_CHECK(r.AddTuple({Value("a2")}, p.p2).ok());
+  PDB_CHECK(r.AddTuple({Value("a3")}, p.p3).ok());
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  Relation s("S", Schema({{"x", ValueType::kString},
+                          {"y", ValueType::kString}}));
+  PDB_CHECK(s.AddTuple({Value("a1"), Value("b1")}, p.q1).ok());
+  PDB_CHECK(s.AddTuple({Value("a1"), Value("b2")}, p.q2).ok());
+  PDB_CHECK(s.AddTuple({Value("a2"), Value("b3")}, p.q3).ok());
+  PDB_CHECK(s.AddTuple({Value("a2"), Value("b4")}, p.q4).ok());
+  PDB_CHECK(s.AddTuple({Value("a2"), Value("b5")}, p.q5).ok());
+  PDB_CHECK(s.AddTuple({Value("a4"), Value("b6")}, p.q6).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  return db;
+}
+
+/// The closed form for Example 2.1 on Figure 1:
+/// (p1 + (1-p1)(1-q1)(1-q2)) (p2 + (1-p2)(1-q3)(1-q4)(1-q5)) (1-q6).
+inline double Example21ClosedForm(const Figure1Probs& p = {}) {
+  return (p.p1 + (1 - p.p1) * (1 - p.q1) * (1 - p.q2)) *
+         (p.p2 + (1 - p.p2) * (1 - p.q3) * (1 - p.q4) * (1 - p.q5)) *
+         (1 - p.q6);
+}
+
+/// Options for random TID generation.
+struct RandomTidOptions {
+  size_t domain_size = 4;
+  /// Chance that each possible tuple is stored at all.
+  double presence = 0.7;
+  /// Probabilities are sampled uniformly from (0,1); with this chance a
+  /// stored tuple instead gets an extreme probability (0 or 1).
+  double extreme_chance = 0.1;
+};
+
+/// Adds a relation of the given arity filled with random integer tuples.
+inline void AddRandomRelation(Database* db, const std::string& name,
+                              size_t arity, Rng* rng,
+                              const RandomTidOptions& options = {}) {
+  Relation rel(name, Schema::Anonymous(arity, ValueType::kInt));
+  size_t total = 1;
+  for (size_t i = 0; i < arity; ++i) total *= options.domain_size;
+  for (size_t combo = 0; combo < total; ++combo) {
+    if (!rng->Bernoulli(options.presence)) continue;
+    Tuple tuple;
+    size_t rest = combo;
+    for (size_t i = 0; i < arity; ++i) {
+      tuple.push_back(
+          Value(static_cast<int64_t>(rest % options.domain_size + 1)));
+      rest /= options.domain_size;
+    }
+    double p = rng->NextDouble();
+    if (rng->Bernoulli(options.extreme_chance)) {
+      p = rng->Bernoulli(0.5) ? 0.0 : 1.0;
+    }
+    PDB_CHECK(rel.AddTuple(std::move(tuple), p).ok());
+  }
+  PDB_CHECK(db->AddRelation(std::move(rel)).ok());
+}
+
+}  // namespace pdb::testing
+
+#endif  // PDB_TESTS_TEST_COMMON_H_
