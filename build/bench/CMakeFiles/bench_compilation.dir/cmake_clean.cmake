@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compilation.dir/bench_compilation.cc.o"
+  "CMakeFiles/bench_compilation.dir/bench_compilation.cc.o.d"
+  "bench_compilation"
+  "bench_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mln.dir/bench_mln.cc.o"
+  "CMakeFiles/bench_mln.dir/bench_mln.cc.o.d"
+  "bench_mln"
+  "bench_mln.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

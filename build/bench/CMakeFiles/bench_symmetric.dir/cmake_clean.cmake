@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symmetric.dir/bench_symmetric.cc.o"
+  "CMakeFiles/bench_symmetric.dir/bench_symmetric.cc.o.d"
+  "bench_symmetric"
+  "bench_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_compilation.dir/knowledge_compilation.cpp.o"
+  "CMakeFiles/knowledge_compilation.dir/knowledge_compilation.cpp.o.d"
+  "knowledge_compilation"
+  "knowledge_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mln_inference.dir/mln_inference.cpp.o"
+  "CMakeFiles/mln_inference.dir/mln_inference.cpp.o.d"
+  "mln_inference"
+  "mln_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mln_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_counting.dir/symmetric_counting.cpp.o"
+  "CMakeFiles/symmetric_counting.dir/symmetric_counting.cpp.o.d"
+  "symmetric_counting"
+  "symmetric_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

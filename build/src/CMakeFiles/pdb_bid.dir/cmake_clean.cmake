@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_bid.dir/bid/bid.cc.o"
+  "CMakeFiles/pdb_bid.dir/bid/bid.cc.o.d"
+  "libpdb_bid.a"
+  "libpdb_bid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_bid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

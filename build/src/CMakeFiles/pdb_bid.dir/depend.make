@@ -1,0 +1,2 @@
+# Empty dependencies file for pdb_bid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_boolean.dir/boolean/formula.cc.o"
+  "CMakeFiles/pdb_boolean.dir/boolean/formula.cc.o.d"
+  "CMakeFiles/pdb_boolean.dir/boolean/lineage.cc.o"
+  "CMakeFiles/pdb_boolean.dir/boolean/lineage.cc.o.d"
+  "libpdb_boolean.a"
+  "libpdb_boolean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_core.dir/core/pdb.cc.o"
+  "CMakeFiles/pdb_core.dir/core/pdb.cc.o.d"
+  "libpdb_core.a"
+  "libpdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_incomplete.dir/incomplete/incomplete.cc.o"
+  "CMakeFiles/pdb_incomplete.dir/incomplete/incomplete.cc.o.d"
+  "libpdb_incomplete.a"
+  "libpdb_incomplete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_incomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

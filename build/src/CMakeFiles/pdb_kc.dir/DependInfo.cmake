@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kc/circuit.cc" "src/CMakeFiles/pdb_kc.dir/kc/circuit.cc.o" "gcc" "src/CMakeFiles/pdb_kc.dir/kc/circuit.cc.o.d"
+  "/root/repo/src/kc/obdd.cc" "src/CMakeFiles/pdb_kc.dir/kc/obdd.cc.o" "gcc" "src/CMakeFiles/pdb_kc.dir/kc/obdd.cc.o.d"
+  "/root/repo/src/kc/order.cc" "src/CMakeFiles/pdb_kc.dir/kc/order.cc.o" "gcc" "src/CMakeFiles/pdb_kc.dir/kc/order.cc.o.d"
+  "/root/repo/src/kc/trace_compiler.cc" "src/CMakeFiles/pdb_kc.dir/kc/trace_compiler.cc.o" "gcc" "src/CMakeFiles/pdb_kc.dir/kc/trace_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdb_wmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_kc.dir/kc/circuit.cc.o"
+  "CMakeFiles/pdb_kc.dir/kc/circuit.cc.o.d"
+  "CMakeFiles/pdb_kc.dir/kc/obdd.cc.o"
+  "CMakeFiles/pdb_kc.dir/kc/obdd.cc.o.d"
+  "CMakeFiles/pdb_kc.dir/kc/order.cc.o"
+  "CMakeFiles/pdb_kc.dir/kc/order.cc.o.d"
+  "CMakeFiles/pdb_kc.dir/kc/trace_compiler.cc.o"
+  "CMakeFiles/pdb_kc.dir/kc/trace_compiler.cc.o.d"
+  "libpdb_kc.a"
+  "libpdb_kc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_kc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

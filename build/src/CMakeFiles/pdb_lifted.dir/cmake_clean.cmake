@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_lifted.dir/lifted/lifted.cc.o"
+  "CMakeFiles/pdb_lifted.dir/lifted/lifted.cc.o.d"
+  "CMakeFiles/pdb_lifted.dir/lifted/safety.cc.o"
+  "CMakeFiles/pdb_lifted.dir/lifted/safety.cc.o.d"
+  "libpdb_lifted.a"
+  "libpdb_lifted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_lifted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

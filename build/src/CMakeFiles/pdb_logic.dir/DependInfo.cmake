@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/analysis.cc" "src/CMakeFiles/pdb_logic.dir/logic/analysis.cc.o" "gcc" "src/CMakeFiles/pdb_logic.dir/logic/analysis.cc.o.d"
+  "/root/repo/src/logic/containment.cc" "src/CMakeFiles/pdb_logic.dir/logic/containment.cc.o" "gcc" "src/CMakeFiles/pdb_logic.dir/logic/containment.cc.o.d"
+  "/root/repo/src/logic/cq.cc" "src/CMakeFiles/pdb_logic.dir/logic/cq.cc.o" "gcc" "src/CMakeFiles/pdb_logic.dir/logic/cq.cc.o.d"
+  "/root/repo/src/logic/fo.cc" "src/CMakeFiles/pdb_logic.dir/logic/fo.cc.o" "gcc" "src/CMakeFiles/pdb_logic.dir/logic/fo.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/CMakeFiles/pdb_logic.dir/logic/parser.cc.o" "gcc" "src/CMakeFiles/pdb_logic.dir/logic/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

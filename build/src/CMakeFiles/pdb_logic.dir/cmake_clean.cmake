@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_logic.dir/logic/analysis.cc.o"
+  "CMakeFiles/pdb_logic.dir/logic/analysis.cc.o.d"
+  "CMakeFiles/pdb_logic.dir/logic/containment.cc.o"
+  "CMakeFiles/pdb_logic.dir/logic/containment.cc.o.d"
+  "CMakeFiles/pdb_logic.dir/logic/cq.cc.o"
+  "CMakeFiles/pdb_logic.dir/logic/cq.cc.o.d"
+  "CMakeFiles/pdb_logic.dir/logic/fo.cc.o"
+  "CMakeFiles/pdb_logic.dir/logic/fo.cc.o.d"
+  "CMakeFiles/pdb_logic.dir/logic/parser.cc.o"
+  "CMakeFiles/pdb_logic.dir/logic/parser.cc.o.d"
+  "libpdb_logic.a"
+  "libpdb_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

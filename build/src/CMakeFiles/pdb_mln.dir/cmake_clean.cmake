@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_mln.dir/mln/mln.cc.o"
+  "CMakeFiles/pdb_mln.dir/mln/mln.cc.o.d"
+  "CMakeFiles/pdb_mln.dir/mln/translate.cc.o"
+  "CMakeFiles/pdb_mln.dir/mln/translate.cc.o.d"
+  "libpdb_mln.a"
+  "libpdb_mln.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_mln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

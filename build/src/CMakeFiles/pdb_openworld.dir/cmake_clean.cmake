@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_openworld.dir/openworld/openworld.cc.o"
+  "CMakeFiles/pdb_openworld.dir/openworld/openworld.cc.o.d"
+  "libpdb_openworld.a"
+  "libpdb_openworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_openworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

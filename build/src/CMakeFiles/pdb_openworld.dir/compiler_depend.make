@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdb_openworld.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plans/bounds.cc" "src/CMakeFiles/pdb_plans.dir/plans/bounds.cc.o" "gcc" "src/CMakeFiles/pdb_plans.dir/plans/bounds.cc.o.d"
+  "/root/repo/src/plans/enumerate.cc" "src/CMakeFiles/pdb_plans.dir/plans/enumerate.cc.o" "gcc" "src/CMakeFiles/pdb_plans.dir/plans/enumerate.cc.o.d"
+  "/root/repo/src/plans/plan.cc" "src/CMakeFiles/pdb_plans.dir/plans/plan.cc.o" "gcc" "src/CMakeFiles/pdb_plans.dir/plans/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_plans.dir/plans/bounds.cc.o"
+  "CMakeFiles/pdb_plans.dir/plans/bounds.cc.o.d"
+  "CMakeFiles/pdb_plans.dir/plans/enumerate.cc.o"
+  "CMakeFiles/pdb_plans.dir/plans/enumerate.cc.o.d"
+  "CMakeFiles/pdb_plans.dir/plans/plan.cc.o"
+  "CMakeFiles/pdb_plans.dir/plans/plan.cc.o.d"
+  "libpdb_plans.a"
+  "libpdb_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_sql.dir/sql/sql.cc.o"
+  "CMakeFiles/pdb_sql.dir/sql/sql.cc.o.d"
+  "libpdb_sql.a"
+  "libpdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

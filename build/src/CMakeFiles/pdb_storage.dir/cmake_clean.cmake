@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/pdb_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/pdb_storage.dir/storage/database.cc.o"
+  "CMakeFiles/pdb_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/pdb_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/pdb_storage.dir/storage/relation.cc.o.d"
+  "CMakeFiles/pdb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/pdb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/pdb_storage.dir/storage/value.cc.o"
+  "CMakeFiles/pdb_storage.dir/storage/value.cc.o.d"
+  "libpdb_storage.a"
+  "libpdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_symmetric.dir/symmetric/fo2.cc.o"
+  "CMakeFiles/pdb_symmetric.dir/symmetric/fo2.cc.o.d"
+  "CMakeFiles/pdb_symmetric.dir/symmetric/symmetric.cc.o"
+  "CMakeFiles/pdb_symmetric.dir/symmetric/symmetric.cc.o.d"
+  "libpdb_symmetric.a"
+  "libpdb_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

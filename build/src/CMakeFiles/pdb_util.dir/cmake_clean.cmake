@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_util.dir/util/big_int.cc.o"
+  "CMakeFiles/pdb_util.dir/util/big_int.cc.o.d"
+  "CMakeFiles/pdb_util.dir/util/random.cc.o"
+  "CMakeFiles/pdb_util.dir/util/random.cc.o.d"
+  "CMakeFiles/pdb_util.dir/util/rational.cc.o"
+  "CMakeFiles/pdb_util.dir/util/rational.cc.o.d"
+  "CMakeFiles/pdb_util.dir/util/status.cc.o"
+  "CMakeFiles/pdb_util.dir/util/status.cc.o.d"
+  "CMakeFiles/pdb_util.dir/util/string_util.cc.o"
+  "CMakeFiles/pdb_util.dir/util/string_util.cc.o.d"
+  "libpdb_util.a"
+  "libpdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

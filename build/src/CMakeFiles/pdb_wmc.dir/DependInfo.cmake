@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wmc/dpll.cc" "src/CMakeFiles/pdb_wmc.dir/wmc/dpll.cc.o" "gcc" "src/CMakeFiles/pdb_wmc.dir/wmc/dpll.cc.o.d"
+  "/root/repo/src/wmc/enumeration.cc" "src/CMakeFiles/pdb_wmc.dir/wmc/enumeration.cc.o" "gcc" "src/CMakeFiles/pdb_wmc.dir/wmc/enumeration.cc.o.d"
+  "/root/repo/src/wmc/montecarlo.cc" "src/CMakeFiles/pdb_wmc.dir/wmc/montecarlo.cc.o" "gcc" "src/CMakeFiles/pdb_wmc.dir/wmc/montecarlo.cc.o.d"
+  "/root/repo/src/wmc/weights.cc" "src/CMakeFiles/pdb_wmc.dir/wmc/weights.cc.o" "gcc" "src/CMakeFiles/pdb_wmc.dir/wmc/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdb_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

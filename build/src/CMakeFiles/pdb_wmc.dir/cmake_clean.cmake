@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_wmc.dir/wmc/dpll.cc.o"
+  "CMakeFiles/pdb_wmc.dir/wmc/dpll.cc.o.d"
+  "CMakeFiles/pdb_wmc.dir/wmc/enumeration.cc.o"
+  "CMakeFiles/pdb_wmc.dir/wmc/enumeration.cc.o.d"
+  "CMakeFiles/pdb_wmc.dir/wmc/montecarlo.cc.o"
+  "CMakeFiles/pdb_wmc.dir/wmc/montecarlo.cc.o.d"
+  "CMakeFiles/pdb_wmc.dir/wmc/weights.cc.o"
+  "CMakeFiles/pdb_wmc.dir/wmc/weights.cc.o.d"
+  "libpdb_wmc.a"
+  "libpdb_wmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_wmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/boolean_test.cc" "tests/CMakeFiles/boolean_test.dir/boolean_test.cc.o" "gcc" "tests/CMakeFiles/boolean_test.dir/boolean_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_plans.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_kc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_mln.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_symmetric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_openworld.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_lifted.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_bid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_wmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_incomplete.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

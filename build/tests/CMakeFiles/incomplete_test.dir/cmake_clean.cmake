@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incomplete_test.dir/incomplete_test.cc.o"
+  "CMakeFiles/incomplete_test.dir/incomplete_test.cc.o.d"
+  "incomplete_test"
+  "incomplete_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incomplete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

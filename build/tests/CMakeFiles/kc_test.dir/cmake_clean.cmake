@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_test.dir/kc_test.cc.o"
+  "CMakeFiles/kc_test.dir/kc_test.cc.o.d"
+  "kc_test"
+  "kc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifted_test.dir/lifted_test.cc.o"
+  "CMakeFiles/lifted_test.dir/lifted_test.cc.o.d"
+  "lifted_test"
+  "lifted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

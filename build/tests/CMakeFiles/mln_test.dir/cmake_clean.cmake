@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mln_test.dir/mln_test.cc.o"
+  "CMakeFiles/mln_test.dir/mln_test.cc.o.d"
+  "mln_test"
+  "mln_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mln_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

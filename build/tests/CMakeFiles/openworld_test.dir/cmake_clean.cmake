@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openworld_test.dir/openworld_test.cc.o"
+  "CMakeFiles/openworld_test.dir/openworld_test.cc.o.d"
+  "openworld_test"
+  "openworld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openworld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

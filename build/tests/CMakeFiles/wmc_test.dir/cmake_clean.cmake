@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmc_test.dir/wmc_test.cc.o"
+  "CMakeFiles/wmc_test.dir/wmc_test.cc.o.d"
+  "wmc_test"
+  "wmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
