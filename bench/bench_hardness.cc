@@ -75,7 +75,7 @@ void PrintMonteCarloTable() {
         NaiveMonteCarlo(&mgr, lineage->root, lineage->probs, samples, &mc_rng);
     std::printf("%10llu %14.6f %12.6f %16.6f %12.6f\n",
                 static_cast<unsigned long long>(samples), kl->value,
-                kl->stderr_, mc.value, mc.stderr_);
+                kl->std_error, mc.value, mc.std_error);
   }
   std::printf("(stderr should shrink ~3.2x per 10x samples)\n");
 }

@@ -1,16 +1,24 @@
-// M1-M3 — substrate microbenchmarks: lineage construction throughput,
+// M1-M4 — substrate microbenchmarks: lineage construction throughput,
 // formula-manager operations, OBDD apply, DPLL cache behaviour, big-number
-// arithmetic. These watch the plumbing the experiment benches stand on.
+// arithmetic, and parallel Monte Carlo sampling throughput across thread
+// counts. These watch the plumbing the experiment benches stand on.
+//
+// Besides the console table, every run is exported to BENCH_micro.json
+// (name, wall_ms, samples_per_sec, threads) in the working directory so the
+// perf trajectory is trackable across PRs.
 
 #include <benchmark/benchmark.h>
 
 #include "boolean/lineage.h"
+#include "exec/context.h"
+#include "exec/thread_pool.h"
 #include "kc/obdd.h"
 #include "kc/order.h"
 #include "logic/parser.h"
 #include "util/big_int.h"
 #include "util/rational.h"
 #include "wmc/dpll.h"
+#include "wmc/montecarlo.h"
 #include "workloads.h"
 
 namespace pdb {
@@ -95,6 +103,60 @@ void BM_DpllCacheBehaviour(benchmark::State& state) {
 }
 BENCHMARK(BM_DpllCacheBehaviour);
 
+// M4: sampling throughput vs. thread count. The estimate is bit-identical
+// across thread counts (fixed seed, fixed shard plan), so this isolates the
+// runtime's scaling: samples/sec at t threads vs. 1 thread.
+void BM_MonteCarloSampling(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  Rng gen(7);
+  Database db = bench::H0Database(12, &gen);
+  auto q = ParseUcqShorthand("R(x), S(x,y), T(y)");
+  FormulaManager mgr;
+  auto lineage = BuildLineage(*q, db, &mgr);
+  PDB_CHECK(lineage.ok());
+  mgr.VarsOf(lineage->root);  // warm the cache outside the timed region
+  constexpr uint64_t kSamples = 1 << 16;
+  ThreadPool pool(static_cast<size_t>(threads));
+  ExecContext ctx(&pool);
+  for (auto _ : state) {
+    Rng rng(20200614);
+    Estimate est = NaiveMonteCarlo(&mgr, lineage->root, lineage->probs,
+                                   kSamples, &rng, &ctx);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSamples));
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_MonteCarloSampling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_KarpLubySampling(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  Rng gen(7);
+  Database db = bench::H0Database(12, &gen);
+  auto q = ParseUcqShorthand("R(x), S(x,y), T(y)");
+  auto ucq = FoToUcq(*q);
+  auto dnf = BuildUcqDnf(*ucq, db);
+  PDB_CHECK(dnf.ok());
+  constexpr uint64_t kSamples = 1 << 16;
+  ThreadPool pool(static_cast<size_t>(threads));
+  ExecContext ctx(&pool);
+  for (auto _ : state) {
+    Rng rng(20200614);
+    auto est = KarpLubyDnf(dnf->terms, dnf->probs, kSamples, &rng, &ctx);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSamples));
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_KarpLubySampling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_BigIntMultiply(benchmark::State& state) {
   BigInt a = BigInt::Factorial(static_cast<uint64_t>(state.range(0)));
   BigInt b = a + BigInt(1);
@@ -115,6 +177,56 @@ void BM_BigRationalNormalize(benchmark::State& state) {
 BENCHMARK(BM_BigRationalNormalize)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
+
+/// Console output plus a machine-readable BENCH_micro.json export. Rates
+/// are computed against wall-clock time (not CPU time): thread scaling is
+/// precisely what the file is meant to track.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      bench::BenchRecord rec;
+      rec.name = run.benchmark_name();
+      double iters = run.iterations > 0
+                         ? static_cast<double>(run.iterations)
+                         : 1.0;
+      rec.wall_ms = run.real_accumulated_time / iters * 1e3;
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        // Already finalized to a rate (per second of the measured time
+        // base; our sampling benches use UseRealTime, i.e. wall clock).
+        rec.samples_per_sec = items->second.value;
+      }
+      auto threads = run.counters.find("threads");
+      rec.threads = threads != run.counters.end()
+                        ? static_cast<int>(threads->second.value)
+                        : static_cast<int>(run.threads);
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  void Finalize() override {
+    bench::WriteBenchJson(path_, records_);
+    std::printf("wrote %zu records to %s\n", records_.size(), path_.c_str());
+    ConsoleReporter::Finalize();
+  }
+
+ private:
+  std::string path_;
+  std::vector<bench::BenchRecord> records_;
+};
+
 }  // namespace pdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pdb::JsonExportReporter reporter("BENCH_micro.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

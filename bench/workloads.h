@@ -10,12 +10,42 @@
 #define PDB_BENCH_WORKLOADS_H_
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "storage/database.h"
 #include "util/check.h"
 #include "util/random.h"
 
 namespace pdb::bench {
+
+/// One machine-readable benchmark result row.
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0.0;         ///< wall-clock time per iteration
+  double samples_per_sec = 0.0; ///< 0 when the bench has no sampling rate
+  int threads = 1;
+};
+
+/// Writes `records` as a JSON array of objects, e.g.
+///   [{"name": "BM_X", "wall_ms": 1.5, "samples_per_sec": 2e6, "threads": 4}]
+/// so the perf trajectory is trackable across PRs (diff-friendly: one row
+/// per line, fixed key order).
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PDB_CHECK(f != nullptr);
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(
+        f, "  {\"name\": \"%s\", \"wall_ms\": %.6g, \"samples_per_sec\": %.6g, \"threads\": %d}%s\n",
+        r.name.c_str(), r.wall_ms, r.samples_per_sec, r.threads,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
 
 /// The paper's Figure 1 TID (string constants a1..a4, b1..b6).
 inline Database Figure1Database() {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "boolean/lineage.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "util/check.h"
 #include "logic/analysis.h"
 #include "plans/bounds.h"
@@ -50,8 +53,34 @@ Result<QueryAnswer> ProbDatabase::Query(const std::string& query_text,
                 ucq.status().message().c_str()));
 }
 
+namespace {
+
+/// Resolves ExecOptions::num_threads (0 = one per hardware thread).
+int ResolveThreads(const ExecOptions& exec) {
+  int threads = exec.num_threads;
+  if (threads <= 0) threads = static_cast<int>(ThreadPool::HardwareThreads());
+  return threads;
+}
+
+}  // namespace
+
 Result<QueryAnswer> ProbDatabase::QueryFo(const FoPtr& sentence,
                                           const QueryOptions& options) const {
+  // The pool lives for exactly one query; sequential runs skip it so the
+  // common single-threaded path allocates no threads at all.
+  std::unique_ptr<ThreadPool> pool;
+  int threads = ResolveThreads(options.exec);
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  ExecContext ctx(pool.get());
+  if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
+  auto answer = QueryFoWithContext(sentence, options, &ctx);
+  if (answer.ok()) answer->report = ctx.Report();
+  return answer;
+}
+
+Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
+    const FoPtr& sentence, const QueryOptions& options,
+    ExecContext* ctx) const {
   QueryAnswer answer;
 
   // 1. Lifted inference (exact, polynomial time) when the query is safe.
@@ -76,11 +105,12 @@ Result<QueryAnswer> ProbDatabase::QueryFo(const FoPtr& sentence,
     }
   }
 
-  // 2. Grounded exact inference within the decision budget.
+  // 2. Grounded exact inference within the decision and wall-clock budget.
   FormulaManager mgr;
   PDB_ASSIGN_OR_RETURN(Lineage lineage, BuildLineage(sentence, db_, &mgr));
   DpllOptions dpll_options;
   dpll_options.max_decisions = options.max_dpll_decisions;
+  dpll_options.exec = ctx;
   DpllCounter counter(&mgr, WeightsFromProbabilities(lineage.probs),
                       dpll_options);
   auto grounded = counter.Compute(lineage.root);
@@ -98,8 +128,18 @@ Result<QueryAnswer> ProbDatabase::QueryFo(const FoPtr& sentence,
         lineage.vars.size());
     return answer;
   }
-  if (grounded.status().code() != StatusCode::kResourceExhausted) {
+  if (grounded.status().code() != StatusCode::kResourceExhausted &&
+      grounded.status().code() != StatusCode::kDeadlineExceeded) {
     return grounded.status();
+  }
+  // Degrade, don't fail: when the deadline killed exact inference, clear it
+  // so the sampling fallback below completes (the report still records the
+  // overrun), and say so in the explanation.
+  std::string fallback_note;
+  if (grounded.status().code() == StatusCode::kDeadlineExceeded) {
+    ctx->ClearDeadline();
+    fallback_note = StrFormat("exact WMC abandoned (%s); fell back to ",
+                              grounded.status().message().c_str());
   }
 
   // 3. Approximation. Plan bounds when the query is a self-join-free CQ.
@@ -117,17 +157,19 @@ Result<QueryAnswer> ProbDatabase::QueryFo(const FoPtr& sentence,
     if (dnf.ok()) {
       Rng rng(options.monte_carlo_seed);
       auto estimate = KarpLubyDnf(dnf->terms, dnf->probs,
-                                  options.monte_carlo_samples, &rng);
+                                  options.monte_carlo_samples, &rng, ctx);
       if (estimate.ok()) {
         answer.probability = estimate->value;
-        answer.lower = std::max(0.0, estimate->value - 2.0 * estimate->stderr_);
-        answer.upper = std::min(1.0, estimate->value + 2.0 * estimate->stderr_);
+        answer.lower =
+            std::max(0.0, estimate->value - 2.0 * estimate->std_error);
+        answer.upper =
+            std::min(1.0, estimate->value + 2.0 * estimate->std_error);
         answer.method = InferenceMethod::kMonteCarlo;
         answer.exact = false;
-        answer.explanation = StrFormat(
+        answer.explanation = fallback_note + StrFormat(
             "Karp-Luby: %llu samples over %zu DNF terms, stderr %.2g",
             static_cast<unsigned long long>(estimate->samples),
-            dnf->terms.size(), estimate->stderr_);
+            dnf->terms.size(), estimate->std_error);
         if (bounds.has_value()) {
           answer.lower = std::max(answer.lower, bounds->lower);
           answer.upper = std::min(answer.upper, bounds->upper);
@@ -141,16 +183,18 @@ Result<QueryAnswer> ProbDatabase::QueryFo(const FoPtr& sentence,
   }
   if (options.allow_monte_carlo) {
     Rng rng(options.monte_carlo_seed);
-    Estimate estimate = NaiveMonteCarlo(&mgr, lineage.root, lineage.probs,
-                                        options.monte_carlo_samples, &rng);
+    Estimate estimate =
+        NaiveMonteCarlo(&mgr, lineage.root, lineage.probs,
+                        options.monte_carlo_samples, &rng, ctx);
     answer.probability = estimate.value;
-    answer.lower = std::max(0.0, estimate.value - 2.0 * estimate.stderr_);
-    answer.upper = std::min(1.0, estimate.value + 2.0 * estimate.stderr_);
+    answer.lower = std::max(0.0, estimate.value - 2.0 * estimate.std_error);
+    answer.upper = std::min(1.0, estimate.value + 2.0 * estimate.std_error);
     answer.method = InferenceMethod::kMonteCarlo;
     answer.exact = false;
-    answer.explanation = StrFormat(
+    answer.explanation = fallback_note + StrFormat(
         "Monte Carlo: %llu samples, stderr %.2g",
-        static_cast<unsigned long long>(estimate.samples), estimate.stderr_);
+        static_cast<unsigned long long>(estimate.samples),
+        estimate.std_error);
     if (bounds.has_value()) {
       answer.lower = std::max(answer.lower, bounds->lower);
       answer.upper = std::min(answer.upper, bounds->upper);
@@ -299,15 +343,39 @@ Result<Relation> ProbDatabase::QueryWithAnswers(
     attrs.push_back({head_vars[i], type});
   }
   Relation out("answers", Schema(std::move(attrs)));
-  for (const Tuple& head : candidates) {
+
+  // Fan the per-answer-tuple marginal computations out across the pool:
+  // each candidate's residual Boolean query is independent, reads the
+  // database const-only, and builds all mutable state (formula manager,
+  // lineage, counters) locally. Inner queries run sequentially — the
+  // fan-out already saturates the pool, and nesting pools would oversubscribe.
+  std::vector<Tuple> heads(candidates.begin(), candidates.end());
+  QueryOptions inner = options;
+  inner.exec.num_threads = 1;
+
+  std::unique_ptr<ThreadPool> pool;
+  int threads = ResolveThreads(options.exec);
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  ExecContext ctx(pool.get());
+
+  std::vector<double> marginals(heads.size(), 0.0);
+  std::vector<Status> statuses(heads.size());
+  ParallelFor(&ctx, heads.size(), [&](size_t t) {
     // Boolean residual query: substitute the head binding.
     ConjunctiveQuery grounded = cq;
     for (size_t i = 0; i < head_vars.size(); ++i) {
-      grounded = grounded.Substitute(head_vars[i], head[i]);
+      grounded = grounded.Substitute(head_vars[i], heads[t][i]);
     }
-    PDB_ASSIGN_OR_RETURN(QueryAnswer answer,
-                         QueryFo(Ucq({grounded}).ToFo(), options));
-    PDB_RETURN_NOT_OK(out.AddTuple(head, answer.probability));
+    auto answer = QueryFo(Ucq({grounded}).ToFo(), inner);
+    if (answer.ok()) {
+      marginals[t] = answer->probability;
+    } else {
+      statuses[t] = answer.status();
+    }
+  });
+  for (size_t t = 0; t < heads.size(); ++t) {
+    PDB_RETURN_NOT_OK(statuses[t]);
+    PDB_RETURN_NOT_OK(out.AddTuple(heads[t], marginals[t]));
   }
   return out;
 }

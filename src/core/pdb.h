@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/context.h"
 #include "lifted/lifted.h"
 #include "logic/parser.h"
 #include "storage/database.h"
@@ -48,6 +49,9 @@ struct QueryAnswer {
   InferenceMethod method = InferenceMethod::kLifted;
   bool exact = false;
   std::string explanation;
+  /// Execution counters for this query (threads, samples, cache hits,
+  /// whether a deadline fired). Populated by Query/QueryFo.
+  ExecReport report;
 };
 
 /// Tuning for query evaluation.
@@ -61,6 +65,12 @@ struct QueryOptions {
   uint64_t monte_carlo_samples = 200000;
   uint64_t monte_carlo_seed = 20200614;  // PODS'20 opening day
   LiftedOptions lifted;
+  /// Parallelism and wall-clock budget. With `deadline_ms` set, exact
+  /// grounded inference that overruns the budget falls back to Monte Carlo
+  /// (the approximation itself runs with the deadline cleared, so a budget
+  /// overrun yields an estimate, never an error or a hang). Monte Carlo
+  /// estimates are bit-identical across `num_threads` for a fixed seed.
+  ExecOptions exec;
 };
 
 /// A tuple-independent probabilistic database plus its query engines.
@@ -123,6 +133,12 @@ class ProbDatabase {
                                    const QueryOptions& options = {}) const;
 
  private:
+  /// Strategy-selection pipeline behind QueryFo, running against an
+  /// already-configured execution context (pool + deadline).
+  Result<QueryAnswer> QueryFoWithContext(const FoPtr& sentence,
+                                         const QueryOptions& options,
+                                         ExecContext* ctx) const;
+
   Database db_;
 };
 

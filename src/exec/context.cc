@@ -1,0 +1,65 @@
+#include "exec/context.h"
+
+#include "exec/thread_pool.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+std::string ExecReport::ToString() const {
+  std::string s = StrFormat(
+      "%d thread%s, %llu task%s, %llu samples, %llu cache hits", num_threads,
+      num_threads == 1 ? "" : "s", static_cast<unsigned long long>(tasks_run),
+      tasks_run == 1 ? "" : "s",
+      static_cast<unsigned long long>(samples_drawn),
+      static_cast<unsigned long long>(cache_hits));
+  if (deadline_exceeded) s += ", deadline exceeded";
+  if (cancelled) s += ", cancelled";
+  return s;
+}
+
+void ExecContext::SetDeadline(uint64_t ms) {
+  if (ms == 0) {
+    ClearDeadline();
+    return;
+  }
+  Clock::time_point expiry = Clock::now() + std::chrono::milliseconds(ms);
+  deadline_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         expiry.time_since_epoch())
+                         .count(),
+                     std::memory_order_relaxed);
+  deadline_hit_.store(false, std::memory_order_relaxed);
+}
+
+void ExecContext::ClearDeadline() {
+  deadline_ns_.store(0, std::memory_order_relaxed);
+  deadline_hit_.store(false, std::memory_order_relaxed);
+}
+
+bool ExecContext::DeadlineExceeded() {
+  if (deadline_hit_.load(std::memory_order_relaxed)) return true;
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0) return false;
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now().time_since_epoch())
+                    .count();
+  if (now < deadline) return false;
+  deadline_hit_.store(true, std::memory_order_relaxed);
+  deadline_ever_hit_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+ExecReport ExecContext::Report() {
+  DeadlineExceeded();  // refresh the latch before snapshotting
+  ExecReport report;
+  report.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  report.samples_drawn = samples_drawn_.load(std::memory_order_relaxed);
+  report.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  report.num_threads =
+      pool_ ? static_cast<int>(pool_->num_threads()) : 1;
+  report.cancelled = cancelled();
+  report.deadline_exceeded =
+      deadline_ever_hit_.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace pdb

@@ -1,0 +1,109 @@
+/// \file context.h
+/// \brief Per-query execution state: cancellation, deadlines, counters.
+///
+/// An `ExecContext` is shared by every worker of one query execution. It
+/// carries (a) the worker pool, (b) a cooperative stop signal — an explicit
+/// `Cancel()` or an armed wall-clock deadline — and (c) atomic progress
+/// counters that the engine reads back as an `ExecReport` attached to the
+/// query answer. Hot loops (DPLL decisions, sample draws) poll
+/// `ShouldStop()` every few dozen iterations; the deadline latch makes the
+/// common no-deadline path a single relaxed atomic load.
+
+#ifndef PDB_EXEC_CONTEXT_H_
+#define PDB_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace pdb {
+
+class ThreadPool;
+
+/// Parallelism and time-budget knobs, threaded through `QueryOptions`.
+struct ExecOptions {
+  /// Worker threads for sampling shards and per-tuple fan-out.
+  /// 1 = sequential (no pool), 0 = one per hardware thread.
+  int num_threads = 1;
+  /// Wall-clock budget in milliseconds; 0 = unlimited. Exact inference that
+  /// exceeds the budget degrades to Monte Carlo (see core/pdb.h).
+  uint64_t deadline_ms = 0;
+};
+
+/// Snapshot of an execution's progress counters and stop state.
+struct ExecReport {
+  uint64_t tasks_run = 0;       ///< parallel loop bodies executed
+  uint64_t samples_drawn = 0;   ///< Monte Carlo samples actually drawn
+  uint64_t cache_hits = 0;      ///< DPLL formula-cache hits
+  int num_threads = 1;          ///< pool width (1 = sequential)
+  bool cancelled = false;       ///< Cancel() was called
+  bool deadline_exceeded = false;  ///< a deadline expired at some point
+
+  /// e.g. "4 threads, 131072 samples, 12 tasks, deadline exceeded".
+  std::string ToString() const;
+};
+
+/// Shared, thread-safe state of one query execution.
+class ExecContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecContext() = default;
+  explicit ExecContext(ThreadPool* pool) : pool_(pool) {}
+
+  /// The worker pool, or null for sequential execution.
+  ThreadPool* pool() const { return pool_; }
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Arms the deadline `ms` milliseconds from now. `ms` == 0 disarms.
+  void SetDeadline(uint64_t ms);
+
+  /// Disarms the deadline and resets the expiry latch so later work can
+  /// proceed (the report still records that a deadline was exceeded).
+  void ClearDeadline();
+
+  /// Requests a cooperative stop of all workers.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// True once the armed deadline has passed. Latches: after the first
+  /// positive observation no further clock reads happen.
+  bool DeadlineExceeded();
+
+  /// Cooperative stop check: cancelled or past the deadline.
+  bool ShouldStop() { return cancelled() || DeadlineExceeded(); }
+
+  // Progress counters (relaxed; workers add in bulk per shard).
+  void AddTasksRun(uint64_t n) {
+    tasks_run_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddSamples(uint64_t n) {
+    samples_drawn_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddCacheHits(uint64_t n) {
+    cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ExecReport Report();
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> deadline_hit_{false};       // current armed deadline
+  std::atomic<bool> deadline_ever_hit_{false};  // sticky, for the report
+  std::atomic<int64_t> deadline_ns_{0};  // Clock epoch ns; 0 = disarmed
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> samples_drawn_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+};
+
+}  // namespace pdb
+
+#endif  // PDB_EXEC_CONTEXT_H_

@@ -1,0 +1,59 @@
+#include "exec/thread_pool.h"
+
+#include "util/check.h"
+
+namespace pdb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = HardwareThreads();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PDB_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: pending tasks always run.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++tasks_executed_;
+    }
+    task();
+  }
+}
+
+}  // namespace pdb

@@ -16,6 +16,11 @@
 #include "util/scaled_float.h"  // IWYU pragma: export
 #include "util/status.h"        // IWYU pragma: export
 
+// Execution runtime.
+#include "exec/context.h"      // IWYU pragma: export
+#include "exec/parallel.h"     // IWYU pragma: export
+#include "exec/thread_pool.h"  // IWYU pragma: export
+
 // Storage.
 #include "storage/csv.h"       // IWYU pragma: export
 #include "storage/database.h"  // IWYU pragma: export

@@ -51,4 +51,17 @@ double Rng::NextDouble() {
 
 bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 
+Rng Rng::Split(uint64_t stream) const {
+  // Condense the 256-bit state into one word, fold in the stream index,
+  // and let the Rng constructor's splitmix64 chain re-expand it. Distinct
+  // indices land in unrelated regions of the seed space, and the parent's
+  // own stream is untouched.
+  uint64_t h = s_[0];
+  h ^= Rotl(s_[1], 13) + 0x9e3779b97f4a7c15ULL;
+  h ^= Rotl(s_[2], 29) * 0xbf58476d1ce4e5b9ULL;
+  h ^= Rotl(s_[3], 43);
+  h += (stream + 1) * 0x94d049bb133111ebULL;
+  return Rng(h);
+}
+
 }  // namespace pdb

@@ -30,6 +30,14 @@ class Rng {
   /// Bernoulli draw with success probability `p`.
   bool Bernoulli(double p);
 
+  /// Derives the deterministic substream `stream` from the generator's
+  /// current state without advancing it: Split(i) always returns the same
+  /// generator, and different indices yield statistically independent
+  /// streams. This is the basis for thread-count-invariant parallel
+  /// sampling — shard s of a Monte Carlo run always draws from Split(s),
+  /// regardless of which worker executes it.
+  Rng Split(uint64_t stream) const;
+
  private:
   uint64_t s_[4];
 };

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnsupported,       ///< legal input outside the scope of the algorithm
   kFailedPrecondition,///< call sequence violated (e.g. executing unbound plan)
   kResourceExhausted, ///< configured limit (nodes, time, memory) exceeded
+  kDeadlineExceeded,  ///< wall-clock deadline passed before completion
   kInternal,          ///< bug: should never be surfaced to users
 };
 
@@ -57,6 +58,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

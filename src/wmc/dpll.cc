@@ -33,9 +33,16 @@ class UnionFind {
 }  // namespace
 
 Result<double> DpllCounter::Compute(NodeId root) {
-  PDB_ASSIGN_OR_RETURN(CacheEntry entry, Count(root));
-  root_trace_ = entry.trace;
-  return entry.value;
+  if (options_.exec && options_.exec->ShouldStop()) {
+    return options_.exec->cancelled()
+               ? Status::ResourceExhausted("DPLL cancelled before start")
+               : Status::DeadlineExceeded("deadline expired before DPLL");
+  }
+  auto entry = Count(root);
+  if (options_.exec) options_.exec->AddCacheHits(stats_.cache_hits);
+  if (!entry.ok()) return entry.status();
+  root_trace_ = entry->trace;
+  return entry->value;
 }
 
 VarId DpllCounter::ChooseVar(NodeId f) {
@@ -147,6 +154,20 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
     return Status::ResourceExhausted(
         StrFormat("DPLL exceeded %llu decisions",
                   static_cast<unsigned long long>(options_.max_decisions)));
+  }
+  // Poll the cooperative stop signal every 64 decisions: cheap relative to
+  // a Shannon expansion, prompt enough for millisecond-scale deadlines.
+  if (options_.exec && stats_.decisions % 64 == 0 &&
+      options_.exec->ShouldStop()) {
+    return options_.exec->cancelled()
+               ? Status::ResourceExhausted(
+                     StrFormat("DPLL cancelled after %llu decisions",
+                               static_cast<unsigned long long>(
+                                   stats_.decisions)))
+               : Status::DeadlineExceeded(
+                     StrFormat("DPLL deadline exceeded after %llu decisions",
+                               static_cast<unsigned long long>(
+                                   stats_.decisions)));
   }
   VarId v = ChooseVar(f);
   const std::vector<VarId> all_vars = mgr_->VarsOf(f);  // copy: map may grow

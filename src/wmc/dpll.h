@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "boolean/formula.h"
+#include "exec/context.h"
 #include "wmc/weights.h"
 
 namespace pdb {
@@ -54,6 +55,12 @@ struct DpllOptions {
   uint64_t max_decisions = UINT64_MAX;
   /// Optional trace sink; may be null.
   DpllTraceSink* trace = nullptr;
+  /// Optional execution context; may be null. The counter polls its
+  /// deadline/cancel signal every few decisions and aborts with
+  /// DeadlineExceeded (resp. ResourceExhausted) so hard instances degrade
+  /// gracefully to sampling instead of hanging; on success it feeds the
+  /// context's cache-hit counter.
+  ExecContext* exec = nullptr;
 };
 
 /// Statistics of a DPLL run.

@@ -3,34 +3,82 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.h"
 #include "util/check.h"
 
 namespace pdb {
 
+namespace {
+
+/// How often shard loops poll ExecContext::ShouldStop().
+constexpr uint64_t kStopCheckStride = 512;
+
+/// Samples assigned to shard `i` of `shards` for a total budget of
+/// `samples`: the remainder spreads over the first shards.
+uint64_t ShardBudget(uint64_t samples, uint64_t shards, uint64_t i) {
+  return samples / shards + (i < samples % shards ? 1 : 0);
+}
+
+}  // namespace
+
+uint64_t NumSampleShards(uint64_t samples) {
+  // Shards of >= 1024 samples keep the per-shard RNG/setup cost in the
+  // noise; 64 shards saturate any realistic pool while staying cheap to
+  // merge. Small budgets stay in one shard.
+  return std::clamp<uint64_t>(samples / 1024, 1, 64);
+}
+
 Estimate NaiveMonteCarlo(FormulaManager* mgr, NodeId root,
                          const std::vector<double>& probs, uint64_t samples,
-                         Rng* rng) {
-  const std::vector<VarId>& vars = mgr->VarsOf(root);
+                         Rng* rng, ExecContext* ctx) {
+  // Warm the VarsOf cache before the fan-out: VarsOf mutates the manager,
+  // Evaluate is a const traversal that workers may run concurrently.
+  const std::vector<VarId> vars = mgr->VarsOf(root);
   size_t max_var = 0;
   for (VarId v : vars) max_var = std::max<size_t>(max_var, v);
-  std::vector<bool> assignment(vars.empty() ? 0 : max_var + 1, false);
+
+  // The parent generator advances exactly once per call; all shards derive
+  // their substreams from the resulting base state.
+  Rng base(rng->Next());
+
+  struct Shard {
+    uint64_t hits = 0;
+    uint64_t drawn = 0;
+  };
+  uint64_t shards = NumSampleShards(samples);
+  std::vector<Shard> parts = ParallelMap<Shard>(ctx, shards, [&](size_t i) {
+    Rng shard_rng = base.Split(i);
+    std::vector<bool> assignment(vars.empty() ? 0 : max_var + 1, false);
+    Shard part;
+    uint64_t budget = ShardBudget(samples, shards, i);
+    for (uint64_t s = 0; s < budget; ++s) {
+      if (ctx && s % kStopCheckStride == 0 && ctx->ShouldStop()) break;
+      for (VarId v : vars) assignment[v] = shard_rng.Bernoulli(probs[v]);
+      if (mgr->Evaluate(root, assignment)) ++part.hits;
+      ++part.drawn;
+    }
+    return part;
+  });
+
   uint64_t hits = 0;
-  for (uint64_t s = 0; s < samples; ++s) {
-    for (VarId v : vars) assignment[v] = rng->Bernoulli(probs[v]);
-    if (mgr->Evaluate(root, assignment)) ++hits;
+  uint64_t drawn = 0;
+  for (const Shard& part : parts) {
+    hits += part.hits;
+    drawn += part.drawn;
   }
+  if (ctx) ctx->AddSamples(drawn);
+
   Estimate est;
-  est.samples = samples;
-  est.value = samples == 0 ? 0.0 : static_cast<double>(hits) / samples;
-  est.stderr_ =
-      samples == 0 ? 0.0
-                   : std::sqrt(est.value * (1.0 - est.value) / samples);
+  est.samples = drawn;
+  est.value = drawn == 0 ? 0.0 : static_cast<double>(hits) / drawn;
+  est.std_error =
+      drawn == 0 ? 0.0 : std::sqrt(est.value * (1.0 - est.value) / drawn);
   return est;
 }
 
 Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
                              const std::vector<double>& probs,
-                             uint64_t samples, Rng* rng) {
+                             uint64_t samples, Rng* rng, ExecContext* ctx) {
   if (terms.empty()) {
     return Estimate{0.0, 0.0, samples};
   }
@@ -67,45 +115,72 @@ Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
   all_vars.erase(std::unique(all_vars.begin(), all_vars.end()),
                  all_vars.end());
   size_t max_var = all_vars.empty() ? 0 : all_vars.back() + 1;
-  std::vector<bool> assignment(max_var, false);
 
+  Rng base(rng->Next());
+
+  struct Shard {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    uint64_t drawn = 0;
+  };
+  uint64_t shards = NumSampleShards(samples);
+  std::vector<Shard> parts = ParallelMap<Shard>(ctx, shards, [&](size_t i) {
+    Rng shard_rng = base.Split(i);
+    std::vector<bool> assignment(max_var, false);
+    Shard part;
+    uint64_t budget = ShardBudget(samples, shards, i);
+    for (uint64_t s = 0; s < budget; ++s) {
+      if (ctx && s % kStopCheckStride == 0 && ctx->ShouldStop()) break;
+      // Pick a term proportional to its probability.
+      double u = shard_rng.NextDouble();
+      size_t chosen =
+          std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+          cumulative.begin();
+      if (chosen >= terms.size()) chosen = terms.size() - 1;
+      // Sample an assignment conditioned on the chosen term being true.
+      for (VarId v : all_vars) assignment[v] = shard_rng.Bernoulli(probs[v]);
+      for (VarId v : terms[chosen]) assignment[v] = true;
+      // Count how many terms the assignment satisfies (>= 1 by
+      // construction).
+      size_t satisfied = 0;
+      for (const auto& term : terms) {
+        bool sat = true;
+        for (VarId v : term) {
+          if (!assignment[v]) {
+            sat = false;
+            break;
+          }
+        }
+        if (sat) ++satisfied;
+      }
+      PDB_CHECK(satisfied >= 1);
+      double x = total / static_cast<double>(satisfied);
+      part.sum += x;
+      part.sum_sq += x * x;
+      ++part.drawn;
+    }
+    return part;
+  });
+
+  // Merge in shard order: floating-point sums are order-dependent, and the
+  // fixed order is what makes the estimate thread-count invariant.
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (uint64_t s = 0; s < samples; ++s) {
-    // Pick a term proportional to its probability.
-    double u = rng->NextDouble();
-    size_t chosen =
-        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
-        cumulative.begin();
-    if (chosen >= terms.size()) chosen = terms.size() - 1;
-    // Sample an assignment conditioned on the chosen term being true.
-    for (VarId v : all_vars) assignment[v] = rng->Bernoulli(probs[v]);
-    for (VarId v : terms[chosen]) assignment[v] = true;
-    // Count how many terms the assignment satisfies (>= 1 by construction).
-    size_t satisfied = 0;
-    for (const auto& term : terms) {
-      bool sat = true;
-      for (VarId v : term) {
-        if (!assignment[v]) {
-          sat = false;
-          break;
-        }
-      }
-      if (sat) ++satisfied;
-    }
-    PDB_CHECK(satisfied >= 1);
-    double x = total / static_cast<double>(satisfied);
-    sum += x;
-    sum_sq += x * x;
+  uint64_t drawn = 0;
+  for (const Shard& part : parts) {
+    sum += part.sum;
+    sum_sq += part.sum_sq;
+    drawn += part.drawn;
   }
+  if (ctx) ctx->AddSamples(drawn);
+
   Estimate est;
-  est.samples = samples;
-  if (samples > 0) {
-    est.value = sum / static_cast<double>(samples);
-    double variance =
-        std::max(0.0, sum_sq / static_cast<double>(samples) -
-                          est.value * est.value);
-    est.stderr_ = std::sqrt(variance / static_cast<double>(samples));
+  est.samples = drawn;
+  if (drawn > 0) {
+    est.value = sum / static_cast<double>(drawn);
+    double variance = std::max(
+        0.0, sum_sq / static_cast<double>(drawn) - est.value * est.value);
+    est.std_error = std::sqrt(variance / static_cast<double>(drawn));
   }
   return est;
 }

@@ -5,6 +5,15 @@
 /// These are the practical fallback when PQE(Q) is #P-hard (paper §2, §10):
 /// both return unbiased estimates with O(1/sqrt(samples)) error; Karp-Luby's
 /// relative error is independent of how small the probability is.
+///
+/// Both estimators shard their sample budget into deterministic RNG
+/// substreams (`Rng::Split`). The shard plan depends only on the requested
+/// sample count — never on the thread count — and shard results are merged
+/// in shard order on the calling thread, so for a fixed seed the estimate is
+/// bit-identical whether it ran on 1 worker or 64. Pass an `ExecContext`
+/// with a pool to run shards in parallel; the context's deadline/cancel
+/// signal stops sampling early (the estimate then reports the number of
+/// samples actually drawn).
 
 #ifndef PDB_WMC_MONTECARLO_H_
 #define PDB_WMC_MONTECARLO_H_
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "boolean/formula.h"
+#include "exec/context.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -21,22 +31,31 @@ namespace pdb {
 /// An estimate with its standard error.
 struct Estimate {
   double value = 0.0;
-  double stderr_ = 0.0;
+  double std_error = 0.0;
+  /// Samples actually drawn (less than requested when stopped early).
   uint64_t samples = 0;
 };
 
+/// Number of RNG substreams a budget of `samples` is split into. A pure
+/// function of the sample count, so the shard plan — and therefore the
+/// merged estimate — is independent of how many threads execute it.
+uint64_t NumSampleShards(uint64_t samples);
+
 /// Naive sampling: draw `samples` assignments (variable v true with
 /// probability probs[v]) and report the fraction satisfying `root`.
+/// `ctx` may be null (sequential, no deadline).
 Estimate NaiveMonteCarlo(FormulaManager* mgr, NodeId root,
                          const std::vector<double>& probs, uint64_t samples,
-                         Rng* rng);
+                         Rng* rng, ExecContext* ctx = nullptr);
 
 /// Karp–Luby estimator for a DNF given as term lists (each term a
 /// conjunction of positive variables). Requires at least one term with
 /// nonzero probability; probabilities must lie in [0, 1].
+/// `ctx` may be null (sequential, no deadline).
 Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
                              const std::vector<double>& probs,
-                             uint64_t samples, Rng* rng);
+                             uint64_t samples, Rng* rng,
+                             ExecContext* ctx = nullptr);
 
 }  // namespace pdb
 

@@ -209,8 +209,8 @@ TEST(MonteCarloTest, NaiveConverges) {
   double expected = *EnumerateProbability(&mgr, f, probs);
   Rng rng(1234);
   Estimate est = NaiveMonteCarlo(&mgr, f, probs, 200000, &rng);
-  EXPECT_NEAR(est.value, expected, 5 * est.stderr_ + 1e-6);
-  EXPECT_LT(est.stderr_, 0.005);
+  EXPECT_NEAR(est.value, expected, 5 * est.std_error + 1e-6);
+  EXPECT_LT(est.std_error, 0.005);
 }
 
 TEST(MonteCarloTest, KarpLubyConverges) {
@@ -237,7 +237,7 @@ TEST(MonteCarloTest, KarpLubyConverges) {
   Rng rng(99);
   auto est = KarpLubyDnf(dnf->terms, dnf->probs, 200000, &rng);
   ASSERT_TRUE(est.ok());
-  EXPECT_NEAR(est->value, expected, 5 * est->stderr_ + 1e-6);
+  EXPECT_NEAR(est->value, expected, 5 * est->std_error + 1e-6);
 }
 
 TEST(MonteCarloTest, KarpLubyEdgeCases) {
