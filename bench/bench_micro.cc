@@ -157,6 +157,55 @@ void BM_KarpLubySampling(benchmark::State& state) {
 }
 BENCHMARK(BM_KarpLubySampling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// Parallel connected-component solving: a conjunction of variable-disjoint
+// random 3-DNF blocks, counted with the component split running on 1/2/4
+// pool workers. The count is bit-identical across thread counts; the bench
+// isolates the wall-clock scaling of DpllCounter::CountComponentsParallel
+// (including the per-child ExportTo clone overhead).
+void BM_DpllComponents(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  FormulaManager mgr;
+  Rng gen(11);
+  std::vector<double> probs;
+  std::vector<NodeId> blocks;
+  constexpr int kBlocks = 4;
+  constexpr int kVarsPerBlock = 14;
+  constexpr int kTermsPerBlock = 24;
+  for (int b = 0; b < kBlocks; ++b) {
+    VarId base = static_cast<VarId>(probs.size());
+    for (int v = 0; v < kVarsPerBlock; ++v) {
+      probs.push_back(0.2 + 0.6 * gen.NextDouble());
+    }
+    std::vector<NodeId> terms;
+    for (int t = 0; t < kTermsPerBlock; ++t) {
+      std::vector<NodeId> lits;
+      for (int l = 0; l < 3; ++l) {
+        NodeId lit = mgr.Var(base + static_cast<VarId>(
+                                        gen.Uniform(kVarsPerBlock)));
+        if (gen.Bernoulli(0.5)) lit = mgr.Not(lit);
+        lits.push_back(lit);
+      }
+      terms.push_back(mgr.And(std::move(lits)));
+    }
+    blocks.push_back(mgr.Or(std::move(terms)));
+  }
+  NodeId root = mgr.And(std::move(blocks));
+  WeightMap weights = WeightsFromProbabilities(probs);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  ExecContext ctx(pool.get());
+  for (auto _ : state) {
+    DpllOptions options;
+    options.parallel_min_vars = 0;
+    if (threads > 1) options.exec = &ctx;
+    DpllCounter counter(&mgr, weights, options);
+    auto p = counter.Compute(root);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_DpllComponents)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_BigIntMultiply(benchmark::State& state) {
   BigInt a = BigInt::Factorial(static_cast<uint64_t>(state.range(0)));
   BigInt b = a + BigInt(1);

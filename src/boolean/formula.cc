@@ -206,6 +206,39 @@ NodeId FormulaManager::Cofactor(NodeId f, VarId v, bool value) {
   return result;
 }
 
+NodeId FormulaManager::ExportTo(NodeId root, FormulaManager* dst) const {
+  // The destination must be pristine (terminals only): interning into a
+  // populated manager could dedup against pre-existing nodes and break the
+  // monotone id mapping the bit-identity guarantee rests on.
+  PDB_ASSERT(dst->NumNodes() == 2);
+  if (is_const(root)) return root;
+  // Collect the reachable set, then clone in ascending id order. Children
+  // are always interned before their parents, so ascending NodeId is a
+  // topological order and the mapping is monotone.
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    if (is_const(cur) || !seen.insert(cur).second) continue;
+    for (NodeId c : children(cur)) stack.push_back(c);
+  }
+  std::vector<NodeId> order(seen.begin(), seen.end());
+  std::sort(order.begin(), order.end());
+  std::unordered_map<NodeId, NodeId> map;
+  map.reserve(order.size());
+  map.emplace(False(), dst->False());
+  map.emplace(True(), dst->True());
+  for (NodeId old : order) {
+    const Node& node = nodes_[old];
+    std::vector<NodeId> kids;
+    kids.reserve(node.child_count);
+    for (NodeId c : children(old)) kids.push_back(map.at(c));
+    map.emplace(old, dst->Intern(node.kind, node.var, std::move(kids)));
+  }
+  return map.at(root);
+}
+
 size_t FormulaManager::CountReachable(NodeId f) const {
   std::unordered_set<NodeId> seen;
   std::vector<NodeId> stack{f};

@@ -85,6 +85,18 @@ class FormulaManager {
   /// Number of DAG nodes reachable from `f`.
   size_t CountReachable(NodeId f) const;
 
+  /// Clones the subDAG rooted at `root` into `dst` (which must be freshly
+  /// constructed) and returns the corresponding root in `dst`. The clone is
+  /// a raw structural copy — no re-simplification — performed in ascending
+  /// NodeId order, so the old→new id mapping is strictly monotone.
+  /// Variable ids are preserved. Consequently every id-order-sensitive
+  /// operation (sorted ∧/∨ child lists, DPLL component grouping, variable
+  /// choice) behaves identically in the clone, which is what makes parallel
+  /// DPLL component solving bit-identical to the sequential search. Reads
+  /// `this` const-only: concurrent ExportTo calls from one source manager
+  /// into distinct destinations are safe.
+  NodeId ExportTo(NodeId root, FormulaManager* dst) const;
+
   /// Releases the cofactor memo table (the unique tables stay).
   void ClearCofactorCache() { cofactor_cache_.clear(); }
 

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 #include <set>
 
 #include "boolean/lineage.h"
-#include "exec/parallel.h"
-#include "exec/thread_pool.h"
-#include "util/check.h"
+#include "core/session.h"
 #include "logic/analysis.h"
 #include "plans/bounds.h"
 #include "sql/sql.h"
@@ -32,8 +29,7 @@ const char* InferenceMethodToString(InferenceMethod method) {
   return "?";
 }
 
-Result<QueryAnswer> ProbDatabase::Query(const std::string& query_text,
-                                        const QueryOptions& options) const {
+Result<FoPtr> ParseBooleanQuery(const std::string& query_text) {
   auto fo = ParseFo(query_text);
   if (fo.ok()) {
     // Boolean-query convention: free variables are existentially closed.
@@ -43,10 +39,10 @@ Result<QueryAnswer> ProbDatabase::Query(const std::string& query_text,
       sentence = Fo::Exists(
           std::vector<std::string>(free.begin(), free.end()), sentence);
     }
-    return QueryFo(sentence, options);
+    return sentence;
   }
   auto ucq = ParseUcqShorthand(query_text);
-  if (ucq.ok()) return QueryFo(*ucq, options);
+  if (ucq.ok()) return *ucq;
   return Status::InvalidArgument(
       StrFormat("cannot parse query (as FO: %s; as UCQ: %s)",
                 fo.status().message().c_str(),
@@ -55,27 +51,27 @@ Result<QueryAnswer> ProbDatabase::Query(const std::string& query_text,
 
 namespace {
 
-/// Resolves ExecOptions::num_threads (0 = one per hardware thread).
-int ResolveThreads(const ExecOptions& exec) {
-  int threads = exec.num_threads;
-  if (threads <= 0) threads = static_cast<int>(ThreadPool::HardwareThreads());
-  return threads;
+/// One-shot session reproducing the historical per-query behaviour: a
+/// private pool at the query's requested width, no cross-query cache.
+SessionOptions SingleShotOptions(const QueryOptions& options) {
+  SessionOptions session_options;
+  session_options.num_threads = options.exec.num_threads;
+  session_options.cache_results = false;
+  return session_options;
 }
 
 }  // namespace
 
+Result<QueryAnswer> ProbDatabase::Query(const std::string& query_text,
+                                        const QueryOptions& options) const {
+  Session session(this, SingleShotOptions(options));
+  return session.Query(query_text, options);
+}
+
 Result<QueryAnswer> ProbDatabase::QueryFo(const FoPtr& sentence,
                                           const QueryOptions& options) const {
-  // The pool lives for exactly one query; sequential runs skip it so the
-  // common single-threaded path allocates no threads at all.
-  std::unique_ptr<ThreadPool> pool;
-  int threads = ResolveThreads(options.exec);
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  ExecContext ctx(pool.get());
-  if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
-  auto answer = QueryFoWithContext(sentence, options, &ctx);
-  if (answer.ok()) answer->report = ctx.Report();
-  return answer;
+  Session session(this, SingleShotOptions(options));
+  return session.QueryFo(sentence, options);
 }
 
 Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
@@ -298,86 +294,8 @@ Result<Relation> ProbDatabase::QuerySqlAnswers(
 Result<Relation> ProbDatabase::QueryWithAnswers(
     const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
     const QueryOptions& options) const {
-  std::set<std::string> vars = cq.Variables();
-  for (const std::string& v : head_vars) {
-    if (vars.count(v) == 0) {
-      return Status::InvalidArgument(
-          StrFormat("head variable '%s' does not occur in the query",
-                    v.c_str()));
-    }
-  }
-  // Candidate answers: distinct head-tuple bindings among the CQ matches.
-  std::set<Tuple> candidates;
-  // Map head var -> (atom index, position) for extraction.
-  std::vector<std::pair<size_t, size_t>> positions;
-  for (const std::string& v : head_vars) {
-    bool found = false;
-    for (size_t i = 0; i < cq.atoms().size() && !found; ++i) {
-      const Atom& atom = cq.atoms()[i];
-      for (size_t j = 0; j < atom.args.size(); ++j) {
-        if (atom.args[j].is_variable() && atom.args[j].var() == v) {
-          positions.emplace_back(i, j);
-          found = true;
-          break;
-        }
-      }
-    }
-    PDB_CHECK(found);  // verified above: every head var occurs somewhere
-  }
-  PDB_RETURN_NOT_OK(EnumerateCqMatches(cq, db_, [&](const CqMatch& match) {
-    Tuple head;
-    head.reserve(positions.size());
-    for (const auto& [atom_idx, pos] : positions) {
-      const LineageVar& lv = match.atom_rows[atom_idx];
-      const Relation* rel = db_.Get(lv.relation).value();
-      head.push_back(rel->tuple(lv.row)[pos]);
-    }
-    candidates.insert(std::move(head));
-  }));
-
-  // Output schema: head variables typed by their first candidate (or int).
-  std::vector<Attribute> attrs;
-  for (size_t i = 0; i < head_vars.size(); ++i) {
-    ValueType type = candidates.empty() ? ValueType::kInt
-                                        : (*candidates.begin())[i].type();
-    attrs.push_back({head_vars[i], type});
-  }
-  Relation out("answers", Schema(std::move(attrs)));
-
-  // Fan the per-answer-tuple marginal computations out across the pool:
-  // each candidate's residual Boolean query is independent, reads the
-  // database const-only, and builds all mutable state (formula manager,
-  // lineage, counters) locally. Inner queries run sequentially — the
-  // fan-out already saturates the pool, and nesting pools would oversubscribe.
-  std::vector<Tuple> heads(candidates.begin(), candidates.end());
-  QueryOptions inner = options;
-  inner.exec.num_threads = 1;
-
-  std::unique_ptr<ThreadPool> pool;
-  int threads = ResolveThreads(options.exec);
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  ExecContext ctx(pool.get());
-
-  std::vector<double> marginals(heads.size(), 0.0);
-  std::vector<Status> statuses(heads.size());
-  ParallelFor(&ctx, heads.size(), [&](size_t t) {
-    // Boolean residual query: substitute the head binding.
-    ConjunctiveQuery grounded = cq;
-    for (size_t i = 0; i < head_vars.size(); ++i) {
-      grounded = grounded.Substitute(head_vars[i], heads[t][i]);
-    }
-    auto answer = QueryFo(Ucq({grounded}).ToFo(), inner);
-    if (answer.ok()) {
-      marginals[t] = answer->probability;
-    } else {
-      statuses[t] = answer.status();
-    }
-  });
-  for (size_t t = 0; t < heads.size(); ++t) {
-    PDB_RETURN_NOT_OK(statuses[t]);
-    PDB_RETURN_NOT_OK(out.AddTuple(heads[t], marginals[t]));
-  }
-  return out;
+  Session session(this, SingleShotOptions(options));
+  return session.QueryWithAnswers(cq, head_vars, options);
 }
 
 }  // namespace pdb

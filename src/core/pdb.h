@@ -19,6 +19,8 @@
 #ifndef PDB_CORE_PDB_H_
 #define PDB_CORE_PDB_H_
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -29,6 +31,8 @@
 #include "util/status.h"
 
 namespace pdb {
+
+class Session;
 
 /// Which engine produced an answer.
 enum class InferenceMethod {
@@ -73,7 +77,18 @@ struct QueryOptions {
   ExecOptions exec;
 };
 
+/// Parses Boolean query text: an FO sentence or the datalog-style UCQ
+/// shorthand; free variables are existentially closed.
+Result<FoPtr> ParseBooleanQuery(const std::string& query_text);
+
 /// A tuple-independent probabilistic database plus its query engines.
+///
+/// Queries are answered through a `Session` (core/session.h): a long-lived
+/// object owning the worker pool and the cross-query result cache. The
+/// Query* methods below are thin wrappers that route through a private
+/// per-call session, preserving the one-shot semantics (pool per query, no
+/// caching); callers serving many concurrent queries should hold one
+/// Session and issue queries through it so all of them share workers.
 class ProbDatabase {
  public:
   ProbDatabase() = default;
@@ -83,7 +98,19 @@ class ProbDatabase {
   const Database& database() const { return db_; }
 
   Status AddRelation(Relation relation) {
+    generation_.fetch_add(1, std::memory_order_relaxed);
     return db_.AddRelation(std::move(relation));
+  }
+
+  /// Mutation counter used by sessions to invalidate their caches. Bumped
+  /// by AddRelation; callers mutating relations through `database()`
+  /// directly must call BumpGeneration() (or Session::InvalidateCache)
+  /// themselves.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_release);
   }
 
   /// Parses and evaluates a Boolean query. The text may be an FO sentence
@@ -133,6 +160,8 @@ class ProbDatabase {
                                    const QueryOptions& options = {}) const;
 
  private:
+  friend class Session;
+
   /// Strategy-selection pipeline behind QueryFo, running against an
   /// already-configured execution context (pool + deadline).
   Result<QueryAnswer> QueryFoWithContext(const FoPtr& sentence,
@@ -140,6 +169,7 @@ class ProbDatabase {
                                          ExecContext* ctx) const;
 
   Database db_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace pdb

@@ -1,0 +1,245 @@
+#include "core/session.h"
+
+#include <set>
+#include <utility>
+
+#include "boolean/lineage.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+/// Resolves SessionOptions::num_threads (0 = one per hardware thread).
+int ResolveThreads(int num_threads) {
+  if (num_threads <= 0) {
+    return static_cast<int>(ThreadPool::HardwareThreads());
+  }
+  return num_threads;
+}
+
+}  // namespace
+
+Session::Session(const ProbDatabase* db, SessionOptions options)
+    : db_(db),
+      options_(options),
+      resolved_threads_(ResolveThreads(options.num_threads)),
+      generation_seen_(db->generation()) {
+  cumulative_.num_threads = resolved_threads_;
+}
+
+Session::~Session() = default;  // pool destructor drains + joins
+
+ThreadPool* Session::pool() {
+  if (resolved_threads_ <= 1) return nullptr;
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(resolved_threads_));
+  });
+  return pool_.get();
+}
+
+void Session::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+size_t Session::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+uint64_t Session::queries_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_served_;
+}
+
+uint64_t Session::result_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_cache_hits_;
+}
+
+ExecReport Session::CumulativeReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cumulative_;
+}
+
+void Session::AggregateLocked(const ExecReport& report) {
+  cumulative_.tasks_run += report.tasks_run;
+  cumulative_.samples_drawn += report.samples_drawn;
+  cumulative_.cache_hits += report.cache_hits;
+  cumulative_.cancelled = cumulative_.cancelled || report.cancelled;
+  cumulative_.deadline_exceeded =
+      cumulative_.deadline_exceeded || report.deadline_exceeded;
+}
+
+std::string Session::CacheKey(const FoPtr& sentence,
+                              const QueryOptions& options) {
+  // Only exact answers are cached; which engine produced them (and hence
+  // which options matter) is limited to the lifted preference and the DPLL
+  // decision budget. Everything else (thread counts, deadlines, sampling
+  // parameters) cannot change an exact value.
+  return StrFormat("%d|%llu|", options.prefer_lifted ? 1 : 0,
+                   static_cast<unsigned long long>(
+                       options.max_dpll_decisions)) +
+         sentence->ToString();
+}
+
+Result<QueryAnswer> Session::Query(const std::string& query_text,
+                                   const QueryOptions& options) {
+  PDB_ASSIGN_OR_RETURN(FoPtr sentence, ParseBooleanQuery(query_text));
+  return QueryFo(sentence, options);
+}
+
+Result<QueryAnswer> Session::QueryFo(const FoPtr& sentence,
+                                     const QueryOptions& options) {
+  return QueryFoInternal(sentence, options, /*top_level=*/true);
+}
+
+Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
+                                             const QueryOptions& options,
+                                             bool top_level) {
+  std::string key;
+  if (options_.cache_results) {
+    key = CacheKey(sentence, options);
+    std::lock_guard<std::mutex> lock(mu_);
+    // The database generation invalidates lazily: the first query after a
+    // mutation drops every stale entry.
+    uint64_t generation = db_->generation();
+    if (generation != generation_seen_) {
+      cache_.clear();
+      generation_seen_ = generation;
+    }
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (top_level) {
+        ++queries_served_;
+        ++result_cache_hits_;
+      }
+      QueryAnswer answer = it->second;
+      // A cached answer executed nothing in this query: hand back a fresh
+      // report so per-query accounting stays isolated.
+      answer.report = ExecReport{};
+      answer.explanation += "; session result cache hit";
+      return answer;
+    }
+  }
+
+  // Each query gets a private context (isolated counters, own deadline)
+  // over the shared session pool. A query that asks for sequential
+  // execution gets no pool at all.
+  ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
+  if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
+  auto answer = db_->QueryFoWithContext(sentence, options, &ctx);
+  ExecReport report = ctx.Report();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (top_level) ++queries_served_;
+    AggregateLocked(report);
+    if (answer.ok() && options_.cache_results && answer->exact &&
+        db_->generation() == generation_seen_ &&
+        cache_.size() < options_.max_cache_entries) {
+      QueryAnswer cached = *answer;
+      cached.report = report;
+      cache_.emplace(std::move(key), std::move(cached));
+    }
+  }
+  if (answer.ok()) answer->report = report;
+  return answer;
+}
+
+Result<Relation> Session::QueryWithAnswers(
+    const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
+    const QueryOptions& options) {
+  const Database& db = db_->database();
+  std::set<std::string> vars = cq.Variables();
+  for (const std::string& v : head_vars) {
+    if (vars.count(v) == 0) {
+      return Status::InvalidArgument(
+          StrFormat("head variable '%s' does not occur in the query",
+                    v.c_str()));
+    }
+  }
+  // Candidate answers: distinct head-tuple bindings among the CQ matches.
+  std::set<Tuple> candidates;
+  // Map head var -> (atom index, position) for extraction.
+  std::vector<std::pair<size_t, size_t>> positions;
+  for (const std::string& v : head_vars) {
+    bool found = false;
+    for (size_t i = 0; i < cq.atoms().size() && !found; ++i) {
+      const Atom& atom = cq.atoms()[i];
+      for (size_t j = 0; j < atom.args.size(); ++j) {
+        if (atom.args[j].is_variable() && atom.args[j].var() == v) {
+          positions.emplace_back(i, j);
+          found = true;
+          break;
+        }
+      }
+    }
+    PDB_CHECK(found);  // verified above: every head var occurs somewhere
+  }
+  PDB_RETURN_NOT_OK(EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
+    Tuple head;
+    head.reserve(positions.size());
+    for (const auto& [atom_idx, pos] : positions) {
+      const LineageVar& lv = match.atom_rows[atom_idx];
+      const Relation* rel = db.Get(lv.relation).value();
+      head.push_back(rel->tuple(lv.row)[pos]);
+    }
+    candidates.insert(std::move(head));
+  }));
+
+  // Output schema: head variables typed by their first candidate (or int).
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < head_vars.size(); ++i) {
+    ValueType type = candidates.empty() ? ValueType::kInt
+                                        : (*candidates.begin())[i].type();
+    attrs.push_back({head_vars[i], type});
+  }
+  Relation out("answers", Schema(std::move(attrs)));
+
+  // Fan the per-answer-tuple marginal computations out across the session
+  // pool: each candidate's residual Boolean query is independent, reads
+  // the database const-only, and builds all mutable state (formula
+  // manager, lineage, counters) locally. Inner queries run sequentially —
+  // the fan-out already saturates the pool, and nesting pools would
+  // oversubscribe — but still route through the session, so repeated
+  // marginals hit the result cache.
+  std::vector<Tuple> heads(candidates.begin(), candidates.end());
+  QueryOptions inner = options;
+  inner.exec.num_threads = 1;
+  inner.exec.deadline_ms = 0;  // the per-query deadline governs the batch
+
+  ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
+  std::vector<double> marginals(heads.size(), 0.0);
+  std::vector<Status> statuses(heads.size());
+  ParallelFor(&ctx, heads.size(), [&](size_t t) {
+    // Boolean residual query: substitute the head binding.
+    ConjunctiveQuery grounded = cq;
+    for (size_t i = 0; i < head_vars.size(); ++i) {
+      grounded = grounded.Substitute(head_vars[i], heads[t][i]);
+    }
+    auto answer =
+        QueryFoInternal(Ucq({grounded}).ToFo(), inner, /*top_level=*/false);
+    if (answer.ok()) {
+      marginals[t] = answer->probability;
+    } else {
+      statuses[t] = answer.status();
+    }
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_served_;
+    AggregateLocked(ctx.Report());
+  }
+  for (size_t t = 0; t < heads.size(); ++t) {
+    PDB_RETURN_NOT_OK(statuses[t]);
+    PDB_RETURN_NOT_OK(out.AddTuple(heads[t], marginals[t]));
+  }
+  return out;
+}
+
+}  // namespace pdb

@@ -1,0 +1,140 @@
+/// \file session.h
+/// \brief Long-lived query session: shared worker pool, cross-query result
+/// cache, per-session accounting.
+///
+/// A `Session` is the unit of concurrency for serving queries: it owns one
+/// `ThreadPool` (created lazily, shared by every query issued through the
+/// session) and a result cache keyed by query sentence, so N concurrent
+/// `Query()` calls share workers instead of each spinning up a pool and
+/// oversubscribing the machine. All entry points are thread-safe: issue
+/// queries from as many threads as you like against one session.
+///
+/// Lifecycle:
+///  - construction binds the session to a `ProbDatabase` and resolves the
+///    pool width; no threads are spawned until the first parallel query;
+///  - each query runs against its own `ExecContext` (private counters, own
+///    deadline), so per-query `ExecReport`s are isolated even under heavy
+///    concurrency, while `CumulativeReport()` aggregates across them;
+///  - exact answers are cached by (sentence, relevant options); the cache
+///    is invalidated when the database's mutation generation changes
+///    (`ProbDatabase::AddRelation` bumps it; direct mutation through
+///    `database()` requires `BumpGeneration()` or `InvalidateCache()`);
+///  - destruction drains and joins the pool. The session must outlive any
+///    in-flight queries issued through it.
+///
+/// The `ProbDatabase::Query*` methods remain as thin wrappers creating a
+/// private single-shot session per call, which reproduces the historical
+/// pool-per-query behaviour exactly.
+
+#ifndef PDB_CORE_SESSION_H_
+#define PDB_CORE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pdb.h"
+#include "exec/context.h"
+
+namespace pdb {
+
+class ThreadPool;
+
+/// Tuning for a session.
+struct SessionOptions {
+  /// Worker-pool width shared by every query issued through the session:
+  /// 1 = sequential (no pool), 0 = one worker per hardware thread. A
+  /// query's own `exec.num_threads == 1` still forces that query to run
+  /// sequentially; any other value uses the session pool at this width.
+  int num_threads = 0;
+  /// Cache exact answers across queries (keyed by sentence + the options
+  /// that can change the answer).
+  bool cache_results = true;
+  /// Hard cap on cached entries; insertion stops once reached.
+  size_t max_cache_entries = 4096;
+};
+
+/// A long-lived, thread-safe query session over one `ProbDatabase`.
+class Session {
+ public:
+  /// Binds to `db`, which must outlive the session.
+  explicit Session(const ProbDatabase* db, SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and evaluates a Boolean query (same syntax as
+  /// `ProbDatabase::Query`).
+  Result<QueryAnswer> Query(const std::string& query_text,
+                            const QueryOptions& options = {});
+
+  /// Evaluates a Boolean FO sentence.
+  Result<QueryAnswer> QueryFo(const FoPtr& sentence,
+                              const QueryOptions& options = {});
+
+  /// Non-Boolean conjunctive query: answer tuples with marginal
+  /// probabilities; the per-tuple fan-out runs on the session pool and the
+  /// per-tuple Boolean sub-queries can hit the session result cache.
+  Result<Relation> QueryWithAnswers(const ConjunctiveQuery& cq,
+                                    const std::vector<std::string>& head_vars,
+                                    const QueryOptions& options = {});
+
+  /// Resolved pool width (>= 1).
+  int num_threads() const { return resolved_threads_; }
+
+  /// The shared pool, constructed on first use; null when the session is
+  /// sequential (`num_threads() == 1`).
+  ThreadPool* pool();
+
+  /// Drops every cached result (e.g. after mutating the database through
+  /// `ProbDatabase::database()`).
+  void InvalidateCache();
+
+  size_t cache_size() const;
+  /// Top-level queries answered by this session (cache hits included).
+  uint64_t queries_served() const;
+  /// Top-level queries answered from the result cache.
+  uint64_t result_cache_hits() const;
+
+  /// Aggregate of every per-query report (tasks, samples, DPLL cache hits,
+  /// whether any query was cancelled or overran a deadline).
+  ExecReport CumulativeReport() const;
+
+ private:
+  /// Shared pipeline behind Query/QueryFo and the per-tuple fan-out.
+  /// `top_level` controls accounting: fan-out sub-queries aggregate into
+  /// the cumulative report but do not count as served queries.
+  Result<QueryAnswer> QueryFoInternal(const FoPtr& sentence,
+                                      const QueryOptions& options,
+                                      bool top_level);
+
+  /// Cache key: the options that can change an exact answer, then the
+  /// sentence text.
+  static std::string CacheKey(const FoPtr& sentence,
+                              const QueryOptions& options);
+
+  /// Folds one per-query report into the cumulative aggregate. Caller must
+  /// hold `mu_`.
+  void AggregateLocked(const ExecReport& report);
+
+  const ProbDatabase* db_;
+  SessionOptions options_;
+  int resolved_threads_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  uint64_t generation_seen_;                          // guarded by mu_
+  std::unordered_map<std::string, QueryAnswer> cache_;  // guarded by mu_
+  uint64_t queries_served_ = 0;                       // guarded by mu_
+  uint64_t result_cache_hits_ = 0;                    // guarded by mu_
+  ExecReport cumulative_;                             // guarded by mu_
+};
+
+}  // namespace pdb
+
+#endif  // PDB_CORE_SESSION_H_

@@ -54,11 +54,17 @@ void ParallelFor(ExecContext* ctx, size_t n,
 
   auto state = std::make_shared<LoopState>(n);
   // One helper per worker (capped at n-1: the caller claims indices too).
+  // Helpers are submitted with TrySubmit: when the pool is saturated — a
+  // nested loop inside a pool task, or other queries sharing a session
+  // pool — no helper is queued and the caller simply runs more (or all) of
+  // the bodies itself. The loop never waits on queue space, so nested
+  // parallelism cannot deadlock and a busy shared pool degrades to inline
+  // execution instead of piling up no-op helper tasks.
   size_t helpers = std::min(pool->num_threads(), n - 1);
   for (size_t h = 0; h < helpers; ++h) {
     // Helpers copy the body: one may start only after the caller returned
     // (it then claims no index, but must not hold a dangling reference).
-    pool->Submit([state, body] { state->Run(body); });
+    if (!pool->TrySubmit([state, body] { state->Run(body); })) break;
   }
   state->Run(body);
   {

@@ -30,6 +30,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    // Spare capacity = workers not busy and not already claimed by a queued
+    // task. Workers that have not reached their wait yet count as spare:
+    // they will pick the task up as soon as they start.
+    if (queue_.size() + busy_workers_ >= workers_.size()) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 size_t ThreadPool::tasks_executed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tasks_executed_;
@@ -51,8 +65,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++tasks_executed_;
+      ++busy_workers_;
     }
     task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_workers_;
+    }
   }
 }
 

@@ -42,6 +42,16 @@ class ThreadPool {
   /// destruction begins.
   void Submit(std::function<void()> task);
 
+  /// Enqueues `task` only if the pool has spare capacity — a worker that is
+  /// neither executing a task nor already spoken for by a queued one.
+  /// Returns false (and does not take the task) when the pool is saturated
+  /// or shutting down. This is the nesting-safe hook for recursive
+  /// parallelism: work generated inside a pool task (DPLL component splits,
+  /// nested parallel loops) calls TrySubmit and, on refusal, runs the work
+  /// inline on the calling thread — so a full pool sheds load instead of
+  /// stacking queued tasks it can only start after their parents finish.
+  bool TrySubmit(std::function<void()> task);
+
   size_t num_threads() const { return workers_.size(); }
 
   /// Total tasks executed by the workers so far.
@@ -57,6 +67,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   size_t tasks_executed_ = 0;  // guarded by mu_
+  size_t busy_workers_ = 0;    // guarded by mu_; workers executing a task
   bool stopping_ = false;      // guarded by mu_
   std::vector<std::thread> workers_;
 };

@@ -64,7 +64,8 @@
 #include "symmetric/symmetric.h"      // IWYU pragma: export
 
 // Frontends and the engine facade.
-#include "core/pdb.h"  // IWYU pragma: export
-#include "sql/sql.h"   // IWYU pragma: export
+#include "core/pdb.h"      // IWYU pragma: export
+#include "core/session.h"  // IWYU pragma: export
+#include "sql/sql.h"       // IWYU pragma: export
 
 #endif  // PDB_PDB_ALL_H_

@@ -4,6 +4,10 @@
 /// PDB_CHECK aborts on violated invariants (always on, including release
 /// builds — the cost is negligible next to inference work and database bugs
 /// are far cheaper caught loudly). PDB_DCHECK compiles out in NDEBUG builds.
+/// PDB_ASSERT is for checks too expensive for production (component
+/// disjointness sweeps, clone-order verification): it is compiled in only
+/// when the build sets -DPDB_ASSERTIONS=ON (see the top-level CMake option),
+/// which CI exercises in a dedicated Debug job.
 
 #ifndef PDB_UTIL_CHECK_H_
 #define PDB_UTIL_CHECK_H_
@@ -34,6 +38,14 @@ namespace pdb::internal {
   } while (false)
 #else
 #define PDB_DCHECK(cond) PDB_CHECK(cond)
+#endif
+
+#ifdef PDB_ASSERTIONS
+#define PDB_ASSERT(cond) PDB_CHECK(cond)
+#else
+#define PDB_ASSERT(cond) \
+  do {                   \
+  } while (false)
 #endif
 
 #endif  // PDB_UTIL_CHECK_H_

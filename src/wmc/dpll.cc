@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <utility>
 
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -29,6 +33,38 @@ class UnionFind {
  private:
   std::vector<size_t> parent_;
 };
+
+#ifdef PDB_ASSERTIONS
+/// The component invariant: groups must partition the conjunction's
+/// children into pairwise variable-disjoint sets.
+bool GroupsAreVarDisjoint(FormulaManager* mgr,
+                          const std::map<size_t, std::vector<NodeId>>& groups) {
+  std::vector<VarId> all;
+  for (const auto& [rep, members] : groups) {
+    for (NodeId m : members) {
+      const std::vector<VarId>& vars = mgr->VarsOf(m);
+      all.insert(all.end(), vars.begin(), vars.end());
+    }
+  }
+  // Within a group members may share variables; across groups they must
+  // not, so every variable's occurrences must stay inside one group.
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  size_t covered = 0;
+  for (const auto& [rep, members] : groups) {
+    std::vector<VarId> group_vars;
+    for (NodeId m : members) {
+      const std::vector<VarId>& vars = mgr->VarsOf(m);
+      group_vars.insert(group_vars.end(), vars.begin(), vars.end());
+    }
+    std::sort(group_vars.begin(), group_vars.end());
+    group_vars.erase(std::unique(group_vars.begin(), group_vars.end()),
+                     group_vars.end());
+    covered += group_vars.size();
+  }
+  return covered == all.size();
+}
+#endif
 
 }  // namespace
 
@@ -133,7 +169,13 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
       groups[uf.Find(i)].push_back(kids[i]);
     }
     if (groups.size() > 1) {
+      PDB_ASSERT(GroupsAreVarDisjoint(mgr_, groups));
       ++stats_.component_splits;
+      if (options_.parallel_components && options_.exec &&
+          options_.exec->pool() && sink == nullptr &&
+          mgr_->VarsOf(f).size() >= options_.parallel_min_vars) {
+        return CountComponentsParallel(f, groups);
+      }
       double product = 1.0;
       std::vector<DpllTraceSink::Ref> refs;
       for (auto& [rep, members] : groups) {
@@ -180,6 +222,81 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
   result.value = weights_[v].w_false * e0.value * corr0 +
                  weights_[v].w_true * e1.value * corr1;
   if (sink) result.trace = sink->Decision(v, e0.trace, e1.trace);
+  cache_.emplace(f, result);
+  return result;
+}
+
+Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
+    NodeId f, const std::map<size_t, std::vector<NodeId>>& groups) {
+  ++stats_.parallel_splits;
+  // Clone every component into a private manager up front, on the calling
+  // thread: the shared manager is mutable (hash-consing, VarsOf/Cofactor
+  // memos) and must not be touched from workers. Clones preserve variable
+  // ids and relative node order (ExportTo), so each child search is
+  // isomorphic to what the sequential recursion would have done.
+  struct ChildTask {
+    std::unique_ptr<FormulaManager> mgr;
+    NodeId root = 0;
+  };
+  std::vector<ChildTask> tasks;
+  tasks.reserve(groups.size());
+  for (const auto& [rep, members] : groups) {
+    NodeId component = mgr_->And(members);
+    ChildTask task;
+    task.mgr = std::make_unique<FormulaManager>();
+    task.root = mgr_->ExportTo(component, task.mgr.get());
+    tasks.push_back(std::move(task));
+  }
+  const uint64_t remaining_decisions =
+      options_.max_decisions == UINT64_MAX
+          ? UINT64_MAX
+          : options_.max_decisions - stats_.decisions;
+
+  // One child counter per component, run via ParallelReduce: workers claim
+  // components (the caller participates, so a saturated or nested pool
+  // degrades to inline execution rather than deadlocking), results are
+  // materialised per component and folded on this thread in ascending
+  // union-find-representative order — the exact multiplication order of the
+  // sequential loop, so the product is bit-identical.
+  struct Outcome {
+    double product = 1.0;
+    Status status;
+    DpllStats stats;
+  };
+  Outcome merged = ParallelReduce<Outcome>(
+      options_.exec, tasks.size(), Outcome{},
+      [&](size_t i) {
+        DpllOptions child_options = options_;
+        child_options.trace = nullptr;
+        child_options.max_decisions = remaining_decisions;
+        // Weights are indexed by VarId, which the clone preserves.
+        DpllCounter child(tasks[i].mgr.get(), weights_, child_options);
+        Outcome out;
+        auto entry = child.Count(tasks[i].root);
+        out.stats = child.stats_;
+        if (entry.ok()) {
+          out.product = entry->value;
+        } else {
+          out.status = entry.status();
+        }
+        return out;
+      },
+      [](Outcome acc, Outcome part) {
+        acc.product *= part.product;
+        if (acc.status.ok() && !part.status.ok()) acc.status = part.status;
+        acc.stats.decisions += part.stats.decisions;
+        acc.stats.cache_hits += part.stats.cache_hits;
+        acc.stats.component_splits += part.stats.component_splits;
+        acc.stats.parallel_splits += part.stats.parallel_splits;
+        return acc;
+      });
+  stats_.decisions += merged.stats.decisions;
+  stats_.cache_hits += merged.stats.cache_hits;
+  stats_.component_splits += merged.stats.component_splits;
+  stats_.parallel_splits += merged.stats.parallel_splits;
+  PDB_RETURN_NOT_OK(merged.status);
+  CacheEntry result;
+  result.value = merged.product;
   cache_.emplace(f, result);
   return result;
 }

@@ -16,6 +16,7 @@
 #define PDB_WMC_DPLL_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -61,13 +62,34 @@ struct DpllOptions {
   /// gracefully to sampling instead of hanging; on success it feeds the
   /// context's cache-hit counter.
   ExecContext* exec = nullptr;
+  /// Count variable-disjoint components on separate pool workers when
+  /// `exec` carries a pool (and no trace sink is attached — the trace is
+  /// inherently sequential). Each component is cloned into a private
+  /// FormulaManager with `ExportTo` (the shared manager is not
+  /// thread-safe); the monotone clone keeps the child search isomorphic to
+  /// the sequential one, and child results are multiplied in component
+  /// order on the calling thread, so the count is bit-identical to the
+  /// sequential run. Children poll the shared ExecContext, so deadlines
+  /// and cancellation propagate into every branch. The one semantic
+  /// divergence: `max_decisions` is granted per parallel subtree rather
+  /// than shared globally, and child cache entries are not visible to the
+  /// rest of the parent search — so near the budget limit the parallel and
+  /// sequential searches may exhaust it at different points. The computed
+  /// value, when both succeed, is bit-identical.
+  bool parallel_components = true;
+  /// Minimum variables under a conjunction before its components are
+  /// solved in parallel; smaller splits stay sequential (cloning overhead
+  /// would dominate).
+  size_t parallel_min_vars = 24;
 };
 
-/// Statistics of a DPLL run.
+/// Statistics of a DPLL run (parallel children are merged in).
 struct DpllStats {
   uint64_t decisions = 0;
   uint64_t cache_hits = 0;
   uint64_t component_splits = 0;
+  /// Component splits whose children were solved on pool workers.
+  uint64_t parallel_splits = 0;
 };
 
 /// Exact weighted model counter.
@@ -92,6 +114,11 @@ class DpllCounter {
   };
 
   Result<CacheEntry> Count(NodeId f);
+  /// Solves the component groups of conjunction `f` on pool workers and
+  /// returns the (deterministically merged) product. `groups` maps the
+  /// union-find representative (ascending) to the component's children.
+  Result<CacheEntry> CountComponentsParallel(
+      NodeId f, const std::map<size_t, std::vector<NodeId>>& groups);
   VarId ChooseVar(NodeId f);
   /// Product of (w+w̄) over variables in `all` but not in `sub`.
   double FreedVarsFactor(const std::vector<VarId>& all,

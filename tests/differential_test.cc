@@ -1,0 +1,137 @@
+// Differential consistency harness: every inference backend evaluated on
+// the same random (database, query) cases and cross-checked pairwise.
+//
+// 8 seeds x 25 rounds = 200 random cases. Per case the reference value is
+// sequential DPLL with component decomposition; against it we check
+//  - DPLL without components            (same arithmetic, reordered: 1e-9)
+//  - DPLL components + 4 pool workers   (bit-identical: EXPECT_EQ)
+//  - brute-force enumeration            (ground truth when <= 18 vars)
+//  - lifted inference                   (when the query is safe)
+//  - OBDD and decision-DNNF compilation (exact backends)
+//  - Karp-Luby sampling                 (within 4 sigma)
+// Any disagreement is a bug in at least one backend.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boolean/lineage.h"
+#include "exec/context.h"
+#include "exec/thread_pool.h"
+#include "kc/obdd.h"
+#include "kc/order.h"
+#include "kc/trace_compiler.h"
+#include "lifted/lifted.h"
+#include "test_common.h"
+#include "wmc/dpll.h"
+#include "wmc/enumeration.h"
+#include "wmc/montecarlo.h"
+
+namespace pdb {
+namespace {
+
+class DifferentialConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialConsistency, AllBackendsAgreeOnRandomCases) {
+  Rng rng(GetParam() * 6364136223846793005ull + 1442695040888963407ull);
+  // One shared 4-wide pool for the whole seed: this is exactly the shape a
+  // Session provides, and it exercises pool reuse across many queries.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    // A fresh random database AND a fresh random query every round.
+    Database db = testing::RandomVocabularyDb(&rng);
+    Ucq ucq = testing::RandomUcq(&rng);
+    SCOPED_TRACE(ucq.ToString());
+
+    FormulaManager mgr;
+    auto lineage = BuildUcqLineage(ucq, db, &mgr);
+    ASSERT_TRUE(lineage.ok());
+    const WeightMap weights = WeightsFromProbabilities(lineage->probs);
+
+    // Reference: sequential DPLL with component decomposition.
+    DpllOptions seq_options;
+    seq_options.parallel_components = false;
+    DpllCounter seq(&mgr, weights, seq_options);
+    auto reference = seq.Compute(lineage->root);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_GE(*reference, -1e-12);
+    ASSERT_LE(*reference, 1.0 + 1e-12);
+
+    // DPLL without component decomposition: same Shannon expansions in a
+    // different association order.
+    DpllOptions flat_options;
+    flat_options.use_components = false;
+    DpllCounter flat(&mgr, weights, flat_options);
+    auto flat_value = flat.Compute(lineage->root);
+    ASSERT_TRUE(flat_value.ok());
+    EXPECT_NEAR(*flat_value, *reference, 1e-9);
+
+    // DPLL with components solved on 4 pool workers, threshold 0 so every
+    // split goes through the parallel path: bit-identical to sequential.
+    ExecContext ctx(&pool);
+    DpllOptions par_options;
+    par_options.exec = &ctx;
+    par_options.parallel_min_vars = 0;
+    DpllCounter par(&mgr, weights, par_options);
+    auto par_value = par.Compute(lineage->root);
+    ASSERT_TRUE(par_value.ok());
+    EXPECT_EQ(*par_value, *reference);
+    EXPECT_EQ(par.stats().component_splits, seq.stats().component_splits);
+
+    // Ground truth by brute-force enumeration (2^n assignments).
+    if (mgr.VarsOf(lineage->root).size() <= 18) {
+      auto brute = EnumerateProbability(&mgr, lineage->root, lineage->probs);
+      ASSERT_TRUE(brute.ok());
+      EXPECT_NEAR(*brute, *reference, 1e-9);
+    }
+
+    // Lifted inference whenever the safety rules accept the query.
+    auto lifted = LiftedProbability(ucq, db);
+    if (lifted.ok()) {
+      EXPECT_NEAR(*lifted, *reference, 1e-8);
+    } else {
+      EXPECT_EQ(lifted.status().code(), StatusCode::kUnsupported);
+    }
+
+    // Knowledge compilation: OBDD.
+    Obdd obdd(IdentityOrder(lineage->vars.size()));
+    auto obdd_root = obdd.Compile(&mgr, lineage->root);
+    ASSERT_TRUE(obdd_root.ok());
+    EXPECT_NEAR(obdd.Wmc(*obdd_root, weights), *reference, 1e-8);
+
+    // Knowledge compilation: decision-DNNF from the DPLL trace.
+    auto compiled = CompileToDecisionDnnf(&mgr, lineage->root, weights);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_NEAR(compiled->probability, *reference, 1e-8);
+    EXPECT_NEAR(compiled->circuit.Wmc(compiled->root, weights), *reference,
+                1e-8);
+
+    // Karp-Luby FPRAS on the DNF lineage: unbiased, so the estimate must
+    // fall within 4 standard errors of the truth (plus an epsilon for the
+    // degenerate zero-variance cases).
+    auto dnf = BuildUcqDnf(ucq, db);
+    ASSERT_TRUE(dnf.ok());
+    if (!dnf->terms.empty()) {
+      Rng mc_rng(rng.Next());
+      auto estimate =
+          KarpLubyDnf(dnf->terms, dnf->probs, 20000, &mc_rng, &ctx);
+      if (estimate.ok()) {
+        EXPECT_LE(std::abs(estimate->value - *reference),
+                  4.0 * estimate->std_error + 1e-9)
+            << "Karp-Luby " << estimate->value << " vs " << *reference
+            << " (stderr " << estimate->std_error << ")";
+      } else {
+        // Rejected only when every term has probability zero.
+        EXPECT_NEAR(*reference, 0.0, 1e-12);
+      }
+    } else {
+      EXPECT_EQ(*reference, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialConsistency,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace pdb

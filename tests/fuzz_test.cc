@@ -8,12 +8,15 @@
 #include <cmath>
 
 #include "boolean/lineage.h"
+#include "exec/context.h"
+#include "exec/thread_pool.h"
 #include "kc/obdd.h"
 #include "kc/order.h"
 #include "kc/trace_compiler.h"
 #include "lifted/lifted.h"
 #include "logic/parser.h"
 #include "test_common.h"
+#include "util/string_util.h"
 #include "wmc/dpll.h"
 #include "plans/enumerate.h"
 #include "wmc/enumeration.h"
@@ -21,49 +24,10 @@
 namespace pdb {
 namespace {
 
-// Generates a random Boolean CQ over the vocabulary R/1, S/2, T/1, U/2
-// with variables drawn from a small pool (so joins actually happen) and
-// occasional constants.
-ConjunctiveQuery RandomCq(Rng* rng) {
-  const char* unary[] = {"R", "T"};
-  const char* binary[] = {"S", "U"};
-  const char* vars[] = {"x", "y", "z"};
-  size_t num_atoms = 1 + rng->Uniform(3);
-  ConjunctiveQuery cq;
-  for (size_t i = 0; i < num_atoms; ++i) {
-    auto term = [&]() {
-      if (rng->Bernoulli(0.15)) {
-        return Term::Const(Value(static_cast<int64_t>(1 + rng->Uniform(3))));
-      }
-      return Term::Var(vars[rng->Uniform(3)]);
-    };
-    if (rng->Bernoulli(0.5)) {
-      cq.AddAtom(Atom(unary[rng->Uniform(2)], {term()}));
-    } else {
-      cq.AddAtom(Atom(binary[rng->Uniform(2)], {term(), term()}));
-    }
-  }
-  return cq;
-}
+using testing::RandomCq;
+using testing::RandomUcq;
 
-Ucq RandomUcq(Rng* rng) {
-  size_t disjuncts = 1 + rng->Uniform(3);
-  Ucq ucq;
-  for (size_t i = 0; i < disjuncts; ++i) ucq.AddDisjunct(RandomCq(rng));
-  return ucq;
-}
-
-Database RandomDb(Rng* rng) {
-  Database db;
-  testing::RandomTidOptions options;
-  options.domain_size = 3;
-  options.presence = 0.75;
-  testing::AddRandomRelation(&db, "R", 1, rng, options);
-  testing::AddRandomRelation(&db, "S", 2, rng, options);
-  testing::AddRandomRelation(&db, "T", 1, rng, options);
-  testing::AddRandomRelation(&db, "U", 2, rng, options);
-  return db;
-}
+Database RandomDb(Rng* rng) { return testing::RandomVocabularyDb(rng); }
 
 class EngineAgreementFuzz : public ::testing::TestWithParam<uint64_t> {};
 
@@ -183,6 +147,79 @@ TEST_P(PlanBoundsFuzz, EveryPlanUpperBoundsEverySelfJoinFreeCq) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanBoundsFuzz,
+                         ::testing::Range<uint64_t>(0, 6));
+
+class ComponentDecompositionFuzz : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ComponentDecompositionFuzz, PlantedDisjointBlocksSplitAsExpected) {
+  // Random conjunctions with planted variable-disjoint blocks. Each block
+  // is a single clause (disjunction of literals) over its own private
+  // variables, so cofactoring inside a block never creates a new
+  // conjunction: the ONLY component split the counter can perform is the
+  // planted top-level one, and `component_splits` must be exactly 1.
+  Rng rng(GetParam() * 48271 + 7);
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    size_t num_blocks = 2 + rng.Uniform(4);  // >= 2: a real split
+    FormulaManager mgr;
+    std::vector<double> probs;
+    std::vector<NodeId> blocks;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      size_t width = 2 + rng.Uniform(4);
+      std::vector<NodeId> literals;
+      for (size_t i = 0; i < width; ++i) {
+        VarId v = static_cast<VarId>(probs.size());
+        probs.push_back(rng.NextDouble());
+        NodeId lit = mgr.Var(v);
+        if (rng.Bernoulli(0.4)) lit = mgr.Not(lit);
+        literals.push_back(lit);
+      }
+      blocks.push_back(mgr.Or(std::move(literals)));
+    }
+    NodeId root = mgr.And(blocks);
+    SCOPED_TRACE(StrFormat("blocks=%zu vars=%zu", num_blocks, probs.size()));
+
+    // Reference: components disabled.
+    DpllOptions no_components;
+    no_components.use_components = false;
+    DpllCounter flat(&mgr, WeightsFromProbabilities(probs), no_components);
+    auto flat_value = flat.Compute(root);
+    ASSERT_TRUE(flat_value.ok());
+    EXPECT_EQ(flat.stats().component_splits, 0u);
+
+    // Components on, sequential: exactly the planted split.
+    DpllOptions sequential;
+    sequential.parallel_components = false;
+    DpllCounter seq(&mgr, WeightsFromProbabilities(probs), sequential);
+    auto seq_value = seq.Compute(root);
+    ASSERT_TRUE(seq_value.ok());
+    EXPECT_EQ(seq.stats().component_splits, 1u);
+    EXPECT_EQ(seq.stats().parallel_splits, 0u);
+    EXPECT_NEAR(*seq_value, *flat_value, 1e-12);
+
+    // Components on, 4 workers, threshold 0: same single split, solved on
+    // the pool, bit-identical to the sequential count.
+    ExecContext ctx(&pool);
+    DpllOptions par;
+    par.exec = &ctx;
+    par.parallel_min_vars = 0;
+    DpllCounter parallel(&mgr, WeightsFromProbabilities(probs), par);
+    auto par_value = parallel.Compute(root);
+    ASSERT_TRUE(par_value.ok());
+    EXPECT_EQ(parallel.stats().component_splits, 1u);
+    EXPECT_EQ(parallel.stats().parallel_splits, 1u);
+    EXPECT_EQ(*par_value, *seq_value);
+
+    // Ground truth when small enough to enumerate.
+    if (probs.size() <= 18) {
+      EXPECT_NEAR(*EnumerateProbability(&mgr, root, probs), *seq_value,
+                  1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentDecompositionFuzz,
                          ::testing::Range<uint64_t>(0, 6));
 
 }  // namespace

@@ -1,0 +1,292 @@
+// Session tests: shared pool, cross-query result cache + invalidation,
+// cumulative accounting, and an 8-client concurrency stress run (this file
+// is also built under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pdb.h"
+#include "core/session.h"
+#include "test_common.h"
+#include "util/random.h"
+
+namespace pdb {
+namespace {
+
+/// Complete bipartite H0 instance (R(i), S(i,j), T(j) over [n] x [n]) whose
+/// query R(x), S(x,y), T(y) is non-hierarchical, hence #P-hard for exact
+/// methods.
+Database HardDatabase(size_t n) {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  Relation t("T", Schema::Anonymous(1));
+  Rng rng(3);
+  auto prob = [&] { return 0.1 + 0.8 * rng.NextDouble(); };
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    PDB_CHECK(t.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    for (size_t j = 1; j <= n; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           prob())
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+const char* kUnsafeQuery = "R(x), S(x,y), T(y)";
+const char* kSafeQuery = "R(x), S(x,y)";
+
+TEST(SessionTest, MatchesPerQueryPathBitForBit) {
+  ProbDatabase pdb(HardDatabase(4));
+  Session session(&pdb, {.num_threads = 4});
+  for (const char* query : {kSafeQuery, kUnsafeQuery}) {
+    QueryOptions options;
+    options.exec.num_threads = 4;
+    auto direct = pdb.Query(query, options);
+    auto via_session = session.Query(query, options);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_session.ok());
+    EXPECT_EQ(direct->probability, via_session->probability);
+    EXPECT_EQ(direct->method, via_session->method);
+    EXPECT_EQ(direct->exact, via_session->exact);
+  }
+}
+
+TEST(SessionTest, SequentialSessionHasNoPool) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  EXPECT_EQ(session.num_threads(), 1);
+  EXPECT_EQ(session.pool(), nullptr);
+  auto answer = session.Query(kUnsafeQuery);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->report.num_threads, 1);
+}
+
+TEST(SessionTest, SharedPoolWidthShowsUpInReports) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 4});
+  EXPECT_EQ(session.num_threads(), 4);
+  ASSERT_NE(session.pool(), nullptr);
+  QueryOptions options;
+  options.exec.num_threads = 4;  // != 1: use the session pool
+  auto answer = session.Query(kUnsafeQuery, options);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->report.num_threads, 4);
+}
+
+TEST(SessionTest, ResultCacheServesRepeatedQueries) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  auto first = session.Query(kUnsafeQuery);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->exact);
+  EXPECT_EQ(session.result_cache_hits(), 0u);
+  EXPECT_EQ(session.cache_size(), 1u);
+
+  auto second = session.Query(kUnsafeQuery);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->probability, first->probability);
+  EXPECT_EQ(session.result_cache_hits(), 1u);
+  EXPECT_EQ(session.queries_served(), 2u);
+  EXPECT_NE(second->explanation.find("session result cache hit"),
+            std::string::npos);
+  // The cached answer ran nothing: its per-query report is fresh.
+  EXPECT_EQ(second->report.samples_drawn, 0u);
+  EXPECT_EQ(second->report.cache_hits, 0u);
+}
+
+TEST(SessionTest, DatabaseMutationInvalidatesCache) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  ASSERT_TRUE(session.Query(kUnsafeQuery).ok());
+  EXPECT_EQ(session.cache_size(), 1u);
+
+  // Adding a relation bumps the generation; the stale entry must not be
+  // served even though the sentence text is unchanged.
+  Relation extra("V", Schema::Anonymous(1));
+  ASSERT_TRUE(extra.AddTuple({Value(static_cast<int64_t>(1))}, 0.5).ok());
+  ASSERT_TRUE(pdb.AddRelation(std::move(extra)).ok());
+
+  auto after = session.Query(kUnsafeQuery);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(session.result_cache_hits(), 0u);
+  EXPECT_EQ(session.cache_size(), 1u);  // stale entries dropped, re-filled
+
+  session.InvalidateCache();
+  EXPECT_EQ(session.cache_size(), 0u);
+}
+
+TEST(SessionTest, ApproximateAnswersAreNotCached) {
+  ProbDatabase pdb(HardDatabase(8));
+  Session session(&pdb, {.num_threads = 1});
+  QueryOptions options;
+  options.max_dpll_decisions = 100;  // force the Monte Carlo path
+  options.monte_carlo_samples = 5000;
+  auto answer = session.Query(kUnsafeQuery, options);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->exact);
+  EXPECT_EQ(session.cache_size(), 0u);
+}
+
+TEST(SessionTest, CumulativeReportAggregatesAcrossQueries) {
+  ProbDatabase pdb(HardDatabase(8));
+  Session session(&pdb, {.num_threads = 1, .cache_results = false});
+  QueryOptions mc;
+  mc.max_dpll_decisions = 100;
+  mc.monte_carlo_samples = 5000;
+  auto sampled = session.Query(kUnsafeQuery, mc);
+  ASSERT_TRUE(sampled.ok());
+  ASSERT_GT(sampled->report.samples_drawn, 0u);
+
+  auto lifted = session.Query(kSafeQuery);
+  ASSERT_TRUE(lifted.ok());
+  EXPECT_EQ(lifted->method, InferenceMethod::kLifted);
+  // Per-query isolation: the lifted query drew no samples even though the
+  // session as a whole did.
+  EXPECT_EQ(lifted->report.samples_drawn, 0u);
+
+  ExecReport total = session.CumulativeReport();
+  EXPECT_EQ(total.samples_drawn, sampled->report.samples_drawn);
+  EXPECT_EQ(session.queries_served(), 2u);
+}
+
+TEST(SessionTest, QueryWithAnswersMatchesPerQueryPath) {
+  ProbDatabase pdb(HardDatabase(4));
+  ConjunctiveQuery cq({Atom("R", {Term::Var("x")}),
+                       Atom("S", {Term::Var("x"), Term::Var("y")}),
+                       Atom("T", {Term::Var("y")})});
+  Session session(&pdb, {.num_threads = 4});
+  QueryOptions options;
+  options.exec.num_threads = 4;
+  auto direct = pdb.QueryWithAnswers(cq, {"x"}, options);
+  auto via_session = session.QueryWithAnswers(cq, {"x"}, options);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_session.ok());
+  ASSERT_EQ(direct->size(), via_session->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(direct->tuple(i), via_session->tuple(i));
+    EXPECT_EQ(direct->prob(i), via_session->prob(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: 8 client threads, one session (run under TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(SessionStressTest, EightClientsShareOneSession) {
+  ProbDatabase pdb(HardDatabase(4));
+  QueryOptions exact;
+  exact.exec.num_threads = 4;
+  QueryOptions sampled = exact;
+  sampled.max_dpll_decisions = 50;  // force Monte Carlo
+  sampled.monte_carlo_samples = 4000;
+
+  // Expected values, computed up front on a single thread. Every engine is
+  // deterministic (Monte Carlo shards by sample count, not thread count),
+  // so the concurrent answers must be bit-identical.
+  auto expect_safe = pdb.Query(kSafeQuery, exact);
+  auto expect_hard = pdb.Query(kUnsafeQuery, exact);
+  auto expect_mc = pdb.Query(kUnsafeQuery, sampled);
+  ASSERT_TRUE(expect_safe.ok());
+  ASSERT_TRUE(expect_hard.ok());
+  ASSERT_TRUE(expect_mc.ok());
+  ASSERT_EQ(expect_safe->method, InferenceMethod::kLifted);
+  ASSERT_EQ(expect_mc->method, InferenceMethod::kMonteCarlo);
+
+  // Cache off so every client query really executes (maximal contention).
+  Session session(&pdb, {.num_threads = 4, .cache_results = false});
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 6;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        int kind = (c + q) % 3;
+        auto check = [&](const QueryAnswer& expected, const char* text,
+                         const QueryOptions& options,
+                         bool expect_samples) {
+          auto answer = session.Query(text, options);
+          if (!answer.ok()) {
+            errors[c] = answer.status().ToString();
+            return;
+          }
+          if (answer->probability != expected.probability ||
+              answer->method != expected.method) {
+            errors[c] = "answer diverged from single-threaded expectation";
+          }
+          // Per-query report isolation: sampling counters must never bleed
+          // from a concurrent Monte Carlo query into an exact one.
+          if (expect_samples != (answer->report.samples_drawn > 0)) {
+            errors[c] = "per-query ExecReport not isolated";
+          }
+        };
+        if (kind == 0) {
+          check(*expect_safe, kSafeQuery, exact, /*expect_samples=*/false);
+        } else if (kind == 1) {
+          check(*expect_hard, kUnsafeQuery, exact, /*expect_samples=*/false);
+        } else {
+          check(*expect_mc, kUnsafeQuery, sampled, /*expect_samples=*/true);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(errors[c], "") << "client " << c;
+
+  EXPECT_EQ(session.queries_served(),
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  ExecReport total = session.CumulativeReport();
+  // 16 of the 48 client queries took the Monte Carlo path; all of their
+  // samples (and only theirs) aggregate into the session report.
+  uint64_t mc_queries = 0;
+  for (int c = 0; c < kClients; ++c) {
+    for (int q = 0; q < kQueriesPerClient; ++q) {
+      if ((c + q) % 3 == 2) ++mc_queries;
+    }
+  }
+  EXPECT_EQ(total.samples_drawn,
+            mc_queries * expect_mc->report.samples_drawn);
+}
+
+TEST(SessionStressTest, ConcurrentCachedQueriesAgree) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 2});
+  auto expected = pdb.Query(kUnsafeQuery);
+  ASSERT_TRUE(expected.ok());
+  constexpr int kClients = 8;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < 4; ++q) {
+        auto answer = session.Query(kUnsafeQuery);
+        if (!answer.ok()) {
+          errors[c] = answer.status().ToString();
+        } else if (answer->probability != expected->probability) {
+          errors[c] = "cached answer diverged";
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(errors[c], "") << "client " << c;
+  EXPECT_EQ(session.queries_served(), 32u);
+  // At most a handful of misses before the cache takes over; every entry
+  // keys the same sentence, so the cache holds exactly one result.
+  EXPECT_EQ(session.cache_size(), 1u);
+  EXPECT_GT(session.result_cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace pdb

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "logic/cq.h"
 #include "storage/database.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -82,6 +83,52 @@ inline void AddRandomRelation(Database* db, const std::string& name,
     PDB_CHECK(rel.AddTuple(std::move(tuple), p).ok());
   }
   PDB_CHECK(db->AddRelation(std::move(rel)).ok());
+}
+
+/// Generates a random Boolean CQ over the vocabulary R/1, S/2, T/1, U/2
+/// with variables drawn from a small pool (so joins actually happen) and
+/// occasional constants.
+inline ConjunctiveQuery RandomCq(Rng* rng) {
+  const char* unary[] = {"R", "T"};
+  const char* binary[] = {"S", "U"};
+  const char* vars[] = {"x", "y", "z"};
+  size_t num_atoms = 1 + rng->Uniform(3);
+  ConjunctiveQuery cq;
+  for (size_t i = 0; i < num_atoms; ++i) {
+    auto term = [&]() {
+      if (rng->Bernoulli(0.15)) {
+        return Term::Const(Value(static_cast<int64_t>(1 + rng->Uniform(3))));
+      }
+      return Term::Var(vars[rng->Uniform(3)]);
+    };
+    if (rng->Bernoulli(0.5)) {
+      cq.AddAtom(Atom(unary[rng->Uniform(2)], {term()}));
+    } else {
+      cq.AddAtom(Atom(binary[rng->Uniform(2)], {term(), term()}));
+    }
+  }
+  return cq;
+}
+
+/// A random union of 1-3 RandomCq disjuncts (safe and unsafe alike).
+inline Ucq RandomUcq(Rng* rng) {
+  size_t disjuncts = 1 + rng->Uniform(3);
+  Ucq ucq;
+  for (size_t i = 0; i < disjuncts; ++i) ucq.AddDisjunct(RandomCq(rng));
+  return ucq;
+}
+
+/// A random TID over the RandomCq vocabulary (domain {1,2,3}).
+inline Database RandomVocabularyDb(Rng* rng) {
+  Database db;
+  RandomTidOptions options;
+  options.domain_size = 3;
+  options.presence = 0.75;
+  AddRandomRelation(&db, "R", 1, rng, options);
+  AddRandomRelation(&db, "S", 2, rng, options);
+  AddRandomRelation(&db, "T", 1, rng, options);
+  AddRandomRelation(&db, "U", 2, rng, options);
+  return db;
 }
 
 }  // namespace pdb::testing
