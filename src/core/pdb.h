@@ -98,8 +98,11 @@ class ProbDatabase {
   const Database& database() const { return db_; }
 
   Status AddRelation(Relation relation) {
-    generation_.fetch_add(1, std::memory_order_relaxed);
-    return db_.AddRelation(std::move(relation));
+    Status status = db_.AddRelation(std::move(relation));
+    // Bump only on success — a failed add changes nothing, so sessions
+    // need not drop their caches for it.
+    if (status.ok()) BumpGeneration();
+    return status;
   }
 
   /// Mutation counter used by sessions to invalidate their caches. Bumped

@@ -78,13 +78,23 @@ void Session::AggregateLocked(const ExecReport& report) {
 
 std::string Session::CacheKey(const FoPtr& sentence,
                               const QueryOptions& options) {
-  // Only exact answers are cached; which engine produced them (and hence
-  // which options matter) is limited to the lifted preference and the DPLL
-  // decision budget. Everything else (thread counts, deadlines, sampling
-  // parameters) cannot change an exact value.
-  return StrFormat("%d|%llu|", options.prefer_lifted ? 1 : 0,
+  // Only exact answers are cached, so the key covers every option that can
+  // shape an exact answer's value *or* metadata (method/explanation/bounds):
+  // the lifted preference, the DPLL decision budget, the Monte Carlo
+  // fallback toggle, and the lifted-engine knobs that decide whether lifted
+  // inference succeeds (and hence which engine is reported). Thread counts,
+  // deadlines, and sampling parameters cannot change an exact answer. One
+  // caveat: LiftedOptions::trace is a side channel — a cache hit skips the
+  // derivation log the first execution would have appended.
+  return StrFormat("%d|%llu|%d|%d|%llu|%llu|", options.prefer_lifted ? 1 : 0,
                    static_cast<unsigned long long>(
-                       options.max_dpll_decisions)) +
+                       options.max_dpll_decisions),
+                   options.allow_monte_carlo ? 1 : 0,
+                   options.lifted.use_inclusion_exclusion ? 1 : 0,
+                   static_cast<unsigned long long>(
+                       options.lifted.max_ie_subsets),
+                   static_cast<unsigned long long>(
+                       options.lifted.max_depth)) +
          sentence->ToString();
 }
 
@@ -103,15 +113,19 @@ Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
                                              const QueryOptions& options,
                                              bool top_level) {
   std::string key;
+  // Generation snapshot at query start: an answer may only be cached if
+  // the database is still on this generation when the query finishes (see
+  // the insert below).
+  uint64_t generation_at_start = 0;
   if (options_.cache_results) {
     key = CacheKey(sentence, options);
     std::lock_guard<std::mutex> lock(mu_);
     // The database generation invalidates lazily: the first query after a
     // mutation drops every stale entry.
-    uint64_t generation = db_->generation();
-    if (generation != generation_seen_) {
+    generation_at_start = db_->generation();
+    if (generation_at_start != generation_seen_) {
       cache_.clear();
-      generation_seen_ = generation;
+      generation_seen_ = generation_at_start;
     }
     auto it = cache_.find(key);
     if (it != cache_.end()) {
@@ -139,8 +153,14 @@ Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
     std::lock_guard<std::mutex> lock(mu_);
     if (top_level) ++queries_served_;
     AggregateLocked(report);
+    // Cache only if the database never mutated while this query ran: the
+    // current generation must equal the snapshot taken at query start (a
+    // `== generation_seen_` check alone races — a concurrent query could
+    // advance generation_seen_ to a post-mutation generation and make this
+    // stale answer look fresh).
     if (answer.ok() && options_.cache_results && answer->exact &&
-        db_->generation() == generation_seen_ &&
+        db_->generation() == generation_at_start &&
+        generation_at_start == generation_seen_ &&
         cache_.size() < options_.max_cache_entries) {
       QueryAnswer cached = *answer;
       cached.report = report;
@@ -207,13 +227,16 @@ Result<Relation> Session::QueryWithAnswers(
   // manager, lineage, counters) locally. Inner queries run sequentially —
   // the fan-out already saturates the pool, and nesting pools would
   // oversubscribe — but still route through the session, so repeated
-  // marginals hit the result cache.
+  // marginals hit the result cache. The caller's deadline is armed on
+  // every inner query (each overrun degrades to Monte Carlo, so the batch
+  // is bounded by ~candidates × deadline / threads, never a hang) and on
+  // the batch context so its report records the overrun.
   std::vector<Tuple> heads(candidates.begin(), candidates.end());
   QueryOptions inner = options;
   inner.exec.num_threads = 1;
-  inner.exec.deadline_ms = 0;  // the per-query deadline governs the batch
 
   ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
+  if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   std::vector<double> marginals(heads.size(), 0.0);
   std::vector<Status> statuses(heads.size());
   ParallelFor(&ctx, heads.size(), [&](size_t t) {

@@ -247,9 +247,14 @@ Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
     task.root = mgr_->ExportTo(component, task.mgr.get());
     tasks.push_back(std::move(task));
   }
+  // Saturating: every child of an earlier parallel split was granted the
+  // full remaining budget, so after a successful split the summed child
+  // decisions can exceed max_decisions — a plain subtraction would wrap
+  // and hand later children an effectively unlimited budget.
   const uint64_t remaining_decisions =
-      options_.max_decisions == UINT64_MAX
-          ? UINT64_MAX
+      options_.max_decisions == UINT64_MAX ? UINT64_MAX
+      : stats_.decisions >= options_.max_decisions
+          ? 0
           : options_.max_decisions - stats_.decisions;
 
   // One child counter per component, run via ParallelReduce: workers claim

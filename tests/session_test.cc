@@ -125,6 +125,59 @@ TEST(SessionTest, DatabaseMutationInvalidatesCache) {
   EXPECT_EQ(session.cache_size(), 0u);
 }
 
+TEST(SessionTest, FailedAddRelationDoesNotInvalidateCache) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  ASSERT_TRUE(session.Query(kUnsafeQuery).ok());
+  EXPECT_EQ(session.cache_size(), 1u);
+  uint64_t generation = pdb.generation();
+
+  // A duplicate relation is rejected and changes nothing: the generation
+  // must not move, and the cached entry stays servable.
+  Relation dup("R", Schema::Anonymous(1));
+  ASSERT_TRUE(dup.AddTuple({Value(static_cast<int64_t>(1))}, 0.5).ok());
+  EXPECT_FALSE(pdb.AddRelation(std::move(dup)).ok());
+  EXPECT_EQ(pdb.generation(), generation);
+
+  ASSERT_TRUE(session.Query(kUnsafeQuery).ok());
+  EXPECT_EQ(session.result_cache_hits(), 1u);
+}
+
+TEST(SessionTest, QueryWithAnswersHonorsDeadline) {
+  // Head variable z comes from U, so every candidate's residual query
+  // still contains the non-hierarchical (#P-hard) R-S-T core. With a
+  // millisecond deadline each inner query must degrade to Monte Carlo via
+  // the deadline (not by grinding through the full decision budget).
+  Database db = HardDatabase(8);
+  Relation u("U", Schema::Anonymous(1));
+  ASSERT_TRUE(u.AddTuple({Value(static_cast<int64_t>(1))}, 0.9).ok());
+  ASSERT_TRUE(u.AddTuple({Value(static_cast<int64_t>(2))}, 0.8).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(u)).ok());
+  ProbDatabase pdb(std::move(db));
+  ConjunctiveQuery cq({Atom("U", {Term::Var("z")}),
+                       Atom("R", {Term::Var("x")}),
+                       Atom("S", {Term::Var("x"), Term::Var("y")}),
+                       Atom("T", {Term::Var("y")})});
+  Session session(&pdb, {.num_threads = 2});
+  QueryOptions options;
+  options.exec.num_threads = 2;
+  options.exec.deadline_ms = 5;
+  options.monte_carlo_samples = 2000;
+  auto answers = session.QueryWithAnswers(cq, {"z"}, options);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 2u);
+  for (size_t i = 0; i < answers->size(); ++i) {
+    EXPECT_GT(answers->prob(i), 0.0);
+    EXPECT_LT(answers->prob(i), 1.0);
+  }
+  ExecReport total = session.CumulativeReport();
+  // The deadline actually fired inside the inner queries (if it were
+  // silently dropped, DPLL would instead exhaust the decision budget and
+  // this flag would stay false).
+  EXPECT_TRUE(total.deadline_exceeded);
+  EXPECT_GT(total.samples_drawn, 0u);
+}
+
 TEST(SessionTest, ApproximateAnswersAreNotCached) {
   ProbDatabase pdb(HardDatabase(8));
   Session session(&pdb, {.num_threads = 1});
