@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "boolean/lineage.h"
+#include "core/session.h"
 #include "exec/context.h"
 #include "exec/thread_pool.h"
 #include "kc/obdd.h"
@@ -19,6 +20,7 @@
 #include "util/rational.h"
 #include "wmc/dpll.h"
 #include "wmc/montecarlo.h"
+#include "wmc/wmc_cache.h"
 #include "workloads.h"
 
 namespace pdb {
@@ -205,6 +207,78 @@ void BM_DpllComponents(benchmark::State& state) {
   state.counters["threads"] = threads;
 }
 BENCHMARK(BM_DpllComponents)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Cross-query WMC memoization, repeated-query scenario: the same #P-hard
+// H0 lineage counted by a fresh DpllCounter every iteration — the shape of
+// a session serving the same (uncachable-at-the-result-level) query again
+// and again. Arg 0 recomputes from scratch; Arg 1 probes a session-lifetime
+// shared cache, so every iteration after the first is answered by the
+// top-level signature hit. The exported hit_rate counter is the fraction of
+// shared-cache probes that hit.
+void BM_WmcSharedCache(benchmark::State& state) {
+  bool shared = state.range(0) != 0;
+  Rng gen(13);
+  Database db = bench::H0Database(5, &gen);
+  auto ucq = FoToUcq(*ParseUcqShorthand("R(x), S(x,y), T(y)"));
+  FormulaManager mgr;
+  auto lineage = BuildUcqLineage(*ucq, db, &mgr);
+  PDB_CHECK(lineage.ok());
+  WeightMap weights = WeightsFromProbabilities(lineage->probs);
+  WmcCache cache;
+  for (auto _ : state) {
+    DpllOptions options;
+    if (shared) options.shared_cache = &cache;
+    DpllCounter counter(&mgr, weights, options);
+    auto p = counter.Compute(lineage->root);
+    benchmark::DoNotOptimize(p);
+  }
+  WmcCacheStats stats = cache.stats();
+  uint64_t probes = stats.hits + stats.misses;
+  state.counters["hit_rate"] =
+      probes == 0 ? 0.0 : static_cast<double>(stats.hits) / probes;
+}
+BENCHMARK(BM_WmcSharedCache)->Arg(0)->Arg(1);
+
+// Cross-query WMC memoization, fan-out scenario: QueryWithAnswers over
+// U(z), R(x), S(x,y), T(y) — every answer tuple's lineage conjoins its own
+// U(z_i) with the *same* hard R-S-T core, so with the shared cache each
+// per-tuple sub-query after the first starts from that core's entry. This
+// is the end-to-end Session path (per-tuple fan-out, largest first).
+void BM_WmcSharedCacheFanout(benchmark::State& state) {
+  bool shared = state.range(0) != 0;
+  Rng gen(17);
+  Database db = bench::H0Database(4, &gen);
+  Relation u("U", Schema::Anonymous(1));
+  constexpr int kHeads = 8;
+  for (int i = 1; i <= kHeads; ++i) {
+    PDB_CHECK(
+        u.AddTuple({Value(static_cast<int64_t>(i))}, 0.1 + 0.05 * i).ok());
+  }
+  PDB_CHECK(db.AddRelation(std::move(u)).ok());
+  ProbDatabase pdb(std::move(db));
+  ConjunctiveQuery cq({Atom("U", {Term::Var("z")}),
+                       Atom("R", {Term::Var("x")}),
+                       Atom("S", {Term::Var("x"), Term::Var("y")}),
+                       Atom("T", {Term::Var("y")})});
+  uint64_t hits = 0, probes = 0;
+  for (auto _ : state) {
+    // Fresh session per iteration: result caching off so every tuple's
+    // Boolean sub-query re-runs inference; only the WMC-level sharing (or
+    // its absence) differs between the two args.
+    Session session(&pdb, {.num_threads = 1,
+                           .cache_results = false,
+                           .share_wmc_cache = shared});
+    auto answers = session.QueryWithAnswers(cq, {"z"});
+    benchmark::DoNotOptimize(answers);
+    PDB_CHECK(answers.ok() && answers->size() == kHeads);
+    WmcCacheStats stats = session.wmc_cache_stats();
+    hits += stats.hits;
+    probes += stats.hits + stats.misses;
+  }
+  state.counters["hit_rate"] =
+      probes == 0 ? 0.0 : static_cast<double>(hits) / probes;
+}
+BENCHMARK(BM_WmcSharedCacheFanout)->Arg(0)->Arg(1);
 
 void BM_BigIntMultiply(benchmark::State& state) {
   BigInt a = BigInt::Factorial(static_cast<uint64_t>(state.range(0)));

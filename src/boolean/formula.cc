@@ -138,6 +138,79 @@ const std::vector<VarId>& FormulaManager::VarsOf(NodeId f) {
   return vars_cache_.emplace(f, std::move(vars)).first->second;
 }
 
+namespace {
+
+/// splitmix64 finalizer: the avalanche core all signature mixing runs on.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Distinct per-kind tags so e.g. Not(x) and And({x}) can never alias (the
+// manager's simplifier avoids most of these shapes anyway, but the
+// signature must not rely on that).
+constexpr uint64_t kSigFalseHi = 0x8fb3c5a1d2e4f607ULL;
+constexpr uint64_t kSigFalseLo = 0x1c9e7b5a3f8d2460ULL;
+constexpr uint64_t kSigTrueHi = 0x4a6d8e0f2b4c6d8eULL;
+constexpr uint64_t kSigTrueLo = 0xd5f7192b3d5f7193ULL;
+constexpr uint64_t kSigVarHi = 0x9d3f5b7192b3d5f7ULL;
+constexpr uint64_t kSigVarLo = 0x28e0f2b4c6d8e0f2ULL;
+constexpr uint64_t kSigNotHi = 0x6b8d0f2143658799ULL;
+constexpr uint64_t kSigNotLo = 0xfedcba9876543210ULL;
+constexpr uint64_t kSigAndHi = 0x0123456789abcdefULL;
+constexpr uint64_t kSigAndLo = 0xb7e151628aed2a6bULL;
+constexpr uint64_t kSigOrHi = 0x243f6a8885a308d3ULL;
+constexpr uint64_t kSigOrLo = 0x13198a2e03707344ULL;
+
+}  // namespace
+
+FormulaSignature FormulaManager::SignatureOf(NodeId f) {
+  switch (kind(f)) {
+    case FormulaKind::kFalse:
+      return {kSigFalseHi, kSigFalseLo};
+    case FormulaKind::kTrue:
+      return {kSigTrueHi, kSigTrueLo};
+    case FormulaKind::kVar:
+      // Two independent streams over the VarId: the hi/lo halves stay
+      // uncorrelated, giving genuine 128-bit collision resistance.
+      return {Mix64(kSigVarHi ^ (var(f) * 0xff51afd7ed558ccdULL)),
+              Mix64(kSigVarLo + var(f))};
+    default:
+      break;
+  }
+  auto it = signature_cache_.find(f);
+  if (it != signature_cache_.end()) return it->second;
+  FormulaSignature sig;
+  if (kind(f) == FormulaKind::kNot) {
+    FormulaSignature child = SignatureOf(children(f)[0]);
+    sig = {Mix64(kSigNotHi ^ child.hi), Mix64(kSigNotLo + child.lo)};
+  } else {
+    // AND/OR: child signatures are combined in *signature* order, not
+    // stored order — stored order is sorted by manager-local NodeId, which
+    // differs between managers that interned the same formulas in a
+    // different sequence. Sorting by signature makes the combine canonical
+    // (ties are exact duplicates, for which order is immaterial).
+    auto cs = children(f);
+    std::vector<FormulaSignature> kids;
+    kids.reserve(cs.size());
+    for (NodeId c : cs) kids.push_back(SignatureOf(c));
+    std::sort(kids.begin(), kids.end());
+    bool is_and = kind(f) == FormulaKind::kAnd;
+    sig.hi = is_and ? kSigAndHi : kSigOrHi;
+    sig.lo = is_and ? kSigAndLo : kSigOrLo;
+    for (const FormulaSignature& k : kids) {
+      sig.hi = Mix64(sig.hi ^ (k.hi + 0x9e3779b97f4a7c15ULL));
+      sig.lo = Mix64(sig.lo + (k.lo ^ 0xc2b2ae3d27d4eb4fULL));
+    }
+    sig.hi = Mix64(sig.hi + cs.size());
+    sig.lo = Mix64(sig.lo ^ (cs.size() * 0x9e3779b97f4a7c15ULL));
+  }
+  signature_cache_.emplace(f, sig);
+  return sig;
+}
+
 bool FormulaManager::Evaluate(NodeId f,
                               const std::vector<bool>& assignment) const {
   switch (kind(f)) {

@@ -28,6 +28,26 @@ using NodeId = uint32_t;
 /// Index of a Boolean variable.
 using VarId = uint32_t;
 
+/// 128-bit canonical structural signature of a subformula. Two nodes — in
+/// the same manager or in different ones — receive the same signature iff
+/// they are structurally equal as *unordered* formulas over the same VarIds:
+/// AND/OR child signatures are sorted before combining, so the signature is
+/// independent of the manager-local NodeId order in which children happen to
+/// be stored. This is what makes signatures stable across the per-query
+/// managers and the `ExportTo` clones used by parallel component solving,
+/// and hence usable as cross-manager cache keys (wmc/wmc_cache.h).
+struct FormulaSignature {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const FormulaSignature& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  bool operator<(const FormulaSignature& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+};
+
 enum class FormulaKind : uint8_t {
   kFalse,
   kTrue,
@@ -70,6 +90,10 @@ class FormulaManager {
 
   /// Sorted distinct variables of the subformula rooted at `f` (cached).
   const std::vector<VarId>& VarsOf(NodeId f);
+
+  /// Canonical structural signature of the subformula rooted at `f`
+  /// (memoized per node). See FormulaSignature for the stability guarantee.
+  FormulaSignature SignatureOf(NodeId f);
 
   /// Truth value under `assignment` (indexed by VarId; variables beyond the
   /// vector are false).
@@ -129,6 +153,7 @@ class FormulaManager {
   std::vector<NodeId> child_arena_;
   std::unordered_map<NodeKey, NodeId, NodeKeyHash> unique_;
   std::unordered_map<NodeId, std::vector<VarId>> vars_cache_;
+  std::unordered_map<NodeId, FormulaSignature> signature_cache_;
   struct CofKey {
     NodeId f;
     VarId var;

@@ -107,6 +107,9 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
   DpllOptions dpll_options;
   dpll_options.max_decisions = options.max_dpll_decisions;
   dpll_options.exec = ctx;
+  // The session owns the cross-query cache and hands it down through the
+  // context; a null pointer simply disables cross-query memoization.
+  dpll_options.shared_cache = ctx ? ctx->wmc_cache() : nullptr;
   DpllCounter counter(&mgr, WeightsFromProbabilities(lineage.probs),
                       dpll_options);
   auto grounded = counter.Compute(lineage.root);
@@ -122,6 +125,11 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
         static_cast<unsigned long long>(counter.stats().cache_hits),
         static_cast<unsigned long long>(counter.stats().component_splits),
         lineage.vars.size());
+    if (counter.stats().shared_hits > 0) {
+      answer.explanation += StrFormat(
+          ", %llu shared-cache hits",
+          static_cast<unsigned long long>(counter.stats().shared_hits));
+    }
     return answer;
   }
   if (grounded.status().code() != StatusCode::kResourceExhausted &&
@@ -152,8 +160,17 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
     auto dnf = BuildUcqDnf(*as_ucq, db_);
     if (dnf.ok()) {
       Rng rng(options.monte_carlo_seed);
-      auto estimate = KarpLubyDnf(dnf->terms, dnf->probs,
-                                  options.monte_carlo_samples, &rng, ctx);
+      Result<Estimate> estimate = Status::Internal("unreached");
+      if (options.monte_carlo_target_stderr > 0) {
+        AdaptiveSampleOptions adaptive;
+        adaptive.max_samples = options.monte_carlo_samples;
+        adaptive.target_std_error = options.monte_carlo_target_stderr;
+        estimate =
+            KarpLubyDnfAdaptive(dnf->terms, dnf->probs, adaptive, &rng, ctx);
+      } else {
+        estimate = KarpLubyDnf(dnf->terms, dnf->probs,
+                               options.monte_carlo_samples, &rng, ctx);
+      }
       if (estimate.ok()) {
         answer.probability = estimate->value;
         answer.lower =

@@ -68,6 +68,12 @@ struct QueryOptions {
   bool allow_monte_carlo = true;
   uint64_t monte_carlo_samples = 200000;
   uint64_t monte_carlo_seed = 20200614;  // PODS'20 opening day
+  /// When > 0, the Karp-Luby fallback runs the adaptive (anytime)
+  /// estimator: it draws samples in batches and stops as soon as the
+  /// running standard error falls to this target (or the deadline fires),
+  /// instead of always spending the full `monte_carlo_samples` budget.
+  /// 0 keeps the classic fixed-budget estimator, bit-for-bit.
+  double monte_carlo_target_stderr = 0.0;
   LiftedOptions lifted;
   /// Parallelism and wall-clock budget. With `deadline_ms` set, exact
   /// grounded inference that overruns the budget falls back to Monte Carlo

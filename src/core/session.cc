@@ -1,5 +1,8 @@
 #include "core/session.h"
 
+#include <algorithm>
+#include <map>
+#include <numeric>
 #include <set>
 #include <utility>
 
@@ -29,6 +32,12 @@ Session::Session(const ProbDatabase* db, SessionOptions options)
       resolved_threads_(ResolveThreads(options.num_threads)),
       generation_seen_(db->generation()) {
   cumulative_.num_threads = resolved_threads_;
+  if (options_.share_wmc_cache) {
+    WmcCacheOptions cache_options;
+    cache_options.num_shards = options_.wmc_cache_shards;
+    cache_options.max_bytes = options_.wmc_cache_bytes;
+    wmc_cache_ = std::make_unique<WmcCache>(cache_options);
+  }
 }
 
 Session::~Session() = default;  // pool destructor drains + joins
@@ -43,8 +52,50 @@ ThreadPool* Session::pool() {
 }
 
 void Session::InvalidateCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    lru_.clear();
+  }
+  if (wmc_cache_) wmc_cache_->Clear();
+}
+
+void Session::RefreshGenerationLocked(uint64_t current_generation) {
+  if (current_generation == generation_seen_) return;
+  // The database mutated since this session last looked: drop the result
+  // cache (its answers may be stale) and the shared WMC cache (its entries
+  // stay value-correct thanks to the weight fingerprints, but they key
+  // lineages of the previous database and would only waste the budget).
   cache_.clear();
+  lru_.clear();
+  if (wmc_cache_) wmc_cache_->Clear();
+  generation_seen_ = current_generation;
+}
+
+const QueryAnswer* Session::CacheLookupLocked(const std::string& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  // Refresh recency: splice the key to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second.answer;
+}
+
+void Session::CacheInsertLocked(std::string key, QueryAnswer answer) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent query answered the same key first; keep the existing
+    // entry (the answers are identical) and just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (cache_.size() >= options_.max_cache_entries && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  if (options_.max_cache_entries == 0) return;
+  lru_.push_front(key);
+  cache_.emplace(std::move(key),
+                 ResultEntry{std::move(answer), lru_.begin()});
 }
 
 size_t Session::cache_size() const {
@@ -62,15 +113,31 @@ uint64_t Session::result_cache_hits() const {
   return result_cache_hits_;
 }
 
+WmcCacheStats Session::wmc_cache_stats() const {
+  return wmc_cache_ ? wmc_cache_->stats() : WmcCacheStats{};
+}
+
 ExecReport Session::CumulativeReport() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cumulative_;
+  ExecReport report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report = cumulative_;
+  }
+  if (wmc_cache_) {
+    WmcCacheStats stats = wmc_cache_->stats();
+    report.wmc_shared_inserts = stats.inserts;
+    report.wmc_shared_evictions = stats.evictions;
+    report.wmc_shared_bytes = stats.bytes;
+  }
+  return report;
 }
 
 void Session::AggregateLocked(const ExecReport& report) {
   cumulative_.tasks_run += report.tasks_run;
   cumulative_.samples_drawn += report.samples_drawn;
   cumulative_.cache_hits += report.cache_hits;
+  cumulative_.wmc_shared_hits += report.wmc_shared_hits;
+  cumulative_.wmc_shared_misses += report.wmc_shared_misses;
   cumulative_.cancelled = cumulative_.cancelled || report.cancelled;
   cumulative_.deadline_exceeded =
       cumulative_.deadline_exceeded || report.deadline_exceeded;
@@ -113,39 +180,37 @@ Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
                                              const QueryOptions& options,
                                              bool top_level) {
   std::string key;
+  if (options_.cache_results) key = CacheKey(sentence, options);
   // Generation snapshot at query start: an answer may only be cached if
   // the database is still on this generation when the query finishes (see
-  // the insert below).
-  uint64_t generation_at_start = 0;
-  if (options_.cache_results) {
-    key = CacheKey(sentence, options);
+  // the insert below). The snapshot also invalidates both caches lazily:
+  // the first query after a mutation drops every stale entry.
+  uint64_t generation_at_start = db_->generation();
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    // The database generation invalidates lazily: the first query after a
-    // mutation drops every stale entry.
-    generation_at_start = db_->generation();
-    if (generation_at_start != generation_seen_) {
-      cache_.clear();
-      generation_seen_ = generation_at_start;
-    }
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      if (top_level) {
-        ++queries_served_;
-        ++result_cache_hits_;
+    RefreshGenerationLocked(generation_at_start);
+    if (options_.cache_results) {
+      if (const QueryAnswer* cached = CacheLookupLocked(key)) {
+        if (top_level) {
+          ++queries_served_;
+          ++result_cache_hits_;
+        }
+        QueryAnswer answer = *cached;
+        // A cached answer executed nothing in this query: hand back a fresh
+        // report so per-query accounting stays isolated.
+        answer.report = ExecReport{};
+        answer.explanation += "; session result cache hit";
+        return answer;
       }
-      QueryAnswer answer = it->second;
-      // A cached answer executed nothing in this query: hand back a fresh
-      // report so per-query accounting stays isolated.
-      answer.report = ExecReport{};
-      answer.explanation += "; session result cache hit";
-      return answer;
     }
   }
 
   // Each query gets a private context (isolated counters, own deadline)
-  // over the shared session pool. A query that asks for sequential
-  // execution gets no pool at all.
+  // over the shared session pool and the session-shared WMC cache. A query
+  // that asks for sequential execution gets no pool but still shares the
+  // cache.
   ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
+  ctx.set_wmc_cache(wmc_cache_.get());
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   auto answer = db_->QueryFoWithContext(sentence, options, &ctx);
   ExecReport report = ctx.Report();
@@ -160,11 +225,10 @@ Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
     // stale answer look fresh).
     if (answer.ok() && options_.cache_results && answer->exact &&
         db_->generation() == generation_at_start &&
-        generation_at_start == generation_seen_ &&
-        cache_.size() < options_.max_cache_entries) {
+        generation_at_start == generation_seen_) {
       QueryAnswer cached = *answer;
       cached.report = report;
-      cache_.emplace(std::move(key), std::move(cached));
+      CacheInsertLocked(std::move(key), std::move(cached));
     }
   }
   if (answer.ok()) answer->report = report;
@@ -183,8 +247,11 @@ Result<Relation> Session::QueryWithAnswers(
                     v.c_str()));
     }
   }
-  // Candidate answers: distinct head-tuple bindings among the CQ matches.
-  std::set<Tuple> candidates;
+  // Candidate answers: distinct head-tuple bindings among the CQ matches,
+  // each with its match count — the number of DNF terms of the candidate's
+  // residual lineage, i.e. a byte-free estimate of how much work its
+  // marginal will take.
+  std::map<Tuple, size_t> candidates;
   // Map head var -> (atom index, position) for extraction.
   std::vector<std::pair<size_t, size_t>> positions;
   for (const std::string& v : head_vars) {
@@ -209,14 +276,14 @@ Result<Relation> Session::QueryWithAnswers(
       const Relation* rel = db.Get(lv.relation).value();
       head.push_back(rel->tuple(lv.row)[pos]);
     }
-    candidates.insert(std::move(head));
+    ++candidates[std::move(head)];
   }));
 
   // Output schema: head variables typed by their first candidate (or int).
   std::vector<Attribute> attrs;
   for (size_t i = 0; i < head_vars.size(); ++i) {
     ValueType type = candidates.empty() ? ValueType::kInt
-                                        : (*candidates.begin())[i].type();
+                                        : (candidates.begin()->first)[i].type();
     attrs.push_back({head_vars[i], type});
   }
   Relation out("answers", Schema(std::move(attrs)));
@@ -227,19 +294,43 @@ Result<Relation> Session::QueryWithAnswers(
   // manager, lineage, counters) locally. Inner queries run sequentially —
   // the fan-out already saturates the pool, and nesting pools would
   // oversubscribe — but still route through the session, so repeated
-  // marginals hit the result cache. The caller's deadline is armed on
-  // every inner query (each overrun degrades to Monte Carlo, so the batch
-  // is bounded by ~candidates × deadline / threads, never a hang) and on
-  // the batch context so its report records the overrun.
-  std::vector<Tuple> heads(candidates.begin(), candidates.end());
+  // marginals hit the result cache and all of them share the session's
+  // WMC subformula cache. The caller's deadline is armed on every inner
+  // query (each overrun degrades to Monte Carlo, so the batch is bounded
+  // by ~candidates × deadline / threads, never a hang) and on the batch
+  // context so its report records the overrun.
+  std::vector<Tuple> heads;
+  std::vector<size_t> match_counts;
+  heads.reserve(candidates.size());
+  match_counts.reserve(candidates.size());
+  for (auto& [head, count] : candidates) {
+    heads.push_back(head);
+    match_counts.push_back(count);
+  }
   QueryOptions inner = options;
   inner.exec.num_threads = 1;
 
+  // Schedule the largest lineages first: ParallelFor claims loop indices
+  // in ascending order, so running the fan-out through a size-sorted
+  // indirection makes workers start on the heaviest marginals while the
+  // small ones fill the tail — one giant answer tuple no longer straggles
+  // the whole batch behind a thread that picked it up last. Ties keep
+  // candidate order, so the schedule (and the output order, which follows
+  // `heads`) is deterministic.
+  std::vector<size_t> schedule(heads.size());
+  std::iota(schedule.begin(), schedule.end(), size_t{0});
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [&](size_t a, size_t b) {
+                     return match_counts[a] > match_counts[b];
+                   });
+
   ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
+  ctx.set_wmc_cache(wmc_cache_.get());
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   std::vector<double> marginals(heads.size(), 0.0);
   std::vector<Status> statuses(heads.size());
-  ParallelFor(&ctx, heads.size(), [&](size_t t) {
+  ParallelFor(&ctx, heads.size(), [&](size_t s) {
+    size_t t = schedule[s];
     // Boolean residual query: substitute the head binding.
     ConjunctiveQuery grounded = cq;
     for (size_t i = 0; i < head_vars.size(); ++i) {

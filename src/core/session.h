@@ -30,6 +30,7 @@
 #define PDB_CORE_SESSION_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,7 @@
 
 #include "core/pdb.h"
 #include "exec/context.h"
+#include "wmc/wmc_cache.h"
 
 namespace pdb {
 
@@ -53,8 +55,19 @@ struct SessionOptions {
   /// Cache exact answers across queries (keyed by sentence + the options
   /// that can change the answer).
   bool cache_results = true;
-  /// Hard cap on cached entries; insertion stops once reached.
+  /// Capacity of the result cache; least-recently-used entries are evicted
+  /// once it is reached, so hot queries stay cached for the session's
+  /// lifetime no matter how many one-off queries pass through.
   size_t max_cache_entries = 4096;
+  /// Share one cross-query WMC subformula cache (wmc/wmc_cache.h) across
+  /// every DPLL run issued through the session — including the per-tuple
+  /// fan-out of QueryWithAnswers and parallel component children, which
+  /// otherwise each re-solve near-identical lineages from scratch.
+  bool share_wmc_cache = true;
+  /// Byte budget of the shared WMC cache (per-shard CLOCK eviction).
+  size_t wmc_cache_bytes = size_t{64} << 20;
+  /// Shard (mutex stripe) count of the shared WMC cache.
+  size_t wmc_cache_shards = 16;
 };
 
 /// A long-lived, thread-safe query session over one `ProbDatabase`.
@@ -90,8 +103,8 @@ class Session {
   /// sequential (`num_threads() == 1`).
   ThreadPool* pool();
 
-  /// Drops every cached result (e.g. after mutating the database through
-  /// `ProbDatabase::database()`).
+  /// Drops every cached result and every shared WMC cache entry (e.g.
+  /// after mutating the database through `ProbDatabase::database()`).
   void InvalidateCache();
 
   size_t cache_size() const;
@@ -100,8 +113,15 @@ class Session {
   /// Top-level queries answered from the result cache.
   uint64_t result_cache_hits() const;
 
+  /// The session's cross-query WMC cache, or null when
+  /// `SessionOptions::share_wmc_cache` is off.
+  WmcCache* wmc_cache() { return wmc_cache_.get(); }
+  /// Aggregated counters of the shared WMC cache (zeros when disabled).
+  WmcCacheStats wmc_cache_stats() const;
+
   /// Aggregate of every per-query report (tasks, samples, DPLL cache hits,
-  /// whether any query was cancelled or overran a deadline).
+  /// shared WMC cache hits, whether any query was cancelled or overran a
+  /// deadline), plus the shared cache's insert/eviction/size counters.
   ExecReport CumulativeReport() const;
 
  private:
@@ -121,15 +141,35 @@ class Session {
   /// hold `mu_`.
   void AggregateLocked(const ExecReport& report);
 
+  /// Drops stale caches if the database generation moved past the snapshot
+  /// this session last saw. Caller must hold `mu_`.
+  void RefreshGenerationLocked(uint64_t current_generation);
+
+  /// One result-cache entry plus its position in the LRU recency list.
+  struct ResultEntry {
+    QueryAnswer answer;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Looks up `key`, refreshing recency. Caller must hold `mu_`.
+  const QueryAnswer* CacheLookupLocked(const std::string& key);
+  /// Inserts under `key`, evicting the least-recently-used entry when at
+  /// capacity. Caller must hold `mu_`.
+  void CacheInsertLocked(std::string key, QueryAnswer answer);
+
   const ProbDatabase* db_;
   SessionOptions options_;
   int resolved_threads_;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Internally sharded and thread-safe; not guarded by mu_.
+  std::unique_ptr<WmcCache> wmc_cache_;
 
   mutable std::mutex mu_;
   uint64_t generation_seen_;                          // guarded by mu_
-  std::unordered_map<std::string, QueryAnswer> cache_;  // guarded by mu_
+  std::unordered_map<std::string, ResultEntry> cache_;  // guarded by mu_
+  /// Recency order of cache_ keys, most recent first.   Guarded by mu_.
+  std::list<std::string> lru_;
   uint64_t queries_served_ = 0;                       // guarded by mu_
   uint64_t result_cache_hits_ = 0;                    // guarded by mu_
   ExecReport cumulative_;                             // guarded by mu_

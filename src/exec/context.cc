@@ -12,6 +12,12 @@ std::string ExecReport::ToString() const {
       tasks_run == 1 ? "" : "s",
       static_cast<unsigned long long>(samples_drawn),
       static_cast<unsigned long long>(cache_hits));
+  if (wmc_shared_hits + wmc_shared_misses > 0) {
+    s += StrFormat(", %llu/%llu shared WMC cache hits",
+                   static_cast<unsigned long long>(wmc_shared_hits),
+                   static_cast<unsigned long long>(wmc_shared_hits +
+                                                   wmc_shared_misses));
+  }
   if (deadline_exceeded) s += ", deadline exceeded";
   if (cancelled) s += ", cancelled";
   return s;
@@ -54,6 +60,9 @@ ExecReport ExecContext::Report() {
   report.tasks_run = tasks_run_.load(std::memory_order_relaxed);
   report.samples_drawn = samples_drawn_.load(std::memory_order_relaxed);
   report.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  report.wmc_shared_hits = wmc_shared_hits_.load(std::memory_order_relaxed);
+  report.wmc_shared_misses =
+      wmc_shared_misses_.load(std::memory_order_relaxed);
   report.num_threads =
       pool_ ? static_cast<int>(pool_->num_threads()) : 1;
   report.cancelled = cancelled();

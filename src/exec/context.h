@@ -20,6 +20,7 @@
 namespace pdb {
 
 class ThreadPool;
+class WmcCache;
 
 /// Parallelism and time-budget knobs, threaded through `QueryOptions`.
 struct ExecOptions {
@@ -35,7 +36,15 @@ struct ExecOptions {
 struct ExecReport {
   uint64_t tasks_run = 0;       ///< parallel loop bodies executed
   uint64_t samples_drawn = 0;   ///< Monte Carlo samples actually drawn
-  uint64_t cache_hits = 0;      ///< DPLL formula-cache hits
+  uint64_t cache_hits = 0;      ///< DPLL formula-cache hits (local, NodeId)
+  uint64_t wmc_shared_hits = 0;    ///< session-shared WMC cache hits
+  uint64_t wmc_shared_misses = 0;  ///< session-shared WMC cache misses
+  /// Filled only by Session::CumulativeReport() from the cache's own
+  /// counters (a single query cannot attribute inserts/evictions to
+  /// itself once entries are shared).
+  uint64_t wmc_shared_inserts = 0;
+  uint64_t wmc_shared_evictions = 0;
+  size_t wmc_shared_bytes = 0;  ///< resident bytes of the shared cache
   int num_threads = 1;          ///< pool width (1 = sequential)
   bool cancelled = false;       ///< Cancel() was called
   bool deadline_exceeded = false;  ///< a deadline expired at some point
@@ -55,6 +64,12 @@ class ExecContext {
   /// The worker pool, or null for sequential execution.
   ThreadPool* pool() const { return pool_; }
   void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Session-owned cross-query WMC cache (wmc/wmc_cache.h), or null. The
+  /// context only carries the pointer from the session to the counters; it
+  /// never dereferences it.
+  WmcCache* wmc_cache() const { return wmc_cache_; }
+  void set_wmc_cache(WmcCache* cache) { wmc_cache_ = cache; }
 
   /// Arms the deadline `ms` milliseconds from now. `ms` == 0 disarms.
   void SetDeadline(uint64_t ms);
@@ -90,11 +105,18 @@ class ExecContext {
   void AddCacheHits(uint64_t n) {
     cache_hits_.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddWmcSharedHits(uint64_t n) {
+    wmc_shared_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddWmcSharedMisses(uint64_t n) {
+    wmc_shared_misses_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   ExecReport Report();
 
  private:
   ThreadPool* pool_ = nullptr;
+  WmcCache* wmc_cache_ = nullptr;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> deadline_hit_{false};       // current armed deadline
   std::atomic<bool> deadline_ever_hit_{false};  // sticky, for the report
@@ -102,6 +124,8 @@ class ExecContext {
   std::atomic<uint64_t> tasks_run_{0};
   std::atomic<uint64_t> samples_drawn_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> wmc_shared_hits_{0};
+  std::atomic<uint64_t> wmc_shared_misses_{0};
 };
 
 }  // namespace pdb

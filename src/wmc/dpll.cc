@@ -38,9 +38,9 @@ class UnionFind {
 /// The component invariant: groups must partition the conjunction's
 /// children into pairwise variable-disjoint sets.
 bool GroupsAreVarDisjoint(FormulaManager* mgr,
-                          const std::map<size_t, std::vector<NodeId>>& groups) {
+                          const std::vector<std::vector<NodeId>>& groups) {
   std::vector<VarId> all;
-  for (const auto& [rep, members] : groups) {
+  for (const auto& members : groups) {
     for (NodeId m : members) {
       const std::vector<VarId>& vars = mgr->VarsOf(m);
       all.insert(all.end(), vars.begin(), vars.end());
@@ -51,7 +51,7 @@ bool GroupsAreVarDisjoint(FormulaManager* mgr,
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
   size_t covered = 0;
-  for (const auto& [rep, members] : groups) {
+  for (const auto& members : groups) {
     std::vector<VarId> group_vars;
     for (NodeId m : members) {
       const std::vector<VarId>& vars = mgr->VarsOf(m);
@@ -75,7 +75,11 @@ Result<double> DpllCounter::Compute(NodeId root) {
                : Status::DeadlineExceeded("deadline expired before DPLL");
   }
   auto entry = Count(root);
-  if (options_.exec) options_.exec->AddCacheHits(stats_.cache_hits);
+  if (options_.exec) {
+    options_.exec->AddCacheHits(stats_.cache_hits);
+    options_.exec->AddWmcSharedHits(stats_.shared_hits);
+    options_.exec->AddWmcSharedMisses(stats_.shared_misses);
+  }
   if (!entry.ok()) return entry.status();
   root_trace_ = entry->trace;
   return entry->value;
@@ -153,6 +157,24 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
     return result;
   }
 
+  // Session-shared cross-query cache: probed after the local NodeId cache
+  // (which is a plain hash lookup, no hashing of structure) and only for
+  // subformulas big enough to amortise the signature/fingerprint cost. A
+  // hit is an identical subproblem — same unordered structure, same
+  // weights — so the cached double is bit-identical to what the search
+  // below would compute (the search is canonical in the unordered
+  // structure: see the component ordering note).
+  std::optional<WmcCache::Key> shared_key = SharedKey(f);
+  if (shared_key) {
+    if (std::optional<double> hit = options_.shared_cache->Lookup(*shared_key)) {
+      ++stats_.shared_hits;
+      result.value = *hit;
+      cache_.emplace(f, result);
+      return result;
+    }
+    ++stats_.shared_misses;
+  }
+
   // Connected-component decomposition of conjunctions.
   if (options_.use_components && mgr_->kind(f) == FormulaKind::kAnd) {
     auto kids = mgr_->children(f);
@@ -164,21 +186,49 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
         if (!inserted) uf.Union(i, pos->second);
       }
     }
-    std::map<size_t, std::vector<NodeId>> groups;
+    std::map<size_t, std::vector<NodeId>> by_rep;
     for (size_t i = 0; i < kids.size(); ++i) {
-      groups[uf.Find(i)].push_back(kids[i]);
+      by_rep[uf.Find(i)].push_back(kids[i]);
     }
-    if (groups.size() > 1) {
+    if (by_rep.size() > 1) {
+      // Canonical component order: ascending smallest VarId. The partition
+      // itself is a pure function of the unordered structure, but the
+      // union-find representative is a child *index*, which follows the
+      // manager-local NodeId order — multiplying in rep order would make
+      // the product's rounding depend on interning history, and cross-
+      // manager shared-cache hits would no longer be bit-identical.
+      // Components are variable-disjoint, so their smallest VarIds are
+      // distinct and give a canonical total order.
+      std::vector<std::pair<VarId, std::vector<NodeId>>> tagged;
+      tagged.reserve(by_rep.size());
+      for (auto& [rep, members] : by_rep) {
+        VarId min_var = mgr_->VarsOf(members[0]).front();
+        for (NodeId m : members) {
+          min_var = std::min(min_var, mgr_->VarsOf(m).front());
+        }
+        tagged.emplace_back(min_var, std::move(members));
+      }
+      std::sort(tagged.begin(), tagged.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<std::vector<NodeId>> groups;
+      groups.reserve(tagged.size());
+      for (auto& [min_var, members] : tagged) {
+        groups.push_back(std::move(members));
+      }
       PDB_ASSERT(GroupsAreVarDisjoint(mgr_, groups));
       ++stats_.component_splits;
       if (options_.parallel_components && options_.exec &&
           options_.exec->pool() && sink == nullptr &&
           mgr_->VarsOf(f).size() >= options_.parallel_min_vars) {
-        return CountComponentsParallel(f, groups);
+        auto parallel = CountComponentsParallel(f, groups);
+        if (parallel.ok() && shared_key) {
+          options_.shared_cache->Insert(*shared_key, parallel->value);
+        }
+        return parallel;
       }
       double product = 1.0;
       std::vector<DpllTraceSink::Ref> refs;
-      for (auto& [rep, members] : groups) {
+      for (const auto& members : groups) {
         NodeId component = mgr_->And(members);
         PDB_ASSIGN_OR_RETURN(CacheEntry sub, Count(component));
         product *= sub.value;
@@ -187,6 +237,7 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
       result.value = product;
       if (sink) result.trace = sink->AndNode(refs);
       cache_.emplace(f, result);
+      if (shared_key) options_.shared_cache->Insert(*shared_key, result.value);
       return result;
     }
   }
@@ -223,11 +274,24 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
                  weights_[v].w_true * e1.value * corr1;
   if (sink) result.trace = sink->Decision(v, e0.trace, e1.trace);
   cache_.emplace(f, result);
+  if (shared_key) options_.shared_cache->Insert(*shared_key, result.value);
   return result;
 }
 
+std::optional<WmcCache::Key> DpllCounter::SharedKey(NodeId f) {
+  if (options_.shared_cache == nullptr || options_.trace != nullptr) {
+    return std::nullopt;
+  }
+  const std::vector<VarId>& vars = mgr_->VarsOf(f);
+  if (vars.size() < options_.shared_cache_min_vars) return std::nullopt;
+  WmcCache::Key key;
+  key.sig = mgr_->SignatureOf(f);
+  key.weight_fp = WeightFingerprint(vars, weights_);
+  return key;
+}
+
 Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
-    NodeId f, const std::map<size_t, std::vector<NodeId>>& groups) {
+    NodeId f, const std::vector<std::vector<NodeId>>& groups) {
   ++stats_.parallel_splits;
   // Clone every component into a private manager up front, on the calling
   // thread: the shared manager is mutable (hash-consing, VarsOf/Cofactor
@@ -240,7 +304,7 @@ Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
   };
   std::vector<ChildTask> tasks;
   tasks.reserve(groups.size());
-  for (const auto& [rep, members] : groups) {
+  for (const auto& members : groups) {
     NodeId component = mgr_->And(members);
     ChildTask task;
     task.mgr = std::make_unique<FormulaManager>();
@@ -260,9 +324,11 @@ Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
   // One child counter per component, run via ParallelReduce: workers claim
   // components (the caller participates, so a saturated or nested pool
   // degrades to inline execution rather than deadlocking), results are
-  // materialised per component and folded on this thread in ascending
-  // union-find-representative order — the exact multiplication order of the
-  // sequential loop, so the product is bit-identical.
+  // materialised per component and folded on this thread in canonical
+  // (ascending smallest-VarId) order — the exact multiplication order of
+  // the sequential loop, so the product is bit-identical. Children inherit
+  // the session-shared cache pointer, so sibling components publish to and
+  // probe one cache while the search runs.
   struct Outcome {
     double product = 1.0;
     Status status;
@@ -293,12 +359,16 @@ Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
         acc.stats.cache_hits += part.stats.cache_hits;
         acc.stats.component_splits += part.stats.component_splits;
         acc.stats.parallel_splits += part.stats.parallel_splits;
+        acc.stats.shared_hits += part.stats.shared_hits;
+        acc.stats.shared_misses += part.stats.shared_misses;
         return acc;
       });
   stats_.decisions += merged.stats.decisions;
   stats_.cache_hits += merged.stats.cache_hits;
   stats_.component_splits += merged.stats.component_splits;
   stats_.parallel_splits += merged.stats.parallel_splits;
+  stats_.shared_hits += merged.stats.shared_hits;
+  stats_.shared_misses += merged.stats.shared_misses;
   PDB_RETURN_NOT_OK(merged.status);
   CacheEntry result;
   result.value = merged.product;

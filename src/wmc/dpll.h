@@ -17,12 +17,14 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "boolean/formula.h"
 #include "exec/context.h"
 #include "wmc/weights.h"
+#include "wmc/wmc_cache.h"
 
 namespace pdb {
 
@@ -81,6 +83,19 @@ struct DpllOptions {
   /// solved in parallel; smaller splits stay sequential (cloning overhead
   /// would dominate).
   size_t parallel_min_vars = 24;
+  /// Optional session-owned cross-query cache (wmc/wmc_cache.h), probed
+  /// after the counter's local NodeId cache and published to on every
+  /// non-trivial subresult. Keys are canonical structural signatures plus a
+  /// weight fingerprint, so a hit short-circuits an *identical* subproblem
+  /// and the returned count is bit-identical to recomputing it. Ignored
+  /// while a trace sink is attached (the trace must actually be built).
+  /// Parallel component children inherit the pointer, so sibling components
+  /// and concurrent queries of one session see each other's work.
+  WmcCache* shared_cache = nullptr;
+  /// Minimum variables in a subformula before the shared cache is probed;
+  /// below this the signature/fingerprint hashing costs more than the
+  /// Shannon expansion it would save.
+  size_t shared_cache_min_vars = 4;
 };
 
 /// Statistics of a DPLL run (parallel children are merged in).
@@ -90,6 +105,10 @@ struct DpllStats {
   uint64_t component_splits = 0;
   /// Component splits whose children were solved on pool workers.
   uint64_t parallel_splits = 0;
+  /// Probes answered by the session-shared cross-query cache.
+  uint64_t shared_hits = 0;
+  /// Probes of the shared cache that missed.
+  uint64_t shared_misses = 0;
 };
 
 /// Exact weighted model counter.
@@ -115,10 +134,14 @@ class DpllCounter {
 
   Result<CacheEntry> Count(NodeId f);
   /// Solves the component groups of conjunction `f` on pool workers and
-  /// returns the (deterministically merged) product. `groups` maps the
-  /// union-find representative (ascending) to the component's children.
+  /// returns the (deterministically merged) product. `groups` holds the
+  /// components' child lists in canonical (ascending smallest-VarId)
+  /// order — the same order the sequential loop multiplies in.
   Result<CacheEntry> CountComponentsParallel(
-      NodeId f, const std::map<size_t, std::vector<NodeId>>& groups);
+      NodeId f, const std::vector<std::vector<NodeId>>& groups);
+  /// Shared-cache key for `f`, or nullopt when the shared cache is off,
+  /// a trace sink is attached, or `f` is below the probe threshold.
+  std::optional<WmcCache::Key> SharedKey(NodeId f);
   VarId ChooseVar(NodeId f);
   /// Product of (w+w̄) over variables in `all` but not in `sub`.
   double FreedVarsFactor(const std::vector<VarId>& all,

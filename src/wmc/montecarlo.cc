@@ -76,15 +76,23 @@ Estimate NaiveMonteCarlo(FormulaManager* mgr, NodeId root,
   return est;
 }
 
-Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
-                             const std::vector<double>& probs,
-                             uint64_t samples, Rng* rng, ExecContext* ctx) {
-  if (terms.empty()) {
-    return Estimate{0.0, 0.0, samples};
-  }
-  // Per-term probabilities and the union-bound total U.
-  std::vector<double> term_probs(terms.size());
+namespace {
+
+/// Precomputed Karp–Luby sampling tables, shared by the one-shot and the
+/// adaptive estimator.
+struct KlSetup {
+  std::vector<double> term_probs;
   double total = 0.0;
+  std::vector<double> cumulative;
+  std::vector<VarId> all_vars;
+  size_t max_var = 0;
+};
+
+Result<KlSetup> PrepareKarpLuby(const std::vector<std::vector<VarId>>& terms,
+                                const std::vector<double>& probs) {
+  KlSetup setup;
+  // Per-term probabilities and the union-bound total U.
+  setup.term_probs.resize(terms.size());
   for (size_t i = 0; i < terms.size(); ++i) {
     double p = 1.0;
     for (VarId v : terms[i]) {
@@ -93,96 +101,166 @@ Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
       }
       p *= probs[v];
     }
-    term_probs[i] = p;
-    total += p;
+    setup.term_probs[i] = p;
+    setup.total += p;
   }
-  if (total == 0.0) {
-    return Estimate{0.0, 0.0, samples};
-  }
+  if (setup.total == 0.0) return setup;
   // Cumulative distribution for term sampling.
-  std::vector<double> cumulative(terms.size());
+  setup.cumulative.resize(terms.size());
   double acc = 0.0;
   for (size_t i = 0; i < terms.size(); ++i) {
-    acc += term_probs[i] / total;
-    cumulative[i] = acc;
+    acc += setup.term_probs[i] / setup.total;
+    setup.cumulative[i] = acc;
   }
   // All variables mentioned by any term.
-  std::vector<VarId> all_vars;
   for (const auto& t : terms) {
-    all_vars.insert(all_vars.end(), t.begin(), t.end());
+    setup.all_vars.insert(setup.all_vars.end(), t.begin(), t.end());
   }
-  std::sort(all_vars.begin(), all_vars.end());
-  all_vars.erase(std::unique(all_vars.begin(), all_vars.end()),
-                 all_vars.end());
-  size_t max_var = all_vars.empty() ? 0 : all_vars.back() + 1;
+  std::sort(setup.all_vars.begin(), setup.all_vars.end());
+  setup.all_vars.erase(
+      std::unique(setup.all_vars.begin(), setup.all_vars.end()),
+      setup.all_vars.end());
+  setup.max_var = setup.all_vars.empty() ? 0 : setup.all_vars.back() + 1;
+  return setup;
+}
 
-  Rng base(rng->Next());
-
-  struct Shard {
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    uint64_t drawn = 0;
-  };
-  uint64_t shards = NumSampleShards(samples);
-  std::vector<Shard> parts = ParallelMap<Shard>(ctx, shards, [&](size_t i) {
-    Rng shard_rng = base.Split(i);
-    std::vector<bool> assignment(max_var, false);
-    Shard part;
-    uint64_t budget = ShardBudget(samples, shards, i);
-    for (uint64_t s = 0; s < budget; ++s) {
-      if (ctx && s % kStopCheckStride == 0 && ctx->ShouldStop()) break;
-      // Pick a term proportional to its probability.
-      double u = shard_rng.NextDouble();
-      size_t chosen =
-          std::lower_bound(cumulative.begin(), cumulative.end(), u) -
-          cumulative.begin();
-      if (chosen >= terms.size()) chosen = terms.size() - 1;
-      // Sample an assignment conditioned on the chosen term being true.
-      for (VarId v : all_vars) assignment[v] = shard_rng.Bernoulli(probs[v]);
-      for (VarId v : terms[chosen]) assignment[v] = true;
-      // Count how many terms the assignment satisfies (>= 1 by
-      // construction).
-      size_t satisfied = 0;
-      for (const auto& term : terms) {
-        bool sat = true;
-        for (VarId v : term) {
-          if (!assignment[v]) {
-            sat = false;
-            break;
-          }
-        }
-        if (sat) ++satisfied;
-      }
-      PDB_CHECK(satisfied >= 1);
-      double x = total / static_cast<double>(satisfied);
-      part.sum += x;
-      part.sum_sq += x * x;
-      ++part.drawn;
-    }
-    return part;
-  });
-
-  // Merge in shard order: floating-point sums are order-dependent, and the
-  // fixed order is what makes the estimate thread-count invariant.
+/// Running moments of the Karp–Luby estimator.
+struct KlAccum {
   double sum = 0.0;
   double sum_sq = 0.0;
   uint64_t drawn = 0;
-  for (const Shard& part : parts) {
-    sum += part.sum;
-    sum_sq += part.sum_sq;
-    drawn += part.drawn;
-  }
-  if (ctx) ctx->AddSamples(drawn);
+};
 
+/// Draws one batch of `samples` with the thread-count-invariant shard plan
+/// (substreams of `base`, merged in shard order on the calling thread).
+KlAccum KarpLubyBatch(const std::vector<std::vector<VarId>>& terms,
+                      const std::vector<double>& probs, const KlSetup& setup,
+                      uint64_t samples, const Rng& base, ExecContext* ctx) {
+  uint64_t shards = NumSampleShards(samples);
+  std::vector<KlAccum> parts =
+      ParallelMap<KlAccum>(ctx, shards, [&](size_t i) {
+        Rng shard_rng = base.Split(i);
+        std::vector<bool> assignment(setup.max_var, false);
+        KlAccum part;
+        uint64_t budget = ShardBudget(samples, shards, i);
+        for (uint64_t s = 0; s < budget; ++s) {
+          if (ctx && s % kStopCheckStride == 0 && ctx->ShouldStop()) break;
+          // Pick a term proportional to its probability.
+          double u = shard_rng.NextDouble();
+          size_t chosen = std::lower_bound(setup.cumulative.begin(),
+                                           setup.cumulative.end(), u) -
+                          setup.cumulative.begin();
+          if (chosen >= terms.size()) chosen = terms.size() - 1;
+          // Sample an assignment conditioned on the chosen term being true.
+          for (VarId v : setup.all_vars) {
+            assignment[v] = shard_rng.Bernoulli(probs[v]);
+          }
+          for (VarId v : terms[chosen]) assignment[v] = true;
+          // Count how many terms the assignment satisfies (>= 1 by
+          // construction).
+          size_t satisfied = 0;
+          for (const auto& term : terms) {
+            bool sat = true;
+            for (VarId v : term) {
+              if (!assignment[v]) {
+                sat = false;
+                break;
+              }
+            }
+            if (sat) ++satisfied;
+          }
+          PDB_CHECK(satisfied >= 1);
+          double x = setup.total / static_cast<double>(satisfied);
+          part.sum += x;
+          part.sum_sq += x * x;
+          ++part.drawn;
+        }
+        return part;
+      });
+  // Merge in shard order: floating-point sums are order-dependent, and the
+  // fixed order is what makes the estimate thread-count invariant.
+  KlAccum merged;
+  for (const KlAccum& part : parts) {
+    merged.sum += part.sum;
+    merged.sum_sq += part.sum_sq;
+    merged.drawn += part.drawn;
+  }
+  return merged;
+}
+
+Estimate EstimateFromAccum(const KlAccum& accum) {
   Estimate est;
-  est.samples = drawn;
-  if (drawn > 0) {
-    est.value = sum / static_cast<double>(drawn);
-    double variance = std::max(
-        0.0, sum_sq / static_cast<double>(drawn) - est.value * est.value);
-    est.std_error = std::sqrt(variance / static_cast<double>(drawn));
+  est.samples = accum.drawn;
+  if (accum.drawn > 0) {
+    est.value = accum.sum / static_cast<double>(accum.drawn);
+    double variance =
+        std::max(0.0, accum.sum_sq / static_cast<double>(accum.drawn) -
+                          est.value * est.value);
+    est.std_error = std::sqrt(variance / static_cast<double>(accum.drawn));
   }
   return est;
+}
+
+}  // namespace
+
+Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
+                             const std::vector<double>& probs,
+                             uint64_t samples, Rng* rng, ExecContext* ctx) {
+  if (terms.empty()) {
+    return Estimate{0.0, 0.0, samples};
+  }
+  PDB_ASSIGN_OR_RETURN(KlSetup setup, PrepareKarpLuby(terms, probs));
+  if (setup.total == 0.0) {
+    return Estimate{0.0, 0.0, samples};
+  }
+  Rng base(rng->Next());
+  KlAccum accum = KarpLubyBatch(terms, probs, setup, samples, base, ctx);
+  if (ctx) ctx->AddSamples(accum.drawn);
+  return EstimateFromAccum(accum);
+}
+
+Result<Estimate> KarpLubyDnfAdaptive(
+    const std::vector<std::vector<VarId>>& terms,
+    const std::vector<double>& probs, const AdaptiveSampleOptions& options,
+    Rng* rng, ExecContext* ctx) {
+  if (terms.empty()) {
+    return Estimate{0.0, 0.0, 0};
+  }
+  PDB_ASSIGN_OR_RETURN(KlSetup setup, PrepareKarpLuby(terms, probs));
+  if (setup.total == 0.0) {
+    return Estimate{0.0, 0.0, 0};
+  }
+  uint64_t batch = options.batch_samples;
+  if (batch == 0) {
+    // Default: ~16 stopping checkpoints over the budget, but at least 4096
+    // samples per batch so each batch still shards across workers.
+    batch = std::clamp<uint64_t>(options.max_samples / 16, 4096, 65536);
+  }
+  KlAccum accum;
+  uint64_t batches = 0;
+  while (accum.drawn < options.max_samples) {
+    // "Deadline nears": stop between batches once the cooperative signal
+    // fires (a mid-batch expiry additionally stops the shard loops, so at
+    // most one partial batch is drawn after the deadline).
+    if (ctx && ctx->ShouldStop()) break;
+    uint64_t want = std::min(batch, options.max_samples - accum.drawn);
+    // One parent advance per batch, exactly like one KarpLubyDnf call per
+    // batch: the substream tree (and hence a full run's estimate) is a
+    // pure function of the seed and the batch plan, never of thread count.
+    Rng base(rng->Next());
+    KlAccum part = KarpLubyBatch(terms, probs, setup, want, base, ctx);
+    accum.sum += part.sum;
+    accum.sum_sq += part.sum_sq;
+    accum.drawn += part.drawn;
+    ++batches;
+    if (options.target_std_error > 0 && batches >= options.min_batches &&
+        accum.drawn > 0 &&
+        EstimateFromAccum(accum).std_error <= options.target_std_error) {
+      break;
+    }
+  }
+  if (ctx) ctx->AddSamples(accum.drawn);
+  return EstimateFromAccum(accum);
 }
 
 }  // namespace pdb

@@ -57,6 +57,35 @@ Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
                              uint64_t samples, Rng* rng,
                              ExecContext* ctx = nullptr);
 
+/// Tuning for the adaptive (anytime) Karp–Luby estimator.
+struct AdaptiveSampleOptions {
+  /// Hard cap on samples (the budget of a full, non-early-stopped run).
+  uint64_t max_samples = 200000;
+  /// Stop as soon as the running standard error falls to this target;
+  /// 0 disables early stopping (the full budget is always drawn).
+  double target_std_error = 0.0;
+  /// Samples per batch; stopping conditions are evaluated between batches.
+  /// 0 picks a default that keeps the shard plan parallel-friendly.
+  uint64_t batch_samples = 0;
+  /// Batches drawn before the std-error test may fire (guards against a
+  /// fluky near-zero variance estimate on a handful of samples).
+  uint64_t min_batches = 2;
+};
+
+/// Anytime Karp–Luby: draws `batch_samples`-sized batches and stops early
+/// once `target_std_error` is reached or the context's deadline/cancel
+/// signal fires, instead of always spending the full budget (Gatterbauer–
+/// Suciu-style anytime inference). Each batch is itself sharded with the
+/// thread-count-invariant plan of `KarpLubyDnf` and batches are merged in
+/// batch order, so for a fixed seed the estimate of a *full* run (no early
+/// stop) is bit-identical whether it ran on 1 worker or 64; an
+/// early-stopped run is deterministic too, provided the stop came from the
+/// std-error test rather than the wall clock.
+Result<Estimate> KarpLubyDnfAdaptive(
+    const std::vector<std::vector<VarId>>& terms,
+    const std::vector<double>& probs, const AdaptiveSampleOptions& options,
+    Rng* rng, ExecContext* ctx = nullptr);
+
 }  // namespace pdb
 
 #endif  // PDB_WMC_MONTECARLO_H_

@@ -5,6 +5,7 @@
 // sequential DPLL with component decomposition; against it we check
 //  - DPLL without components            (same arithmetic, reordered: 1e-9)
 //  - DPLL components + 4 pool workers   (bit-identical: EXPECT_EQ)
+//  - DPLL + shared WMC cache, cold/warm (bit-identical: EXPECT_EQ)
 //  - brute-force enumeration            (ground truth when <= 18 vars)
 //  - lifted inference                   (when the query is safe)
 //  - OBDD and decision-DNNF compilation (exact backends)
@@ -26,6 +27,7 @@
 #include "wmc/dpll.h"
 #include "wmc/enumeration.h"
 #include "wmc/montecarlo.h"
+#include "wmc/wmc_cache.h"
 
 namespace pdb {
 namespace {
@@ -37,6 +39,10 @@ TEST_P(DifferentialConsistency, AllBackendsAgreeOnRandomCases) {
   // One shared 4-wide pool for the whole seed: this is exactly the shape a
   // Session provides, and it exercises pool reuse across many queries.
   ThreadPool pool(4);
+  // One shared WMC cache for the whole seed, like a Session's: entries from
+  // earlier rounds stay live (distinct formula managers, overlapping
+  // subformula structure), so warm hits across rounds are exercised too.
+  WmcCache shared_cache;
   for (int round = 0; round < 25; ++round) {
     // A fresh random database AND a fresh random query every round.
     Database db = testing::RandomVocabularyDb(&rng);
@@ -77,6 +83,34 @@ TEST_P(DifferentialConsistency, AllBackendsAgreeOnRandomCases) {
     ASSERT_TRUE(par_value.ok());
     EXPECT_EQ(*par_value, *reference);
     EXPECT_EQ(par.stats().component_splits, seq.stats().component_splits);
+
+    // DPLL against the seed-lifetime shared cache, twice: the first run
+    // may hit entries published by any earlier round, the second run hits
+    // at least its own top-level entry. Every hit must be bit-identical to
+    // the cache-less reference — this is the load-bearing guarantee of
+    // cross-query memoization.
+    for (int warm = 0; warm < 2; ++warm) {
+      DpllOptions cached_options;
+      cached_options.parallel_components = false;
+      cached_options.shared_cache = &shared_cache;
+      cached_options.shared_cache_min_vars = 2;
+      DpllCounter cached(&mgr, weights, cached_options);
+      auto cached_value = cached.Compute(lineage->root);
+      ASSERT_TRUE(cached_value.ok());
+      EXPECT_EQ(*cached_value, *reference);
+    }
+    // Parallel components and the shared cache combined.
+    {
+      DpllOptions both_options;
+      both_options.exec = &ctx;
+      both_options.parallel_min_vars = 0;
+      both_options.shared_cache = &shared_cache;
+      both_options.shared_cache_min_vars = 2;
+      DpllCounter both(&mgr, weights, both_options);
+      auto both_value = both.Compute(lineage->root);
+      ASSERT_TRUE(both_value.ok());
+      EXPECT_EQ(*both_value, *reference);
+    }
 
     // Ground truth by brute-force enumeration (2^n assignments).
     if (mgr.VarsOf(lineage->root).size() <= 18) {

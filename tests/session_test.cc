@@ -255,8 +255,14 @@ TEST(SessionStressTest, EightClientsShareOneSession) {
   ASSERT_EQ(expect_safe->method, InferenceMethod::kLifted);
   ASSERT_EQ(expect_mc->method, InferenceMethod::kMonteCarlo);
 
-  // Cache off so every client query really executes (maximal contention).
-  Session session(&pdb, {.num_threads = 4, .cache_results = false});
+  // Result cache off so every client query really executes (maximal
+  // contention). The shared WMC cache is off too: it would let the
+  // budget-starved "forced Monte Carlo" query finish exactly once another
+  // client's exact run warmed it, which is the cache doing its job but not
+  // what this test is about (SharedWmcCacheStress covers that setup).
+  Session session(&pdb, {.num_threads = 4,
+                         .cache_results = false,
+                         .share_wmc_cache = false});
   constexpr int kClients = 8;
   constexpr int kQueriesPerClient = 6;
   std::vector<std::string> errors(kClients);
@@ -339,6 +345,162 @@ TEST(SessionStressTest, ConcurrentCachedQueriesAgree) {
   // keys the same sentence, so the cache holds exactly one result.
   EXPECT_EQ(session.cache_size(), 1u);
   EXPECT_GT(session.result_cache_hits(), 0u);
+}
+
+TEST(SessionTest, LruEvictionKeepsHotEntries) {
+  // Four distinct safe queries against a 3-entry cache. The hot query is
+  // re-touched after every one-off, so the LRU policy must evict the stale
+  // one-offs and never the hot entry. (The pre-LRU cache simply stopped
+  // inserting at capacity, so recency made no difference.)
+  ProbDatabase pdb(HardDatabase(4));
+  Session session(&pdb, {.num_threads = 1, .max_cache_entries = 3});
+  const std::string hot = kSafeQuery;
+  const std::vector<std::string> one_offs = {
+      "R(x), S(x,y), T(y)", "S(x,y), T(y)", "R(x), T(y)", "S(x,y)"};
+  ASSERT_TRUE(session.Query(hot).ok());
+  for (const std::string& q : one_offs) {
+    ASSERT_TRUE(session.Query(q).ok());
+    ASSERT_TRUE(session.Query(hot).ok());  // keep the hot key most-recent
+  }
+  EXPECT_EQ(session.cache_size(), 3u);
+  uint64_t hits_before = session.result_cache_hits();
+  ASSERT_TRUE(session.Query(hot).ok());
+  // The hot query survived all four evictions: this lookup is a pure hit.
+  EXPECT_EQ(session.result_cache_hits(), hits_before + 1);
+}
+
+TEST(SessionTest, ZeroCapacityCacheNeverStoresResults) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1, .max_cache_entries = 0});
+  ASSERT_TRUE(session.Query(kUnsafeQuery).ok());
+  ASSERT_TRUE(session.Query(kUnsafeQuery).ok());
+  EXPECT_EQ(session.cache_size(), 0u);
+  EXPECT_EQ(session.result_cache_hits(), 0u);
+}
+
+TEST(SessionTest, SharedWmcCacheSpeedsUpRepeatsBitIdentically) {
+  ProbDatabase pdb(HardDatabase(4));
+  QueryOptions options;
+  // Reference answer from a cache-less session.
+  Session cold(&pdb, {.num_threads = 1,
+                      .cache_results = false,
+                      .share_wmc_cache = false});
+  auto reference = cold.Query(kUnsafeQuery, options);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(reference->exact);
+
+  // Result cache off so the repeat really re-runs DPLL — against a warm
+  // shared WMC cache.
+  Session warm(&pdb, {.num_threads = 1, .cache_results = false});
+  ASSERT_NE(warm.wmc_cache(), nullptr);
+  auto first = warm.Query(kUnsafeQuery, options);
+  auto second = warm.Query(kUnsafeQuery, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Bit-identical to the cache-less run, cold or warm.
+  EXPECT_EQ(first->probability, reference->probability);
+  EXPECT_EQ(second->probability, reference->probability);
+  // The repeat hit the shared cache (the top-level formula alone ensures
+  // at least one hit) and the session-level stats saw it.
+  EXPECT_GT(second->report.wmc_shared_hits, 0u);
+  WmcCacheStats stats = warm.wmc_cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_EQ(warm.CumulativeReport().wmc_shared_hits, stats.hits);
+}
+
+TEST(SessionTest, MutationInvalidatesSharedWmcCache) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1, .cache_results = false});
+  ASSERT_TRUE(session.Query(kUnsafeQuery).ok());
+  ASSERT_GT(session.wmc_cache_stats().entries, 0u);
+
+  // Explicit invalidation drops every shared-cache entry.
+  session.InvalidateCache();
+  EXPECT_EQ(session.wmc_cache_stats().entries, 0u);
+
+  ASSERT_TRUE(session.Query(kUnsafeQuery).ok());
+  size_t warm_entries = session.wmc_cache_stats().entries;
+  ASSERT_GT(warm_entries, 0u);
+
+  // A database mutation invalidates lazily: the first query after it must
+  // start from an empty cache (same query, same lineage — without the drop
+  // the entry count could only grow) and still answer exactly what a fresh
+  // cache-less session answers on the mutated database.
+  Relation extra("V", Schema::Anonymous(1));
+  ASSERT_TRUE(extra.AddTuple({Value(static_cast<int64_t>(1))}, 0.5).ok());
+  ASSERT_TRUE(pdb.AddRelation(std::move(extra)).ok());
+
+  auto after = session.Query(kUnsafeQuery);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(session.wmc_cache_stats().entries, warm_entries);
+  Session fresh(&pdb, {.num_threads = 1,
+                       .cache_results = false,
+                       .share_wmc_cache = false});
+  auto reference = fresh.Query(kUnsafeQuery);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(after->probability, reference->probability);
+}
+
+// ---------------------------------------------------------------------------
+// Shared WMC cache stress: 8 clients hammering one sharded cache (TSan'd)
+// ---------------------------------------------------------------------------
+
+TEST(SessionStressTest, SharedWmcCacheStress) {
+  ProbDatabase pdb(HardDatabase(4));
+  QueryOptions exact;
+  exact.exec.num_threads = 4;
+
+  // Single-threaded expectations from a cache-less session: shared-cache
+  // hits must be bit-identical, so every concurrent answer has to match.
+  Session cold(&pdb, {.num_threads = 1,
+                      .cache_results = false,
+                      .share_wmc_cache = false});
+  auto expect_safe = cold.Query(kSafeQuery, exact);
+  auto expect_hard = cold.Query(kUnsafeQuery, exact);
+  ASSERT_TRUE(expect_safe.ok());
+  ASSERT_TRUE(expect_hard.ok());
+
+  // Result cache off: every query re-runs inference, and all of them race
+  // on the sharded WMC cache. A tiny byte budget keeps the CLOCK eviction
+  // path exercised under contention as well.
+  Session session(&pdb, {.num_threads = 4,
+                         .cache_results = false,
+                         .share_wmc_cache = true,
+                         .wmc_cache_bytes = size_t{16} << 10,
+                         .wmc_cache_shards = 4});
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 6;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        bool hard = (c + q) % 2 == 0;
+        const QueryAnswer& expected = hard ? *expect_hard : *expect_safe;
+        auto answer =
+            session.Query(hard ? kUnsafeQuery : kSafeQuery, exact);
+        if (!answer.ok()) {
+          errors[c] = answer.status().ToString();
+        } else if (answer->probability != expected.probability) {
+          errors[c] = "shared-cache answer diverged from cache-less run";
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(errors[c], "") << "client " << c;
+
+  // 24 of the 48 queries re-solved the same hard lineage; after the first,
+  // each one starts from a shared-cache hit on the full formula.
+  WmcCacheStats stats = session.wmc_cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_LE(stats.bytes, size_t{16} << 10);
+  ExecReport total = session.CumulativeReport();
+  EXPECT_EQ(total.wmc_shared_hits, stats.hits);
+  EXPECT_EQ(total.wmc_shared_misses, stats.misses);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "boolean/lineage.h"
+#include "exec/thread_pool.h"
 #include "logic/parser.h"
 #include "test_common.h"
 #include "wmc/dpll.h"
@@ -249,6 +250,66 @@ TEST(MonteCarloTest, KarpLubyEdgeCases) {
   EXPECT_DOUBLE_EQ(KarpLubyDnf({{0}}, {1.0}, 100, &rng)->value, 1.0);
   // Variable out of range.
   EXPECT_FALSE(KarpLubyDnf({{5}}, {0.5}, 10, &rng).ok());
+}
+
+TEST(MonteCarloTest, AdaptiveKarpLubyStopsEarlyAtTargetStdError) {
+  // Two overlapping terms over three variables: nonzero variance, so the
+  // standard error shrinks as 1/sqrt(n) and a loose target must be reached
+  // long before the full budget.
+  std::vector<std::vector<VarId>> terms = {{0, 1}, {1, 2}};
+  std::vector<double> probs = {0.4, 0.5, 0.6};
+  FormulaManager mgr;
+  NodeId f = mgr.Or(mgr.And(mgr.Var(0), mgr.Var(1)),
+                    mgr.And(mgr.Var(1), mgr.Var(2)));
+  double expected = *EnumerateProbability(&mgr, f, probs);
+
+  AdaptiveSampleOptions options;
+  options.max_samples = 1u << 20;
+  options.batch_samples = 2000;
+  options.target_std_error = 0.01;
+  Rng rng(7);
+  auto est = KarpLubyDnfAdaptive(terms, probs, options, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(est->samples, options.max_samples);
+  EXPECT_GE(est->samples, 2u * options.batch_samples);  // min_batches = 2
+  EXPECT_LE(est->std_error, options.target_std_error);
+  EXPECT_NEAR(est->value, expected, 5 * est->std_error + 1e-6);
+}
+
+TEST(MonteCarloTest, AdaptiveKarpLubyFullRunIsThreadCountInvariant) {
+  std::vector<std::vector<VarId>> terms = {{0, 1}, {1, 2}, {0, 2}};
+  std::vector<double> probs = {0.3, 0.5, 0.7};
+  AdaptiveSampleOptions options;
+  options.max_samples = 40000;
+  options.batch_samples = 9000;  // uneven tail batch on purpose
+  // target_std_error = 0: no early stop, the full budget is drawn.
+
+  Rng seq_rng(42);
+  auto sequential = KarpLubyDnfAdaptive(terms, probs, options, &seq_rng);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(sequential->samples, options.max_samples);
+
+  ThreadPool pool(4);
+  ExecContext ctx(&pool);
+  Rng par_rng(42);
+  auto parallel = KarpLubyDnfAdaptive(terms, probs, options, &par_rng, &ctx);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->value, sequential->value);
+  EXPECT_EQ(parallel->std_error, sequential->std_error);
+  EXPECT_EQ(parallel->samples, sequential->samples);
+}
+
+TEST(MonteCarloTest, AdaptiveKarpLubyEdgeCases) {
+  Rng rng(3);
+  AdaptiveSampleOptions options;
+  options.max_samples = 1000;
+  EXPECT_DOUBLE_EQ(KarpLubyDnfAdaptive({}, {}, options, &rng)->value, 0.0);
+  EXPECT_DOUBLE_EQ(
+      KarpLubyDnfAdaptive({{0}}, {0.0}, options, &rng)->value, 0.0);
+  auto certain = KarpLubyDnfAdaptive({{0}}, {1.0}, options, &rng);
+  EXPECT_DOUBLE_EQ(certain->value, 1.0);
+  EXPECT_EQ(certain->samples, options.max_samples);
+  EXPECT_FALSE(KarpLubyDnfAdaptive({{5}}, {0.5}, options, &rng).ok());
 }
 
 }  // namespace
