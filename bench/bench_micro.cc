@@ -16,6 +16,7 @@
 #include "kc/obdd.h"
 #include "kc/order.h"
 #include "logic/parser.h"
+#include "obs/trace.h"
 #include "util/big_int.h"
 #include "util/rational.h"
 #include "wmc/dpll.h"
@@ -238,6 +239,56 @@ void BM_WmcSharedCache(benchmark::State& state) {
       probes == 0 ? 0.0 : static_cast<double>(stats.hits) / probes;
 }
 BENCHMARK(BM_WmcSharedCache)->Arg(0)->Arg(1);
+
+// Observability overhead on the hot DPLL loop, the same multi-block 3-DNF
+// workload as BM_DpllComponents. Arg 0: bare solver, no ExecContext (the
+// counters have nowhere to go). Arg 1: ExecContext attached — the always-on
+// relaxed-atomic counters every query pays; the obs acceptance bar is
+// Arg1/Arg0 within 2%. Arg 2: ExecContext plus a QueryTrace — the opt-in
+// cost of `QueryOptions::trace` (clock reads in the shared-cache probes and
+// span recording), allowed to be visibly higher.
+void BM_ObsOverhead(benchmark::State& state) {
+  int mode = static_cast<int>(state.range(0));
+  FormulaManager mgr;
+  Rng gen(11);
+  std::vector<double> probs;
+  std::vector<NodeId> blocks;
+  constexpr int kBlocks = 4;
+  constexpr int kVarsPerBlock = 14;
+  constexpr int kTermsPerBlock = 24;
+  for (int b = 0; b < kBlocks; ++b) {
+    VarId base = static_cast<VarId>(probs.size());
+    for (int v = 0; v < kVarsPerBlock; ++v) {
+      probs.push_back(0.2 + 0.6 * gen.NextDouble());
+    }
+    std::vector<NodeId> terms;
+    for (int t = 0; t < kTermsPerBlock; ++t) {
+      std::vector<NodeId> lits;
+      for (int l = 0; l < 3; ++l) {
+        NodeId lit = mgr.Var(base + static_cast<VarId>(
+                                        gen.Uniform(kVarsPerBlock)));
+        if (gen.Bernoulli(0.5)) lit = mgr.Not(lit);
+        lits.push_back(lit);
+      }
+      terms.push_back(mgr.And(std::move(lits)));
+    }
+    blocks.push_back(mgr.Or(std::move(terms)));
+  }
+  NodeId root = mgr.And(std::move(blocks));
+  WeightMap weights = WeightsFromProbabilities(probs);
+  ExecContext ctx;
+  QueryTrace trace;
+  if (mode == 2) ctx.set_trace(&trace);
+  for (auto _ : state) {
+    DpllOptions options;
+    if (mode >= 1) options.exec = &ctx;
+    DpllCounter counter(&mgr, weights, options);
+    auto p = counter.Compute(root);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["mode"] = mode;
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 // Cross-query WMC memoization, fan-out scenario: QueryWithAnswers over
 // U(z), R(x), S(x,y), T(y) — every answer tuple's lineage conjoins its own

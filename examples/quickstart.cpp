@@ -7,12 +7,15 @@
 //  1. creating a tuple-independent database (TID),
 //  2. Boolean query evaluation (Example 2.1 and friends),
 //  3. non-Boolean queries with per-answer probabilities,
-//  4. what happens on a #P-hard query.
+//  4. what happens on a #P-hard query,
+//  5. observability: per-phase query traces and the session metrics
+//     endpoint (Prometheus text format).
 
 #include "util/check.h"
 #include <cstdio>
 
 #include "core/pdb.h"
+#include "core/session.h"
 
 using namespace pdb;
 
@@ -108,6 +111,38 @@ int main() {
   PDB_CHECK(t.AddTuple({Value("b4")}, 0.25).ok());
   PDB_CHECK(engine.database().AddRelation(std::move(t)).ok());
   Ask(engine, "R(x), S(x,y), T(y)");
+
+  // 5. Observability: run traced queries through a session and read back
+  // where the time went. The safe query stays in the lifted (polynomial)
+  // regime; the #P-hard one shows the safety check failing and the
+  // grounded DPLL solver taking over — the paper's dichotomy, visible in
+  // the phase breakdown.
+  std::printf("\nPer-phase traces (QueryOptions::trace = true):\n");
+  Session session(&engine);
+  QueryOptions traced;
+  traced.trace = true;
+  auto safe = session.Query("R(x), S(x,y)", traced);
+  PDB_CHECK(safe.ok());
+  std::printf("safe query R(x), S(x,y):\n%s\n",
+              safe->trace->ToString().c_str());
+  auto hard = session.Query("R(x), S(x,y), T(y)", traced);
+  PDB_CHECK(hard.ok());
+  std::printf("unsafe query R(x), S(x,y), T(y):\n%s\n",
+              hard->trace->ToString().c_str());
+
+  std::printf("Session metrics (Prometheus exposition, excerpt):\n");
+  std::string metrics = session.MetricsText();
+  // Print only the pdb_queries_* family to keep the quickstart short; a
+  // real scrape endpoint would return the whole string.
+  size_t pos = 0;
+  while (pos < metrics.size()) {
+    size_t eol = metrics.find('\n', pos);
+    std::string line = metrics.substr(pos, eol - pos);
+    if (line.find("pdb_queries") != std::string::npos) {
+      std::printf("  %s\n", line.c_str());
+    }
+    pos = eol + 1;
+  }
 
   std::printf("\nDone.\n");
   return 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 
 #include "boolean/lineage.h"
@@ -78,12 +79,23 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
     const FoPtr& sentence, const QueryOptions& options,
     ExecContext* ctx) const {
   QueryAnswer answer;
+  QueryTrace* trace = ctx ? ctx->trace() : nullptr;
 
   // 1. Lifted inference (exact, polynomial time) when the query is safe.
   if (options.prefer_lifted) {
+    TraceSpan lifted_span(trace, TracePhase::kLifted);
     LiftedStats stats;
     auto lifted = LiftedProbabilityFo(sentence, db_, options.lifted, &stats);
     if (lifted.ok()) {
+      lifted_span.AddCounter("separator_groundings",
+                             stats.separator_groundings);
+      lifted_span.AddCounter("inclusion_exclusions",
+                             stats.inclusion_exclusions);
+      if (stats.inclusion_exclusions > 0) {
+        lifted_span.AddCounter("ie_max_width", stats.ie_max_width);
+        lifted_span.AddCounter("ie_terms_cancelled",
+                               stats.ie_terms_cancelled);
+      }
       answer.probability = *lifted;
       answer.lower = answer.upper = *lifted;
       answer.method = InferenceMethod::kLifted;
@@ -99,20 +111,44 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
     if (lifted.status().code() != StatusCode::kUnsupported) {
       return lifted.status();
     }
+    // A lifted attempt that fails Unsupported *is* the engine's safety
+    // check: the rules failing means the query left the polynomial regime
+    // (exactly the dichotomy boundary for the classes with one), so the
+    // span is reclassified and the grounded machinery below takes over.
+    lifted_span.SetPhase(TracePhase::kSafetyCheck);
   }
 
   // 2. Grounded exact inference within the decision and wall-clock budget.
-  FormulaManager mgr;
-  PDB_ASSIGN_OR_RETURN(Lineage lineage, BuildLineage(sentence, db_, &mgr));
+  // The formula store and the solver live in optionals so the answer paths
+  // can free them while their trace span is still open: for hard lineages
+  // the teardown (memo table + hash-consed nodes) is a visible slice of the
+  // end-to-end latency, and an untimed gap there would break the invariant
+  // that the top-level spans account for the query's wall clock.
+  std::optional<FormulaManager> mgr(std::in_place);
+  Lineage lineage;
+  {
+    TraceSpan lineage_span(trace, TracePhase::kLineage);
+    PDB_ASSIGN_OR_RETURN(lineage, BuildLineage(sentence, db_, &*mgr));
+    lineage_span.AddCounter("lineage_vars", lineage.vars.size());
+  }
   DpllOptions dpll_options;
   dpll_options.max_decisions = options.max_dpll_decisions;
   dpll_options.exec = ctx;
   // The session owns the cross-query cache and hands it down through the
   // context; a null pointer simply disables cross-query memoization.
   dpll_options.shared_cache = ctx ? ctx->wmc_cache() : nullptr;
-  DpllCounter counter(&mgr, WeightsFromProbabilities(lineage.probs),
-                      dpll_options);
-  auto grounded = counter.Compute(lineage.root);
+  std::optional<DpllCounter> counter(
+      std::in_place, &*mgr, WeightsFromProbabilities(lineage.probs),
+      dpll_options);
+  TraceSpan dpll_span(trace, TracePhase::kDpll);
+  auto grounded = counter->Compute(lineage.root);
+  dpll_span.AddCounter("decisions", counter->stats().decisions);
+  dpll_span.AddCounter("cache_hits", counter->stats().cache_hits);
+  dpll_span.AddCounter("component_splits", counter->stats().component_splits);
+  if (counter->stats().shared_hits + counter->stats().shared_misses > 0) {
+    dpll_span.AddCounter("shared_hits", counter->stats().shared_hits);
+    dpll_span.AddCounter("shared_probe_ns", counter->stats().shared_probe_ns);
+  }
   if (grounded.ok()) {
     answer.probability = *grounded;
     answer.lower = answer.upper = *grounded;
@@ -121,17 +157,21 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
     answer.explanation = StrFormat(
         "grounded WMC: %llu decisions, %llu cache hits, %llu component "
         "splits over %zu lineage variables",
-        static_cast<unsigned long long>(counter.stats().decisions),
-        static_cast<unsigned long long>(counter.stats().cache_hits),
-        static_cast<unsigned long long>(counter.stats().component_splits),
+        static_cast<unsigned long long>(counter->stats().decisions),
+        static_cast<unsigned long long>(counter->stats().cache_hits),
+        static_cast<unsigned long long>(counter->stats().component_splits),
         lineage.vars.size());
-    if (counter.stats().shared_hits > 0) {
+    if (counter->stats().shared_hits > 0) {
       answer.explanation += StrFormat(
           ", %llu shared-cache hits",
-          static_cast<unsigned long long>(counter.stats().shared_hits));
+          static_cast<unsigned long long>(counter->stats().shared_hits));
     }
+    counter.reset();
+    mgr.reset();
+    dpll_span.End();
     return answer;
   }
+  dpll_span.End();
   if (grounded.status().code() != StatusCode::kResourceExhausted &&
       grounded.status().code() != StatusCode::kDeadlineExceeded) {
     return grounded.status();
@@ -159,6 +199,7 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
     // guarantees independent of how small the probability is.
     auto dnf = BuildUcqDnf(*as_ucq, db_);
     if (dnf.ok()) {
+      TraceSpan mc_span(trace, TracePhase::kMonteCarlo);
       Rng rng(options.monte_carlo_seed);
       Result<Estimate> estimate = Status::Internal("unreached");
       if (options.monte_carlo_target_stderr > 0) {
@@ -172,6 +213,9 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
                                options.monte_carlo_samples, &rng, ctx);
       }
       if (estimate.ok()) {
+        mc_span.AddCounter("samples", estimate->samples);
+        mc_span.AddCounter("dnf_terms", dnf->terms.size());
+        answer.std_error = estimate->std_error;
         answer.probability = estimate->value;
         answer.lower =
             std::max(0.0, estimate->value - 2.0 * estimate->std_error);
@@ -190,15 +234,22 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
               "; plan bounds [%.6g, %.6g] over %zu plans", bounds->lower,
               bounds->upper, bounds->num_plans);
         }
+        // Free the (failed) exact solver inside the open span — see the
+        // comment at `mgr`'s declaration.
+        counter.reset();
+        mgr.reset();
         return answer;
       }
     }
   }
   if (options.allow_monte_carlo) {
+    TraceSpan mc_span(trace, TracePhase::kMonteCarlo);
     Rng rng(options.monte_carlo_seed);
     Estimate estimate =
-        NaiveMonteCarlo(&mgr, lineage.root, lineage.probs,
+        NaiveMonteCarlo(&*mgr, lineage.root, lineage.probs,
                         options.monte_carlo_samples, &rng, ctx);
+    mc_span.AddCounter("samples", estimate.samples);
+    answer.std_error = estimate.std_error;
     answer.probability = estimate.value;
     answer.lower = std::max(0.0, estimate.value - 2.0 * estimate.std_error);
     answer.upper = std::min(1.0, estimate.value + 2.0 * estimate.std_error);
@@ -215,6 +266,8 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
           "; plan bounds [%.6g, %.6g] over %zu plans", bounds->lower,
           bounds->upper, bounds->num_plans);
     }
+    counter.reset();
+    mgr.reset();
     return answer;
   }
   if (bounds.has_value()) {
@@ -290,29 +343,22 @@ Result<std::vector<ProbDatabase::TupleInfluence>> ProbDatabase::TopInfluences(
 
 Result<QueryAnswer> ProbDatabase::QuerySqlBoolean(
     const std::string& sql, const QueryOptions& options) const {
-  PDB_ASSIGN_OR_RETURN(CompiledSql compiled, CompileSql(sql, db_));
-  if (!compiled.boolean) {
-    return Status::InvalidArgument(
-        "query selects columns; use QuerySqlAnswers (or SELECT PROB())");
-  }
-  return QueryFo(Ucq({compiled.cq}).ToFo(), options);
+  Session session(this, SingleShotOptions(options));
+  return session.QuerySqlBoolean(sql, options);
 }
 
 Result<Relation> ProbDatabase::QuerySqlAnswers(
     const std::string& sql, const QueryOptions& options) const {
-  PDB_ASSIGN_OR_RETURN(CompiledSql compiled, CompileSql(sql, db_));
-  if (compiled.boolean) {
-    return Status::InvalidArgument(
-        "SELECT PROB() is Boolean; use QuerySqlBoolean");
-  }
-  return QueryWithAnswers(compiled.cq, compiled.head_vars, options);
+  Session session(this, SingleShotOptions(options));
+  return session.QuerySqlAnswers(sql, options);
 }
 
 Result<Relation> ProbDatabase::QueryWithAnswers(
     const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
-    const QueryOptions& options) const {
+    const QueryOptions& options,
+    std::vector<AnswerTupleInfo>* info) const {
   Session session(this, SingleShotOptions(options));
-  return session.QueryWithAnswers(cq, head_vars, options);
+  return session.QueryWithAnswers(cq, head_vars, options, info);
 }
 
 }  // namespace pdb

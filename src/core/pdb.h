@@ -21,12 +21,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "exec/context.h"
 #include "lifted/lifted.h"
 #include "logic/parser.h"
+#include "obs/trace.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -52,10 +54,27 @@ struct QueryAnswer {
   double upper = 1.0;
   InferenceMethod method = InferenceMethod::kLifted;
   bool exact = false;
+  /// Standard error of a Monte Carlo estimate (0 for exact answers).
+  double std_error = 0.0;
   std::string explanation;
   /// Execution counters for this query (threads, samples, cache hits,
   /// whether a deadline fired). Populated by Query/QueryFo.
   ExecReport report;
+  /// Per-phase trace of this execution when `QueryOptions::trace` was set;
+  /// null otherwise (and on answers restored from the result cache before
+  /// tracing — the trace of a cache hit covers only parse + cache probe).
+  std::shared_ptr<const QueryTrace> trace;
+};
+
+/// Per-answer-tuple execution metadata of QueryWithAnswers, parallel to the
+/// rows of the returned relation: which engine produced each marginal and,
+/// for sampled marginals, the achieved standard error.
+struct AnswerTupleInfo {
+  InferenceMethod method = InferenceMethod::kLifted;
+  bool exact = false;
+  /// Standard error of the tuple's marginal (0 when exact).
+  double std_error = 0.0;
+  std::string explanation;
 };
 
 /// Tuning for query evaluation.
@@ -74,6 +93,13 @@ struct QueryOptions {
   /// instead of always spending the full `monte_carlo_samples` budget.
   /// 0 keeps the classic fixed-budget estimator, bit-for-bit.
   double monte_carlo_target_stderr = 0.0;
+  /// Record a per-phase `QueryTrace` for this query (obs/trace.h); the
+  /// finished trace rides on `QueryAnswer::trace` and in the session's
+  /// ring buffer of recent traces. Off by default: tracing costs clock
+  /// reads in the deep loops. Like `LiftedOptions::trace`, this is a
+  /// metadata side channel and is deliberately not part of the result
+  /// cache key — a cache hit yields a trace without execution phases.
+  bool trace = false;
   LiftedOptions lifted;
   /// Parallelism and wall-clock budget. With `deadline_ms` set, exact
   /// grounded inference that overruns the budget falls back to Monte Carlo
@@ -135,10 +161,14 @@ class ProbDatabase {
 
   /// Evaluates a non-Boolean conjunctive query: `head_vars` become the
   /// output columns, and each distinct answer tuple carries its marginal
-  /// probability. The CQ's remaining variables are existential.
+  /// probability. The CQ's remaining variables are existential. When
+  /// `info` is non-null it receives one `AnswerTupleInfo` per output row
+  /// (method, exactness, achieved std error).
   Result<Relation> QueryWithAnswers(const ConjunctiveQuery& cq,
                                     const std::vector<std::string>& head_vars,
-                                    const QueryOptions& options = {}) const;
+                                    const QueryOptions& options = {},
+                                    std::vector<AnswerTupleInfo>* info =
+                                        nullptr) const;
 
   /// Conditional probability P(query | evidence) — the paper's §3
   /// mechanism for correlations: both sentences are grounded jointly and

@@ -1,14 +1,17 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "boolean/lineage.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
+#include "sql/sql.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -22,6 +25,14 @@ int ResolveThreads(int num_threads) {
     return static_cast<int>(ThreadPool::HardwareThreads());
   }
   return num_threads;
+}
+
+/// Microseconds elapsed since `start` (for the latency histograms).
+uint64_t MicrosSince(ExecContext::Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          ExecContext::Clock::now() - start)
+          .count());
 }
 
 }  // namespace
@@ -38,6 +49,49 @@ Session::Session(const ProbDatabase* db, SessionOptions options)
     cache_options.max_bytes = options_.wmc_cache_bytes;
     wmc_cache_ = std::make_unique<WmcCache>(cache_options);
   }
+  // Resolve every engine ticker once; updates are then lock-free.
+  tickers_.queries = metrics_.GetCounter("pdb_queries_total");
+  tickers_.query_errors = metrics_.GetCounter("pdb_query_errors_total");
+  tickers_.result_cache_hits =
+      metrics_.GetCounter("pdb_result_cache_hits_total");
+  tickers_.result_cache_misses =
+      metrics_.GetCounter("pdb_result_cache_misses_total");
+  tickers_.result_cache_evictions =
+      metrics_.GetCounter("pdb_result_cache_evictions_total");
+  tickers_.queries_lifted = metrics_.GetCounter("pdb_queries_lifted_total");
+  tickers_.queries_grounded_exact =
+      metrics_.GetCounter("pdb_queries_grounded_exact_total");
+  tickers_.queries_monte_carlo =
+      metrics_.GetCounter("pdb_queries_monte_carlo_total");
+  tickers_.queries_plan_bounds =
+      metrics_.GetCounter("pdb_queries_plan_bounds_total");
+  tickers_.deadline_exceeded =
+      metrics_.GetCounter("pdb_deadline_exceeded_total");
+  tickers_.queries_cancelled =
+      metrics_.GetCounter("pdb_queries_cancelled_total");
+  tickers_.exec_tasks = metrics_.GetCounter("pdb_exec_tasks_total");
+  tickers_.mc_samples = metrics_.GetCounter("pdb_mc_samples_total");
+  tickers_.mc_batches = metrics_.GetCounter("pdb_mc_batches_total");
+  tickers_.dpll_decisions = metrics_.GetCounter("pdb_dpll_decisions_total");
+  tickers_.dpll_cache_hits = metrics_.GetCounter("pdb_dpll_cache_hits_total");
+  tickers_.dpll_component_splits =
+      metrics_.GetCounter("pdb_dpll_component_splits_total");
+  tickers_.dpll_parallel_splits =
+      metrics_.GetCounter("pdb_dpll_parallel_splits_total");
+  tickers_.wmc_shared_hits = metrics_.GetCounter("pdb_wmc_shared_hits_total");
+  tickers_.wmc_shared_misses =
+      metrics_.GetCounter("pdb_wmc_shared_misses_total");
+  tickers_.wmc_shared_inserts =
+      metrics_.GetCounter("pdb_wmc_shared_inserts_total");
+  tickers_.wmc_shared_evictions =
+      metrics_.GetCounter("pdb_wmc_shared_evictions_total");
+  tickers_.wmc_shared_bytes = metrics_.GetGauge("pdb_wmc_shared_bytes");
+  tickers_.wmc_shared_entries = metrics_.GetGauge("pdb_wmc_shared_entries");
+  tickers_.result_cache_entries =
+      metrics_.GetGauge("pdb_result_cache_entries");
+  tickers_.query_latency_us = metrics_.GetHistogram("pdb_query_latency_us");
+  tickers_.sql_statement_latency_us =
+      metrics_.GetHistogram("pdb_sql_statement_latency_us");
 }
 
 Session::~Session() = default;  // pool destructor drains + joins
@@ -91,6 +145,7 @@ void Session::CacheInsertLocked(std::string key, QueryAnswer answer) {
   while (cache_.size() >= options_.max_cache_entries && !lru_.empty()) {
     cache_.erase(lru_.back());
     lru_.pop_back();
+    tickers_.result_cache_evictions->Add(1);
   }
   if (options_.max_cache_entries == 0) return;
   lru_.push_front(key);
@@ -132,15 +187,99 @@ ExecReport Session::CumulativeReport() const {
   return report;
 }
 
+MetricsSnapshot Session::SnapshotMetrics() const {
+  // Refresh the overlay metrics from their sources of truth before
+  // copying: the shared WMC cache keeps its own insert/eviction/size
+  // counters (a single query cannot attribute them), and the result-cache
+  // level lives behind mu_.
+  if (wmc_cache_) {
+    WmcCacheStats stats = wmc_cache_->stats();
+    tickers_.wmc_shared_inserts->Set(stats.inserts);
+    tickers_.wmc_shared_evictions->Set(stats.evictions);
+    tickers_.wmc_shared_bytes->Set(static_cast<int64_t>(stats.bytes));
+    tickers_.wmc_shared_entries->Set(static_cast<int64_t>(stats.entries));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tickers_.result_cache_entries->Set(
+        static_cast<int64_t>(cache_.size()));
+  }
+  return metrics_.Snapshot();
+}
+
+std::string Session::MetricsText() const {
+  return SnapshotMetrics().RenderPrometheus();
+}
+
+std::string Session::MetricsJson() const {
+  return SnapshotMetrics().RenderJson();
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> Session::recent_traces()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+void Session::RetainTrace(const std::shared_ptr<QueryTrace>& trace) {
+  if (!trace) return;
+  trace->Finish();
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_front(trace);
+  while (traces_.size() > options_.trace_ring_size) traces_.pop_back();
+}
+
 void Session::AggregateLocked(const ExecReport& report) {
   cumulative_.tasks_run += report.tasks_run;
   cumulative_.samples_drawn += report.samples_drawn;
+  cumulative_.mc_batches += report.mc_batches;
   cumulative_.cache_hits += report.cache_hits;
+  cumulative_.dpll_decisions += report.dpll_decisions;
+  cumulative_.dpll_component_splits += report.dpll_component_splits;
+  cumulative_.dpll_parallel_splits += report.dpll_parallel_splits;
   cumulative_.wmc_shared_hits += report.wmc_shared_hits;
   cumulative_.wmc_shared_misses += report.wmc_shared_misses;
   cumulative_.cancelled = cumulative_.cancelled || report.cancelled;
   cumulative_.deadline_exceeded =
       cumulative_.deadline_exceeded || report.deadline_exceeded;
+  // Mirror into the registry right here, under the same lock and from the
+  // same report, so the tickers and CumulativeReport() agree by
+  // construction no matter how queries interleave.
+  tickers_.exec_tasks->Add(report.tasks_run);
+  tickers_.mc_samples->Add(report.samples_drawn);
+  tickers_.mc_batches->Add(report.mc_batches);
+  tickers_.dpll_cache_hits->Add(report.cache_hits);
+  tickers_.dpll_decisions->Add(report.dpll_decisions);
+  tickers_.dpll_component_splits->Add(report.dpll_component_splits);
+  tickers_.dpll_parallel_splits->Add(report.dpll_parallel_splits);
+  tickers_.wmc_shared_hits->Add(report.wmc_shared_hits);
+  tickers_.wmc_shared_misses->Add(report.wmc_shared_misses);
+  if (report.deadline_exceeded) tickers_.deadline_exceeded->Add(1);
+  if (report.cancelled) tickers_.queries_cancelled->Add(1);
+}
+
+void Session::TickTopLevelLocked(const Result<QueryAnswer>& answer,
+                                 uint64_t latency_us) {
+  tickers_.queries->Add(1);
+  tickers_.query_latency_us->Record(latency_us);
+  if (!answer.ok()) {
+    tickers_.query_errors->Add(1);
+    return;
+  }
+  switch (answer->method) {
+    case InferenceMethod::kLifted:
+      tickers_.queries_lifted->Add(1);
+      break;
+    case InferenceMethod::kGroundedExact:
+      tickers_.queries_grounded_exact->Add(1);
+      break;
+    case InferenceMethod::kMonteCarlo:
+      tickers_.queries_monte_carlo->Add(1);
+      break;
+    case InferenceMethod::kPlanBounds:
+      tickers_.queries_plan_bounds->Add(1);
+      break;
+  }
 }
 
 std::string Session::CacheKey(const FoPtr& sentence,
@@ -167,18 +306,41 @@ std::string Session::CacheKey(const FoPtr& sentence,
 
 Result<QueryAnswer> Session::Query(const std::string& query_text,
                                    const QueryOptions& options) {
-  PDB_ASSIGN_OR_RETURN(FoPtr sentence, ParseBooleanQuery(query_text));
-  return QueryFo(sentence, options);
+  const ExecContext::Clock::time_point started = ExecContext::Clock::now();
+  std::shared_ptr<QueryTrace> trace = MakeTrace(options);
+  FoPtr sentence;
+  {
+    TraceSpan parse_span(trace.get(), TracePhase::kParse);
+    auto parsed = ParseBooleanQuery(query_text);
+    if (!parsed.ok()) {
+      // A query that dies in the parser still counts: dashboards read the
+      // error rate as pdb_query_errors_total / pdb_queries_total.
+      parse_span.End();
+      Result<QueryAnswer> failed = parsed.status();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++queries_served_;
+        TickTopLevelLocked(failed, MicrosSince(started));
+      }
+      RetainTrace(trace);
+      return failed;
+    }
+    sentence = *std::move(parsed);
+  }
+  return QueryFoInternal(sentence, options, /*top_level=*/true,
+                         std::move(trace));
 }
 
 Result<QueryAnswer> Session::QueryFo(const FoPtr& sentence,
                                      const QueryOptions& options) {
-  return QueryFoInternal(sentence, options, /*top_level=*/true);
+  return QueryFoInternal(sentence, options, /*top_level=*/true,
+                         MakeTrace(options));
 }
 
-Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
-                                             const QueryOptions& options,
-                                             bool top_level) {
+Result<QueryAnswer> Session::QueryFoInternal(
+    const FoPtr& sentence, const QueryOptions& options, bool top_level,
+    std::shared_ptr<QueryTrace> trace) {
+  const ExecContext::Clock::time_point started = ExecContext::Clock::now();
   std::string key;
   if (options_.cache_results) key = CacheKey(sentence, options);
   // Generation snapshot at query start: an answer may only be cached if
@@ -187,21 +349,38 @@ Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
   // the first query after a mutation drops every stale entry.
   uint64_t generation_at_start = db_->generation();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    RefreshGenerationLocked(generation_at_start);
-    if (options_.cache_results) {
-      if (const QueryAnswer* cached = CacheLookupLocked(key)) {
-        if (top_level) {
-          ++queries_served_;
-          ++result_cache_hits_;
+    TraceSpan probe_span(trace.get(), TracePhase::kCacheProbe);
+    std::optional<QueryAnswer> hit;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      RefreshGenerationLocked(generation_at_start);
+      if (options_.cache_results) {
+        if (const QueryAnswer* cached = CacheLookupLocked(key)) {
+          tickers_.result_cache_hits->Add(1);
+          hit = *cached;
+          // A cached answer executed nothing in this query: hand back a
+          // fresh report so per-query accounting stays isolated.
+          hit->report = ExecReport{};
+          hit->explanation += "; session result cache hit";
+          if (top_level) {
+            ++queries_served_;
+            ++result_cache_hits_;
+            Result<QueryAnswer> ok_answer = *hit;
+            TickTopLevelLocked(ok_answer, MicrosSince(started));
+          }
+        } else {
+          tickers_.result_cache_misses->Add(1);
         }
-        QueryAnswer answer = *cached;
-        // A cached answer executed nothing in this query: hand back a fresh
-        // report so per-query accounting stays isolated.
-        answer.report = ExecReport{};
-        answer.explanation += "; session result cache hit";
-        return answer;
       }
+    }
+    if (hit) {
+      probe_span.AddCounter("hit", 1);
+      probe_span.End();
+      if (top_level && trace) {
+        RetainTrace(trace);
+        hit->trace = trace;
+      }
+      return *std::move(hit);
     }
   }
 
@@ -211,12 +390,16 @@ Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
   // cache.
   ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
   ctx.set_wmc_cache(wmc_cache_.get());
+  ctx.set_trace(trace.get());
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   auto answer = db_->QueryFoWithContext(sentence, options, &ctx);
   ExecReport report = ctx.Report();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (top_level) ++queries_served_;
+    if (top_level) {
+      ++queries_served_;
+      TickTopLevelLocked(answer, MicrosSince(started));
+    }
     AggregateLocked(report);
     // Cache only if the database never mutated while this query ran: the
     // current generation must equal the snapshot taken at query start (a
@@ -228,16 +411,105 @@ Result<QueryAnswer> Session::QueryFoInternal(const FoPtr& sentence,
         generation_at_start == generation_seen_) {
       QueryAnswer cached = *answer;
       cached.report = report;
+      cached.trace = nullptr;  // traces describe one execution, not the key
       CacheInsertLocked(std::move(key), std::move(cached));
     }
   }
   if (answer.ok()) answer->report = report;
+  // Fan-out sub-queries only contribute spans; the owning call finishes
+  // and retains the trace.
+  if (top_level && trace) {
+    RetainTrace(trace);
+    if (answer.ok()) answer->trace = trace;
+  }
   return answer;
 }
 
 Result<Relation> Session::QueryWithAnswers(
     const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
-    const QueryOptions& options) {
+    const QueryOptions& options, std::vector<AnswerTupleInfo>* info) {
+  return QueryWithAnswersTraced(cq, head_vars, options, info,
+                                MakeTrace(options));
+}
+
+Result<QueryAnswer> Session::QuerySqlBoolean(const std::string& sql,
+                                             const QueryOptions& options) {
+  const ExecContext::Clock::time_point started = ExecContext::Clock::now();
+  std::shared_ptr<QueryTrace> trace = MakeTrace(options);
+  CompiledSql compiled;
+  {
+    TraceSpan compile_span(trace.get(), TracePhase::kCompile);
+    auto result = CompileSql(sql, db_->database());
+    if (result.ok() && !result->boolean) {
+      result = Status::InvalidArgument(
+          "query selects columns; use QuerySqlAnswers (or SELECT PROB())");
+    }
+    if (!result.ok()) {
+      compile_span.End();
+      Result<QueryAnswer> failed = result.status();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++queries_served_;
+        TickTopLevelLocked(failed, MicrosSince(started));
+      }
+      tickers_.sql_statement_latency_us->Record(MicrosSince(started));
+      RetainTrace(trace);
+      return failed;
+    }
+    compiled = *std::move(result);
+  }
+  QueryOptions effective = options;
+  if (compiled.target_stderr > 0) {
+    effective.monte_carlo_target_stderr = compiled.target_stderr;
+  }
+  auto answer = QueryFoInternal(Ucq({compiled.cq}).ToFo(), effective,
+                                /*top_level=*/true, std::move(trace));
+  tickers_.sql_statement_latency_us->Record(MicrosSince(started));
+  return answer;
+}
+
+Result<Relation> Session::QuerySqlAnswers(const std::string& sql,
+                                          const QueryOptions& options,
+                                          std::vector<AnswerTupleInfo>* info) {
+  const ExecContext::Clock::time_point started = ExecContext::Clock::now();
+  std::shared_ptr<QueryTrace> trace = MakeTrace(options);
+  CompiledSql compiled;
+  {
+    TraceSpan compile_span(trace.get(), TracePhase::kCompile);
+    auto result = CompileSql(sql, db_->database());
+    if (result.ok() && result->boolean) {
+      result = Status::InvalidArgument(
+          "SELECT PROB() is Boolean; use QuerySqlBoolean");
+    }
+    if (!result.ok()) {
+      compile_span.End();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++queries_served_;
+        Result<QueryAnswer> failed = result.status();
+        TickTopLevelLocked(failed, MicrosSince(started));
+      }
+      tickers_.sql_statement_latency_us->Record(MicrosSince(started));
+      RetainTrace(trace);
+      return result.status();
+    }
+    compiled = *std::move(result);
+  }
+  QueryOptions effective = options;
+  if (compiled.target_stderr > 0) {
+    effective.monte_carlo_target_stderr = compiled.target_stderr;
+  }
+  auto out = QueryWithAnswersTraced(compiled.cq, compiled.head_vars,
+                                    effective, info, std::move(trace));
+  tickers_.sql_statement_latency_us->Record(MicrosSince(started));
+  return out;
+}
+
+Result<Relation> Session::QueryWithAnswersTraced(
+    const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
+    const QueryOptions& options, std::vector<AnswerTupleInfo>* info,
+    std::shared_ptr<QueryTrace> trace) {
+  const ExecContext::Clock::time_point started = ExecContext::Clock::now();
   const Database& db = db_->database();
   std::set<std::string> vars = cq.Variables();
   for (const std::string& v : head_vars) {
@@ -268,16 +540,22 @@ Result<Relation> Session::QueryWithAnswers(
     }
     PDB_CHECK(found);  // verified above: every head var occurs somewhere
   }
-  PDB_RETURN_NOT_OK(EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
-    Tuple head;
-    head.reserve(positions.size());
-    for (const auto& [atom_idx, pos] : positions) {
-      const LineageVar& lv = match.atom_rows[atom_idx];
-      const Relation* rel = db.Get(lv.relation).value();
-      head.push_back(rel->tuple(lv.row)[pos]);
-    }
-    ++candidates[std::move(head)];
-  }));
+  {
+    // The candidate sweep is the fan-out's grounding step: classify it
+    // with the lineage phase.
+    TraceSpan enumerate_span(trace.get(), TracePhase::kLineage);
+    PDB_RETURN_NOT_OK(EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
+      Tuple head;
+      head.reserve(positions.size());
+      for (const auto& [atom_idx, pos] : positions) {
+        const LineageVar& lv = match.atom_rows[atom_idx];
+        const Relation* rel = db.Get(lv.relation).value();
+        head.push_back(rel->tuple(lv.row)[pos]);
+      }
+      ++candidates[std::move(head)];
+    }));
+    enumerate_span.AddCounter("candidates", candidates.size());
+  }
 
   // Output schema: head variables typed by their first candidate (or int).
   std::vector<Attribute> attrs;
@@ -326,8 +604,10 @@ Result<Relation> Session::QueryWithAnswers(
 
   ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
   ctx.set_wmc_cache(wmc_cache_.get());
+  ctx.set_trace(trace.get());
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   std::vector<double> marginals(heads.size(), 0.0);
+  std::vector<AnswerTupleInfo> infos(heads.size());
   std::vector<Status> statuses(heads.size());
   ParallelFor(&ctx, heads.size(), [&](size_t s) {
     size_t t = schedule[s];
@@ -336,23 +616,36 @@ Result<Relation> Session::QueryWithAnswers(
     for (size_t i = 0; i < head_vars.size(); ++i) {
       grounded = grounded.Substitute(head_vars[i], heads[t][i]);
     }
-    auto answer =
-        QueryFoInternal(Ucq({grounded}).ToFo(), inner, /*top_level=*/false);
+    // Inner queries share the batch trace: their phase spans nest inside
+    // the batch wall-time and are excluded from TopLevelNs().
+    auto answer = QueryFoInternal(Ucq({grounded}).ToFo(), inner,
+                                  /*top_level=*/false, trace);
     if (answer.ok()) {
       marginals[t] = answer->probability;
+      infos[t].method = answer->method;
+      infos[t].exact = answer->exact;
+      infos[t].std_error = answer->std_error;
+      infos[t].explanation = std::move(answer->explanation);
     } else {
       statuses[t] = answer.status();
     }
   });
+  bool any_error = std::any_of(statuses.begin(), statuses.end(),
+                               [](const Status& s) { return !s.ok(); });
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_served_;
     AggregateLocked(ctx.Report());
+    tickers_.queries->Add(1);
+    tickers_.query_latency_us->Record(MicrosSince(started));
+    if (any_error) tickers_.query_errors->Add(1);
   }
+  RetainTrace(trace);
   for (size_t t = 0; t < heads.size(); ++t) {
     PDB_RETURN_NOT_OK(statuses[t]);
     PDB_RETURN_NOT_OK(out.AddTuple(heads[t], marginals[t]));
   }
+  if (info) *info = std::move(infos);
   return out;
 }
 

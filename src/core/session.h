@@ -30,6 +30,7 @@
 #define PDB_CORE_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,8 @@
 
 #include "core/pdb.h"
 #include "exec/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wmc/wmc_cache.h"
 
 namespace pdb {
@@ -68,6 +71,10 @@ struct SessionOptions {
   size_t wmc_cache_bytes = size_t{64} << 20;
   /// Shard (mutex stripe) count of the shared WMC cache.
   size_t wmc_cache_shards = 16;
+  /// How many finished query traces `recent_traces()` retains (oldest
+  /// evicted first). Only queries run with `QueryOptions::trace` enter the
+  /// ring.
+  size_t trace_ring_size = 32;
 };
 
 /// A long-lived, thread-safe query session over one `ProbDatabase`.
@@ -91,10 +98,27 @@ class Session {
 
   /// Non-Boolean conjunctive query: answer tuples with marginal
   /// probabilities; the per-tuple fan-out runs on the session pool and the
-  /// per-tuple Boolean sub-queries can hit the session result cache.
+  /// per-tuple Boolean sub-queries can hit the session result cache. When
+  /// `info` is non-null it receives one `AnswerTupleInfo` per output row.
   Result<Relation> QueryWithAnswers(const ConjunctiveQuery& cq,
                                     const std::vector<std::string>& head_vars,
-                                    const QueryOptions& options = {});
+                                    const QueryOptions& options = {},
+                                    std::vector<AnswerTupleInfo>* info =
+                                        nullptr);
+
+  /// Evaluates "SELECT PROB() FROM ... WHERE ... [WITH STDERR s]"
+  /// (sql/sql.h). A WITH STDERR clause sets the adaptive Monte Carlo
+  /// target standard error for this statement, overriding
+  /// `QueryOptions::monte_carlo_target_stderr`.
+  Result<QueryAnswer> QuerySqlBoolean(const std::string& sql,
+                                      const QueryOptions& options = {});
+
+  /// Evaluates a column-select SQL statement: answer tuples with
+  /// marginals; `info` as in QueryWithAnswers.
+  Result<Relation> QuerySqlAnswers(const std::string& sql,
+                                   const QueryOptions& options = {},
+                                   std::vector<AnswerTupleInfo>* info =
+                                       nullptr);
 
   /// Resolved pool width (>= 1).
   int num_threads() const { return resolved_threads_; }
@@ -124,13 +148,47 @@ class Session {
   /// deadline), plus the shared cache's insert/eviction/size counters.
   ExecReport CumulativeReport() const;
 
+  /// The session's metrics registry. Engine tickers (pdb_queries_total,
+  /// pdb_dpll_decisions_total, pdb_query_latency_us, ...) live here;
+  /// callers may mint additional metrics through the same registry.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Point-in-time copy of every metric, with the shared-cache and
+  /// result-cache level gauges refreshed first.
+  MetricsSnapshot SnapshotMetrics() const;
+  /// Prometheus text exposition of `SnapshotMetrics()`.
+  std::string MetricsText() const;
+  /// JSON rendering of `SnapshotMetrics()`.
+  std::string MetricsJson() const;
+
+  /// The most recent finished traces (newest first), at most
+  /// `SessionOptions::trace_ring_size` of them.
+  std::vector<std::shared_ptr<const QueryTrace>> recent_traces() const;
+
  private:
   /// Shared pipeline behind Query/QueryFo and the per-tuple fan-out.
   /// `top_level` controls accounting: fan-out sub-queries aggregate into
-  /// the cumulative report but do not count as served queries.
+  /// the cumulative report but do not count as served queries (and do not
+  /// finish or retain `trace` — they only add spans to it).
   Result<QueryAnswer> QueryFoInternal(const FoPtr& sentence,
                                       const QueryOptions& options,
-                                      bool top_level);
+                                      bool top_level,
+                                      std::shared_ptr<QueryTrace> trace);
+
+  /// QueryWithAnswers against a caller-provided trace (the SQL wrapper
+  /// passes the trace holding its compile span).
+  Result<Relation> QueryWithAnswersTraced(
+      const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
+      const QueryOptions& options, std::vector<AnswerTupleInfo>* info,
+      std::shared_ptr<QueryTrace> trace);
+
+  /// A fresh trace when `options.trace` asks for one, else null.
+  std::shared_ptr<QueryTrace> MakeTrace(const QueryOptions& options) const {
+    return options.trace ? std::make_shared<QueryTrace>() : nullptr;
+  }
+
+  /// Finishes `trace` and pushes it into the ring buffer. No-op on null.
+  void RetainTrace(const std::shared_ptr<QueryTrace>& trace);
 
   /// Cache key: the options that can change an exact answer, then the
   /// sentence text.
@@ -157,6 +215,47 @@ class Session {
   /// capacity. Caller must hold `mu_`.
   void CacheInsertLocked(std::string key, QueryAnswer answer);
 
+  /// Registry tickers resolved once at construction (stable pointers, so
+  /// the per-query fold is a handful of relaxed atomic adds, no map
+  /// lookups). Counters mirror `cumulative_` field for field; the
+  /// wmc_shared_* overlay counters and the level gauges are refreshed from
+  /// their sources of truth by `SnapshotMetrics()`.
+  struct Tickers {
+    Counter* queries;
+    Counter* query_errors;
+    Counter* result_cache_hits;
+    Counter* result_cache_misses;
+    Counter* result_cache_evictions;
+    Counter* queries_lifted;
+    Counter* queries_grounded_exact;
+    Counter* queries_monte_carlo;
+    Counter* queries_plan_bounds;
+    Counter* deadline_exceeded;
+    Counter* queries_cancelled;
+    Counter* exec_tasks;
+    Counter* mc_samples;
+    Counter* mc_batches;
+    Counter* dpll_decisions;
+    Counter* dpll_cache_hits;
+    Counter* dpll_component_splits;
+    Counter* dpll_parallel_splits;
+    Counter* wmc_shared_hits;
+    Counter* wmc_shared_misses;
+    Counter* wmc_shared_inserts;    // overlay: Set() from WmcCacheStats
+    Counter* wmc_shared_evictions;  // overlay: Set() from WmcCacheStats
+    Gauge* wmc_shared_bytes;
+    Gauge* wmc_shared_entries;
+    Gauge* result_cache_entries;
+    Histogram* query_latency_us;
+    Histogram* sql_statement_latency_us;
+  };
+
+  /// Counts one answered top-level query into the tickers. Caller must
+  /// hold `mu_` (only for consistency with the queries_served_ bump next
+  /// to it; the tickers themselves are atomic).
+  void TickTopLevelLocked(const Result<QueryAnswer>& answer,
+                          uint64_t latency_us);
+
   const ProbDatabase* db_;
   SessionOptions options_;
   int resolved_threads_;
@@ -164,6 +263,9 @@ class Session {
   std::unique_ptr<ThreadPool> pool_;
   /// Internally sharded and thread-safe; not guarded by mu_.
   std::unique_ptr<WmcCache> wmc_cache_;
+  /// Thread-safe (atomics inside; its own mutex for creation).
+  MetricsRegistry metrics_;
+  Tickers tickers_;
 
   mutable std::mutex mu_;
   uint64_t generation_seen_;                          // guarded by mu_
@@ -173,6 +275,8 @@ class Session {
   uint64_t queries_served_ = 0;                       // guarded by mu_
   uint64_t result_cache_hits_ = 0;                    // guarded by mu_
   ExecReport cumulative_;                             // guarded by mu_
+  /// Ring buffer of recent finished traces, newest at the front.
+  std::deque<std::shared_ptr<const QueryTrace>> traces_;  // guarded by mu_
 };
 
 }  // namespace pdb

@@ -12,11 +12,39 @@ std::string ExecReport::ToString() const {
       tasks_run == 1 ? "" : "s",
       static_cast<unsigned long long>(samples_drawn),
       static_cast<unsigned long long>(cache_hits));
+  if (dpll_decisions > 0) {
+    s += StrFormat(", %llu DPLL decisions",
+                   static_cast<unsigned long long>(dpll_decisions));
+  }
+  if (dpll_component_splits > 0) {
+    s += StrFormat(", %llu component splits",
+                   static_cast<unsigned long long>(dpll_component_splits));
+    if (dpll_parallel_splits > 0) {
+      s += StrFormat(" (%llu parallel)",
+                     static_cast<unsigned long long>(dpll_parallel_splits));
+    }
+  }
+  if (mc_batches > 0) {
+    s += StrFormat(", %llu MC batches",
+                   static_cast<unsigned long long>(mc_batches));
+  }
   if (wmc_shared_hits + wmc_shared_misses > 0) {
     s += StrFormat(", %llu/%llu shared WMC cache hits",
                    static_cast<unsigned long long>(wmc_shared_hits),
                    static_cast<unsigned long long>(wmc_shared_hits +
                                                    wmc_shared_misses));
+  }
+  if (wmc_shared_inserts > 0) {
+    s += StrFormat(", %llu shared WMC inserts",
+                   static_cast<unsigned long long>(wmc_shared_inserts));
+  }
+  if (wmc_shared_evictions > 0) {
+    s += StrFormat(", %llu shared WMC evictions",
+                   static_cast<unsigned long long>(wmc_shared_evictions));
+  }
+  if (wmc_shared_bytes > 0) {
+    s += StrFormat(", %llu shared WMC bytes",
+                   static_cast<unsigned long long>(wmc_shared_bytes));
   }
   if (deadline_exceeded) s += ", deadline exceeded";
   if (cancelled) s += ", cancelled";
@@ -59,7 +87,13 @@ ExecReport ExecContext::Report() {
   ExecReport report;
   report.tasks_run = tasks_run_.load(std::memory_order_relaxed);
   report.samples_drawn = samples_drawn_.load(std::memory_order_relaxed);
+  report.mc_batches = mc_batches_.load(std::memory_order_relaxed);
   report.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  report.dpll_decisions = dpll_decisions_.load(std::memory_order_relaxed);
+  report.dpll_component_splits =
+      dpll_component_splits_.load(std::memory_order_relaxed);
+  report.dpll_parallel_splits =
+      dpll_parallel_splits_.load(std::memory_order_relaxed);
   report.wmc_shared_hits = wmc_shared_hits_.load(std::memory_order_relaxed);
   report.wmc_shared_misses =
       wmc_shared_misses_.load(std::memory_order_relaxed);

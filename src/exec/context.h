@@ -21,6 +21,7 @@ namespace pdb {
 
 class ThreadPool;
 class WmcCache;
+class QueryTrace;
 
 /// Parallelism and time-budget knobs, threaded through `QueryOptions`.
 struct ExecOptions {
@@ -36,7 +37,11 @@ struct ExecOptions {
 struct ExecReport {
   uint64_t tasks_run = 0;       ///< parallel loop bodies executed
   uint64_t samples_drawn = 0;   ///< Monte Carlo samples actually drawn
+  uint64_t mc_batches = 0;      ///< Monte Carlo batches completed
   uint64_t cache_hits = 0;      ///< DPLL formula-cache hits (local, NodeId)
+  uint64_t dpll_decisions = 0;  ///< DPLL branch decisions
+  uint64_t dpll_component_splits = 0;  ///< DPLL connected-component splits
+  uint64_t dpll_parallel_splits = 0;   ///< component splits solved in parallel
   uint64_t wmc_shared_hits = 0;    ///< session-shared WMC cache hits
   uint64_t wmc_shared_misses = 0;  ///< session-shared WMC cache misses
   /// Filled only by Session::CumulativeReport() from the cache's own
@@ -71,6 +76,12 @@ class ExecContext {
   WmcCache* wmc_cache() const { return wmc_cache_; }
   void set_wmc_cache(WmcCache* cache) { wmc_cache_ = cache; }
 
+  /// Opt-in per-query trace (obs/trace.h), or null when tracing is off.
+  /// Deep modules test this pointer before doing trace-only timing work;
+  /// like the pool, the context carries but does not own it.
+  QueryTrace* trace() const { return trace_; }
+  void set_trace(QueryTrace* trace) { trace_ = trace; }
+
   /// Arms the deadline `ms` milliseconds from now. `ms` == 0 disarms.
   void SetDeadline(uint64_t ms);
 
@@ -102,8 +113,20 @@ class ExecContext {
   void AddSamples(uint64_t n) {
     samples_drawn_.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddMcBatches(uint64_t n) {
+    mc_batches_.fetch_add(n, std::memory_order_relaxed);
+  }
   void AddCacheHits(uint64_t n) {
     cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddDpllDecisions(uint64_t n) {
+    dpll_decisions_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddDpllComponentSplits(uint64_t n) {
+    dpll_component_splits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddDpllParallelSplits(uint64_t n) {
+    dpll_parallel_splits_.fetch_add(n, std::memory_order_relaxed);
   }
   void AddWmcSharedHits(uint64_t n) {
     wmc_shared_hits_.fetch_add(n, std::memory_order_relaxed);
@@ -117,13 +140,18 @@ class ExecContext {
  private:
   ThreadPool* pool_ = nullptr;
   WmcCache* wmc_cache_ = nullptr;
+  QueryTrace* trace_ = nullptr;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> deadline_hit_{false};       // current armed deadline
   std::atomic<bool> deadline_ever_hit_{false};  // sticky, for the report
   std::atomic<int64_t> deadline_ns_{0};  // Clock epoch ns; 0 = disarmed
   std::atomic<uint64_t> tasks_run_{0};
   std::atomic<uint64_t> samples_drawn_{0};
+  std::atomic<uint64_t> mc_batches_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> dpll_decisions_{0};
+  std::atomic<uint64_t> dpll_component_splits_{0};
+  std::atomic<uint64_t> dpll_parallel_splits_{0};
   std::atomic<uint64_t> wmc_shared_hits_{0};
   std::atomic<uint64_t> wmc_shared_misses_{0};
 };

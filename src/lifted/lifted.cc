@@ -268,6 +268,7 @@ Result<double> LiftedEngine::ComputeUnion(CqVec raw_disjuncts, size_t depth) {
     if (disjuncts.size() > 1 && options_.use_inclusion_exclusion) {
       ++stats_.inclusion_exclusions;
       const size_t m = disjuncts.size();
+      stats_.ie_max_width = std::max<uint64_t>(stats_.ie_max_width, m);
       if (m > 20 || ((size_t{1} << m) - 1) > options_.max_ie_subsets) {
         return Status::ResourceExhausted(
             "inclusion-exclusion expansion too large");
@@ -347,6 +348,7 @@ Result<double> LiftedEngine::ComputeConjunction(CqVec conjuncts,
   }
   ++stats_.inclusion_exclusions;
   const size_t k = conjuncts.size();
+  stats_.ie_max_width = std::max<uint64_t>(stats_.ie_max_width, k);
   if (k > 20 || ((size_t{1} << k) - 1) > options_.max_ie_subsets) {
     return Status::ResourceExhausted(
         "inclusion-exclusion expansion too large");

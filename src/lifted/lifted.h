@@ -56,6 +56,9 @@ struct LiftedStats {
   uint64_t independent_products = 0;
   uint64_t separator_groundings = 0;
   uint64_t inclusion_exclusions = 0;
+  /// Widest single inclusion–exclusion application (number of disjuncts or
+  /// conjuncts expanded — the exponent of that step's 2^n - 1 subsets).
+  uint64_t ie_max_width = 0;
   uint64_t ie_terms_total = 0;
   uint64_t ie_terms_cancelled = 0;
   uint64_t cache_hits = 0;

@@ -1,0 +1,133 @@
+/// \file metrics.h
+/// \brief Engine-wide metrics: named counters, gauges, and log₂ histograms
+/// with Prometheus/JSON exposition.
+///
+/// The registry follows the RocksDB Statistics idiom: metric objects are
+/// created (or found) once by name under a mutex, after which the returned
+/// pointer is stable for the registry's lifetime and every update is a
+/// single relaxed atomic operation — no locks, no allocation, no branches
+/// on the hot path. A `Session` owns one registry, pre-resolves every
+/// engine ticker at construction, and exposes `Snapshot()` /
+/// `RenderPrometheus()` / `RenderJson()` for scrapers; user code can mint
+/// additional metrics through the same registry.
+///
+/// Histograms use fixed log₂ bucket boundaries (bucket i holds values whose
+/// bit width is i, i.e. [2^(i-1), 2^i)), so recording is a `bit_width` plus
+/// two relaxed adds and the exposition format is identical for every
+/// histogram — latency distributions stay comparable across metrics and
+/// across runs without per-metric boundary configuration.
+
+#ifndef PDB_OBS_METRICS_H_
+#define PDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pdb {
+
+/// Monotonic event count. `Set` exists for overlay counters mirrored from
+/// an external source of truth (e.g. the shared WMC cache's own insert
+/// counter), RocksDB `setTickerCount`-style.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (cache entries, resident bytes, in-flight queries).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Distribution over non-negative integers with fixed log₂ boundaries.
+/// Thread-safe; `Record` is three relaxed atomic ops.
+class Histogram {
+ public:
+  /// Bucket i counts values v with std::bit_width(v) == i: bucket 0 is
+  /// exactly {0}, bucket i (i >= 1) is [2^(i-1), 2^i).
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  double Mean() const;
+  /// Upper bound of the bucket containing quantile `q` in [0, 1] (0 when
+  /// empty). Log₂ buckets bound the relative error by 2x.
+  double Quantile(double q) const;
+};
+
+/// Point-in-time copy of every metric in a registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Prometheus text exposition format (one # TYPE line per metric;
+  /// histograms as cumulative `le` buckets plus `_sum`/`_count`). Names
+  /// are sanitized to the Prometheus grammar.
+  std::string RenderPrometheus() const;
+  /// The same data as one JSON object.
+  std::string RenderJson() const;
+};
+
+/// Name-keyed registry of counters/gauges/histograms. `Get*` is
+/// get-or-create and returns a pointer that stays valid for the registry's
+/// lifetime; resolve once, update lock-free forever after. A name may hold
+/// only one metric kind (getting it as another kind aborts).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string RenderPrometheus() const { return Snapshot().RenderPrometheus(); }
+  std::string RenderJson() const { return Snapshot().RenderJson(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_OBS_METRICS_H_

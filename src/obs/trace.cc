@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdb {
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kParse:
+      return "parse";
+    case TracePhase::kSafetyCheck:
+      return "safety_check";
+    case TracePhase::kLifted:
+      return "lifted";
+    case TracePhase::kLineage:
+      return "lineage";
+    case TracePhase::kCompile:
+      return "compile";
+    case TracePhase::kDpll:
+      return "dpll";
+    case TracePhase::kMonteCarlo:
+      return "monte_carlo";
+    case TracePhase::kCacheProbe:
+      return "cache_probe";
+  }
+  return "?";
+}
+
+void QueryTrace::Finish() {
+  uint64_t now = SinceEpochNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  total_ns_ = now;
+}
+
+uint64_t QueryTrace::total_ns() const {
+  uint64_t now = SinceEpochNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_ ? total_ns_ : now;
+}
+
+void QueryTrace::AddSpan(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<QueryTrace::Span> QueryTrace::spans() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    // Longer span first on equal starts, so a parent precedes the children
+    // it immediately encloses.
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                    : a.duration_ns > b.duration_ns;
+  });
+  return out;
+}
+
+uint64_t QueryTrace::PhaseNs(TracePhase phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Span& span : spans_) {
+    if (span.phase == phase) total += span.duration_ns;
+  }
+  return total;
+}
+
+namespace {
+
+/// True when `inner` lies strictly inside `outer` (a recorded sub-phase —
+/// e.g. an inner per-tuple query's DPLL span inside the fan-out window).
+bool Contains(const QueryTrace::Span& outer, const QueryTrace::Span& inner) {
+  if (&outer == &inner) return false;
+  uint64_t outer_end = outer.start_ns + outer.duration_ns;
+  uint64_t inner_end = inner.start_ns + inner.duration_ns;
+  if (inner.start_ns < outer.start_ns || inner_end > outer_end) return false;
+  // Identical intervals (zero-width or exact ties) count as not nested.
+  return !(inner.start_ns == outer.start_ns && inner_end == outer_end);
+}
+
+}  // namespace
+
+uint64_t QueryTrace::TopLevelNs() const {
+  std::vector<Span> sorted = spans();
+  uint64_t total = 0;
+  for (const Span& span : sorted) {
+    bool nested = false;
+    for (const Span& other : sorted) {
+      if (Contains(other, span)) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) total += span.duration_ns;
+  }
+  return total;
+}
+
+std::string QueryTrace::ToString() const {
+  std::vector<Span> sorted = spans();
+  std::string out = StrFormat("query trace: %.3fms total\n",
+                              static_cast<double>(total_ns()) / 1e6);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    size_t depth = 0;
+    for (const Span& other : sorted) {
+      if (Contains(other, sorted[i])) ++depth;
+    }
+    std::string indent(2 * (depth + 1), ' ');
+    out += StrFormat("%s%-13s %9.3fms", indent.c_str(),
+                     TracePhaseName(sorted[i].phase),
+                     static_cast<double>(sorted[i].duration_ns) / 1e6);
+    if (!sorted[i].counters.empty()) {
+      out += "  (";
+      for (size_t c = 0; c < sorted[i].counters.size(); ++c) {
+        out += StrFormat("%s%s=%llu", c == 0 ? "" : ", ",
+                         sorted[i].counters[c].name.c_str(),
+                         static_cast<unsigned long long>(
+                             sorted[i].counters[c].value));
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pdb

@@ -21,6 +21,10 @@
 #include "exec/parallel.h"     // IWYU pragma: export
 #include "exec/thread_pool.h"  // IWYU pragma: export
 
+// Observability.
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
 // Storage.
 #include "storage/csv.h"       // IWYU pragma: export
 #include "storage/database.h"  // IWYU pragma: export

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <map>
 #include <numeric>
 
@@ -19,6 +20,7 @@ namespace {
 enum class SqlTok {
   kIdent,
   kInteger,
+  kFloat,  // only valid in WITH STDERR; WHERE literals stay integers
   kString,
   kComma,
   kDot,
@@ -30,6 +32,7 @@ enum class SqlTok {
   kWhere,
   kAnd,
   kAs,
+  kWith,
   kProb,
   kEnd,
 };
@@ -71,6 +74,7 @@ Result<std::vector<SqlToken>> Tokenize(const std::string& text) {
       else if (upper == "WHERE") kind = SqlTok::kWhere;
       else if (upper == "AND") kind = SqlTok::kAnd;
       else if (upper == "AS") kind = SqlTok::kAs;
+      else if (upper == "WITH") kind = SqlTok::kWith;
       else if (upper == "PROB") kind = SqlTok::kProb;
       out.push_back({kind, std::move(word), start});
       i = j;
@@ -84,7 +88,34 @@ Result<std::vector<SqlToken>> Tokenize(const std::string& text) {
              std::isdigit(static_cast<unsigned char>(text[j]))) {
         ++j;
       }
-      out.push_back({SqlTok::kInteger, text.substr(i, j - i), start});
+      bool is_float = false;
+      // Fraction: '.' followed by a digit (a bare '.' stays the kDot of a
+      // qualified column reference).
+      if (j + 1 < text.size() && text[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        is_float = true;
+        j += 2;
+        while (j < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+      }
+      // Exponent: e/E, optional sign, digits.
+      if (j < text.size() && (text[j] == 'e' || text[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < text.size() && (text[k] == '+' || text[k] == '-')) ++k;
+        if (k < text.size() &&
+            std::isdigit(static_cast<unsigned char>(text[k]))) {
+          is_float = true;
+          j = k + 1;
+          while (j < text.size() &&
+                 std::isdigit(static_cast<unsigned char>(text[j]))) {
+            ++j;
+          }
+        }
+      }
+      out.push_back({is_float ? SqlTok::kFloat : SqlTok::kInteger,
+                     text.substr(i, j - i), start});
       i = j;
       continue;
     }
@@ -176,6 +207,25 @@ class SqlParser {
         Advance();
       }
     }
+    if (Peek().kind == SqlTok::kWith) {
+      Advance();
+      if (Peek().kind != SqlTok::kIdent ||
+          ToUpper(Peek().text) != "STDERR") {
+        return Status::InvalidArgument(
+            StrFormat("expected STDERR after WITH at offset %zu",
+                      Peek().pos));
+      }
+      Advance();
+      if (Peek().kind != SqlTok::kFloat && Peek().kind != SqlTok::kInteger) {
+        return Status::InvalidArgument(
+            StrFormat("expected a number after WITH STDERR at offset %zu",
+                      Peek().pos));
+      }
+      select.target_stderr = std::strtod(Advance().text.c_str(), nullptr);
+      if (!(select.target_stderr > 0.0)) {
+        return Status::InvalidArgument("WITH STDERR must be positive");
+      }
+    }
     PDB_RETURN_NOT_OK(Expect(SqlTok::kEnd, "end of query"));
     return select;
   }
@@ -242,6 +292,12 @@ class SqlParser {
         *kind = SqlCondition::OperandKind::kLiteral;
         *literal = Value(Advance().text);
         return Status::OK();
+      case SqlTok::kFloat:
+        return Status::InvalidArgument(
+            StrFormat("floating-point literal at offset %zu; WHERE "
+                      "literals are integers or strings (floats are only "
+                      "valid in WITH STDERR)",
+                      Peek().pos));
       default:
         return Status::InvalidArgument(
             StrFormat("expected column or literal at offset %zu",
@@ -404,6 +460,7 @@ Result<CompiledSql> CompileSql(const SqlSelect& select, const Database& db) {
   };
   CompiledSql out;
   out.boolean = select.boolean;
+  out.target_stderr = select.target_stderr;
   for (size_t i = 0; i < tables.size(); ++i) {
     std::vector<Term> args;
     args.reserve(tables[i].relation->arity());

@@ -9,6 +9,7 @@
 /// Grammar (keywords case-insensitive):
 ///
 ///   query      := SELECT select_list FROM from_list [WHERE condition_list]
+///                 [WITH STDERR number]
 ///   select_list:= PROB()                      -- Boolean: the probability
 ///               | column (',' column)*        -- answer tuples + marginals
 ///   column     := [alias '.'] attribute
@@ -16,9 +17,17 @@
 ///   condition  := operand '=' operand ( AND condition )*
 ///   operand    := column | integer | 'string'
 ///
+/// `WITH STDERR s` asks the engine for an approximate answer whose
+/// standard error is at most `s` (when it falls back to sampling): it maps
+/// to `QueryOptions::monte_carlo_target_stderr`, so the adaptive
+/// Karp–Luby estimator stops as soon as the target is met. Exact answers
+/// ignore it.
+///
 /// Example:
 ///   SELECT PROB() FROM R, S WHERE R.x = S.x
 ///   SELECT c.city FROM Customer c, Orders o WHERE c.id = o.id
+///   SELECT PROB() FROM R, S, T WHERE R.x = S.x AND S.y = T.y
+///     WITH STDERR 0.002
 
 #ifndef PDB_SQL_SQL_H_
 #define PDB_SQL_SQL_H_
@@ -58,6 +67,8 @@ struct SqlSelect {
   std::vector<SqlColumnRef> columns;
   std::vector<SqlTableRef> from;
   std::vector<SqlCondition> where;
+  /// WITH STDERR clause; 0 when absent.
+  double target_stderr = 0.0;
 };
 
 /// Parses the SELECT block (no schema checks yet).
@@ -69,6 +80,9 @@ struct CompiledSql {
   ConjunctiveQuery cq;
   std::vector<std::string> head_vars;
   bool boolean = false;
+  /// WITH STDERR clause; 0 when absent. The session-level QuerySql*
+  /// entry points map it to `QueryOptions::monte_carlo_target_stderr`.
+  double target_stderr = 0.0;
 };
 
 /// Resolves a parsed SELECT against the catalog: every FROM entry becomes

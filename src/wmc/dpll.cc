@@ -1,6 +1,7 @@
 #include "wmc/dpll.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -77,6 +78,9 @@ Result<double> DpllCounter::Compute(NodeId root) {
   auto entry = Count(root);
   if (options_.exec) {
     options_.exec->AddCacheHits(stats_.cache_hits);
+    options_.exec->AddDpllDecisions(stats_.decisions);
+    options_.exec->AddDpllComponentSplits(stats_.component_splits);
+    options_.exec->AddDpllParallelSplits(stats_.parallel_splits);
     options_.exec->AddWmcSharedHits(stats_.shared_hits);
     options_.exec->AddWmcSharedMisses(stats_.shared_misses);
   }
@@ -166,7 +170,20 @@ Result<DpllCounter::CacheEntry> DpllCounter::Count(NodeId f) {
   // structure: see the component ordering note).
   std::optional<WmcCache::Key> shared_key = SharedKey(f);
   if (shared_key) {
-    if (std::optional<double> hit = options_.shared_cache->Lookup(*shared_key)) {
+    // Probe latency is measured only while a trace rides on the context:
+    // two clock reads per probe are noise for a postmortem but not for the
+    // untraced hot path.
+    const bool timed = options_.exec && options_.exec->trace() != nullptr;
+    std::chrono::steady_clock::time_point probe_start;
+    if (timed) probe_start = std::chrono::steady_clock::now();
+    std::optional<double> hit = options_.shared_cache->Lookup(*shared_key);
+    if (timed) {
+      stats_.shared_probe_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - probe_start)
+              .count());
+    }
+    if (hit) {
       ++stats_.shared_hits;
       result.value = *hit;
       cache_.emplace(f, result);
@@ -361,6 +378,7 @@ Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
         acc.stats.parallel_splits += part.stats.parallel_splits;
         acc.stats.shared_hits += part.stats.shared_hits;
         acc.stats.shared_misses += part.stats.shared_misses;
+        acc.stats.shared_probe_ns += part.stats.shared_probe_ns;
         return acc;
       });
   stats_.decisions += merged.stats.decisions;
@@ -369,6 +387,7 @@ Result<DpllCounter::CacheEntry> DpllCounter::CountComponentsParallel(
   stats_.parallel_splits += merged.stats.parallel_splits;
   stats_.shared_hits += merged.stats.shared_hits;
   stats_.shared_misses += merged.stats.shared_misses;
+  stats_.shared_probe_ns += merged.stats.shared_probe_ns;
   PDB_RETURN_NOT_OK(merged.status);
   CacheEntry result;
   result.value = merged.product;

@@ -109,6 +109,10 @@ struct DpllStats {
   uint64_t shared_hits = 0;
   /// Probes of the shared cache that missed.
   uint64_t shared_misses = 0;
+  /// Wall nanoseconds spent probing the shared cache. Timed only while a
+  /// QueryTrace is attached to the ExecContext (clock reads are not free);
+  /// 0 whenever tracing is off.
+  uint64_t shared_probe_ns = 0;
 };
 
 /// Exact weighted model counter.

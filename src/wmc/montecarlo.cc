@@ -66,7 +66,10 @@ Estimate NaiveMonteCarlo(FormulaManager* mgr, NodeId root,
     hits += part.hits;
     drawn += part.drawn;
   }
-  if (ctx) ctx->AddSamples(drawn);
+  if (ctx) {
+    ctx->AddSamples(drawn);
+    ctx->AddMcBatches(1);
+  }
 
   Estimate est;
   est.samples = drawn;
@@ -215,7 +218,10 @@ Result<Estimate> KarpLubyDnf(const std::vector<std::vector<VarId>>& terms,
   }
   Rng base(rng->Next());
   KlAccum accum = KarpLubyBatch(terms, probs, setup, samples, base, ctx);
-  if (ctx) ctx->AddSamples(accum.drawn);
+  if (ctx) {
+    ctx->AddSamples(accum.drawn);
+    ctx->AddMcBatches(1);
+  }
   return EstimateFromAccum(accum);
 }
 
@@ -259,7 +265,10 @@ Result<Estimate> KarpLubyDnfAdaptive(
       break;
     }
   }
-  if (ctx) ctx->AddSamples(accum.drawn);
+  if (ctx) {
+    ctx->AddSamples(accum.drawn);
+    ctx->AddMcBatches(batches);
+  }
   return EstimateFromAccum(accum);
 }
 

@@ -1,0 +1,697 @@
+// Observability tests: metrics registry semantics (including an 8-thread
+// hammer built for TSan), Prometheus/JSON exposition (golden file + grammar
+// validator), trace span nesting and the session trace ring buffer, and the
+// regression that the registry tickers agree with CumulativeReport after a
+// mixed workload. This file is built under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pdb.h"
+#include "core/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_common.h"
+#include "util/random.h"
+
+namespace pdb {
+namespace {
+
+/// Complete bipartite H0 instance (same construction as session_test.cc):
+/// R(x), S(x,y), T(y) is non-hierarchical, hence exact evaluation goes
+/// through grounded DPLL.
+Database HardDatabase(size_t n) {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  Relation t("T", Schema::Anonymous(1));
+  Rng rng(3);
+  auto prob = [&] { return 0.1 + 0.8 * rng.NextDouble(); };
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    PDB_CHECK(t.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    for (size_t j = 1; j <= n; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           prob())
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+/// Same shape but with named columns so SQL can address them.
+Database HardSqlDatabase(size_t n) {
+  Database db;
+  Relation r("R", Schema({{"x", ValueType::kInt}}));
+  Relation s("S", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+  Relation t("T", Schema({{"y", ValueType::kInt}}));
+  Rng rng(7);
+  auto prob = [&] { return 0.1 + 0.8 * rng.NextDouble(); };
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    PDB_CHECK(t.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    for (size_t j = 1; j <= n; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           prob())
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+const char* kUnsafeQuery = "R(x), S(x,y), T(y)";
+const char* kSafeQuery = "R(x), S(x,y)";
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, histograms
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAddAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Set(7);  // overlay semantics
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(MetricsTest, GaugeGoesUpAndDown) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(MetricsTest, HistogramLog2Buckets) {
+  Histogram h;
+  h.Record(0);     // bucket 0: exactly {0}
+  h.Record(1);     // bucket 1: [1, 2)
+  h.Record(2);     // bucket 2: [2, 4)
+  h.Record(3);     // bucket 2
+  h.Record(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 1024);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(MetricsTest, HistogramExtremeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(UINT64_MAX);  // bit_width 64 -> last bucket
+  EXPECT_EQ(h.bucket(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsTest, HistogramSnapshotMeanAndQuantile) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("q");
+  for (int i = 0; i < 99; ++i) h->Record(4);  // bucket 3, upper bound 7
+  h->Record(1 << 20);                         // one outlier
+  MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSnapshot& hs = snap.histograms.at("q");
+  EXPECT_DOUBLE_EQ(hs.Mean(), (99.0 * 4 + (1 << 20)) / 100.0);
+  EXPECT_DOUBLE_EQ(hs.Quantile(0.5), 7.0);
+  // The outlier lives in bucket 21, upper bound 2^21 - 1.
+  EXPECT_DOUBLE_EQ(hs.Quantile(1.0), 2097151.0);
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.Mean(), 0.0);
+  EXPECT_EQ(empty.Quantile(0.99), 0.0);
+}
+
+TEST(MetricsTest, RegistryGetOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("pdb_thing_total");
+  Counter* b = reg.GetCounter("pdb_thing_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("other"), a);
+  EXPECT_NE(static_cast<void*>(reg.GetGauge("g")),
+            static_cast<void*>(reg.GetHistogram("h")));
+}
+
+TEST(MetricsTest, ConcurrentHammerIsExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &go, t] {
+      // Resolve once, update lock-free — the intended usage pattern.
+      Counter* shared = reg.GetCounter("shared_total");
+      Counter* own = reg.GetCounter("worker_" + std::to_string(t) + "_total");
+      Gauge* level = reg.GetGauge("level");
+      Histogram* h = reg.GetHistogram("latency_us");
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kIters; ++i) {
+        shared->Add(1);
+        own->Add(2);
+        level->Add(t % 2 == 0 ? 1 : -1);
+        h->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("shared_total"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("worker_" + std::to_string(t) + "_total"),
+              static_cast<uint64_t>(2) * kIters);
+  }
+  EXPECT_EQ(snap.gauges.at("level"), 0);
+  const HistogramSnapshot& h = snap.histograms.at("latency_us");
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * kIters);
+  uint64_t per_thread_sum = static_cast<uint64_t>(kIters) * (kIters - 1) / 2;
+  EXPECT_EQ(h.sum, kThreads * per_thread_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition: Prometheus golden file + grammar, JSON
+// ---------------------------------------------------------------------------
+
+/// The registry rendered by the golden-file and grammar tests.
+MetricsRegistry* GoldenRegistry() {
+  static MetricsRegistry* reg = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("pdb_queries_total")->Add(3);
+    r->GetCounter("weird.name-1")->Add(1);  // sanitized to weird_name_1
+    r->GetGauge("pdb_result_cache_entries")->Set(2);
+    r->GetGauge("temp_delta")->Set(-5);
+    Histogram* h = r->GetHistogram("pdb_query_latency_us");
+    h->Record(0);
+    h->Record(1);
+    h->Record(5);
+    h->Record(1024);
+    return r;
+  }();
+  return reg;
+}
+
+/// Minimal validator for the Prometheus text exposition format: every line
+/// is a comment or `name[{le="bound"}] value`, names match the grammar,
+/// histogram bucket series are cumulative and end with +Inf == _count.
+void ValidatePrometheusText(const std::string& text) {
+  auto valid_name = [](const std::string& s) {
+    if (s.empty()) return false;
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+             c == ':';
+    };
+    if (!head(s[0])) return false;
+    for (char c : s) {
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    }
+    return true;
+  };
+  std::istringstream in(text);
+  std::string line;
+  std::string open_histogram;  // histogram currently being emitted
+  uint64_t last_cumulative = 0;
+  bool saw_inf = false;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    SCOPED_TRACE("line " + std::to_string(lineno) + ": " + line);
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kw, name, kind;
+      ls >> hash >> kw >> name >> kind;
+      ASSERT_EQ(hash, "#");
+      ASSERT_EQ(kw, "TYPE");
+      ASSERT_TRUE(valid_name(name));
+      ASSERT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram");
+      if (!open_histogram.empty()) {
+        EXPECT_TRUE(saw_inf);
+      }
+      open_histogram = kind == "histogram" ? name : "";
+      last_cumulative = 0;
+      saw_inf = false;
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << "unparseable sample value";
+    std::string name = series;
+    std::string le;
+    size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      name = series.substr(0, brace);
+      ASSERT_EQ(series.back(), '}');
+      std::string labels = series.substr(brace + 1,
+                                         series.size() - brace - 2);
+      ASSERT_EQ(labels.rfind("le=\"", 0), 0u);
+      ASSERT_EQ(labels.back(), '"');
+      le = labels.substr(4, labels.size() - 5);
+    }
+    ASSERT_TRUE(valid_name(name));
+    if (!open_histogram.empty() && name == open_histogram + "_bucket") {
+      ASSERT_FALSE(le.empty());
+      uint64_t cumulative = std::strtoull(value.c_str(), nullptr, 10);
+      EXPECT_GE(cumulative, last_cumulative) << "buckets must be cumulative";
+      if (le == "+Inf") {
+        saw_inf = true;
+      } else {
+        last_cumulative = cumulative;
+        std::strtod(le.c_str(), &end);
+        ASSERT_EQ(*end, '\0') << "unparseable le bound";
+      }
+    }
+  }
+  if (!open_histogram.empty()) {
+    EXPECT_TRUE(saw_inf);
+  }
+}
+
+TEST(MetricsExpositionTest, PrometheusMatchesGoldenFile) {
+  std::ifstream golden(std::string(PDB_TESTDATA_DIR) +
+                       "/metrics_golden.prom");
+  ASSERT_TRUE(golden.good());
+  std::stringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(GoldenRegistry()->RenderPrometheus(), want.str());
+}
+
+TEST(MetricsExpositionTest, PrometheusGrammarHolds) {
+  ValidatePrometheusText(GoldenRegistry()->RenderPrometheus());
+}
+
+TEST(MetricsExpositionTest, LiveSessionTextParsesUnderGrammar) {
+  ProbDatabase pdb(testing::BuildFigure1Database());
+  Session session(&pdb, {.num_threads = 1});
+  ASSERT_TRUE(session.Query("R(x), S(x,y)").ok());
+  ASSERT_TRUE(session.QuerySqlBoolean("SELECT PROB() FROM R, S "
+                                      "WHERE R.x = S.x")
+                  .ok());
+  std::string text = session.MetricsText();
+  EXPECT_NE(text.find("pdb_queries_total 2"), std::string::npos);
+  EXPECT_NE(text.find("pdb_query_latency_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("pdb_sql_statement_latency_us_count 1"),
+            std::string::npos);
+  ValidatePrometheusText(text);
+}
+
+TEST(MetricsExpositionTest, JsonCarriesCountersAndHistograms) {
+  std::string json = GoldenRegistry()->RenderJson();
+  EXPECT_NE(json.find("\"pdb_queries_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"weird.name-1\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"temp_delta\":-5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[0,1],[1,1],[3,1],[11,1]]"),
+            std::string::npos);
+  // Balanced braces/brackets (no string in the payload contains either).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, NullTraceSpanIsInert) {
+  TraceSpan span(nullptr, TracePhase::kDpll);
+  span.SetPhase(TracePhase::kLifted);
+  span.AddCounter("decisions", 1);
+  span.End();  // must not crash
+}
+
+TEST(TraceTest, SpanNestingAndTopLevel) {
+  QueryTrace trace;
+  {
+    TraceSpan outer(&trace, TracePhase::kDpll);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      TraceSpan inner(&trace, TracePhase::kCacheProbe);
+      inner.AddCounter("hit", 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    outer.AddCounter("decisions", 42);
+  }
+  trace.Finish();
+  auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: outer first.
+  EXPECT_EQ(spans[0].phase, TracePhase::kDpll);
+  EXPECT_EQ(spans[1].phase, TracePhase::kCacheProbe);
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].duration_ns,
+            spans[0].start_ns + spans[0].duration_ns);
+  // The nested probe span is excluded from the top-level breakdown.
+  EXPECT_EQ(trace.TopLevelNs(), spans[0].duration_ns);
+  EXPECT_EQ(trace.PhaseNs(TracePhase::kCacheProbe), spans[1].duration_ns);
+  EXPECT_GT(trace.PhaseNs(TracePhase::kDpll),
+            trace.PhaseNs(TracePhase::kCacheProbe));
+  EXPECT_GE(trace.total_ns(), trace.TopLevelNs());
+
+  std::string text = trace.ToString();
+  EXPECT_NE(text.find("dpll"), std::string::npos);
+  EXPECT_NE(text.find("cache_probe"), std::string::npos);
+  EXPECT_NE(text.find("decisions=42"), std::string::npos);
+}
+
+TEST(TraceTest, FinishIsIdempotent) {
+  QueryTrace trace;
+  trace.Finish();
+  uint64_t t1 = trace.total_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  trace.Finish();
+  EXPECT_EQ(trace.total_ns(), t1);
+}
+
+TEST(TraceTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(TracePhaseName(TracePhase::kParse), "parse");
+  EXPECT_STREQ(TracePhaseName(TracePhase::kSafetyCheck), "safety_check");
+  EXPECT_STREQ(TracePhaseName(TracePhase::kMonteCarlo), "monte_carlo");
+}
+
+TEST(TraceTest, TracedSessionQueryCarriesPhases) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+
+  QueryOptions untraced;
+  auto plain = session.Query(kSafeQuery, untraced);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->trace, nullptr);
+
+  QueryOptions traced;
+  traced.trace = true;
+  auto safe = session.Query("S(x,y), T(y)", traced);
+  ASSERT_TRUE(safe.ok());
+  ASSERT_NE(safe->trace, nullptr);
+  EXPECT_GT(safe->trace->PhaseNs(TracePhase::kParse), 0u);
+  EXPECT_GT(safe->trace->PhaseNs(TracePhase::kCacheProbe), 0u);
+  EXPECT_GT(safe->trace->PhaseNs(TracePhase::kLifted), 0u);
+  EXPECT_EQ(safe->trace->PhaseNs(TracePhase::kDpll), 0u);
+
+  auto unsafe = session.Query(kUnsafeQuery, traced);
+  ASSERT_TRUE(unsafe.ok());
+  ASSERT_NE(unsafe->trace, nullptr);
+  // The lifted attempt failed Unsupported: it shows up as the safety
+  // check, and the work lands in lineage + dpll.
+  EXPECT_GT(unsafe->trace->PhaseNs(TracePhase::kSafetyCheck), 0u);
+  EXPECT_GT(unsafe->trace->PhaseNs(TracePhase::kLineage), 0u);
+  EXPECT_GT(unsafe->trace->PhaseNs(TracePhase::kDpll), 0u);
+  EXPECT_EQ(unsafe->trace->PhaseNs(TracePhase::kLifted), 0u);
+  // DPLL span carries its decision counter.
+  bool saw_decisions = false;
+  for (const auto& span : unsafe->trace->spans()) {
+    if (span.phase != TracePhase::kDpll) continue;
+    for (const auto& c : span.counters) {
+      if (c.name == "decisions" && c.value > 0) saw_decisions = true;
+    }
+  }
+  EXPECT_TRUE(saw_decisions);
+}
+
+TEST(TraceTest, CacheHitTraceHasProbeButNoExecution) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  QueryOptions traced;
+  traced.trace = true;
+  ASSERT_TRUE(session.Query(kUnsafeQuery, traced).ok());
+  auto hit = session.Query(kUnsafeQuery, traced);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(session.result_cache_hits(), 1u);
+  ASSERT_NE(hit->trace, nullptr);
+  EXPECT_GT(hit->trace->PhaseNs(TracePhase::kCacheProbe), 0u);
+  EXPECT_EQ(hit->trace->PhaseNs(TracePhase::kDpll), 0u);
+  bool saw_hit_counter = false;
+  for (const auto& span : hit->trace->spans()) {
+    if (span.phase != TracePhase::kCacheProbe) continue;
+    for (const auto& c : span.counters) {
+      if (c.name == "hit" && c.value == 1) saw_hit_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_hit_counter);
+}
+
+TEST(TraceTest, RingBufferKeepsNewestFirstAndEvicts) {
+  ProbDatabase pdb(HardDatabase(3));
+  SessionOptions opts;
+  opts.num_threads = 1;
+  opts.trace_ring_size = 2;
+  Session session(&pdb, opts);
+  QueryOptions traced;
+  traced.trace = true;
+  auto a1 = session.Query("R(x)", traced);
+  auto a2 = session.Query("T(y)", traced);
+  auto a3 = session.Query(kSafeQuery, traced);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(a3.ok());
+
+  // Untraced queries never enter the ring.
+  ASSERT_TRUE(session.Query("S(x,y), T(y)").ok());
+
+  auto traces = session.recent_traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0], a3->trace);  // newest first
+  EXPECT_EQ(traces[1], a2->trace);
+  for (const auto& t : traces) EXPECT_GT(t->total_ns(), 0u);
+}
+
+TEST(TraceTest, TopLevelSpansCoverEndToEndWithinTenPercent) {
+  // Acceptance: on a grounded (DPLL-dominated) query, the sum of
+  // non-nested span durations accounts for >= 90% of the end-to-end
+  // latency, i.e. the trace does not lose the query's time budget in
+  // untimed gaps.
+  ProbDatabase pdb(HardDatabase(6));
+  Session session(&pdb, {.num_threads = 1});
+  QueryOptions traced;
+  traced.trace = true;
+  auto answer = session.Query(kUnsafeQuery, traced);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_NE(answer->trace, nullptr);
+  uint64_t total = answer->trace->total_ns();
+  uint64_t top = answer->trace->TopLevelNs();
+  ASSERT_GT(total, 0u);
+  EXPECT_LE(top, total);
+  EXPECT_GE(static_cast<double>(top), 0.9 * static_cast<double>(total))
+      << answer->trace->ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Session integration: tickers vs CumulativeReport, overlays, answers API
+// ---------------------------------------------------------------------------
+
+TEST(SessionMetricsTest, TickersMatchCumulativeReportAfterMixedWorkload) {
+  ProbDatabase pdb(HardDatabase(4));
+  Session session(&pdb, {.num_threads = 2});
+
+  QueryOptions exact;
+  exact.exec.num_threads = 2;
+  ASSERT_TRUE(session.Query(kSafeQuery, exact).ok());  // lifted
+
+  // Sampled before the exact run: once the exact run populates the shared
+  // WMC cache, even a 1-decision budget resolves this query exactly.
+  QueryOptions sampled;
+  sampled.prefer_lifted = false;
+  sampled.max_dpll_decisions = 1;  // force the Monte Carlo fallback
+  sampled.monte_carlo_samples = 20000;
+  auto mc = session.Query(kUnsafeQuery, sampled);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_EQ(mc->method, InferenceMethod::kMonteCarlo);
+
+  ASSERT_TRUE(session.Query(kUnsafeQuery, exact).ok());  // grounded DPLL
+  ASSERT_TRUE(session.Query(kUnsafeQuery, exact).ok());  // cache hit
+
+  ConjunctiveQuery cq({Atom("S", {Term::Var("x"), Term::Var("y")}),
+                       Atom("T", {Term::Var("y")})});
+  ASSERT_TRUE(session.QueryWithAnswers(cq, {"x"}, exact).ok());
+
+  ExecReport report = session.CumulativeReport();
+  MetricsSnapshot snap = session.SnapshotMetrics();
+  auto counter = [&](const char* name) { return snap.counters.at(name); };
+
+  // Every counter that mirrors a CumulativeReport field must agree with it
+  // exactly: both sides are folded from the same per-query ExecReports
+  // under the session lock.
+  EXPECT_EQ(counter("pdb_exec_tasks_total"), report.tasks_run);
+  EXPECT_EQ(counter("pdb_mc_samples_total"), report.samples_drawn);
+  EXPECT_EQ(counter("pdb_mc_batches_total"), report.mc_batches);
+  EXPECT_EQ(counter("pdb_dpll_decisions_total"), report.dpll_decisions);
+  EXPECT_EQ(counter("pdb_dpll_cache_hits_total"), report.cache_hits);
+  EXPECT_EQ(counter("pdb_dpll_component_splits_total"),
+            report.dpll_component_splits);
+  EXPECT_EQ(counter("pdb_dpll_parallel_splits_total"),
+            report.dpll_parallel_splits);
+  EXPECT_EQ(counter("pdb_wmc_shared_hits_total"), report.wmc_shared_hits);
+  EXPECT_EQ(counter("pdb_wmc_shared_misses_total"), report.wmc_shared_misses);
+  EXPECT_EQ(counter("pdb_wmc_shared_inserts_total"),
+            report.wmc_shared_inserts);
+  EXPECT_EQ(counter("pdb_wmc_shared_evictions_total"),
+            report.wmc_shared_evictions);
+  EXPECT_EQ(snap.gauges.at("pdb_wmc_shared_bytes"),
+            static_cast<int64_t>(report.wmc_shared_bytes));
+
+  // Lifecycle tickers.
+  EXPECT_EQ(counter("pdb_queries_total"), session.queries_served());
+  EXPECT_EQ(counter("pdb_query_errors_total"), 0u);
+  EXPECT_GE(counter("pdb_result_cache_hits_total"), 1u);
+  EXPECT_GE(counter("pdb_queries_lifted_total"), 1u);
+  EXPECT_GE(counter("pdb_queries_grounded_exact_total"), 1u);
+  EXPECT_GE(counter("pdb_queries_monte_carlo_total"), 1u);
+  EXPECT_EQ(snap.histograms.at("pdb_query_latency_us").count,
+            session.queries_served());
+  EXPECT_EQ(snap.gauges.at("pdb_result_cache_entries"),
+            static_cast<int64_t>(session.cache_size()));
+
+  // Parse errors tick pdb_query_errors_total.
+  EXPECT_FALSE(session.Query("R(x").ok());
+  EXPECT_EQ(session.SnapshotMetrics().counters.at("pdb_query_errors_total"),
+            1u);
+}
+
+TEST(SessionMetricsTest, ExecReportToStringShowsSharedCacheLines) {
+  ExecReport report;
+  report.num_threads = 2;
+  report.wmc_shared_inserts = 3;
+  report.wmc_shared_evictions = 2;
+  report.wmc_shared_bytes = 4096;
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("3 shared WMC inserts"), std::string::npos);
+  EXPECT_NE(text.find("2 shared WMC evictions"), std::string::npos);
+  EXPECT_NE(text.find("4096 shared WMC bytes"), std::string::npos);
+  ExecReport zero;
+  EXPECT_EQ(zero.ToString().find("shared WMC"), std::string::npos);
+}
+
+TEST(SessionMetricsTest, AnswerInfoSurfacesMethodAndStdError) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  ConjunctiveQuery cq({Atom("R", {Term::Var("x")}),
+                       Atom("S", {Term::Var("x"), Term::Var("y")}),
+                       Atom("T", {Term::Var("y")})});
+
+  QueryOptions sampled;
+  sampled.prefer_lifted = false;
+  sampled.max_dpll_decisions = 1;  // force sampling per tuple
+  sampled.monte_carlo_samples = 5000;
+  std::vector<AnswerTupleInfo> info;
+  auto rows = session.QueryWithAnswers(cq, {"x"}, sampled, &info);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(info.size(), rows->size());
+  ASSERT_GT(info.size(), 0u);
+  for (const auto& i : info) {
+    EXPECT_EQ(i.method, InferenceMethod::kMonteCarlo);
+    EXPECT_FALSE(i.exact);
+    EXPECT_GT(i.std_error, 0.0);
+    EXPECT_FALSE(i.explanation.empty());
+  }
+
+  QueryOptions exact;
+  std::vector<AnswerTupleInfo> exact_info;
+  ASSERT_TRUE(session.QueryWithAnswers(cq, {"x"}, exact, &exact_info).ok());
+  ASSERT_EQ(exact_info.size(), info.size());
+  for (const auto& i : exact_info) {
+    EXPECT_TRUE(i.exact);
+    EXPECT_EQ(i.std_error, 0.0);
+  }
+}
+
+TEST(SessionMetricsTest, SqlWithStderrDrivesAdaptiveSampling) {
+  ProbDatabase pdb(HardSqlDatabase(4));
+  Session session(&pdb, {.num_threads = 1});
+  QueryOptions options;
+  options.prefer_lifted = false;
+  options.max_dpll_decisions = 1;  // force the Monte Carlo fallback
+  options.monte_carlo_samples = 1u << 22;  // cap, not the stop rule
+  auto answer = session.QuerySqlBoolean(
+      "SELECT PROB() FROM R, S, T WHERE R.x = S.x AND S.y = T.y "
+      "WITH STDERR 0.02",
+      options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->method, InferenceMethod::kMonteCarlo);
+  EXPECT_FALSE(answer->exact);
+  EXPECT_GT(answer->std_error, 0.0);
+  EXPECT_LE(answer->std_error, 0.02);
+  // The adaptive estimator stops early: far fewer samples than the cap.
+  EXPECT_LT(answer->report.samples_drawn, uint64_t{1} << 22);
+  EXPECT_GT(answer->report.mc_batches, 0u);
+}
+
+TEST(SessionMetricsTest, TracedSqlStatementHasCompileSpan) {
+  ProbDatabase pdb(HardSqlDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  QueryOptions traced;
+  traced.trace = true;
+  auto answer = session.QuerySqlBoolean(
+      "SELECT PROB() FROM R, S WHERE R.x = S.x", traced);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_NE(answer->trace, nullptr);
+  EXPECT_GT(answer->trace->PhaseNs(TracePhase::kCompile), 0u);
+  EXPECT_GT(answer->trace->PhaseNs(TracePhase::kLifted), 0u);
+  auto snap = session.SnapshotMetrics();
+  EXPECT_EQ(snap.histograms.at("pdb_sql_statement_latency_us").count, 1u);
+}
+
+TEST(SessionMetricsTest, ScrapersRaceQueriesCleanly) {
+  // Queries, scrapes, and trace reads from concurrent threads; run under
+  // TSan in CI.
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 2});
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string text = session.MetricsText();
+      EXPECT_NE(text.find("pdb_queries_total"), std::string::npos);
+      (void)session.MetricsJson();
+      (void)session.recent_traces();
+      (void)session.CumulativeReport();
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&session, t] {
+      QueryOptions options;
+      options.trace = (t % 2 == 0);
+      options.exec.num_threads = 2;
+      for (int i = 0; i < 8; ++i) {
+        auto answer = session.Query(i % 2 == 0 ? kSafeQuery : kUnsafeQuery,
+                                    options);
+        EXPECT_TRUE(answer.ok());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(session.SnapshotMetrics().counters.at("pdb_queries_total"),
+            session.queries_served());
+}
+
+}  // namespace
+}  // namespace pdb

@@ -144,6 +144,56 @@ TEST(SqlQueryTest, MismatchedEntryPointsAreRejected) {
       engine.QuerySqlAnswers("SELECT PROB() FROM Customer").ok());
 }
 
+TEST(SqlParseTest, WithStderrClause) {
+  auto parsed = ParseSql(
+      "SELECT PROB() FROM Customer c, Orders o WHERE c.id = o.id "
+      "WITH STDERR 0.005");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->target_stderr, 0.005);
+
+  // Absent clause leaves the default.
+  auto plain = ParseSql("SELECT PROB() FROM Customer");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->target_stderr, 0.0);
+
+  // Integer bounds, scientific notation, and lowercase keywords all parse.
+  EXPECT_DOUBLE_EQ(
+      ParseSql("SELECT PROB() FROM Customer WITH STDERR 1")->target_stderr,
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      ParseSql("select prob() from Customer with stderr 2.5e-3")
+          ->target_stderr,
+      0.0025);
+}
+
+TEST(SqlParseTest, WithStderrErrors) {
+  // Missing/garbled clause pieces.
+  EXPECT_FALSE(ParseSql("SELECT PROB() FROM Customer WITH").ok());
+  EXPECT_FALSE(ParseSql("SELECT PROB() FROM Customer WITH STDERR").ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT PROB() FROM Customer WITH TIMEOUT 0.1").ok());
+  // The target must be positive.
+  EXPECT_FALSE(ParseSql("SELECT PROB() FROM Customer WITH STDERR 0").ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT PROB() FROM Customer WITH STDERR 0.0").ok());
+  // Floats stay confined to WITH STDERR: WHERE literals reject them...
+  EXPECT_FALSE(
+      ParseSql("SELECT PROB() FROM Customer WHERE id = 1.5").ok());
+  // ...and qualified column refs still tokenize as ident '.' ident.
+  EXPECT_TRUE(
+      ParseSql("SELECT PROB() FROM Customer c WHERE c.id = 1").ok());
+}
+
+TEST(SqlCompileTest, WithStderrSurvivesCompilation) {
+  Database db = ShopDb();
+  auto compiled = CompileSql(
+      "SELECT PROB() FROM Customer c, Orders o WHERE c.id = o.id "
+      "WITH STDERR 0.01",
+      db);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_DOUBLE_EQ(compiled->target_stderr, 0.01);
+}
+
 TEST(SqlQueryTest, SqlMatchesUcqPath) {
   ProbDatabase engine(ShopDb());
   auto via_sql = engine.QuerySqlBoolean(
