@@ -17,6 +17,7 @@
 #include "kc/order.h"
 #include "logic/parser.h"
 #include "obs/trace.h"
+#include "storage/index_cache.h"
 #include "util/big_int.h"
 #include "util/rational.h"
 #include "wmc/dpll.h"
@@ -42,6 +43,154 @@ void BM_LineageConstruction(benchmark::State& state) {
                           static_cast<int64_t>(db.TupleCount()));
 }
 BENCHMARK(BM_LineageConstruction)->Arg(32)->Arg(128)->Arg(512);
+
+// Binary path relations for the compiled-join benches: Sk(i, (i+1) mod n).
+// `head_rows` bounds S1 separately so the cost-based order can be forced to
+// start from a small head relation.
+Database ChainJoinDatabase(size_t head_rows, size_t n) {
+  Database db;
+  auto add = [&](const char* name, size_t rows) {
+    Relation rel(name, Schema::Anonymous(2));
+    for (size_t i = 0; i < rows; ++i) {
+      PDB_CHECK(rel.AddTuple({Value(static_cast<int64_t>(i)),
+                              Value(static_cast<int64_t>((i + 1) % n))},
+                             0.5)
+                    .ok());
+    }
+    PDB_CHECK(db.AddRelation(std::move(rel)).ok());
+  };
+  add("S1", head_rows);
+  add("S2", n);
+  add("S3", n);
+  return db;
+}
+
+// M7: compiled join programs vs. the syntactic atom order on an adversarial
+// chain query. The query is written S1, S3, S2 — syntactically S3 shares no
+// variable with S1, so the naive order enumerates the n x n cross product
+// before S2 prunes it. The cost-based order rewrites it to the chain
+// S1 -> S2 -> S3 where every step after the first is an indexed lookup.
+void BM_CqJoinChain(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bool cost_based = state.range(1) != 0;
+  Database db = ChainJoinDatabase(n, n);
+  ConjunctiveQuery cq(
+      {Atom("S1", {Term::Var("x0"), Term::Var("x1")}),
+       Atom("S3", {Term::Var("x2"), Term::Var("x3")}),
+       Atom("S2", {Term::Var("x1"), Term::Var("x2")})});
+  GroundingOptions grounding;
+  grounding.order =
+      cost_based ? AtomOrderPolicy::kCostBased : AtomOrderPolicy::kSyntactic;
+  for (auto _ : state) {
+    size_t matches = 0;
+    Status st = EnumerateCqMatches(
+        cq, db, [&](const CqMatch&) { ++matches; }, grounding);
+    PDB_CHECK(st.ok() && matches == n);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CqJoinChain)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
+
+// M7: the star-shaped adversary. Written A(x), B(y), D(z), C(x,y,z), the
+// syntactic order enumerates the n^3 cross product of the three unary
+// atoms before the spoke relation filters it; the cost-based order picks
+// one unary, then C (one bound position beats zero), then the remaining
+// unaries as fully-bound lookups — O(n) total.
+void BM_CqJoinStar(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bool cost_based = state.range(1) != 0;
+  Database db;
+  for (const char* name : {"A", "B", "D"}) {
+    Relation rel(name, Schema::Anonymous(1));
+    for (size_t i = 0; i < n; ++i) {
+      PDB_CHECK(rel.AddTuple({Value(static_cast<int64_t>(i))}, 0.5).ok());
+    }
+    PDB_CHECK(db.AddRelation(std::move(rel)).ok());
+  }
+  Relation c("C", Schema::Anonymous(3));
+  for (size_t i = 0; i < n; ++i) {
+    Value v(static_cast<int64_t>(i));
+    PDB_CHECK(c.AddTuple({v, v, v}, 0.5).ok());
+  }
+  PDB_CHECK(db.AddRelation(std::move(c)).ok());
+  ConjunctiveQuery cq(
+      {Atom("A", {Term::Var("x")}), Atom("B", {Term::Var("y")}),
+       Atom("D", {Term::Var("z")}),
+       Atom("C", {Term::Var("x"), Term::Var("y"), Term::Var("z")})});
+  GroundingOptions grounding;
+  grounding.order =
+      cost_based ? AtomOrderPolicy::kCostBased : AtomOrderPolicy::kSyntactic;
+  for (auto _ : state) {
+    size_t matches = 0;
+    Status st = EnumerateCqMatches(
+        cq, db, [&](const CqMatch&) { ++matches; }, grounding);
+    PDB_CHECK(st.ok() && matches == n);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CqJoinStar)->Args({32, 0})->Args({32, 1})->Args({64, 0})->Args(
+    {64, 1});
+
+// M7: cold vs. session-cached hash indexes. A tiny head relation joined
+// through two large ones: the probe work is a handful of lookups, so the
+// per-query cost is dominated by building the two 8192-row indexes — which
+// the cached variant pays exactly once across all iterations.
+void BM_CqJoinIndexCache(benchmark::State& state) {
+  bool cached = state.range(0) != 0;
+  constexpr size_t kRows = 8192;
+  Database db = ChainJoinDatabase(8, kRows);
+  ConjunctiveQuery cq(
+      {Atom("S1", {Term::Var("x0"), Term::Var("x1")}),
+       Atom("S2", {Term::Var("x1"), Term::Var("x2")}),
+       Atom("S3", {Term::Var("x2"), Term::Var("x3")})});
+  IndexCache cache;
+  ExecContext ctx;
+  if (cached) ctx.set_index_cache(&cache);
+  GroundingOptions grounding;
+  grounding.exec = &ctx;
+  for (auto _ : state) {
+    size_t matches = 0;
+    Status st = EnumerateCqMatches(
+        cq, db, [&](const CqMatch&) { ++matches; }, grounding);
+    PDB_CHECK(st.ok() && matches == 8);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_CqJoinIndexCache)->Arg(0)->Arg(1);
+
+// M7: per-tuple lineage construction fanned out over the pool. Thread
+// count 1 is the sequential builder (no ExecContext); higher counts force
+// the parallel path (thresholds dropped to 1) so the row measures the full
+// split/absorb overhead against the identical sequential output.
+void BM_LineageParallel(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  Rng gen(23);
+  Database db = bench::H0Database(64, &gen);
+  auto ucq = FoToUcq(*ParseUcqShorthand("R(x), S(x,y), T(y)"));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  ExecContext ctx(pool.get());
+  for (auto _ : state) {
+    FormulaManager mgr;
+    GroundingOptions grounding;
+    if (threads > 1) {
+      grounding.exec = &ctx;
+      grounding.parallel_min_rows = 1;
+      grounding.parallel_min_matches = 1;
+    }
+    auto lineage = BuildUcqLineage(*ucq, db, &mgr, grounding);
+    PDB_CHECK(lineage.ok());
+    benchmark::DoNotOptimize(lineage);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_LineageParallel)->DenseRange(1, 8)->UseRealTime();
 
 void BM_FoLineageConstruction(benchmark::State& state) {
   // Universal query: grounds over domain^2 pairs.

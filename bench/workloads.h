@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/database.h"
@@ -28,19 +29,23 @@ struct BenchRecord {
 };
 
 /// Writes `records` as a JSON array of objects, e.g.
-///   [{"name": "BM_X", "wall_ms": 1.5, "samples_per_sec": 2e6, "threads": 4}]
+///   [{"name": "BM_X", "wall_ms": 1.5, "samples_per_sec": 2e6, "threads": 4,
+///     "hardware_concurrency": 8}]
 /// so the perf trajectory is trackable across PRs (diff-friendly: one row
-/// per line, fixed key order).
+/// per line, fixed key order). `hardware_concurrency` records the machine
+/// the row was measured on — thread-scaling numbers are meaningless without
+/// it when comparing runs across hosts.
 inline void WriteBenchJson(const std::string& path,
                            const std::vector<BenchRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   PDB_CHECK(f != nullptr);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
   std::fprintf(f, "[\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::fprintf(
-        f, "  {\"name\": \"%s\", \"wall_ms\": %.6g, \"samples_per_sec\": %.6g, \"threads\": %d}%s\n",
-        r.name.c_str(), r.wall_ms, r.samples_per_sec, r.threads,
+        f, "  {\"name\": \"%s\", \"wall_ms\": %.6g, \"samples_per_sec\": %.6g, \"threads\": %d, \"hardware_concurrency\": %d}%s\n",
+        r.name.c_str(), r.wall_ms, r.samples_per_sec, r.threads, hw,
         i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -312,6 +312,70 @@ NodeId FormulaManager::ExportTo(NodeId root, FormulaManager* dst) const {
   return map.at(root);
 }
 
+std::vector<NodeId> FormulaManager::AbsorbFrom(
+    const FormulaManager& src, const std::vector<NodeId>& roots) {
+  // Reachable set across all roots, replayed in ascending src id order:
+  // children precede parents (Intern appends), so every child is mapped
+  // before its parent is rebuilt. Unlike ExportTo this goes through the
+  // public simplifying constructors — the old→new mapping need not be
+  // monotone because dedup against pre-existing nodes is the point.
+  // Src ids are dense, so the reachable set and the old→new mapping are
+  // flat arrays, not hash containers: absorb is the serial merge step of
+  // parallel lineage construction, and its per-node cost is the bottleneck
+  // there.
+  const size_t n = src.nodes_.size();
+  std::vector<uint8_t> reachable(n, 0);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    if (!src.is_const(r)) stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    if (src.is_const(cur) || reachable[cur]) continue;
+    reachable[cur] = 1;
+    for (NodeId c : src.children(cur)) stack.push_back(c);
+  }
+  std::vector<NodeId> map(n, 0);
+  map[src.False()] = False();
+  map[src.True()] = True();
+  std::vector<NodeId> kids;
+  for (size_t old = 2; old < n; ++old) {
+    if (!reachable[old]) continue;
+    const Node& node = src.nodes_[old];
+    NodeId mapped = False();
+    switch (node.kind) {
+      case FormulaKind::kFalse:
+        mapped = False();
+        break;
+      case FormulaKind::kTrue:
+        mapped = True();
+        break;
+      case FormulaKind::kVar:
+        mapped = Var(node.var);
+        break;
+      case FormulaKind::kNot:
+        mapped = Not(map[src.children(old)[0]]);
+        break;
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        kids.clear();
+        kids.reserve(node.child_count);
+        for (NodeId c : src.children(old)) kids.push_back(map[c]);
+        mapped = node.kind == FormulaKind::kAnd ? And(kids) : Or(kids);
+        break;
+      }
+    }
+    map[static_cast<NodeId>(old)] = mapped;
+  }
+  std::vector<NodeId> out;
+  out.reserve(roots.size());
+  for (NodeId r : roots) {
+    out.push_back(src.is_const(r) ? r : map[r]);
+  }
+  return out;
+}
+
 size_t FormulaManager::CountReachable(NodeId f) const {
   std::unordered_set<NodeId> seen;
   std::vector<NodeId> stack{f};

@@ -121,6 +121,21 @@ class FormulaManager {
   /// into distinct destinations are safe.
   NodeId ExportTo(NodeId root, FormulaManager* dst) const;
 
+  /// Re-interns the subDAGs rooted at `roots` from `src` into `this`
+  /// (which, unlike `ExportTo`'s destination, may already hold nodes) and
+  /// returns the corresponding roots here, in order. Nodes are replayed in
+  /// ascending `src` id order through the public simplifying constructors,
+  /// so the result is exactly what building the same formulas directly in
+  /// `this` would have produced — structurally deduplicated against
+  /// everything already interned, with identical node ids. This is the
+  /// merge half of parallel lineage construction: workers ground disjoint
+  /// match chunks into private managers (sharing global VarIds), then the
+  /// owner absorbs the chunks in deterministic chunk order, making the
+  /// merged lineage bit-identical to a sequential build. Reads `src`
+  /// const-only.
+  std::vector<NodeId> AbsorbFrom(const FormulaManager& src,
+                                 const std::vector<NodeId>& roots);
+
   /// Releases the cofactor memo table (the unique tables stay).
   void ClearCofactorCache() { cofactor_cache_.clear(); }
 

@@ -1,8 +1,16 @@
 #include "boolean/lineage.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 
+#include "exec/context.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "storage/index_cache.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -10,7 +18,8 @@ namespace pdb {
 
 namespace {
 
-// Assigns one Boolean variable per (relation, row), lazily.
+// Assigns one Boolean variable per (relation, row), lazily. Used by the FO
+// grounder, which addresses tuples by value rather than by row id.
 class VarTable {
  public:
   VarId VarFor(const std::string& relation, size_t row, double prob) {
@@ -29,6 +38,41 @@ class VarTable {
 
  private:
   std::map<std::pair<std::string, size_t>, VarId> ids_;
+  std::vector<LineageVar> vars_;
+  std::vector<double> probs_;
+};
+
+// The UCQ grounder's variable table: per-relation dense row -> VarId
+// arrays instead of an ordered map of (name, row) pairs, so the per-match
+// hot path is one vector index instead of a string-keyed tree walk.
+// Assignment order (and hence VarId numbering) is identical to VarTable's
+// first-use order as long as rows are visited in the same sequence.
+class DenseVarTable {
+ public:
+  VarId VarFor(const Relation* rel, size_t row) {
+    std::vector<int64_t>& ids = tables_[rel];
+    if (ids.empty()) ids.assign(rel->size(), -1);
+    int64_t& id = ids[row];
+    if (id < 0) {
+      id = static_cast<int64_t>(vars_.size());
+      vars_.push_back({rel->name(), row});
+      probs_.push_back(rel->prob(row));
+    }
+    return static_cast<VarId>(id);
+  }
+
+  /// Lookup of an already-assigned id (safe to call concurrently with other
+  /// readers; the row must have been assigned by a prior VarFor).
+  VarId IdOf(const Relation* rel, size_t row) const {
+    return static_cast<VarId>(tables_.at(rel)[row]);
+  }
+
+  size_t size() const { return vars_.size(); }
+  std::vector<LineageVar> TakeVars() { return std::move(vars_); }
+  std::vector<double> TakeProbs() { return std::move(probs_); }
+
+ private:
+  std::unordered_map<const Relation*, std::vector<int64_t>> tables_;
   std::vector<LineageVar> vars_;
   std::vector<double> probs_;
 };
@@ -129,11 +173,16 @@ class FoGrounder {
   VarTable* vars_;
 };
 
-// Backtracking CQ match enumeration with per-(relation, bound positions)
-// hash indexes.
-class CqMatcher {
+// The naive backtracking CQ matcher: joins atoms in syntactic order,
+// re-derives bound positions per visit, binds variables through a
+// name-keyed map. Kept verbatim (minus the old per-visit identity-vector
+// allocation for unbound atoms) as the reference the compiled engine is
+// differentially tested against: it emits matches in lexicographic order
+// of the per-atom row vector, because hash-index buckets list rows in
+// ascending order and full scans do too.
+class ReferenceCqMatcher {
  public:
-  CqMatcher(const ConjunctiveQuery& cq, const Database& db)
+  ReferenceCqMatcher(const ConjunctiveQuery& cq, const Database& db)
       : cq_(cq), db_(db) {}
 
   Status Run(const std::function<void(const CqMatch&)>& callback) {
@@ -166,7 +215,6 @@ class CqMatcher {
     // repeated variables within the atom.
     std::vector<size_t> bound_pos;
     Tuple bound_vals;
-    std::map<std::string, size_t> var_first_pos;
     for (size_t j = 0; j < atom.args.size(); ++j) {
       const Term& t = atom.args[j];
       if (t.is_constant()) {
@@ -180,17 +228,7 @@ class CqMatcher {
         }
       }
     }
-    const std::vector<size_t>* rows;
-    std::vector<size_t> all_rows;
-    if (!bound_pos.empty()) {
-      const HashIndex& index = IndexFor(atom_idx, rel, bound_pos);
-      rows = &index.Lookup(bound_vals);
-    } else {
-      all_rows.resize(rel.size());
-      for (size_t r = 0; r < rel.size(); ++r) all_rows[r] = r;
-      rows = &all_rows;
-    }
-    for (size_t row : *rows) {
+    auto process_row = [&](size_t row) {
       const Tuple& tuple = rel.tuple(row);
       // Bind the free variables of this atom; verify repeated variables.
       std::vector<std::string> newly_bound;
@@ -211,6 +249,13 @@ class CqMatcher {
         Recurse(atom_idx + 1, callback);
       }
       for (const std::string& v : newly_bound) env_.erase(v);
+    };
+    if (!bound_pos.empty()) {
+      const HashIndex& index = IndexFor(atom_idx, rel, bound_pos);
+      for (size_t row : index.Lookup(bound_vals)) process_row(row);
+    } else {
+      // Iterate rows directly instead of materialising an identity vector.
+      for (size_t row = 0; row < rel.size(); ++row) process_row(row);
     }
   }
 
@@ -230,6 +275,370 @@ class CqMatcher {
   std::map<std::string, Value> env_;
   CqMatch match_;
   std::map<std::pair<size_t, std::vector<size_t>>, HashIndex> indexes_;
+};
+
+// ---------------------------------------------------------------------------
+// Compiled join programs
+// ---------------------------------------------------------------------------
+
+// One column of a join step's index key: either a constant from the query
+// or a slot bound by an earlier step.
+struct JoinKeyPart {
+  uint32_t col = 0;
+  int32_t slot = -1;  // >= 0: runtime slot; < 0: use `constant`
+  Value constant;
+};
+
+// One atom of the compiled program, in execution order. All column
+// classification (key / first-binding / repeated-variable check) happens
+// once at compile time; the runtime touches dense slot arrays only.
+struct JoinStep {
+  const Relation* rel = nullptr;
+  uint32_t atom_index = 0;  // position in cq.atoms()
+  std::vector<size_t> key_cols;
+  std::vector<JoinKeyPart> key_parts;  // aligned with key_cols
+  /// (column, slot): first occurrence of a variable — bind the slot.
+  std::vector<std::pair<uint32_t, uint32_t>> binds;
+  /// (column, first column): variable repeated within this atom — verify
+  /// equality between the two columns of the candidate tuple itself (the
+  /// slot is only bound later in the same visit, so it cannot be used).
+  std::vector<std::pair<uint32_t, uint32_t>> checks;
+};
+
+// A CQ lowered to a slot-based join program.
+struct CompiledJoin {
+  std::vector<JoinStep> steps;           // in execution order
+  std::vector<const Relation*> by_atom;  // indexed by original atom index
+  size_t num_slots = 0;
+  size_t num_atoms = 0;
+};
+
+// Greedy selectivity ordering: most bound positions first (constants plus
+// variables bound by already-ordered atoms), smallest relation as the
+// bucket-size estimate on ties, syntactic position as the deterministic
+// final tiebreak. Guarantees connected queries join along shared variables
+// instead of enumerating cross products.
+std::vector<size_t> OrderAtoms(const std::vector<Atom>& atoms,
+                               const std::vector<const Relation*>& rels,
+                               AtomOrderPolicy policy) {
+  std::vector<size_t> order(atoms.size());
+  if (policy == AtomOrderPolicy::kSyntactic) {
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    return order;
+  }
+  std::vector<bool> chosen(atoms.size(), false);
+  std::map<std::string, bool> bound_vars;
+  for (size_t step = 0; step < atoms.size(); ++step) {
+    size_t best = atoms.size();
+    size_t best_bound = 0;
+    size_t best_size = 0;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (chosen[i]) continue;
+      size_t bound = 0;
+      for (const Term& t : atoms[i].args) {
+        if (t.is_constant() || bound_vars.count(t.var())) ++bound;
+      }
+      bool better =
+          best == atoms.size() || bound > best_bound ||
+          (bound == best_bound && rels[i]->size() < best_size);
+      if (better) {
+        best = i;
+        best_bound = bound;
+        best_size = rels[i]->size();
+      }
+    }
+    chosen[best] = true;
+    order[step] = best;
+    for (const Term& t : atoms[best].args) {
+      if (t.is_variable()) bound_vars[t.var()] = true;
+    }
+  }
+  return order;
+}
+
+Result<CompiledJoin> CompileJoin(const ConjunctiveQuery& cq,
+                                 const Database& db,
+                                 AtomOrderPolicy policy) {
+  const std::vector<Atom>& atoms = cq.atoms();
+  CompiledJoin plan;
+  plan.num_atoms = atoms.size();
+  plan.by_atom.resize(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    PDB_ASSIGN_OR_RETURN(plan.by_atom[i], db.Get(atoms[i].predicate));
+    if (plan.by_atom[i]->arity() != atoms[i].arity()) {
+      return Status::InvalidArgument(
+          StrFormat("atom %s arity mismatch with relation (%zu vs %zu)",
+                    atoms[i].ToString().c_str(), atoms[i].arity(),
+                    plan.by_atom[i]->arity()));
+    }
+  }
+  std::vector<size_t> order = OrderAtoms(atoms, plan.by_atom, policy);
+  std::unordered_map<std::string, uint32_t> slot_of_var;
+  plan.steps.reserve(atoms.size());
+  for (size_t s = 0; s < order.size(); ++s) {
+    const size_t i = order[s];
+    const Atom& atom = atoms[i];
+    JoinStep step;
+    step.rel = plan.by_atom[i];
+    step.atom_index = static_cast<uint32_t>(i);
+    // First column of each variable within this atom, for repeat checks.
+    std::unordered_map<std::string, uint32_t> first_col;
+    for (size_t j = 0; j < atom.args.size(); ++j) {
+      const Term& t = atom.args[j];
+      if (t.is_constant()) {
+        step.key_cols.push_back(j);
+        JoinKeyPart part;
+        part.col = static_cast<uint32_t>(j);
+        part.constant = t.constant();
+        step.key_parts.push_back(std::move(part));
+        continue;
+      }
+      auto in_atom = first_col.find(t.var());
+      if (in_atom != first_col.end()) {
+        // Repeated variable within this atom: compare the two columns of
+        // the candidate tuple directly.
+        step.checks.emplace_back(static_cast<uint32_t>(j),
+                                 in_atom->second);
+        continue;
+      }
+      first_col.emplace(t.var(), static_cast<uint32_t>(j));
+      auto it = slot_of_var.find(t.var());
+      if (it == slot_of_var.end()) {
+        uint32_t slot = static_cast<uint32_t>(plan.num_slots++);
+        slot_of_var.emplace(t.var(), slot);
+        step.binds.emplace_back(static_cast<uint32_t>(j), slot);
+      } else {
+        // Bound by an earlier step: part of the index key.
+        step.key_cols.push_back(j);
+        JoinKeyPart part;
+        part.col = static_cast<uint32_t>(j);
+        part.slot = static_cast<int32_t>(it->second);
+        step.key_parts.push_back(std::move(part));
+      }
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+// Runs a compiled join program and materialises the match set in the
+// canonical order: lexicographically ascending per-atom row vectors
+// (indexed by *original* atom position), which is exactly the order the
+// reference matcher streams. Canonicalisation makes downstream VarId
+// numbering — and therefore formula structure and DPLL probabilities —
+// invariant under join order, thread count, and cache state.
+class JoinExecutor {
+ public:
+  JoinExecutor(const CompiledJoin& plan, const GroundingOptions& options)
+      : plan_(plan),
+        exec_(options.exec),
+        k_(plan.num_atoms) {}
+
+  // Resolves one hash index per keyed step, through the session cache when
+  // the context carries one (misses build under the shard lock; hits are
+  // free), otherwise locally for this execution only.
+  void PrepareIndexes() {
+    IndexCache* cache = exec_ != nullptr ? exec_->index_cache() : nullptr;
+    indexes_.resize(plan_.steps.size());
+    uint64_t builds = 0;
+    uint64_t hits = 0;
+    for (size_t s = 0; s < plan_.steps.size(); ++s) {
+      const JoinStep& step = plan_.steps[s];
+      if (step.key_cols.empty()) continue;
+      if (cache != nullptr) {
+        bool built = false;
+        indexes_[s] = cache->GetOrBuild(*step.rel, step.key_cols, &built);
+        built ? ++builds : ++hits;
+      } else {
+        indexes_[s] =
+            std::make_shared<const HashIndex>(*step.rel, step.key_cols);
+        ++builds;
+      }
+    }
+    if (exec_ != nullptr) {
+      if (builds > 0) exec_->AddIndexBuilds(builds);
+      if (hits > 0) exec_->AddIndexCacheHits(hits);
+    }
+  }
+
+  void Run(const GroundingOptions& options) {
+    if (k_ == 0) {
+      // An empty conjunction is `true`: exactly one empty match.
+      empty_cq_ = true;
+      if (exec_ != nullptr) exec_->AddLineageMatches(1);
+      return;
+    }
+    PrepareIndexes();
+    // Candidate rows of the first step: an index bucket when the step has
+    // a (necessarily all-constant) key, the whole relation otherwise.
+    const JoinStep& first = plan_.steps[0];
+    const std::vector<size_t>* bucket = nullptr;
+    size_t candidates = first.rel->size();
+    Tuple const_key;
+    if (!first.key_cols.empty()) {
+      for (const JoinKeyPart& part : first.key_parts) {
+        const_key.push_back(part.constant);
+      }
+      bucket = &indexes_[0]->Lookup(const_key);
+      candidates = bucket->size();
+    }
+    size_t chunks = 1;
+    // A one-worker pool cannot overlap anything with the caller, so the
+    // fan-out would be pure chunking overhead.
+    if (exec_ != nullptr && exec_->pool() != nullptr &&
+        exec_->pool()->num_threads() >= 2 &&
+        candidates >= options.parallel_min_rows) {
+      size_t width = exec_->pool()->num_threads() + 1;  // caller joins in
+      chunks = std::min(candidates, 4 * width);
+    }
+    if (chunks <= 1) {
+      WorkerState ws = MakeWorkerState();
+      ws.out = &buf_;
+      RunRange(ws, bucket, 0, candidates);
+    } else {
+      // Each chunk grounds a contiguous range of first-step candidates
+      // into a private buffer; buffers concatenate in chunk order.
+      std::vector<std::vector<uint32_t>> parts =
+          ParallelMap<std::vector<uint32_t>>(exec_, chunks, [&](size_t c) {
+            size_t begin = candidates * c / chunks;
+            size_t end = candidates * (c + 1) / chunks;
+            std::vector<uint32_t> out;
+            WorkerState ws = MakeWorkerState();
+            ws.out = &out;
+            RunRange(ws, bucket, begin, end);
+            return out;
+          });
+      size_t total = 0;
+      for (const auto& part : parts) total += part.size();
+      buf_.reserve(total);
+      for (auto& part : parts) {
+        buf_.insert(buf_.end(), part.begin(), part.end());
+      }
+    }
+    Canonicalize();
+    if (exec_ != nullptr) exec_->AddLineageMatches(num_matches());
+  }
+
+  size_t num_matches() const {
+    return empty_cq_ ? 1 : (k_ == 0 ? 0 : buf_.size() / k_);
+  }
+
+  /// Rows of canonical match `m`, indexed by original atom position.
+  const uint32_t* MatchAt(size_t m) const {
+    size_t physical = perm_.empty() ? m : perm_[m];
+    return buf_.data() + physical * k_;
+  }
+
+  /// Visits matches in canonical order on the calling thread.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (empty_cq_) {
+      fn(static_cast<const uint32_t*>(nullptr));
+      return;
+    }
+    const size_t n = num_matches();
+    for (size_t m = 0; m < n; ++m) fn(MatchAt(m));
+  }
+
+ private:
+  struct WorkerState {
+    std::vector<const Value*> slots;
+    std::vector<Tuple> keys;     // per step, pre-sized key buffers
+    std::vector<uint32_t> rows;  // per original atom index
+    std::vector<uint32_t>* out = nullptr;
+  };
+
+  WorkerState MakeWorkerState() const {
+    WorkerState ws;
+    ws.slots.resize(plan_.num_slots, nullptr);
+    ws.keys.resize(plan_.steps.size());
+    for (size_t s = 0; s < plan_.steps.size(); ++s) {
+      ws.keys[s].resize(plan_.steps[s].key_cols.size());
+    }
+    ws.rows.resize(k_);
+    return ws;
+  }
+
+  // Equality checks for repeated variables, then slot binding. Slots are
+  // pointers into stored tuples, so a bind is one pointer store and there
+  // is nothing to undo on backtrack (re-entry overwrites).
+  bool EnterRow(const JoinStep& step, size_t row, WorkerState& ws) const {
+    const Tuple& tuple = step.rel->tuple(row);
+    for (const auto& [col, first] : step.checks) {
+      if (!(tuple[col] == tuple[first])) return false;
+    }
+    for (const auto& [col, slot] : step.binds) {
+      ws.slots[slot] = &tuple[col];
+    }
+    ws.rows[step.atom_index] = static_cast<uint32_t>(row);
+    return true;
+  }
+
+  void RunRange(WorkerState& ws, const std::vector<size_t>* bucket,
+                size_t begin, size_t end) const {
+    const JoinStep& first = plan_.steps[0];
+    for (size_t i = begin; i < end; ++i) {
+      size_t row = bucket != nullptr ? (*bucket)[i] : i;
+      if (EnterRow(first, row, ws)) RunFrom(1, ws);
+    }
+  }
+
+  void RunFrom(size_t s, WorkerState& ws) const {
+    if (s == plan_.steps.size()) {
+      ws.out->insert(ws.out->end(), ws.rows.begin(), ws.rows.end());
+      return;
+    }
+    const JoinStep& step = plan_.steps[s];
+    if (step.key_cols.empty()) {
+      const size_t n = step.rel->size();
+      for (size_t row = 0; row < n; ++row) {
+        if (EnterRow(step, row, ws)) RunFrom(s + 1, ws);
+      }
+      return;
+    }
+    Tuple& key = ws.keys[s];
+    for (size_t p = 0; p < step.key_parts.size(); ++p) {
+      const JoinKeyPart& part = step.key_parts[p];
+      key[p] = part.slot < 0 ? part.constant : *ws.slots[part.slot];
+    }
+    for (size_t row : indexes_[s]->Lookup(key)) {
+      if (EnterRow(step, row, ws)) RunFrom(s + 1, ws);
+    }
+  }
+
+  // Sorts the match set into canonical (lexicographic) order when the
+  // enumeration order deviated from it. With the syntactic join order the
+  // stream is already canonical — chunk ranges ascend on the first atom's
+  // row and each chunk streams in order — so the common case is a linear
+  // is_sorted scan and no permutation.
+  void Canonicalize() {
+    const size_t n = k_ == 0 ? 0 : buf_.size() / k_;
+    if (n <= 1) return;
+    auto less = [&](size_t a, size_t b) {
+      const uint32_t* pa = buf_.data() + a * k_;
+      const uint32_t* pb = buf_.data() + b * k_;
+      for (size_t i = 0; i < k_; ++i) {
+        if (pa[i] != pb[i]) return pa[i] < pb[i];
+      }
+      return false;
+    };
+    bool sorted = true;
+    for (size_t m = 1; m < n && sorted; ++m) {
+      if (less(m, m - 1)) sorted = false;
+    }
+    if (sorted) return;
+    perm_.resize(n);
+    for (size_t m = 0; m < n; ++m) perm_[m] = m;
+    std::sort(perm_.begin(), perm_.end(), less);
+  }
+
+  const CompiledJoin& plan_;
+  ExecContext* exec_;
+  const size_t k_;
+  bool empty_cq_ = false;
+  std::vector<std::shared_ptr<const HashIndex>> indexes_;
+  std::vector<uint32_t> buf_;  // k_ row ids per match, enumeration order
+  std::vector<size_t> perm_;   // canonical -> physical; empty = identity
 };
 
 }  // namespace
@@ -257,58 +666,151 @@ Result<Lineage> BuildLineage(const FoPtr& sentence, const Database& db,
   return lineage;
 }
 
-Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
-                          const std::function<void(const CqMatch&)>& callback) {
-  CqMatcher matcher(cq, db);
+Status EnumerateCqMatchesReference(
+    const ConjunctiveQuery& cq, const Database& db,
+    const std::function<void(const CqMatch&)>& callback) {
+  ReferenceCqMatcher matcher(cq, db);
   return matcher.Run(callback);
 }
 
+Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
+                          const std::function<void(const CqMatch&)>& callback,
+                          const GroundingOptions& options) {
+  PDB_ASSIGN_OR_RETURN(CompiledJoin plan,
+                       CompileJoin(cq, db, options.order));
+  JoinExecutor ex(plan, options);
+  ex.Run(options);
+  CqMatch match;
+  match.atom_rows.resize(plan.num_atoms);
+  for (size_t i = 0; i < plan.num_atoms; ++i) {
+    match.atom_rows[i].relation = cq.atoms()[i].predicate;
+  }
+  ex.ForEach([&](const uint32_t* rows) {
+    for (size_t i = 0; i < plan.num_atoms; ++i) {
+      match.atom_rows[i].row = rows[i];
+    }
+    callback(match);
+  });
+  return Status::OK();
+}
+
 Result<Lineage> BuildUcqLineage(const Ucq& ucq, const Database& db,
-                                FormulaManager* mgr) {
-  VarTable vars;
+                                FormulaManager* mgr,
+                                const GroundingOptions& options) {
+  ExecContext* exec = options.exec;
+  const size_t nodes_before = mgr->NumNodes();
+  DenseVarTable vars;
   std::vector<NodeId> disjunct_nodes;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    PDB_ASSIGN_OR_RETURN(CompiledJoin plan,
+                         CompileJoin(cq, db, options.order));
+    JoinExecutor ex(plan, options);
+    ex.Run(options);
+    const size_t k = plan.num_atoms;
+    const size_t num_matches = ex.num_matches();
     std::vector<NodeId> term_nodes;
-    Status st = EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
+    term_nodes.reserve(num_matches);
+    const bool parallel_build =
+        exec != nullptr && exec->pool() != nullptr &&
+        exec->pool()->num_threads() >= 2 && k > 0 &&
+        num_matches >= options.parallel_min_matches;
+    if (!parallel_build) {
       std::vector<NodeId> lits;
-      lits.reserve(match.atom_rows.size());
-      for (const LineageVar& lv : match.atom_rows) {
-        const Relation* rel = db.Get(lv.relation).value();
-        double p = rel->prob(lv.row);
-        if (p == 1.0) continue;  // certain tuple contributes no literal
-        lits.push_back(mgr->Var(vars.VarFor(lv.relation, lv.row, p)));
+      ex.ForEach([&](const uint32_t* rows) {
+        lits.clear();
+        for (size_t i = 0; i < k; ++i) {
+          const Relation* rel = plan.by_atom[i];
+          double p = rel->prob(rows[i]);
+          if (p == 1.0) continue;  // certain tuple contributes no literal
+          lits.push_back(mgr->Var(vars.VarFor(rel, rows[i])));
+        }
+        term_nodes.push_back(mgr->And(lits));
+      });
+    } else {
+      // Two-phase parallel construction. Phase 1 (sequential, cheap):
+      // assign VarIds in canonical first-use order, so every worker shares
+      // one global numbering. Phase 2: workers build their chunk's term
+      // nodes in private managers; the owner absorbs the chunks in order.
+      // AbsorbFrom replays nodes through the simplifying constructors, so
+      // the merged manager state — ids included — is exactly what the
+      // sequential loop above would have produced.
+      ex.ForEach([&](const uint32_t* rows) {
+        for (size_t i = 0; i < k; ++i) {
+          const Relation* rel = plan.by_atom[i];
+          if (rel->prob(rows[i]) == 1.0) continue;
+          vars.VarFor(rel, rows[i]);
+        }
+      });
+      struct ChunkBuild {
+        std::unique_ptr<FormulaManager> mgr;
+        std::vector<NodeId> roots;  // one per match of the chunk
+      };
+      const size_t width = exec->pool()->num_threads() + 1;
+      const size_t chunks = std::min(num_matches, 2 * width);
+      std::vector<ChunkBuild> built =
+          ParallelMap<ChunkBuild>(exec, chunks, [&](size_t c) {
+            ChunkBuild out;
+            out.mgr = std::make_unique<FormulaManager>();
+            size_t begin = num_matches * c / chunks;
+            size_t end = num_matches * (c + 1) / chunks;
+            out.roots.reserve(end - begin);
+            std::vector<NodeId> lits;
+            for (size_t m = begin; m < end; ++m) {
+              const uint32_t* rows = ex.MatchAt(m);
+              lits.clear();
+              for (size_t i = 0; i < k; ++i) {
+                const Relation* rel = plan.by_atom[i];
+                if (rel->prob(rows[i]) == 1.0) continue;
+                lits.push_back(out.mgr->Var(vars.IdOf(rel, rows[i])));
+              }
+              out.roots.push_back(out.mgr->And(lits));
+            }
+            return out;
+          });
+      for (const ChunkBuild& chunk : built) {
+        std::vector<NodeId> mapped = mgr->AbsorbFrom(*chunk.mgr,
+                                                     chunk.roots);
+        term_nodes.insert(term_nodes.end(), mapped.begin(), mapped.end());
       }
-      term_nodes.push_back(mgr->And(std::move(lits)));
-    });
-    PDB_RETURN_NOT_OK(st);
+    }
     disjunct_nodes.push_back(mgr->Or(std::move(term_nodes)));
   }
   Lineage lineage;
   lineage.root = mgr->Or(std::move(disjunct_nodes));
   lineage.vars = vars.TakeVars();
   lineage.probs = vars.TakeProbs();
+  if (exec != nullptr) {
+    exec->AddLineageNodes(mgr->NumNodes() - nodes_before);
+  }
   return lineage;
 }
 
-Result<DnfLineage> BuildUcqDnf(const Ucq& ucq, const Database& db) {
-  VarTable vars;
+Result<DnfLineage> BuildUcqDnf(const Ucq& ucq, const Database& db,
+                               const GroundingOptions& options) {
+  DenseVarTable vars;
   DnfLineage out;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
-    Status st = EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
+    PDB_ASSIGN_OR_RETURN(CompiledJoin plan,
+                         CompileJoin(cq, db, options.order));
+    JoinExecutor ex(plan, options);
+    ex.Run(options);
+    const size_t k = plan.num_atoms;
+    ex.ForEach([&](const uint32_t* rows) {
       std::vector<VarId> term;
-      term.reserve(match.atom_rows.size());
-      for (const LineageVar& lv : match.atom_rows) {
-        const Relation* rel = db.Get(lv.relation).value();
-        term.push_back(vars.VarFor(lv.relation, lv.row, rel->prob(lv.row)));
+      term.reserve(k);
+      for (size_t i = 0; i < k; ++i) {
+        term.push_back(vars.VarFor(plan.by_atom[i], rows[i]));
       }
       std::sort(term.begin(), term.end());
       term.erase(std::unique(term.begin(), term.end()), term.end());
       out.terms.push_back(std::move(term));
     });
-    PDB_RETURN_NOT_OK(st);
   }
   out.vars = vars.TakeVars();
   out.probs = vars.TakeProbs();
+  if (options.exec != nullptr) {
+    options.exec->AddLineageNodes(out.terms.size() + out.vars.size());
+  }
   return out;
 }
 

@@ -6,10 +6,24 @@
 /// true under an assignment iff the corresponding possible world satisfies
 /// Q. Tuples outside the database have probability 0 and ground to the
 /// constant `false`.
+///
+/// UCQ grounding runs on a compiled join engine: each CQ is lowered once
+/// into a slot-based join program (variables mapped to dense integer
+/// slots, per-atom key/bind/check column lists precomputed), atoms are
+/// reordered by a greedy selectivity heuristic so chain and star joins
+/// never enumerate cross products, hash indexes come from a session
+/// cache when one is available, and the first join step fans out across
+/// the `ExecContext`'s thread pool. Matches are canonicalised to the
+/// lexicographic order of their per-atom row vectors — which is exactly
+/// the order the naive syntactic backtracking search emits — so every
+/// downstream consumer (variable numbering, formula structure, DPLL
+/// probabilities) is bit-identical regardless of join order, thread
+/// count, or cache state.
 
 #ifndef PDB_BOOLEAN_LINEAGE_H_
 #define PDB_BOOLEAN_LINEAGE_H_
 
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <string>
@@ -22,6 +36,9 @@
 #include "util/status.h"
 
 namespace pdb {
+
+class ExecContext;
+class IndexCache;
 
 /// Origin of a lineage variable: a row of a relation.
 struct LineageVar {
@@ -38,6 +55,37 @@ struct Lineage {
   std::vector<double> probs;
 };
 
+/// Join-order policy of the compiled CQ grounding engine.
+enum class AtomOrderPolicy {
+  /// Greedy selectivity ordering: at each step pick the atom with the most
+  /// bound positions (constants + variables bound by earlier steps),
+  /// breaking ties by smallest relation, then by syntactic position. Keeps
+  /// chain and star joins from enumerating cross products.
+  kCostBased,
+  /// Join atoms exactly in the order they appear in the query (the
+  /// historical behaviour; useful as an adversarial baseline).
+  kSyntactic,
+};
+
+/// Knobs for the CQ grounding engine. The defaults reproduce the exact
+/// match set and order of the naive reference matcher; every knob is a
+/// pure performance control.
+struct GroundingOptions {
+  /// Execution context carrying the worker pool, the session index cache,
+  /// and the lineage/index counters. Null = sequential, no cache, no
+  /// counters.
+  ExecContext* exec = nullptr;
+  /// Join-order policy (see AtomOrderPolicy).
+  AtomOrderPolicy order = AtomOrderPolicy::kCostBased;
+  /// Fan the first join step out across the pool once it has at least this
+  /// many candidate rows (only with `exec` and a pool).
+  size_t parallel_min_rows = 256;
+  /// Build formula terms in parallel (private managers merged through
+  /// `FormulaManager::AbsorbFrom` in deterministic chunk order) once a
+  /// disjunct has at least this many matches.
+  size_t parallel_min_matches = 2048;
+};
+
 /// Grounds an FO sentence over `db`, quantifying over `domain` (defaults to
 /// the active domain). Inductive construction from the paper's appendix.
 Result<Lineage> BuildLineage(const FoPtr& sentence, const Database& db,
@@ -48,7 +96,8 @@ Result<Lineage> BuildLineage(const FoPtr& sentence, const Database& db,
 /// equivalent to BuildLineage on the UCQ's FO form but polynomial in the
 /// data rather than in domain^#vars. The result is a DNF.
 Result<Lineage> BuildUcqLineage(const Ucq& ucq, const Database& db,
-                                FormulaManager* mgr);
+                                FormulaManager* mgr,
+                                const GroundingOptions& options = {});
 
 /// One match of a CQ against the database: for each atom (by index), the
 /// matched row in its relation.
@@ -58,11 +107,21 @@ struct CqMatch {
 };
 
 /// Enumerates all satisfying assignments ("matches") of a Boolean CQ against
-/// `db`, invoking `callback` for each. Uses hash indexes on already-bound
-/// positions. Returns an error if an atom references a missing relation or
-/// has an arity mismatch.
+/// `db`, invoking `callback` for each, in the lexicographic order of the
+/// per-atom row vector (ascending row of atom 0, then atom 1, ...). Returns
+/// an error if an atom references a missing relation or has an arity
+/// mismatch. The callback runs on the calling thread even when the join
+/// itself fans out over `options.exec`'s pool.
 Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
-                          const std::function<void(const CqMatch&)>& callback);
+                          const std::function<void(const CqMatch&)>& callback,
+                          const GroundingOptions& options = {});
+
+/// The naive syntactic-order backtracking matcher the compiled engine
+/// replaced, kept as the reference implementation for differential tests
+/// (the compiled engine must reproduce its match order exactly).
+Status EnumerateCqMatchesReference(
+    const ConjunctiveQuery& cq, const Database& db,
+    const std::function<void(const CqMatch&)>& callback);
 
 /// The DNF lineage as explicit term lists (one clause of VarIds per CQ
 /// match), sharing variable ids with `lineage_vars` bookkeeping. Useful for
@@ -73,7 +132,8 @@ struct DnfLineage {
   std::vector<LineageVar> vars;
   std::vector<double> probs;
 };
-Result<DnfLineage> BuildUcqDnf(const Ucq& ucq, const Database& db);
+Result<DnfLineage> BuildUcqDnf(const Ucq& ucq, const Database& db,
+                               const GroundingOptions& options = {});
 
 }  // namespace pdb
 

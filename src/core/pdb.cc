@@ -130,6 +130,10 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
     TraceSpan lineage_span(trace, TracePhase::kLineage);
     PDB_ASSIGN_OR_RETURN(lineage, BuildLineage(sentence, db_, &*mgr));
     lineage_span.AddCounter("lineage_vars", lineage.vars.size());
+    // The FO grounder has no ExecContext plumbing of its own; account for
+    // its node production here so pdb_lineage_nodes_total covers the
+    // grounded-exact path, not just the UCQ engine.
+    if (ctx != nullptr) ctx->AddLineageNodes(mgr->NumNodes());
   }
   DpllOptions dpll_options;
   dpll_options.max_decisions = options.max_dpll_decisions;
@@ -197,7 +201,9 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
   if (options.allow_monte_carlo && as_ucq.ok()) {
     // UCQ lineages are monotone DNFs: Karp-Luby gives relative-error
     // guarantees independent of how small the probability is.
-    auto dnf = BuildUcqDnf(*as_ucq, db_);
+    GroundingOptions grounding;
+    grounding.exec = ctx;
+    auto dnf = BuildUcqDnf(*as_ucq, db_, grounding);
     if (dnf.ok()) {
       TraceSpan mc_span(trace, TracePhase::kMonteCarlo);
       Rng rng(options.monte_carlo_seed);

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "boolean/lineage.h"
@@ -49,6 +51,11 @@ Session::Session(const ProbDatabase* db, SessionOptions options)
     cache_options.max_bytes = options_.wmc_cache_bytes;
     wmc_cache_ = std::make_unique<WmcCache>(cache_options);
   }
+  if (options_.cache_indexes) {
+    IndexCacheOptions index_options;
+    index_options.num_shards = options_.index_cache_shards;
+    index_cache_ = std::make_unique<IndexCache>(index_options);
+  }
   // Resolve every engine ticker once; updates are then lock-free.
   tickers_.queries = metrics_.GetCounter("pdb_queries_total");
   tickers_.query_errors = metrics_.GetCounter("pdb_query_errors_total");
@@ -85,10 +92,17 @@ Session::Session(const ProbDatabase* db, SessionOptions options)
       metrics_.GetCounter("pdb_wmc_shared_inserts_total");
   tickers_.wmc_shared_evictions =
       metrics_.GetCounter("pdb_wmc_shared_evictions_total");
+  tickers_.lineage_matches = metrics_.GetCounter("pdb_lineage_matches_total");
+  tickers_.lineage_nodes = metrics_.GetCounter("pdb_lineage_nodes_total");
+  tickers_.index_builds = metrics_.GetCounter("pdb_index_builds_total");
+  tickers_.index_cache_hits =
+      metrics_.GetCounter("pdb_index_cache_hits_total");
   tickers_.wmc_shared_bytes = metrics_.GetGauge("pdb_wmc_shared_bytes");
   tickers_.wmc_shared_entries = metrics_.GetGauge("pdb_wmc_shared_entries");
   tickers_.result_cache_entries =
       metrics_.GetGauge("pdb_result_cache_entries");
+  tickers_.index_cache_entries =
+      metrics_.GetGauge("pdb_index_cache_entries");
   tickers_.query_latency_us = metrics_.GetHistogram("pdb_query_latency_us");
   tickers_.sql_statement_latency_us =
       metrics_.GetHistogram("pdb_sql_statement_latency_us");
@@ -112,6 +126,7 @@ void Session::InvalidateCache() {
     lru_.clear();
   }
   if (wmc_cache_) wmc_cache_->Clear();
+  if (index_cache_) index_cache_->Clear();
 }
 
 void Session::RefreshGenerationLocked(uint64_t current_generation) {
@@ -123,6 +138,8 @@ void Session::RefreshGenerationLocked(uint64_t current_generation) {
   cache_.clear();
   lru_.clear();
   if (wmc_cache_) wmc_cache_->Clear();
+  // Index entries reference rows of the previous database state.
+  if (index_cache_) index_cache_->Clear();
   generation_seen_ = current_generation;
 }
 
@@ -172,6 +189,10 @@ WmcCacheStats Session::wmc_cache_stats() const {
   return wmc_cache_ ? wmc_cache_->stats() : WmcCacheStats{};
 }
 
+IndexCacheStats Session::index_cache_stats() const {
+  return index_cache_ ? index_cache_->stats() : IndexCacheStats{};
+}
+
 ExecReport Session::CumulativeReport() const {
   ExecReport report;
   {
@@ -198,6 +219,10 @@ MetricsSnapshot Session::SnapshotMetrics() const {
     tickers_.wmc_shared_evictions->Set(stats.evictions);
     tickers_.wmc_shared_bytes->Set(static_cast<int64_t>(stats.bytes));
     tickers_.wmc_shared_entries->Set(static_cast<int64_t>(stats.entries));
+  }
+  if (index_cache_) {
+    tickers_.index_cache_entries->Set(
+        static_cast<int64_t>(index_cache_->stats().entries));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -239,6 +264,10 @@ void Session::AggregateLocked(const ExecReport& report) {
   cumulative_.dpll_parallel_splits += report.dpll_parallel_splits;
   cumulative_.wmc_shared_hits += report.wmc_shared_hits;
   cumulative_.wmc_shared_misses += report.wmc_shared_misses;
+  cumulative_.lineage_matches += report.lineage_matches;
+  cumulative_.lineage_nodes += report.lineage_nodes;
+  cumulative_.index_builds += report.index_builds;
+  cumulative_.index_cache_hits += report.index_cache_hits;
   cumulative_.cancelled = cumulative_.cancelled || report.cancelled;
   cumulative_.deadline_exceeded =
       cumulative_.deadline_exceeded || report.deadline_exceeded;
@@ -254,6 +283,10 @@ void Session::AggregateLocked(const ExecReport& report) {
   tickers_.dpll_parallel_splits->Add(report.dpll_parallel_splits);
   tickers_.wmc_shared_hits->Add(report.wmc_shared_hits);
   tickers_.wmc_shared_misses->Add(report.wmc_shared_misses);
+  tickers_.lineage_matches->Add(report.lineage_matches);
+  tickers_.lineage_nodes->Add(report.lineage_nodes);
+  tickers_.index_builds->Add(report.index_builds);
+  tickers_.index_cache_hits->Add(report.index_cache_hits);
   if (report.deadline_exceeded) tickers_.deadline_exceeded->Add(1);
   if (report.cancelled) tickers_.queries_cancelled->Add(1);
 }
@@ -390,6 +423,7 @@ Result<QueryAnswer> Session::QueryFoInternal(
   // cache.
   ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
   ctx.set_wmc_cache(wmc_cache_.get());
+  ctx.set_index_cache(index_cache_.get());
   ctx.set_trace(trace.get());
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   auto answer = db_->QueryFoWithContext(sentence, options, &ctx);
@@ -520,10 +554,15 @@ Result<Relation> Session::QueryWithAnswersTraced(
     }
   }
   // Candidate answers: distinct head-tuple bindings among the CQ matches,
-  // each with its match count — the number of DNF terms of the candidate's
-  // residual lineage, i.e. a byte-free estimate of how much work its
-  // marginal will take.
-  std::map<Tuple, size_t> candidates;
+  // each with a measured size of its residual lineage — DNF terms plus
+  // distinct uncertain variables, i.e. the node count of the formula the
+  // per-tuple marginal will actually ground — to weight the fan-out
+  // schedule below.
+  struct CandidateStat {
+    size_t terms = 0;
+    std::unordered_set<uint64_t> vars;  // (relation id << 40) | row
+  };
+  std::map<Tuple, CandidateStat> candidates;
   // Map head var -> (atom index, position) for extraction.
   std::vector<std::pair<size_t, size_t>> positions;
   for (const std::string& v : head_vars) {
@@ -540,20 +579,54 @@ Result<Relation> Session::QueryWithAnswersTraced(
     }
     PDB_CHECK(found);  // verified above: every head var occurs somewhere
   }
+  std::vector<const Relation*> rel_by_atom;
+  rel_by_atom.reserve(cq.atoms().size());
+  for (const Atom& atom : cq.atoms()) {
+    PDB_ASSIGN_OR_RETURN(const Relation* rel, db.Get(atom.predicate));
+    rel_by_atom.push_back(rel);
+  }
+
+  // The candidate sweep below grounds against the session index cache, so
+  // stale entries from a previous database generation must be dropped
+  // first (QueryFoInternal does the same before touching its caches).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefreshGenerationLocked(db_->generation());
+  }
+
+  // The batch context: shared by the candidate sweep (which grounds
+  // through the compiled join engine against the session index cache) and
+  // the per-tuple fan-out below.
+  ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
+  ctx.set_wmc_cache(wmc_cache_.get());
+  ctx.set_index_cache(index_cache_.get());
+  ctx.set_trace(trace.get());
+  if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
+
   {
     // The candidate sweep is the fan-out's grounding step: classify it
     // with the lineage phase.
     TraceSpan enumerate_span(trace.get(), TracePhase::kLineage);
+    GroundingOptions grounding;
+    grounding.exec = &ctx;
+    std::unordered_map<const Relation*, uint64_t> rel_ids;
     PDB_RETURN_NOT_OK(EnumerateCqMatches(cq, db, [&](const CqMatch& match) {
       Tuple head;
       head.reserve(positions.size());
       for (const auto& [atom_idx, pos] : positions) {
         const LineageVar& lv = match.atom_rows[atom_idx];
-        const Relation* rel = db.Get(lv.relation).value();
-        head.push_back(rel->tuple(lv.row)[pos]);
+        head.push_back(rel_by_atom[atom_idx]->tuple(lv.row)[pos]);
       }
-      ++candidates[std::move(head)];
-    }));
+      CandidateStat& stat = candidates[std::move(head)];
+      ++stat.terms;
+      for (size_t i = 0; i < match.atom_rows.size(); ++i) {
+        const Relation* rel = rel_by_atom[i];
+        const size_t row = match.atom_rows[i].row;
+        if (rel->prob(row) == 1.0) continue;  // folds away in the lineage
+        auto [id_it, unused] = rel_ids.emplace(rel, rel_ids.size());
+        stat.vars.insert((id_it->second << 40) | row);
+      }
+    }, grounding));
     enumerate_span.AddCounter("candidates", candidates.size());
   }
 
@@ -578,12 +651,14 @@ Result<Relation> Session::QueryWithAnswersTraced(
   // by ~candidates × deadline / threads, never a hang) and on the batch
   // context so its report records the overrun.
   std::vector<Tuple> heads;
-  std::vector<size_t> match_counts;
+  std::vector<size_t> node_counts;
   heads.reserve(candidates.size());
-  match_counts.reserve(candidates.size());
-  for (auto& [head, count] : candidates) {
+  node_counts.reserve(candidates.size());
+  for (auto& [head, stat] : candidates) {
     heads.push_back(head);
-    match_counts.push_back(count);
+    // Measured residual-lineage size: the OR root, one term per match, one
+    // node per distinct uncertain tuple.
+    node_counts.push_back(1 + stat.terms + stat.vars.size());
   }
   QueryOptions inner = options;
   inner.exec.num_threads = 1;
@@ -592,20 +667,18 @@ Result<Relation> Session::QueryWithAnswersTraced(
   // in ascending order, so running the fan-out through a size-sorted
   // indirection makes workers start on the heaviest marginals while the
   // small ones fill the tail — one giant answer tuple no longer straggles
-  // the whole batch behind a thread that picked it up last. Ties keep
-  // candidate order, so the schedule (and the output order, which follows
-  // `heads`) is deterministic.
+  // the whole batch behind a thread that picked it up last. The weight is
+  // the measured lineage node count (terms + distinct uncertain tuples),
+  // not the raw match count, which over-weights candidates whose matches
+  // reuse the same few tuples. Ties keep candidate order, so the schedule
+  // (and the output order, which follows `heads`) is deterministic.
   std::vector<size_t> schedule(heads.size());
   std::iota(schedule.begin(), schedule.end(), size_t{0});
   std::stable_sort(schedule.begin(), schedule.end(),
                    [&](size_t a, size_t b) {
-                     return match_counts[a] > match_counts[b];
+                     return node_counts[a] > node_counts[b];
                    });
 
-  ExecContext ctx(options.exec.num_threads == 1 ? nullptr : pool());
-  ctx.set_wmc_cache(wmc_cache_.get());
-  ctx.set_trace(trace.get());
-  if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   std::vector<double> marginals(heads.size(), 0.0);
   std::vector<AnswerTupleInfo> infos(heads.size());
   std::vector<Status> statuses(heads.size());

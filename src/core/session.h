@@ -42,6 +42,7 @@
 #include "exec/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/index_cache.h"
 #include "wmc/wmc_cache.h"
 
 namespace pdb {
@@ -75,6 +76,14 @@ struct SessionOptions {
   /// evicted first). Only queries run with `QueryOptions::trace` enter the
   /// ring.
   size_t trace_ring_size = 32;
+  /// Share one hash-index cache (storage/index_cache.h) across every CQ
+  /// grounding issued through the session, so repeated queries (and the
+  /// per-tuple fan-out of QueryWithAnswers) reuse join indexes instead of
+  /// rebuilding them per grounding. Invalidated with the result cache when
+  /// the database generation moves.
+  bool cache_indexes = true;
+  /// Shard (mutex stripe) count of the shared index cache.
+  size_t index_cache_shards = 8;
 };
 
 /// A long-lived, thread-safe query session over one `ProbDatabase`.
@@ -142,6 +151,12 @@ class Session {
   WmcCache* wmc_cache() { return wmc_cache_.get(); }
   /// Aggregated counters of the shared WMC cache (zeros when disabled).
   WmcCacheStats wmc_cache_stats() const;
+
+  /// The session's shared join-index cache, or null when
+  /// `SessionOptions::cache_indexes` is off.
+  IndexCache* index_cache() { return index_cache_.get(); }
+  /// Aggregated counters of the shared index cache (zeros when disabled).
+  IndexCacheStats index_cache_stats() const;
 
   /// Aggregate of every per-query report (tasks, samples, DPLL cache hits,
   /// shared WMC cache hits, whether any query was cancelled or overran a
@@ -243,9 +258,14 @@ class Session {
     Counter* wmc_shared_misses;
     Counter* wmc_shared_inserts;    // overlay: Set() from WmcCacheStats
     Counter* wmc_shared_evictions;  // overlay: Set() from WmcCacheStats
+    Counter* lineage_matches;
+    Counter* lineage_nodes;
+    Counter* index_builds;
+    Counter* index_cache_hits;
     Gauge* wmc_shared_bytes;
     Gauge* wmc_shared_entries;
     Gauge* result_cache_entries;
+    Gauge* index_cache_entries;
     Histogram* query_latency_us;
     Histogram* sql_statement_latency_us;
   };
@@ -263,6 +283,8 @@ class Session {
   std::unique_ptr<ThreadPool> pool_;
   /// Internally sharded and thread-safe; not guarded by mu_.
   std::unique_ptr<WmcCache> wmc_cache_;
+  /// Internally sharded and thread-safe; not guarded by mu_.
+  std::unique_ptr<IndexCache> index_cache_;
   /// Thread-safe (atomics inside; its own mutex for creation).
   MetricsRegistry metrics_;
   Tickers tickers_;

@@ -46,6 +46,20 @@ std::string ExecReport::ToString() const {
     s += StrFormat(", %llu shared WMC bytes",
                    static_cast<unsigned long long>(wmc_shared_bytes));
   }
+  if (lineage_matches > 0) {
+    s += StrFormat(", %llu lineage matches",
+                   static_cast<unsigned long long>(lineage_matches));
+  }
+  if (lineage_nodes > 0) {
+    s += StrFormat(", %llu lineage nodes",
+                   static_cast<unsigned long long>(lineage_nodes));
+  }
+  if (index_builds + index_cache_hits > 0) {
+    s += StrFormat(", %llu/%llu index cache hits",
+                   static_cast<unsigned long long>(index_cache_hits),
+                   static_cast<unsigned long long>(index_cache_hits +
+                                                   index_builds));
+  }
   if (deadline_exceeded) s += ", deadline exceeded";
   if (cancelled) s += ", cancelled";
   return s;
@@ -97,6 +111,11 @@ ExecReport ExecContext::Report() {
   report.wmc_shared_hits = wmc_shared_hits_.load(std::memory_order_relaxed);
   report.wmc_shared_misses =
       wmc_shared_misses_.load(std::memory_order_relaxed);
+  report.lineage_matches = lineage_matches_.load(std::memory_order_relaxed);
+  report.lineage_nodes = lineage_nodes_.load(std::memory_order_relaxed);
+  report.index_builds = index_builds_.load(std::memory_order_relaxed);
+  report.index_cache_hits =
+      index_cache_hits_.load(std::memory_order_relaxed);
   report.num_threads =
       pool_ ? static_cast<int>(pool_->num_threads()) : 1;
   report.cancelled = cancelled();

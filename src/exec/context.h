@@ -21,6 +21,7 @@ namespace pdb {
 
 class ThreadPool;
 class WmcCache;
+class IndexCache;
 class QueryTrace;
 
 /// Parallelism and time-budget knobs, threaded through `QueryOptions`.
@@ -50,6 +51,10 @@ struct ExecReport {
   uint64_t wmc_shared_inserts = 0;
   uint64_t wmc_shared_evictions = 0;
   size_t wmc_shared_bytes = 0;  ///< resident bytes of the shared cache
+  uint64_t lineage_matches = 0;  ///< CQ join matches enumerated
+  uint64_t lineage_nodes = 0;    ///< lineage formula nodes / DNF entries built
+  uint64_t index_builds = 0;     ///< hash indexes constructed for grounding
+  uint64_t index_cache_hits = 0;  ///< index requests served by the cache
   int num_threads = 1;          ///< pool width (1 = sequential)
   bool cancelled = false;       ///< Cancel() was called
   bool deadline_exceeded = false;  ///< a deadline expired at some point
@@ -75,6 +80,12 @@ class ExecContext {
   /// never dereferences it.
   WmcCache* wmc_cache() const { return wmc_cache_; }
   void set_wmc_cache(WmcCache* cache) { wmc_cache_ = cache; }
+
+  /// Session-owned hash-index cache (storage/index_cache.h), or null when
+  /// the caller has no session (each grounding then builds throwaway
+  /// indexes). Carried, not owned, like the WMC cache.
+  IndexCache* index_cache() const { return index_cache_; }
+  void set_index_cache(IndexCache* cache) { index_cache_ = cache; }
 
   /// Opt-in per-query trace (obs/trace.h), or null when tracing is off.
   /// Deep modules test this pointer before doing trace-only timing work;
@@ -134,12 +145,25 @@ class ExecContext {
   void AddWmcSharedMisses(uint64_t n) {
     wmc_shared_misses_.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddLineageMatches(uint64_t n) {
+    lineage_matches_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddLineageNodes(uint64_t n) {
+    lineage_nodes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddIndexBuilds(uint64_t n) {
+    index_builds_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddIndexCacheHits(uint64_t n) {
+    index_cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   ExecReport Report();
 
  private:
   ThreadPool* pool_ = nullptr;
   WmcCache* wmc_cache_ = nullptr;
+  IndexCache* index_cache_ = nullptr;
   QueryTrace* trace_ = nullptr;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> deadline_hit_{false};       // current armed deadline
@@ -154,6 +178,10 @@ class ExecContext {
   std::atomic<uint64_t> dpll_parallel_splits_{0};
   std::atomic<uint64_t> wmc_shared_hits_{0};
   std::atomic<uint64_t> wmc_shared_misses_{0};
+  std::atomic<uint64_t> lineage_matches_{0};
+  std::atomic<uint64_t> lineage_nodes_{0};
+  std::atomic<uint64_t> index_builds_{0};
+  std::atomic<uint64_t> index_cache_hits_{0};
 };
 
 }  // namespace pdb

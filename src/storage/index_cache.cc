@@ -1,0 +1,65 @@
+#include "storage/index_cache.h"
+
+#include <functional>
+
+namespace pdb {
+
+size_t IndexCache::KeyHash::operator()(const Key& key) const {
+  size_t h = std::hash<const void*>()(key.relation);
+  for (size_t col : key.key_cols) {
+    h = h * 1315423911u + std::hash<size_t>()(col) + 0x9e3779b97f4a7c15ull;
+  }
+  return h;
+}
+
+IndexCache::IndexCache(IndexCacheOptions options) {
+  size_t n = options.num_shards == 0 ? 1 : options.num_shards;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+IndexCache::Shard& IndexCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+std::shared_ptr<const HashIndex> IndexCache::GetOrBuild(
+    const Relation& relation, const std::vector<size_t>& key_cols,
+    bool* built) {
+  Key key{&relation, key_cols};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (built != nullptr) *built = false;
+    return it->second;
+  }
+  // Build inside the shard lock: concurrent requests for the same index
+  // build it exactly once, and requests for other indexes only stall when
+  // they collide on this shard.
+  auto index = std::make_shared<const HashIndex>(relation, key_cols);
+  shard.map.emplace(std::move(key), index);
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  if (built != nullptr) *built = true;
+  return index;
+}
+
+void IndexCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+}
+
+IndexCacheStats IndexCache::stats() const {
+  IndexCacheStats stats;
+  stats.builds = builds_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->map.size();
+  }
+  return stats;
+}
+
+}  // namespace pdb

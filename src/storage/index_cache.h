@@ -1,0 +1,104 @@
+/// \file index_cache.h
+/// \brief Session-lifetime cache of `HashIndex` instances.
+///
+/// The grounding engine (boolean/lineage.cc) probes one hash index per
+/// join step with bound positions. Before this cache existed every query
+/// rebuilt those indexes from scratch — O(rows) hashing per query per
+/// atom — even when a session served thousands of identical joins against
+/// an unchanged database. The cache is keyed by (relation identity, key
+/// columns) and hands out `shared_ptr<const HashIndex>`, so a reader keeps
+/// its index alive across a concurrent `Clear()` (generation invalidation)
+/// without locks on the probe path of the index itself.
+///
+/// Concurrency follows the WmcCache idiom: the key space is partitioned
+/// into mutex-striped shards, and a build happens inside the shard lock so
+/// concurrent requests for the same index build it exactly once (the loser
+/// of the race gets the winner's pointer). Builds for *different* indexes
+/// only contend when they collide on a shard.
+///
+/// Lifecycle: the cache is owned by `Session`, invalidated with the same
+/// generation discipline as the result and WMC caches (a database mutation
+/// clears it), and relations are keyed by address — `Database` stores
+/// relations in a node-based map, so a `Relation*` is stable until the
+/// relation is destroyed, and a destroyed database's entries are
+/// unreachable garbage that the next `Clear()` drops.
+
+#ifndef PDB_STORAGE_INDEX_CACHE_H_
+#define PDB_STORAGE_INDEX_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace pdb {
+
+/// Aggregated counters of one `IndexCache`.
+struct IndexCacheStats {
+  uint64_t builds = 0;  ///< indexes constructed (cache misses)
+  uint64_t hits = 0;    ///< requests served by an existing index
+  size_t entries = 0;   ///< resident indexes across all shards
+};
+
+/// Tuning for an `IndexCache`.
+struct IndexCacheOptions {
+  /// Mutex stripe count; requests for different indexes contend only when
+  /// they collide on a shard.
+  size_t num_shards = 8;
+};
+
+/// Sharded, thread-safe cache of hash indexes keyed by
+/// (relation address, key columns).
+class IndexCache {
+ public:
+  explicit IndexCache(IndexCacheOptions options = {});
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns the index of `relation` keyed on `key_cols`, building it under
+  /// the shard lock on first request. When `built` is non-null it is set to
+  /// whether this call constructed the index (for per-query accounting).
+  /// The returned pointer stays valid after `Clear()` for as long as the
+  /// caller holds it.
+  std::shared_ptr<const HashIndex> GetOrBuild(const Relation& relation,
+                                              const std::vector<size_t>&
+                                                  key_cols,
+                                              bool* built = nullptr);
+
+  /// Drops every cached index (readers holding shared_ptrs are unaffected).
+  void Clear();
+
+  IndexCacheStats stats() const;
+
+ private:
+  struct Key {
+    const Relation* relation;
+    std::vector<size_t> key_cols;
+    bool operator==(const Key& other) const {
+      return relation == other.relation && key_cols == other.key_cols;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const HashIndex>, KeyHash> map;
+  };
+
+  Shard& ShardFor(const Key& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> builds_{0};
+  std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_INDEX_CACHE_H_

@@ -54,6 +54,58 @@ TEST_P(DifferentialConsistency, AllBackendsAgreeOnRandomCases) {
     ASSERT_TRUE(lineage.ok());
     const WeightMap weights = WeightsFromProbabilities(lineage->probs);
 
+    // Grounding differential: the compiled join engine — under both
+    // join-order policies, with the pool attached and the parallel
+    // thresholds forced all the way down — must reproduce the reference
+    // backtracking matcher's match stream exactly, and the lineage DAG it
+    // builds must be node-for-node the one built sequentially above.
+    // (Checked before any DPLL below, which adds cofactor nodes to `mgr`.)
+    {
+      ExecContext gctx(&pool);
+      GroundingOptions grounding;
+      grounding.exec = &gctx;
+      grounding.parallel_min_rows = 1;
+      grounding.parallel_min_matches = 1;
+      for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+        std::vector<std::vector<size_t>> expected;
+        ASSERT_TRUE(EnumerateCqMatchesReference(cq, db,
+                                                [&](const CqMatch& m) {
+                                                  std::vector<size_t> rows;
+                                                  for (const LineageVar& lv :
+                                                       m.atom_rows) {
+                                                    rows.push_back(lv.row);
+                                                  }
+                                                  expected.push_back(
+                                                      std::move(rows));
+                                                })
+                        .ok());
+        for (AtomOrderPolicy policy : {AtomOrderPolicy::kCostBased,
+                                       AtomOrderPolicy::kSyntactic}) {
+          GroundingOptions per_policy = grounding;
+          per_policy.order = policy;
+          std::vector<std::vector<size_t>> actual;
+          Status st = EnumerateCqMatches(
+              cq, db,
+              [&](const CqMatch& m) {
+                std::vector<size_t> rows;
+                for (const LineageVar& lv : m.atom_rows) {
+                  rows.push_back(lv.row);
+                }
+                actual.push_back(std::move(rows));
+              },
+              per_policy);
+          ASSERT_TRUE(st.ok());
+          EXPECT_EQ(actual, expected);
+        }
+      }
+      FormulaManager par_mgr;
+      auto par_lineage = BuildUcqLineage(ucq, db, &par_mgr, grounding);
+      ASSERT_TRUE(par_lineage.ok());
+      EXPECT_EQ(par_lineage->root, lineage->root);
+      EXPECT_EQ(par_mgr.NumNodes(), mgr.NumNodes());
+      EXPECT_EQ(par_lineage->probs, lineage->probs);
+    }
+
     // Reference: sequential DPLL with component decomposition.
     DpllOptions seq_options;
     seq_options.parallel_components = false;

@@ -80,6 +80,69 @@ TEST_P(EngineAgreementFuzz, AllEnginesAgreeOnRandomUcqs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreementFuzz,
                          ::testing::Range<uint64_t>(0, 10));
 
+class AtomOrderFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AtomOrderFuzz, ShuffledAtomOrdersAgree) {
+  // The compiled grounding engine picks its own join order; permuting the
+  // query's written atom order must change neither the match stream
+  // (relative to the reference matcher run on the same permutation) nor
+  // the query probability.
+  Rng rng(GetParam() * 69621 + 13);
+  Database db = RandomDb(&rng);
+  for (int round = 0; round < 10; ++round) {
+    ConjunctiveQuery cq = RandomCq(&rng);
+    double first_probability = -1.0;
+    std::vector<Atom> atoms = cq.atoms();
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      for (size_t i = atoms.size(); i > 1; --i) {
+        std::swap(atoms[i - 1], atoms[rng.Uniform(i)]);
+      }
+      ConjunctiveQuery permuted(atoms);
+      SCOPED_TRACE(permuted.ToString());
+      std::vector<std::vector<size_t>> expected, cost_based, syntactic;
+      auto collect = [](std::vector<std::vector<size_t>>* out) {
+        return [out](const CqMatch& m) {
+          std::vector<size_t> rows;
+          for (const LineageVar& lv : m.atom_rows) rows.push_back(lv.row);
+          out->push_back(std::move(rows));
+        };
+      };
+      ASSERT_TRUE(
+          EnumerateCqMatchesReference(permuted, db, collect(&expected))
+              .ok());
+      GroundingOptions cost_options;
+      cost_options.order = AtomOrderPolicy::kCostBased;
+      ASSERT_TRUE(EnumerateCqMatches(permuted, db, collect(&cost_based),
+                                     cost_options)
+                      .ok());
+      GroundingOptions syntactic_options;
+      syntactic_options.order = AtomOrderPolicy::kSyntactic;
+      ASSERT_TRUE(EnumerateCqMatches(permuted, db, collect(&syntactic),
+                                     syntactic_options)
+                      .ok());
+      EXPECT_EQ(cost_based, expected);
+      EXPECT_EQ(syntactic, expected);
+      // The probability is a property of the query, not of the written
+      // atom order (variable numbering differs across permutations, so
+      // compare numerically, not structurally).
+      FormulaManager mgr;
+      auto lineage = BuildUcqLineage(Ucq({permuted}), db, &mgr);
+      ASSERT_TRUE(lineage.ok());
+      DpllCounter counter(&mgr, WeightsFromProbabilities(lineage->probs));
+      auto p = counter.Compute(lineage->root);
+      ASSERT_TRUE(p.ok());
+      if (first_probability < 0) {
+        first_probability = *p;
+      } else {
+        EXPECT_NEAR(*p, first_probability, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomOrderFuzz,
+                         ::testing::Range<uint64_t>(0, 6));
+
 class UniversalQueryFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(UniversalQueryFuzz, UnateUniversalSentencesMatchGroundedInference) {

@@ -197,6 +197,10 @@ MetricsRegistry* GoldenRegistry() {
   static MetricsRegistry* reg = [] {
     auto* r = new MetricsRegistry();
     r->GetCounter("pdb_queries_total")->Add(3);
+    r->GetCounter("pdb_index_builds_total")->Add(4);
+    r->GetCounter("pdb_index_cache_hits_total")->Add(12);
+    r->GetCounter("pdb_lineage_matches_total")->Add(7);
+    r->GetCounter("pdb_lineage_nodes_total")->Add(21);
     r->GetCounter("weird.name-1")->Add(1);  // sanitized to weird_name_1
     r->GetGauge("pdb_result_cache_entries")->Set(2);
     r->GetGauge("temp_delta")->Set(-5);
@@ -554,6 +558,15 @@ TEST(SessionMetricsTest, TickersMatchCumulativeReportAfterMixedWorkload) {
             report.wmc_shared_inserts);
   EXPECT_EQ(counter("pdb_wmc_shared_evictions_total"),
             report.wmc_shared_evictions);
+  EXPECT_EQ(counter("pdb_lineage_matches_total"), report.lineage_matches);
+  EXPECT_EQ(counter("pdb_lineage_nodes_total"), report.lineage_nodes);
+  EXPECT_EQ(counter("pdb_index_builds_total"), report.index_builds);
+  EXPECT_EQ(counter("pdb_index_cache_hits_total"), report.index_cache_hits);
+  // The QueryWithAnswers candidate sweep grounds through the compiled
+  // engine and the exact queries ground FO lineage, so the lineage
+  // counters must have moved.
+  EXPECT_GT(report.lineage_matches, 0u);
+  EXPECT_GT(report.lineage_nodes, 0u);
   EXPECT_EQ(snap.gauges.at("pdb_wmc_shared_bytes"),
             static_cast<int64_t>(report.wmc_shared_bytes));
 
