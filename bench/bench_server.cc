@@ -1,0 +1,206 @@
+// S1 — pdbd saturation: N client threads (8..64) hammer a live in-process
+// PdbServer over real loopback sockets with tight admission limits, mixing
+// cheap safe queries with deadline-bounded hard ones. The interesting
+// outputs are the counters, not the wall time: admitted vs shed (429)
+// requests, the p99 latency of *admitted* requests (load shedding must keep
+// it bounded — that is the whole point of fast-failing the overflow), and a
+// post-run cross-check that the /metrics scrape agrees with the summed
+// per-session CumulativeReport (no lost tickers under saturation).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pdb.h"
+#include "server/server.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pdb {
+namespace {
+
+/// Requests each client thread issues per benchmark iteration.
+constexpr int kRequestsPerClient = 10;
+
+Database BipartiteDatabase(size_t n) {
+  Database db;
+  Relation r("R", Schema::Anonymous(1));
+  Relation s("S", Schema::Anonymous(2));
+  Relation t("T", Schema::Anonymous(1));
+  Rng rng(7);
+  auto prob = [&] { return 0.1 + 0.8 * rng.NextDouble(); };
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    PDB_CHECK(t.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    for (size_t j = 1; j <= n; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           prob())
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+/// One blocking request/response exchange; returns the HTTP status (0 on
+/// connection failure). Body content is drained and discarded.
+int Exchange(uint16_t port, const std::string& body,
+             const std::string& client_id) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  std::string request =
+      "POST /query HTTP/1.1\r\nConnection: close\r\n"
+      "X-Deadline-Ms: 100\r\n";
+  if (!client_id.empty()) request += "X-Client-Id: " + client_id + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  char buffer[4096];
+  std::string head;
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    if (head.size() < 64) head.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t sp = head.find(' ');
+  return sp == std::string::npos ? 0 : std::atoi(head.c_str() + sp + 1);
+}
+
+uint64_t ScrapeCounter(const std::string& metrics, const std::string& name) {
+  size_t pos = metrics.find("\n" + name + " ");
+  if (pos == std::string::npos) {
+    if (metrics.rfind(name + " ", 0) != 0) return 0;
+    pos = 0;
+  } else {
+    pos += 1;
+  }
+  return std::strtoull(metrics.c_str() + pos + name.size() + 1, nullptr, 10);
+}
+
+void BM_ServerSaturation(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+
+  ProbDatabase db(BipartiteDatabase(6));
+  ServerOptions options;
+  // Deliberately under-provisioned so 8..64 clients saturate the server
+  // and the overflow is shed rather than queued behind slow work.
+  options.admission.max_concurrent = 4;
+  options.admission.max_queue = 4;
+  options.admission.queue_timeout_ms = 50;
+  options.max_deadline_ms = 2'000;
+  PdbServer server(&db, options);
+  PDB_CHECK(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // Every 4th request is the non-hierarchical join (deadline-bounded DPLL
+  // then sampling); the rest are cheap safe queries.
+  const char* kQueries[] = {"R(x)", "T(y)", "R(x), S(x,y)",
+                            "R(x), S(x,y), T(y)"};
+
+  uint64_t ok_total = 0, shed_total = 0, failed_total = 0;
+  std::vector<double> admitted_latency_us;
+  std::mutex merge_mu;
+
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        std::vector<double> latencies;
+        uint64_t ok = 0, shed = 0, failed = 0;
+        std::string client_id = "bench-" + std::to_string(c % 8);
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          auto start = std::chrono::steady_clock::now();
+          int status = Exchange(port, kQueries[(c + i) % 4], client_id);
+          auto elapsed = std::chrono::steady_clock::now() - start;
+          if (status == 200) {
+            ++ok;
+            latencies.push_back(
+                std::chrono::duration<double, std::micro>(elapsed).count());
+          } else if (status == 429) {
+            ++shed;
+          } else {
+            ++failed;
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        ok_total += ok;
+        shed_total += shed;
+        failed_total += failed;
+        admitted_latency_us.insert(admitted_latency_us.end(),
+                                   latencies.begin(), latencies.end());
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  // Scrape-vs-report agreement: the merged /metrics text must carry exactly
+  // the queries the sessions report having served — saturation must not
+  // lose tickers.
+  std::string metrics = server.MetricsText();
+  uint64_t served = 0, rejected = 0;
+  server.sessions().ForEachSession([&](const std::string&, Session& session) {
+    ExecReport report = session.CumulativeReport();
+    served += session.queries_served();
+    rejected += report.admission_rejected;
+  });
+  PDB_CHECK(ScrapeCounter(metrics, "pdb_queries_total") == served);
+  PDB_CHECK(ScrapeCounter(metrics, "pdb_admission_rejected_total") ==
+            rejected);
+  PDB_CHECK(served == ok_total);  // every 200 the clients saw is accounted
+  server.Shutdown();
+
+  std::sort(admitted_latency_us.begin(), admitted_latency_us.end());
+  double p99 = admitted_latency_us.empty()
+                   ? 0.0
+                   : admitted_latency_us[static_cast<size_t>(
+                         0.99 * (admitted_latency_us.size() - 1))];
+  state.counters["ok"] = static_cast<double>(ok_total);
+  state.counters["shed_429"] = static_cast<double>(shed_total);
+  state.counters["failed"] = static_cast<double>(failed_total);
+  state.counters["p99_admitted_us"] = p99;
+  state.counters["rps"] = benchmark::Counter(
+      static_cast<double>(ok_total + shed_total), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<int64_t>(ok_total + shed_total));
+}
+BENCHMARK(BM_ServerSaturation)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace pdb
+
+BENCHMARK_MAIN();

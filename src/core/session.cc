@@ -39,6 +39,38 @@ uint64_t MicrosSince(ExecContext::Clock::time_point start) {
 
 }  // namespace
 
+/// RAII registration of one in-flight ExecContext: visible to
+/// Session::CancelInFlight() between construction and destruction, and
+/// counted in the pdb_requests_in_flight gauge when top-level.
+class InFlightGuard {
+ public:
+  InFlightGuard(Session* session, ExecContext* ctx, bool top_level)
+      : session_(session), ctx_(ctx), top_level_(top_level) {
+    std::lock_guard<std::mutex> lock(session_->mu_);
+    session_->live_contexts_.insert(ctx_);
+    if (top_level_) {
+      ++session_->top_level_in_flight_;
+      session_->tickers_.requests_in_flight->Add(1);
+    }
+  }
+  ~InFlightGuard() {
+    std::lock_guard<std::mutex> lock(session_->mu_);
+    session_->live_contexts_.erase(ctx_);
+    if (top_level_) {
+      --session_->top_level_in_flight_;
+      session_->tickers_.requests_in_flight->Add(-1);
+    }
+  }
+
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  Session* session_;
+  ExecContext* ctx_;
+  bool top_level_;
+};
+
 Session::Session(const ProbDatabase* db, SessionOptions options)
     : db_(db),
       options_(options),
@@ -97,6 +129,12 @@ Session::Session(const ProbDatabase* db, SessionOptions options)
   tickers_.index_builds = metrics_.GetCounter("pdb_index_builds_total");
   tickers_.index_cache_hits =
       metrics_.GetCounter("pdb_index_cache_hits_total");
+  tickers_.shed = metrics_.GetCounter("pdb_shed_total");
+  tickers_.admission_rejected =
+      metrics_.GetCounter("pdb_admission_rejected_total");
+  tickers_.sessions_active = metrics_.GetGauge("pdb_sessions_active");
+  tickers_.sessions_active->Set(1);  // summed across a server's session pool
+  tickers_.requests_in_flight = metrics_.GetGauge("pdb_requests_in_flight");
   tickers_.wmc_shared_bytes = metrics_.GetGauge("pdb_wmc_shared_bytes");
   tickers_.wmc_shared_entries = metrics_.GetGauge("pdb_wmc_shared_entries");
   tickers_.result_cache_entries =
@@ -117,6 +155,23 @@ ThreadPool* Session::pool() {
         static_cast<size_t>(resolved_threads_));
   });
   return pool_.get();
+}
+
+void Session::CancelInFlight() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ExecContext* ctx : live_contexts_) ctx->Cancel();
+}
+
+int64_t Session::requests_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return top_level_in_flight_;
+}
+
+void Session::NoteAdmissionRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cumulative_.admission_rejected += 1;
+  tickers_.admission_rejected->Add(1);
+  tickers_.shed->Add(1);
 }
 
 void Session::InvalidateCache() {
@@ -268,6 +323,8 @@ void Session::AggregateLocked(const ExecReport& report) {
   cumulative_.lineage_nodes += report.lineage_nodes;
   cumulative_.index_builds += report.index_builds;
   cumulative_.index_cache_hits += report.index_cache_hits;
+  cumulative_.shed_tasks += report.shed_tasks;
+  cumulative_.admission_rejected += report.admission_rejected;
   cumulative_.cancelled = cumulative_.cancelled || report.cancelled;
   cumulative_.deadline_exceeded =
       cumulative_.deadline_exceeded || report.deadline_exceeded;
@@ -287,6 +344,11 @@ void Session::AggregateLocked(const ExecReport& report) {
   tickers_.lineage_nodes->Add(report.lineage_nodes);
   tickers_.index_builds->Add(report.index_builds);
   tickers_.index_cache_hits->Add(report.index_cache_hits);
+  // pdb_shed_total covers every form of load shedding: pool tasks degraded
+  // to inline execution plus admission-queue drops (the latter are 0 in
+  // engine reports and arrive via NoteAdmissionRejected).
+  tickers_.shed->Add(report.shed_tasks + report.admission_rejected);
+  tickers_.admission_rejected->Add(report.admission_rejected);
   if (report.deadline_exceeded) tickers_.deadline_exceeded->Add(1);
   if (report.cancelled) tickers_.queries_cancelled->Add(1);
 }
@@ -426,6 +488,7 @@ Result<QueryAnswer> Session::QueryFoInternal(
   ctx.set_index_cache(index_cache_.get());
   ctx.set_trace(trace.get());
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
+  InFlightGuard in_flight(this, &ctx, top_level);
   auto answer = db_->QueryFoWithContext(sentence, options, &ctx);
   ExecReport report = ctx.Report();
   {
@@ -602,6 +665,7 @@ Result<Relation> Session::QueryWithAnswersTraced(
   ctx.set_index_cache(index_cache_.get());
   ctx.set_trace(trace.get());
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
+  InFlightGuard in_flight(this, &ctx, /*top_level=*/true);
 
   {
     // The candidate sweep is the fan-out's grounding step: classify it

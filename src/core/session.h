@@ -36,6 +36,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/pdb.h"
@@ -139,6 +140,24 @@ class Session {
   /// Drops every cached result and every shared WMC cache entry (e.g.
   /// after mutating the database through `ProbDatabase::database()`).
   void InvalidateCache();
+
+  /// Requests a cooperative stop of every query currently executing through
+  /// this session (top-level and per-tuple fan-out alike). In-flight
+  /// queries observe the cancel at their next `ShouldStop()` poll and
+  /// return with `report.cancelled`; queries issued after this call run
+  /// normally. This is the server's straggler hammer for graceful
+  /// shutdown: drain first, cancel whatever is left.
+  void CancelInFlight();
+
+  /// Top-level queries currently executing (the `pdb_requests_in_flight`
+  /// gauge).
+  int64_t requests_in_flight() const;
+
+  /// Counts one server-side admission drop (a request shed with 429 before
+  /// any engine work ran) into this session's cumulative report and the
+  /// `pdb_admission_rejected_total` / `pdb_shed_total` tickers, under the
+  /// same lock as every other fold so ticker == CumulativeReport holds.
+  void NoteAdmissionRejected();
 
   size_t cache_size() const;
   /// Top-level queries answered by this session (cache hits included).
@@ -262,6 +281,12 @@ class Session {
     Counter* lineage_nodes;
     Counter* index_builds;
     Counter* index_cache_hits;
+    /// All load shed: inline-degraded pool tasks + admission drops
+    /// (invariant: == cumulative shed_tasks + admission_rejected).
+    Counter* shed;
+    Counter* admission_rejected;
+    Gauge* sessions_active;      ///< 1 while this session lives
+    Gauge* requests_in_flight;   ///< top-level queries currently executing
     Gauge* wmc_shared_bytes;
     Gauge* wmc_shared_entries;
     Gauge* result_cache_entries;
@@ -299,6 +324,14 @@ class Session {
   ExecReport cumulative_;                             // guarded by mu_
   /// Ring buffer of recent finished traces, newest at the front.
   std::deque<std::shared_ptr<const QueryTrace>> traces_;  // guarded by mu_
+  /// Execution contexts of in-flight queries (top-level and fan-out
+  /// children), registered for CancelInFlight(). Guarded by mu_; each
+  /// context outlives its registration (stack-held by the query until it
+  /// unregisters).
+  std::unordered_set<ExecContext*> live_contexts_;  // guarded by mu_
+  int64_t top_level_in_flight_ = 0;                 // guarded by mu_
+
+  friend class InFlightGuard;
 };
 
 }  // namespace pdb

@@ -60,6 +60,14 @@ std::string ExecReport::ToString() const {
                    static_cast<unsigned long long>(index_cache_hits +
                                                    index_builds));
   }
+  if (shed_tasks > 0) {
+    s += StrFormat(", %llu shed tasks",
+                   static_cast<unsigned long long>(shed_tasks));
+  }
+  if (admission_rejected > 0) {
+    s += StrFormat(", %llu admission rejections",
+                   static_cast<unsigned long long>(admission_rejected));
+  }
   if (deadline_exceeded) s += ", deadline exceeded";
   if (cancelled) s += ", cancelled";
   return s;
@@ -116,6 +124,7 @@ ExecReport ExecContext::Report() {
   report.index_builds = index_builds_.load(std::memory_order_relaxed);
   report.index_cache_hits =
       index_cache_hits_.load(std::memory_order_relaxed);
+  report.shed_tasks = shed_tasks_.load(std::memory_order_relaxed);
   report.num_threads =
       pool_ ? static_cast<int>(pool_->num_threads()) : 1;
   report.cancelled = cancelled();

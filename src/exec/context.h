@@ -55,6 +55,15 @@ struct ExecReport {
   uint64_t lineage_nodes = 0;    ///< lineage formula nodes / DNF entries built
   uint64_t index_builds = 0;     ///< hash indexes constructed for grounding
   uint64_t index_cache_hits = 0;  ///< index requests served by the cache
+  /// Parallel helper tasks refused by `ThreadPool::TrySubmit` because the
+  /// pool was saturated — the work ran inline on the submitting thread
+  /// instead (load shed from the pool, never lost).
+  uint64_t shed_tasks = 0;
+  /// Requests dropped by a server-side admission queue before any engine
+  /// work ran. Always 0 for a plain engine query; Session folds the
+  /// server's admission drops into its cumulative report through this
+  /// field (see Session::NoteAdmissionRejected).
+  uint64_t admission_rejected = 0;
   int num_threads = 1;          ///< pool width (1 = sequential)
   bool cancelled = false;       ///< Cancel() was called
   bool deadline_exceeded = false;  ///< a deadline expired at some point
@@ -157,6 +166,9 @@ class ExecContext {
   void AddIndexCacheHits(uint64_t n) {
     index_cache_hits_.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddShedTasks(uint64_t n) {
+    shed_tasks_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   ExecReport Report();
 
@@ -182,6 +194,7 @@ class ExecContext {
   std::atomic<uint64_t> lineage_nodes_{0};
   std::atomic<uint64_t> index_builds_{0};
   std::atomic<uint64_t> index_cache_hits_{0};
+  std::atomic<uint64_t> shed_tasks_{0};
 };
 
 }  // namespace pdb

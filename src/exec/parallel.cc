@@ -61,11 +61,15 @@ void ParallelFor(ExecContext* ctx, size_t n,
   // parallelism cannot deadlock and a busy shared pool degrades to inline
   // execution instead of piling up no-op helper tasks.
   size_t helpers = std::min(pool->num_threads(), n - 1);
-  for (size_t h = 0; h < helpers; ++h) {
+  size_t submitted = 0;
+  for (; submitted < helpers; ++submitted) {
     // Helpers copy the body: one may start only after the caller returned
     // (it then claims no index, but must not hold a dangling reference).
     if (!pool->TrySubmit([state, body] { state->Run(body); })) break;
   }
+  // Helpers the saturated pool refused are load shed onto this thread; the
+  // report surfaces them so overload is visible (pdb_shed_total).
+  if (ctx && submitted < helpers) ctx->AddShedTasks(helpers - submitted);
   state->Run(body);
   {
     std::unique_lock<std::mutex> lock(state->mu);

@@ -120,6 +120,23 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] += value;
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    HistogramSnapshot& mine = histograms[name];
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      mine.buckets[i] += hist.buckets[i];
+    }
+    mine.count += hist.count;
+    mine.sum += hist.sum;
+  }
+}
+
 std::string MetricsSnapshot::RenderPrometheus() const {
   std::string out;
   for (const auto& [name, value] : counters) {

@@ -101,6 +101,13 @@ struct MetricsSnapshot {
   std::string RenderPrometheus() const;
   /// The same data as one JSON object.
   std::string RenderJson() const;
+
+  /// Folds `other` into this snapshot: counters and gauges add, histograms
+  /// merge bucket-wise. Metrics present on only one side are kept. This is
+  /// how the server aggregates its per-client session registries (plus its
+  /// own listener registry) into one scrape — summing `pdb_sessions_active`
+  /// (each live session exports 1) counts the pooled sessions.
+  void MergeFrom(const MetricsSnapshot& other);
 };
 
 /// Name-keyed registry of counters/gauges/histograms. `Get*` is

@@ -25,8 +25,11 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/status.h"
 
 namespace pdb {
 
@@ -44,6 +47,9 @@ enum class TracePhase {
 inline constexpr size_t kNumTracePhases = 8;
 
 const char* TracePhaseName(TracePhase phase);
+
+/// Inverse of TracePhaseName. Returns false when `name` is not a phase.
+bool TracePhaseFromName(std::string_view name, TracePhase* phase);
 
 /// The recorded trace of one query execution. Create before the first
 /// phase, `Finish()` when the query completes; spans in between come from
@@ -111,6 +117,29 @@ class QueryTrace {
   uint64_t total_ns_ = 0;       // guarded by mu_
   bool finished_ = false;       // guarded by mu_
 };
+
+/// The plain data of a trace, decoupled from the live clock: what survives
+/// a round trip through JSON. `FromTrace` snapshots a (finished or still
+/// running) QueryTrace.
+struct TraceData {
+  uint64_t total_ns = 0;
+  /// Spans ordered by start time (the order `QueryTrace::spans()` yields).
+  std::vector<QueryTrace::Span> spans;
+
+  static TraceData FromTrace(const QueryTrace& trace);
+
+  /// {"total_ns":N,"spans":[{"phase":"dpll","start_ns":N,"duration_ns":N,
+  /// "counters":[{"name":"decisions","value":N}]},...]}
+  std::string ToJson() const;
+};
+
+/// JSON rendering of a trace (shorthand for FromTrace(...).ToJson()),
+/// reused by the server's /debug/traces endpoint.
+std::string TraceToJson(const QueryTrace& trace);
+
+/// Parses `ToJson` output back into a TraceData. Strict: unknown phases,
+/// missing fields, or malformed JSON are InvalidArgument.
+Result<TraceData> TraceFromJson(const std::string& json);
 
 /// RAII span: notes the start on construction, records the completed span
 /// into the trace on destruction (or an explicit `End()`). A null trace

@@ -1,0 +1,93 @@
+#include "server/admission.h"
+
+#include <chrono>
+#include <thread>
+
+namespace pdb {
+
+namespace {
+
+size_t ResolveMaxConcurrent(size_t requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  return static_cast<size_t>(hw) * 2;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : max_concurrent_(ResolveMaxConcurrent(options.max_concurrent)),
+      max_queue_(options.max_queue),
+      queue_timeout_ms_(options.queue_timeout_ms) {}
+
+AdmissionController::Decision AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    shed_shutdown_total_ += 1;
+    return Decision::kShuttingDown;
+  }
+  if (in_flight_ < max_concurrent_) {
+    in_flight_ += 1;
+    admitted_total_ += 1;
+    return Decision::kAdmitted;
+  }
+  // Saturated. The queue-full case must stay fast: refuse without ever
+  // waiting so the rejection path costs one mutex acquisition.
+  if (queued_ >= max_queue_) {
+    shed_queue_full_total_ += 1;
+    return Decision::kShedQueueFull;
+  }
+  queued_ += 1;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(queue_timeout_ms_);
+  bool got_slot = slot_available_.wait_until(lock, deadline, [this] {
+    return shutdown_ || in_flight_ < max_concurrent_;
+  });
+  queued_ -= 1;
+  if (shutdown_) {
+    shed_shutdown_total_ += 1;
+    return Decision::kShuttingDown;
+  }
+  if (!got_slot) {
+    shed_timeout_total_ += 1;
+    return Decision::kShedTimeout;
+  }
+  in_flight_ += 1;
+  admitted_total_ += 1;
+  return Decision::kAdmitted;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_ -= 1;
+  }
+  slot_available_.notify_one();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  slot_available_.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats stats;
+  stats.admitted = admitted_total_;
+  stats.shed_queue_full = shed_queue_full_total_;
+  stats.shed_timeout = shed_timeout_total_;
+  stats.shed_shutdown = shed_shutdown_total_;
+  stats.in_flight = in_flight_;
+  stats.queued = queued_;
+  return stats;
+}
+
+uint64_t AdmissionController::RetryAfterSeconds() const {
+  return (queue_timeout_ms_ + 999) / 1000 + 1;
+}
+
+}  // namespace pdb

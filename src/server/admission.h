@@ -1,0 +1,122 @@
+/// \file admission.h
+/// \brief Bounded admission control for pdbd query traffic.
+///
+/// The controller applies the same discipline as `ThreadPool::TrySubmit` at
+/// the server boundary: work is accepted only while there is capacity to
+/// run or queue it, and everything else is refused *fast* — a full queue
+/// answers immediately (no blocking, no timer) so an overloaded server
+/// sheds at wire speed instead of building an invisible convoy. Admitted
+/// requests that cannot start at once wait in a bounded FIFO with a
+/// deadline; waiting past it converts into a shed as well. Both shed
+/// flavors surface to clients as HTTP 429 with Retry-After and tick
+/// `pdb_admission_rejected_total` / `pdb_shed_total` through the owning
+/// session (see `Session::NoteAdmissionRejected`).
+
+#ifndef PDB_SERVER_ADMISSION_H_
+#define PDB_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace pdb {
+
+struct AdmissionOptions {
+  /// Maximum queries executing at once. 0 resolves to twice the hardware
+  /// concurrency at construction.
+  size_t max_concurrent = 0;
+  /// Maximum queries waiting for an execution slot. An arrival beyond this
+  /// is refused immediately (`kShedQueueFull`).
+  size_t max_queue = 16;
+  /// How long an admitted-to-queue request may wait for a slot before it is
+  /// shed (`kShedTimeout`). Keeping this short bounds queueing delay: under
+  /// sustained overload the queue sheds instead of growing latency.
+  uint64_t queue_timeout_ms = 250;
+};
+
+/// Running totals, readable without stopping traffic.
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_timeout = 0;
+  uint64_t shed_shutdown = 0;
+  size_t in_flight = 0;  ///< currently executing
+  size_t queued = 0;     ///< currently waiting for a slot
+};
+
+/// Thread-safe gate in front of query execution. Call `Admit()` before
+/// running a query; on `kAdmitted` the caller MUST pair it with `Release()`
+/// (use `AdmissionTicket` for RAII). Any other decision means the query
+/// never ran.
+class AdmissionController {
+ public:
+  enum class Decision {
+    kAdmitted,
+    kShedQueueFull,  ///< wait queue at capacity — refused instantly
+    kShedTimeout,    ///< queued, but no slot freed within queue_timeout_ms
+    kShuttingDown,   ///< Shutdown() was called; no new work
+  };
+
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Blocks at most `options.queue_timeout_ms` (and not at all when the
+  /// queue is full or the controller is shut down).
+  Decision Admit();
+
+  /// Releases one execution slot, waking a queued waiter if any.
+  void Release();
+
+  /// Refuses all future admissions and wakes every queued waiter (they
+  /// return `kShuttingDown`). In-flight work is unaffected — the server
+  /// drains it separately.
+  void Shutdown();
+
+  AdmissionStats stats() const;
+  size_t max_concurrent() const { return max_concurrent_; }
+
+  /// Suggested Retry-After for a shed response: one queue-timeout rounded
+  /// up to whole seconds — by then the current queue has either drained or
+  /// shed, so a retry sees fresh capacity.
+  uint64_t RetryAfterSeconds() const;
+
+ private:
+  const size_t max_concurrent_;
+  const size_t max_queue_;
+  const uint64_t queue_timeout_ms_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_available_;
+  size_t in_flight_ = 0;
+  size_t queued_ = 0;
+  bool shutdown_ = false;
+  uint64_t admitted_total_ = 0;
+  uint64_t shed_queue_full_total_ = 0;
+  uint64_t shed_timeout_total_ = 0;
+  uint64_t shed_shutdown_total_ = 0;
+};
+
+/// RAII pairing of Admit/Release.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller), decision_(controller->Admit()) {}
+  ~AdmissionTicket() {
+    if (admitted()) controller_->Release();
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool admitted() const {
+    return decision_ == AdmissionController::Decision::kAdmitted;
+  }
+  AdmissionController::Decision decision() const { return decision_; }
+
+ private:
+  AdmissionController* controller_;
+  AdmissionController::Decision decision_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_SERVER_ADMISSION_H_

@@ -1,0 +1,262 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses a non-negative decimal integer; rejects empty input, non-digits,
+/// and overflow past `max`.
+bool ParseDecimal(std::string_view s, uint64_t max, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (max - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view data) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  if (state_ == State::kComplete) return state_;  // pipelined bytes wait
+  return Parse();
+}
+
+HttpRequestParser::State HttpRequestParser::Parse() {
+  if (!head_done_) {
+    // The head ends at the first blank line; accept bare-LF line endings
+    // from hand-typed clients alongside the standard CRLF.
+    size_t head_end = buffer_.find("\r\n\r\n");
+    size_t terminator_len = 4;
+    size_t lf_end = buffer_.find("\n\n");
+    if (lf_end != std::string::npos &&
+        (head_end == std::string::npos || lf_end < head_end)) {
+      head_end = lf_end;
+      terminator_len = 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(431, "request head exceeds limit");
+      }
+      return state_;  // kNeedMore
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return Fail(431, "request head exceeds limit");
+    }
+
+    // Split the head into lines (tolerating \r\n or \n).
+    std::string_view head(buffer_.data(), head_end);
+    std::vector<std::string_view> lines;
+    while (!head.empty()) {
+      size_t eol = head.find('\n');
+      std::string_view line =
+          eol == std::string_view::npos ? head : head.substr(0, eol);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      lines.push_back(line);
+      if (eol == std::string_view::npos) break;
+      head.remove_prefix(eol + 1);
+    }
+    if (lines.empty() || lines[0].empty()) {
+      return Fail(400, "empty request line");
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::string_view request_line = lines[0];
+    size_t sp1 = request_line.find(' ');
+    size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      return Fail(400, "malformed request line");
+    }
+    request_.method = std::string(request_line.substr(0, sp1));
+    request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request_.version = std::string(request_line.substr(sp2 + 1));
+    if (request_.method.empty() || request_.target.empty()) {
+      return Fail(400, "malformed request line");
+    }
+    if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+      return Fail(400, "unsupported HTTP version");
+    }
+
+    // Header fields: name ':' OWS value. Names are lowercased so lookups
+    // and the dispatch code never worry about case.
+    for (size_t i = 1; i < lines.size(); ++i) {
+      std::string_view line = lines[i];
+      if (line.empty()) continue;
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        return Fail(400, "malformed header field");
+      }
+      std::string name(line.substr(0, colon));
+      std::string_view raw_name(name);
+      if (!TrimWhitespace(raw_name).size() ||
+          TrimWhitespace(raw_name).size() != name.size()) {
+        return Fail(400, "whitespace in header name");
+      }
+      std::transform(name.begin(), name.end(), name.begin(), AsciiLower);
+      std::string value(TrimWhitespace(line.substr(colon + 1)));
+      request_.headers.emplace_back(std::move(name), std::move(value));
+    }
+
+    if (request_.FindHeader("transfer-encoding") != nullptr) {
+      return Fail(501, "Transfer-Encoding requests are not supported");
+    }
+    body_length_ = 0;
+    if (const std::string* cl = request_.FindHeader("content-length")) {
+      uint64_t length = 0;
+      // Parse with a UINT64 ceiling so an over-limit (but well-formed)
+      // length is distinguishable from garbage: the former is 413, the
+      // latter 400.
+      if (!ParseDecimal(*cl, UINT64_MAX, &length)) {
+        return Fail(400, "malformed Content-Length");
+      }
+      if (length > limits_.max_body_bytes) {
+        return Fail(413, "request body exceeds limit");
+      }
+      body_length_ = static_cast<size_t>(length);
+    }
+
+    request_.keep_alive = request_.version == "HTTP/1.1";
+    if (const std::string* conn = request_.FindHeader("connection")) {
+      if (EqualsIgnoreCase(*conn, "close")) request_.keep_alive = false;
+      if (EqualsIgnoreCase(*conn, "keep-alive")) request_.keep_alive = true;
+    }
+
+    body_offset_ = head_end + terminator_len;
+    head_done_ = true;
+  }
+
+  if (buffer_.size() - body_offset_ < body_length_) {
+    return state_;  // kNeedMore: body still arriving
+  }
+  request_.body = buffer_.substr(body_offset_, body_length_);
+  consumed_ = body_offset_ + body_length_;
+  state_ = State::kComplete;
+  return state_;
+}
+
+void HttpRequestParser::Reset() {
+  if (state_ != State::kComplete) return;
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  head_done_ = false;
+  body_offset_ = 0;
+  body_length_ = 0;
+  request_ = HttpRequest();
+  state_ = State::kNeedMore;
+  if (!buffer_.empty()) Parse();  // pipelined follow-up request
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+std::string RenderHead(
+    int status, std::string_view content_type, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out =
+      StrFormat("HTTP/1.1 %d %s\r\n", status, HttpReasonPhrase(status));
+  out += StrFormat("Content-Type: %.*s\r\n",
+                   static_cast<int>(content_type.size()), content_type.data());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += StrFormat("%s: %s\r\n", name.c_str(), value.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderHttpResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out = RenderHead(status, content_type, keep_alive, extra_headers);
+  out += StrFormat("Content-Length: %zu\r\n\r\n", body.size());
+  out.append(body.data(), body.size());
+  return out;
+}
+
+std::string RenderHttpChunkedHead(
+    int status, std::string_view content_type, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out = RenderHead(status, content_type, keep_alive, extra_headers);
+  out += "Transfer-Encoding: chunked\r\n\r\n";
+  return out;
+}
+
+std::string RenderHttpChunk(std::string_view data) {
+  if (data.empty()) return "";
+  std::string out = StrFormat("%zx\r\n", data.size());
+  out.append(data.data(), data.size());
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace pdb

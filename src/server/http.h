@@ -1,0 +1,125 @@
+/// \file http.h
+/// \brief Self-contained HTTP/1.1 codec for the pdbd server front-end.
+///
+/// `pdbd` speaks just enough HTTP/1.1 for query traffic and Prometheus
+/// scrapes without pulling in an external dependency: an incremental
+/// request parser (request line + headers + Content-Length body, keep-alive
+/// and pipelining aware, with hard size limits so a hostile peer cannot
+/// balloon memory) and response rendering helpers, including `chunked`
+/// transfer framing used to stream per-tuple answers as they are written.
+///
+/// Scope limits are deliberate and explicit: no request Transfer-Encoding
+/// (501), no multipart, no compression, no TLS. Every limit violation maps
+/// to the proper 4xx status so clients see a reason, not a dropped socket.
+
+#ifndef PDB_SERVER_HTTP_H_
+#define PDB_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdb {
+
+/// Parser budgets. A request head (request line + headers) larger than
+/// `max_head_bytes` is rejected with 431; a body larger than
+/// `max_body_bytes` with 413.
+struct HttpLimits {
+  size_t max_head_bytes = 16 * 1024;
+  size_t max_body_bytes = 1 << 20;
+};
+
+/// One parsed request. Header names are lowercased; values are trimmed of
+/// surrounding whitespace.
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET", "POST" (uppercase as sent)
+  std::string target;   ///< request target, e.g. "/query"
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection persistence: HTTP/1.1 defaults to true unless
+  /// `Connection: close`; HTTP/1.0 defaults to false unless keep-alive.
+  bool keep_alive = true;
+
+  /// First header with `name` (case-insensitive), or null.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Incremental request parser: feed bytes as they arrive off the socket,
+/// read out a complete request, `Reset()` to consume it and continue with
+/// any pipelined leftover.
+class HttpRequestParser {
+ public:
+  enum class State {
+    kNeedMore,  ///< incomplete: feed more bytes
+    kComplete,  ///< request() is valid
+    kError,     ///< protocol violation: error_status()/error_message()
+  };
+
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Appends `data` and advances the parse. Idempotently sticky on error.
+  State Feed(std::string_view data);
+
+  State state() const { return state_; }
+  /// Valid while state() == kComplete, until the next Reset().
+  const HttpRequest& request() const { return request_; }
+  /// HTTP status describing the violation (400/413/431/501).
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Consumes the completed request and re-parses any pipelined bytes
+  /// already buffered (state() afterwards reflects them).
+  void Reset();
+
+  /// True when no bytes of a (next) request have been buffered — the
+  /// connection is between requests and may be closed without cutting a
+  /// request short.
+  bool idle() const { return buffer_.empty(); }
+
+ private:
+  State Parse();
+  State Fail(int status, std::string message);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< bytes of buffer_ belonging to request_
+  bool head_done_ = false;
+  size_t body_offset_ = 0;
+  size_t body_length_ = 0;
+  State state_ = State::kNeedMore;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_message_;
+};
+
+/// Reason phrase for the handful of statuses pdbd emits ("OK", "Too Many
+/// Requests", ...); "Unknown" otherwise.
+const char* HttpReasonPhrase(int status);
+
+/// Renders a complete response with a Content-Length body.
+std::string RenderHttpResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
+
+/// Renders the head of a chunked-streaming response; follow with
+/// `RenderHttpChunk` frames and finish with `kHttpLastChunk`.
+std::string RenderHttpChunkedHead(
+    int status, std::string_view content_type, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
+
+/// One chunked-transfer frame around `data` (empty data renders nothing:
+/// a zero-size chunk would terminate the stream).
+std::string RenderHttpChunk(std::string_view data);
+
+/// The terminating zero-length chunk.
+inline constexpr std::string_view kHttpLastChunk = "0\r\n\r\n";
+
+}  // namespace pdb
+
+#endif  // PDB_SERVER_HTTP_H_

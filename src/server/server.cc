@@ -1,0 +1,624 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "sql/sql.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+constexpr int kRecvTimeoutMs = 200;
+constexpr size_t kRecvBufferBytes = 8192;
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ValueToJson(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return StrFormat("%lld", static_cast<long long>(v.AsInt()));
+    case ValueType::kDouble:
+      return StrFormat("%.17g", v.AsDouble());
+    case ValueType::kString:
+      return StrFormat("\"%s\"", JsonEscape(v.AsString()).c_str());
+  }
+  return "null";
+}
+
+std::string TupleToJson(const Tuple& tuple) {
+  std::string out = "[";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ValueToJson(tuple[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string ErrorJson(const std::string& message) {
+  return StrFormat("{\"error\":\"%s\"}\n", JsonEscape(message).c_str());
+}
+
+/// One NDJSON line for a Boolean answer.
+std::string BooleanAnswerJson(const QueryAnswer& answer) {
+  return StrFormat(
+      "{\"probability\":%.17g,\"lower\":%.17g,\"upper\":%.17g,"
+      "\"method\":\"%s\",\"exact\":%s,\"std_error\":%.17g,"
+      "\"explanation\":\"%s\"}\n",
+      answer.probability, answer.lower, answer.upper,
+      InferenceMethodToString(answer.method), answer.exact ? "true" : "false",
+      answer.std_error, JsonEscape(answer.explanation).c_str());
+}
+
+/// One NDJSON line for an answer tuple with its marginal and per-tuple
+/// execution metadata (AnswerTupleInfo).
+std::string AnswerTupleJson(const Tuple& tuple, double probability,
+                            const AnswerTupleInfo* info) {
+  std::string out = StrFormat("{\"tuple\":%s,\"probability\":%.17g",
+                              TupleToJson(tuple).c_str(), probability);
+  if (info != nullptr) {
+    out += StrFormat(",\"method\":\"%s\",\"exact\":%s,\"std_error\":%.17g",
+                     InferenceMethodToString(info->method),
+                     info->exact ? "true" : "false", info->std_error);
+  }
+  out += "}\n";
+  return out;
+}
+
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnsupported:
+    case StatusCode::kFailedPrecondition:
+      return 400;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kResourceExhausted:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+/// Case-insensitively tests whether trimmed `body` starts with "SELECT",
+/// routing it to the SQL frontend rather than the FO/UCQ parser.
+bool LooksLikeSql(std::string_view body) {
+  size_t i = 0;
+  while (i < body.size() &&
+         (body[i] == ' ' || body[i] == '\t' || body[i] == '\r' ||
+          body[i] == '\n')) {
+    ++i;
+  }
+  constexpr std::string_view kSelect = "select";
+  if (body.size() - i < kSelect.size()) return false;
+  for (size_t j = 0; j < kSelect.size(); ++j) {
+    char c = body[i + j];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != kSelect[j]) return false;
+  }
+  return true;
+}
+
+bool ParseDecimalHeader(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+PdbServer::PdbServer(const ProbDatabase* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      admission_(options_.admission),
+      sessions_(db, options_.sessions) {
+  connections_accepted_ = metrics_.GetCounter("pdb_connections_accepted_total");
+  connections_dropped_ = metrics_.GetCounter("pdb_connections_dropped_total");
+  http_requests_ = metrics_.GetCounter("pdb_http_requests_total");
+  http_2xx_ = metrics_.GetCounter("pdb_http_responses_2xx_total");
+  http_4xx_ = metrics_.GetCounter("pdb_http_responses_4xx_total");
+  http_5xx_ = metrics_.GetCounter("pdb_http_responses_5xx_total");
+  http_429_ = metrics_.GetCounter("pdb_http_responses_429_total");
+  http_parse_errors_ = metrics_.GetCounter("pdb_http_parse_errors_total");
+  shutdown_cancelled_ =
+      metrics_.GetCounter("pdb_shutdown_cancelled_queries_total");
+  connections_active_ = metrics_.GetGauge("pdb_connections_active");
+  draining_gauge_ = metrics_.GetGauge("pdb_server_draining");
+  request_latency_us_ = metrics_.GetHistogram("pdb_http_request_latency_us");
+}
+
+PdbServer::~PdbServer() { Shutdown(); }
+
+Status PdbServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        StrFormat("bad listen address '%s'", options_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::Internal(
+        StrFormat("bind(%s:%u): %s", options_.host.c_str(),
+                  static_cast<unsigned>(options_.port), std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.accept_backlog) != 0) {
+    Status status =
+        Status::Internal(StrFormat("listen(): %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void PdbServer::AcceptLoop() {
+  while (!accept_stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    ReapFinished();
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      active = connections_.size();
+    }
+    if (active >= options_.max_connections) {
+      // Over the connection cap: shed at the listener with a one-shot 503
+      // rather than letting the kernel queue grow silently.
+      connections_dropped_->Add(1);
+      std::string response = RenderHttpResponse(
+          503, "application/json", ErrorJson("connection limit reached"),
+          /*keep_alive=*/false,
+          {{"Retry-After", StrFormat("%llu",
+                                     static_cast<unsigned long long>(
+                                         admission_.RetryAfterSeconds()))}});
+      SendAll(fd, response);
+      ::close(fd);
+      continue;
+    }
+
+    connections_accepted_->Add(1);
+    connections_active_->Add(1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    uint64_t id = next_conn_id_++;
+    Connection& conn = connections_[id];
+    conn.fd = fd;
+    conn.thread = std::thread([this, id, fd] { ServeConnection(id, fd); });
+  }
+}
+
+void PdbServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      done.push_back(std::move(it->second.thread));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void PdbServer::ServeConnection(uint64_t id, int fd) {
+  timeval tv{};
+  tv.tv_sec = kRecvTimeoutMs / 1000;
+  tv.tv_usec = (kRecvTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  HttpRequestParser parser(options_.http);
+  char buffer[kRecvBufferBytes];
+  uint64_t idle_ms = 0;
+  bool keep_open = true;
+
+  while (keep_open && !stopping_.load(std::memory_order_acquire)) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      idle_ms = 0;
+      HttpRequestParser::State state =
+          parser.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      while (state == HttpRequestParser::State::kComplete && keep_open) {
+        keep_open = HandleRequest(fd, parser.request());
+        parser.Reset();
+        state = parser.state();
+      }
+      if (state == HttpRequestParser::State::kError) {
+        http_parse_errors_->Add(1);
+        SendError(fd, parser.error_status(), parser.error_message(),
+                  /*keep_alive=*/false);
+        keep_open = false;
+      }
+    } else if (n == 0) {
+      keep_open = false;  // peer closed
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      idle_ms += kRecvTimeoutMs;
+      if (idle_ms >= options_.idle_timeout_ms) {
+        // Mid-request stalls get a 408 so the client learns why; an idle
+        // keep-alive connection is just closed.
+        if (!parser.idle()) {
+          SendError(fd, 408, "timed out waiting for request",
+                    /*keep_alive=*/false);
+        }
+        keep_open = false;
+      }
+    } else if (errno != EINTR) {
+      keep_open = false;
+    }
+  }
+
+  ::close(fd);
+  connections_active_->Add(-1);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  finished_.push_back(id);
+}
+
+void PdbServer::CountResponse(int status) {
+  if (status == 429) {
+    http_429_->Add(1);
+  } else if (status >= 500) {
+    http_5xx_->Add(1);
+  } else if (status >= 400) {
+    http_4xx_->Add(1);
+  } else {
+    http_2xx_->Add(1);
+  }
+}
+
+bool PdbServer::SendError(
+    int fd, int status, const std::string& message, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  CountResponse(status);
+  std::string response = RenderHttpResponse(
+      status, "application/json", ErrorJson(message), keep_alive,
+      extra_headers);
+  return SendAll(fd, response) && keep_alive;
+}
+
+bool PdbServer::SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool PdbServer::HandleRequest(int fd, const HttpRequest& request) {
+  http_requests_->Add(1);
+  uint64_t start_us = NowMicros();
+  bool keep_open;
+  if (request.target == "/query") {
+    keep_open = request.method == "POST"
+                    ? HandleQuery(fd, request)
+                    : SendError(fd, 405, "POST required", request.keep_alive);
+  } else if (request.target == "/metrics") {
+    keep_open = request.method == "GET"
+                    ? HandleMetrics(fd, request)
+                    : SendError(fd, 405, "GET required", request.keep_alive);
+  } else if (request.target == "/healthz") {
+    keep_open = request.method == "GET"
+                    ? HandleHealthz(fd, request)
+                    : SendError(fd, 405, "GET required", request.keep_alive);
+  } else if (request.target == "/debug/traces") {
+    keep_open = request.method == "GET"
+                    ? HandleTraces(fd, request)
+                    : SendError(fd, 405, "GET required", request.keep_alive);
+  } else {
+    keep_open = SendError(fd, 404, "no such endpoint", request.keep_alive);
+  }
+  request_latency_us_->Record(NowMicros() - start_us);
+  return keep_open;
+}
+
+bool PdbServer::HandleHealthz(int fd, const HttpRequest& request) {
+  bool draining = draining_.load(std::memory_order_acquire);
+  int status = draining ? 503 : 200;
+  CountResponse(status);
+  std::string response =
+      RenderHttpResponse(status, "text/plain", draining ? "draining\n" : "ok\n",
+                         request.keep_alive);
+  return SendAll(fd, response) && request.keep_alive;
+}
+
+bool PdbServer::HandleMetrics(int fd, const HttpRequest& request) {
+  CountResponse(200);
+  std::string response = RenderHttpResponse(
+      200, "text/plain; version=0.0.4", MetricsText(), request.keep_alive);
+  return SendAll(fd, response) && request.keep_alive;
+}
+
+std::string PdbServer::MetricsText() {
+  MetricsSnapshot merged = metrics_.Snapshot();
+  sessions_.ForEachSession([&merged](const std::string&, Session& session) {
+    merged.MergeFrom(session.SnapshotMetrics());
+  });
+  return merged.RenderPrometheus();
+}
+
+bool PdbServer::HandleTraces(int fd, const HttpRequest& request) {
+  std::string body = "{\"clients\":[";
+  bool first_client = true;
+  sessions_.ForEachSession([&](const std::string& client_id,
+                               Session& session) {
+    auto traces = session.recent_traces();
+    if (traces.empty()) return;
+    body += StrFormat("%s{\"client\":\"%s\",\"traces\":[",
+                      first_client ? "" : ",",
+                      JsonEscape(client_id).c_str());
+    first_client = false;
+    for (size_t i = 0; i < traces.size(); ++i) {
+      if (i > 0) body += ",";
+      body += TraceToJson(*traces[i]);
+    }
+    body += "]}";
+  });
+  body += "]}\n";
+  CountResponse(200);
+  std::string response =
+      RenderHttpResponse(200, "application/json", body, request.keep_alive);
+  return SendAll(fd, response) && request.keep_alive;
+}
+
+bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
+  if (draining_.load(std::memory_order_acquire)) {
+    return SendError(fd, 503, "server is draining", /*keep_alive=*/false);
+  }
+  std::string client_id;
+  if (const std::string* header = request.FindHeader("x-client-id")) {
+    client_id = *header;
+  }
+  Session* session = sessions_.ForClient(client_id);
+
+  // Per-request wall-clock budget, clamped so a client cannot opt out of
+  // the server's ceiling (and "no deadline" counts as exceeding it).
+  uint64_t deadline_ms = options_.default_deadline_ms;
+  if (const std::string* header = request.FindHeader("x-deadline-ms")) {
+    if (!ParseDecimalHeader(*header, &deadline_ms)) {
+      return SendError(fd, 400, "malformed X-Deadline-Ms",
+                       request.keep_alive);
+    }
+  }
+  if (options_.max_deadline_ms > 0 &&
+      (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms)) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+
+  if (request.body.empty()) {
+    return SendError(fd, 400, "empty query body", request.keep_alive);
+  }
+
+  // Admission gate: the one place pdbd decides run-now vs shed. Shed
+  // requests never touch the engine; they tick the session's
+  // pdb_admission_rejected_total / pdb_shed_total and answer 429 fast.
+  AdmissionTicket ticket(&admission_);
+  if (!ticket.admitted()) {
+    if (ticket.decision() == AdmissionController::Decision::kShuttingDown) {
+      return SendError(fd, 503, "server is draining", /*keep_alive=*/false);
+    }
+    session->NoteAdmissionRejected();
+    const char* reason =
+        ticket.decision() == AdmissionController::Decision::kShedQueueFull
+            ? "admission queue full"
+            : "timed out waiting for an execution slot";
+    return SendError(
+        fd, 429, reason, request.keep_alive,
+        {{"Retry-After", StrFormat("%llu", static_cast<unsigned long long>(
+                                               admission_.RetryAfterSeconds()))}});
+  }
+
+  QueryOptions query_options;
+  query_options.trace = options_.trace_queries;
+  query_options.exec.num_threads = 1;
+  query_options.exec.deadline_ms = deadline_ms;
+
+  uint64_t start_us = NowMicros();
+  std::string head = RenderHttpChunkedHead(200, "application/x-ndjson",
+                                           request.keep_alive);
+
+  if (LooksLikeSql(request.body)) {
+    Result<SqlSelect> parsed = ParseSql(request.body);
+    if (!parsed.ok()) {
+      return SendError(fd, 400, parsed.status().message(), request.keep_alive);
+    }
+    if (parsed->boolean) {
+      Result<QueryAnswer> answer =
+          session->QuerySqlBoolean(request.body, query_options);
+      if (!answer.ok()) {
+        return SendError(fd, StatusToHttp(answer.status()),
+                         answer.status().message(), request.keep_alive);
+      }
+      CountResponse(200);
+      std::string out = head;
+      out += RenderHttpChunk(BooleanAnswerJson(*answer));
+      out += RenderHttpChunk(StrFormat(
+          "{\"done\":true,\"rows\":1,\"elapsed_us\":%llu}\n",
+          static_cast<unsigned long long>(NowMicros() - start_us)));
+      out += kHttpLastChunk;
+      return SendAll(fd, out) && request.keep_alive;
+    }
+    std::vector<AnswerTupleInfo> info;
+    Result<Relation> answers =
+        session->QuerySqlAnswers(request.body, query_options, &info);
+    if (!answers.ok()) {
+      return SendError(fd, StatusToHttp(answers.status()),
+                       answers.status().message(), request.keep_alive);
+    }
+    CountResponse(200);
+    // Stream per tuple: the head goes out first, then each answer row as
+    // its own chunk, so a consumer sees rows as they serialize instead of
+    // one monolithic buffer.
+    if (!SendAll(fd, head)) return false;
+    const Relation& relation = *answers;
+    for (size_t i = 0; i < relation.size(); ++i) {
+      const AnswerTupleInfo* tuple_info = i < info.size() ? &info[i] : nullptr;
+      if (!SendAll(fd, RenderHttpChunk(AnswerTupleJson(
+                           relation.tuple(i), relation.prob(i), tuple_info)))) {
+        return false;
+      }
+    }
+    std::string tail = RenderHttpChunk(StrFormat(
+        "{\"done\":true,\"rows\":%zu,\"elapsed_us\":%llu}\n", relation.size(),
+        static_cast<unsigned long long>(NowMicros() - start_us)));
+    tail += kHttpLastChunk;
+    return SendAll(fd, tail) && request.keep_alive;
+  }
+
+  // Not SQL: Boolean FO sentence / datalog-style UCQ shorthand.
+  Result<QueryAnswer> answer = session->Query(request.body, query_options);
+  if (!answer.ok()) {
+    return SendError(fd, StatusToHttp(answer.status()),
+                     answer.status().message(), request.keep_alive);
+  }
+  CountResponse(200);
+  std::string out = head;
+  out += RenderHttpChunk(BooleanAnswerJson(*answer));
+  out += RenderHttpChunk(
+      StrFormat("{\"done\":true,\"rows\":1,\"elapsed_us\":%llu}\n",
+                static_cast<unsigned long long>(NowMicros() - start_us)));
+  out += kHttpLastChunk;
+  return SendAll(fd, out) && request.keep_alive;
+}
+
+void PdbServer::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (shut_down_.exchange(true)) return;
+
+  // Phase 1: stop taking new work. The listener closes and the admission
+  // gate refuses every new query (503 to clients), while requests already
+  // executing continue undisturbed.
+  draining_.store(true, std::memory_order_release);
+  draining_gauge_->Set(1);
+  admission_.Shutdown();
+  accept_stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Phase 2: drain. Wait for in-flight requests to finish on their own.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.drain_timeout_ms);
+  while (admission_.stats().in_flight > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Phase 3: cancel stragglers. Cooperative — queries observe the cancel
+  // at their next ShouldStop() poll — so give them one more (bounded)
+  // window to unwind and write their responses.
+  size_t stragglers = admission_.stats().in_flight;
+  if (stragglers > 0) {
+    shutdown_cancelled_->Add(stragglers);
+    sessions_.CancelAllInFlight();
+    auto cancel_deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(options_.drain_timeout_ms);
+    while (admission_.stats().in_flight > 0 &&
+           std::chrono::steady_clock::now() < cancel_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  // Phase 4: tear down connections. stopping_ ends the serve loops;
+  // shutdown(2) unblocks any thread parked in recv.
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, conn] : connections_) {
+      ::shutdown(conn.fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, conn] : connections_) {
+      threads.push_back(std::move(conn.thread));
+    }
+    connections_.clear();
+    finished_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace pdb

@@ -1,0 +1,172 @@
+/// \file server.h
+/// \brief pdbd: an HTTP/1.1 network front-end for the query engine.
+///
+/// Architecture (DESIGN.md §4f): a listener thread accepts connections and
+/// hands each to its own connection thread (bounded by `max_connections`);
+/// every `POST /query` passes the `AdmissionController` gate before it may
+/// execute — saturation sheds the request as a fast HTTP 429 with
+/// Retry-After — and then runs synchronously on the connection thread
+/// against the caller's pooled `Session` (the `X-Client-Id` header picks
+/// it; see session_pool.h). Answers stream back as newline-delimited JSON
+/// in chunked transfer framing, one line per answer tuple with the
+/// per-tuple inference method and standard error, then a final summary
+/// line.
+///
+/// Endpoints:
+///   POST /query         SQL (or Boolean FO/UCQ text) in the body.
+///                       Headers: X-Client-Id (session affinity),
+///                       X-Deadline-Ms (per-request wall-clock budget,
+///                       clamped to `max_deadline_ms`).
+///   GET  /metrics       Prometheus text: the server's listener registry
+///                       merged with every pooled session's registry.
+///   GET  /healthz       200 "ok" (503 "draining" during shutdown).
+///   GET  /debug/traces  Recent per-phase query traces as JSON.
+///
+/// Graceful shutdown: stop accepting (listener closes, admission refuses
+/// new queries with 503), drain in-flight requests under
+/// `drain_timeout_ms`, then cooperatively cancel stragglers through
+/// `Session::CancelInFlight` and join every connection thread. `Shutdown`
+/// is idempotent and is also run by the destructor.
+
+#ifndef PDB_SERVER_SERVER_H_
+#define PDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pdb.h"
+#include "obs/metrics.h"
+#include "server/admission.h"
+#include "server/http.h"
+#include "server/session_pool.h"
+#include "util/status.h"
+
+namespace pdb {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via `port()`).
+  uint16_t port = 0;
+  /// Concurrent connections; an accept beyond this is answered 503 and
+  /// closed immediately.
+  size_t max_connections = 128;
+  int accept_backlog = 64;
+  /// Query admission gate (concurrency cap + bounded wait queue).
+  AdmissionOptions admission;
+  /// Per-client session pool. `session.num_threads` defaults to 1 here —
+  /// each admitted query runs sequentially on its connection thread, so
+  /// parallelism is governed by admission, not multiplied per client.
+  SessionPoolOptions sessions = {{.num_threads = 1}, 64};
+  /// Deadline applied to queries that send no X-Deadline-Ms (0 = none).
+  uint64_t default_deadline_ms = 0;
+  /// Upper clamp on client-requested deadlines (0 = unclamped).
+  uint64_t max_deadline_ms = 60'000;
+  /// How long Shutdown waits for in-flight requests before cancelling.
+  uint64_t drain_timeout_ms = 5'000;
+  /// Keep-alive connections idle longer than this are closed.
+  uint64_t idle_timeout_ms = 30'000;
+  HttpLimits http;
+  /// Record a per-phase QueryTrace for every query (feeds /debug/traces).
+  bool trace_queries = true;
+};
+
+class PdbServer {
+ public:
+  /// Binds to `db`, which must outlive the server and stay unmutated while
+  /// the server runs (sessions cache against its generation).
+  explicit PdbServer(const ProbDatabase* db, ServerOptions options = {});
+  ~PdbServer();
+
+  PdbServer(const PdbServer&) = delete;
+  PdbServer& operator=(const PdbServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Graceful stop: drain, cancel stragglers, join everything. Idempotent.
+  void Shutdown();
+
+  /// The bound port (after Start; resolves port 0 to the actual port).
+  uint16_t port() const { return port_; }
+
+  /// True once Shutdown has begun.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// The aggregated Prometheus exposition served at /metrics.
+  std::string MetricsText();
+
+  SessionPool& sessions() { return sessions_; }
+  AdmissionController& admission() { return admission_; }
+  /// Listener-side metrics (connections, HTTP status classes, latency).
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(uint64_t id, int fd);
+  /// Dispatches one parsed request; returns false when the connection
+  /// should close afterwards.
+  bool HandleRequest(int fd, const HttpRequest& request);
+  bool HandleQuery(int fd, const HttpRequest& request);
+  bool HandleMetrics(int fd, const HttpRequest& request);
+  bool HandleHealthz(int fd, const HttpRequest& request);
+  bool HandleTraces(int fd, const HttpRequest& request);
+  /// Renders and sends a JSON error body; returns `keep_alive`.
+  bool SendError(int fd, int status, const std::string& message,
+                 bool keep_alive,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     extra_headers = {});
+  bool SendAll(int fd, std::string_view data);
+  void CountResponse(int status);
+  /// Joins connection threads that have finished serving.
+  void ReapFinished();
+
+  const ProbDatabase* db_;
+  ServerOptions options_;
+  AdmissionController admission_;
+  SessionPool sessions_;
+
+  MetricsRegistry metrics_;
+  Counter* connections_accepted_;
+  Counter* connections_dropped_;
+  Counter* http_requests_;
+  Counter* http_2xx_;
+  Counter* http_4xx_;
+  Counter* http_5xx_;
+  Counter* http_429_;
+  Counter* http_parse_errors_;
+  Counter* shutdown_cancelled_;
+  Gauge* connections_active_;
+  Gauge* draining_gauge_;
+  Histogram* request_latency_us_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> accept_stop_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shut_down_{false};
+
+  std::mutex conn_mu_;
+  uint64_t next_conn_id_ = 0;                   // guarded by conn_mu_
+  std::map<uint64_t, Connection> connections_;  // guarded by conn_mu_
+  std::vector<uint64_t> finished_;              // guarded by conn_mu_
+};
+
+}  // namespace pdb
+
+#endif  // PDB_SERVER_SERVER_H_

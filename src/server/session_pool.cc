@@ -1,0 +1,69 @@
+#include "server/session_pool.h"
+
+#include <utility>
+#include <vector>
+
+namespace pdb {
+
+SessionPool::SessionPool(const ProbDatabase* db, SessionPoolOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      default_session_(db, options_.session) {}
+
+Session* SessionPool::ForClient(const std::string& client_id) {
+  if (client_id.empty()) return &default_session_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(client_id);
+  if (it != sessions_.end()) return it->second.get();
+  if (sessions_.size() >= options_.max_sessions) return &default_session_;
+  auto session = std::make_unique<Session>(db_, options_.session);
+  Session* raw = session.get();
+  sessions_.emplace(client_id, std::move(session));
+  return raw;
+}
+
+void SessionPool::ForEachSession(
+    const std::function<void(const std::string&, Session&)>& fn) {
+  fn("", default_session_);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [client_id, session] : sessions_) {
+    fn(client_id, *session);
+  }
+}
+
+size_t SessionPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void SessionPool::CancelAllInFlight() {
+  default_session_.CancelInFlight();
+  // Collect first: CancelInFlight takes each session's own lock, and
+  // holding the pool lock across those is needless coupling (new sessions
+  // created mid-cancel start with nothing in flight anyway).
+  std::vector<Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [client_id, session] : sessions_) {
+      sessions.push_back(session.get());
+    }
+  }
+  for (Session* session : sessions) session->CancelInFlight();
+}
+
+int64_t SessionPool::TotalInFlight() {
+  int64_t total = default_session_.requests_in_flight();
+  std::vector<Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [client_id, session] : sessions_) {
+      sessions.push_back(session.get());
+    }
+  }
+  for (Session* session : sessions) total += session->requests_in_flight();
+  return total;
+}
+
+}  // namespace pdb

@@ -1,0 +1,76 @@
+/// \file session_pool.h
+/// \brief Per-client session pool for pdbd.
+///
+/// Each client (the `X-Client-Id` request header) gets its own `Session`,
+/// so one client's result/WMC/index caches and cumulative accounting are
+/// isolated from every other client's, while all sessions share the one
+/// immutable `ProbDatabase`. Anonymous requests (no client id) land on a
+/// shared default session, as does any new client once the pool is at
+/// capacity — the cap bounds memory (each session owns caches and possibly
+/// a thread pool), and overflow degrades to sharing rather than refusing.
+///
+/// Sessions are never evicted while the server runs: `Session*` handed out
+/// by `ForClient` stays valid until the pool is destroyed, which the server
+/// does only after every connection thread has been joined.
+
+#ifndef PDB_SERVER_SESSION_POOL_H_
+#define PDB_SERVER_SESSION_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/session.h"
+
+namespace pdb {
+
+struct SessionPoolOptions {
+  /// Options applied to every pooled session. The server defaults
+  /// `num_threads` to 1 (sequential queries) so a wide client fan-out does
+  /// not multiply into num_clients × num_cores engine threads.
+  SessionOptions session;
+  /// Maximum distinct client sessions (the shared default session is not
+  /// counted). Further new clients share the default session.
+  size_t max_sessions = 64;
+};
+
+class SessionPool {
+ public:
+  explicit SessionPool(const ProbDatabase* db, SessionPoolOptions options = {});
+
+  /// The session for `client_id`, creating it on first sight. Empty id, or
+  /// a new id arriving when the pool is full, yields the shared default
+  /// session. Thread-safe; the pointer stays valid for the pool's lifetime.
+  Session* ForClient(const std::string& client_id);
+
+  /// Visits every session (default first, then clients in id order) under
+  /// the pool lock; `fn` must not call back into the pool.
+  void ForEachSession(
+      const std::function<void(const std::string& client_id, Session& session)>&
+          fn);
+
+  /// Client sessions created so far (excludes the default session).
+  size_t size() const;
+
+  /// Cooperatively cancels every in-flight query in every session.
+  void CancelAllInFlight();
+
+  /// Sum of top-level in-flight queries across every session.
+  int64_t TotalInFlight();
+
+ private:
+  const ProbDatabase* db_;
+  SessionPoolOptions options_;
+  Session default_session_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;  // guarded by mu_
+};
+
+}  // namespace pdb
+
+#endif  // PDB_SERVER_SESSION_POOL_H_

@@ -197,12 +197,16 @@ MetricsRegistry* GoldenRegistry() {
   static MetricsRegistry* reg = [] {
     auto* r = new MetricsRegistry();
     r->GetCounter("pdb_queries_total")->Add(3);
+    r->GetCounter("pdb_admission_rejected_total")->Add(2);
     r->GetCounter("pdb_index_builds_total")->Add(4);
     r->GetCounter("pdb_index_cache_hits_total")->Add(12);
     r->GetCounter("pdb_lineage_matches_total")->Add(7);
     r->GetCounter("pdb_lineage_nodes_total")->Add(21);
+    r->GetCounter("pdb_shed_total")->Add(5);
     r->GetCounter("weird.name-1")->Add(1);  // sanitized to weird_name_1
+    r->GetGauge("pdb_requests_in_flight")->Set(1);
     r->GetGauge("pdb_result_cache_entries")->Set(2);
+    r->GetGauge("pdb_sessions_active")->Set(3);
     r->GetGauge("temp_delta")->Set(-5);
     Histogram* h = r->GetHistogram("pdb_query_latency_us");
     h->Record(0);
@@ -401,6 +405,114 @@ TEST(TraceTest, PhaseNamesAreStable) {
   EXPECT_STREQ(TracePhaseName(TracePhase::kMonteCarlo), "monte_carlo");
 }
 
+TEST(TraceTest, PhaseNamesRoundTrip) {
+  for (size_t i = 0; i < kNumTracePhases; ++i) {
+    TracePhase phase = static_cast<TracePhase>(i);
+    TracePhase parsed;
+    ASSERT_TRUE(TracePhaseFromName(TracePhaseName(phase), &parsed));
+    EXPECT_EQ(parsed, phase);
+  }
+  TracePhase unused;
+  EXPECT_FALSE(TracePhaseFromName("nonsense", &unused));
+  EXPECT_FALSE(TracePhaseFromName("", &unused));
+}
+
+TEST(TraceJsonTest, RoundTripPreservesEverySpanAndCounter) {
+  QueryTrace trace;
+  {
+    TraceSpan parse(&trace, TracePhase::kParse);
+  }
+  {
+    TraceSpan dpll(&trace, TracePhase::kDpll);
+    dpll.AddCounter("decisions", 12345);
+    dpll.AddCounter("cache_hits", 0);
+    {
+      TraceSpan probe(&trace, TracePhase::kCacheProbe);
+      probe.AddCounter("hit", 1);
+    }
+  }
+  trace.Finish();
+
+  std::string json = TraceToJson(trace);
+  EXPECT_EQ(json, TraceData::FromTrace(trace).ToJson());
+  auto parsed = TraceFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->total_ns, trace.total_ns());
+  auto spans = trace.spans();
+  ASSERT_EQ(parsed->spans.size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(parsed->spans[i].phase, spans[i].phase);
+    EXPECT_EQ(parsed->spans[i].start_ns, spans[i].start_ns);
+    EXPECT_EQ(parsed->spans[i].duration_ns, spans[i].duration_ns);
+    ASSERT_EQ(parsed->spans[i].counters.size(), spans[i].counters.size());
+    for (size_t j = 0; j < spans[i].counters.size(); ++j) {
+      EXPECT_EQ(parsed->spans[i].counters[j].name, spans[i].counters[j].name);
+      EXPECT_EQ(parsed->spans[i].counters[j].value,
+                spans[i].counters[j].value);
+    }
+  }
+  // The re-serialization of the parsed data is byte-identical.
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(TraceJsonTest, EmptyTraceRoundTrips) {
+  QueryTrace trace;
+  trace.Finish();
+  auto parsed = TraceFromJson(TraceToJson(trace));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->spans.empty());
+}
+
+TEST(TraceJsonTest, CounterNamesWithSpecialCharactersSurviveEscaping) {
+  TraceData data;
+  data.total_ns = 7;
+  QueryTrace::Span span;
+  span.phase = TracePhase::kMonteCarlo;
+  span.start_ns = 1;
+  span.duration_ns = 2;
+  span.counters.push_back({"we\"ird\\name\n", 3});
+  data.spans.push_back(span);
+  auto parsed = TraceFromJson(data.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->spans.size(), 1u);
+  ASSERT_EQ(parsed->spans[0].counters.size(), 1u);
+  EXPECT_EQ(parsed->spans[0].counters[0].name, "we\"ird\\name\n");
+  EXPECT_EQ(parsed->ToJson(), data.ToJson());
+}
+
+TEST(TraceJsonTest, MalformedInputsAreRejected) {
+  const char* bad[] = {
+      "",
+      "{",
+      "{}",
+      "{\"total_ns\":1}",  // missing spans
+      "{\"total_ns\":1,\"spans\":[]} trailing",
+      "{\"total_ns\":1,\"spans\":[{\"phase\":\"warp\",\"start_ns\":0,"
+      "\"duration_ns\":0,\"counters\":[]}]}",  // unknown phase
+      "{\"total_ns\":-1,\"spans\":[]}",        // negative
+      "{\"spans\":[],\"total_ns\":1}",         // wrong key order (strict)
+  };
+  for (const char* json : bad) {
+    SCOPED_TRACE(json);
+    EXPECT_FALSE(TraceFromJson(json).ok());
+  }
+  EXPECT_TRUE(TraceFromJson("{\"total_ns\":1,\"spans\":[]}").ok());
+}
+
+TEST(TraceJsonTest, LiveQueryTraceRoundTrips) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  QueryOptions traced;
+  traced.trace = true;
+  auto answer = session.Query(kUnsafeQuery, traced);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_NE(answer->trace, nullptr);
+  auto parsed = TraceFromJson(TraceToJson(*answer->trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->spans.size(), answer->trace->spans().size());
+  EXPECT_EQ(parsed->ToJson(), TraceToJson(*answer->trace));
+}
+
 TEST(TraceTest, TracedSessionQueryCarriesPhases) {
   ProbDatabase pdb(HardDatabase(3));
   Session session(&pdb, {.num_threads = 1});
@@ -562,6 +674,14 @@ TEST(SessionMetricsTest, TickersMatchCumulativeReportAfterMixedWorkload) {
   EXPECT_EQ(counter("pdb_lineage_nodes_total"), report.lineage_nodes);
   EXPECT_EQ(counter("pdb_index_builds_total"), report.index_builds);
   EXPECT_EQ(counter("pdb_index_cache_hits_total"), report.index_cache_hits);
+  // Shed accounting: pdb_shed_total covers BOTH shed flavors — parallel
+  // tasks the saturated pool degraded to inline execution and server-side
+  // admission drops — while pdb_admission_rejected_total counts only the
+  // latter. The invariant must hold exactly, like every other ticker.
+  EXPECT_EQ(counter("pdb_shed_total"),
+            report.shed_tasks + report.admission_rejected);
+  EXPECT_EQ(counter("pdb_admission_rejected_total"),
+            report.admission_rejected);
   // The QueryWithAnswers candidate sweep grounds through the compiled
   // engine and the exact queries ground FO lineage, so the lineage
   // counters must have moved.
@@ -582,10 +702,65 @@ TEST(SessionMetricsTest, TickersMatchCumulativeReportAfterMixedWorkload) {
   EXPECT_EQ(snap.gauges.at("pdb_result_cache_entries"),
             static_cast<int64_t>(session.cache_size()));
 
+  // Level gauges: a live session exports itself, and with the workload done
+  // nothing is in flight.
+  EXPECT_EQ(snap.gauges.at("pdb_sessions_active"), 1);
+  EXPECT_EQ(snap.gauges.at("pdb_requests_in_flight"), 0);
+  EXPECT_EQ(session.requests_in_flight(), 0);
+
   // Parse errors tick pdb_query_errors_total.
   EXPECT_FALSE(session.Query("R(x").ok());
   EXPECT_EQ(session.SnapshotMetrics().counters.at("pdb_query_errors_total"),
             1u);
+}
+
+TEST(SessionMetricsTest, NoteAdmissionRejectedFoldsIntoReportAndTickers) {
+  ProbDatabase pdb(HardDatabase(3));
+  Session session(&pdb, {.num_threads = 1});
+  ASSERT_TRUE(session.Query(kSafeQuery).ok());
+  session.NoteAdmissionRejected();
+  session.NoteAdmissionRejected();
+  session.NoteAdmissionRejected();
+
+  ExecReport report = session.CumulativeReport();
+  EXPECT_EQ(report.admission_rejected, 3u);
+  MetricsSnapshot snap = session.SnapshotMetrics();
+  EXPECT_EQ(snap.counters.at("pdb_admission_rejected_total"), 3u);
+  // Admission drops are load shed, so they count into pdb_shed_total too.
+  EXPECT_EQ(snap.counters.at("pdb_shed_total"),
+            report.shed_tasks + report.admission_rejected);
+  // A shed request is not a served query.
+  EXPECT_EQ(snap.counters.at("pdb_queries_total"), 1u);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("3 admission rejections"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotMergeFromAddsAndKeepsDisjointMetrics) {
+  MetricsRegistry a;
+  a.GetCounter("pdb_queries_total")->Add(3);
+  a.GetCounter("only_a_total")->Add(1);
+  a.GetGauge("pdb_sessions_active")->Set(1);
+  a.GetHistogram("lat")->Record(4);
+  a.GetHistogram("lat")->Record(1024);
+
+  MetricsRegistry b;
+  b.GetCounter("pdb_queries_total")->Add(5);
+  b.GetCounter("only_b_total")->Add(2);
+  b.GetGauge("pdb_sessions_active")->Set(1);
+  b.GetHistogram("lat")->Record(5);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("pdb_queries_total"), 8u);
+  EXPECT_EQ(merged.counters.at("only_a_total"), 1u);
+  EXPECT_EQ(merged.counters.at("only_b_total"), 2u);
+  // Summing per-session "am I alive" gauges counts the pooled sessions.
+  EXPECT_EQ(merged.gauges.at("pdb_sessions_active"), 2);
+  const HistogramSnapshot& lat = merged.histograms.at("lat");
+  EXPECT_EQ(lat.count, 3u);
+  EXPECT_EQ(lat.sum, 4u + 1024 + 5);
+  EXPECT_EQ(lat.buckets[3], 2u);   // 4 and 5 share bucket 3
+  EXPECT_EQ(lat.buckets[11], 1u);  // 1024
 }
 
 TEST(SessionMetricsTest, ExecReportToStringShowsSharedCacheLines) {

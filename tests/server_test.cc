@@ -1,0 +1,688 @@
+// pdbd server tests: HTTP/1.1 parser units (incremental feeding, limits,
+// keep-alive, pipelining), admission controller semantics (cap, bounded
+// queue, fast shed, shutdown), session pool affinity, and end-to-end socket
+// tests against a live PdbServer — including overload shedding (429 +
+// Retry-After + pdb_shed_total), per-request deadlines, and the
+// scrape-vs-serve hammer with a mid-flight graceful shutdown. This file is
+// built under TSan in CI.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pdb.h"
+#include "server/admission.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/session_pool.h"
+#include "test_common.h"
+#include "util/random.h"
+
+namespace pdb {
+namespace {
+
+using State = HttpRequestParser::State;
+
+// ---------------------------------------------------------------------------
+// HTTP parser
+// ---------------------------------------------------------------------------
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            State::kComplete);
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_TRUE(req.body.empty());
+  ASSERT_NE(req.FindHeader("host"), nullptr);
+  EXPECT_EQ(*req.FindHeader("HOST"), "x");  // lookup is case-insensitive
+}
+
+TEST(HttpParserTest, ParsesPostBodyFedByteByByte) {
+  HttpRequestParser parser;
+  std::string raw =
+      "POST /query HTTP/1.1\r\nContent-Length: 11\r\n"
+      "X-Client-Id:  alice \r\n\r\nR(x), S(x,y";
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    ASSERT_EQ(parser.Feed(std::string_view(&raw[i], 1)), State::kNeedMore)
+        << "at byte " << i;
+  }
+  ASSERT_EQ(parser.Feed(std::string_view(&raw[raw.size() - 1], 1)),
+            State::kComplete);
+  EXPECT_EQ(parser.request().body, "R(x), S(x,y");
+  // Header values are trimmed of surrounding whitespace.
+  EXPECT_EQ(*parser.request().FindHeader("x-client-id"), "alice");
+}
+
+TEST(HttpParserTest, KeepAliveDefaultsPerVersion) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Feed("GET / HTTP/1.0\r\n\r\n"), State::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+  parser.Reset();
+  ASSERT_EQ(parser.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+            State::kComplete);
+  EXPECT_TRUE(parser.request().keep_alive);
+  parser.Reset();
+  ASSERT_EQ(parser.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            State::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, PipelinedRequestsSurviveReset) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Feed("GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\n"
+                        "Content-Length: 2\r\n\r\nhi"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  parser.Reset();
+  // The second request was already buffered; Reset re-parses it.
+  ASSERT_EQ(parser.state(), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_EQ(parser.request().body, "hi");
+  parser.Reset();
+  EXPECT_EQ(parser.state(), State::kNeedMore);
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLine) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("NONSENSE\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsUnsupportedVersionAndTransferEncoding) {
+  HttpRequestParser p1;
+  EXPECT_EQ(p1.Feed("GET / HTTP/2\r\n\r\n"), State::kError);
+  EXPECT_EQ(p1.error_status(), 400);
+  HttpRequestParser p2;
+  EXPECT_EQ(p2.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(p2.error_status(), 501);
+}
+
+TEST(HttpParserTest, EnforcesHeadAndBodyLimits) {
+  HttpLimits limits;
+  limits.max_head_bytes = 64;
+  limits.max_body_bytes = 8;
+  HttpRequestParser p1(limits);
+  std::string big_head = "GET / HTTP/1.1\r\nX-Pad: " + std::string(100, 'a');
+  EXPECT_EQ(p1.Feed(big_head), State::kError);
+  EXPECT_EQ(p1.error_status(), 431);
+
+  HttpRequestParser p2(limits);
+  EXPECT_EQ(p2.Feed("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(p2.error_status(), 413);
+
+  HttpRequestParser p3(limits);
+  EXPECT_EQ(p3.Feed("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(p3.error_status(), 400);
+}
+
+TEST(HttpParserTest, ErrorStateIsSticky) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Feed("BAD\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\n\r\n"), State::kError);
+}
+
+TEST(HttpRenderTest, ResponseCarriesContentLengthAndReason) {
+  std::string response = RenderHttpResponse(429, "application/json",
+                                            "{\"error\":\"x\"}\n",
+                                            /*keep_alive=*/true,
+                                            {{"Retry-After", "2"}});
+  EXPECT_NE(response.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 14\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+}
+
+TEST(HttpRenderTest, ChunkedFramingRoundTrips) {
+  EXPECT_EQ(RenderHttpChunk("hello"), "5\r\nhello\r\n");
+  EXPECT_EQ(RenderHttpChunk(""), "");  // empty chunk would end the stream
+  std::string head = RenderHttpChunkedHead(200, "application/x-ndjson",
+                                           /*keep_alive=*/false);
+  EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n\r\n"),
+            std::string::npos);
+  EXPECT_EQ(head.find("Content-Length"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admission controller
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, AdmitsUpToCapThenShedsQueueFullFast) {
+  AdmissionController admission({.max_concurrent = 2, .max_queue = 0});
+  EXPECT_EQ(admission.Admit(), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(admission.Admit(), AdmissionController::Decision::kAdmitted);
+  // Queue size 0: the third arrival is refused without waiting.
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(admission.Admit(), AdmissionController::Decision::kShedQueueFull);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            50);
+  AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+  EXPECT_EQ(stats.in_flight, 2u);
+  admission.Release();
+  admission.Release();
+  EXPECT_EQ(admission.stats().in_flight, 0u);
+}
+
+TEST(AdmissionTest, QueuedWaiterGetsSlotOnRelease) {
+  AdmissionController admission(
+      {.max_concurrent = 1, .max_queue = 4, .queue_timeout_ms = 5000});
+  ASSERT_EQ(admission.Admit(), AdmissionController::Decision::kAdmitted);
+  std::atomic<int> decision{-1};
+  std::thread waiter([&] {
+    decision.store(static_cast<int>(admission.Admit()),
+                   std::memory_order_release);
+  });
+  while (admission.stats().queued == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.Release();
+  waiter.join();
+  EXPECT_EQ(decision.load(),
+            static_cast<int>(AdmissionController::Decision::kAdmitted));
+  EXPECT_EQ(admission.stats().in_flight, 1u);
+  admission.Release();
+}
+
+TEST(AdmissionTest, QueueWaitTimesOut) {
+  AdmissionController admission(
+      {.max_concurrent = 1, .max_queue = 4, .queue_timeout_ms = 30});
+  ASSERT_EQ(admission.Admit(), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(admission.Admit(), AdmissionController::Decision::kShedTimeout);
+  EXPECT_EQ(admission.stats().shed_timeout, 1u);
+  EXPECT_EQ(admission.stats().queued, 0u);
+  admission.Release();
+}
+
+TEST(AdmissionTest, ShutdownWakesWaitersAndRefusesNewWork) {
+  AdmissionController admission(
+      {.max_concurrent = 1, .max_queue = 4, .queue_timeout_ms = 60000});
+  ASSERT_EQ(admission.Admit(), AdmissionController::Decision::kAdmitted);
+  std::atomic<int> decision{-1};
+  std::thread waiter([&] {
+    decision.store(static_cast<int>(admission.Admit()),
+                   std::memory_order_release);
+  });
+  while (admission.stats().queued == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.Shutdown();
+  waiter.join();
+  EXPECT_EQ(decision.load(),
+            static_cast<int>(AdmissionController::Decision::kShuttingDown));
+  EXPECT_EQ(admission.Admit(), AdmissionController::Decision::kShuttingDown);
+  admission.Release();  // the original admit
+  EXPECT_EQ(admission.stats().in_flight, 0u);
+}
+
+TEST(AdmissionTest, TicketReleasesOnDestruction) {
+  AdmissionController admission({.max_concurrent = 1, .max_queue = 0});
+  {
+    AdmissionTicket ticket(&admission);
+    EXPECT_TRUE(ticket.admitted());
+    EXPECT_EQ(admission.stats().in_flight, 1u);
+    AdmissionTicket shed(&admission);
+    EXPECT_FALSE(shed.admitted());
+  }
+  // The shed ticket must not release a slot it never held.
+  EXPECT_EQ(admission.stats().in_flight, 0u);
+  EXPECT_EQ(admission.stats().admitted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Session pool
+// ---------------------------------------------------------------------------
+
+TEST(SessionPoolTest, ClientAffinityAndDefaultFallback) {
+  ProbDatabase pdb(testing::BuildFigure1Database());
+  SessionPool pool(&pdb, {{.num_threads = 1}, /*max_sessions=*/2});
+  Session* anonymous = pool.ForClient("");
+  EXPECT_EQ(pool.ForClient(""), anonymous);
+  Session* alice = pool.ForClient("alice");
+  Session* bob = pool.ForClient("bob");
+  EXPECT_NE(alice, anonymous);
+  EXPECT_NE(alice, bob);
+  EXPECT_EQ(pool.ForClient("alice"), alice);
+  EXPECT_EQ(pool.size(), 2u);
+  // At capacity: a new client shares the default session instead of
+  // minting a third.
+  EXPECT_EQ(pool.ForClient("carol"), anonymous);
+  EXPECT_EQ(pool.size(), 2u);
+
+  int visited = 0;
+  pool.ForEachSession([&](const std::string&, Session&) { ++visited; });
+  EXPECT_EQ(visited, 3);  // default + alice + bob
+  EXPECT_EQ(pool.TotalInFlight(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over sockets
+// ---------------------------------------------------------------------------
+
+/// A parsed HTTP response (chunked bodies are de-framed).
+struct TestResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lowercased names
+  std::string body;
+  /// body split at newlines (NDJSON rows), empty lines dropped.
+  std::vector<std::string> Lines() const {
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < body.size()) {
+      size_t eol = body.find('\n', pos);
+      if (eol == std::string::npos) eol = body.size();
+      if (eol > pos) lines.push_back(body.substr(pos, eol - pos));
+      pos = eol + 1;
+    }
+    return lines;
+  }
+};
+
+/// Connects, sends one request with Connection: close, reads to EOF, parses.
+TestResponse Fetch(uint16_t port, const std::string& method,
+                   const std::string& target,
+                   const std::vector<std::pair<std::string, std::string>>&
+                       headers = {},
+                   const std::string& body = "") {
+  TestResponse out;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Connection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return out;
+  std::string head = raw.substr(0, head_end);
+  std::string payload = raw.substr(head_end + 4);
+  size_t sp = head.find(' ');
+  if (sp != std::string::npos) {
+    out.status = std::atoi(head.c_str() + sp + 1);
+  }
+  size_t pos = head.find("\r\n");
+  while (pos != std::string::npos) {
+    size_t eol = head.find("\r\n", pos + 2);
+    std::string line = head.substr(
+        pos + 2, eol == std::string::npos ? std::string::npos : eol - pos - 2);
+    size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      size_t value_start = line.find_first_not_of(' ', colon + 1);
+      out.headers[name] =
+          value_start == std::string::npos ? "" : line.substr(value_start);
+    }
+    pos = eol;
+  }
+
+  if (out.headers.count("transfer-encoding") &&
+      out.headers["transfer-encoding"] == "chunked") {
+    // De-frame chunks.
+    size_t p = 0;
+    while (p < payload.size()) {
+      size_t eol = payload.find("\r\n", p);
+      if (eol == std::string::npos) break;
+      size_t size = std::strtoull(payload.substr(p, eol - p).c_str(),
+                                  nullptr, 16);
+      if (size == 0) break;
+      out.body += payload.substr(eol + 2, size);
+      p = eol + 2 + size + 2;
+    }
+  } else {
+    out.body = payload;
+  }
+  return out;
+}
+
+/// The bipartite TID used across the suite: R(x), S(x,y), T(y) with n rows
+/// per unary relation (same construction as obs_test.cc).
+Database HardDatabase(size_t n) {
+  Database db;
+  Relation r("R", Schema({{"x", ValueType::kInt}}));
+  Relation s("S", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+  Relation t("T", Schema({{"y", ValueType::kInt}}));
+  Rng rng(11);
+  auto prob = [&] { return 0.1 + 0.8 * rng.NextDouble(); };
+  for (size_t i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    PDB_CHECK(t.AddTuple({Value(static_cast<int64_t>(i))}, prob()).ok());
+    for (size_t j = 1; j <= n; ++j) {
+      PDB_CHECK(s.AddTuple({Value(static_cast<int64_t>(i)),
+                            Value(static_cast<int64_t>(j))},
+                           prob())
+                    .ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+class ServerEndToEndTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}, size_t db_size = 3) {
+    pdb_ = std::make_unique<ProbDatabase>(HardDatabase(db_size));
+    server_ = std::make_unique<PdbServer>(pdb_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  std::unique_ptr<ProbDatabase> pdb_;
+  std::unique_ptr<PdbServer> server_;
+};
+
+TEST_F(ServerEndToEndTest, HealthzAndUnknownRoutes) {
+  StartServer();
+  TestResponse health = Fetch(server_->port(), "GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+  EXPECT_EQ(Fetch(server_->port(), "GET", "/nope").status, 404);
+  EXPECT_EQ(Fetch(server_->port(), "GET", "/query").status, 405);
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/metrics").status, 405);
+}
+
+TEST_F(ServerEndToEndTest, SqlBooleanQueryStreamsAnswerAndSummary) {
+  StartServer();
+  TestResponse resp =
+      Fetch(server_->port(), "POST", "/query", {},
+            "SELECT PROB() FROM R, S WHERE R.x = S.x");
+  ASSERT_EQ(resp.status, 200);
+  auto lines = resp.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"probability\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"method\":\"lifted\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"exact\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"done\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"rows\":1"), std::string::npos);
+}
+
+TEST_F(ServerEndToEndTest, SqlAnswersStreamPerTupleWithMethodAndStdError) {
+  StartServer();
+  TestResponse resp = Fetch(server_->port(), "POST", "/query", {},
+                            "SELECT R.x FROM R, S WHERE R.x = S.x");
+  ASSERT_EQ(resp.status, 200);
+  auto lines = resp.Lines();
+  ASSERT_EQ(lines.size(), 4u);  // 3 tuples + summary
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"tuple\":["), std::string::npos);
+    EXPECT_NE(lines[i].find("\"probability\":"), std::string::npos);
+    EXPECT_NE(lines[i].find("\"method\":"), std::string::npos);
+    EXPECT_NE(lines[i].find("\"std_error\":"), std::string::npos);
+  }
+  EXPECT_NE(lines.back().find("\"rows\":3"), std::string::npos);
+}
+
+TEST_F(ServerEndToEndTest, UcqShorthandAndParseErrors) {
+  StartServer();
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/query", {}, "R(x), S(x,y)")
+                .status,
+            200);
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/query", {}, "R(x").status, 400);
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/query", {},
+                  "SELECT PROB() FROM NoSuchTable")
+                .status,
+            400);
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/query").status, 400);  // empty
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/query",
+                  {{"X-Deadline-Ms", "soon"}}, "R(x)")
+                .status,
+            400);
+}
+
+TEST_F(ServerEndToEndTest, ClientSessionsShowUpInMergedMetrics) {
+  StartServer();
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query",
+                  {{"X-Client-Id", "alice"}}, "R(x)")
+                .status,
+            200);
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {{"X-Client-Id", "bob"}},
+                  "T(y)")
+                .status,
+            200);
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {}, "R(x)").status, 200);
+
+  TestResponse metrics = Fetch(server_->port(), "GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  // default + alice + bob, via summing each session's pdb_sessions_active.
+  EXPECT_NE(metrics.body.find("pdb_sessions_active 3"), std::string::npos);
+  EXPECT_NE(metrics.body.find("pdb_queries_total 3"), std::string::npos);
+  EXPECT_NE(metrics.body.find("pdb_http_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("pdb_connections_accepted_total"),
+            std::string::npos);
+  EXPECT_EQ(server_->sessions().size(), 2u);
+
+  TestResponse traces = Fetch(server_->port(), "GET", "/debug/traces");
+  ASSERT_EQ(traces.status, 200);
+  EXPECT_NE(traces.body.find("\"client\":\"alice\""), std::string::npos);
+  EXPECT_NE(traces.body.find("\"phase\":\"parse\""), std::string::npos);
+}
+
+TEST_F(ServerEndToEndTest, DeadlineHeaderDegradesToSamplingNotError) {
+  ServerOptions options;
+  options.max_deadline_ms = 10'000;
+  // 120 lineage variables: exact DPLL cannot finish inside 50ms, so the
+  // deadline must kick in.
+  StartServer(options, /*db_size=*/10);
+  // The unsafe join needs DPLL; a tight budget forces the Monte Carlo
+  // fallback, which still answers 200 (estimate, not error).
+  TestResponse resp = Fetch(server_->port(), "POST", "/query",
+                            {{"X-Deadline-Ms", "50"}},
+                            "SELECT PROB() FROM R, S, T "
+                            "WHERE R.x = S.x AND S.y = T.y WITH STDERR 0.05");
+  ASSERT_EQ(resp.status, 200);
+  auto lines = resp.Lines();
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"method\":\"monte-carlo\""), std::string::npos)
+      << lines[0];
+}
+
+TEST_F(ServerEndToEndTest, OverloadShedsWith429RetryAfterAndShedTotal) {
+  ServerOptions options;
+  options.admission.max_concurrent = 1;
+  options.admission.max_queue = 0;  // every overflow sheds instantly
+  // Big enough that the slot-holding query burns its whole deadline in
+  // DPLL before falling back to sampling.
+  StartServer(options, /*db_size=*/10);
+  uint16_t port = server_->port();
+
+  // One slow query occupies the single execution slot...
+  std::atomic<bool> slow_done{false};
+  std::thread slow([port, &slow_done] {
+    TestResponse resp = Fetch(port, "POST", "/query",
+                              {{"X-Deadline-Ms", "1500"}},
+                              "SELECT PROB() FROM R, S, T "
+                              "WHERE R.x = S.x AND S.y = T.y "
+                              "WITH STDERR 0.02");
+    EXPECT_EQ(resp.status, 200);
+    slow_done.store(true, std::memory_order_release);
+  });
+  // Wait until it holds the slot before bursting, so the bursts cannot
+  // steal it (max_queue=0 would shed the slow query instead).
+  while (server_->admission().stats().admitted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ... while it runs, every arrival is shed with a fast 429.
+  int shed = 0;
+  while (shed < 3 && !slow_done.load(std::memory_order_acquire)) {
+    TestResponse resp = Fetch(port, "POST", "/query",
+                              {{"X-Client-Id", "burst"}}, "R(x)");
+    if (resp.status == 429) {
+      ++shed;
+      EXPECT_FALSE(resp.headers["retry-after"].empty());
+      EXPECT_NE(resp.body.find("\"error\""), std::string::npos);
+    }
+  }
+  slow.join();
+  EXPECT_GE(shed, 3);
+
+  // The sheds are visible in the merged scrape and in the burst session's
+  // cumulative report (shed invariant: shed_total covers admission drops).
+  std::string metrics = server_->MetricsText();
+  EXPECT_NE(metrics.find("pdb_admission_rejected_total"), std::string::npos);
+  Session* burst = server_->sessions().ForClient("burst");
+  ExecReport report = burst->CumulativeReport();
+  EXPECT_GE(report.admission_rejected, static_cast<uint64_t>(shed));
+  auto snap = burst->SnapshotMetrics();
+  EXPECT_EQ(snap.counters.at("pdb_shed_total"),
+            report.shed_tasks + report.admission_rejected);
+  AdmissionStats stats = server_->admission().stats();
+  EXPECT_GE(stats.shed_queue_full, static_cast<uint64_t>(shed));
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+TEST_F(ServerEndToEndTest, GracefulShutdownDrainsAndAnswersDrainingAfter) {
+  StartServer();
+  uint16_t port = server_->port();
+  ASSERT_EQ(Fetch(port, "POST", "/query", {}, "R(x)").status, 200);
+  server_->Shutdown();
+  EXPECT_TRUE(server_->draining());
+  EXPECT_EQ(server_->admission().stats().in_flight, 0u);
+  // The listener is closed: a new connection is refused.
+  EXPECT_EQ(Fetch(port, "GET", "/healthz").status, 0);
+  // Shutdown is idempotent.
+  server_->Shutdown();
+}
+
+TEST_F(ServerEndToEndTest, ScrapersRaceServingWithShutdownMidFlight) {
+  // The TSan workhorse: 8 client threads hammer /query (distinct sessions
+  // and the shared one), a scraper polls /metrics and /debug/traces, and a
+  // graceful shutdown is issued while traffic is still arriving. After
+  // Shutdown: everything joined, nothing in flight, and no session lost a
+  // ticker (registry == CumulativeReport on every session).
+  ServerOptions options;
+  options.admission.max_concurrent = 4;
+  options.admission.max_queue = 2;
+  options.admission.queue_timeout_ms = 50;
+  options.drain_timeout_ms = 3'000;
+  StartServer(options);
+  uint16_t port = server_->port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> shed_responses{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      const char* queries[] = {
+          "R(x)", "SELECT PROB() FROM R, S WHERE R.x = S.x",
+          "R(x), S(x,y), T(y)", "SELECT R.x FROM R, S WHERE R.x = S.x"};
+      std::string client_id = t % 2 == 0 ? ("c" + std::to_string(t)) : "";
+      int i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<std::pair<std::string, std::string>> headers;
+        headers.emplace_back("X-Deadline-Ms", "500");
+        if (!client_id.empty()) {
+          headers.emplace_back("X-Client-Id", client_id);
+        }
+        TestResponse resp = Fetch(port, "POST", "/query", headers,
+                                  queries[i++ % 4]);
+        if (resp.status == 200) {
+          ok_responses.fetch_add(1, std::memory_order_relaxed);
+        } else if (resp.status == 429) {
+          shed_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+        // 0 (refused connection) and 503 (draining) arrive once shutdown
+        // begins; both are expected.
+      }
+    });
+  }
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)Fetch(port, "GET", "/metrics");
+      (void)Fetch(port, "GET", "/debug/traces");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Let traffic build, then shut down mid-flight.
+  while (ok_responses.load(std::memory_order_acquire) < 24) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server_->Shutdown();
+  stop.store(true, std::memory_order_release);
+  for (auto& c : clients) c.join();
+  scraper.join();
+
+  // Drain completed: nothing in flight anywhere.
+  EXPECT_EQ(server_->admission().stats().in_flight, 0u);
+  EXPECT_EQ(server_->sessions().TotalInFlight(), 0);
+
+  // No lost tickers: on every session the registry agrees with the
+  // cumulative report, served answers match the latency histogram, and the
+  // shed invariant holds.
+  uint64_t total_queries = 0;
+  server_->sessions().ForEachSession([&](const std::string&,
+                                         Session& session) {
+    auto snap = session.SnapshotMetrics();
+    ExecReport report = session.CumulativeReport();
+    EXPECT_EQ(snap.counters.at("pdb_queries_total"), session.queries_served());
+    EXPECT_EQ(snap.histograms.at("pdb_query_latency_us").count,
+              session.queries_served());
+    EXPECT_EQ(snap.counters.at("pdb_shed_total"),
+              report.shed_tasks + report.admission_rejected);
+    EXPECT_EQ(snap.counters.at("pdb_admission_rejected_total"),
+              report.admission_rejected);
+    EXPECT_EQ(snap.gauges.at("pdb_requests_in_flight"), 0);
+    total_queries += session.queries_served();
+  });
+  // Every 200 the clients saw is a served query (sessions may have served
+  // more: responses cut off mid-write during shutdown still executed).
+  EXPECT_GE(total_queries,
+            static_cast<uint64_t>(ok_responses.load(std::memory_order_acquire)));
+  // And the merged scrape carries the same total.
+  std::string metrics = server_->MetricsText();
+  std::string want = "pdb_queries_total " + std::to_string(total_queries);
+  EXPECT_NE(metrics.find(want), std::string::npos) << metrics;
+}
+
+}  // namespace
+}  // namespace pdb

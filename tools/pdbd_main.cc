@@ -1,0 +1,230 @@
+/// \file pdbd_main.cc
+/// \brief pdbd: serve a probabilistic database over HTTP.
+///
+/// Usage:
+///   pdbd [--host H] [--port P] [--demo [N]]
+///        [--table NAME SCHEMA FILE.csv]...
+///        [--max-concurrent N] [--max-queue N] [--queue-timeout-ms N]
+///        [--max-deadline-ms N] [--drain-timeout-ms N]
+///
+/// SCHEMA is a comma-separated attribute list "name:type" with type one of
+/// int, double, string, e.g. "src:int,dst:int". CSV files carry the data
+/// columns in schema order plus a final probability column (see
+/// storage/csv.h).
+///
+/// `--demo [N]` loads the synthetic bipartite database used by the test
+/// suite (relations R(x), S(x,y), T(y), N tuples wide) so the server can
+/// run without any data files — CI's smoke test and the quickstart use it.
+///
+/// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
+/// in-flight queries, cancel stragglers, exit 0.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/pdb.h"
+#include "server/server.h"
+#include "storage/csv.h"
+#include "util/string_util.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main thread polls
+// this flag and runs the actual (lock-taking) shutdown sequence.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleSignal(int) { g_shutdown_requested = 1; }
+
+/// Parses "name:type,name:type,..." into a Schema.
+pdb::Result<pdb::Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<pdb::Attribute> attributes;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string field = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t colon = field.find(':');
+    if (field.empty() || colon == std::string::npos || colon == 0) {
+      return pdb::Status::InvalidArgument(pdb::StrFormat(
+          "bad schema field '%s' (want name:type)", field.c_str()));
+    }
+    pdb::Attribute attr;
+    attr.name = field.substr(0, colon);
+    std::string type = field.substr(colon + 1);
+    if (type == "int") {
+      attr.type = pdb::ValueType::kInt;
+    } else if (type == "double") {
+      attr.type = pdb::ValueType::kDouble;
+    } else if (type == "string") {
+      attr.type = pdb::ValueType::kString;
+    } else {
+      return pdb::Status::InvalidArgument(pdb::StrFormat(
+          "bad attribute type '%s' (want int|double|string)", type.c_str()));
+    }
+    attributes.push_back(std::move(attr));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (attributes.empty()) {
+    return pdb::Status::InvalidArgument("empty schema");
+  }
+  return pdb::Schema(std::move(attributes));
+}
+
+/// The synthetic bipartite demo database: R(x), S(x,y), T(y) with smoothly
+/// varying probabilities — large enough that "R(x), S(x,y), T(y)" exercises
+/// the full inference pipeline, small enough to ground instantly.
+pdb::Status LoadDemo(pdb::ProbDatabase* db, int n) {
+  pdb::Relation r("R", pdb::Schema({{"x", pdb::ValueType::kInt}}));
+  pdb::Relation t("T", pdb::Schema({{"y", pdb::ValueType::kInt}}));
+  pdb::Relation s("S", pdb::Schema({{"x", pdb::ValueType::kInt},
+                                    {"y", pdb::ValueType::kInt}}));
+  for (int i = 0; i < n; ++i) {
+    PDB_RETURN_NOT_OK(r.AddTuple({int64_t{i}}, 0.3 + 0.4 * i / n));
+    PDB_RETURN_NOT_OK(t.AddTuple({int64_t{i}}, 0.2 + 0.5 * i / n));
+    for (int j = 0; j < n; ++j) {
+      if ((i + j) % 2 == 0) {
+        PDB_RETURN_NOT_OK(
+            s.AddTuple({int64_t{i}, int64_t{j}}, 0.5 + 0.3 * j / n));
+      }
+    }
+  }
+  PDB_RETURN_NOT_OK(db->AddRelation(std::move(r)));
+  PDB_RETURN_NOT_OK(db->AddRelation(std::move(s)));
+  PDB_RETURN_NOT_OK(db->AddRelation(std::move(t)));
+  return pdb::Status::OK();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--demo [N]]\n"
+      "          [--table NAME SCHEMA FILE.csv]...\n"
+      "          [--max-concurrent N] [--max-queue N] "
+      "[--queue-timeout-ms N]\n"
+      "          [--max-deadline-ms N] [--drain-timeout-ms N]\n"
+      "SCHEMA example: \"src:int,dst:int\" (CSV rows end with a "
+      "probability column)\n",
+      argv0);
+  return 2;
+}
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pdb::ProbDatabase db;
+  pdb::ServerOptions options;
+  bool loaded_any = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_uint = [&](uint64_t* out) {
+      return i + 1 < argc && ParseUint(argv[++i], out);
+    };
+    uint64_t value = 0;
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port") {
+      if (!next_uint(&value) || value > 65535) return Usage(argv[0]);
+      options.port = static_cast<uint16_t>(value);
+    } else if (arg == "--demo") {
+      uint64_t n = 12;
+      // Optional size operand: "--demo 20".
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        if (!ParseUint(argv[++i], &n) || n == 0 || n > 10000) {
+          return Usage(argv[0]);
+        }
+      }
+      pdb::Status status = LoadDemo(&db, static_cast<int>(n));
+      if (!status.ok()) {
+        std::fprintf(stderr, "pdbd: demo load failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      loaded_any = true;
+    } else if (arg == "--table" && i + 3 < argc) {
+      std::string name = argv[++i];
+      std::string schema_spec = argv[++i];
+      std::string path = argv[++i];
+      auto schema = ParseSchemaSpec(schema_spec);
+      if (!schema.ok()) {
+        std::fprintf(stderr, "pdbd: table %s: %s\n", name.c_str(),
+                     schema.status().ToString().c_str());
+        return 1;
+      }
+      auto relation = pdb::RelationFromCsvFile(name, *schema, path);
+      if (!relation.ok()) {
+        std::fprintf(stderr, "pdbd: loading %s from %s: %s\n", name.c_str(),
+                     path.c_str(), relation.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "pdbd: loaded %s (%zu tuples) from %s\n",
+                   name.c_str(), relation->size(), path.c_str());
+      pdb::Status status = db.AddRelation(std::move(*relation));
+      if (!status.ok()) {
+        std::fprintf(stderr, "pdbd: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      loaded_any = true;
+    } else if (arg == "--max-concurrent") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      options.admission.max_concurrent = static_cast<size_t>(value);
+    } else if (arg == "--max-queue") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      options.admission.max_queue = static_cast<size_t>(value);
+    } else if (arg == "--queue-timeout-ms") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      options.admission.queue_timeout_ms = value;
+    } else if (arg == "--max-deadline-ms") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      options.max_deadline_ms = value;
+    } else if (arg == "--drain-timeout-ms") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      options.drain_timeout_ms = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!loaded_any) {
+    std::fprintf(stderr,
+                 "pdbd: no data loaded (use --demo or --table); serving an "
+                 "empty database\n");
+  }
+
+  pdb::PdbServer server(&db, options);
+  pdb::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "pdbd: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "pdbd: listening on %s:%u\n", options.host.c_str(),
+               static_cast<unsigned>(server.port()));
+  std::fflush(stderr);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown_requested) {
+    // The server runs on its own threads; the main thread only waits for a
+    // shutdown signal. pause() wakes on any handled signal.
+    ::pause();
+  }
+  std::fprintf(stderr, "pdbd: shutting down (draining in-flight queries)\n");
+  server.Shutdown();
+  std::fprintf(stderr, "pdbd: bye\n");
+  return 0;
+}
