@@ -78,10 +78,14 @@ Session::Session(const ProbDatabase* db, SessionOptions options)
       generation_seen_(db->generation()) {
   cumulative_.num_threads = resolved_threads_;
   if (options_.share_wmc_cache) {
-    WmcCacheOptions cache_options;
-    cache_options.num_shards = options_.wmc_cache_shards;
-    cache_options.max_bytes = options_.wmc_cache_bytes;
-    wmc_cache_ = std::make_unique<WmcCache>(cache_options);
+    if (options_.external_wmc_cache) {
+      wmc_cache_ = options_.external_wmc_cache;
+    } else {
+      WmcCacheOptions cache_options;
+      cache_options.num_shards = options_.wmc_cache_shards;
+      cache_options.max_bytes = options_.wmc_cache_bytes;
+      wmc_cache_ = std::make_shared<WmcCache>(cache_options);
+    }
   }
   if (options_.cache_indexes) {
     IndexCacheOptions index_options;
@@ -180,7 +184,10 @@ void Session::InvalidateCache() {
     cache_.clear();
     lru_.clear();
   }
-  if (wmc_cache_) wmc_cache_->Clear();
+  // An externally owned WMC cache is left alone: its entries stay
+  // value-correct (self-validating keys), other sessions share it, and it
+  // may hold warm-restart entries reloaded from the component store.
+  if (wmc_cache_ && !options_.external_wmc_cache) wmc_cache_->Clear();
   if (index_cache_) index_cache_->Clear();
 }
 
@@ -192,7 +199,11 @@ void Session::RefreshGenerationLocked(uint64_t current_generation) {
   // lineages of the previous database and would only waste the budget).
   cache_.clear();
   lru_.clear();
-  if (wmc_cache_) wmc_cache_->Clear();
+  // A private WMC cache only keys lineages of the previous database state,
+  // so its entries would just waste the budget. A shared external cache is
+  // kept: other sessions (and warm-restart entries reloaded from disk) use
+  // it, and the fingerprinted keys make stale entries harmless.
+  if (wmc_cache_ && !options_.external_wmc_cache) wmc_cache_->Clear();
   // Index entries reference rows of the previous database state.
   if (index_cache_) index_cache_->Clear();
   generation_seen_ = current_generation;

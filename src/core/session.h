@@ -73,6 +73,14 @@ struct SessionOptions {
   size_t wmc_cache_bytes = size_t{64} << 20;
   /// Shard (mutex stripe) count of the shared WMC cache.
   size_t wmc_cache_shards = 16;
+  /// Use this externally owned WMC cache instead of constructing a private
+  /// one (ignored unless `share_wmc_cache` is set). This is how pdbd gives
+  /// every pooled per-client session one process-wide cache — which is
+  /// also the cache the durable layer spills to and reloads from disk on a
+  /// warm restart. Safe to share across sessions and databases: cache keys
+  /// are pure functions of (formula structure, weights), so an entry can
+  /// never serve a mismatched lookup (see wmc/wmc_cache.h).
+  std::shared_ptr<WmcCache> external_wmc_cache = nullptr;
   /// How many finished query traces `recent_traces()` retains (oldest
   /// evicted first). Only queries run with `QueryOptions::trace` enter the
   /// ring.
@@ -306,8 +314,9 @@ class Session {
   int resolved_threads_;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
-  /// Internally sharded and thread-safe; not guarded by mu_.
-  std::unique_ptr<WmcCache> wmc_cache_;
+  /// Internally sharded and thread-safe; not guarded by mu_. Shared when
+  /// `SessionOptions::external_wmc_cache` was supplied, private otherwise.
+  std::shared_ptr<WmcCache> wmc_cache_;
   /// Internally sharded and thread-safe; not guarded by mu_.
   std::unique_ptr<IndexCache> index_cache_;
   /// Thread-safe (atomics inside; its own mutex for creation).

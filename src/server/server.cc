@@ -411,6 +411,9 @@ std::string PdbServer::MetricsText() {
   sessions_.ForEachSession([&merged](const std::string&, Session& session) {
     merged.MergeFrom(session.SnapshotMetrics());
   });
+  if (options_.extra_metrics != nullptr) {
+    merged.MergeFrom(options_.extra_metrics->Snapshot());
+  }
   return merged.RenderPrometheus();
 }
 

@@ -49,6 +49,14 @@
 
 namespace pdb {
 
+/// The server's session-pool defaults: every pooled session runs its
+/// queries sequentially on the connection thread (see ServerOptions).
+inline SessionPoolOptions DefaultServerSessions() {
+  SessionPoolOptions pool;
+  pool.session.num_threads = 1;
+  return pool;
+}
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via `port()`).
@@ -62,7 +70,7 @@ struct ServerOptions {
   /// Per-client session pool. `session.num_threads` defaults to 1 here —
   /// each admitted query runs sequentially on its connection thread, so
   /// parallelism is governed by admission, not multiplied per client.
-  SessionPoolOptions sessions = {{.num_threads = 1}, 64};
+  SessionPoolOptions sessions = DefaultServerSessions();
   /// Deadline applied to queries that send no X-Deadline-Ms (0 = none).
   uint64_t default_deadline_ms = 0;
   /// Upper clamp on client-requested deadlines (0 = unclamped).
@@ -74,6 +82,11 @@ struct ServerOptions {
   HttpLimits http;
   /// Record a per-phase QueryTrace for every query (feeds /debug/traces).
   bool trace_queries = true;
+  /// Extra registry merged into the /metrics exposition (not owned; must
+  /// outlive the server). pdbd points this at the durable layer's registry
+  /// so WAL/recovery/checkpoint/component-store metrics ride the same
+  /// scrape as the engine tickers.
+  const MetricsRegistry* extra_metrics = nullptr;
 };
 
 class PdbServer {

@@ -1,0 +1,127 @@
+/// \file coding.h
+/// \brief Little-endian binary encoders/decoders for the durable storage
+/// layer (WAL records, snapshot files, the WMC component store).
+///
+/// The LevelDB coding idiom: fixed-width integers are stored little-endian
+/// byte for byte; unsigned varints use 7 bits per byte with the high bit as
+/// a continuation flag; strings are length-prefixed with a varint. Decoders
+/// take a `std::string_view*` cursor and consume what they parse, returning
+/// false (never aborting) on truncated or malformed input — every byte that
+/// reaches them may come from a torn or corrupted file.
+
+#ifndef PDB_STORAGE_CODING_H_
+#define PDB_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pdb {
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  return static_cast<uint64_t>(DecodeFixed32(p)) |
+         (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+}
+
+inline bool GetFixed32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  *v = DecodeFixed32(in->data());
+  in->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  *v = DecodeFixed64(in->data());
+  in->remove_prefix(8);
+  return true;
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+inline bool GetVarint64(std::string_view* in, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !in->empty(); shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(in->front());
+    in->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // truncated or > 10 bytes
+}
+
+/// ZigZag encoding so small negative ints stay short varints.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+inline bool GetLengthPrefixed(std::string_view* in, std::string_view* s) {
+  uint64_t len = 0;
+  if (!GetVarint64(in, &len)) return false;
+  if (in->size() < len) return false;
+  *s = in->substr(0, static_cast<size_t>(len));
+  in->remove_prefix(static_cast<size_t>(len));
+  return true;
+}
+
+/// Doubles are stored as their IEEE-754 bit pattern, so a round trip is
+/// bit-identical — probabilities and WMC values must survive recovery
+/// exactly for cached results and differential oracles to match.
+inline void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+inline bool GetDouble(std::string_view* in, double* v) {
+  uint64_t bits = 0;
+  if (!GetFixed64(in, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_CODING_H_

@@ -1,0 +1,62 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace pdb::crc32c {
+namespace {
+
+/// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  // table[k][b]: the CRC contribution of byte b seen k positions before the
+  // end of an 8-byte group (slice-by-8).
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][b] = crc;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = tables.t[k - 1][b];
+      tables.t[k][b] = tables.t[0][crc & 0xff] ^ (crc >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  // Process 8 bytes at a time via slice-by-8.
+  while (n >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][crc & 0xff] ^ kTables.t[6][(crc >> 8) & 0xff] ^
+          kTables.t[5][(crc >> 16) & 0xff] ^ kTables.t[4][crc >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kTables.t[0][(crc ^ *p) & 0xff] ^ (crc >> 8);
+    ++p;
+    --n;
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace pdb::crc32c

@@ -1,0 +1,43 @@
+/// \file crc32c.h
+/// \brief CRC-32C (Castagnoli) checksums for WAL record framing.
+///
+/// The same polynomial (0x1EDC6F41) LevelDB, RocksDB, and ext4 use for
+/// on-disk integrity. Software slice-by-8 implementation — fast enough that
+/// framing overhead is dominated by the write itself — plus LevelDB's
+/// masking trick: a file that embeds CRCs of its own contents (e.g. a log
+/// record carrying another log) would otherwise produce runs of data whose
+/// stored CRC equals the CRC function of the neighbouring bytes.
+
+#ifndef PDB_STORAGE_CRC32C_H_
+#define PDB_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pdb::crc32c {
+
+/// CRC-32C of `data`, seeded with `init_crc` (pass 0, or a previous Value
+/// to extend a running checksum).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+static constexpr uint32_t kMaskDelta = 0xa282ead8u;
+
+/// Rotates and offsets `crc` so stored checksums never look like raw CRCs.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace pdb::crc32c
+
+#endif  // PDB_STORAGE_CRC32C_H_

@@ -1,0 +1,724 @@
+#include "storage/durable_db.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "storage/coding.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+/// WAL operation codes (first byte after the sequence number).
+constexpr uint8_t kOpAddRelation = 1;
+constexpr uint8_t kOpInsert = 2;
+
+/// Snapshot / component-store record magics (first 4 bytes of a record).
+constexpr uint32_t kSnapshotHeaderMagic = 0x50444253;  // "SBDP" LE
+constexpr uint32_t kSnapshotFooterMagic = 0x50444245;  // "EBDP" LE
+constexpr uint32_t kWmcStoreMagic = 0x31434d57;        // "WMC1" LE
+constexpr uint64_t kFormatVersion = 1;
+
+/// Entries per component-store record (bounds record size well under the
+/// 32 KiB WAL block).
+constexpr size_t kWmcBatch = 512;
+
+constexpr char kWmcStoreName[] = "wmc.store";
+constexpr char kWmcStoreTmpName[] = "wmc.store.tmp";
+
+std::string WalName(uint64_t first_seq) {
+  return StrFormat("wal-%020" PRIu64 ".log", first_seq);
+}
+
+std::string SnapshotName(uint64_t seq) {
+  return StrFormat("snap-%020" PRIu64, seq);
+}
+
+/// Parses "<prefix><20-digit seq><suffix>"; false on any other shape.
+bool ParseSeqName(const std::string& name, const std::string& prefix,
+                  const std::string& suffix, uint64_t* seq) {
+  if (name.size() != prefix.size() + 20 + suffix.size()) return false;
+  if (name.rfind(prefix, 0) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+void EncodeValue(std::string* dst, const Value& v) {
+  dst->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt:
+      PutVarint64(dst, ZigZagEncode(v.AsInt()));
+      break;
+    case ValueType::kDouble:
+      PutDouble(dst, v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutLengthPrefixed(dst, v.AsString());
+      break;
+  }
+}
+
+bool DecodeValue(std::string_view* in, Value* v) {
+  if (in->empty()) return false;
+  uint8_t tag = static_cast<uint8_t>(in->front());
+  in->remove_prefix(1);
+  switch (tag) {
+    case 0: {
+      uint64_t zz = 0;
+      if (!GetVarint64(in, &zz)) return false;
+      *v = Value(ZigZagDecode(zz));
+      return true;
+    }
+    case 1: {
+      double d = 0;
+      if (!GetDouble(in, &d)) return false;
+      *v = Value(d);
+      return true;
+    }
+    case 2: {
+      std::string_view s;
+      if (!GetLengthPrefixed(in, &s)) return false;
+      *v = Value(std::string(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void EncodeSchema(std::string* dst, const Schema& schema) {
+  PutVarint64(dst, schema.arity());
+  for (const Attribute& attr : schema.attributes()) {
+    PutLengthPrefixed(dst, attr.name);
+    dst->push_back(static_cast<char>(attr.type));
+  }
+}
+
+bool DecodeSchema(std::string_view* in, Schema* schema) {
+  uint64_t arity = 0;
+  if (!GetVarint64(in, &arity)) return false;
+  std::vector<Attribute> attributes;
+  for (uint64_t i = 0; i < arity; ++i) {
+    std::string_view name;
+    if (!GetLengthPrefixed(in, &name)) return false;
+    if (in->empty()) return false;
+    uint8_t tag = static_cast<uint8_t>(in->front());
+    in->remove_prefix(1);
+    if (tag > 2) return false;
+    attributes.push_back(
+        {std::string(name), static_cast<ValueType>(tag)});
+  }
+  *schema = Schema(std::move(attributes));
+  return true;
+}
+
+/// Serializes name + schema + every (tuple, probability) row.
+void EncodeRelation(std::string* dst, const Relation& rel) {
+  PutLengthPrefixed(dst, rel.name());
+  EncodeSchema(dst, rel.schema());
+  PutVarint64(dst, rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const Tuple& tuple = rel.tuple(i);
+    for (const Value& v : tuple) EncodeValue(dst, v);
+    PutDouble(dst, rel.prob(i));
+  }
+}
+
+bool DecodeRelation(std::string_view* in, Relation* out) {
+  std::string_view name;
+  if (!GetLengthPrefixed(in, &name)) return false;
+  Schema schema;
+  if (!DecodeSchema(in, &schema)) return false;
+  size_t arity = schema.arity();
+  uint64_t rows = 0;
+  if (!GetVarint64(in, &rows)) return false;
+  Relation rel(std::string(name), std::move(schema));
+  for (uint64_t r = 0; r < rows; ++r) {
+    Tuple tuple;
+    for (size_t c = 0; c < arity; ++c) {
+      Value v;
+      if (!DecodeValue(in, &v)) return false;
+      tuple.push_back(std::move(v));
+    }
+    double p = 0;
+    if (!GetDouble(in, &p)) return false;
+    if (!rel.AddTuple(std::move(tuple), p).ok()) return false;
+  }
+  *out = std::move(rel);
+  return true;
+}
+
+}  // namespace
+
+Result<SyncMode> ParseSyncMode(const std::string& text) {
+  if (text == "always") return SyncMode::kAlways;
+  if (text == "none") return SyncMode::kNone;
+  return Status::InvalidArgument("bad sync mode '" + text +
+                                 "' (want always|none)");
+}
+
+DurableDatabase::DurableDatabase(std::string data_dir,
+                                 const DurableOptions& options)
+    : dir_(std::move(data_dir)),
+      options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {
+  wal_records_ = metrics_.GetCounter("pdb_wal_records_total");
+  wal_bytes_ = metrics_.GetCounter("pdb_wal_bytes_total");
+  wal_syncs_ = metrics_.GetCounter("pdb_wal_syncs_total");
+  recovery_replayed_ =
+      metrics_.GetCounter("pdb_recovery_replayed_records_total");
+  recovery_truncations_ =
+      metrics_.GetCounter("pdb_recovery_tail_truncations_total");
+  checkpoints_ = metrics_.GetCounter("pdb_checkpoints_total");
+  wmc_store_spills_ = metrics_.GetCounter("pdb_wmc_store_spills_total");
+  wmc_store_loaded_ = metrics_.GetCounter("pdb_wmc_store_loaded_total");
+  wmc_store_entries_ = metrics_.GetGauge("pdb_wmc_store_entries");
+  last_seq_gauge_ = metrics_.GetGauge("pdb_data_last_seq");
+  relations_gauge_ = metrics_.GetGauge("pdb_data_relations");
+}
+
+DurableDatabase::~DurableDatabase() { Close(); }
+
+Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
+    const std::string& data_dir, const DurableOptions& options) {
+  if (data_dir.empty()) {
+    return Status::InvalidArgument("data_dir must not be empty");
+  }
+  std::unique_ptr<DurableDatabase> db(
+      new DurableDatabase(data_dir, options));
+  PDB_RETURN_NOT_OK(db->Recover());
+  return db;
+}
+
+Status DurableDatabase::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PDB_RETURN_NOT_OK(env_->CreateDirIfMissing(dir_));
+  std::vector<std::string> children;
+  {
+    auto listed = env_->GetChildren(dir_);
+    if (!listed.ok()) return listed.status();
+    children = std::move(*listed);
+  }
+
+  std::vector<uint64_t> snapshot_seqs;
+  std::vector<uint64_t> wal_seqs;
+  for (const std::string& name : children) {
+    uint64_t seq = 0;
+    if (ParseSeqName(name, "snap-", "", &seq)) snapshot_seqs.push_back(seq);
+    if (ParseSeqName(name, "wal-", ".log", &seq)) wal_seqs.push_back(seq);
+  }
+  std::sort(snapshot_seqs.rbegin(), snapshot_seqs.rend());  // newest first
+  std::sort(wal_seqs.begin(), wal_seqs.end());
+
+  // Newest complete snapshot wins; an incomplete or corrupt one (e.g. a
+  // crash mid-checkpoint beat the rename, or damaged it) falls back to the
+  // previous, with the skipped file counted.
+  for (uint64_t seq : snapshot_seqs) {
+    auto loaded = LoadSnapshot(SnapshotName(seq));
+    if (loaded.ok()) {
+      recovery_.snapshot_seq = seq;
+      last_seq_ = seq;
+      break;
+    }
+    ++recovery_.snapshots_skipped;
+  }
+
+  // Replay WAL segments in sequence order. A segment named wal-<n> holds
+  // records with seq >= n; records at or below the snapshot seq are
+  // skipped, a gap or corruption stops replay (everything later is an
+  // untrusted suffix).
+  bool stop = false;
+  for (size_t i = 0; i < wal_seqs.size() && !stop; ++i) {
+    // Skip segments that a later segment makes entirely redundant (the
+    // next one starts at or below the first sequence still needed); a
+    // segment straddling the snapshot boundary is replayed and its
+    // covered prefix skipped record by record.
+    if (i + 1 < wal_seqs.size() && wal_seqs[i + 1] <= last_seq_ + 1) {
+      continue;
+    }
+    PDB_RETURN_NOT_OK(ReplaySegment(WalName(wal_seqs[i]), &stop));
+    ++recovery_.segments_replayed;
+  }
+  last_synced_seq_ = last_seq_;
+
+  // Start a fresh segment for new appends; old segments stay until the
+  // next checkpoint compacts them.
+  PDB_RETURN_NOT_OK(RollWalLocked());
+
+  recovery_replayed_->Add(recovery_.replayed_records);
+  if (recovery_.tail_truncated) recovery_truncations_->Add(1);
+  last_seq_gauge_->Set(static_cast<int64_t>(last_seq_));
+  relations_gauge_->Set(
+      static_cast<int64_t>(pdb_.database().RelationNames().size()));
+  return Status::OK();
+}
+
+Result<uint64_t> DurableDatabase::LoadSnapshot(const std::string& name) {
+  std::string contents;
+  PDB_RETURN_NOT_OK(env_->ReadFileToString(JoinPath(dir_, name), &contents));
+  LogReader reader(contents);
+  std::string record;
+
+  if (!reader.ReadRecord(&record)) {
+    return Status::Corruption("snapshot missing header: " + name);
+  }
+  std::string_view in(record);
+  uint32_t magic = 0;
+  uint64_t version = 0, seq = 0, relation_count = 0;
+  if (!GetFixed32(&in, &magic) || magic != kSnapshotHeaderMagic ||
+      !GetVarint64(&in, &version) || version != kFormatVersion ||
+      !GetVarint64(&in, &seq) || !GetVarint64(&in, &relation_count)) {
+    return Status::Corruption("bad snapshot header: " + name);
+  }
+
+  Database db;
+  uint64_t relations_read = 0;
+  bool complete = false;
+  while (reader.ReadRecord(&record)) {
+    std::string_view body(record);
+    if (record.size() >= 4 &&
+        DecodeFixed32(record.data()) == kSnapshotFooterMagic) {
+      uint32_t footer_magic = 0;
+      uint64_t footer_count = 0;
+      if (GetFixed32(&body, &footer_magic) &&
+          GetVarint64(&body, &footer_count) &&
+          footer_count == relations_read &&
+          relations_read == relation_count) {
+        complete = true;
+      }
+      break;
+    }
+    Relation rel;
+    if (!DecodeRelation(&body, &rel) || !body.empty()) {
+      return Status::Corruption("bad snapshot relation record: " + name);
+    }
+    PDB_RETURN_NOT_OK(db.AddRelation(std::move(rel)));
+    ++relations_read;
+  }
+  if (!complete) {
+    return Status::Corruption("snapshot incomplete (no valid footer): " +
+                              name);
+  }
+  pdb_.database() = std::move(db);
+  pdb_.BumpGeneration();
+  return seq;
+}
+
+Status DurableDatabase::ReplaySegment(const std::string& name, bool* stop) {
+  const std::string path = JoinPath(dir_, name);
+  std::string contents;
+  PDB_RETURN_NOT_OK(env_->ReadFileToString(path, &contents));
+  LogReader reader(contents);
+  std::string record;
+  uint64_t applied_prefix = 0;  // file offset after the last applied record
+  bool damaged = false;
+
+  while (reader.ReadRecord(&record)) {
+    std::string_view in(record);
+    uint64_t seq = 0;
+    if (!GetVarint64(&in, &seq) || in.empty()) {
+      damaged = true;
+      break;
+    }
+    if (seq <= last_seq_) {
+      // Covered by the snapshot (segment straddles the boundary).
+      applied_prefix = reader.valid_prefix_size();
+      continue;
+    }
+    if (seq != last_seq_ + 1) {
+      // Sequence gap: records were lost (e.g. an earlier truncated
+      // segment). Nothing after this point can be trusted.
+      damaged = true;
+      break;
+    }
+    uint8_t op = static_cast<uint8_t>(in.front());
+    in.remove_prefix(1);
+    bool applied = false;
+    if (op == kOpAddRelation) {
+      Relation rel;
+      if (DecodeRelation(&in, &rel) && in.empty()) {
+        applied = pdb_.AddRelation(std::move(rel)).ok();
+      }
+    } else if (op == kOpInsert) {
+      std::string_view target;
+      uint64_t arity = 0;
+      if (GetLengthPrefixed(&in, &target) && GetVarint64(&in, &arity)) {
+        Tuple tuple;
+        bool decode_ok = true;
+        for (uint64_t c = 0; c < arity && decode_ok; ++c) {
+          Value v;
+          decode_ok = DecodeValue(&in, &v);
+          if (decode_ok) tuple.push_back(std::move(v));
+        }
+        double p = 0;
+        if (decode_ok && GetDouble(&in, &p) && in.empty()) {
+          auto rel = pdb_.database().GetMutable(std::string(target));
+          if (rel.ok()) {
+            applied = (*rel)->AddTuple(std::move(tuple), p).ok();
+            if (applied) pdb_.BumpGeneration();
+          }
+        }
+      }
+    }
+    if (!applied) {
+      // A CRC-valid record that does not decode or apply: corrupted
+      // beyond what framing can detect, or written by a future version.
+      // Same policy as framing damage — cut here.
+      damaged = true;
+      break;
+    }
+    last_seq_ = seq;
+    ++recovery_.replayed_records;
+    applied_prefix = reader.valid_prefix_size();
+  }
+  if (reader.corruption_detected()) damaged = true;
+
+  uint64_t file_size = contents.size();
+  if (damaged || applied_prefix < file_size) {
+    // Torn or corrupt tail: truncate to the last applied record so the
+    // file re-reads cleanly, and stop — later segments are a suffix with
+    // a hole in front of them.
+    if (applied_prefix < file_size) {
+      PDB_RETURN_NOT_OK(env_->TruncateFile(path, applied_prefix));
+      recovery_.truncated_bytes += file_size - applied_prefix;
+    }
+    recovery_.tail_truncated =
+        recovery_.tail_truncated || damaged || applied_prefix < file_size;
+    *stop = damaged;
+  }
+  return Status::OK();
+}
+
+Status DurableDatabase::RollWalLocked() {
+  if (wal_file_) {
+    // Make the old segment's contents durable before abandoning the
+    // handle; its records may not have been synced under kNone.
+    Status status = wal_file_->Sync();
+    if (status.ok()) status = wal_file_->Close();
+    if (!status.ok()) return status;
+  }
+  wal_path_ = JoinPath(dir_, WalName(last_seq_ + 1));
+  auto file = env_->NewWritableFile(wal_path_);
+  if (!file.ok()) return file.status();
+  wal_file_ = std::move(*file);
+  wal_.emplace(wal_file_.get(), 0);
+  return Status::OK();
+}
+
+void DurableDatabase::SetIoErrorLocked(const Status& status) {
+  if (io_error_.ok()) io_error_ = status;
+}
+
+Status DurableDatabase::LogThenApplyLocked(
+    std::string payload, const std::function<Status()>& apply) {
+  if (closed_) return Status::FailedPrecondition("database is closed");
+  if (!io_error_.ok()) {
+    return Status::FailedPrecondition(
+        "database is read-only after an I/O error: " + io_error_.ToString());
+  }
+  Status status = wal_->AddRecord(payload);
+  if (!status.ok()) {
+    SetIoErrorLocked(status);
+    return status;
+  }
+  wal_records_->Add(1);
+  wal_bytes_->Add(payload.size());
+  if (options_.sync_mode == SyncMode::kAlways) {
+    status = wal_file_->Sync();
+    if (!status.ok()) {
+      SetIoErrorLocked(status);
+      return status;
+    }
+    wal_syncs_->Add(1);
+  }
+  // The write-ahead rule held: the record is on the log (and durable in
+  // kAlways). Applying cannot fail for a validated op; if it somehow does,
+  // the in-memory and logged states diverge — poison the handle.
+  status = apply();
+  if (!status.ok()) {
+    SetIoErrorLocked(Status::Internal(
+        "validated op failed to apply after logging: " + status.ToString()));
+    return io_error_;
+  }
+  ++last_seq_;
+  if (options_.sync_mode == SyncMode::kAlways) last_synced_seq_ = last_seq_;
+  ++records_since_checkpoint_;
+  last_seq_gauge_->Set(static_cast<int64_t>(last_seq_));
+  relations_gauge_->Set(
+      static_cast<int64_t>(pdb_.database().RelationNames().size()));
+  if (options_.checkpoint_every_n > 0 &&
+      records_since_checkpoint_ >= options_.checkpoint_every_n) {
+    PDB_RETURN_NOT_OK(CheckpointLocked());
+  }
+  return Status::OK();
+}
+
+Status DurableDatabase::AddRelation(Relation relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pdb_.database().HasRelation(relation.name())) {
+    return Status::InvalidArgument("duplicate relation: " + relation.name());
+  }
+  std::string payload;
+  PutVarint64(&payload, last_seq_ + 1);
+  payload.push_back(static_cast<char>(kOpAddRelation));
+  EncodeRelation(&payload, relation);
+  return LogThenApplyLocked(std::move(payload), [&] {
+    return pdb_.AddRelation(std::move(relation));
+  });
+}
+
+Status DurableDatabase::CreateRelation(const std::string& name,
+                                       Schema schema) {
+  return AddRelation(Relation(name, std::move(schema)));
+}
+
+Status DurableDatabase::Insert(const std::string& relation, Tuple tuple,
+                               double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate fully before logging: an op that cannot apply must never
+  // reach the WAL, or replay would diverge from the acknowledged state.
+  auto rel = pdb_.database().GetMutable(relation);
+  if (!rel.ok()) return rel.status();
+  PDB_RETURN_NOT_OK((*rel)->schema().Validate(tuple));
+  if ((*rel)->Contains(tuple)) {
+    return Status::InvalidArgument("duplicate tuple in " + relation);
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::OutOfRange("probability outside [0, 1]");
+  }
+  std::string payload;
+  PutVarint64(&payload, last_seq_ + 1);
+  payload.push_back(static_cast<char>(kOpInsert));
+  PutLengthPrefixed(&payload, relation);
+  PutVarint64(&payload, tuple.size());
+  for (const Value& v : tuple) EncodeValue(&payload, v);
+  PutDouble(&payload, p);
+  Relation* target = *rel;
+  return LogThenApplyLocked(std::move(payload), [&] {
+    Status status = target->AddTuple(std::move(tuple), p);
+    if (status.ok()) pdb_.BumpGeneration();
+    return status;
+  });
+}
+
+Status DurableDatabase::CheckpointLocked() {
+  if (closed_) return Status::FailedPrecondition("database is closed");
+  if (!io_error_.ok()) {
+    return Status::FailedPrecondition(
+        "database is read-only after an I/O error: " + io_error_.ToString());
+  }
+  const uint64_t seq = last_seq_;
+  const std::string final_name = SnapshotName(seq);
+  const std::string tmp_path = JoinPath(dir_, final_name + ".tmp");
+
+  auto fail = [&](const Status& status) {
+    SetIoErrorLocked(status);
+    return status;
+  };
+
+  // Write the whole catalog to a temp file, sync, then atomically rename:
+  // a crash at any point leaves either the old state or the new snapshot,
+  // never a half-written file under the final name.
+  {
+    auto file = env_->NewWritableFile(tmp_path);
+    if (!file.ok()) return fail(file.status());
+    LogWriter writer(file->get());
+
+    const Database& db = pdb_.database();
+    std::vector<std::string> names = db.RelationNames();
+    std::string record;
+    PutFixed32(&record, kSnapshotHeaderMagic);
+    PutVarint64(&record, kFormatVersion);
+    PutVarint64(&record, seq);
+    PutVarint64(&record, names.size());
+    Status status = writer.AddRecord(record);
+    for (const std::string& name : names) {
+      if (!status.ok()) break;
+      record.clear();
+      EncodeRelation(&record, *db.Get(name).value());
+      status = writer.AddRecord(record);
+    }
+    if (status.ok()) {
+      record.clear();
+      PutFixed32(&record, kSnapshotFooterMagic);
+      PutVarint64(&record, names.size());
+      status = writer.AddRecord(record);
+    }
+    if (status.ok()) status = (*file)->Sync();
+    if (status.ok()) status = (*file)->Close();
+    if (!status.ok()) return fail(status);
+  }
+  Status renamed = env_->RenameFile(tmp_path, JoinPath(dir_, final_name));
+  if (!renamed.ok()) return fail(renamed);
+
+  // The snapshot now covers every logged op: roll a fresh WAL segment and
+  // delete the files it made redundant.
+  Status status = RollWalLocked();
+  if (!status.ok()) return fail(status);
+  records_since_checkpoint_ = 0;
+  checkpoints_->Add(1);
+  last_synced_seq_ = last_seq_;
+
+  auto children = env_->GetChildren(dir_);
+  if (children.ok()) {
+    for (const std::string& name : *children) {
+      uint64_t file_seq = 0;
+      bool remove = false;
+      if (ParseSeqName(name, "snap-", "", &file_seq)) {
+        remove = file_seq < seq;
+      } else if (ParseSeqName(name, "wal-", ".log", &file_seq)) {
+        remove = file_seq <= seq;  // the fresh segment is wal-<seq+1>
+      } else if (name.size() > 4 &&
+                 name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        remove = true;  // stray temp from an interrupted checkpoint
+      }
+      if (remove) {
+        Status removed = env_->RemoveFile(JoinPath(dir_, name));
+        if (!removed.ok()) return fail(removed);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DurableDatabase::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status DurableDatabase::SyncWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::FailedPrecondition("database is closed");
+  if (!io_error_.ok()) return io_error_;
+  Status status = wal_file_->Sync();
+  if (!status.ok()) {
+    SetIoErrorLocked(status);
+    return status;
+  }
+  wal_syncs_->Add(1);
+  last_synced_seq_ = last_seq_;
+  return Status::OK();
+}
+
+Status DurableDatabase::SpillWmcCache(const WmcCache& cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!io_error_.ok()) {
+    return Status::FailedPrecondition(
+        "database is read-only after an I/O error: " + io_error_.ToString());
+  }
+  std::vector<std::pair<WmcCache::Key, double>> entries = cache.Export();
+
+  const std::string tmp_path = JoinPath(dir_, kWmcStoreTmpName);
+  auto file = env_->NewWritableFile(tmp_path);
+  if (!file.ok()) {
+    SetIoErrorLocked(file.status());
+    return file.status();
+  }
+  LogWriter writer(file->get());
+  std::string record;
+  PutFixed32(&record, kWmcStoreMagic);
+  PutVarint64(&record, kFormatVersion);
+  Status status = writer.AddRecord(record);
+  for (size_t i = 0; i < entries.size() && status.ok(); i += kWmcBatch) {
+    size_t n = std::min(kWmcBatch, entries.size() - i);
+    record.clear();
+    PutVarint64(&record, n);
+    for (size_t j = i; j < i + n; ++j) {
+      PutFixed64(&record, entries[j].first.sig.hi);
+      PutFixed64(&record, entries[j].first.sig.lo);
+      PutFixed64(&record, entries[j].first.weight_fp);
+      PutDouble(&record, entries[j].second);
+    }
+    status = writer.AddRecord(record);
+  }
+  if (status.ok()) status = (*file)->Sync();
+  if (status.ok()) status = (*file)->Close();
+  if (status.ok()) {
+    status = env_->RenameFile(tmp_path, JoinPath(dir_, kWmcStoreName));
+  }
+  if (!status.ok()) {
+    SetIoErrorLocked(status);
+    return status;
+  }
+  wmc_store_spills_->Add(1);
+  wmc_store_entries_->Set(static_cast<int64_t>(entries.size()));
+  return Status::OK();
+}
+
+Result<uint64_t> DurableDatabase::LoadWmcCache(WmcCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = JoinPath(dir_, kWmcStoreName);
+  if (!env_->FileExists(path)) return uint64_t{0};
+  std::string contents;
+  PDB_RETURN_NOT_OK(env_->ReadFileToString(path, &contents));
+  LogReader reader(contents);
+  std::string record;
+  if (!reader.ReadRecord(&record)) return uint64_t{0};  // empty/torn header
+  std::string_view in(record);
+  uint32_t magic = 0;
+  uint64_t version = 0;
+  if (!GetFixed32(&in, &magic) || magic != kWmcStoreMagic ||
+      !GetVarint64(&in, &version) || version != kFormatVersion) {
+    return Status::Corruption("bad component store header: " + path);
+  }
+  uint64_t loaded = 0;
+  // A torn or corrupt tail just ends the load early: the store is a pure
+  // cache, so a valid prefix is as good as the whole file.
+  while (reader.ReadRecord(&record)) {
+    std::string_view body(record);
+    uint64_t n = 0;
+    if (!GetVarint64(&body, &n)) break;
+    bool ok = true;
+    for (uint64_t i = 0; i < n && ok; ++i) {
+      WmcCache::Key key;
+      double value = 0;
+      ok = GetFixed64(&body, &key.sig.hi) && GetFixed64(&body, &key.sig.lo) &&
+           GetFixed64(&body, &key.weight_fp) && GetDouble(&body, &value);
+      if (ok) {
+        cache->Insert(key, value);
+        ++loaded;
+      }
+    }
+    if (!ok) break;
+  }
+  wmc_store_loaded_->Add(loaded);
+  wmc_store_entries_->Set(static_cast<int64_t>(loaded));
+  return loaded;
+}
+
+Status DurableDatabase::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (!wal_file_) return Status::OK();
+  Status status = wal_file_->Sync();
+  if (status.ok()) {
+    last_synced_seq_ = last_seq_;
+    status = wal_file_->Close();
+  }
+  wal_.reset();
+  wal_file_.reset();
+  return status;
+}
+
+uint64_t DurableDatabase::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+uint64_t DurableDatabase::last_synced_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_synced_seq_;
+}
+
+}  // namespace pdb

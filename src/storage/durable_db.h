@@ -1,0 +1,213 @@
+/// \file durable_db.h
+/// \brief Durable wrapper around `ProbDatabase`: a write-ahead log, crash
+/// recovery, point-in-time snapshots, and a warm-restart store for the
+/// shared WMC cache.
+///
+/// `DurableDatabase` makes the engine survive restarts (ROADMAP: "a server
+/// restart loses everything"). Design, in the LevelDB idiom:
+///
+///  - every mutation (`AddRelation`, `Insert`) is serialized into a
+///    CRC-framed WAL record (storage/wal.h) and appended — and, in
+///    `SyncMode::kAlways`, fsynced — *before* it is applied to the
+///    in-memory `ProbDatabase`; an OK return therefore means the operation
+///    is durable (log-then-apply / write-ahead rule);
+///  - `Open` replays the newest complete snapshot, then the WAL segments in
+///    sequence order. A torn or corrupt tail record — the signature of a
+///    crash mid-append — truncates the log at the last complete record
+///    instead of failing the open: recovery always yields a prefix of the
+///    acknowledged operations, never an error on legitimately crashed
+///    state;
+///  - `Checkpoint` writes the whole catalog to `snap-<seq>.tmp`, fsyncs,
+///    atomically renames, then starts a fresh WAL segment and deletes the
+///    files the snapshot made redundant — bounding recovery time and disk
+///    use (set `checkpoint_every_n` to do this automatically);
+///  - the sidecar component store (`wmc.store`) persists shared-WMC-cache
+///    entries (canonical signature + weight fingerprint + value). Warm
+///    restarts reload it into a `WmcCache`, keeping the repeated-hard-query
+///    win across process restarts. Safe by construction: the 192-bit keys
+///    are pure functions of (formula structure, weights), so entries from
+///    any database state can never serve a mismatched lookup.
+///
+/// All I/O goes through a `storage/env.h` seam; tests substitute a
+/// deterministic fault-injecting filesystem (tests/fault_env.h) and crash
+/// the workload at every single I/O step.
+///
+/// Concurrency: mutations serialize on an internal mutex. Queries run
+/// lock-free against the inner `ProbDatabase` (the same single-writer /
+/// many-readers contract the server already relies on: do not mutate while
+/// queries are in flight).
+///
+/// After any WAL I/O error the database becomes read-only — the log tail
+/// is no longer trustworthy, so accepting more writes could silently lose
+/// them; reopening runs recovery and clears the condition.
+
+#ifndef PDB_STORAGE_DURABLE_DB_H_
+#define PDB_STORAGE_DURABLE_DB_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pdb.h"
+#include "obs/metrics.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+#include "wmc/wmc_cache.h"
+
+namespace pdb {
+
+/// When WAL appends become durable.
+enum class SyncMode {
+  /// fsync after every logged operation: an OK mutation is crash-durable.
+  kAlways,
+  /// Let the OS schedule writeback; fsync only at checkpoints and on
+  /// `SyncWal`. Faster bulk loads; a crash loses the unsynced suffix.
+  kNone,
+};
+
+/// Parses "always" | "none" (the pdbd --sync-mode values).
+Result<SyncMode> ParseSyncMode(const std::string& text);
+
+struct DurableOptions {
+  /// Filesystem to operate on; null uses `Env::Default()` (POSIX).
+  Env* env = nullptr;
+  SyncMode sync_mode = SyncMode::kAlways;
+  /// Auto-checkpoint after this many logged operations (0 = only when
+  /// `Checkpoint` is called explicitly).
+  uint64_t checkpoint_every_n = 0;
+};
+
+/// What recovery found and did during `Open`.
+struct RecoveryStats {
+  /// Sequence number of the snapshot loaded (0 when none existed).
+  uint64_t snapshot_seq = 0;
+  /// WAL records replayed on top of the snapshot.
+  uint64_t replayed_records = 0;
+  /// WAL segments visited during replay.
+  uint64_t segments_replayed = 0;
+  /// True when a torn or corrupt tail was found and cut off.
+  bool tail_truncated = false;
+  /// Bytes discarded by tail truncation.
+  uint64_t truncated_bytes = 0;
+  /// Snapshot files that failed validation and were skipped.
+  uint64_t snapshots_skipped = 0;
+};
+
+/// A `ProbDatabase` whose mutations are write-ahead logged to `data_dir`
+/// and recovered on open. Create via `Open`.
+class DurableDatabase {
+ public:
+  /// Opens (creating if needed) the database stored in `data_dir`:
+  /// loads the newest complete snapshot, replays the WAL — truncating a
+  /// torn tail instead of failing — and starts a fresh WAL segment.
+  static Result<std::unique_ptr<DurableDatabase>> Open(
+      const std::string& data_dir, const DurableOptions& options = {});
+
+  ~DurableDatabase();
+
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  /// The recovered in-memory database; issue queries against it (or a
+  /// `Session` bound to it). Do not mutate it directly — use the logged
+  /// mutators below, or the change will not survive a restart.
+  ProbDatabase& pdb() { return pdb_; }
+  const ProbDatabase& pdb() const { return pdb_; }
+
+  /// Logs and applies a whole-relation add (schema + tuples). Fails
+  /// without logging on a duplicate name.
+  Status AddRelation(Relation relation);
+
+  /// Logs and applies the registration of an empty relation.
+  Status CreateRelation(const std::string& name, Schema schema);
+
+  /// Logs and applies one tuple insert. Fails without logging on a
+  /// missing relation, schema mismatch, duplicate tuple, or probability
+  /// outside [0, 1] — an op that cannot apply is never written to the log.
+  Status Insert(const std::string& relation, Tuple tuple, double p = 1.0);
+
+  /// Writes a point-in-time snapshot of the catalog, rolls the WAL, and
+  /// deletes the now-redundant older files.
+  Status Checkpoint();
+
+  /// fsyncs the WAL (a no-op barrier under `SyncMode::kAlways`).
+  Status SyncWal();
+
+  /// Atomically rewrites the sidecar component store with every entry of
+  /// `cache` (signature, weight fingerprint, value).
+  Status SpillWmcCache(const WmcCache& cache);
+
+  /// Loads the component store into `cache`; tolerates a torn tail (loads
+  /// the valid prefix). Returns the number of entries loaded.
+  Result<uint64_t> LoadWmcCache(WmcCache* cache);
+
+  /// Syncs and closes the WAL. Further mutations fail; queries still work.
+  Status Close();
+
+  /// Sequence number of the last applied operation.
+  uint64_t last_seq() const;
+  /// Sequence number of the last operation known durable (== `last_seq`
+  /// under `SyncMode::kAlways` outside of an in-flight mutation).
+  uint64_t last_synced_seq() const;
+
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  /// Storage metrics (WAL appends/syncs/bytes, recovery replays and
+  /// truncations, checkpoints, component-store levels). pdbd merges this
+  /// registry into its /metrics exposition.
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  DurableDatabase(std::string data_dir, const DurableOptions& options);
+
+  Status Recover();
+  /// Replays one WAL segment; sets *stop when replay must not continue
+  /// past this segment (corruption / torn tail / gap).
+  Status ReplaySegment(const std::string& name, bool* stop);
+  Result<uint64_t> LoadSnapshot(const std::string& name);
+  Status RollWalLocked();
+  Status CheckpointLocked();
+  /// Appends (and per sync_mode fsyncs) an encoded record, then applies
+  /// `apply`. Caller must hold mu_ and have validated the op.
+  Status LogThenApplyLocked(std::string payload,
+                            const std::function<Status()>& apply);
+  void SetIoErrorLocked(const Status& status);
+
+  const std::string dir_;
+  DurableOptions options_;
+  Env* env_;
+
+  ProbDatabase pdb_;
+
+  MetricsRegistry metrics_;
+  Counter* wal_records_;
+  Counter* wal_bytes_;
+  Counter* wal_syncs_;
+  Counter* recovery_replayed_;
+  Counter* recovery_truncations_;
+  Counter* checkpoints_;
+  Counter* wmc_store_spills_;
+  Counter* wmc_store_loaded_;
+  Gauge* wmc_store_entries_;
+  Gauge* last_seq_gauge_;
+  Gauge* relations_gauge_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> wal_file_;       // guarded by mu_
+  std::optional<LogWriter> wal_;                 // guarded by mu_
+  std::string wal_path_;                         // guarded by mu_
+  uint64_t last_seq_ = 0;                        // guarded by mu_
+  uint64_t last_synced_seq_ = 0;                 // guarded by mu_
+  uint64_t records_since_checkpoint_ = 0;        // guarded by mu_
+  Status io_error_;                              // guarded by mu_
+  bool closed_ = false;                          // guarded by mu_
+  RecoveryStats recovery_;  // written once during Open, then read-only
+};
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_DURABLE_DB_H_

@@ -1,0 +1,322 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace pdb {
+
+namespace {
+
+Status IoError(const std::string& context, int err) {
+  return Status(StatusCode::kIoError,
+                context + ": " + std::strerror(err));
+}
+
+/// POSIX append-only file: unbuffered write() so Append is visible to
+/// readers immediately; Sync is fsync(2).
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoError("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }  // write() is unbuffered
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    if (::fsync(fd_) != 0) return IoError("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return IoError("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    return OpenForWrite(path, O_TRUNC);
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    return OpenForWrite(path, O_APPEND);
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    out->clear();
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return IoError("open " + path, errno);
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return IoError("read " + path, err);
+      }
+      if (n == 0) break;
+      out->append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return IoError("stat " + path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return IoError("opendir " + dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return IoError("unlink " + path, errno);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return IoError("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return IoError("mkdir " + dir, errno);
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return IoError("truncate " + path, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(const std::string& path,
+                                                     int extra_flags) {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC | extra_flags,
+                    0644);
+    if (fd < 0) return IoError("open " + path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+};
+
+/// In-memory WritableFile appending into the shared FileState. The handle
+/// keeps the state alive even if the file is concurrently removed (matching
+/// POSIX unlink-while-open semantics).
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<MemEnv::FileState> state)
+      : state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    if (!state_) return Status::FailedPrecondition("file closed");
+    state_->contents.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override {
+    state_.reset();
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemEnv::FileState> state_;
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // intentionally leaked singleton
+  return env;
+}
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = std::make_shared<FileState>();
+  files_[path] = state;
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(std::move(state)));
+}
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewAppendableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  std::shared_ptr<FileState> state;
+  if (it == files_.end()) {
+    state = std::make_shared<FileState>();
+    files_[path] = state;
+  } else {
+    state = it->second;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(std::move(state)));
+}
+
+Status MemEnv::ReadFileToString(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(StatusCode::kIoError, "no such file: " + path);
+  }
+  *out = it->second->contents;
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(StatusCode::kIoError, "no such file: " + path);
+  }
+  return static_cast<uint64_t>(it->second->contents.size());
+}
+
+Result<std::vector<std::string>> MemEnv::GetChildren(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos && !rest.empty()) {
+      names.push_back(std::move(rest));
+    }
+  }
+  return names;  // map order is already sorted
+}
+
+Status MemEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status(StatusCode::kIoError, "no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status(StatusCode::kIoError, "no such file: " + from);
+  }
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(dirs_.begin(), dirs_.end(), dir) == dirs_.end()) {
+    dirs_.push_back(dir);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(StatusCode::kIoError, "no such file: " + path);
+  }
+  std::string& contents = it->second->contents;
+  if (size < contents.size()) contents.resize(static_cast<size_t>(size));
+  return Status::OK();
+}
+
+std::string MemEnv::FileContents(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? std::string() : it->second->contents;
+}
+
+void MemEnv::SetFileContents(const std::string& path, std::string contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    auto state = std::make_shared<FileState>();
+    state->contents = std::move(contents);
+    files_[path] = std::move(state);
+  } else {
+    it->second->contents = std::move(contents);
+  }
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace pdb

@@ -1,0 +1,123 @@
+/// \file env.h
+/// \brief Filesystem seam for the durable storage layer.
+///
+/// All file I/O of the WAL, snapshot, and component-store code goes through
+/// an `Env` (the LevelDB idiom), so tests can substitute a deterministic
+/// fault-injecting filesystem and inject a crash at every single I/O step.
+/// Three implementations ship:
+///
+///  - `Env::Default()` — POSIX files with real fsync, used by pdbd;
+///  - `MemEnv` — an in-memory filesystem for fast, hermetic tests;
+///  - `FaultInjectionEnv` (tests/fault_env.h) — wraps another Env, counts
+///    every I/O operation, and can kill the workload at any of them,
+///    tear the final write at any byte, drop unsynced data, or fail one
+///    specific operation.
+///
+/// The durability contract the layer above relies on: bytes passed to
+/// `WritableFile::Append` are readable back once written (OS cache), but
+/// only survive a crash once `Sync` returned OK; `RenameFile` of a synced
+/// file atomically replaces the target.
+
+#ifndef PDB_STORAGE_ENV_H_
+#define PDB_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdb {
+
+/// An append-only file handle. Not thread-safe; one writer per file.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Buffers/writes `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+  /// Pushes buffered data to the OS (readable back, not yet durable).
+  virtual Status Flush() = 0;
+  /// Makes every appended byte durable (fsync).
+  virtual Status Sync() = 0;
+  /// Flushes and releases the handle. Append/Sync after Close are errors.
+  virtual Status Close() = 0;
+};
+
+/// Minimal filesystem interface: everything the durable layer touches.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  /// Creates (truncating) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  /// Opens `path` for appending, creating it if missing.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+  /// Reads the whole file into `*out` (replacing its contents).
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  /// Names (not paths) of the entries of directory `dir`, sorted.
+  virtual Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// Atomically renames `from` to `to`, replacing any existing `to`.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  /// Truncates `path` to `size` bytes (used to cut a torn WAL tail).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+};
+
+/// An in-memory Env for tests: fast, hermetic, and the substrate the
+/// fault-injection wrapper mutates when simulating crashes. Thread-safe.
+class MemEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Result<std::vector<std::string>> GetChildren(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+
+  /// Direct access for tests: the raw bytes of `path` (empty if absent).
+  std::string FileContents(const std::string& path);
+  /// Overwrites the raw bytes of `path` (creating it), bypassing the
+  /// WritableFile interface — how corruption fuzzers plant damage.
+  void SetFileContents(const std::string& path, std::string contents);
+
+  /// Shared between the file map and open handles (POSIX
+  /// unlink-while-open semantics). Public so the env's file handle class
+  /// can name it.
+  struct FileState {
+    std::string contents;
+  };
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;  // guarded by mu_
+  std::vector<std::string> dirs_;                            // guarded by mu_
+};
+
+/// Joins a directory and a file name with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_ENV_H_

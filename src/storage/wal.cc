@@ -1,0 +1,222 @@
+#include "storage/wal.h"
+
+#include "storage/coding.h"
+#include "storage/crc32c.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pdb {
+
+using wal::kBlockSize;
+using wal::kHeaderSize;
+using wal::RecordType;
+
+LogWriter::LogWriter(WritableFile* dest, uint64_t initial_length)
+    : dest_(dest),
+      offset_(initial_length),
+      block_offset_(static_cast<size_t>(initial_length % kBlockSize)) {}
+
+Status LogWriter::AddRecord(std::string_view payload) {
+  const char* data = payload.data();
+  size_t left = payload.size();
+  bool first_fragment = true;
+  // Emit at least one fragment even for an empty payload.
+  do {
+    size_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Not enough room for a header: pad the block with zeros and start
+      // the next fragment block-aligned.
+      if (leftover > 0) {
+        static const char kZeros[kHeaderSize] = {0};
+        PDB_RETURN_NOT_OK(
+            dest_->Append(std::string_view(kZeros, leftover)));
+        offset_ += leftover;
+      }
+      block_offset_ = 0;
+      leftover = kBlockSize;
+    }
+    size_t avail = leftover - kHeaderSize;
+    size_t fragment = left < avail ? left : avail;
+    bool last_fragment = fragment == left;
+    RecordType type;
+    if (first_fragment && last_fragment) {
+      type = RecordType::kFull;
+    } else if (first_fragment) {
+      type = RecordType::kFirst;
+    } else if (last_fragment) {
+      type = RecordType::kLast;
+    } else {
+      type = RecordType::kMiddle;
+    }
+    PDB_RETURN_NOT_OK(EmitPhysicalRecord(type, data, fragment));
+    data += fragment;
+    left -= fragment;
+    first_fragment = false;
+  } while (left > 0);
+  return Status::OK();
+}
+
+Status LogWriter::EmitPhysicalRecord(RecordType type, const char* data,
+                                     size_t length) {
+  PDB_CHECK(length <= 0xffff);
+  PDB_CHECK(block_offset_ + kHeaderSize + length <= kBlockSize);
+
+  char header[kHeaderSize];
+  // CRC covers the type byte and the payload, so a fragment spliced from
+  // another position (same bytes, different type) fails its check.
+  uint8_t type_byte = static_cast<uint8_t>(type);
+  uint32_t crc = crc32c::Extend(0, reinterpret_cast<const char*>(&type_byte),
+                                1);
+  crc = crc32c::Mask(crc32c::Extend(crc, data, length));
+  header[0] = static_cast<char>(crc & 0xff);
+  header[1] = static_cast<char>((crc >> 8) & 0xff);
+  header[2] = static_cast<char>((crc >> 16) & 0xff);
+  header[3] = static_cast<char>((crc >> 24) & 0xff);
+  header[4] = static_cast<char>(length & 0xff);
+  header[5] = static_cast<char>((length >> 8) & 0xff);
+  header[6] = static_cast<char>(type_byte);
+
+  PDB_RETURN_NOT_OK(dest_->Append(std::string_view(header, kHeaderSize)));
+  PDB_RETURN_NOT_OK(dest_->Append(std::string_view(data, length)));
+  offset_ += kHeaderSize + length;
+  block_offset_ += kHeaderSize + length;
+  return Status::OK();
+}
+
+LogReader::LogReader(std::string_view contents) : contents_(contents) {}
+
+void LogReader::SetCorruption(std::string message) {
+  if (!corruption_) {
+    corruption_ = true;
+    corruption_message_ = std::move(message);
+  }
+}
+
+LogReader::Physical LogReader::ReadPhysicalRecord(RecordType* type,
+                                                  std::string_view* payload) {
+  for (;;) {
+    size_t block_left = kBlockSize - cursor_ % kBlockSize;
+    if (block_left < kHeaderSize) {
+      // Block trailer: must be zero padding (or end of file).
+      size_t n = std::min(block_left, contents_.size() - cursor_);
+      for (size_t i = 0; i < n; ++i) {
+        if (contents_[cursor_ + i] != 0) {
+          SetCorruption(StrFormat("nonzero block trailer at offset %llu",
+                                  static_cast<unsigned long long>(cursor_)));
+          return Physical::kCorrupt;
+        }
+      }
+      cursor_ += n;
+      if (cursor_ >= contents_.size()) return Physical::kEof;
+      continue;
+    }
+    if (cursor_ >= contents_.size()) return Physical::kEof;
+    size_t file_left = contents_.size() - cursor_;
+    if (file_left < kHeaderSize) {
+      // Torn header at the tail: a crash mid-append. Clean stop.
+      return Physical::kEof;
+    }
+    const char* header = contents_.data() + cursor_;
+    uint32_t expected_crc = DecodeFixed32(header);
+    size_t length = static_cast<uint8_t>(header[4]) |
+                    (static_cast<size_t>(static_cast<uint8_t>(header[5])) << 8);
+    uint8_t type_byte = static_cast<uint8_t>(header[6]);
+    if (type_byte == 0 && length == 0 && expected_crc == 0) {
+      // Zero padding inside a block (e.g. a file preallocated with zeros or
+      // a tail truncated mid-block then zero-extended): treat the rest of
+      // the block as trailer.
+      size_t n = std::min(block_left, file_left);
+      for (size_t i = 0; i < n; ++i) {
+        if (contents_[cursor_ + i] != 0) {
+          SetCorruption(StrFormat("garbage after zero header at offset %llu",
+                                  static_cast<unsigned long long>(cursor_)));
+          return Physical::kCorrupt;
+        }
+      }
+      cursor_ += n;
+      if (cursor_ >= contents_.size()) return Physical::kEof;
+      continue;
+    }
+    if (type_byte > wal::kMaxRecordType) {
+      SetCorruption(StrFormat("unknown record type %u at offset %llu",
+                              static_cast<unsigned>(type_byte),
+                              static_cast<unsigned long long>(cursor_)));
+      return Physical::kCorrupt;
+    }
+    if (kHeaderSize + length > block_left) {
+      SetCorruption(StrFormat("record length %zu overflows block at offset "
+                              "%llu",
+                              length,
+                              static_cast<unsigned long long>(cursor_)));
+      return Physical::kCorrupt;
+    }
+    if (kHeaderSize + length > file_left) {
+      // Torn payload at the tail. Clean stop.
+      return Physical::kEof;
+    }
+    const char* data = header + kHeaderSize;
+    uint32_t crc = crc32c::Extend(
+        0, reinterpret_cast<const char*>(&type_byte), 1);
+    crc = crc32c::Mask(crc32c::Extend(crc, data, length));
+    if (crc != expected_crc) {
+      SetCorruption(StrFormat("checksum mismatch at offset %llu",
+                              static_cast<unsigned long long>(cursor_)));
+      return Physical::kCorrupt;
+    }
+    *type = static_cast<RecordType>(type_byte);
+    *payload = std::string_view(data, length);
+    cursor_ += kHeaderSize + length;
+    return Physical::kRecord;
+  }
+}
+
+bool LogReader::ReadRecord(std::string* record) {
+  if (corruption_) return false;
+  record->clear();
+  bool in_fragmented_record = false;
+  for (;;) {
+    RecordType type;
+    std::string_view payload;
+    Physical result = ReadPhysicalRecord(&type, &payload);
+    if (result == Physical::kEof) return false;
+    if (result == Physical::kCorrupt) return false;
+    switch (type) {
+      case RecordType::kFull:
+        if (in_fragmented_record) {
+          SetCorruption("FULL record inside fragmented record");
+          return false;
+        }
+        record->assign(payload.data(), payload.size());
+        valid_prefix_ = cursor_;
+        return true;
+      case RecordType::kFirst:
+        if (in_fragmented_record) {
+          SetCorruption("FIRST record inside fragmented record");
+          return false;
+        }
+        in_fragmented_record = true;
+        record->assign(payload.data(), payload.size());
+        break;
+      case RecordType::kMiddle:
+        if (!in_fragmented_record) {
+          SetCorruption("MIDDLE record without FIRST");
+          return false;
+        }
+        record->append(payload.data(), payload.size());
+        break;
+      case RecordType::kLast:
+        if (!in_fragmented_record) {
+          SetCorruption("LAST record without FIRST");
+          return false;
+        }
+        record->append(payload.data(), payload.size());
+        valid_prefix_ = cursor_;
+        return true;
+      case RecordType::kZero:
+        SetCorruption("zero record type");
+        return false;
+    }
+  }
+}
+
+}  // namespace pdb

@@ -1,0 +1,119 @@
+/// \file wal.h
+/// \brief CRC-framed, block-aligned log files (the LevelDB `log_writer`
+/// record format).
+///
+/// A log file is a sequence of 32 KiB blocks; each block holds records
+/// framed as
+///
+///     checksum (4B, masked CRC-32C of type+payload) | length (2B LE) |
+///     type (1B) | payload
+///
+/// A logical record larger than the space left in a block is fragmented
+/// into FIRST/MIDDLE.../LAST physical records; one that fits whole is FULL.
+/// When fewer than 7 header bytes remain in a block the writer pads the
+/// remainder with zeros and starts the next record block-aligned. Because
+/// every fragment is checksummed and block-aligned, a reader can detect a
+/// torn tail (a crash mid-write) at the granularity of a single physical
+/// record and hand back exactly the prefix of intact logical records.
+///
+/// Reader policy — chosen for write-ahead logs rather than general log
+/// shipping: stop at the FIRST corrupt or torn physical record. A WAL's
+/// contract is "a prefix of the operations that were appended"; data after
+/// a damaged region cannot be trusted to be a contiguous suffix, so the
+/// durable layer truncates the file at `valid_prefix_size()` instead of
+/// resynchronizing past the damage.
+
+#ifndef PDB_STORAGE_WAL_H_
+#define PDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace pdb {
+namespace wal {
+
+/// Physical record framing constants.
+constexpr size_t kBlockSize = 32768;
+constexpr size_t kHeaderSize = 4 + 2 + 1;
+
+enum class RecordType : uint8_t {
+  kZero = 0,  ///< preallocated/padding; never written as a record
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+constexpr uint8_t kMaxRecordType = 4;
+
+}  // namespace wal
+
+/// Appends CRC-framed records to a `WritableFile`. Not thread-safe.
+class LogWriter {
+ public:
+  /// `dest` must be positioned at `initial_length` bytes (0 for a fresh
+  /// file; the current size when reopening an existing log for append —
+  /// the writer needs the block offset to frame correctly).
+  explicit LogWriter(WritableFile* dest, uint64_t initial_length = 0);
+
+  /// Appends one logical record. On error the log tail is undefined (a
+  /// partial physical record may be present); callers should stop using
+  /// the writer — recovery will truncate the torn tail.
+  Status AddRecord(std::string_view payload);
+
+  /// Bytes of log written so far (header + payload + padding).
+  uint64_t offset() const { return offset_; }
+
+ private:
+  Status EmitPhysicalRecord(wal::RecordType type, const char* data,
+                            size_t length);
+
+  WritableFile* dest_;
+  uint64_t offset_;       // current file offset
+  size_t block_offset_;   // offset within the current block
+};
+
+/// Iterates the logical records of a log held in memory. Stops cleanly at
+/// the first corruption (see file comment); never crashes on arbitrary
+/// bytes.
+class LogReader {
+ public:
+  explicit LogReader(std::string_view contents);
+
+  /// Reads the next logical record into `*record`. Returns true on
+  /// success; false at end of log or at the first corrupt/torn record
+  /// (check `corruption_detected()` to distinguish).
+  bool ReadRecord(std::string* record);
+
+  /// True once a checksum mismatch, impossible length, torn fragment, or
+  /// malformed fragment sequence has been seen.
+  bool corruption_detected() const { return corruption_; }
+  /// Description of the first corruption (empty when none).
+  const std::string& corruption_message() const { return corruption_message_; }
+
+  /// File offset just past the last complete logical record returned —
+  /// where the durable layer truncates a torn tail. Fragments of a
+  /// logical record that never completed do not extend this.
+  uint64_t valid_prefix_size() const { return valid_prefix_; }
+
+ private:
+  /// Reads one physical record at cursor_; advances cursor_. Returns
+  /// kEof (end, clean), kRecord (got one), or kCorrupt.
+  enum class Physical { kRecord, kEof, kCorrupt };
+  Physical ReadPhysicalRecord(wal::RecordType* type, std::string_view* payload);
+
+  void SetCorruption(std::string message);
+
+  std::string_view contents_;
+  size_t cursor_ = 0;
+  uint64_t valid_prefix_ = 0;
+  bool corruption_ = false;
+  std::string corruption_message_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_WAL_H_

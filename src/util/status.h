@@ -26,6 +26,8 @@ enum class StatusCode {
   kFailedPrecondition,///< call sequence violated (e.g. executing unbound plan)
   kResourceExhausted, ///< configured limit (nodes, time, memory) exceeded
   kDeadlineExceeded,  ///< wall-clock deadline passed before completion
+  kIoError,           ///< a filesystem operation failed (or was injected)
+  kCorruption,        ///< stored data failed its checksum or framing check
   kInternal,          ///< bug: should never be surfaced to users
 };
 
@@ -61,6 +63,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -93,6 +93,18 @@ void WmcCache::Insert(const Key& key, double value) {
   }
 }
 
+std::vector<std::pair<WmcCache::Key, double>> WmcCache::Export() const {
+  std::vector<std::pair<Key, double>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.reserve(out.size() + shard->slots.size());
+    for (const Slot& slot : shard->slots) {
+      out.emplace_back(slot.key, slot.value);
+    }
+  }
+  return out;
+}
+
 void WmcCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

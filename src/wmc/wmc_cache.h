@@ -38,6 +38,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "boolean/formula.h"
@@ -99,6 +100,12 @@ class WmcCache {
   /// mutation — hygiene rather than correctness: stale entries keep their
   /// weight fingerprints, so they could never serve a mismatched lookup.
   void Clear();
+
+  /// Point-in-time copy of every entry, shard by shard. Feeds the durable
+  /// layer's component store (`DurableDatabase::SpillWmcCache`) — keys are
+  /// pure functions of (formula structure, weights), so exported entries
+  /// stay valid across restarts and database mutations alike.
+  std::vector<std::pair<Key, double>> Export() const;
 
   WmcCacheStats stats() const;
 

@@ -1,0 +1,238 @@
+/// \file fault_env.h
+/// \brief Deterministic fault-injecting filesystem for crash-recovery tests.
+///
+/// `FaultInjectionEnv` wraps a `MemEnv` and numbers every I/O operation —
+/// each `Append`/`Flush`/`Sync`/`Close` on any file and each Env-level call
+/// alike. A test can then:
+///
+///  - `CrashAfter(n)`: the n-th operation and everything after it fail with
+///    an injected IoError, simulating the process dying mid-I/O. Running a
+///    workload once to count its operations and then once per crash point
+///    kills it deterministically at *every* I/O step;
+///  - `DropUnsyncedData()`: revert every file to its last successfully
+///    synced length — the prefix-durability model of a real crash (the OS
+///    page cache dies; fsynced bytes survive);
+///  - `DropUnsyncedDataTorn(&rng)`: the same, but each file keeps a random
+///    prefix of its unsynced suffix — a torn final write cut at an
+///    arbitrary byte;
+///  - `FailOnce(op, nth)`: fail the nth occurrence of one operation kind
+///    with an IoError (targeted error-path testing, no crash).
+///
+/// Durability model (matches the contract documented in storage/env.h):
+/// `Sync` checkpoints the file's current length as durable; `RenameFile`
+/// and `RemoveFile` are atomic and immediately durable; a file created and
+/// never synced survives only as an empty file. Single-threaded use.
+
+#ifndef PDB_TESTS_FAULT_ENV_H_
+#define PDB_TESTS_FAULT_ENV_H_
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace pdb::testing {
+
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(MemEnv* base) : base_(base) {}
+
+  /// Total I/O operations issued so far (failed ones included).
+  uint64_t ops() const { return ops_; }
+
+  /// Operations numbered >= n (0-based) fail with an injected IoError.
+  void CrashAfter(uint64_t n) { crash_at_ = n; }
+  /// Stops injecting the crash (the "restarted process" runs clean).
+  void ClearFaults() {
+    crash_at_.reset();
+    fail_op_.clear();
+  }
+  /// True once an operation has been failed by the crash point.
+  bool crashed() const { return crashed_; }
+
+  /// Fails the `nth` (0-based) future occurrence of operation `op`
+  /// ("append", "flush", "sync", "close", "new_writable", "read",
+  /// "children", "remove", "rename", "mkdir", "truncate", "size") once.
+  void FailOnce(const std::string& op, uint64_t nth) {
+    fail_op_[op] = nth;
+  }
+
+  /// Reverts every file to its synced prefix: what a real crash leaves
+  /// behind with nothing torn mid-write.
+  void DropUnsyncedData() { DropUnsynced(nullptr); }
+
+  /// Reverts every file to its synced prefix plus a random-length prefix
+  /// of the unsynced suffix — a write torn at an arbitrary byte.
+  void DropUnsyncedDataTorn(Rng* rng) { DropUnsynced(rng); }
+
+  /// Bytes recorded as durable for `path` (0 when never synced).
+  uint64_t SyncedBytes(const std::string& path) const {
+    auto it = synced_.find(path);
+    return it == synced_.end() ? 0 : it->second;
+  }
+
+  // Env interface -----------------------------------------------------
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    PDB_RETURN_NOT_OK(MaybeFault("new_writable"));
+    auto file = base_->NewWritableFile(path);
+    if (!file.ok()) return file.status();
+    // A fresh file is not durable until synced; at best an empty file
+    // survives the crash (creation metadata).
+    synced_[path] = 0;
+    return Result<std::unique_ptr<WritableFile>>(
+        std::make_unique<FaultFile>(this, path, std::move(*file)));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    PDB_RETURN_NOT_OK(MaybeFault("new_writable"));
+    auto file = base_->NewAppendableFile(path);
+    if (!file.ok()) return file.status();
+    if (synced_.find(path) == synced_.end()) synced_[path] = 0;
+    return Result<std::unique_ptr<WritableFile>>(
+        std::make_unique<FaultFile>(this, path, std::move(*file)));
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    PDB_RETURN_NOT_OK(MaybeFault("read"));
+    return base_->ReadFileToString(path, out);
+  }
+
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    PDB_RETURN_NOT_OK(MaybeFault("size"));
+    return base_->GetFileSize(path);
+  }
+
+  Result<std::vector<std::string>> GetChildren(const std::string& dir)
+      override {
+    PDB_RETURN_NOT_OK(MaybeFault("children"));
+    return base_->GetChildren(dir);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    PDB_RETURN_NOT_OK(MaybeFault("remove"));
+    Status status = base_->RemoveFile(path);
+    if (status.ok()) synced_.erase(path);
+    return status;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    PDB_RETURN_NOT_OK(MaybeFault("rename"));
+    Status status = base_->RenameFile(from, to);
+    if (status.ok()) {
+      // Atomic and durable: the target inherits the source's synced
+      // prefix (the durable layer always syncs before renaming).
+      auto it = synced_.find(from);
+      synced_[to] = it == synced_.end() ? 0 : it->second;
+      synced_.erase(from);
+    }
+    return status;
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    PDB_RETURN_NOT_OK(MaybeFault("mkdir"));
+    return base_->CreateDirIfMissing(dir);
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    PDB_RETURN_NOT_OK(MaybeFault("truncate"));
+    Status status = base_->TruncateFile(path, size);
+    if (status.ok()) {
+      auto it = synced_.find(path);
+      if (it != synced_.end()) it->second = std::min(it->second, size);
+    }
+    return status;
+  }
+
+ private:
+  class FaultFile : public WritableFile {
+   public:
+    FaultFile(FaultInjectionEnv* env, std::string path,
+              std::unique_ptr<WritableFile> base)
+        : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+    Status Append(std::string_view data) override {
+      PDB_RETURN_NOT_OK(env_->MaybeFault("append"));
+      return base_->Append(data);
+    }
+    Status Flush() override {
+      PDB_RETURN_NOT_OK(env_->MaybeFault("flush"));
+      return base_->Flush();
+    }
+    Status Sync() override {
+      PDB_RETURN_NOT_OK(env_->MaybeFault("sync"));
+      PDB_RETURN_NOT_OK(base_->Sync());
+      env_->synced_[path_] = env_->base_->FileContents(path_).size();
+      return Status::OK();
+    }
+    Status Close() override {
+      PDB_RETURN_NOT_OK(env_->MaybeFault("close"));
+      return base_->Close();
+    }
+
+   private:
+    FaultInjectionEnv* env_;
+    std::string path_;
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  Status MaybeFault(const char* op) {
+    uint64_t n = ops_++;
+    if (crash_at_.has_value() && n >= *crash_at_) {
+      crashed_ = true;
+      return Status::IoError(
+          StrFormat("injected crash at I/O op %llu (%s)",
+                    static_cast<unsigned long long>(n), op));
+    }
+    auto it = fail_op_.find(op);
+    if (it != fail_op_.end()) {
+      if (it->second == 0) {
+        fail_op_.erase(it);
+        return Status::IoError(StrFormat("injected %s failure", op));
+      }
+      --it->second;
+    }
+    return Status::OK();
+  }
+
+  void DropUnsynced(Rng* rng) {
+    // Snapshot the name list first: truncation mutates the map.
+    std::vector<std::string> paths;
+    for (const auto& [path, synced] : synced_) paths.push_back(path);
+    for (const std::string& path : paths) {
+      if (!base_->FileExists(path)) continue;
+      std::string contents = base_->FileContents(path);
+      uint64_t keep = synced_[path];
+      if (rng != nullptr && contents.size() > keep) {
+        // Torn write: an arbitrary prefix of the unsynced suffix survived.
+        keep += rng->Uniform(contents.size() - keep + 1);
+      }
+      if (keep < contents.size()) {
+        base_->SetFileContents(path, contents.substr(0, keep));
+      }
+    }
+  }
+
+  MemEnv* base_;
+  uint64_t ops_ = 0;
+  std::optional<uint64_t> crash_at_;
+  bool crashed_ = false;
+  std::map<std::string, uint64_t> fail_op_;
+  std::map<std::string, uint64_t> synced_;  // path -> durable bytes
+};
+
+}  // namespace pdb::testing
+
+#endif  // PDB_TESTS_FAULT_ENV_H_

@@ -4,6 +4,8 @@
 /// Usage:
 ///   pdbd [--host H] [--port P] [--demo [N]]
 ///        [--table NAME SCHEMA FILE.csv]...
+///        [--data-dir DIR] [--sync-mode always|none]
+///        [--checkpoint-every-n N] [--wmc-spill-ms N]
 ///        [--max-concurrent N] [--max-queue N] [--queue-timeout-ms N]
 ///        [--max-deadline-ms N] [--drain-timeout-ms N]
 ///
@@ -16,21 +18,37 @@
 /// suite (relations R(x), S(x,y), T(y), N tuples wide) so the server can
 /// run without any data files — CI's smoke test and the quickstart use it.
 ///
+/// `--data-dir DIR` makes the database durable (storage/durable_db.h):
+/// tables recovered from DIR on boot, every load write-ahead logged, and
+/// the shared WMC cache persisted to a sidecar store — periodically (every
+/// `--wmc-spill-ms`, default 1000; 0 disables) and on shutdown — so even a
+/// kill -9'd server restarts with its tables and a warm cache. `--demo` /
+/// `--table` loads are skipped for relations that already recovered, so
+/// restarting with identical flags is idempotent. `--sync-mode always`
+/// (default) fsyncs per mutation; `none` trades crash durability of the
+/// latest writes for bulk-load speed. `--checkpoint-every-n` snapshots and
+/// compacts the log every N mutations (a checkpoint is always written on
+/// clean shutdown).
+///
 /// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
-/// in-flight queries, cancel stragglers, exit 0.
+/// in-flight queries, cancel stragglers, spill + checkpoint (when
+/// durable), exit 0.
 
-#include <unistd.h>
+#include <ctime>
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/pdb.h"
 #include "server/server.h"
 #include "storage/csv.h"
+#include "storage/durable_db.h"
 #include "util/string_util.h"
 
 namespace {
@@ -80,7 +98,7 @@ pdb::Result<pdb::Schema> ParseSchemaSpec(const std::string& spec) {
 /// The synthetic bipartite demo database: R(x), S(x,y), T(y) with smoothly
 /// varying probabilities — large enough that "R(x), S(x,y), T(y)" exercises
 /// the full inference pipeline, small enough to ground instantly.
-pdb::Status LoadDemo(pdb::ProbDatabase* db, int n) {
+pdb::Result<std::vector<pdb::Relation>> BuildDemo(int n) {
   pdb::Relation r("R", pdb::Schema({{"x", pdb::ValueType::kInt}}));
   pdb::Relation t("T", pdb::Schema({{"y", pdb::ValueType::kInt}}));
   pdb::Relation s("S", pdb::Schema({{"x", pdb::ValueType::kInt},
@@ -95,10 +113,11 @@ pdb::Status LoadDemo(pdb::ProbDatabase* db, int n) {
       }
     }
   }
-  PDB_RETURN_NOT_OK(db->AddRelation(std::move(r)));
-  PDB_RETURN_NOT_OK(db->AddRelation(std::move(s)));
-  PDB_RETURN_NOT_OK(db->AddRelation(std::move(t)));
-  return pdb::Status::OK();
+  std::vector<pdb::Relation> relations;
+  relations.push_back(std::move(r));
+  relations.push_back(std::move(s));
+  relations.push_back(std::move(t));
+  return relations;
 }
 
 int Usage(const char* argv0) {
@@ -106,6 +125,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host H] [--port P] [--demo [N]]\n"
       "          [--table NAME SCHEMA FILE.csv]...\n"
+      "          [--data-dir DIR] [--sync-mode always|none]\n"
+      "          [--checkpoint-every-n N] [--wmc-spill-ms N]\n"
       "          [--max-concurrent N] [--max-queue N] "
       "[--queue-timeout-ms N]\n"
       "          [--max-deadline-ms N] [--drain-timeout-ms N]\n"
@@ -123,12 +144,23 @@ bool ParseUint(const char* text, uint64_t* out) {
   return true;
 }
 
+/// One deferred --table load (data may only be added after the durable
+/// store has recovered, whatever the flag order).
+struct TableSpec {
+  std::string name;
+  std::string schema;
+  std::string path;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  pdb::ProbDatabase db;
   pdb::ServerOptions options;
-  bool loaded_any = false;
+  std::string data_dir;
+  pdb::DurableOptions durable_options;
+  uint64_t wmc_spill_ms = 1000;
+  std::optional<uint64_t> demo_n;
+  std::vector<TableSpec> tables;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -149,37 +181,28 @@ int main(int argc, char** argv) {
           return Usage(argv[0]);
         }
       }
-      pdb::Status status = LoadDemo(&db, static_cast<int>(n));
-      if (!status.ok()) {
-        std::fprintf(stderr, "pdbd: demo load failed: %s\n",
-                     status.ToString().c_str());
-        return 1;
-      }
-      loaded_any = true;
+      demo_n = n;
     } else if (arg == "--table" && i + 3 < argc) {
-      std::string name = argv[++i];
-      std::string schema_spec = argv[++i];
-      std::string path = argv[++i];
-      auto schema = ParseSchemaSpec(schema_spec);
-      if (!schema.ok()) {
-        std::fprintf(stderr, "pdbd: table %s: %s\n", name.c_str(),
-                     schema.status().ToString().c_str());
-        return 1;
+      TableSpec spec;
+      spec.name = argv[++i];
+      spec.schema = argv[++i];
+      spec.path = argv[++i];
+      tables.push_back(std::move(spec));
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (arg == "--sync-mode" && i + 1 < argc) {
+      auto mode = pdb::ParseSyncMode(argv[++i]);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "pdbd: %s\n", mode.status().ToString().c_str());
+        return Usage(argv[0]);
       }
-      auto relation = pdb::RelationFromCsvFile(name, *schema, path);
-      if (!relation.ok()) {
-        std::fprintf(stderr, "pdbd: loading %s from %s: %s\n", name.c_str(),
-                     path.c_str(), relation.status().ToString().c_str());
-        return 1;
-      }
-      std::fprintf(stderr, "pdbd: loaded %s (%zu tuples) from %s\n",
-                   name.c_str(), relation->size(), path.c_str());
-      pdb::Status status = db.AddRelation(std::move(*relation));
-      if (!status.ok()) {
-        std::fprintf(stderr, "pdbd: %s\n", status.ToString().c_str());
-        return 1;
-      }
-      loaded_any = true;
+      durable_options.sync_mode = *mode;
+    } else if (arg == "--checkpoint-every-n") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      durable_options.checkpoint_every_n = value;
+    } else if (arg == "--wmc-spill-ms") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      wmc_spill_ms = value;
     } else if (arg == "--max-concurrent") {
       if (!next_uint(&value)) return Usage(argv[0]);
       options.admission.max_concurrent = static_cast<size_t>(value);
@@ -200,13 +223,105 @@ int main(int argc, char** argv) {
     }
   }
 
+  // With --data-dir, recover tables and the warm WMC cache before any
+  // load; without it, the historical in-memory-only behaviour.
+  pdb::ProbDatabase memory_db;
+  std::unique_ptr<pdb::DurableDatabase> durable;
+  std::shared_ptr<pdb::WmcCache> warm_cache;
+  pdb::ProbDatabase* db = &memory_db;
+  if (!data_dir.empty()) {
+    auto opened = pdb::DurableDatabase::Open(data_dir, durable_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "pdbd: opening %s: %s\n", data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(*opened);
+    db = &durable->pdb();
+    const pdb::RecoveryStats& rec = durable->recovery_stats();
+    std::fprintf(stderr,
+                 "pdbd: recovered %s: %zu relations, %zu tuples "
+                 "(snapshot seq %llu, %llu WAL records replayed%s)\n",
+                 data_dir.c_str(), db->database().RelationNames().size(),
+                 db->database().TupleCount(),
+                 static_cast<unsigned long long>(rec.snapshot_seq),
+                 static_cast<unsigned long long>(rec.replayed_records),
+                 rec.tail_truncated ? ", torn tail truncated" : "");
+
+    warm_cache = std::make_shared<pdb::WmcCache>();
+    auto loaded = durable->LoadWmcCache(warm_cache.get());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "pdbd: component store unreadable (%s); "
+                   "starting with a cold cache\n",
+                   loaded.status().ToString().c_str());
+    } else if (*loaded > 0) {
+      std::fprintf(stderr, "pdbd: warm WMC cache: %llu entries reloaded\n",
+                   static_cast<unsigned long long>(*loaded));
+    }
+    options.sessions.session.external_wmc_cache = warm_cache;
+    options.extra_metrics = &durable->metrics();
+  }
+
+  // A mutation goes through the WAL when durable; relations that already
+  // recovered are skipped so a restart with identical flags is idempotent.
+  auto add_relation = [&](pdb::Relation relation) -> pdb::Status {
+    if (db->database().HasRelation(relation.name())) {
+      std::fprintf(stderr, "pdbd: %s already recovered from %s; skipping\n",
+                   relation.name().c_str(), data_dir.c_str());
+      return pdb::Status::OK();
+    }
+    if (durable) return durable->AddRelation(std::move(relation));
+    return db->AddRelation(std::move(relation));
+  };
+
+  bool loaded_any = durable && !db->database().RelationNames().empty();
+  if (demo_n.has_value()) {
+    auto demo = BuildDemo(static_cast<int>(*demo_n));
+    pdb::Status status = demo.ok() ? pdb::Status::OK() : demo.status();
+    if (status.ok()) {
+      for (pdb::Relation& relation : *demo) {
+        status = add_relation(std::move(relation));
+        if (!status.ok()) break;
+      }
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "pdbd: demo load failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    loaded_any = true;
+  }
+  for (const TableSpec& spec : tables) {
+    auto schema = ParseSchemaSpec(spec.schema);
+    if (!schema.ok()) {
+      std::fprintf(stderr, "pdbd: table %s: %s\n", spec.name.c_str(),
+                   schema.status().ToString().c_str());
+      return 1;
+    }
+    auto relation = pdb::RelationFromCsvFile(spec.name, *schema, spec.path);
+    if (!relation.ok()) {
+      std::fprintf(stderr, "pdbd: loading %s from %s: %s\n",
+                   spec.name.c_str(), spec.path.c_str(),
+                   relation.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pdbd: loaded %s (%zu tuples) from %s\n",
+                 spec.name.c_str(), relation->size(), spec.path.c_str());
+    pdb::Status status = add_relation(std::move(*relation));
+    if (!status.ok()) {
+      std::fprintf(stderr, "pdbd: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    loaded_any = true;
+  }
+
   if (!loaded_any) {
     std::fprintf(stderr,
                  "pdbd: no data loaded (use --demo or --table); serving an "
                  "empty database\n");
   }
 
-  pdb::PdbServer server(&db, options);
+  pdb::PdbServer server(db, options);
   pdb::Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "pdbd: %s\n", status.ToString().c_str());
@@ -218,13 +333,55 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  // The server runs on its own threads; the main thread ticks every 100 ms
+  // waiting for a shutdown signal and, when durable, rewrites the
+  // component store whenever new WMC entries appeared — so even a kill -9
+  // restarts with a warm cache as of the last spill.
+  const uint64_t kTickMs = 100;
+  uint64_t since_spill_ms = 0;
+  uint64_t spilled_inserts = 0;
   while (!g_shutdown_requested) {
-    // The server runs on its own threads; the main thread only waits for a
-    // shutdown signal. pause() wakes on any handled signal.
-    ::pause();
+    struct timespec tick = {0, static_cast<long>(kTickMs) * 1000000L};
+    ::nanosleep(&tick, nullptr);
+    since_spill_ms += kTickMs;
+    if (durable && wmc_spill_ms > 0 && since_spill_ms >= wmc_spill_ms) {
+      since_spill_ms = 0;
+      uint64_t inserts = warm_cache->stats().inserts;
+      if (inserts != spilled_inserts) {
+        pdb::Status spilled = durable->SpillWmcCache(*warm_cache);
+        if (spilled.ok()) {
+          spilled_inserts = inserts;
+        } else {
+          std::fprintf(stderr, "pdbd: WMC spill failed: %s\n",
+                       spilled.ToString().c_str());
+        }
+      }
+    }
   }
   std::fprintf(stderr, "pdbd: shutting down (draining in-flight queries)\n");
   server.Shutdown();
+  if (durable) {
+    // Final spill + checkpoint: the next open recovers from the snapshot
+    // alone, with a warm cache current to the last query served.
+    if (warm_cache) {
+      pdb::Status spilled = durable->SpillWmcCache(*warm_cache);
+      if (!spilled.ok()) {
+        std::fprintf(stderr, "pdbd: final WMC spill failed: %s\n",
+                     spilled.ToString().c_str());
+      }
+    }
+    pdb::Status checkpointed = durable->Checkpoint();
+    if (!checkpointed.ok()) {
+      std::fprintf(stderr, "pdbd: shutdown checkpoint failed: %s\n",
+                   checkpointed.ToString().c_str());
+    }
+    pdb::Status closed = durable->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "pdbd: close failed: %s\n",
+                   closed.ToString().c_str());
+    }
+  }
   std::fprintf(stderr, "pdbd: bye\n");
   return 0;
 }
