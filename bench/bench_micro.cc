@@ -164,6 +164,86 @@ void BM_CqJoinIndexCache(benchmark::State& state) {
 }
 BENCHMARK(BM_CqJoinIndexCache)->Arg(0)->Arg(1);
 
+// M9: the vectorized columnar executor vs. the row-at-a-time path on the
+// same dense-key chain join, steady state (indexes session-cached in both
+// modes, cost-based order, so the row measures probe work, not builds).
+// The columnar path probes CSR offset arrays with integer codes where the
+// row path materializes Tuple keys and hashes Values per probe.
+void BM_CqJoinColumnarChain(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bool columnar = state.range(1) != 0;
+  Database db = ChainJoinDatabase(n, n);
+  ConjunctiveQuery cq(
+      {Atom("S1", {Term::Var("x0"), Term::Var("x1")}),
+       Atom("S2", {Term::Var("x1"), Term::Var("x2")}),
+       Atom("S3", {Term::Var("x2"), Term::Var("x3")})});
+  IndexCache cache;
+  ExecContext ctx;
+  ctx.set_index_cache(&cache);
+  GroundingOptions grounding;
+  grounding.exec = &ctx;
+  grounding.columnar =
+      columnar ? ColumnarMode::kAlways : ColumnarMode::kNever;
+  for (auto _ : state) {
+    size_t matches = 0;
+    Status st = EnumerateCqMatches(
+        cq, db, [&](const CqMatch&) { ++matches; }, grounding);
+    PDB_CHECK(st.ok() && matches == n);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CqJoinColumnarChain)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+
+// M9: columnar vs. row path on the star join (unary spokes, one wide hub
+// probed on a single bound position, then fully-bound spoke lookups).
+void BM_CqJoinColumnarStar(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bool columnar = state.range(1) != 0;
+  Database db;
+  for (const char* name : {"A", "B", "D"}) {
+    Relation rel(name, Schema::Anonymous(1));
+    for (size_t i = 0; i < n; ++i) {
+      PDB_CHECK(rel.AddTuple({Value(static_cast<int64_t>(i))}, 0.5).ok());
+    }
+    PDB_CHECK(db.AddRelation(std::move(rel)).ok());
+  }
+  Relation c("C", Schema::Anonymous(3));
+  for (size_t i = 0; i < n; ++i) {
+    Value v(static_cast<int64_t>(i));
+    PDB_CHECK(c.AddTuple({v, v, v}, 0.5).ok());
+  }
+  PDB_CHECK(db.AddRelation(std::move(c)).ok());
+  ConjunctiveQuery cq(
+      {Atom("A", {Term::Var("x")}), Atom("B", {Term::Var("y")}),
+       Atom("D", {Term::Var("z")}),
+       Atom("C", {Term::Var("x"), Term::Var("y"), Term::Var("z")})});
+  IndexCache cache;
+  ExecContext ctx;
+  ctx.set_index_cache(&cache);
+  GroundingOptions grounding;
+  grounding.exec = &ctx;
+  grounding.columnar =
+      columnar ? ColumnarMode::kAlways : ColumnarMode::kNever;
+  for (auto _ : state) {
+    size_t matches = 0;
+    Status st = EnumerateCqMatches(
+        cq, db, [&](const CqMatch&) { ++matches; }, grounding);
+    PDB_CHECK(st.ok() && matches == n);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CqJoinColumnarStar)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+
 // M7: per-tuple lineage construction fanned out over the pool. Thread
 // count 1 is the sequential builder (no ExecContext); higher counts force
 // the parallel path (thresholds dropped to 1) so the row measures the full

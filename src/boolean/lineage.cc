@@ -10,6 +10,7 @@
 #include "exec/context.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
+#include "storage/columnar.h"
 #include "storage/index_cache.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -305,44 +306,78 @@ struct JoinStep {
   std::vector<std::pair<uint32_t, uint32_t>> checks;
 };
 
+// Where a slot's value comes from: the execution step and column that
+// first bound it. The columnar executor uses this to pick the dictionary
+// whose code space the slot carries.
+struct SlotSource {
+  uint32_t step = 0;
+  uint32_t col = 0;
+};
+
 // A CQ lowered to a slot-based join program.
 struct CompiledJoin {
   std::vector<JoinStep> steps;           // in execution order
   std::vector<const Relation*> by_atom;  // indexed by original atom index
+  std::vector<SlotSource> slot_sources;  // indexed by slot id
   size_t num_slots = 0;
   size_t num_atoms = 0;
+  /// Chosen executor path (see ColumnarMode); the executor may still fall
+  /// back to rows if a composite key space overflows 64 bits.
+  bool use_columnar = false;
 };
 
-// Greedy selectivity ordering: most bound positions first (constants plus
-// variables bound by already-ordered atoms), smallest relation as the
-// bucket-size estimate on ties, syntactic position as the deterministic
-// final tiebreak. Guarantees connected queries join along shared variables
-// instead of enumerating cross products.
-std::vector<size_t> OrderAtoms(const std::vector<Atom>& atoms,
-                               const std::vector<const Relation*>& rels,
-                               AtomOrderPolicy policy) {
+// Greedy cost-based ordering: at each step pick the atom with the
+// smallest estimated result cardinality under the classic independence
+// assumption — relation size divided by the distinct-value count of every
+// bound column (constants plus variables bound by already-ordered atoms).
+// Distinct counts come from the columnar dictionaries (`stats`, aligned
+// with `atoms`). Ties break towards more bound positions (a tighter
+// probe), then the smaller relation, then syntactic position — all
+// deterministic. When `stats` is empty (callers that skipped the
+// dictionaries) the estimate degrades to the old bound-count greedy.
+std::vector<size_t> OrderAtoms(
+    const std::vector<Atom>& atoms, const std::vector<const Relation*>& rels,
+    const std::vector<std::shared_ptr<const ColumnarRelation>>& stats,
+    AtomOrderPolicy policy) {
   std::vector<size_t> order(atoms.size());
   if (policy == AtomOrderPolicy::kSyntactic) {
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     return order;
   }
+  const bool have_stats = stats.size() == atoms.size();
   std::vector<bool> chosen(atoms.size(), false);
   std::map<std::string, bool> bound_vars;
   for (size_t step = 0; step < atoms.size(); ++step) {
     size_t best = atoms.size();
+    double best_est = 0.0;
     size_t best_bound = 0;
     size_t best_size = 0;
     for (size_t i = 0; i < atoms.size(); ++i) {
       if (chosen[i]) continue;
       size_t bound = 0;
-      for (const Term& t : atoms[i].args) {
-        if (t.is_constant() || bound_vars.count(t.var())) ++bound;
+      double est = static_cast<double>(rels[i]->size());
+      for (size_t j = 0; j < atoms[i].args.size(); ++j) {
+        const Term& t = atoms[i].args[j];
+        if (!t.is_constant() && !bound_vars.count(t.var())) continue;
+        ++bound;
+        if (have_stats) {
+          size_t distinct = stats[i]->distinct(j);
+          est = distinct > 0 ? est / static_cast<double>(distinct) : 0.0;
+        }
       }
-      bool better =
-          best == atoms.size() || bound > best_bound ||
-          (bound == best_bound && rels[i]->size() < best_size);
+      bool better;
+      if (best == atoms.size()) {
+        better = true;
+      } else if (have_stats && est != best_est) {
+        better = est < best_est;
+      } else if (bound != best_bound) {
+        better = bound > best_bound;
+      } else {
+        better = rels[i]->size() < best_size;
+      }
       if (better) {
         best = i;
+        best_est = est;
         best_bound = bound;
         best_size = rels[i]->size();
       }
@@ -358,11 +393,12 @@ std::vector<size_t> OrderAtoms(const std::vector<Atom>& atoms,
 
 Result<CompiledJoin> CompileJoin(const ConjunctiveQuery& cq,
                                  const Database& db,
-                                 AtomOrderPolicy policy) {
+                                 const GroundingOptions& options) {
   const std::vector<Atom>& atoms = cq.atoms();
   CompiledJoin plan;
   plan.num_atoms = atoms.size();
   plan.by_atom.resize(atoms.size());
+  size_t max_rows = 0;
   for (size_t i = 0; i < atoms.size(); ++i) {
     PDB_ASSIGN_OR_RETURN(plan.by_atom[i], db.Get(atoms[i].predicate));
     if (plan.by_atom[i]->arity() != atoms[i].arity()) {
@@ -371,8 +407,22 @@ Result<CompiledJoin> CompileJoin(const ConjunctiveQuery& cq,
                     atoms[i].ToString().c_str(), atoms[i].arity(),
                     plan.by_atom[i]->arity()));
     }
+    max_rows = std::max(max_rows, plan.by_atom[i]->size());
   }
-  std::vector<size_t> order = OrderAtoms(atoms, plan.by_atom, policy);
+  plan.use_columnar =
+      options.columnar == ColumnarMode::kAlways ||
+      (options.columnar == ColumnarMode::kAuto &&
+       max_rows >= options.columnar_min_rows);
+  // Selectivity statistics for the cost model: the per-relation columnar
+  // dictionaries, cached on the relations themselves, so the O(n log n)
+  // encode is paid once per relation — not per query.
+  std::vector<std::shared_ptr<const ColumnarRelation>> stats;
+  if (options.order == AtomOrderPolicy::kCostBased) {
+    stats.reserve(atoms.size());
+    for (const Relation* rel : plan.by_atom) stats.push_back(rel->columnar());
+  }
+  std::vector<size_t> order =
+      OrderAtoms(atoms, plan.by_atom, stats, options.order);
   std::unordered_map<std::string, uint32_t> slot_of_var;
   plan.steps.reserve(atoms.size());
   for (size_t s = 0; s < order.size(); ++s) {
@@ -407,6 +457,8 @@ Result<CompiledJoin> CompileJoin(const ConjunctiveQuery& cq,
         uint32_t slot = static_cast<uint32_t>(plan.num_slots++);
         slot_of_var.emplace(t.var(), slot);
         step.binds.emplace_back(static_cast<uint32_t>(j), slot);
+        plan.slot_sources.push_back(
+            {static_cast<uint32_t>(s), static_cast<uint32_t>(j)});
       } else {
         // Bound by an earlier step: part of the index key.
         step.key_cols.push_back(j);
@@ -426,7 +478,18 @@ Result<CompiledJoin> CompileJoin(const ConjunctiveQuery& cq,
 // (indexed by *original* atom position), which is exactly the order the
 // reference matcher streams. Canonicalisation makes downstream VarId
 // numbering — and therefore formula structure and DPLL probabilities —
-// invariant under join order, thread count, and cache state.
+// invariant under join order, executor path, thread count, and cache
+// state.
+//
+// Two execution paths share the control flow. The row path walks stored
+// `Tuple` objects and probes `HashIndex` buckets. The vectorized columnar
+// path (plan.use_columnar) runs entirely over dictionary codes: slots
+// carry `uint32_t` codes, key probes translate codes between column
+// dictionaries through precomputed xlat arrays and hit a `ColumnarIndex`
+// (CSR for single-column keys — no hashing at all), and repeated-variable
+// checks are evaluated once per relation as a batch filter over the code
+// arrays instead of per visit. Both paths emit candidate rows in
+// ascending row order, so they enumerate the identical match stream.
 class JoinExecutor {
  public:
   JoinExecutor(const CompiledJoin& plan, const GroundingOptions& options)
@@ -468,14 +531,39 @@ class JoinExecutor {
       if (exec_ != nullptr) exec_->AddLineageMatches(1);
       return;
     }
-    PrepareIndexes();
+    // PrepareColumnar declines when a composite key space overflows 64
+    // bits; the row path handles those (astronomically wide) keys.
+    columnar_ = plan_.use_columnar && PrepareColumnar();
+    if (impossible_) {
+      // A query constant is absent from its column's dictionary: no row
+      // of that step can ever match, so the whole CQ has zero matches.
+      if (exec_ != nullptr) exec_->AddLineageMatches(0);
+      return;
+    }
+    if (!columnar_) PrepareIndexes();
     // Candidate rows of the first step: an index bucket when the step has
-    // a (necessarily all-constant) key, the whole relation otherwise.
+    // a (necessarily all-constant) key, the whole relation otherwise —
+    // pre-filtered by the batch check mask on the columnar path.
     const JoinStep& first = plan_.steps[0];
-    const std::vector<size_t>* bucket = nullptr;
+    const std::vector<size_t>* bucket = nullptr;  // row path
+    const uint32_t* cbase = nullptr;              // columnar path
     size_t candidates = first.rel->size();
     Tuple const_key;
-    if (!first.key_cols.empty()) {
+    if (columnar_) {
+      const ColumnarStep& cs = csteps_[0];
+      if (!first.key_cols.empty()) {
+        uint64_t code = 0;
+        for (const ColumnarPart& part : cs.parts) {
+          code += part.radix * part.const_code;
+        }
+        size_t count = 0;
+        cs.index->Lookup(code, &cbase, &count);
+        candidates = count;
+      } else if (cs.use_filtered) {
+        cbase = cs.filtered.data();
+        candidates = cs.filtered.size();
+      }
+    } else if (!first.key_cols.empty()) {
       for (const JoinKeyPart& part : first.key_parts) {
         const_key.push_back(part.constant);
       }
@@ -494,7 +582,11 @@ class JoinExecutor {
     if (chunks <= 1) {
       WorkerState ws = MakeWorkerState();
       ws.out = &buf_;
-      RunRange(ws, bucket, 0, candidates);
+      if (columnar_) {
+        RunRangeColumnar(ws, cbase, 0, candidates);
+      } else {
+        RunRange(ws, bucket, 0, candidates);
+      }
     } else {
       // Each chunk grounds a contiguous range of first-step candidates
       // into a private buffer; buffers concatenate in chunk order.
@@ -505,7 +597,11 @@ class JoinExecutor {
             std::vector<uint32_t> out;
             WorkerState ws = MakeWorkerState();
             ws.out = &out;
-            RunRange(ws, bucket, begin, end);
+            if (columnar_) {
+              RunRangeColumnar(ws, cbase, begin, end);
+            } else {
+              RunRange(ws, bucket, begin, end);
+            }
             return out;
           });
       size_t total = 0;
@@ -542,21 +638,153 @@ class JoinExecutor {
 
  private:
   struct WorkerState {
-    std::vector<const Value*> slots;
+    std::vector<const Value*> slots;   // row path: pointers into tuples
+    std::vector<uint32_t> cslots;      // columnar path: dictionary codes
     std::vector<Tuple> keys;     // per step, pre-sized key buffers
     std::vector<uint32_t> rows;  // per original atom index
     std::vector<uint32_t>* out = nullptr;
   };
 
+  // One key part on the columnar path: a pre-coded constant, or a slot
+  // whose source-dictionary codes translate into this key column's
+  // dictionary through `xlat`.
+  struct ColumnarPart {
+    int32_t slot = -1;        // < 0: use const_code
+    uint32_t const_code = 0;  // code of the constant in the key column
+    uint64_t radix = 1;       // mixed-radix multiplier of this part
+    std::vector<uint32_t> xlat;
+  };
+
+  // One bind on the columnar path: write the column's code array entry
+  // into the slot.
+  struct ColumnarBind {
+    const uint32_t* codes = nullptr;
+    uint32_t slot = 0;
+  };
+
+  // Per-step columnar execution state.
+  struct ColumnarStep {
+    std::shared_ptr<const ColumnarRelation> cols;
+    std::shared_ptr<const ColumnarIndex> index;  // keyed steps only
+    std::vector<ColumnarPart> parts;             // aligned with key_parts
+    std::vector<ColumnarBind> binds;
+    // Repeated-variable checks, evaluated once per execution as a batch
+    // filter over the code arrays: keyed steps keep a row mask consulted
+    // on each bucket visit; keyless steps shrink to the passing row list
+    // outright (so per-visit scans skip failing rows entirely).
+    std::vector<uint8_t> pass;       // keyed steps with checks
+    std::vector<uint32_t> filtered;  // keyless steps with checks
+    bool use_filtered = false;
+  };
+
   WorkerState MakeWorkerState() const {
     WorkerState ws;
-    ws.slots.resize(plan_.num_slots, nullptr);
-    ws.keys.resize(plan_.steps.size());
-    for (size_t s = 0; s < plan_.steps.size(); ++s) {
-      ws.keys[s].resize(plan_.steps[s].key_cols.size());
+    if (columnar_) {
+      ws.cslots.resize(plan_.num_slots, 0);
+    } else {
+      ws.slots.resize(plan_.num_slots, nullptr);
+      ws.keys.resize(plan_.steps.size());
+      for (size_t s = 0; s < plan_.steps.size(); ++s) {
+        ws.keys[s].resize(plan_.steps[s].key_cols.size());
+      }
     }
     ws.rows.resize(k_);
     return ws;
+  }
+
+  // Resolves the columnar image, code index, translation tables, and batch
+  // check filters of every step. Returns false to fall back to the row
+  // path (composite key code would overflow 64 bits). Sets `impossible_`
+  // when a query constant is absent from its column's dictionary.
+  bool PrepareColumnar() {
+    IndexCache* cache = exec_ != nullptr ? exec_->index_cache() : nullptr;
+    uint64_t builds = 0;
+    uint64_t hits = 0;
+    csteps_.assign(plan_.steps.size(), ColumnarStep{});
+    // Pass 1: columnar images — key-part translation tables of later
+    // steps need the source step's dictionaries.
+    for (size_t s = 0; s < plan_.steps.size(); ++s) {
+      const JoinStep& step = plan_.steps[s];
+      if (cache != nullptr) {
+        bool built = false;
+        csteps_[s].cols = cache->GetOrBuildColumnar(*step.rel, &built);
+        built ? ++builds : ++hits;
+      } else {
+        csteps_[s].cols = step.rel->columnar();
+      }
+    }
+    bool ok = true;
+    for (size_t s = 0; s < plan_.steps.size() && ok; ++s) {
+      const JoinStep& step = plan_.steps[s];
+      ColumnarStep& cs = csteps_[s];
+      const ColumnarRelation& cols = *cs.cols;
+      if (!step.key_cols.empty()) {
+        if (cache != nullptr) {
+          bool built = false;
+          cs.index =
+              cache->GetOrBuildColumnarIndex(*step.rel, step.key_cols,
+                                             &built);
+          built ? ++builds : ++hits;
+        } else {
+          cs.index =
+              std::make_shared<const ColumnarIndex>(cs.cols, step.key_cols);
+        }
+        if (cs.index->composite_overflow()) {
+          ok = false;
+          break;
+        }
+        cs.parts.resize(step.key_parts.size());
+        for (size_t p = 0; p < step.key_parts.size(); ++p) {
+          const JoinKeyPart& part = step.key_parts[p];
+          ColumnarPart& cp = cs.parts[p];
+          cp.radix = cs.index->radix(p);
+          cp.slot = part.slot;
+          if (part.slot < 0) {
+            cp.const_code = cols.CodeOf(step.key_cols[p], part.constant);
+            if (cp.const_code == ColumnarRelation::kNoCode) {
+              impossible_ = true;
+            }
+          } else {
+            const SlotSource& src = plan_.slot_sources[part.slot];
+            cp.xlat = BuildCodeTranslation(
+                csteps_[src.step].cols->dict(src.col),
+                cols.dict(step.key_cols[p]));
+          }
+        }
+      }
+      cs.binds.reserve(step.binds.size());
+      for (const auto& [col, slot] : step.binds) {
+        cs.binds.push_back({cols.codes(col).data(), slot});
+      }
+      if (!step.checks.empty()) {
+        const size_t n = cols.num_rows();
+        std::vector<uint8_t> pass(n, 1);
+        for (const auto& [col, first] : step.checks) {
+          std::vector<uint32_t> xlat =
+              BuildCodeTranslation(cols.dict(first), cols.dict(col));
+          const uint32_t* f = cols.codes(first).data();
+          const uint32_t* c = cols.codes(col).data();
+          // kNoCode never equals a valid code, so "first's value absent
+          // from col's dictionary" fails the row without a branch.
+          for (size_t row = 0; row < n; ++row) {
+            if (xlat[f[row]] != c[row]) pass[row] = 0;
+          }
+        }
+        if (step.key_cols.empty()) {
+          for (size_t row = 0; row < n; ++row) {
+            if (pass[row]) cs.filtered.push_back(static_cast<uint32_t>(row));
+          }
+          cs.use_filtered = true;
+        } else {
+          cs.pass = std::move(pass);
+        }
+      }
+    }
+    if (exec_ != nullptr) {
+      if (builds > 0) exec_->AddIndexBuilds(builds);
+      if (hits > 0) exec_->AddIndexCacheHits(hits);
+    }
+    return ok;
   }
 
   // Equality checks for repeated variables, then slot binding. Slots are
@@ -606,6 +834,85 @@ class JoinExecutor {
     }
   }
 
+  // --- Vectorized path: the loops below touch only uint32 code arrays. ---
+
+  // Batch-filter mask (keyed steps), then binds. Keyless steps with checks
+  // never reach the mask test: their candidate list is pre-filtered.
+  bool EnterRowColumnar(const ColumnarStep& cs, const JoinStep& step,
+                        size_t row, WorkerState& ws) const {
+    if (!cs.pass.empty() && cs.pass[row] == 0) return false;
+    for (const ColumnarBind& bind : cs.binds) {
+      ws.cslots[bind.slot] = bind.codes[row];
+    }
+    ws.rows[step.atom_index] = static_cast<uint32_t>(row);
+    return true;
+  }
+
+  // First-step candidates: `base[i]` rows when base is non-null (an index
+  // bucket or a pre-filtered row list), row `i` itself otherwise.
+  void RunRangeColumnar(WorkerState& ws, const uint32_t* base, size_t begin,
+                        size_t end) const {
+    const JoinStep& first = plan_.steps[0];
+    const ColumnarStep& cs = csteps_[0];
+    if (plan_.steps.size() == 1) {
+      uint32_t* slot_row = &ws.rows[first.atom_index];
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
+        if (!cs.pass.empty() && cs.pass[row] == 0) continue;
+        *slot_row = row;
+        ws.out->insert(ws.out->end(), ws.rows.begin(), ws.rows.end());
+      }
+      return;
+    }
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
+      if (EnterRowColumnar(cs, first, row, ws)) RunFromColumnar(1, ws);
+    }
+  }
+
+  void RunFromColumnar(size_t s, WorkerState& ws) const {
+    const JoinStep& step = plan_.steps[s];
+    const ColumnarStep& cs = csteps_[s];
+    // Candidate rows of this step, as a dense uint32 span: an index bucket
+    // (CSR slice or hash bucket) when keyed, the pre-filtered row list or
+    // the whole relation otherwise. null base = identity rows [0, count).
+    const uint32_t* base = nullptr;
+    size_t count = 0;
+    if (!step.key_cols.empty()) {
+      uint64_t code = 0;
+      for (const ColumnarPart& part : cs.parts) {
+        uint32_t c = part.slot < 0 ? part.const_code
+                                   : part.xlat[ws.cslots[part.slot]];
+        // The slot's value is absent from this key column's dictionary:
+        // no row of this relation can match the current binding.
+        if (c == ColumnarRelation::kNoCode) return;
+        code += part.radix * c;
+      }
+      cs.index->Lookup(code, &base, &count);
+    } else if (cs.use_filtered) {
+      base = cs.filtered.data();
+      count = cs.filtered.size();
+    } else {
+      count = cs.cols->num_rows();
+    }
+    if (s + 1 == plan_.steps.size()) {
+      // Final step: its binds feed no later probe, so a match is pure
+      // row-id bookkeeping — a tight loop with no tuple materialisation.
+      uint32_t* slot_row = &ws.rows[step.atom_index];
+      for (size_t i = 0; i < count; ++i) {
+        uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
+        if (!cs.pass.empty() && cs.pass[row] == 0) continue;
+        *slot_row = row;
+        ws.out->insert(ws.out->end(), ws.rows.begin(), ws.rows.end());
+      }
+      return;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
+      if (EnterRowColumnar(cs, step, row, ws)) RunFromColumnar(s + 1, ws);
+    }
+  }
+
   // Sorts the match set into canonical (lexicographic) order when the
   // enumeration order deviated from it. With the syntactic join order the
   // stream is already canonical — chunk ranges ascend on the first atom's
@@ -636,7 +943,10 @@ class JoinExecutor {
   ExecContext* exec_;
   const size_t k_;
   bool empty_cq_ = false;
+  bool columnar_ = false;    // vectorized path engaged for this run
+  bool impossible_ = false;  // a constant missed its dictionary: 0 matches
   std::vector<std::shared_ptr<const HashIndex>> indexes_;
+  std::vector<ColumnarStep> csteps_;
   std::vector<uint32_t> buf_;  // k_ row ids per match, enumeration order
   std::vector<size_t> perm_;   // canonical -> physical; empty = identity
 };
@@ -677,7 +987,7 @@ Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
                           const std::function<void(const CqMatch&)>& callback,
                           const GroundingOptions& options) {
   PDB_ASSIGN_OR_RETURN(CompiledJoin plan,
-                       CompileJoin(cq, db, options.order));
+                       CompileJoin(cq, db, options));
   JoinExecutor ex(plan, options);
   ex.Run(options);
   CqMatch match;
@@ -703,7 +1013,7 @@ Result<Lineage> BuildUcqLineage(const Ucq& ucq, const Database& db,
   std::vector<NodeId> disjunct_nodes;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
     PDB_ASSIGN_OR_RETURN(CompiledJoin plan,
-                         CompileJoin(cq, db, options.order));
+                         CompileJoin(cq, db, options));
     JoinExecutor ex(plan, options);
     ex.Run(options);
     const size_t k = plan.num_atoms;
@@ -791,7 +1101,7 @@ Result<DnfLineage> BuildUcqDnf(const Ucq& ucq, const Database& db,
   DnfLineage out;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
     PDB_ASSIGN_OR_RETURN(CompiledJoin plan,
-                         CompileJoin(cq, db, options.order));
+                         CompileJoin(cq, db, options));
     JoinExecutor ex(plan, options);
     ex.Run(options);
     const size_t k = plan.num_atoms;

@@ -10,14 +10,19 @@
 /// UCQ grounding runs on a compiled join engine: each CQ is lowered once
 /// into a slot-based join program (variables mapped to dense integer
 /// slots, per-atom key/bind/check column lists precomputed), atoms are
-/// reordered by a greedy selectivity heuristic so chain and star joins
-/// never enumerate cross products, hash indexes come from a session
-/// cache when one is available, and the first join step fans out across
-/// the `ExecContext`'s thread pool. Matches are canonicalised to the
-/// lexicographic order of their per-atom row vectors — which is exactly
-/// the order the naive syntactic backtracking search emits — so every
-/// downstream consumer (variable numbering, formula structure, DPLL
-/// probabilities) is bit-identical regardless of join order, thread
+/// reordered by selectivity estimates from per-column distinct-value
+/// counts so chain, star, and cyclic joins never enumerate cross
+/// products, hash indexes come from a session cache when one is
+/// available, and the first join step fans out across the
+/// `ExecContext`'s thread pool. Large relations execute on a vectorized
+/// columnar path (storage/columnar.h): bind slots carry dense dictionary
+/// codes, key probes and repeated-variable checks run as tight loops
+/// over `uint32_t` arrays, and rows only materialise as tuples once a
+/// full match is emitted. Matches are canonicalised to the lexicographic
+/// order of their per-atom row vectors — which is exactly the order the
+/// naive syntactic backtracking search emits — so every downstream
+/// consumer (variable numbering, formula structure, DPLL probabilities)
+/// is bit-identical regardless of join order, executor path, thread
 /// count, or cache state.
 
 #ifndef PDB_BOOLEAN_LINEAGE_H_
@@ -57,14 +62,30 @@ struct Lineage {
 
 /// Join-order policy of the compiled CQ grounding engine.
 enum class AtomOrderPolicy {
-  /// Greedy selectivity ordering: at each step pick the atom with the most
-  /// bound positions (constants + variables bound by earlier steps),
-  /// breaking ties by smallest relation, then by syntactic position. Keeps
-  /// chain and star joins from enumerating cross products.
+  /// Greedy cost-based ordering: at each step pick the atom with the
+  /// smallest estimated result cardinality — relation size divided by the
+  /// distinct-value count of every bound column (constants + variables
+  /// bound by earlier steps), the classic independence estimate. Distinct
+  /// counts come from the columnar dictionaries cached on each relation.
+  /// Ties break towards more bound positions, then the smaller relation,
+  /// then syntactic position. Keeps chain, star, and cyclic joins from
+  /// enumerating cross products.
   kCostBased,
   /// Join atoms exactly in the order they appear in the query (the
   /// historical behaviour; useful as an adversarial baseline).
   kSyntactic,
+};
+
+/// Executor-path policy of the CQ grounding engine.
+enum class ColumnarMode {
+  /// Vectorized columnar execution when the query's largest relation has
+  /// at least `columnar_min_rows` rows, row-at-a-time otherwise (tiny
+  /// joins don't amortise dictionary encoding).
+  kAuto,
+  /// Always take the columnar path (testing / benchmarking).
+  kAlways,
+  /// Always take the row path (the historical executor).
+  kNever,
 };
 
 /// Knobs for the CQ grounding engine. The defaults reproduce the exact
@@ -77,6 +98,11 @@ struct GroundingOptions {
   ExecContext* exec = nullptr;
   /// Join-order policy (see AtomOrderPolicy).
   AtomOrderPolicy order = AtomOrderPolicy::kCostBased;
+  /// Executor-path policy (see ColumnarMode).
+  ColumnarMode columnar = ColumnarMode::kAuto;
+  /// Row-count threshold for ColumnarMode::kAuto: the columnar path
+  /// engages once the query's largest relation reaches this many rows.
+  size_t columnar_min_rows = 64;
   /// Fan the first join step out across the pool once it has at least this
   /// many candidate rows (only with `exec` and a pool).
   size_t parallel_min_rows = 256;

@@ -85,11 +85,13 @@ struct SessionOptions {
   /// evicted first). Only queries run with `QueryOptions::trace` enter the
   /// ring.
   size_t trace_ring_size = 32;
-  /// Share one hash-index cache (storage/index_cache.h) across every CQ
+  /// Share one join-index cache (storage/index_cache.h) across every CQ
   /// grounding issued through the session, so repeated queries (and the
-  /// per-tuple fan-out of QueryWithAnswers) reuse join indexes instead of
-  /// rebuilding them per grounding. Invalidated with the result cache when
-  /// the database generation moves.
+  /// per-tuple fan-out of QueryWithAnswers) reuse hash indexes, columnar
+  /// relation images, and columnar code indexes instead of rebuilding
+  /// them per grounding. Invalidated with the result cache when the
+  /// database generation moves (which also detaches stale columnar
+  /// entries — the relations themselves re-encode lazily).
   bool cache_indexes = true;
   /// Shard (mutex stripe) count of the shared index cache.
   size_t index_cache_shards = 8;

@@ -569,15 +569,43 @@ Status DurableDatabase::CheckpointLocked() {
   checkpoints_->Add(1);
   last_synced_seq_ = last_seq_;
 
+  // Retention GC: keep the `retain_checkpoints` newest snapshots (the one
+  // just written included) and every WAL segment still needed to recover
+  // from the *oldest retained* snapshot; delete everything older. A WAL
+  // segment starting at sequence s covers ops s..(next segment's start -
+  // 1), so — mirroring recovery's replay-skip rule — it is redundant
+  // exactly when the next segment starts at or before oldest_retained + 1.
+  const size_t retain =
+      options_.retain_checkpoints == 0 ? 1 : options_.retain_checkpoints;
   auto children = env_->GetChildren(dir_);
   if (children.ok()) {
+    std::vector<uint64_t> snap_seqs;
+    std::vector<uint64_t> wal_seqs;
+    for (const std::string& name : *children) {
+      uint64_t file_seq = 0;
+      if (ParseSeqName(name, "snap-", "", &file_seq)) {
+        snap_seqs.push_back(file_seq);
+      } else if (ParseSeqName(name, "wal-", ".log", &file_seq)) {
+        wal_seqs.push_back(file_seq);
+      }
+    }
+    std::sort(snap_seqs.begin(), snap_seqs.end());
+    std::sort(wal_seqs.begin(), wal_seqs.end());
+    uint64_t oldest_retained = seq;
+    if (snap_seqs.size() > retain) {
+      oldest_retained = snap_seqs[snap_seqs.size() - retain];
+    } else if (!snap_seqs.empty()) {
+      oldest_retained = snap_seqs.front();
+    }
     for (const std::string& name : *children) {
       uint64_t file_seq = 0;
       bool remove = false;
       if (ParseSeqName(name, "snap-", "", &file_seq)) {
-        remove = file_seq < seq;
+        remove = file_seq < oldest_retained;
       } else if (ParseSeqName(name, "wal-", ".log", &file_seq)) {
-        remove = file_seq <= seq;  // the fresh segment is wal-<seq+1>
+        auto it = std::upper_bound(wal_seqs.begin(), wal_seqs.end(),
+                                   file_seq);
+        remove = it != wal_seqs.end() && *it <= oldest_retained + 1;
       } else if (name.size() > 4 &&
                  name.compare(name.size() - 4, 4, ".tmp") == 0) {
         remove = true;  // stray temp from an interrupted checkpoint

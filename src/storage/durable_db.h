@@ -79,6 +79,11 @@ struct DurableOptions {
   /// Auto-checkpoint after this many logged operations (0 = only when
   /// `Checkpoint` is called explicitly).
   uint64_t checkpoint_every_n = 0;
+  /// Retention GC: after a successful checkpoint keep this many newest
+  /// snapshots (the one just written included) plus every WAL segment
+  /// still needed to recover from the oldest retained snapshot; older
+  /// files are deleted. 0 behaves as 1 (always keep the latest).
+  size_t retain_checkpoints = 1;
 };
 
 /// What recovery found and did during `Open`.

@@ -34,11 +34,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/columnar.h"
 #include "storage/relation.h"
 
 namespace pdb {
 
-/// Aggregated counters of one `IndexCache`.
+/// Aggregated counters of one `IndexCache`. Hash indexes, columnar images,
+/// and columnar code indexes all count here — they share the shards and
+/// the generation-invalidation lifecycle.
 struct IndexCacheStats {
   uint64_t builds = 0;  ///< indexes constructed (cache misses)
   uint64_t hits = 0;    ///< requests served by an existing index
@@ -71,17 +74,36 @@ class IndexCache {
                                                   key_cols,
                                               bool* built = nullptr);
 
+  /// The dictionary-encoded columnar image of `relation`, cached next to
+  /// the hash indexes (the build itself is delegated to — and also cached
+  /// on — the relation, so a rebuilt cache after `Clear()` reattaches to
+  /// the existing image instead of re-encoding).
+  std::shared_ptr<const ColumnarRelation> GetOrBuildColumnar(
+      const Relation& relation, bool* built = nullptr);
+
+  /// The columnar code index of `relation` keyed on `key_cols` — the
+  /// vectorized executor's analogue of `GetOrBuild`.
+  std::shared_ptr<const ColumnarIndex> GetOrBuildColumnarIndex(
+      const Relation& relation, const std::vector<size_t>& key_cols,
+      bool* built = nullptr);
+
   /// Drops every cached index (readers holding shared_ptrs are unaffected).
   void Clear();
 
   IndexCacheStats stats() const;
 
  private:
+  /// Entry flavours share the key space; `key_cols` is empty for the
+  /// whole-relation columnar image.
+  enum class Flavor : uint8_t { kHash, kColumnar, kColumnarIndex };
+
   struct Key {
     const Relation* relation;
     std::vector<size_t> key_cols;
+    Flavor flavor = Flavor::kHash;
     bool operator==(const Key& other) const {
-      return relation == other.relation && key_cols == other.key_cols;
+      return relation == other.relation && flavor == other.flavor &&
+             key_cols == other.key_cols;
     }
   };
   struct KeyHash {
@@ -89,10 +111,17 @@ class IndexCache {
   };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, std::shared_ptr<const HashIndex>, KeyHash> map;
+    // Type-erased so one shard map holds all three flavours; the typed
+    // getters cast back according to Key::flavor.
+    std::unordered_map<Key, std::shared_ptr<const void>, KeyHash> map;
   };
 
   Shard& ShardFor(const Key& key);
+
+  /// Looks up `key`, building via `build()` on a miss; counts hit/build.
+  template <typename T, typename BuildFn>
+  std::shared_ptr<const T> GetOrBuildEntry(Key key, bool* built,
+                                           BuildFn&& build);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> builds_{0};

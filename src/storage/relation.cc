@@ -3,9 +3,56 @@
 #include <algorithm>
 #include <set>
 
+#include "storage/columnar.h"
 #include "util/string_util.h"
 
 namespace pdb {
+
+Relation::Relation(const Relation& other)
+    : name_(other.name_),
+      schema_(other.schema_),
+      tuples_(other.tuples_),
+      probs_(other.probs_),
+      index_(other.index_) {
+  std::lock_guard<std::mutex> lock(other.columnar_mu_);
+  columnar_ = other.columnar_;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      tuples_(std::move(other.tuples_)),
+      probs_(std::move(other.probs_)),
+      index_(std::move(other.index_)),
+      columnar_(std::move(other.columnar_)) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  schema_ = other.schema_;
+  tuples_ = other.tuples_;
+  probs_ = other.probs_;
+  index_ = other.index_;
+  std::shared_ptr<const ColumnarRelation> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.columnar_mu_);
+    theirs = other.columnar_;
+  }
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_ = std::move(theirs);
+  return *this;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  schema_ = std::move(other.schema_);
+  tuples_ = std::move(other.tuples_);
+  probs_ = std::move(other.probs_);
+  index_ = std::move(other.index_);
+  columnar_ = std::move(other.columnar_);
+  return *this;
+}
 
 Status Relation::AddTuple(Tuple tuple, double p) {
   PDB_RETURN_NOT_OK(schema_.Validate(tuple));
@@ -21,6 +68,13 @@ Status Relation::AddTuple(Tuple tuple, double p) {
   index_.emplace(tuple, tuples_.size());
   tuples_.push_back(std::move(tuple));
   probs_.push_back(p);
+  {
+    // The columnar image no longer reflects the tuple set; drop it. A
+    // reader holding the old shared_ptr keeps a consistent (stale)
+    // snapshot, same as the index-cache invalidation discipline.
+    std::lock_guard<std::mutex> lock(columnar_mu_);
+    columnar_.reset();
+  }
   return Status::OK();
 }
 
@@ -40,9 +94,25 @@ double Relation::ProbOf(const Tuple& tuple) const {
 }
 
 std::vector<Value> Relation::DistinctValues(size_t col) const {
+  // The columnar dictionary *is* the sorted distinct-value list; reuse it
+  // instead of rescanning when the sidecar has already been built.
+  if (auto cols = columnar_if_built()) return cols->dict(col);
   std::set<Value> seen;
   for (const Tuple& t : tuples_) seen.insert(t[col]);
   return std::vector<Value>(seen.begin(), seen.end());
+}
+
+std::shared_ptr<const ColumnarRelation> Relation::columnar() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  // Build under the lock, mirroring the index cache's build-under-shard-
+  // lock idiom: concurrent first requests build the image exactly once.
+  if (columnar_ == nullptr) columnar_ = ColumnarRelation::Build(*this);
+  return columnar_;
+}
+
+std::shared_ptr<const ColumnarRelation> Relation::columnar_if_built() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  return columnar_;
 }
 
 bool Relation::IsDeterministic() const {

@@ -9,6 +9,8 @@
 #ifndef PDB_STORAGE_RELATION_H_
 #define PDB_STORAGE_RELATION_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,12 +21,23 @@
 
 namespace pdb {
 
+class ColumnarRelation;
+
 /// A named set of distinct tuples, each carrying a marginal probability.
 class Relation {
  public:
   Relation() = default;
   Relation(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // The lazily built columnar sidecar sits behind a mutex, so the
+  // compiler-generated special members are unavailable. The copies share
+  // the (immutable) sidecar pointer — it is derived purely from the tuple
+  // vector, which is copied along with it.
+  Relation(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(const Relation& other);
+  Relation& operator=(Relation&& other) noexcept;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -51,8 +64,19 @@ class Relation {
   /// Marginal probability of `tuple` (0 when absent).
   double ProbOf(const Tuple& tuple) const;
 
-  /// Sorted distinct values of column `col`.
+  /// Sorted distinct values of column `col`. Served from the columnar
+  /// sidecar's dictionary when one has been built (no rescan).
   std::vector<Value> DistinctValues(size_t col) const;
+
+  /// The dictionary-encoded columnar image of this relation, built on
+  /// first request and cached until the next `AddTuple`. Thread-safe; the
+  /// returned image stays valid after invalidation for as long as the
+  /// caller holds the pointer.
+  std::shared_ptr<const ColumnarRelation> columnar() const;
+
+  /// The cached columnar image, or null when none has been built. Never
+  /// triggers a build.
+  std::shared_ptr<const ColumnarRelation> columnar_if_built() const;
 
   /// True iff every tuple has probability exactly 1.
   bool IsDeterministic() const;
@@ -66,6 +90,9 @@ class Relation {
   std::vector<Tuple> tuples_;
   std::vector<double> probs_;
   std::unordered_map<Tuple, size_t> index_;  // tuple -> row id
+  /// Lazily built columnar image; null until first use, reset by AddTuple.
+  mutable std::mutex columnar_mu_;
+  mutable std::shared_ptr<const ColumnarRelation> columnar_;
 };
 
 /// Equality (hash) index on a subset of a relation's columns, for joins and

@@ -104,7 +104,8 @@ TEST_P(AtomOrderFuzz, ShuffledAtomOrdersAgree) {
       }
       ConjunctiveQuery permuted(atoms);
       SCOPED_TRACE(permuted.ToString());
-      std::vector<std::vector<size_t>> expected, cost_based, syntactic;
+      std::vector<std::vector<size_t>> expected, cost_based, syntactic,
+          columnar;
       auto collect = [](std::vector<std::vector<size_t>>* out) {
         return [out](const CqMatch& m) {
           std::vector<size_t> rows;
@@ -125,8 +126,17 @@ TEST_P(AtomOrderFuzz, ShuffledAtomOrdersAgree) {
       ASSERT_TRUE(EnumerateCqMatches(permuted, db, collect(&syntactic),
                                      syntactic_options)
                       .ok());
+      // The dense-code columnar fast path, forced on regardless of
+      // relation size, must emit the identical match stream.
+      GroundingOptions columnar_options;
+      columnar_options.order = AtomOrderPolicy::kCostBased;
+      columnar_options.columnar = ColumnarMode::kAlways;
+      ASSERT_TRUE(EnumerateCqMatches(permuted, db, collect(&columnar),
+                                     columnar_options)
+                      .ok());
       EXPECT_EQ(cost_based, expected);
       EXPECT_EQ(syntactic, expected);
+      EXPECT_EQ(columnar, expected);
       // The probability is a property of the query, not of the written
       // atom order (variable numbering differs across permutations, so
       // compare numerically, not structurally).

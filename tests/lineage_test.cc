@@ -18,6 +18,7 @@
 #include "core/session.h"
 #include "exec/context.h"
 #include "exec/thread_pool.h"
+#include "storage/columnar.h"
 #include "storage/index_cache.h"
 #include "test_common.h"
 #include "util/random.h"
@@ -128,6 +129,34 @@ TEST(CompiledGrounding, ReportsMissingRelationAndArityMismatch) {
   EXPECT_NE(st.ToString().find("arity mismatch"), std::string::npos);
 }
 
+// 200 random (database, CQ) cases through the vectorized columnar
+// executor, forced on regardless of relation size: the match stream must
+// equal the reference matcher's exactly — same matches, same order — under
+// both join-order policies, and agree with the row path forced off on the
+// same cases. This is the oracle for the dictionary encoding, the code
+// translation tables, and the batch candidate filters.
+TEST(ColumnarGrounding, MatchesReferenceOnRandomCases) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 6151 + 3);
+    Database db = RandomVocabularyDb(&rng);
+    ConjunctiveQuery cq = RandomCq(&rng);
+    MatchList expected = CollectReference(cq, db);
+    for (AtomOrderPolicy policy :
+         {AtomOrderPolicy::kCostBased, AtomOrderPolicy::kSyntactic}) {
+      GroundingOptions columnar;
+      columnar.order = policy;
+      columnar.columnar = ColumnarMode::kAlways;
+      GroundingOptions row;
+      row.order = policy;
+      row.columnar = ColumnarMode::kNever;
+      EXPECT_EQ(Collect(cq, db, columnar), expected)
+          << "seed " << seed << " cq " << cq.ToString();
+      EXPECT_EQ(Collect(cq, db, row), expected)
+          << "seed " << seed << " cq " << cq.ToString();
+    }
+  }
+}
+
 /// A chain TID big enough to clear both parallel thresholds.
 Database BigChainDatabase(size_t n) {
   Database db;
@@ -219,6 +248,65 @@ TEST(ParallelLineage, RandomUcqsBitIdentical) {
   }
 }
 
+// Past the columnar row threshold the vectorized path is the default.
+// Sequential-columnar, parallel-columnar, and the forced row path must all
+// build the very same lineage DAG — same root, same node count, same
+// variable table, same probabilities — on a self-join that exercises the
+// cross-column code translation tables.
+TEST(ColumnarLineage, BitIdenticalAcrossPathsAndParallelism) {
+  Database db = BigChainDatabase(96);
+  Ucq ucq({ConjunctiveQuery(
+      {Atom("R", {Term::Var("x")}),
+       Atom("S", {Term::Var("x"), Term::Var("y")}),
+       Atom("S", {Term::Var("y"), Term::Var("z")})})});
+
+  FormulaManager row_mgr;
+  GroundingOptions row_options;
+  row_options.columnar = ColumnarMode::kNever;
+  auto row = BuildUcqLineage(ucq, db, &row_mgr, row_options);
+  ASSERT_TRUE(row.ok());
+
+  FormulaManager col_mgr;
+  GroundingOptions col_options;
+  col_options.columnar = ColumnarMode::kAlways;
+  auto col = BuildUcqLineage(ucq, db, &col_mgr, col_options);
+  ASSERT_TRUE(col.ok());
+
+  ThreadPool pool(4);
+  ExecContext ctx(&pool);
+  GroundingOptions par_options = col_options;
+  par_options.exec = &ctx;
+  par_options.parallel_min_rows = 1;
+  par_options.parallel_min_matches = 1;
+  FormulaManager par_mgr;
+  auto par = BuildUcqLineage(ucq, db, &par_mgr, par_options);
+  ASSERT_TRUE(par.ok());
+
+  EXPECT_EQ(col->root, row->root);
+  EXPECT_EQ(col_mgr.NumNodes(), row_mgr.NumNodes());
+  ASSERT_EQ(col->vars.size(), row->vars.size());
+  for (size_t i = 0; i < col->vars.size(); ++i) {
+    EXPECT_EQ(col->vars[i].relation, row->vars[i].relation);
+    EXPECT_EQ(col->vars[i].row, row->vars[i].row);
+  }
+  EXPECT_EQ(col->probs, row->probs);
+  EXPECT_EQ(par->root, row->root);
+  EXPECT_EQ(par_mgr.NumNodes(), row_mgr.NumNodes());
+  EXPECT_EQ(par->probs, row->probs);
+}
+
+// A query constant absent from every dictionary takes the impossible
+// fast-path: zero matches, no crash, and the reference agrees.
+TEST(ColumnarGrounding, AbsentConstantYieldsNoMatches) {
+  Database db = BigChainDatabase(64);
+  ConjunctiveQuery cq({Atom("S", {Term::Const(Value(int64_t{-5})),
+                                  Term::Var("y")})});
+  GroundingOptions columnar;
+  columnar.columnar = ColumnarMode::kAlways;
+  EXPECT_TRUE(Collect(cq, db, columnar).empty());
+  EXPECT_TRUE(CollectReference(cq, db).empty());
+}
+
 TEST(IndexCacheTest, BuildsOnceAndHitsAfterwards) {
   Rng rng(3);
   Database db = RandomVocabularyDb(&rng);
@@ -239,6 +327,49 @@ TEST(IndexCacheTest, BuildsOnceAndHitsAfterwards) {
   EXPECT_EQ(stats.entries, 2u);
   cache.Clear();
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// Columnar images and columnar code indexes are cached under their own
+// flavors: distinct from hash-index entries over the same (relation,
+// columns), hit on re-request, and reattached to the relation's own
+// sidecar after a Clear (the image is not rebuilt from scratch).
+TEST(IndexCacheTest, ColumnarFlavorsCachedIndependently) {
+  Rng rng(6);
+  Database db = RandomVocabularyDb(&rng);
+  const Relation* s = db.Get("S").value();
+  IndexCache cache;
+  bool built = false;
+  auto img = cache.GetOrBuildColumnar(*s, &built);
+  EXPECT_TRUE(built);
+  auto img_again = cache.GetOrBuildColumnar(*s, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(img.get(), img_again.get());
+  auto idx = cache.GetOrBuildColumnarIndex(*s, {0}, &built);
+  EXPECT_TRUE(built);
+  auto idx_again = cache.GetOrBuildColumnarIndex(*s, {0}, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(idx.get(), idx_again.get());
+  auto hash = cache.GetOrBuild(*s, {0}, &built);
+  EXPECT_TRUE(built);  // hash flavor over {0} is a separate entry
+  EXPECT_NE(hash.get(), nullptr);
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 3u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  auto img_fresh = cache.GetOrBuildColumnar(*s, &built);
+  EXPECT_TRUE(built);  // a fresh cache entry...
+  EXPECT_EQ(img_fresh.get(), img.get());  // ...over the same shared image
+  // The returned index answers lookups correctly.
+  const ColumnarRelation& cols = *img;
+  for (size_t row = 0; row < s->size(); ++row) {
+    uint32_t code = cols.codes(0)[row];
+    const uint32_t* rows = nullptr;
+    size_t count = 0;
+    idx->Lookup(code, &rows, &count);
+    EXPECT_TRUE(std::find(rows, rows + count, row) != rows + count);
+  }
 }
 
 // Eight clients hammer one cache over the same relations (with periodic

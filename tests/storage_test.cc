@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "storage/coding.h"
+#include "storage/columnar.h"
 #include "storage/crc32c.h"
 #include "storage/csv.h"
 #include "storage/database.h"
@@ -143,6 +145,119 @@ TEST(HashIndexTest, LookupByKey) {
   EXPECT_TRUE(index.Lookup({Value(3)}).empty());
   HashIndex pair_index(rel, {0, 1});
   EXPECT_EQ(pair_index.Lookup({Value(1), Value(11)}).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnarRelation
+// ---------------------------------------------------------------------------
+
+// Dictionary round-trip over every Value type: sorted dictionaries, codes
+// that decode back to the original cell, CodeOf finding every present
+// value and returning the sentinel for absent ones of each type.
+TEST(ColumnarRelationTest, DictionaryRoundTripsEveryValueType) {
+  Schema schema({{"i", ValueType::kInt},
+                 {"d", ValueType::kDouble},
+                 {"s", ValueType::kString}});
+  Relation rel("Mixed", schema);
+  ASSERT_TRUE(
+      rel.AddTuple({Value(int64_t{3}), Value(2.5), Value("b")}, 1).ok());
+  ASSERT_TRUE(
+      rel.AddTuple({Value(int64_t{1}), Value(-0.5), Value("a")}, 1).ok());
+  ASSERT_TRUE(
+      rel.AddTuple({Value(int64_t{3}), Value(2.5), Value("c")}, 1).ok());
+  auto cols = ColumnarRelation::Build(rel);
+  ASSERT_EQ(cols->num_rows(), 3u);
+  ASSERT_EQ(cols->num_cols(), 3u);
+  for (size_t c = 0; c < cols->num_cols(); ++c) {
+    const std::vector<Value>& dict = cols->dict(c);
+    EXPECT_TRUE(std::is_sorted(dict.begin(), dict.end()));
+    ASSERT_EQ(cols->codes(c).size(), rel.size());
+    for (size_t row = 0; row < rel.size(); ++row) {
+      uint32_t code = cols->codes(c)[row];
+      ASSERT_LT(code, dict.size());
+      EXPECT_EQ(dict[code], rel.tuple(row)[c]);
+      EXPECT_EQ(cols->CodeOf(c, rel.tuple(row)[c]), code);
+    }
+  }
+  EXPECT_EQ(cols->distinct(0), 2u);
+  EXPECT_EQ(cols->distinct(1), 2u);
+  EXPECT_EQ(cols->distinct(2), 3u);
+  EXPECT_EQ(cols->CodeOf(0, Value(int64_t{7})), ColumnarRelation::kNoCode);
+  EXPECT_EQ(cols->CodeOf(1, Value(9.75)), ColumnarRelation::kNoCode);
+  EXPECT_EQ(cols->CodeOf(2, Value("zz")), ColumnarRelation::kNoCode);
+}
+
+// The sidecar is built once per relation state: repeated columnar() calls
+// share one image, DistinctValues serves straight from its dictionary,
+// and a mutation invalidates it so the next build sees the new row.
+TEST(ColumnarRelationTest, SidecarCachedOnRelationAndInvalidated) {
+  Relation rel("S", Schema::Anonymous(2));
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(10)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(2), Value(10)}, 1).ok());
+  EXPECT_EQ(rel.columnar_if_built(), nullptr);
+  auto a = rel.columnar();
+  auto b = rel.columnar();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(rel.DistinctValues(1), a->dict(1));
+  ASSERT_TRUE(rel.AddTuple({Value(3), Value(11)}, 1).ok());
+  EXPECT_EQ(rel.columnar_if_built(), nullptr);
+  auto c = rel.columnar();
+  EXPECT_EQ(c->num_rows(), 3u);
+  EXPECT_EQ(c->distinct(1), 2u);
+}
+
+TEST(ColumnarIndexTest, SingleColumnCsrLookup) {
+  Relation rel("S", Schema::Anonymous(2));
+  ASSERT_TRUE(rel.AddTuple({Value(2), Value(10)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(11)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(2), Value(12)}, 1).ok());
+  auto cols = ColumnarRelation::Build(rel);
+  ColumnarIndex index(cols, {0});
+  EXPECT_FALSE(index.composite_overflow());
+  const uint32_t* rows = nullptr;
+  size_t count = 0;
+  index.Lookup(cols->CodeOf(0, Value(1)), &rows, &count);
+  ASSERT_EQ(count, 1u);
+  EXPECT_EQ(rows[0], 1u);
+  index.Lookup(cols->CodeOf(0, Value(2)), &rows, &count);
+  ASSERT_EQ(count, 2u);
+  EXPECT_EQ(rows[0], 0u);  // bucket rows ascend, matching HashIndex
+  EXPECT_EQ(rows[1], 2u);
+}
+
+TEST(ColumnarIndexTest, CompositeKeyLookup) {
+  Relation rel("S", Schema::Anonymous(3));
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(10), Value(0)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(11), Value(0)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(2), Value(10), Value(0)}, 1).ok());
+  ASSERT_TRUE(rel.AddTuple({Value(1), Value(10), Value(1)}, 1).ok());
+  auto cols = ColumnarRelation::Build(rel);
+  ColumnarIndex index(cols, {0, 1});
+  EXPECT_FALSE(index.composite_overflow());
+  uint64_t code = index.radix(0) * cols->CodeOf(0, Value(1)) +
+                  index.radix(1) * cols->CodeOf(1, Value(10));
+  const uint32_t* rows = nullptr;
+  size_t count = 0;
+  index.Lookup(code, &rows, &count);
+  ASSERT_EQ(count, 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 3u);
+  // A composite code nobody has resolves to the empty span.
+  uint64_t absent = index.radix(0) * cols->CodeOf(0, Value(2)) +
+                    index.radix(1) * cols->CodeOf(1, Value(11));
+  index.Lookup(absent, &rows, &count);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(ColumnarTest, CodeTranslationAlignsTwoDictionaries) {
+  std::vector<Value> src = {Value(1), Value(3), Value(5)};
+  std::vector<Value> dst = {Value(3), Value(4), Value(5)};
+  std::vector<uint32_t> xlat = BuildCodeTranslation(src, dst);
+  ASSERT_EQ(xlat.size(), 3u);
+  EXPECT_EQ(xlat[0], ColumnarRelation::kNoCode);  // 1 not in dst
+  EXPECT_EQ(xlat[1], 0u);                         // 3 -> code 0
+  EXPECT_EQ(xlat[2], 2u);                         // 5 -> code 2
+  EXPECT_TRUE(BuildCodeTranslation({}, dst).empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,8 @@
 ///   pdbd [--host H] [--port P] [--demo [N]]
 ///        [--table NAME SCHEMA FILE.csv]...
 ///        [--data-dir DIR] [--sync-mode always|none]
-///        [--checkpoint-every-n N] [--wmc-spill-ms N]
+///        [--checkpoint-every-n N] [--retain-checkpoints N]
+///        [--wmc-spill-ms N]
 ///        [--max-concurrent N] [--max-queue N] [--queue-timeout-ms N]
 ///        [--max-deadline-ms N] [--drain-timeout-ms N]
 ///
@@ -28,7 +29,9 @@
 /// (default) fsyncs per mutation; `none` trades crash durability of the
 /// latest writes for bulk-load speed. `--checkpoint-every-n` snapshots and
 /// compacts the log every N mutations (a checkpoint is always written on
-/// clean shutdown).
+/// clean shutdown), and `--retain-checkpoints` (default 1) keeps that many
+/// newest snapshots — plus the WAL segments needed to recover from the
+/// oldest one — when the checkpoint garbage-collects old files.
 ///
 /// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 /// in-flight queries, cancel stragglers, spill + checkpoint (when
@@ -126,7 +129,8 @@ int Usage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--demo [N]]\n"
       "          [--table NAME SCHEMA FILE.csv]...\n"
       "          [--data-dir DIR] [--sync-mode always|none]\n"
-      "          [--checkpoint-every-n N] [--wmc-spill-ms N]\n"
+      "          [--checkpoint-every-n N] [--retain-checkpoints N]\n"
+      "          [--wmc-spill-ms N]\n"
       "          [--max-concurrent N] [--max-queue N] "
       "[--queue-timeout-ms N]\n"
       "          [--max-deadline-ms N] [--drain-timeout-ms N]\n"
@@ -200,6 +204,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--checkpoint-every-n") {
       if (!next_uint(&value)) return Usage(argv[0]);
       durable_options.checkpoint_every_n = value;
+    } else if (arg == "--retain-checkpoints") {
+      if (!next_uint(&value) || value == 0) return Usage(argv[0]);
+      durable_options.retain_checkpoints = static_cast<size_t>(value);
     } else if (arg == "--wmc-spill-ms") {
       if (!next_uint(&value)) return Usage(argv[0]);
       wmc_spill_ms = value;
