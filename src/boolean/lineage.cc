@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exec/context.h"
+#include "exec/join_profile.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "storage/columnar.h"
@@ -324,6 +325,10 @@ struct CompiledJoin {
   /// Chosen executor path (see ColumnarMode); the executor may still fall
   /// back to rows if a composite key space overflows 64 bits.
   bool use_columnar = false;
+  /// Per execution-order step: the cost model's estimated rows per
+  /// upstream partial match at ordering time (-1 when no statistics were
+  /// consulted). Feeds EXPLAIN's estimate-vs-actual comparison.
+  std::vector<double> step_estimates;
 };
 
 // Greedy cost-based ordering: at each step pick the atom with the
@@ -338,8 +343,9 @@ struct CompiledJoin {
 std::vector<size_t> OrderAtoms(
     const std::vector<Atom>& atoms, const std::vector<const Relation*>& rels,
     const std::vector<std::shared_ptr<const ColumnarRelation>>& stats,
-    AtomOrderPolicy policy) {
+    AtomOrderPolicy policy, std::vector<double>* estimates) {
   std::vector<size_t> order(atoms.size());
+  estimates->assign(atoms.size(), -1.0);
   if (policy == AtomOrderPolicy::kSyntactic) {
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     return order;
@@ -384,6 +390,7 @@ std::vector<size_t> OrderAtoms(
     }
     chosen[best] = true;
     order[step] = best;
+    if (have_stats) (*estimates)[step] = best_est;
     for (const Term& t : atoms[best].args) {
       if (t.is_variable()) bound_vars[t.var()] = true;
     }
@@ -421,8 +428,8 @@ Result<CompiledJoin> CompileJoin(const ConjunctiveQuery& cq,
     stats.reserve(atoms.size());
     for (const Relation* rel : plan.by_atom) stats.push_back(rel->columnar());
   }
-  std::vector<size_t> order =
-      OrderAtoms(atoms, plan.by_atom, stats, options.order);
+  std::vector<size_t> order = OrderAtoms(atoms, plan.by_atom, stats,
+                                         options.order, &plan.step_estimates);
   std::unordered_map<std::string, uint32_t> slot_of_var;
   plan.steps.reserve(atoms.size());
   for (size_t s = 0; s < order.size(); ++s) {
@@ -529,8 +536,10 @@ class JoinExecutor {
       // An empty conjunction is `true`: exactly one empty match.
       empty_cq_ = true;
       if (exec_ != nullptr) exec_->AddLineageMatches(1);
+      RecordProfile(options);
       return;
     }
+    step_rows_.assign(plan_.steps.size(), 0);
     // PrepareColumnar declines when a composite key space overflows 64
     // bits; the row path handles those (astronomically wide) keys.
     columnar_ = plan_.use_columnar && PrepareColumnar();
@@ -538,6 +547,7 @@ class JoinExecutor {
       // A query constant is absent from its column's dictionary: no row
       // of that step can ever match, so the whole CQ has zero matches.
       if (exec_ != nullptr) exec_->AddLineageMatches(0);
+      RecordProfile(options);
       return;
     }
     if (!columnar_) PrepareIndexes();
@@ -587,32 +597,43 @@ class JoinExecutor {
       } else {
         RunRange(ws, bucket, 0, candidates);
       }
+      step_rows_ = std::move(ws.step_rows);
     } else {
       // Each chunk grounds a contiguous range of first-step candidates
-      // into a private buffer; buffers concatenate in chunk order.
-      std::vector<std::vector<uint32_t>> parts =
-          ParallelMap<std::vector<uint32_t>>(exec_, chunks, [&](size_t c) {
+      // into a private buffer; buffers concatenate in chunk order and the
+      // per-step match counts sum.
+      struct ChunkRun {
+        std::vector<uint32_t> out;
+        std::vector<uint64_t> step_rows;
+      };
+      std::vector<ChunkRun> parts =
+          ParallelMap<ChunkRun>(exec_, chunks, [&](size_t c) {
             size_t begin = candidates * c / chunks;
             size_t end = candidates * (c + 1) / chunks;
-            std::vector<uint32_t> out;
+            ChunkRun r;
             WorkerState ws = MakeWorkerState();
-            ws.out = &out;
+            ws.out = &r.out;
             if (columnar_) {
               RunRangeColumnar(ws, cbase, begin, end);
             } else {
               RunRange(ws, bucket, begin, end);
             }
-            return out;
+            r.step_rows = std::move(ws.step_rows);
+            return r;
           });
       size_t total = 0;
-      for (const auto& part : parts) total += part.size();
+      for (const auto& part : parts) total += part.out.size();
       buf_.reserve(total);
       for (auto& part : parts) {
-        buf_.insert(buf_.end(), part.begin(), part.end());
+        buf_.insert(buf_.end(), part.out.begin(), part.out.end());
+        for (size_t s = 0; s < part.step_rows.size(); ++s) {
+          step_rows_[s] += part.step_rows[s];
+        }
       }
     }
     Canonicalize();
     if (exec_ != nullptr) exec_->AddLineageMatches(num_matches());
+    RecordProfile(options);
   }
 
   size_t num_matches() const {
@@ -642,6 +663,9 @@ class JoinExecutor {
     std::vector<uint32_t> cslots;      // columnar path: dictionary codes
     std::vector<Tuple> keys;     // per step, pre-sized key buffers
     std::vector<uint32_t> rows;  // per original atom index
+    /// Per execution-order step: rows entered (partial matches that
+    /// survived the step). Feeds EXPLAIN ANALYZE's actual cardinalities.
+    std::vector<uint64_t> step_rows;
     std::vector<uint32_t>* out = nullptr;
   };
 
@@ -689,6 +713,7 @@ class JoinExecutor {
       }
     }
     ws.rows.resize(k_);
+    ws.step_rows.assign(plan_.steps.size(), 0);
     return ws;
   }
 
@@ -807,7 +832,10 @@ class JoinExecutor {
     const JoinStep& first = plan_.steps[0];
     for (size_t i = begin; i < end; ++i) {
       size_t row = bucket != nullptr ? (*bucket)[i] : i;
-      if (EnterRow(first, row, ws)) RunFrom(1, ws);
+      if (EnterRow(first, row, ws)) {
+        ++ws.step_rows[0];
+        RunFrom(1, ws);
+      }
     }
   }
 
@@ -820,7 +848,10 @@ class JoinExecutor {
     if (step.key_cols.empty()) {
       const size_t n = step.rel->size();
       for (size_t row = 0; row < n; ++row) {
-        if (EnterRow(step, row, ws)) RunFrom(s + 1, ws);
+        if (EnterRow(step, row, ws)) {
+          ++ws.step_rows[s];
+          RunFrom(s + 1, ws);
+        }
       }
       return;
     }
@@ -830,7 +861,10 @@ class JoinExecutor {
       key[p] = part.slot < 0 ? part.constant : *ws.slots[part.slot];
     }
     for (size_t row : indexes_[s]->Lookup(key)) {
-      if (EnterRow(step, row, ws)) RunFrom(s + 1, ws);
+      if (EnterRow(step, row, ws)) {
+        ++ws.step_rows[s];
+        RunFrom(s + 1, ws);
+      }
     }
   }
 
@@ -860,13 +894,17 @@ class JoinExecutor {
         uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
         if (!cs.pass.empty() && cs.pass[row] == 0) continue;
         *slot_row = row;
+        ++ws.step_rows[0];
         ws.out->insert(ws.out->end(), ws.rows.begin(), ws.rows.end());
       }
       return;
     }
     for (size_t i = begin; i < end; ++i) {
       uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
-      if (EnterRowColumnar(cs, first, row, ws)) RunFromColumnar(1, ws);
+      if (EnterRowColumnar(cs, first, row, ws)) {
+        ++ws.step_rows[0];
+        RunFromColumnar(1, ws);
+      }
     }
   }
 
@@ -903,13 +941,17 @@ class JoinExecutor {
         uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
         if (!cs.pass.empty() && cs.pass[row] == 0) continue;
         *slot_row = row;
+        ++ws.step_rows[s];
         ws.out->insert(ws.out->end(), ws.rows.begin(), ws.rows.end());
       }
       return;
     }
     for (size_t i = 0; i < count; ++i) {
       uint32_t row = base != nullptr ? base[i] : static_cast<uint32_t>(i);
-      if (EnterRowColumnar(cs, step, row, ws)) RunFromColumnar(s + 1, ws);
+      if (EnterRowColumnar(cs, step, row, ws)) {
+        ++ws.step_rows[s];
+        RunFromColumnar(s + 1, ws);
+      }
     }
   }
 
@@ -939,6 +981,43 @@ class JoinExecutor {
     std::sort(perm_.begin(), perm_.end(), less);
   }
 
+  // Reports the executed plan — estimates next to actuals, executor-path
+  // attribution — into the context's JoinProfile when one is attached.
+  void RecordProfile(const GroundingOptions& options) const {
+    if (exec_ == nullptr || exec_->join_profile() == nullptr) return;
+    JoinPlanProfile profile;
+    profile.executed = true;
+    profile.use_columnar = plan_.use_columnar;
+    profile.columnar_engaged = columnar_;
+    profile.matches = num_matches();
+    if (impossible_) {
+      profile.fallback_reason =
+          "query constant absent from dictionary: zero matches";
+    } else if (!columnar_ && k_ > 0) {
+      if (plan_.use_columnar) {
+        profile.fallback_reason =
+            "composite key space overflows 64 bits; row path";
+      } else if (options.columnar == ColumnarMode::kNever) {
+        profile.fallback_reason = "columnar disabled";
+      } else {
+        profile.fallback_reason =
+            "largest relation below columnar_min_rows threshold";
+      }
+    }
+    profile.steps.reserve(plan_.steps.size());
+    for (size_t s = 0; s < plan_.steps.size(); ++s) {
+      JoinStepProfile sp;
+      sp.atom_index = plan_.steps[s].atom_index;
+      sp.predicate = plan_.steps[s].rel->name();
+      sp.relation_rows = plan_.steps[s].rel->size();
+      sp.estimated_rows =
+          s < plan_.step_estimates.size() ? plan_.step_estimates[s] : -1.0;
+      sp.actual_rows = s < step_rows_.size() ? step_rows_[s] : 0;
+      profile.steps.push_back(std::move(sp));
+    }
+    exec_->join_profile()->AddPlan(std::move(profile));
+  }
+
   const CompiledJoin& plan_;
   ExecContext* exec_;
   const size_t k_;
@@ -947,6 +1026,7 @@ class JoinExecutor {
   bool impossible_ = false;  // a constant missed its dictionary: 0 matches
   std::vector<std::shared_ptr<const HashIndex>> indexes_;
   std::vector<ColumnarStep> csteps_;
+  std::vector<uint64_t> step_rows_;  // per-step entered rows, summed
   std::vector<uint32_t> buf_;  // k_ row ids per match, enumeration order
   std::vector<size_t> perm_;   // canonical -> physical; empty = identity
 };
@@ -1002,6 +1082,32 @@ Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
     callback(match);
   });
   return Status::OK();
+}
+
+Result<JoinPlanProfile> PlanCqJoin(const ConjunctiveQuery& cq,
+                                   const Database& db,
+                                   const GroundingOptions& options) {
+  PDB_ASSIGN_OR_RETURN(CompiledJoin plan, CompileJoin(cq, db, options));
+  JoinPlanProfile profile;
+  profile.executed = false;
+  profile.use_columnar = plan.use_columnar;
+  if (!plan.use_columnar && plan.num_atoms > 0) {
+    profile.fallback_reason =
+        options.columnar == ColumnarMode::kNever
+            ? "columnar disabled"
+            : "largest relation below columnar_min_rows threshold";
+  }
+  profile.steps.reserve(plan.steps.size());
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    JoinStepProfile sp;
+    sp.atom_index = plan.steps[s].atom_index;
+    sp.predicate = plan.steps[s].rel->name();
+    sp.relation_rows = plan.steps[s].rel->size();
+    sp.estimated_rows =
+        s < plan.step_estimates.size() ? plan.step_estimates[s] : -1.0;
+    profile.steps.push_back(std::move(sp));
+  }
+  return profile;
 }
 
 Result<Lineage> BuildUcqLineage(const Ucq& ucq, const Database& db,

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "boolean/formula.h"
+#include "exec/join_profile.h"
 #include "logic/cq.h"
 #include "logic/fo.h"
 #include "storage/database.h"
@@ -141,6 +142,15 @@ struct CqMatch {
 Status EnumerateCqMatches(const ConjunctiveQuery& cq, const Database& db,
                           const std::function<void(const CqMatch&)>& callback,
                           const GroundingOptions& options = {});
+
+/// Compiles `cq`'s join program without executing it: the cost-based atom
+/// order, per-step selectivity estimates, and the chosen executor path,
+/// as a `JoinPlanProfile` with zero `actual_rows` and `executed` false.
+/// The plan-only half of EXPLAIN; EXPLAIN ANALYZE instead executes and
+/// collects the profile through `ExecContext::join_profile`.
+Result<JoinPlanProfile> PlanCqJoin(const ConjunctiveQuery& cq,
+                                   const Database& db,
+                                   const GroundingOptions& options = {});
 
 /// The naive syntactic-order backtracking matcher the compiled engine
 /// replaced, kept as the reference implementation for differential tests

@@ -126,14 +126,28 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
   // that the top-level spans account for the query's wall clock.
   std::optional<FormulaManager> mgr(std::in_place);
   Lineage lineage;
+  // UCQ-shaped sentences ground through the compiled join engine —
+  // polynomial in the data rather than domain^#vars, and it engages the
+  // cost-based atom order, the columnar executor, and EXPLAIN ANALYZE's
+  // join profile. Everything else (negation, universals) takes the FO
+  // grounder over the active domain. Hoisted out of the block because the
+  // Monte Carlo fallback below reuses the UCQ view.
+  auto as_ucq = FoToUcq(sentence);
   {
     TraceSpan lineage_span(trace, TracePhase::kLineage);
-    PDB_ASSIGN_OR_RETURN(lineage, BuildLineage(sentence, db_, &*mgr));
+    if (as_ucq.ok()) {
+      GroundingOptions grounding;
+      grounding.exec = ctx;
+      PDB_ASSIGN_OR_RETURN(lineage,
+                           BuildUcqLineage(*as_ucq, db_, &*mgr, grounding));
+    } else {
+      PDB_ASSIGN_OR_RETURN(lineage, BuildLineage(sentence, db_, &*mgr));
+      // The FO grounder has no ExecContext plumbing of its own; account
+      // for its node production here so pdb_lineage_nodes_total covers the
+      // grounded-exact path, not just the UCQ engine.
+      if (ctx != nullptr) ctx->AddLineageNodes(mgr->NumNodes());
+    }
     lineage_span.AddCounter("lineage_vars", lineage.vars.size());
-    // The FO grounder has no ExecContext plumbing of its own; account for
-    // its node production here so pdb_lineage_nodes_total covers the
-    // grounded-exact path, not just the UCQ engine.
-    if (ctx != nullptr) ctx->AddLineageNodes(mgr->NumNodes());
   }
   DpllOptions dpll_options;
   dpll_options.max_decisions = options.max_dpll_decisions;
@@ -192,7 +206,6 @@ Result<QueryAnswer> ProbDatabase::QueryFoWithContext(
 
   // 3. Approximation. Plan bounds when the query is a self-join-free CQ.
   std::optional<PlanBounds> bounds;
-  auto as_ucq = FoToUcq(sentence);
   if (as_ucq.ok() && as_ucq->size() == 1 &&
       as_ucq->disjuncts()[0].IsSelfJoinFree()) {
     auto computed = ComputePlanBounds(as_ucq->disjuncts()[0], db_);

@@ -312,9 +312,10 @@ std::vector<std::shared_ptr<const QueryTrace>> Session::recent_traces()
   return {traces_.begin(), traces_.end()};
 }
 
-void Session::RetainTrace(const std::shared_ptr<QueryTrace>& trace) {
+void Session::RetainTrace(const std::shared_ptr<QueryTrace>& trace,
+                          bool finish) {
   if (!trace) return;
-  trace->Finish();
+  if (finish) trace->Finish();
   std::lock_guard<std::mutex> lock(mu_);
   traces_.push_front(trace);
   while (traces_.size() > options_.trace_ring_size) traces_.pop_back();
@@ -412,8 +413,22 @@ std::string Session::CacheKey(const FoPtr& sentence,
 
 Result<QueryAnswer> Session::Query(const std::string& query_text,
                                    const QueryOptions& options) {
+  return QueryInternal(query_text, options, MakeTrace(options),
+                       /*finish_trace=*/true);
+}
+
+Result<QueryAnswer> Session::QueryTraced(const std::string& query_text,
+                                         const QueryOptions& options,
+                                         std::shared_ptr<QueryTrace> trace) {
+  return QueryInternal(query_text, options, std::move(trace),
+                       /*finish_trace=*/false);
+}
+
+Result<QueryAnswer> Session::QueryInternal(const std::string& query_text,
+                                           const QueryOptions& options,
+                                           std::shared_ptr<QueryTrace> trace,
+                                           bool finish_trace) {
   const ExecContext::Clock::time_point started = ExecContext::Clock::now();
-  std::shared_ptr<QueryTrace> trace = MakeTrace(options);
   FoPtr sentence;
   {
     TraceSpan parse_span(trace.get(), TracePhase::kParse);
@@ -428,13 +443,13 @@ Result<QueryAnswer> Session::Query(const std::string& query_text,
         ++queries_served_;
         TickTopLevelLocked(failed, MicrosSince(started));
       }
-      RetainTrace(trace);
+      RetainTrace(trace, finish_trace);
       return failed;
     }
     sentence = *std::move(parsed);
   }
   return QueryFoInternal(sentence, options, /*top_level=*/true,
-                         std::move(trace));
+                         std::move(trace), finish_trace);
 }
 
 Result<QueryAnswer> Session::QueryFo(const FoPtr& sentence,
@@ -445,8 +460,10 @@ Result<QueryAnswer> Session::QueryFo(const FoPtr& sentence,
 
 Result<QueryAnswer> Session::QueryFoInternal(
     const FoPtr& sentence, const QueryOptions& options, bool top_level,
-    std::shared_ptr<QueryTrace> trace) {
+    std::shared_ptr<QueryTrace> trace, bool finish_trace,
+    JoinProfile* profile, bool bypass_cache) {
   const ExecContext::Clock::time_point started = ExecContext::Clock::now();
+  const bool use_cache = options_.cache_results && !bypass_cache;
   std::string key;
   if (options_.cache_results) key = CacheKey(sentence, options);
   // Generation snapshot at query start: an answer may only be cached if
@@ -460,7 +477,7 @@ Result<QueryAnswer> Session::QueryFoInternal(
     {
       std::lock_guard<std::mutex> lock(mu_);
       RefreshGenerationLocked(generation_at_start);
-      if (options_.cache_results) {
+      if (use_cache) {
         if (const QueryAnswer* cached = CacheLookupLocked(key)) {
           tickers_.result_cache_hits->Add(1);
           hit = *cached;
@@ -483,7 +500,7 @@ Result<QueryAnswer> Session::QueryFoInternal(
       probe_span.AddCounter("hit", 1);
       probe_span.End();
       if (top_level && trace) {
-        RetainTrace(trace);
+        RetainTrace(trace, finish_trace);
         hit->trace = trace;
       }
       return *std::move(hit);
@@ -498,6 +515,7 @@ Result<QueryAnswer> Session::QueryFoInternal(
   ctx.set_wmc_cache(wmc_cache_.get());
   ctx.set_index_cache(index_cache_.get());
   ctx.set_trace(trace.get());
+  ctx.set_join_profile(profile);
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   InFlightGuard in_flight(this, &ctx, top_level);
   auto answer = db_->QueryFoWithContext(sentence, options, &ctx);
@@ -527,7 +545,7 @@ Result<QueryAnswer> Session::QueryFoInternal(
   // Fan-out sub-queries only contribute spans; the owning call finishes
   // and retains the trace.
   if (top_level && trace) {
-    RetainTrace(trace);
+    RetainTrace(trace, finish_trace);
     if (answer.ok()) answer->trace = trace;
   }
   return answer;
@@ -542,8 +560,21 @@ Result<Relation> Session::QueryWithAnswers(
 
 Result<QueryAnswer> Session::QuerySqlBoolean(const std::string& sql,
                                              const QueryOptions& options) {
+  return QuerySqlBooleanInternal(sql, options, MakeTrace(options),
+                                 /*finish_trace=*/true);
+}
+
+Result<QueryAnswer> Session::QuerySqlBooleanTraced(
+    const std::string& sql, const QueryOptions& options,
+    std::shared_ptr<QueryTrace> trace) {
+  return QuerySqlBooleanInternal(sql, options, std::move(trace),
+                                 /*finish_trace=*/false);
+}
+
+Result<QueryAnswer> Session::QuerySqlBooleanInternal(
+    const std::string& sql, const QueryOptions& options,
+    std::shared_ptr<QueryTrace> trace, bool finish_trace) {
   const ExecContext::Clock::time_point started = ExecContext::Clock::now();
-  std::shared_ptr<QueryTrace> trace = MakeTrace(options);
   CompiledSql compiled;
   {
     TraceSpan compile_span(trace.get(), TracePhase::kCompile);
@@ -561,7 +592,7 @@ Result<QueryAnswer> Session::QuerySqlBoolean(const std::string& sql,
         TickTopLevelLocked(failed, MicrosSince(started));
       }
       tickers_.sql_statement_latency_us->Record(MicrosSince(started));
-      RetainTrace(trace);
+      RetainTrace(trace, finish_trace);
       return failed;
     }
     compiled = *std::move(result);
@@ -571,7 +602,8 @@ Result<QueryAnswer> Session::QuerySqlBoolean(const std::string& sql,
     effective.monte_carlo_target_stderr = compiled.target_stderr;
   }
   auto answer = QueryFoInternal(Ucq({compiled.cq}).ToFo(), effective,
-                                /*top_level=*/true, std::move(trace));
+                                /*top_level=*/true, std::move(trace),
+                                finish_trace);
   tickers_.sql_statement_latency_us->Record(MicrosSince(started));
   return answer;
 }
@@ -579,8 +611,22 @@ Result<QueryAnswer> Session::QuerySqlBoolean(const std::string& sql,
 Result<Relation> Session::QuerySqlAnswers(const std::string& sql,
                                           const QueryOptions& options,
                                           std::vector<AnswerTupleInfo>* info) {
+  return QuerySqlAnswersInternal(sql, options, info, MakeTrace(options),
+                                 /*finish_trace=*/true);
+}
+
+Result<Relation> Session::QuerySqlAnswersTraced(
+    const std::string& sql, const QueryOptions& options,
+    std::vector<AnswerTupleInfo>* info, std::shared_ptr<QueryTrace> trace) {
+  return QuerySqlAnswersInternal(sql, options, info, std::move(trace),
+                                 /*finish_trace=*/false);
+}
+
+Result<Relation> Session::QuerySqlAnswersInternal(
+    const std::string& sql, const QueryOptions& options,
+    std::vector<AnswerTupleInfo>* info, std::shared_ptr<QueryTrace> trace,
+    bool finish_trace) {
   const ExecContext::Clock::time_point started = ExecContext::Clock::now();
-  std::shared_ptr<QueryTrace> trace = MakeTrace(options);
   CompiledSql compiled;
   {
     TraceSpan compile_span(trace.get(), TracePhase::kCompile);
@@ -598,7 +644,7 @@ Result<Relation> Session::QuerySqlAnswers(const std::string& sql,
         TickTopLevelLocked(failed, MicrosSince(started));
       }
       tickers_.sql_statement_latency_us->Record(MicrosSince(started));
-      RetainTrace(trace);
+      RetainTrace(trace, finish_trace);
       return result.status();
     }
     compiled = *std::move(result);
@@ -608,7 +654,8 @@ Result<Relation> Session::QuerySqlAnswers(const std::string& sql,
     effective.monte_carlo_target_stderr = compiled.target_stderr;
   }
   auto out = QueryWithAnswersTraced(compiled.cq, compiled.head_vars,
-                                    effective, info, std::move(trace));
+                                    effective, info, std::move(trace),
+                                    finish_trace);
   tickers_.sql_statement_latency_us->Record(MicrosSince(started));
   return out;
 }
@@ -616,7 +663,8 @@ Result<Relation> Session::QuerySqlAnswers(const std::string& sql,
 Result<Relation> Session::QueryWithAnswersTraced(
     const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
     const QueryOptions& options, std::vector<AnswerTupleInfo>* info,
-    std::shared_ptr<QueryTrace> trace) {
+    std::shared_ptr<QueryTrace> trace, bool finish_trace,
+    JoinProfile* profile, ExecReport* report_out) {
   const ExecContext::Clock::time_point started = ExecContext::Clock::now();
   const Database& db = db_->database();
   std::set<std::string> vars = cq.Variables();
@@ -675,6 +723,7 @@ Result<Relation> Session::QueryWithAnswersTraced(
   ctx.set_wmc_cache(wmc_cache_.get());
   ctx.set_index_cache(index_cache_.get());
   ctx.set_trace(trace.get());
+  ctx.set_join_profile(profile);
   if (options.exec.deadline_ms > 0) ctx.SetDeadline(options.exec.deadline_ms);
   InFlightGuard in_flight(this, &ctx, /*top_level=*/true);
 
@@ -780,20 +829,123 @@ Result<Relation> Session::QueryWithAnswersTraced(
   });
   bool any_error = std::any_of(statuses.begin(), statuses.end(),
                                [](const Status& s) { return !s.ok(); });
+  ExecReport batch_report = ctx.Report();
+  if (report_out != nullptr) *report_out = batch_report;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_served_;
-    AggregateLocked(ctx.Report());
+    AggregateLocked(batch_report);
     tickers_.queries->Add(1);
     tickers_.query_latency_us->Record(MicrosSince(started));
     if (any_error) tickers_.query_errors->Add(1);
   }
-  RetainTrace(trace);
+  RetainTrace(trace, finish_trace);
   for (size_t t = 0; t < heads.size(); ++t) {
     PDB_RETURN_NOT_OK(statuses[t]);
     PDB_RETURN_NOT_OK(out.AddTuple(heads[t], marginals[t]));
   }
   if (info) *info = std::move(infos);
+  return out;
+}
+
+Result<ExplainResult> Session::ExplainSql(const std::string& sql,
+                                          bool analyze,
+                                          const QueryOptions& options) {
+  ExplainResult out;
+  out.statement = sql;
+  out.analyze = analyze;
+  PDB_ASSIGN_OR_RETURN(CompiledSql compiled,
+                       CompileSql(sql, db_->database()));
+  out.boolean = compiled.boolean;
+  FoPtr sentence = Ucq({compiled.cq}).ToFo();
+
+  // Safety check = the lifted compiler itself: it either produces a
+  // polynomial extensional plan (and, being polynomial, cheaply evaluates
+  // it) or rejects the sentence as unsafe with the reason. This mirrors
+  // exactly the routing gate in ProbDatabase::QueryFoWithContext.
+  {
+    auto lifted = LiftedProbabilityFo(sentence, db_->database(),
+                                      options.lifted);
+    if (lifted.ok()) {
+      out.safe = true;
+      out.safety = "safe: lifted extensional plan applies (polynomial)";
+    } else if (lifted.status().code() == StatusCode::kUnsupported) {
+      out.safe = false;
+      out.safety = StrFormat("unsafe: %s", lifted.status().message().c_str());
+    } else {
+      out.safe = false;
+      out.safety = lifted.status().message();
+    }
+  }
+
+  // The compiled join plan: cost-based atom order with per-step
+  // selectivity estimates, against the session index cache so the
+  // estimates use the same cached dictionaries execution would.
+  ExecContext plan_ctx;
+  plan_ctx.set_index_cache(index_cache_.get());
+  GroundingOptions grounding;
+  grounding.exec = &plan_ctx;
+  PDB_ASSIGN_OR_RETURN(
+      JoinPlanProfile plan,
+      PlanCqJoin(compiled.cq, db_->database(), grounding));
+
+  if (!analyze) {
+    out.method_predicted = true;
+    out.method = (out.safe && options.prefer_lifted)
+                     ? "lifted"
+                     : "grounded-exact";
+    out.plans.push_back(std::move(plan));
+    return out;
+  }
+
+  // ANALYZE: execute for real, past the result cache (the point is to
+  // observe execution), with a trace and a join profile on the context.
+  out.method_predicted = false;
+  QueryOptions effective = options;
+  if (compiled.target_stderr > 0) {
+    effective.monte_carlo_target_stderr = compiled.target_stderr;
+  }
+  auto trace = std::make_shared<QueryTrace>();
+  JoinProfile profile;
+  if (compiled.boolean) {
+    PDB_ASSIGN_OR_RETURN(
+        QueryAnswer answer,
+        QueryFoInternal(sentence, effective, /*top_level=*/true, trace,
+                        /*finish_trace=*/true, &profile,
+                        /*bypass_cache=*/true));
+    out.method = InferenceMethodToString(answer.method);
+    out.probability = answer.probability;
+    out.exact = answer.exact;
+    out.std_error = answer.std_error;
+    out.explanation = answer.explanation;
+    out.report = answer.report;
+  } else {
+    std::vector<AnswerTupleInfo> infos;
+    PDB_ASSIGN_OR_RETURN(
+        Relation answers,
+        QueryWithAnswersTraced(compiled.cq, compiled.head_vars, effective,
+                               &infos, trace, /*finish_trace=*/true,
+                               &profile, &out.report));
+    out.answer_tuples = answers.size();
+    out.exact = !infos.empty();
+    for (const AnswerTupleInfo& info : infos) {
+      const char* m = InferenceMethodToString(info.method);
+      if (out.method.empty()) {
+        out.method = m;
+      } else if (out.method != m) {
+        out.method = "mixed";
+      }
+      out.exact = out.exact && info.exact;
+    }
+    if (out.method.empty()) out.method = "none (no answer candidates)";
+  }
+  out.executed = true;
+  out.trace = TraceData::FromTrace(*trace);
+  // Executed plans (candidate sweep / grounding / Monte Carlo re-ground).
+  // A lifted answer grounds nothing: keep the plan-only compile so the
+  // atom-order table is still shown.
+  out.plans = profile.plans();
+  if (out.plans.empty()) out.plans.push_back(std::move(plan));
   return out;
 }
 

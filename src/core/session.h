@@ -41,8 +41,10 @@
 
 #include "core/pdb.h"
 #include "exec/context.h"
+#include "exec/join_profile.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sql/explain.h"
 #include "storage/index_cache.h"
 #include "wmc/wmc_cache.h"
 
@@ -140,6 +142,37 @@ class Session {
                                    std::vector<AnswerTupleInfo>* info =
                                        nullptr);
 
+  /// As Query / QuerySqlBoolean / QuerySqlAnswers, but recording into a
+  /// caller-provided trace: the server threads one trace per HTTP request
+  /// through these so transport spans (http_parse, admission_wait,
+  /// http_respond) and engine spans land on one timeline. The trace is
+  /// retained in the ring but NOT finished — the caller records its
+  /// trailing spans and calls `trace->Finish()` itself. A null trace makes
+  /// these identical to the untraced entry points.
+  Result<QueryAnswer> QueryTraced(const std::string& query_text,
+                                  const QueryOptions& options,
+                                  std::shared_ptr<QueryTrace> trace);
+  Result<QueryAnswer> QuerySqlBooleanTraced(const std::string& sql,
+                                            const QueryOptions& options,
+                                            std::shared_ptr<QueryTrace> trace);
+  Result<Relation> QuerySqlAnswersTraced(const std::string& sql,
+                                         const QueryOptions& options,
+                                         std::vector<AnswerTupleInfo>* info,
+                                         std::shared_ptr<QueryTrace> trace);
+
+  /// EXPLAIN [ANALYZE] <sql>: compiles the statement, runs the safety
+  /// check (the lifted compiler either produces a polynomial extensional
+  /// plan or rejects the query as unsafe), and reports the cost-based join
+  /// plan with its per-step selectivity estimates. With `analyze` the
+  /// statement actually executes — bypassing the result cache, since the
+  /// point is to observe execution — and the result carries the actual
+  /// per-step match counts beside the estimates, the answer, the
+  /// `ExecReport` counters, and the full per-phase trace. `sql` must not
+  /// carry the EXPLAIN prefix itself (see `StripExplainPrefix`,
+  /// sql/sql.h).
+  Result<ExplainResult> ExplainSql(const std::string& sql, bool analyze,
+                                   const QueryOptions& options = {});
+
   /// Resolved pool width (>= 1).
   int num_threads() const { return resolved_threads_; }
 
@@ -214,25 +247,54 @@ class Session {
   /// `top_level` controls accounting: fan-out sub-queries aggregate into
   /// the cumulative report but do not count as served queries (and do not
   /// finish or retain `trace` — they only add spans to it).
+  /// `finish_trace` is false for the *Traced entry points, whose caller
+  /// finishes the trace after its own trailing spans. `profile` (EXPLAIN
+  /// ANALYZE) rides on the execution context like the trace does, and
+  /// `bypass_cache` forces execution past the result cache.
   Result<QueryAnswer> QueryFoInternal(const FoPtr& sentence,
                                       const QueryOptions& options,
                                       bool top_level,
-                                      std::shared_ptr<QueryTrace> trace);
+                                      std::shared_ptr<QueryTrace> trace,
+                                      bool finish_trace = true,
+                                      JoinProfile* profile = nullptr,
+                                      bool bypass_cache = false);
+
+  /// Query against a caller-provided trace (parse span + QueryFoInternal).
+  Result<QueryAnswer> QueryInternal(const std::string& query_text,
+                                    const QueryOptions& options,
+                                    std::shared_ptr<QueryTrace> trace,
+                                    bool finish_trace);
+
+  /// QuerySql* against a caller-provided trace (compile span + dispatch).
+  Result<QueryAnswer> QuerySqlBooleanInternal(const std::string& sql,
+                                              const QueryOptions& options,
+                                              std::shared_ptr<QueryTrace> trace,
+                                              bool finish_trace);
+  Result<Relation> QuerySqlAnswersInternal(const std::string& sql,
+                                           const QueryOptions& options,
+                                           std::vector<AnswerTupleInfo>* info,
+                                           std::shared_ptr<QueryTrace> trace,
+                                           bool finish_trace);
 
   /// QueryWithAnswers against a caller-provided trace (the SQL wrapper
-  /// passes the trace holding its compile span).
+  /// passes the trace holding its compile span). `report_out`, when
+  /// non-null, receives the batch context's counters (EXPLAIN ANALYZE).
   Result<Relation> QueryWithAnswersTraced(
       const ConjunctiveQuery& cq, const std::vector<std::string>& head_vars,
       const QueryOptions& options, std::vector<AnswerTupleInfo>* info,
-      std::shared_ptr<QueryTrace> trace);
+      std::shared_ptr<QueryTrace> trace, bool finish_trace = true,
+      JoinProfile* profile = nullptr, ExecReport* report_out = nullptr);
 
   /// A fresh trace when `options.trace` asks for one, else null.
   std::shared_ptr<QueryTrace> MakeTrace(const QueryOptions& options) const {
     return options.trace ? std::make_shared<QueryTrace>() : nullptr;
   }
 
-  /// Finishes `trace` and pushes it into the ring buffer. No-op on null.
-  void RetainTrace(const std::shared_ptr<QueryTrace>& trace);
+  /// Pushes `trace` into the ring buffer, finishing it first unless the
+  /// caller keeps recording (the *Traced entry points add transport spans
+  /// after the engine returns). No-op on null.
+  void RetainTrace(const std::shared_ptr<QueryTrace>& trace,
+                   bool finish = true);
 
   /// Cache key: the options that can change an exact answer, then the
   /// sentence text.

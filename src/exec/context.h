@@ -23,6 +23,7 @@ class ThreadPool;
 class WmcCache;
 class IndexCache;
 class QueryTrace;
+class JoinProfile;
 
 /// Parallelism and time-budget knobs, threaded through `QueryOptions`.
 struct ExecOptions {
@@ -102,6 +103,11 @@ class ExecContext {
   QueryTrace* trace() const { return trace_; }
   void set_trace(QueryTrace* trace) { trace_ = trace; }
 
+  /// Opt-in EXPLAIN ANALYZE join instrumentation (exec/join_profile.h), or
+  /// null. Carried, not owned, like the trace.
+  JoinProfile* join_profile() const { return join_profile_; }
+  void set_join_profile(JoinProfile* profile) { join_profile_ = profile; }
+
   /// Arms the deadline `ms` milliseconds from now. `ms` == 0 disarms.
   void SetDeadline(uint64_t ms);
 
@@ -177,6 +183,7 @@ class ExecContext {
   WmcCache* wmc_cache_ = nullptr;
   IndexCache* index_cache_ = nullptr;
   QueryTrace* trace_ = nullptr;
+  JoinProfile* join_profile_ = nullptr;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> deadline_hit_{false};       // current armed deadline
   std::atomic<bool> deadline_ever_hit_{false};  // sticky, for the report

@@ -1,0 +1,175 @@
+/// \file log.h
+/// \brief Structured JSON-lines event logging plus the slow-query log.
+///
+/// `EventLog` emits one JSON object per line — machine-parseable the way
+/// `/metrics` is scrapeable — with a level gate and a token-bucket rate
+/// limiter so a hot error path cannot flood the disk. The clock is
+/// injectable, so tests (and the rate limiter's own tests) are
+/// deterministic. Lines go to a bounded in-memory ring (for `/debug`
+/// surfaces and tests) and optionally to an append-only file
+/// (`pdbd --log-file`).
+///
+/// `SlowQueryLog` is the operator-facing consumer: statements whose
+/// end-to-end latency crosses a threshold (`pdbd --slow-query-ms`) are
+/// captured as `SlowQueryEntry` records — statement text, latency, client,
+/// routing method, and the full trace + EXPLAIN payloads as embedded JSON —
+/// into a bounded ring served by `GET /debug/slowlog`, and mirrored to an
+/// `EventLog` sink when one is attached. `SlowQueryEntryFromJson` is the
+/// strict inverse of `SlowQueryEntryToJson` (same contract as
+/// `TraceFromJson`: malformed or truncated input is InvalidArgument, never
+/// a crash — it is fuzzed alongside the trace reader).
+
+#ifndef PDB_OBS_LOG_H_
+#define PDB_OBS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdb {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// One key/value pair of a structured log line. `value` is a pre-rendered
+/// JSON token; build it through the typed constructors so strings are
+/// escaped exactly once.
+struct LogField {
+  std::string name;
+  std::string value;
+
+  static LogField Str(std::string name, std::string_view value);
+  static LogField Uint(std::string name, uint64_t value);
+  static LogField Double(std::string name, double value);
+  /// `json` must already be a valid JSON value (object, array, number...).
+  static LogField Raw(std::string name, std::string json);
+};
+
+struct EventLogOptions {
+  LogLevel min_level = LogLevel::kInfo;
+  /// Token-bucket rate limit in events/second (bucket capacity = one
+  /// second's worth); 0 disables limiting. Suppressed lines are counted in
+  /// `dropped()` rather than blocking the caller.
+  uint64_t max_events_per_sec = 1000;
+  /// Microsecond clock; null uses the system wall clock. Injectable so the
+  /// rate limiter and timestamps are deterministic under test.
+  std::function<uint64_t()> clock_us;
+  /// Append JSON lines to this file as well (empty = ring only). Open
+  /// failure is recorded in `file_error()`, not fatal.
+  std::string file_path;
+  /// Lines retained in the in-memory ring.
+  size_t ring_size = 256;
+};
+
+/// Leveled, rate-limited JSON-lines logger. Thread-safe.
+class EventLog {
+ public:
+  explicit EventLog(EventLogOptions options = {});
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Emits `{"ts_us":N,"level":"info","event":"...",...fields}` if `level`
+  /// passes the gate and the rate limiter has a token.
+  void Log(LogLevel level, std::string_view event,
+           std::vector<LogField> fields = {});
+
+  /// Most recent lines, oldest first.
+  std::vector<std::string> recent() const;
+
+  /// Lines suppressed by the rate limiter so far.
+  uint64_t dropped() const;
+  /// Lines emitted (ring + file) so far.
+  uint64_t emitted() const;
+  /// OK unless the file sink failed to open.
+  const Status& file_error() const { return file_error_; }
+
+ private:
+  uint64_t NowUs() const;
+
+  const EventLogOptions options_;
+  std::FILE* file_ = nullptr;
+  Status file_error_;
+
+  mutable std::mutex mu_;
+  std::deque<std::string> ring_;    // guarded by mu_
+  double tokens_;                   // guarded by mu_
+  uint64_t last_refill_us_ = 0;     // guarded by mu_
+  uint64_t dropped_ = 0;            // guarded by mu_
+  uint64_t emitted_ = 0;            // guarded by mu_
+};
+
+/// One captured slow statement: identity, latency, routing method, and the
+/// full trace + EXPLAIN payloads as embedded JSON objects (empty = absent).
+struct SlowQueryEntry {
+  uint64_t ts_us = 0;       ///< wall-clock micros at completion
+  uint64_t latency_us = 0;  ///< end-to-end statement latency
+  std::string client;       ///< X-Client-Id ("" for library callers)
+  std::string method;       ///< answer method, e.g. "lifted", "dpll"
+  std::string statement;    ///< the SQL / UCQ text as received
+  std::string trace_json;   ///< TraceData::ToJson payload, or empty
+  std::string explain_json;  ///< ExplainResult::ToJson payload, or empty
+};
+
+/// {"ts_us":N,"latency_us":N,"client":"...","method":"...",
+///  "statement":"...","trace":{...}|null,"explain":{...}|null}
+std::string SlowQueryEntryToJson(const SlowQueryEntry& entry);
+
+/// Strict inverse of `SlowQueryEntryToJson`; the embedded trace object (if
+/// present) must itself satisfy `TraceFromJson`. Malformed or truncated
+/// input is InvalidArgument.
+Result<SlowQueryEntry> SlowQueryEntryFromJson(const std::string& json);
+
+/// Bounded ring of slow statements. Thread-safe; shared by every session
+/// of a server so `/debug/slowlog` is one list.
+class SlowQueryLog {
+ public:
+  struct Options {
+    /// Capture threshold; statements at or above it are recorded.
+    uint64_t threshold_us = 0;
+    size_t ring_size = 64;
+    /// Mirror captured entries to this log (kWarn, event "slow_query").
+    EventLog* sink = nullptr;
+  };
+
+  explicit SlowQueryLog(Options options) : options_(options) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Records `entry` if `entry.latency_us >= threshold_us`. Returns whether
+  /// it was captured.
+  bool MaybeRecord(SlowQueryEntry entry);
+
+  /// Captured entries, newest first.
+  std::vector<SlowQueryEntry> entries() const;
+
+  uint64_t threshold_us() const { return options_.threshold_us; }
+  /// Entries ever captured (including those the ring has since evicted).
+  uint64_t total_captured() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> ring_;  // guarded by mu_, newest at front
+  uint64_t total_ = 0;               // guarded by mu_
+};
+
+}  // namespace pdb
+
+#endif  // PDB_OBS_LOG_H_

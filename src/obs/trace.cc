@@ -26,6 +26,20 @@ const char* TracePhaseName(TracePhase phase) {
       return "monte_carlo";
     case TracePhase::kCacheProbe:
       return "cache_probe";
+    case TracePhase::kWalAppend:
+      return "wal_append";
+    case TracePhase::kWalSync:
+      return "wal_sync";
+    case TracePhase::kCheckpoint:
+      return "checkpoint";
+    case TracePhase::kRecovery:
+      return "recovery";
+    case TracePhase::kAdmissionWait:
+      return "admission_wait";
+    case TracePhase::kHttpParse:
+      return "http_parse";
+    case TracePhase::kHttpRespond:
+      return "http_respond";
   }
   return "?";
 }
@@ -58,6 +72,17 @@ uint64_t QueryTrace::total_ns() const {
 void QueryTrace::AddSpan(Span span) {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(span));
+}
+
+void QueryTrace::RecordSpan(TracePhase phase, uint64_t start_ns,
+                            uint64_t duration_ns,
+                            std::vector<SpanCounter> counters) {
+  Span span;
+  span.phase = phase;
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
+  span.counters = std::move(counters);
+  AddSpan(std::move(span));
 }
 
 std::vector<QueryTrace::Span> QueryTrace::spans() const {

@@ -43,8 +43,15 @@ enum class TracePhase {
   kDpll,         ///< exact grounded WMC (DPLL search)
   kMonteCarlo,   ///< sampling fallback (naive MC or Karp-Luby)
   kCacheProbe,   ///< session result-cache lookup
+  kWalAppend,    ///< write-ahead-log record append (durable storage)
+  kWalSync,      ///< WAL fsync
+  kCheckpoint,   ///< snapshot write + WAL roll + retention GC
+  kRecovery,     ///< recovery replay during DurableDatabase::Open
+  kAdmissionWait,  ///< queueing for an admission slot (server)
+  kHttpParse,    ///< reading + parsing the HTTP request off the socket
+  kHttpRespond,  ///< rendering + writing the HTTP response
 };
-inline constexpr size_t kNumTracePhases = 8;
+inline constexpr size_t kNumTracePhases = 15;
 
 const char* TracePhaseName(TracePhase phase);
 
@@ -88,6 +95,19 @@ class QueryTrace {
 
   /// Total nanoseconds spent in `phase` (sum over its spans).
   uint64_t PhaseNs(TracePhase phase) const;
+
+  /// Nanoseconds since the trace's creation on its steady clock. Pair with
+  /// `RecordSpan` to note a start before the span's phase is known (e.g.
+  /// the server marks request arrival, then records the parse span only
+  /// once the request line has actually been read).
+  uint64_t NowNs() const { return SinceEpochNs(); }
+
+  /// Records an already-elapsed span retroactively: `[start_ns,
+  /// start_ns + duration_ns)` on the trace's own clock (see `NowNs`).
+  /// For phases whose extent is only known after the fact; live phases
+  /// should prefer the RAII `TraceSpan`.
+  void RecordSpan(TracePhase phase, uint64_t start_ns, uint64_t duration_ns,
+                  std::vector<SpanCounter> counters = {});
 
   /// Sum over spans not strictly contained in any other span — the
   /// per-phase breakdown of the end-to-end latency (nested spans, e.g. the

@@ -8,11 +8,15 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <utility>
+#include <vector>
 
+#include "exec/thread_pool.h"
 #include "sql/sql.h"
 #include "util/string_util.h"
 
@@ -27,6 +31,13 @@ uint64_t NowMicros() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t WallMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 
@@ -154,6 +165,18 @@ PdbServer::PdbServer(const ProbDatabase* db, ServerOptions options)
       options_(std::move(options)),
       admission_(options_.admission),
       sessions_(db, options_.sessions) {
+  if (!options_.log_file.empty() || options_.slow_query_ms > 0) {
+    EventLogOptions log_options;
+    log_options.file_path = options_.log_file;
+    event_log_ = std::make_unique<EventLog>(log_options);
+  }
+  if (options_.slow_query_ms > 0) {
+    SlowQueryLog::Options slow_options;
+    slow_options.threshold_us = options_.slow_query_ms * 1000;
+    slow_options.ring_size = options_.slow_query_ring;
+    slow_options.sink = event_log_.get();
+    slow_query_log_ = std::make_unique<SlowQueryLog>(slow_options);
+  }
   connections_accepted_ = metrics_.GetCounter("pdb_connections_accepted_total");
   connections_dropped_ = metrics_.GetCounter("pdb_connections_dropped_total");
   http_requests_ = metrics_.GetCounter("pdb_http_requests_total");
@@ -214,6 +237,11 @@ Status PdbServer::Start() {
     port_ = ntohs(bound.sin_port);
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (event_log_) {
+    event_log_->Log(LogLevel::kInfo, "server_start",
+                    {LogField::Str("host", options_.host),
+                     LogField::Uint("port", port_)});
+  }
   return Status::OK();
 }
 
@@ -285,17 +313,32 @@ void PdbServer::ServeConnection(uint64_t id, int fd) {
   char buffer[kRecvBufferBytes];
   uint64_t idle_ms = 0;
   bool keep_open = true;
+  // Per-request trace, created when the request's first bytes arrive so
+  // its epoch marks arrival: HandleRequest records [0, parse end) as the
+  // http_parse span.
+  std::shared_ptr<QueryTrace> request_trace;
 
   while (keep_open && !stopping_.load(std::memory_order_acquire)) {
     ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n > 0) {
       idle_ms = 0;
+      if (options_.trace_queries && request_trace == nullptr) {
+        request_trace = std::make_shared<QueryTrace>();
+      }
       HttpRequestParser::State state =
           parser.Feed(std::string_view(buffer, static_cast<size_t>(n)));
       while (state == HttpRequestParser::State::kComplete && keep_open) {
-        keep_open = HandleRequest(fd, parser.request());
+        keep_open = HandleRequest(fd, parser.request(),
+                                  std::move(request_trace));
+        request_trace = nullptr;
         parser.Reset();
         state = parser.state();
+        // A pipelined next request is already in flight: its bytes arrived
+        // with this batch, so its trace starts now.
+        if (options_.trace_queries &&
+            (state == HttpRequestParser::State::kComplete || !parser.idle())) {
+          request_trace = std::make_shared<QueryTrace>();
+        }
       }
       if (state == HttpRequestParser::State::kError) {
         http_parse_errors_->Add(1);
@@ -362,13 +405,19 @@ bool PdbServer::SendAll(int fd, std::string_view data) {
   return true;
 }
 
-bool PdbServer::HandleRequest(int fd, const HttpRequest& request) {
+bool PdbServer::HandleRequest(int fd, const HttpRequest& request,
+                              std::shared_ptr<QueryTrace> trace) {
   http_requests_->Add(1);
   uint64_t start_us = NowMicros();
+  // The trace's epoch is the arrival of the request's first bytes, so the
+  // elapsed time up to here is exactly the read + parse phase.
+  if (trace) {
+    trace->RecordSpan(TracePhase::kHttpParse, 0, trace->NowNs());
+  }
   bool keep_open;
   if (request.target == "/query") {
     keep_open = request.method == "POST"
-                    ? HandleQuery(fd, request)
+                    ? HandleQuery(fd, request, std::move(trace))
                     : SendError(fd, 405, "POST required", request.keep_alive);
   } else if (request.target == "/metrics") {
     keep_open = request.method == "GET"
@@ -382,6 +431,14 @@ bool PdbServer::HandleRequest(int fd, const HttpRequest& request) {
     keep_open = request.method == "GET"
                     ? HandleTraces(fd, request)
                     : SendError(fd, 405, "GET required", request.keep_alive);
+  } else if (request.target == "/debug/slowlog") {
+    keep_open = request.method == "GET"
+                    ? HandleSlowlog(fd, request)
+                    : SendError(fd, 405, "GET required", request.keep_alive);
+  } else if (request.target == "/debug/profile") {
+    keep_open = request.method == "GET"
+                    ? HandleProfile(fd, request)
+                    : SendError(fd, 405, "GET required", request.keep_alive);
   } else {
     keep_open = SendError(fd, 404, "no such endpoint", request.keep_alive);
   }
@@ -393,9 +450,18 @@ bool PdbServer::HandleHealthz(int fd, const HttpRequest& request) {
   bool draining = draining_.load(std::memory_order_acquire);
   int status = draining ? 503 : 200;
   CountResponse(status);
-  std::string response =
-      RenderHttpResponse(status, "text/plain", draining ? "draining\n" : "ok\n",
-                         request.keep_alive);
+#ifdef NDEBUG
+  const char* build = "release";
+#else
+  const char* build = "debug";
+#endif
+  std::string body = StrFormat(
+      "{\"status\":\"%s\",\"hardware_concurrency\":%zu,\"build\":\"%s\","
+      "\"data_dir_mode\":\"%s\"}\n",
+      draining ? "draining" : "ok", ThreadPool::HardwareThreads(), build,
+      JsonEscape(options_.data_dir_mode).c_str());
+  std::string response = RenderHttpResponse(status, "application/json", body,
+                                            request.keep_alive);
   return SendAll(fd, response) && request.keep_alive;
 }
 
@@ -441,7 +507,111 @@ bool PdbServer::HandleTraces(int fd, const HttpRequest& request) {
   return SendAll(fd, response) && request.keep_alive;
 }
 
-bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
+bool PdbServer::HandleSlowlog(int fd, const HttpRequest& request) {
+  std::string body;
+  if (slow_query_log_ == nullptr) {
+    body = "{\"enabled\":false,\"entries\":[]}\n";
+  } else {
+    body = StrFormat("{\"enabled\":true,\"threshold_us\":%llu,"
+                     "\"total_captured\":%llu,\"entries\":[",
+                     static_cast<unsigned long long>(
+                         slow_query_log_->threshold_us()),
+                     static_cast<unsigned long long>(
+                         slow_query_log_->total_captured()));
+    std::vector<SlowQueryEntry> entries = slow_query_log_->entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) body += ",";
+      body += SlowQueryEntryToJson(entries[i]);
+    }
+    body += "]}\n";
+  }
+  CountResponse(200);
+  std::string response =
+      RenderHttpResponse(200, "application/json", body, request.keep_alive);
+  return SendAll(fd, response) && request.keep_alive;
+}
+
+bool PdbServer::HandleProfile(int fd, const HttpRequest& request) {
+  // Aggregate every span duration across the sessions' recent traces (and
+  // the durable layer's IO trace) into per-phase latency profiles.
+  std::map<TracePhase, std::vector<uint64_t>> durations;
+  size_t traces_seen = 0;
+  sessions_.ForEachSession([&](const std::string&, Session& session) {
+    for (const auto& trace : session.recent_traces()) {
+      ++traces_seen;
+      for (const QueryTrace::Span& span : trace->spans()) {
+        durations[span.phase].push_back(span.duration_ns);
+      }
+    }
+  });
+  if (options_.io_trace != nullptr) {
+    ++traces_seen;
+    for (const QueryTrace::Span& span : options_.io_trace->spans()) {
+      durations[span.phase].push_back(span.duration_ns);
+    }
+  }
+  // Exact quantiles: the sample sets are small (bounded rings), so sort
+  // rather than approximate.
+  auto quantile = [](const std::vector<uint64_t>& sorted, double q) {
+    size_t index = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
+  };
+  std::string body = StrFormat("{\"traces\":%zu,\"phases\":[", traces_seen);
+  bool first = true;
+  for (auto& [phase, samples] : durations) {
+    std::sort(samples.begin(), samples.end());
+    uint64_t total = 0;
+    for (uint64_t d : samples) total += d;
+    body += StrFormat(
+        "%s{\"phase\":\"%s\",\"count\":%zu,\"total_ns\":%llu,"
+        "\"p50_ns\":%llu,\"p95_ns\":%llu,\"p99_ns\":%llu,\"max_ns\":%llu}",
+        first ? "" : ",", TracePhaseName(phase), samples.size(),
+        static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(quantile(samples, 0.50)),
+        static_cast<unsigned long long>(quantile(samples, 0.95)),
+        static_cast<unsigned long long>(quantile(samples, 0.99)),
+        static_cast<unsigned long long>(samples.back()));
+    first = false;
+  }
+  body += "]}\n";
+  CountResponse(200);
+  std::string response =
+      RenderHttpResponse(200, "application/json", body, request.keep_alive);
+  return SendAll(fd, response) && request.keep_alive;
+}
+
+void PdbServer::FinishQuery(Session* session, const std::string& client_id,
+                            const std::string& statement, const char* method,
+                            uint64_t start_us,
+                            const std::shared_ptr<QueryTrace>& trace) {
+  if (trace) trace->Finish();
+  uint64_t latency_us = NowMicros() - start_us;
+  if (slow_query_log_ == nullptr ||
+      latency_us < slow_query_log_->threshold_us()) {
+    return;
+  }
+  SlowQueryEntry entry;
+  entry.ts_us = WallMicros();
+  entry.latency_us = latency_us;
+  entry.client = client_id;
+  entry.method = method;
+  entry.statement = statement;
+  if (trace) entry.trace_json = TraceToJson(*trace);
+  // EXPLAIN payload: re-plan the statement (plan-only — cheap relative to
+  // a statement that just crossed the slow threshold) so the entry shows
+  // the routing verdict and the estimated join plan alongside the trace.
+  bool analyze = false;
+  std::string inner = statement;
+  StripExplainPrefix(statement, &analyze, &inner);
+  if (LooksLikeSql(inner)) {
+    auto explain = session->ExplainSql(inner, /*analyze=*/false);
+    if (explain.ok()) entry.explain_json = explain->ToJson();
+  }
+  slow_query_log_->MaybeRecord(std::move(entry));
+}
+
+bool PdbServer::HandleQuery(int fd, const HttpRequest& request,
+                            std::shared_ptr<QueryTrace> trace) {
   if (draining_.load(std::memory_order_acquire)) {
     return SendError(fd, 503, "server is draining", /*keep_alive=*/false);
   }
@@ -472,7 +642,9 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
   // Admission gate: the one place pdbd decides run-now vs shed. Shed
   // requests never touch the engine; they tick the session's
   // pdb_admission_rejected_total / pdb_shed_total and answer 429 fast.
+  TraceSpan admission_span(trace.get(), TracePhase::kAdmissionWait);
   AdmissionTicket ticket(&admission_);
+  admission_span.End();
   if (!ticket.admitted()) {
     if (ticket.decision() == AdmissionController::Decision::kShuttingDown) {
       return SendError(fd, 503, "server is draining", /*keep_alive=*/false);
@@ -497,6 +669,37 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
   std::string head = RenderHttpChunkedHead(200, "application/x-ndjson",
                                            request.keep_alive);
 
+  // EXPLAIN [ANALYZE] <sql>: answer with one JSON document (or the text
+  // rendering when the client sends Accept: text/plain).
+  bool analyze = false;
+  std::string explain_inner;
+  if (StripExplainPrefix(request.body, &analyze, &explain_inner)) {
+    if (!LooksLikeSql(explain_inner)) {
+      return SendError(fd, 400, "EXPLAIN requires a SQL SELECT statement",
+                       request.keep_alive);
+    }
+    Result<ExplainResult> explain =
+        session->ExplainSql(explain_inner, analyze, query_options);
+    if (!explain.ok()) {
+      return SendError(fd, StatusToHttp(explain.status()),
+                       explain.status().message(), request.keep_alive);
+    }
+    bool as_text = false;
+    if (const std::string* accept = request.FindHeader("accept")) {
+      as_text = accept->find("text/plain") != std::string::npos;
+    }
+    CountResponse(200);
+    std::string response = RenderHttpResponse(
+        200, as_text ? "text/plain" : "application/json",
+        as_text ? explain->ToText() : explain->ToJson() + "\n",
+        request.keep_alive);
+    TraceSpan respond_span(trace.get(), TracePhase::kHttpRespond);
+    bool sent = SendAll(fd, response);
+    respond_span.End();
+    if (trace) trace->Finish();
+    return sent && request.keep_alive;
+  }
+
   if (LooksLikeSql(request.body)) {
     Result<SqlSelect> parsed = ParseSql(request.body);
     if (!parsed.ok()) {
@@ -504,8 +707,9 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
     }
     if (parsed->boolean) {
       Result<QueryAnswer> answer =
-          session->QuerySqlBoolean(request.body, query_options);
+          session->QuerySqlBooleanTraced(request.body, query_options, trace);
       if (!answer.ok()) {
+        if (trace) trace->Finish();
         return SendError(fd, StatusToHttp(answer.status()),
                          answer.status().message(), request.keep_alive);
       }
@@ -516,12 +720,19 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
           "{\"done\":true,\"rows\":1,\"elapsed_us\":%llu}\n",
           static_cast<unsigned long long>(NowMicros() - start_us)));
       out += kHttpLastChunk;
-      return SendAll(fd, out) && request.keep_alive;
+      TraceSpan respond_span(trace.get(), TracePhase::kHttpRespond);
+      bool sent = SendAll(fd, out);
+      respond_span.End();
+      FinishQuery(session, client_id, request.body,
+                  InferenceMethodToString(answer->method), start_us, trace);
+      return sent && request.keep_alive;
     }
     std::vector<AnswerTupleInfo> info;
     Result<Relation> answers =
-        session->QuerySqlAnswers(request.body, query_options, &info);
+        session->QuerySqlAnswersTraced(request.body, query_options, &info,
+                                       trace);
     if (!answers.ok()) {
+      if (trace) trace->Finish();
       return SendError(fd, StatusToHttp(answers.status()),
                        answers.status().message(), request.keep_alive);
     }
@@ -529,6 +740,7 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
     // Stream per tuple: the head goes out first, then each answer row as
     // its own chunk, so a consumer sees rows as they serialize instead of
     // one monolithic buffer.
+    TraceSpan respond_span(trace.get(), TracePhase::kHttpRespond);
     if (!SendAll(fd, head)) return false;
     const Relation& relation = *answers;
     for (size_t i = 0; i < relation.size(); ++i) {
@@ -542,12 +754,17 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
         "{\"done\":true,\"rows\":%zu,\"elapsed_us\":%llu}\n", relation.size(),
         static_cast<unsigned long long>(NowMicros() - start_us)));
     tail += kHttpLastChunk;
-    return SendAll(fd, tail) && request.keep_alive;
+    bool sent = SendAll(fd, tail);
+    respond_span.End();
+    FinishQuery(session, client_id, request.body, "answers", start_us, trace);
+    return sent && request.keep_alive;
   }
 
   // Not SQL: Boolean FO sentence / datalog-style UCQ shorthand.
-  Result<QueryAnswer> answer = session->Query(request.body, query_options);
+  Result<QueryAnswer> answer =
+      session->QueryTraced(request.body, query_options, trace);
   if (!answer.ok()) {
+    if (trace) trace->Finish();
     return SendError(fd, StatusToHttp(answer.status()),
                      answer.status().message(), request.keep_alive);
   }
@@ -558,12 +775,23 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request) {
       StrFormat("{\"done\":true,\"rows\":1,\"elapsed_us\":%llu}\n",
                 static_cast<unsigned long long>(NowMicros() - start_us)));
   out += kHttpLastChunk;
-  return SendAll(fd, out) && request.keep_alive;
+  TraceSpan respond_span(trace.get(), TracePhase::kHttpRespond);
+  bool sent = SendAll(fd, out);
+  respond_span.End();
+  FinishQuery(session, client_id, request.body,
+              InferenceMethodToString(answer->method), start_us, trace);
+  return sent && request.keep_alive;
 }
 
 void PdbServer::Shutdown() {
   if (!started_.load(std::memory_order_acquire)) return;
   if (shut_down_.exchange(true)) return;
+
+  if (event_log_ != nullptr) {
+    event_log_->Log(LogLevel::kInfo, "server_shutdown",
+                    {LogField::Uint("in_flight",
+                                    admission_.stats().in_flight)});
+  }
 
   // Phase 1: stop taking new work. The listener closes and the admission
   // gate refuses every new query (503 to clients), while requests already

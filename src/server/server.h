@@ -41,7 +41,9 @@
 #include <vector>
 
 #include "core/pdb.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/admission.h"
 #include "server/http.h"
 #include "server/session_pool.h"
@@ -81,12 +83,31 @@ struct ServerOptions {
   uint64_t idle_timeout_ms = 30'000;
   HttpLimits http;
   /// Record a per-phase QueryTrace for every query (feeds /debug/traces).
+  /// The trace covers the whole request: http_parse (first byte to parsed
+  /// request), admission_wait, the engine phases, and http_respond.
   bool trace_queries = true;
   /// Extra registry merged into the /metrics exposition (not owned; must
   /// outlive the server). pdbd points this at the durable layer's registry
   /// so WAL/recovery/checkpoint/component-store metrics ride the same
   /// scrape as the engine tickers.
   const MetricsRegistry* extra_metrics = nullptr;
+  /// Slow-query threshold in milliseconds (`pdbd --slow-query-ms`); 0
+  /// disables the slow-query log. Statements at or above it are captured
+  /// with their full trace and an EXPLAIN payload into the ring served by
+  /// GET /debug/slowlog, and mirrored to the event log.
+  uint64_t slow_query_ms = 0;
+  /// Capacity of the slow-query ring.
+  size_t slow_query_ring = 64;
+  /// Append the structured JSON-lines event log to this file
+  /// (`pdbd --log-file`); empty keeps it in-memory only.
+  std::string log_file;
+  /// Storage mode reported by /healthz: "memory" or "durable" (pdbd sets
+  /// it when a --data-dir is mounted).
+  std::string data_dir_mode = "memory";
+  /// Durable layer's IO trace (WAL append/sync, checkpoint, recovery
+  /// spans), aggregated into GET /debug/profile. Not owned; must outlive
+  /// the server. Null when storage is in-memory.
+  const QueryTrace* io_trace = nullptr;
 };
 
 class PdbServer {
@@ -120,6 +141,11 @@ class PdbServer {
   AdmissionController& admission() { return admission_; }
   /// Listener-side metrics (connections, HTTP status classes, latency).
   MetricsRegistry& metrics() { return metrics_; }
+  /// The structured event log, or null when neither --log-file nor the
+  /// slow-query log asked for one.
+  EventLog* event_log() { return event_log_.get(); }
+  /// The slow-query ring, or null when `slow_query_ms == 0`.
+  SlowQueryLog* slow_query_log() { return slow_query_log_.get(); }
 
  private:
   struct Connection {
@@ -130,12 +156,24 @@ class PdbServer {
   void AcceptLoop();
   void ServeConnection(uint64_t id, int fd);
   /// Dispatches one parsed request; returns false when the connection
-  /// should close afterwards.
-  bool HandleRequest(int fd, const HttpRequest& request);
-  bool HandleQuery(int fd, const HttpRequest& request);
+  /// should close afterwards. `trace` (may be null) was created when the
+  /// request's first bytes arrived and carries the http_parse span.
+  bool HandleRequest(int fd, const HttpRequest& request,
+                     std::shared_ptr<QueryTrace> trace);
+  bool HandleQuery(int fd, const HttpRequest& request,
+                   std::shared_ptr<QueryTrace> trace);
   bool HandleMetrics(int fd, const HttpRequest& request);
   bool HandleHealthz(int fd, const HttpRequest& request);
   bool HandleTraces(int fd, const HttpRequest& request);
+  bool HandleSlowlog(int fd, const HttpRequest& request);
+  bool HandleProfile(int fd, const HttpRequest& request);
+  /// Finishes a query's trace and, when the statement crossed the
+  /// slow-query threshold, captures it (trace + EXPLAIN payload) into the
+  /// slow-query log.
+  void FinishQuery(Session* session, const std::string& client_id,
+                   const std::string& statement, const char* method,
+                   uint64_t start_us,
+                   const std::shared_ptr<QueryTrace>& trace);
   /// Renders and sends a JSON error body; returns `keep_alive`.
   bool SendError(int fd, int status, const std::string& message,
                  bool keep_alive,
@@ -150,6 +188,8 @@ class PdbServer {
   ServerOptions options_;
   AdmissionController admission_;
   SessionPool sessions_;
+  std::unique_ptr<EventLog> event_log_;
+  std::unique_ptr<SlowQueryLog> slow_query_log_;
 
   MetricsRegistry metrics_;
   Counter* connections_accepted_;

@@ -336,6 +336,51 @@ Result<SqlSelect> ParseSql(const std::string& text) {
   return parser.Parse();
 }
 
+bool StripExplainPrefix(const std::string& text, bool* analyze,
+                        std::string* rest) {
+  // Match one identifier word at `i`, case-insensitively.
+  auto match_word = [&text](size_t i, const char* word, size_t* end) {
+    size_t j = i;
+    const char* w = word;
+    while (*w != '\0') {
+      if (j >= text.size() ||
+          std::toupper(static_cast<unsigned char>(text[j])) != *w) {
+        return false;
+      }
+      ++j;
+      ++w;
+    }
+    // Word boundary: the next character must not extend the identifier.
+    if (j < text.size() && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                            text[j] == '_')) {
+      return false;
+    }
+    *end = j;
+    return true;
+  };
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  size_t after = 0;
+  if (!match_word(i, "EXPLAIN", &after)) return false;
+  i = after;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  bool saw_analyze = match_word(i, "ANALYZE", &after);
+  if (saw_analyze) i = after;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  *analyze = saw_analyze;
+  *rest = text.substr(i);
+  return true;
+}
+
 Result<CompiledSql> CompileSql(const SqlSelect& select, const Database& db) {
   // Slot layout: one variable slot per (FROM entry, column).
   struct TableInfo {

@@ -74,6 +74,14 @@ struct SqlSelect {
 /// Parses the SELECT block (no schema checks yet).
 Result<SqlSelect> ParseSql(const std::string& text);
 
+/// Detects a leading `EXPLAIN [ANALYZE]` prefix (case-insensitive, token
+/// boundaries respected). Returns true when the prefix is present, setting
+/// `*analyze` and storing the remaining statement in `*rest`; returns
+/// false (outputs untouched) otherwise. The parser proper never sees the
+/// prefix: EXPLAIN is a wrapper around a statement, not part of one.
+bool StripExplainPrefix(const std::string& text, bool* analyze,
+                        std::string* rest);
+
 /// A compiled query: the Boolean CQ plus the head variables corresponding
 /// to the select list (empty for SELECT PROB()).
 struct CompiledSql {

@@ -158,6 +158,11 @@ bool DecodeRelation(std::string_view* in, Relation* out) {
   return true;
 }
 
+// Per-phase cap on wal_append / wal_sync spans kept in the IO trace: the
+// first N syncs characterize the latency distribution for /debug/profile
+// without letting a long-lived server grow the span vector unboundedly.
+constexpr uint64_t kMaxIoSpansPerPhase = 256;
+
 }  // namespace
 
 Result<SyncMode> ParseSyncMode(const std::string& text) {
@@ -182,6 +187,12 @@ DurableDatabase::DurableDatabase(std::string data_dir,
   checkpoints_ = metrics_.GetCounter("pdb_checkpoints_total");
   wmc_store_spills_ = metrics_.GetCounter("pdb_wmc_store_spills_total");
   wmc_store_loaded_ = metrics_.GetCounter("pdb_wmc_store_loaded_total");
+  checkpoint_duration_us_ =
+      metrics_.GetCounter("pdb_checkpoint_duration_us_total");
+  // Named per convention for fsync-latency histograms; the log2 buckets
+  // record MICROSECONDS (a seconds-resolution histogram would collapse
+  // every fsync into bucket 0).
+  wal_sync_seconds_ = metrics_.GetHistogram("pdb_wal_sync_seconds");
   wmc_store_entries_ = metrics_.GetGauge("pdb_wmc_store_entries");
   last_seq_gauge_ = metrics_.GetGauge("pdb_data_last_seq");
   relations_gauge_ = metrics_.GetGauge("pdb_data_relations");
@@ -202,6 +213,7 @@ Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
 
 Status DurableDatabase::Recover() {
   std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t recover_start = io_trace_.NowNs();
   PDB_RETURN_NOT_OK(env_->CreateDirIfMissing(dir_));
   std::vector<std::string> children;
   {
@@ -260,6 +272,11 @@ Status DurableDatabase::Recover() {
   last_seq_gauge_->Set(static_cast<int64_t>(last_seq_));
   relations_gauge_->Set(
       static_cast<int64_t>(pdb_.database().RelationNames().size()));
+  io_trace_.RecordSpan(
+      TracePhase::kRecovery, recover_start,
+      io_trace_.NowNs() - recover_start,
+      {{"replayed_records", recovery_.replayed_records},
+       {"segments_replayed", recovery_.segments_replayed}});
   return Status::OK();
 }
 
@@ -426,18 +443,32 @@ Status DurableDatabase::LogThenApplyLocked(
     return Status::FailedPrecondition(
         "database is read-only after an I/O error: " + io_error_.ToString());
   }
+  const uint64_t append_start = io_trace_.NowNs();
   Status status = wal_->AddRecord(payload);
   if (!status.ok()) {
     SetIoErrorLocked(status);
     return status;
   }
+  if (wal_append_spans_.fetch_add(1, std::memory_order_relaxed) <
+      kMaxIoSpansPerPhase) {
+    io_trace_.RecordSpan(TracePhase::kWalAppend, append_start,
+                         io_trace_.NowNs() - append_start,
+                         {{"bytes", payload.size()}});
+  }
   wal_records_->Add(1);
   wal_bytes_->Add(payload.size());
   if (options_.sync_mode == SyncMode::kAlways) {
+    const uint64_t sync_start = io_trace_.NowNs();
     status = wal_file_->Sync();
     if (!status.ok()) {
       SetIoErrorLocked(status);
       return status;
+    }
+    const uint64_t sync_ns = io_trace_.NowNs() - sync_start;
+    wal_sync_seconds_->Record(sync_ns / 1'000);  // microseconds
+    if (wal_sync_spans_.fetch_add(1, std::memory_order_relaxed) <
+        kMaxIoSpansPerPhase) {
+      io_trace_.RecordSpan(TracePhase::kWalSync, sync_start, sync_ns);
     }
     wal_syncs_->Add(1);
   }
@@ -518,6 +549,7 @@ Status DurableDatabase::CheckpointLocked() {
         "database is read-only after an I/O error: " + io_error_.ToString());
   }
   const uint64_t seq = last_seq_;
+  const uint64_t checkpoint_start = io_trace_.NowNs();
   const std::string final_name = SnapshotName(seq);
   const std::string tmp_path = JoinPath(dir_, final_name + ".tmp");
 
@@ -567,6 +599,10 @@ Status DurableDatabase::CheckpointLocked() {
   if (!status.ok()) return fail(status);
   records_since_checkpoint_ = 0;
   checkpoints_->Add(1);
+  const uint64_t checkpoint_ns = io_trace_.NowNs() - checkpoint_start;
+  checkpoint_duration_us_->Add(checkpoint_ns / 1'000);
+  io_trace_.RecordSpan(TracePhase::kCheckpoint, checkpoint_start,
+                       checkpoint_ns, {{"snapshot_seq", seq}});
   last_synced_seq_ = last_seq_;
 
   // Retention GC: keep the `retain_checkpoints` newest snapshots (the one
@@ -628,10 +664,17 @@ Status DurableDatabase::SyncWal() {
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return Status::FailedPrecondition("database is closed");
   if (!io_error_.ok()) return io_error_;
+  const uint64_t sync_start = io_trace_.NowNs();
   Status status = wal_file_->Sync();
   if (!status.ok()) {
     SetIoErrorLocked(status);
     return status;
+  }
+  const uint64_t sync_ns = io_trace_.NowNs() - sync_start;
+  wal_sync_seconds_->Record(sync_ns / 1'000);  // microseconds
+  if (wal_sync_spans_.fetch_add(1, std::memory_order_relaxed) <
+      kMaxIoSpansPerPhase) {
+    io_trace_.RecordSpan(TracePhase::kWalSync, sync_start, sync_ns);
   }
   wal_syncs_->Add(1);
   last_synced_seq_ = last_seq_;

@@ -44,6 +44,7 @@
 #ifndef PDB_STORAGE_DURABLE_DB_H_
 #define PDB_STORAGE_DURABLE_DB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -54,6 +55,7 @@
 
 #include "core/pdb.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/env.h"
 #include "storage/wal.h"
 #include "wmc/wmc_cache.h"
@@ -166,6 +168,13 @@ class DurableDatabase {
   /// registry into its /metrics exposition.
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Storage-side IO trace: the recovery-replay span from Open, plus
+  /// wal_append / wal_sync spans (capped — the ring keeps the totals
+  /// honest while bounding memory) and checkpoint spans. pdbd points
+  /// `ServerOptions::io_trace` here so GET /debug/profile folds storage
+  /// latency into the same per-phase percentiles as query phases.
+  const QueryTrace& io_trace() const { return io_trace_; }
+
  private:
   DurableDatabase(std::string data_dir, const DurableOptions& options);
 
@@ -197,9 +206,18 @@ class DurableDatabase {
   Counter* checkpoints_;
   Counter* wmc_store_spills_;
   Counter* wmc_store_loaded_;
+  Counter* checkpoint_duration_us_;
+  Histogram* wal_sync_seconds_;
   Gauge* wmc_store_entries_;
   Gauge* last_seq_gauge_;
   Gauge* relations_gauge_;
+
+  /// IO spans (recovery / wal_append / wal_sync / checkpoint). QueryTrace
+  /// is internally synchronized; per-phase span counts are capped in the
+  /// .cc so a long-lived server does not grow this without bound.
+  QueryTrace io_trace_;
+  std::atomic<uint64_t> wal_append_spans_{0};
+  std::atomic<uint64_t> wal_sync_spans_{0};
 
   mutable std::mutex mu_;
   std::unique_ptr<WritableFile> wal_file_;       // guarded by mu_

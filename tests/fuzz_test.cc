@@ -20,6 +20,8 @@
 #include "kc/trace_compiler.h"
 #include "lifted/lifted.h"
 #include "logic/parser.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "test_common.h"
 #include "util/string_util.h"
 #include "wmc/dpll.h"
@@ -469,6 +471,144 @@ TEST_P(WalReaderFuzz, ArbitraryGarbageNeverCrashesTheReader) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WalReaderFuzz,
                          ::testing::Range<uint64_t>(0, 12));
+
+// ---------------------------------------------------------------------
+// Observability JSON readers: TraceFromJson and SlowQueryEntryFromJson are
+// strict parsers over operator-controlled input (/debug payloads, log
+// files). Any truncation, bit flip, or garbage must produce a clean
+// InvalidArgument — never a crash or a hang — and well-formed documents
+// must round-trip byte-identically.
+
+/// A representative trace document with every shape the writer emits:
+/// multiple spans, empty and multi-entry counter lists, escaped names.
+std::string BuildTraceJson(Rng* rng) {
+  TraceData data;
+  data.total_ns = rng->Uniform(1'000'000'000);
+  size_t spans = rng->Uniform(6);
+  for (size_t i = 0; i < spans; ++i) {
+    QueryTrace::Span span;
+    span.phase = static_cast<TracePhase>(rng->Uniform(kNumTracePhases));
+    span.start_ns = rng->Uniform(1'000'000);
+    span.duration_ns = rng->Uniform(1'000'000);
+    size_t counters = rng->Uniform(3);
+    for (size_t c = 0; c < counters; ++c) {
+      std::string name;
+      size_t len = 1 + rng->Uniform(8);
+      for (size_t k = 0; k < len; ++k) {
+        name.push_back(static_cast<char>(rng->Uniform(256)));
+      }
+      span.counters.push_back({std::move(name), rng->Uniform(1u << 30)});
+    }
+    data.spans.push_back(std::move(span));
+  }
+  return data.ToJson();
+}
+
+std::string BuildSlowEntryJson(Rng* rng) {
+  SlowQueryEntry entry;
+  entry.ts_us = rng->Uniform(1u << 30);
+  entry.latency_us = rng->Uniform(1u << 20);
+  auto random_text = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng->Uniform(max_len);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng->Uniform(256)));
+    }
+    return s;
+  };
+  entry.client = random_text(12);
+  entry.method = random_text(12);
+  entry.statement = random_text(40);
+  if (rng->Bernoulli(0.6)) entry.trace_json = BuildTraceJson(rng);
+  return SlowQueryEntryToJson(entry);
+}
+
+class ObsJsonFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObsJsonFuzz, WellFormedDocumentsRoundTrip) {
+  Rng rng(GetParam() * 0x2545F4914F6CDD1DULL + 21);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::string trace_json = BuildTraceJson(&rng);
+    auto trace = TraceFromJson(trace_json);
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    EXPECT_EQ(trace->ToJson(), trace_json);
+
+    std::string entry_json = BuildSlowEntryJson(&rng);
+    auto entry = SlowQueryEntryFromJson(entry_json);
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    EXPECT_EQ(SlowQueryEntryToJson(*entry), entry_json);
+  }
+}
+
+TEST_P(ObsJsonFuzz, TruncationIsRejectedNeverACrash) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ULL + 5);
+  std::string trace_json = BuildTraceJson(&rng);
+  std::string entry_json = BuildSlowEntryJson(&rng);
+  for (size_t cut = 0; cut < trace_json.size(); ++cut) {
+    EXPECT_FALSE(TraceFromJson(trace_json.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  for (size_t cut = 0; cut < entry_json.size(); ++cut) {
+    EXPECT_FALSE(SlowQueryEntryFromJson(entry_json.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST_P(ObsJsonFuzz, MutatedDocumentsNeverCrashAndStableWhenAccepted) {
+  Rng rng(GetParam() * 6364136223846793005ULL + 31);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::string doc =
+        rng.Bernoulli(0.5) ? BuildTraceJson(&rng) : BuildSlowEntryJson(&rng);
+    size_t edits = 1 + rng.Uniform(4);
+    for (size_t e = 0; e < edits; ++e) {
+      if (doc.empty()) break;
+      size_t pos = rng.Uniform(doc.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          doc[pos] = static_cast<char>(doc[pos] ^ (1u << rng.Uniform(8)));
+          break;
+        case 1:
+          doc.erase(pos, 1);
+          break;
+        default:
+          doc.insert(pos, 1, static_cast<char>(rng.Uniform(256)));
+          break;
+      }
+    }
+    // Either parser may accept or reject the mutant; if accepted, the
+    // re-serialization must itself parse (no half-valid states escape).
+    auto trace = TraceFromJson(doc);
+    if (trace.ok()) {
+      EXPECT_TRUE(TraceFromJson(trace->ToJson()).ok());
+    }
+    auto entry = SlowQueryEntryFromJson(doc);
+    if (entry.ok()) {
+      EXPECT_TRUE(
+          SlowQueryEntryFromJson(SlowQueryEntryToJson(*entry)).ok());
+    }
+  }
+}
+
+TEST_P(ObsJsonFuzz, ArbitraryGarbageIsRejected) {
+  Rng rng(GetParam() * 1181783497276652981ULL + 13);
+  for (int trial = 0; trial < 24; ++trial) {
+    size_t size = rng.Uniform(512);
+    std::string garbage(size, '\0');
+    uint64_t flavor = rng.Uniform(3);
+    for (char& c : garbage) {
+      c = flavor == 0
+              ? static_cast<char>(rng.Uniform(256))
+              : static_cast<char>("{}[]\",:0123456789"[rng.Uniform(17)]);
+    }
+    // Must terminate and must not crash; acceptance of pure garbage is
+    // effectively impossible for these fixed-key-order grammars.
+    (void)TraceFromJson(garbage);
+    (void)SlowQueryEntryFromJson(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObsJsonFuzz,
+                         ::testing::Range<uint64_t>(0, 8));
 
 }  // namespace
 }  // namespace pdb

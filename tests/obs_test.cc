@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -18,6 +21,7 @@
 
 #include "core/pdb.h"
 #include "core/session.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "test_common.h"
@@ -198,6 +202,7 @@ MetricsRegistry* GoldenRegistry() {
     auto* r = new MetricsRegistry();
     r->GetCounter("pdb_queries_total")->Add(3);
     r->GetCounter("pdb_admission_rejected_total")->Add(2);
+    r->GetCounter("pdb_checkpoint_duration_us_total")->Add(1500);
     r->GetCounter("pdb_index_builds_total")->Add(4);
     r->GetCounter("pdb_index_cache_hits_total")->Add(12);
     r->GetCounter("pdb_lineage_matches_total")->Add(7);
@@ -213,6 +218,10 @@ MetricsRegistry* GoldenRegistry() {
     h->Record(1);
     h->Record(5);
     h->Record(1024);
+    // WAL fsync latency (recorded in microseconds; see durable_db.cc).
+    Histogram* ws = r->GetHistogram("pdb_wal_sync_seconds");
+    ws->Record(120);
+    ws->Record(450);
     return r;
   }();
   return reg;
@@ -617,6 +626,178 @@ TEST(TraceTest, TopLevelSpansCoverEndToEndWithinTenPercent) {
   EXPECT_LE(top, total);
   EXPECT_GE(static_cast<double>(top), 0.9 * static_cast<double>(total))
       << answer->trace->ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Event log + slow-query log
+// ---------------------------------------------------------------------------
+
+TEST(EventLogTest, EmitsJsonLinesWithFields) {
+  uint64_t now = 1'000'000;
+  EventLogOptions opts;
+  opts.clock_us = [&] { return now; };
+  EventLog log(opts);
+  log.Log(LogLevel::kInfo, "server_start",
+          {LogField::Str("host", "127.0.0.1"), LogField::Uint("port", 8080),
+           LogField::Double("load", 0.5)});
+  auto lines = log.recent();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ts_us\":1000000"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"event\":\"server_start\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"host\":\"127.0.0.1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"port\":8080"), std::string::npos);
+  EXPECT_EQ(log.emitted(), 1u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLogTest, LevelGateDropsBelowMinimum) {
+  EventLogOptions opts;
+  opts.min_level = LogLevel::kWarn;
+  EventLog log(opts);
+  log.Log(LogLevel::kDebug, "noise");
+  log.Log(LogLevel::kInfo, "chatter");
+  log.Log(LogLevel::kWarn, "trouble");
+  log.Log(LogLevel::kError, "fire");
+  auto lines = log.recent();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("trouble"), std::string::npos);
+  EXPECT_NE(lines[1].find("fire"), std::string::npos);
+}
+
+TEST(EventLogTest, RateLimiterRefillsWithInjectedClock) {
+  uint64_t now = 0;
+  EventLogOptions opts;
+  opts.max_events_per_sec = 2;
+  opts.clock_us = [&] { return now; };
+  EventLog log(opts);
+  log.Log(LogLevel::kInfo, "a");
+  log.Log(LogLevel::kInfo, "b");
+  log.Log(LogLevel::kInfo, "c");  // bucket empty: suppressed
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  now += 1'000'000;  // one second refills the bucket
+  log.Log(LogLevel::kInfo, "d");
+  EXPECT_EQ(log.emitted(), 3u);
+  EXPECT_EQ(log.dropped(), 1u);
+}
+
+TEST(EventLogTest, RingEvictsOldestFirst) {
+  EventLogOptions opts;
+  opts.ring_size = 2;
+  opts.max_events_per_sec = 0;  // unlimited
+  EventLog log(opts);
+  log.Log(LogLevel::kInfo, "one");
+  log.Log(LogLevel::kInfo, "two");
+  log.Log(LogLevel::kInfo, "three");
+  auto lines = log.recent();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("two"), std::string::npos);
+  EXPECT_NE(lines[1].find("three"), std::string::npos);
+  EXPECT_EQ(log.emitted(), 3u);
+}
+
+TEST(EventLogTest, AppendsToFileSink) {
+  std::string path =
+      ::testing::TempDir() + "/event_log_test_" +
+      std::to_string(static_cast<uint64_t>(::getpid())) + ".jsonl";
+  std::remove(path.c_str());
+  {
+    EventLogOptions opts;
+    opts.file_path = path;
+    EventLog log(opts);
+    ASSERT_TRUE(log.file_error().ok()) << log.file_error().ToString();
+    log.Log(LogLevel::kInfo, "first");
+    log.Log(LogLevel::kWarn, "second");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"second\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLogTest, EntryJsonRoundTrips) {
+  QueryTrace trace;
+  trace.RecordSpan(TracePhase::kDpll, 10, 20, {{"decisions", 3}});
+  trace.Finish();
+
+  SlowQueryEntry entry;
+  entry.ts_us = 1722000000000000ull;
+  entry.latency_us = 52'417;
+  entry.client = "tenant-\"7\"";
+  entry.method = "grounded-exact";
+  entry.statement = "SELECT PROB() FROM R, S WHERE R.x = S.x";
+  entry.trace_json = TraceToJson(trace);
+
+  std::string json = SlowQueryEntryToJson(entry);
+  auto parsed = SlowQueryEntryFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ts_us, entry.ts_us);
+  EXPECT_EQ(parsed->latency_us, entry.latency_us);
+  EXPECT_EQ(parsed->client, entry.client);
+  EXPECT_EQ(parsed->method, entry.method);
+  EXPECT_EQ(parsed->statement, entry.statement);
+  EXPECT_EQ(parsed->trace_json, entry.trace_json);
+  EXPECT_EQ(parsed->explain_json, "");
+  // Re-serialization is byte-identical.
+  EXPECT_EQ(SlowQueryEntryToJson(*parsed), json);
+}
+
+TEST(SlowQueryLogTest, MalformedEntriesAreRejected) {
+  const char* bad[] = {
+      "",
+      "{",
+      "{}",
+      "{\"ts_us\":1}",
+      "{\"ts_us\":1,\"latency_us\":2,\"client\":\"\",\"method\":\"\","
+      "\"statement\":\"q\",\"trace\":{\"bogus\":1},\"explain\":null}",
+      "{\"ts_us\":-1,\"latency_us\":2,\"client\":\"\",\"method\":\"\","
+      "\"statement\":\"q\",\"trace\":null,\"explain\":null}",
+  };
+  for (const char* json : bad) {
+    SCOPED_TRACE(json);
+    EXPECT_FALSE(SlowQueryEntryFromJson(json).ok());
+  }
+}
+
+TEST(SlowQueryLogTest, ThresholdGateAndRingBound) {
+  EventLog sink;
+  SlowQueryLog::Options opts;
+  opts.threshold_us = 1000;
+  opts.ring_size = 2;
+  opts.sink = &sink;
+  SlowQueryLog log(opts);
+
+  SlowQueryEntry fast;
+  fast.latency_us = 999;
+  fast.statement = "fast";
+  EXPECT_FALSE(log.MaybeRecord(fast));
+  EXPECT_EQ(log.total_captured(), 0u);
+  EXPECT_TRUE(sink.recent().empty());
+
+  for (uint64_t i = 0; i < 3; ++i) {
+    SlowQueryEntry slow;
+    slow.latency_us = 1000 + i;
+    slow.statement = "slow-" + std::to_string(i);
+    EXPECT_TRUE(log.MaybeRecord(slow));
+  }
+  EXPECT_EQ(log.total_captured(), 3u);
+  auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 2u);  // ring bound
+  EXPECT_EQ(entries[0].statement, "slow-2");  // newest first
+  EXPECT_EQ(entries[1].statement, "slow-1");
+
+  // Captured entries mirror to the sink as warn-level slow_query events.
+  auto mirrored = sink.recent();
+  ASSERT_EQ(mirrored.size(), 3u);
+  EXPECT_NE(mirrored[0].find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(mirrored[0].find("\"event\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(mirrored[0].find("slow-0"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -22,10 +22,14 @@
 #include <vector>
 
 #include "core/pdb.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "server/admission.h"
 #include "server/http.h"
 #include "server/server.h"
 #include "server/session_pool.h"
+#include "storage/durable_db.h"
+#include "storage/env.h"
 #include "test_common.h"
 #include "util/random.h"
 
@@ -423,7 +427,11 @@ TEST_F(ServerEndToEndTest, HealthzAndUnknownRoutes) {
   StartServer();
   TestResponse health = Fetch(server_->port(), "GET", "/healthz");
   EXPECT_EQ(health.status, 200);
-  EXPECT_EQ(health.body, "ok\n");
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"hardware_concurrency\":"), std::string::npos);
+  EXPECT_NE(health.body.find("\"build\":"), std::string::npos);
+  EXPECT_NE(health.body.find("\"data_dir_mode\":\"memory\""),
+            std::string::npos);
   EXPECT_EQ(Fetch(server_->port(), "GET", "/nope").status, 404);
   EXPECT_EQ(Fetch(server_->port(), "GET", "/query").status, 405);
   EXPECT_EQ(Fetch(server_->port(), "POST", "/metrics").status, 405);
@@ -682,6 +690,219 @@ TEST_F(ServerEndToEndTest, ScrapersRaceServingWithShutdownMidFlight) {
   std::string metrics = server_->MetricsText();
   std::string want = "pdb_queries_total " + std::to_string(total_queries);
   EXPECT_NE(metrics.find(want), std::string::npos) << metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection: EXPLAIN over HTTP, /debug/slowlog, /debug/profile, and the
+// full-stack trace-coverage acceptance bar.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerEndToEndTest, ExplainAnalyzeOverHttpReturnsPlanAndText) {
+  StartServer();
+  // Plain EXPLAIN: plan only, nothing executed, JSON by default.
+  TestResponse plain =
+      Fetch(server_->port(), "POST", "/query", {},
+            "EXPLAIN SELECT PROB() FROM R, S WHERE R.x = S.x");
+  ASSERT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.headers["content-type"], "application/json");
+  EXPECT_NE(plain.body.find("\"analyze\":false"), std::string::npos);
+  EXPECT_NE(plain.body.find("\"method_predicted\":true"), std::string::npos);
+  EXPECT_NE(plain.body.find("\"method\":\"lifted\""), std::string::npos);
+  EXPECT_NE(plain.body.find("\"estimated_rows\":"), std::string::npos);
+  EXPECT_EQ(plain.body.find("\"probability\":"), std::string::npos);
+
+  // EXPLAIN ANALYZE: executed, with estimate-vs-actual and a trace.
+  TestResponse analyze =
+      Fetch(server_->port(), "POST", "/query", {},
+            "EXPLAIN ANALYZE SELECT PROB() FROM R, S WHERE R.x = S.x");
+  ASSERT_EQ(analyze.status, 200);
+  EXPECT_NE(analyze.body.find("\"analyze\":true"), std::string::npos);
+  EXPECT_NE(analyze.body.find("\"probability\":"), std::string::npos);
+  EXPECT_NE(analyze.body.find("\"actual_rows\":"), std::string::npos);
+  EXPECT_NE(analyze.body.find("\"trace\":{\"total_ns\":"), std::string::npos);
+
+  // Accept: text/plain renders the human-readable form instead.
+  TestResponse text =
+      Fetch(server_->port(), "POST", "/query", {{"Accept", "text/plain"}},
+            "EXPLAIN ANALYZE SELECT PROB() FROM R, S WHERE R.x = S.x");
+  ASSERT_EQ(text.status, 200);
+  EXPECT_EQ(text.headers["content-type"], "text/plain");
+  EXPECT_NE(text.body.find("EXPLAIN ANALYZE"), std::string::npos);
+
+  // EXPLAIN requires SQL: the UCQ shorthand is rejected up front.
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/query", {}, "EXPLAIN R(x)")
+                .status,
+            400);
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/query", {},
+                  "EXPLAIN SELECT PROB() FROM NoSuchTable")
+                .status,
+            400);
+}
+
+TEST_F(ServerEndToEndTest, SlowlogDisabledByDefault) {
+  StartServer();
+  TestResponse resp = Fetch(server_->port(), "GET", "/debug/slowlog");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"enabled\":false"), std::string::npos);
+  EXPECT_EQ(Fetch(server_->port(), "POST", "/debug/slowlog").status, 405);
+}
+
+TEST_F(ServerEndToEndTest, SlowQueryLogCapturesStatementAndTrace) {
+  ServerOptions options;
+  options.slow_query_ms = 1;
+  options.max_deadline_ms = 10'000;
+  // 120 lineage variables: exact DPLL burns the whole 100ms budget before
+  // the Monte Carlo fallback, so the query is guaranteed >> 1ms.
+  StartServer(options, /*db_size=*/10);
+  const std::string slow_sql =
+      "SELECT PROB() FROM R, S, T WHERE R.x = S.x AND S.y = T.y "
+      "WITH STDERR 0.05";
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query",
+                  {{"X-Deadline-Ms", "100"}, {"X-Client-Id", "turtle"}},
+                  slow_sql)
+                .status,
+            200);
+
+  TestResponse resp = Fetch(server_->port(), "GET", "/debug/slowlog");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"threshold_us\":1000"), std::string::npos);
+  // The captured entry carries the statement, the client, the full trace,
+  // and an explain payload for the offending statement.
+  EXPECT_NE(resp.body.find("WITH STDERR 0.05"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"client\":\"turtle\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"trace\":{\"total_ns\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"explain\":{"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"latency_us\":"), std::string::npos);
+
+  // Every ring entry round-trips through the strict parser.
+  ASSERT_NE(server_->slow_query_log(), nullptr);
+  for (const SlowQueryEntry& entry : server_->slow_query_log()->entries()) {
+    Result<SlowQueryEntry> parsed =
+        SlowQueryEntryFromJson(SlowQueryEntryToJson(entry));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->statement, entry.statement);
+    EXPECT_EQ(parsed->latency_us, entry.latency_us);
+  }
+}
+
+TEST_F(ServerEndToEndTest, DebugProfileAggregatesPhaseLatencies) {
+  StartServer();
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {},
+                  "SELECT PROB() FROM R, S WHERE R.x = S.x")
+                .status,
+            200);
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {},
+                  "SELECT R.x FROM R, S WHERE R.x = S.x")
+                .status,
+            200);
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {}, "R(x), S(x,y), T(y)")
+                .status,
+            200);
+
+  TestResponse resp = Fetch(server_->port(), "GET", "/debug/profile");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"phases\":["), std::string::npos);
+  EXPECT_NE(resp.body.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"p95_ns\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"p99_ns\":"), std::string::npos);
+  // Engine phases and the server's own phases land in the same profile.
+  EXPECT_NE(resp.body.find("\"phase\":\"parse\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"phase\":\"http_parse\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"phase\":\"http_respond\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"phase\":\"admission_wait\""), std::string::npos);
+}
+
+TEST_F(ServerEndToEndTest, DurableWorkloadTraceCoverageAtLeastNinetyPercent) {
+  // The ISSUE acceptance bar: on a durable server workload, top-level
+  // spans must cover >= 90% of each query's wall clock, and the storage
+  // layer's IO trace must fold into /debug/profile.
+  MemEnv env;
+  DurableOptions dopts;
+  dopts.env = &env;
+  auto opened = DurableDatabase::Open("/db", dopts);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  DurableDatabase* durable = opened->get();
+
+  // Load the bipartite TID through the logged mutators so WAL append and
+  // sync spans come from real writes.
+  Rng rng(11);
+  auto prob = [&] { return 0.1 + 0.8 * rng.NextDouble(); };
+  ASSERT_TRUE(
+      durable->CreateRelation("R", Schema({{"x", ValueType::kInt}})).ok());
+  ASSERT_TRUE(durable
+                  ->CreateRelation("S", Schema({{"x", ValueType::kInt},
+                                                {"y", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(
+      durable->CreateRelation("T", Schema({{"y", ValueType::kInt}})).ok());
+  constexpr int64_t n = 6;
+  for (int64_t i = 1; i <= n; ++i) {
+    ASSERT_TRUE(durable->Insert("R", {Value(i)}, prob()).ok());
+    ASSERT_TRUE(durable->Insert("T", {Value(i)}, prob()).ok());
+    for (int64_t j = 1; j <= n; ++j) {
+      ASSERT_TRUE(durable->Insert("S", {Value(i), Value(j)}, prob()).ok());
+    }
+  }
+  ASSERT_TRUE(durable->Checkpoint().ok());
+
+  ServerOptions options;
+  options.data_dir_mode = "durable";
+  options.io_trace = &durable->io_trace();
+  server_ = std::make_unique<PdbServer>(&durable->pdb(), options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // A DPLL-heavy workload: engine time dominates the wall clock, so the
+  // instrumented phases must account for (nearly) all of it.
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {},
+                  "SELECT PROB() FROM R, S, T WHERE R.x = S.x AND S.y = T.y")
+                .status,
+            200);
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {},
+                  "SELECT PROB() FROM R, S WHERE R.x = S.x")
+                .status,
+            200);
+  ASSERT_EQ(Fetch(server_->port(), "POST", "/query", {},
+                  "SELECT R.x FROM R, S WHERE R.x = S.x")
+                .status,
+            200);
+
+  uint64_t covered = 0;
+  uint64_t total = 0;
+  size_t traces = 0;
+  server_->sessions().ForEachSession([&](const std::string&, Session& s) {
+    for (const auto& trace : s.recent_traces()) {
+      ++traces;
+      covered += trace->TopLevelNs();
+      total += trace->total_ns();
+    }
+  });
+  ASSERT_GE(traces, 3u);
+  ASSERT_GT(total, 0u);
+  EXPECT_GE(static_cast<double>(covered), 0.9 * static_cast<double>(total))
+      << "top-level spans cover " << covered << " of " << total << " ns";
+
+  // The storage side recorded recovery, WAL, and checkpoint spans...
+  const QueryTrace& io = durable->io_trace();
+  EXPECT_GT(io.PhaseNs(TracePhase::kRecovery), 0u);
+  EXPECT_GT(io.PhaseNs(TracePhase::kWalAppend), 0u);
+  EXPECT_GT(io.PhaseNs(TracePhase::kWalSync), 0u);
+  EXPECT_GT(io.PhaseNs(TracePhase::kCheckpoint), 0u);
+
+  // ... and /debug/profile folds them into the per-phase percentiles.
+  TestResponse profile = Fetch(server_->port(), "GET", "/debug/profile");
+  ASSERT_EQ(profile.status, 200);
+  EXPECT_NE(profile.body.find("\"phase\":\"wal_append\""), std::string::npos);
+  EXPECT_NE(profile.body.find("\"phase\":\"checkpoint\""), std::string::npos);
+  EXPECT_NE(profile.body.find("\"phase\":\"recovery\""), std::string::npos);
+
+  TestResponse health = Fetch(server_->port(), "GET", "/healthz");
+  EXPECT_NE(health.body.find("\"data_dir_mode\":\"durable\""),
+            std::string::npos);
+
+  server_->Shutdown();
+  server_.reset();
+  ASSERT_TRUE(durable->Close().ok());
 }
 
 }  // namespace

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
 #include "core/pdb.h"
+#include "core/session.h"
+#include "sql/explain.h"
 #include "sql/sql.h"
 #include "test_common.h"
 
@@ -202,6 +208,257 @@ TEST(SqlQueryTest, SqlMatchesUcqPath) {
   ASSERT_TRUE(via_sql.ok());
   ASSERT_TRUE(via_ucq.ok());
   EXPECT_NEAR(via_sql->probability, via_ucq->probability, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN [ANALYZE]
+// ---------------------------------------------------------------------------
+
+TEST(ExplainPrefixTest, StripsExplainAndOptionalAnalyze) {
+  bool analyze = true;
+  std::string rest;
+  ASSERT_TRUE(
+      StripExplainPrefix("EXPLAIN SELECT PROB() FROM R", &analyze, &rest));
+  EXPECT_FALSE(analyze);
+  EXPECT_EQ(rest, "SELECT PROB() FROM R");
+
+  ASSERT_TRUE(StripExplainPrefix("  explain analyze  select x from R",
+                                 &analyze, &rest));
+  EXPECT_TRUE(analyze);
+  EXPECT_EQ(rest, "select x from R");
+
+  // Not EXPLAIN: untouched, returns false.
+  EXPECT_FALSE(StripExplainPrefix("SELECT PROB() FROM R", &analyze, &rest));
+  // An identifier that merely begins with the keyword is not the keyword.
+  EXPECT_FALSE(StripExplainPrefix("EXPLAINX SELECT 1", &analyze, &rest));
+  // ANALYZE alone (no EXPLAIN) is not a prefix either.
+  EXPECT_FALSE(StripExplainPrefix("ANALYZE SELECT 1", &analyze, &rest));
+  // "EXPLAIN ANALYZER ..." keeps ANALYZER as part of the statement.
+  ASSERT_TRUE(StripExplainPrefix("EXPLAIN ANALYZER bogus", &analyze, &rest));
+  EXPECT_FALSE(analyze);
+  EXPECT_EQ(rest, "ANALYZER bogus");
+}
+
+/// n-wide uniform bipartite database: R(x) 1..n, S(x,y) the full n x n
+/// grid, T(y) 1..n. The independence assumption behind the cost model
+/// holds exactly, so per-step estimates should track actuals.
+Database UniformJoinDb(int n) {
+  Database db;
+  Relation r("R", Schema({{"x", ValueType::kInt}}));
+  Relation s("S", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+  Relation t("T", Schema({{"y", ValueType::kInt}}));
+  for (int i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(int64_t{i})}, 0.5).ok());
+    PDB_CHECK(t.AddTuple({Value(int64_t{i})}, 0.5).ok());
+    for (int j = 1; j <= n; ++j) {
+      PDB_CHECK(s.AddTuple({Value(int64_t{i}), Value(int64_t{j})}, 0.5).ok());
+    }
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+/// Planted correlation: S holds n pairs but every one of them has x = 1,
+/// so dividing |S| by distinct(S.x) = 1 predicts n rows per upstream R
+/// binding while all but x = 1 produce zero.
+Database CorrelatedJoinDb(int n) {
+  Database db;
+  Relation r("R", Schema({{"x", ValueType::kInt}}));
+  Relation s("S", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+  Relation t("T", Schema({{"y", ValueType::kInt}}));
+  for (int i = 1; i <= n; ++i) {
+    PDB_CHECK(r.AddTuple({Value(int64_t{i})}, 0.5).ok());
+    PDB_CHECK(t.AddTuple({Value(int64_t{i})}, 0.5).ok());
+    PDB_CHECK(s.AddTuple({Value(int64_t{1}), Value(int64_t{i})}, 0.5).ok());
+  }
+  PDB_CHECK(db.AddRelation(std::move(r)).ok());
+  PDB_CHECK(db.AddRelation(std::move(s)).ok());
+  PDB_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+const char* kJoinSql =
+    "SELECT PROB() FROM R, S, T WHERE R.x = S.x AND S.y = T.y";
+
+/// Cumulative estimated cardinality after step `s`: step estimates are
+/// per upstream partial match, so the running product is the prediction
+/// comparable to the executor's per-step entered-row counts.
+double CumulativeEstimate(const JoinPlanProfile& plan, size_t s) {
+  double cum = 1.0;
+  for (size_t i = 0; i <= s && i < plan.steps.size(); ++i) {
+    if (plan.steps[i].estimated_rows < 0) return -1.0;
+    cum *= plan.steps[i].estimated_rows;
+  }
+  return cum;
+}
+
+TEST(ExplainTest, PlainExplainPredictsWithoutExecuting) {
+  ProbDatabase pdb(UniformJoinDb(4));
+  Session session(&pdb, {.num_threads = 1});
+  auto explain = session.ExplainSql(kJoinSql, /*analyze=*/false);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_FALSE(explain->analyze);
+  EXPECT_FALSE(explain->executed);
+  EXPECT_TRUE(explain->method_predicted);
+  // R(x), S(x,y), T(y) is the H0 non-hierarchical pattern: unsafe.
+  EXPECT_FALSE(explain->safe);
+  EXPECT_EQ(explain->method, "grounded-exact");
+  ASSERT_EQ(explain->plans.size(), 1u);
+  const JoinPlanProfile& plan = explain->plans[0];
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_FALSE(plan.executed);
+  for (const JoinStepProfile& step : plan.steps) {
+    EXPECT_GT(step.relation_rows, 0u);
+    EXPECT_GE(step.estimated_rows, 0.0);
+    EXPECT_EQ(step.actual_rows, 0u);
+  }
+  std::string text = explain->ToText();
+  EXPECT_NE(text.find("routing: grounded-exact (predicted)"),
+            std::string::npos);
+  EXPECT_NE(text.find("(not executed)"), std::string::npos);
+  std::string json = explain->ToJson();
+  EXPECT_NE(json.find("\"executed\":false"), std::string::npos);
+  EXPECT_EQ(json.find("\"probability\""), std::string::npos);
+}
+
+TEST(ExplainTest, SafeQueryRoutesLifted) {
+  ProbDatabase pdb(UniformJoinDb(3));
+  Session session(&pdb, {.num_threads = 1});
+  auto explain =
+      session.ExplainSql("SELECT PROB() FROM R, S WHERE R.x = S.x", false);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_TRUE(explain->safe);
+  EXPECT_EQ(explain->method, "lifted");
+  EXPECT_NE(explain->safety.find("safe"), std::string::npos);
+}
+
+TEST(ExplainTest, AnalyzeExecutesAndAgreesWithExecReport) {
+  ProbDatabase pdb(UniformJoinDb(4));
+  Session session(&pdb, {.num_threads = 1});
+
+  auto direct = session.QuerySqlBoolean(kJoinSql);
+  ASSERT_TRUE(direct.ok());
+
+  auto explain = session.ExplainSql(kJoinSql, /*analyze=*/true);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_TRUE(explain->analyze);
+  EXPECT_TRUE(explain->executed);
+  EXPECT_FALSE(explain->method_predicted);
+  EXPECT_NEAR(explain->probability, direct->probability, 1e-12);
+  EXPECT_TRUE(explain->exact);
+
+  // Differential check against the engine's own counters: the executed
+  // plan's match count is the final step's entered-row count and equals
+  // what the ExecReport saw as lineage matches.
+  ASSERT_EQ(explain->plans.size(), 1u);
+  const JoinPlanProfile& plan = explain->plans[0];
+  ASSERT_TRUE(plan.executed);
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_EQ(plan.matches, plan.steps.back().actual_rows);
+  EXPECT_EQ(plan.matches, explain->report.lineage_matches);
+  EXPECT_GT(explain->report.lineage_nodes, 0u);
+
+  // Phase timings made it into the payload.
+  EXPECT_GT(explain->trace.total_ns, 0u);
+  EXPECT_FALSE(explain->trace.spans.empty());
+  std::string text = explain->ToText();
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text.find("probability:"), std::string::npos);
+  EXPECT_NE(text.find("trace: total"), std::string::npos);
+}
+
+TEST(ExplainTest, AnalyzeBypassesResultCache) {
+  ProbDatabase pdb(UniformJoinDb(4));
+  Session session(&pdb, {.num_threads = 1});
+  // Warm the result cache, then confirm ANALYZE still executes the join
+  // (a cache hit would leave no executed plan to report).
+  ASSERT_TRUE(session.QuerySqlBoolean(kJoinSql).ok());
+  ASSERT_TRUE(session.QuerySqlBoolean(kJoinSql).ok());
+  EXPECT_GE(session.result_cache_hits(), 1u);
+  auto explain = session.ExplainSql(kJoinSql, /*analyze=*/true);
+  ASSERT_TRUE(explain.ok());
+  ASSERT_EQ(explain->plans.size(), 1u);
+  EXPECT_TRUE(explain->plans[0].executed);
+  EXPECT_GT(explain->plans[0].matches, 0u);
+}
+
+TEST(ExplainTest, AnalyzeAnswersQueryReportsTuples) {
+  ProbDatabase pdb(UniformJoinDb(3));
+  Session session(&pdb, {.num_threads = 1});
+  auto explain = session.ExplainSql(
+      "SELECT R.x FROM R, S WHERE R.x = S.x", /*analyze=*/true);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_FALSE(explain->boolean);
+  EXPECT_TRUE(explain->executed);
+  EXPECT_EQ(explain->answer_tuples, 3u);
+  std::string text = explain->ToText();
+  EXPECT_NE(text.find("answers: 3 tuples"), std::string::npos);
+}
+
+TEST(ExplainTest, UniformDataEstimatesTrackActuals) {
+  ProbDatabase pdb(UniformJoinDb(6));
+  Session session(&pdb, {.num_threads = 1});
+  auto explain = session.ExplainSql(kJoinSql, /*analyze=*/true);
+  ASSERT_TRUE(explain.ok());
+  ASSERT_EQ(explain->plans.size(), 1u);
+  const JoinPlanProfile& plan = explain->plans[0];
+  ASSERT_TRUE(plan.executed);
+  // Independence holds exactly here, so every cumulative estimate must be
+  // within a constant factor of the observed per-step row count.
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    double estimate = CumulativeEstimate(plan, s);
+    double actual = static_cast<double>(plan.steps[s].actual_rows);
+    ASSERT_GE(estimate, 0.0);
+    ASSERT_GT(actual, 0.0);
+    EXPECT_LE(estimate / actual, 2.0) << "step " << s;
+    EXPECT_GE(estimate / actual, 0.5) << "step " << s;
+  }
+}
+
+TEST(ExplainTest, CorrelatedDataDivergenceIsReportedNotHidden) {
+  const int n = 20;
+  ProbDatabase pdb(CorrelatedJoinDb(n));
+  Session session(&pdb, {.num_threads = 1});
+  auto explain = session.ExplainSql(kJoinSql, /*analyze=*/true);
+  ASSERT_TRUE(explain.ok());
+  ASSERT_EQ(explain->plans.size(), 1u);
+  const JoinPlanProfile& plan = explain->plans[0];
+  ASSERT_TRUE(plan.executed);
+  // The skewed S column breaks the independence assumption: somewhere the
+  // cumulative estimate and the actual count diverge by at least 5x...
+  double worst = 1.0;
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    double estimate = CumulativeEstimate(plan, s);
+    double actual =
+        std::max(1.0, static_cast<double>(plan.steps[s].actual_rows));
+    if (estimate < 0) continue;
+    worst = std::max(worst,
+                     std::max(estimate / actual, actual / estimate));
+  }
+  EXPECT_GE(worst, 5.0);
+  // ...and both numbers appear side by side in the rendering rather than
+  // the estimate being replaced by the observed value.
+  std::string json = explain->ToJson();
+  EXPECT_NE(json.find("\"estimated_rows\":"), std::string::npos);
+  EXPECT_NE(json.find("\"actual_rows\":"), std::string::npos);
+  bool some_step_diverges = false;
+  for (const JoinStepProfile& step : plan.steps) {
+    if (step.estimated_rows >= 0 &&
+        std::abs(step.estimated_rows -
+                 static_cast<double>(step.actual_rows)) > 1e-9) {
+      some_step_diverges = true;
+    }
+  }
+  EXPECT_TRUE(some_step_diverges);
+}
+
+TEST(ExplainTest, RejectsUnparseableSql) {
+  ProbDatabase pdb(UniformJoinDb(2));
+  Session session(&pdb, {.num_threads = 1});
+  EXPECT_FALSE(session.ExplainSql("SELECT FROM nothing", false).ok());
+  EXPECT_FALSE(session.ExplainSql("not sql at all", true).ok());
 }
 
 }  // namespace

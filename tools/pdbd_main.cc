@@ -9,6 +9,7 @@
 ///        [--wmc-spill-ms N]
 ///        [--max-concurrent N] [--max-queue N] [--queue-timeout-ms N]
 ///        [--max-deadline-ms N] [--drain-timeout-ms N]
+///        [--slow-query-ms N] [--log-file PATH]
 ///
 /// SCHEMA is a comma-separated attribute list "name:type" with type one of
 /// int, double, string, e.g. "src:int,dst:int". CSV files carry the data
@@ -32,6 +33,11 @@
 /// clean shutdown), and `--retain-checkpoints` (default 1) keeps that many
 /// newest snapshots — plus the WAL segments needed to recover from the
 /// oldest one — when the checkpoint garbage-collects old files.
+///
+/// `--slow-query-ms N` captures every statement at or above N ms — full
+/// per-phase trace plus an EXPLAIN payload — into the ring served by
+/// GET /debug/slowlog. `--log-file PATH` appends the structured
+/// JSON-lines event log (server lifecycle + slow queries) to PATH.
 ///
 /// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 /// in-flight queries, cancel stragglers, spill + checkpoint (when
@@ -134,6 +140,7 @@ int Usage(const char* argv0) {
       "          [--max-concurrent N] [--max-queue N] "
       "[--queue-timeout-ms N]\n"
       "          [--max-deadline-ms N] [--drain-timeout-ms N]\n"
+      "          [--slow-query-ms N] [--log-file PATH]\n"
       "SCHEMA example: \"src:int,dst:int\" (CSV rows end with a "
       "probability column)\n",
       argv0);
@@ -225,6 +232,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--drain-timeout-ms") {
       if (!next_uint(&value)) return Usage(argv[0]);
       options.drain_timeout_ms = value;
+    } else if (arg == "--slow-query-ms") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      options.slow_query_ms = value;
+    } else if (arg == "--log-file" && i + 1 < argc) {
+      options.log_file = argv[++i];
     } else {
       return Usage(argv[0]);
     }
@@ -267,6 +279,8 @@ int main(int argc, char** argv) {
     }
     options.sessions.session.external_wmc_cache = warm_cache;
     options.extra_metrics = &durable->metrics();
+    options.data_dir_mode = "durable";
+    options.io_trace = &durable->io_trace();
   }
 
   // A mutation goes through the WAL when durable; relations that already
