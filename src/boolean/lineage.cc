@@ -332,14 +332,19 @@ struct CompiledJoin {
 };
 
 // Greedy cost-based ordering: at each step pick the atom with the
-// smallest estimated result cardinality under the classic independence
-// assumption — relation size divided by the distinct-value count of every
-// bound column (constants plus variables bound by already-ordered atoms).
-// Distinct counts come from the columnar dictionaries (`stats`, aligned
-// with `atoms`). Ties break towards more bound positions (a tighter
-// probe), then the smaller relation, then syntactic position — all
-// deterministic. When `stats` is empty (callers that skipped the
-// dictionaries) the estimate degrades to the old bound-count greedy.
+// smallest estimated result cardinality — relation size divided by the
+// distinct-value count of the bound columns (constants plus variables
+// bound by already-ordered atoms). With two or more bound columns the
+// divisor is the *composite* distinct count (DistinctComposite over the
+// columnar image — the same statistic ColumnarIndex's buckets expose), so
+// correlated key pairs are not overestimated the way the classic
+// independence product would; a composite that overflows 64 bits falls
+// back to the per-column product. Distinct counts come from the columnar
+// dictionaries (`stats`, aligned with `atoms`). Ties break towards more
+// bound positions (a tighter probe), then the smaller relation, then
+// syntactic position — all deterministic. When `stats` is empty (callers
+// that skipped the dictionaries) the estimate degrades to the old
+// bound-count greedy.
 std::vector<size_t> OrderAtoms(
     const std::vector<Atom>& atoms, const std::vector<const Relation*>& rels,
     const std::vector<std::shared_ptr<const ColumnarRelation>>& stats,
@@ -353,6 +358,10 @@ std::vector<size_t> OrderAtoms(
   const bool have_stats = stats.size() == atoms.size();
   std::vector<bool> chosen(atoms.size(), false);
   std::map<std::string, bool> bound_vars;
+  // Composite distinct counts are O(rows) scans; memoize per (atom, bound
+  // column set) since the same set recurs across ordering steps.
+  std::vector<std::map<std::vector<size_t>, size_t>> composite_memo(
+      atoms.size());
   for (size_t step = 0; step < atoms.size(); ++step) {
     size_t best = atoms.size();
     double best_est = 0.0;
@@ -361,14 +370,29 @@ std::vector<size_t> OrderAtoms(
     for (size_t i = 0; i < atoms.size(); ++i) {
       if (chosen[i]) continue;
       size_t bound = 0;
-      double est = static_cast<double>(rels[i]->size());
+      std::vector<size_t> bound_cols;
       for (size_t j = 0; j < atoms[i].args.size(); ++j) {
         const Term& t = atoms[i].args[j];
         if (!t.is_constant() && !bound_vars.count(t.var())) continue;
         ++bound;
-        if (have_stats) {
-          size_t distinct = stats[i]->distinct(j);
-          est = distinct > 0 ? est / static_cast<double>(distinct) : 0.0;
+        bound_cols.push_back(j);
+      }
+      double est = static_cast<double>(rels[i]->size());
+      if (have_stats && !bound_cols.empty()) {
+        size_t composite = 0;
+        if (bound_cols.size() >= 2) {
+          auto [it, inserted] = composite_memo[i].try_emplace(bound_cols, 0);
+          if (inserted) it->second = DistinctComposite(*stats[i], bound_cols);
+          composite = it->second;
+        }
+        if (composite > 0) {
+          est /= static_cast<double>(composite);
+        } else {
+          // Single bound column, or composite overflow: independence.
+          for (size_t j : bound_cols) {
+            size_t distinct = stats[i]->distinct(j);
+            est = distinct > 0 ? est / static_cast<double>(distinct) : 0.0;
+          }
         }
       }
       bool better;

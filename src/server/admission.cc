@@ -19,13 +19,34 @@ size_t ResolveMaxConcurrent(size_t requested) {
 AdmissionController::AdmissionController(AdmissionOptions options)
     : max_concurrent_(ResolveMaxConcurrent(options.max_concurrent)),
       max_queue_(options.max_queue),
-      queue_timeout_ms_(options.queue_timeout_ms) {}
+      queue_timeout_ms_(options.queue_timeout_ms),
+      max_per_client_(options.max_per_client) {}
 
-AdmissionController::Decision AdmissionController::Admit() {
+void AdmissionController::DropClientLocked(const std::string& client_id) {
+  if (max_per_client_ == 0) return;
+  auto it = per_client_.find(client_id);
+  if (it != per_client_.end() && --it->second == 0) per_client_.erase(it);
+}
+
+AdmissionController::Decision AdmissionController::Admit(
+    const std::string& client_id) {
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) {
     shed_shutdown_total_ += 1;
     return Decision::kShuttingDown;
+  }
+  // Per-client fairness first: a client over its cap is refused instantly
+  // and never takes a queue position, so the queue stays available to
+  // everyone else. Occupancy counts queued requests too — the cap bounds
+  // how much of the server one client id can tie up, not just how much it
+  // can execute.
+  if (max_per_client_ > 0) {
+    size_t& occupancy = per_client_[client_id];
+    if (occupancy >= max_per_client_) {
+      shed_client_limit_total_ += 1;
+      return Decision::kShedClientLimit;
+    }
+    occupancy += 1;
   }
   if (in_flight_ < max_concurrent_) {
     in_flight_ += 1;
@@ -36,6 +57,7 @@ AdmissionController::Decision AdmissionController::Admit() {
   // waiting so the rejection path costs one mutex acquisition.
   if (queued_ >= max_queue_) {
     shed_queue_full_total_ += 1;
+    DropClientLocked(client_id);
     return Decision::kShedQueueFull;
   }
   queued_ += 1;
@@ -47,10 +69,12 @@ AdmissionController::Decision AdmissionController::Admit() {
   queued_ -= 1;
   if (shutdown_) {
     shed_shutdown_total_ += 1;
+    DropClientLocked(client_id);
     return Decision::kShuttingDown;
   }
   if (!got_slot) {
     shed_timeout_total_ += 1;
+    DropClientLocked(client_id);
     return Decision::kShedTimeout;
   }
   in_flight_ += 1;
@@ -58,10 +82,11 @@ AdmissionController::Decision AdmissionController::Admit() {
   return Decision::kAdmitted;
 }
 
-void AdmissionController::Release() {
+void AdmissionController::Release(const std::string& client_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     in_flight_ -= 1;
+    DropClientLocked(client_id);
   }
   slot_available_.notify_one();
 }
@@ -81,6 +106,7 @@ AdmissionStats AdmissionController::stats() const {
   stats.shed_queue_full = shed_queue_full_total_;
   stats.shed_timeout = shed_timeout_total_;
   stats.shed_shutdown = shed_shutdown_total_;
+  stats.shed_client_limit = shed_client_limit_total_;
   stats.in_flight = in_flight_;
   stats.queued = queued_;
   return stats;

@@ -19,6 +19,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 namespace pdb {
 
@@ -33,6 +36,11 @@ struct AdmissionOptions {
   /// shed (`kShedTimeout`). Keeping this short bounds queueing delay: under
   /// sustained overload the queue sheds instead of growing latency.
   uint64_t queue_timeout_ms = 250;
+  /// Per-client fairness cap: at most this many requests from one client
+  /// id may occupy slots or queue positions at once; the excess is refused
+  /// instantly (`kShedClientLimit`) without consuming queue capacity, so a
+  /// chatty client cannot starve the rest. 0 = unlimited.
+  size_t max_per_client = 0;
 };
 
 /// Running totals, readable without stopping traffic.
@@ -41,6 +49,7 @@ struct AdmissionStats {
   uint64_t shed_queue_full = 0;
   uint64_t shed_timeout = 0;
   uint64_t shed_shutdown = 0;
+  uint64_t shed_client_limit = 0;
   size_t in_flight = 0;  ///< currently executing
   size_t queued = 0;     ///< currently waiting for a slot
 };
@@ -53,19 +62,21 @@ class AdmissionController {
  public:
   enum class Decision {
     kAdmitted,
-    kShedQueueFull,  ///< wait queue at capacity — refused instantly
-    kShedTimeout,    ///< queued, but no slot freed within queue_timeout_ms
-    kShuttingDown,   ///< Shutdown() was called; no new work
+    kShedQueueFull,    ///< wait queue at capacity — refused instantly
+    kShedTimeout,      ///< queued, but no slot freed within queue_timeout_ms
+    kShedClientLimit,  ///< this client is over max_per_client — refused
+    kShuttingDown,     ///< Shutdown() was called; no new work
   };
 
   explicit AdmissionController(AdmissionOptions options = {});
 
   /// Blocks at most `options.queue_timeout_ms` (and not at all when the
-  /// queue is full or the controller is shut down).
-  Decision Admit();
+  /// queue is full, this client is over its cap, or the controller is
+  /// shut down). Pass the same `client_id` to the matching `Release`.
+  Decision Admit(const std::string& client_id = {});
 
   /// Releases one execution slot, waking a queued waiter if any.
-  void Release();
+  void Release(const std::string& client_id = {});
 
   /// Refuses all future admissions and wakes every queued waiter (they
   /// return `kShuttingDown`). In-flight work is unaffected — the server
@@ -81,9 +92,15 @@ class AdmissionController {
   uint64_t RetryAfterSeconds() const;
 
  private:
+  /// Decrements `client_id`'s occupancy (slots + queue positions), erasing
+  /// the entry at zero so the map stays bounded by live clients. Caller
+  /// holds mu_.
+  void DropClientLocked(const std::string& client_id);
+
   const size_t max_concurrent_;
   const size_t max_queue_;
   const uint64_t queue_timeout_ms_;
+  const size_t max_per_client_;
 
   mutable std::mutex mu_;
   std::condition_variable slot_available_;
@@ -94,15 +111,21 @@ class AdmissionController {
   uint64_t shed_queue_full_total_ = 0;
   uint64_t shed_timeout_total_ = 0;
   uint64_t shed_shutdown_total_ = 0;
+  uint64_t shed_client_limit_total_ = 0;
+  /// Per-client occupancy (executing + queued). guarded by mu_.
+  std::unordered_map<std::string, size_t> per_client_;
 };
 
 /// RAII pairing of Admit/Release.
 class AdmissionTicket {
  public:
-  explicit AdmissionTicket(AdmissionController* controller)
-      : controller_(controller), decision_(controller->Admit()) {}
+  explicit AdmissionTicket(AdmissionController* controller,
+                           std::string client_id = {})
+      : controller_(controller),
+        client_id_(std::move(client_id)),
+        decision_(controller->Admit(client_id_)) {}
   ~AdmissionTicket() {
-    if (admitted()) controller_->Release();
+    if (admitted()) controller_->Release(client_id_);
   }
   AdmissionTicket(const AdmissionTicket&) = delete;
   AdmissionTicket& operator=(const AdmissionTicket&) = delete;
@@ -114,6 +137,7 @@ class AdmissionTicket {
 
  private:
   AdmissionController* controller_;
+  std::string client_id_;
   AdmissionController::Decision decision_;
 };
 

@@ -150,19 +150,23 @@ HttpRequestParser::State HttpRequestParser::Parse() {
     if (request_.FindHeader("transfer-encoding") != nullptr) {
       return Fail(501, "Transfer-Encoding requests are not supported");
     }
-    body_length_ = 0;
+    // The streaming decision is made here, at head completion and BEFORE
+    // the body limit check: a bulk-ingest request is budgeted against the
+    // (much larger) streaming limit and its body is never buffered whole.
+    const bool stream = stream_predicate_ && stream_predicate_(request_);
+    uint64_t declared_length = 0;
     if (const std::string* cl = request_.FindHeader("content-length")) {
-      uint64_t length = 0;
       // Parse with a UINT64 ceiling so an over-limit (but well-formed)
       // length is distinguishable from garbage: the former is 413, the
       // latter 400.
-      if (!ParseDecimal(*cl, UINT64_MAX, &length)) {
+      if (!ParseDecimal(*cl, UINT64_MAX, &declared_length)) {
         return Fail(400, "malformed Content-Length");
       }
-      if (length > limits_.max_body_bytes) {
+      const uint64_t limit = stream ? limits_.max_stream_body_bytes
+                                    : limits_.max_body_bytes;
+      if (declared_length > limit) {
         return Fail(413, "request body exceeds limit");
       }
-      body_length_ = static_cast<size_t>(length);
     }
 
     request_.keep_alive = request_.version == "HTTP/1.1";
@@ -173,8 +177,25 @@ HttpRequestParser::State HttpRequestParser::Parse() {
 
     body_offset_ = head_end + terminator_len;
     head_done_ = true;
+    if (stream) {
+      // Streaming mode: drop the head from the buffer so TakeBodyChunk
+      // can hand out body bytes straight from the front. kComplete is
+      // reached only when the caller has taken the final byte.
+      streaming_ = true;
+      stream_remaining_ = declared_length;
+      buffer_.erase(0, body_offset_);
+      body_offset_ = 0;
+      body_length_ = 0;
+      if (stream_remaining_ == 0) {
+        consumed_ = 0;
+        state_ = State::kComplete;
+      }
+      return state_;
+    }
+    body_length_ = static_cast<size_t>(declared_length);
   }
 
+  if (streaming_) return state_;  // body consumed via TakeBodyChunk
   if (buffer_.size() - body_offset_ < body_length_) {
     return state_;  // kNeedMore: body still arriving
   }
@@ -184,11 +205,27 @@ HttpRequestParser::State HttpRequestParser::Parse() {
   return state_;
 }
 
+std::string HttpRequestParser::TakeBodyChunk() {
+  if (!streaming_ || state_ == State::kError) return std::string();
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(buffer_.size(), stream_remaining_));
+  std::string chunk = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  stream_remaining_ -= n;
+  if (stream_remaining_ == 0 && state_ == State::kNeedMore) {
+    consumed_ = 0;  // head and body already erased as they were taken
+    state_ = State::kComplete;
+  }
+  return chunk;
+}
+
 void HttpRequestParser::Reset() {
   if (state_ != State::kComplete) return;
   buffer_.erase(0, consumed_);
   consumed_ = 0;
   head_done_ = false;
+  streaming_ = false;
+  stream_remaining_ = 0;
   body_offset_ = 0;
   body_length_ = 0;
   request_ = HttpRequest();

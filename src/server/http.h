@@ -16,6 +16,8 @@
 #define PDB_SERVER_HTTP_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -25,10 +27,15 @@ namespace pdb {
 
 /// Parser budgets. A request head (request line + headers) larger than
 /// `max_head_bytes` is rejected with 431; a body larger than
-/// `max_body_bytes` with 413.
+/// `max_body_bytes` with 413. Requests the server opted into streaming
+/// (see `HttpRequestParser::set_stream_predicate`) are budgeted against
+/// `max_stream_body_bytes` instead — their body is consumed incrementally
+/// and never buffered whole, so the limit can be orders of magnitude
+/// larger (bulk CSV ingest).
 struct HttpLimits {
   size_t max_head_bytes = 16 * 1024;
   size_t max_body_bytes = 1 << 20;
+  uint64_t max_stream_body_bytes = uint64_t{1} << 30;
 };
 
 /// One parsed request. Header names are lowercased; values are trimmed of
@@ -60,6 +67,16 @@ class HttpRequestParser {
 
   explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
 
+  /// Streaming opt-in: consulted once per request, at head completion.
+  /// When it returns true the request enters streaming mode — `request()`
+  /// carries the head with an empty `body`, the body is read out
+  /// incrementally with `TakeBodyChunk` as it arrives, and the size limit
+  /// checked is `max_stream_body_bytes`. The server installs a predicate
+  /// matching its bulk-ingest targets; everything else buffers as before.
+  void set_stream_predicate(std::function<bool(const HttpRequest&)> p) {
+    stream_predicate_ = std::move(p);
+  }
+
   /// Appends `data` and advances the parse. Idempotently sticky on error.
   State Feed(std::string_view data);
 
@@ -69,6 +86,19 @@ class HttpRequestParser {
   /// HTTP status describing the violation (400/413/431/501).
   int error_status() const { return error_status_; }
   const std::string& error_message() const { return error_message_; }
+
+  /// True once the current request's head completed in streaming mode
+  /// (until Reset). While true, the request's body is consumed via
+  /// `TakeBodyChunk`; state() reaches kComplete when the final body byte
+  /// has been taken.
+  bool streaming() const { return streaming_; }
+  /// Body bytes of the streaming request not yet returned by
+  /// `TakeBodyChunk` (declared Content-Length minus bytes taken).
+  uint64_t stream_remaining() const { return stream_remaining_; }
+  /// Returns (and discards from the buffer) every body byte currently
+  /// available, up to the declared Content-Length. Empty when nothing has
+  /// arrived since the last call.
+  std::string TakeBodyChunk();
 
   /// Consumes the completed request and re-parses any pipelined bytes
   /// already buffered (state() afterwards reflects them).
@@ -84,9 +114,12 @@ class HttpRequestParser {
   State Fail(int status, std::string message);
 
   HttpLimits limits_;
+  std::function<bool(const HttpRequest&)> stream_predicate_;
   std::string buffer_;
   size_t consumed_ = 0;  ///< bytes of buffer_ belonging to request_
   bool head_done_ = false;
+  bool streaming_ = false;
+  uint64_t stream_remaining_ = 0;
   size_t body_offset_ = 0;
   size_t body_length_ = 0;
   State state_ = State::kNeedMore;

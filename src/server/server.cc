@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -18,6 +19,9 @@
 
 #include "exec/thread_pool.h"
 #include "sql/sql.h"
+#include "storage/csv.h"
+#include "storage/durable_db.h"
+#include "storage/write_batch.h"
 #include "util/string_util.h"
 
 namespace pdb {
@@ -26,6 +30,9 @@ namespace {
 
 constexpr int kRecvTimeoutMs = 200;
 constexpr size_t kRecvBufferBytes = 8192;
+/// Rows per WriteBatch on the /ingest path: large enough that WAL framing
+/// and sync costs amortize, small enough that a batch stays cache-sized.
+constexpr size_t kIngestBatchRows = 512;
 
 uint64_t NowMicros() {
   return static_cast<uint64_t>(
@@ -145,6 +152,57 @@ bool LooksLikeSql(std::string_view body) {
   return true;
 }
 
+/// Does `target` name the /ingest endpoint (with or without parameters)?
+bool IsIngestTarget(const std::string& target) {
+  return target == "/ingest" || target.rfind("/ingest?", 0) == 0;
+}
+
+/// Minimal %XX / '+' decoding for query-parameter values.
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && std::isxdigit(s[i + 1]) &&
+               std::isxdigit(s[i + 2])) {
+      auto hex = [](char c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return c - 'A' + 10;
+      };
+      out.push_back(static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Splits the request target's query string into key/value pairs.
+std::map<std::string, std::string> ParseTargetParams(const std::string& target) {
+  std::map<std::string, std::string> params;
+  size_t q = target.find('?');
+  if (q == std::string::npos) return params;
+  std::string_view rest(target.data() + q + 1, target.size() - q - 1);
+  while (!rest.empty()) {
+    size_t amp = rest.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      params[UrlDecode(pair)] = "";
+    } else {
+      params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+  return params;
+}
+
 bool ParseDecimalHeader(const std::string& text, uint64_t* out) {
   if (text.empty()) return false;
   uint64_t value = 0;
@@ -187,6 +245,9 @@ PdbServer::PdbServer(const ProbDatabase* db, ServerOptions options)
   http_parse_errors_ = metrics_.GetCounter("pdb_http_parse_errors_total");
   shutdown_cancelled_ =
       metrics_.GetCounter("pdb_shutdown_cancelled_queries_total");
+  ingest_requests_ = metrics_.GetCounter("pdb_ingest_requests_total");
+  ingest_rows_ = metrics_.GetCounter("pdb_ingest_rows_total");
+  ingest_batches_ = metrics_.GetCounter("pdb_ingest_batches_total");
   connections_active_ = metrics_.GetGauge("pdb_connections_active");
   draining_gauge_ = metrics_.GetGauge("pdb_server_draining");
   request_latency_us_ = metrics_.GetHistogram("pdb_http_request_latency_us");
@@ -310,6 +371,12 @@ void PdbServer::ServeConnection(uint64_t id, int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   HttpRequestParser parser(options_.http);
+  // Bulk-ingest bodies stream through the parser instead of buffering
+  // whole: the predicate flips the parser into streaming mode at head
+  // completion, and HandleIngest then owns the recv loop for that request.
+  parser.set_stream_predicate([](const HttpRequest& r) {
+    return r.method == "POST" && IsIngestTarget(r.target);
+  });
   char buffer[kRecvBufferBytes];
   uint64_t idle_ms = 0;
   bool keep_open = true;
@@ -327,16 +394,26 @@ void PdbServer::ServeConnection(uint64_t id, int fd) {
       }
       HttpRequestParser::State state =
           parser.Feed(std::string_view(buffer, static_cast<size_t>(n)));
-      while (state == HttpRequestParser::State::kComplete && keep_open) {
-        keep_open = HandleRequest(fd, parser.request(),
-                                  std::move(request_trace));
+      // Dispatch every request this batch of bytes completed. Streaming
+      // (ingest) requests dispatch as soon as their head is parsed —
+      // HandleIngest drives the socket until the body is consumed — while
+      // ordinary requests wait for kComplete.
+      while (keep_open &&
+             (parser.streaming() ||
+              state == HttpRequestParser::State::kComplete)) {
+        keep_open = parser.streaming()
+                        ? HandleIngest(fd, &parser, std::move(request_trace))
+                        : HandleRequest(fd, parser.request(),
+                                        std::move(request_trace));
         request_trace = nullptr;
+        if (!keep_open) break;
         parser.Reset();
         state = parser.state();
         // A pipelined next request is already in flight: its bytes arrived
         // with this batch, so its trace starts now.
         if (options_.trace_queries &&
-            (state == HttpRequestParser::State::kComplete || !parser.idle())) {
+            (state == HttpRequestParser::State::kComplete ||
+             parser.streaming() || !parser.idle())) {
           request_trace = std::make_shared<QueryTrace>();
         }
       }
@@ -439,11 +516,205 @@ bool PdbServer::HandleRequest(int fd, const HttpRequest& request,
     keep_open = request.method == "GET"
                     ? HandleProfile(fd, request)
                     : SendError(fd, 405, "GET required", request.keep_alive);
+  } else if (IsIngestTarget(request.target)) {
+    // POST /ingest never reaches here (the stream predicate routes it to
+    // HandleIngest before the body is read); any other method does.
+    keep_open = SendError(fd, 405, "POST required", request.keep_alive);
   } else {
     keep_open = SendError(fd, 404, "no such endpoint", request.keep_alive);
   }
   request_latency_us_->Record(NowMicros() - start_us);
   return keep_open;
+}
+
+bool PdbServer::HandleIngest(int fd, HttpRequestParser* parser,
+                             std::shared_ptr<QueryTrace> trace) {
+  const HttpRequest& request = parser->request();
+  http_requests_->Add(1);
+  ingest_requests_->Add(1);
+  uint64_t start_us = NowMicros();
+  if (trace) trace->RecordSpan(TracePhase::kHttpParse, 0, trace->NowNs());
+  // Every failure path closes the connection: honouring keep-alive would
+  // mean draining the rest of a possibly-gigabyte body first.
+  auto abort_request = [&](int status, const std::string& message) {
+    request_latency_us_->Record(NowMicros() - start_us);
+    SendError(fd, status, message, /*keep_alive=*/false);
+    return false;
+  };
+
+  if (draining_.load(std::memory_order_acquire)) {
+    return abort_request(503, "server is draining");
+  }
+  if (options_.durable == nullptr) {
+    return abort_request(
+        400, "bulk ingest requires durable storage (start pdbd --data-dir)");
+  }
+
+  std::map<std::string, std::string> params =
+      ParseTargetParams(request.target);
+  const std::string relation_name = params["relation"];
+  if (relation_name.empty()) {
+    return abort_request(400, "missing ?relation= parameter");
+  }
+  CsvOptions csv;
+  bool skip_header = params.count("header") && params["header"] == "1";
+
+  // Admission: bulk loads contend with queries for the same execution
+  // slots, and the per-client cap applies to them the same way.
+  std::string client_id;
+  if (const std::string* header = request.FindHeader("x-client-id")) {
+    client_id = *header;
+  }
+  TraceSpan admission_span(trace.get(), TracePhase::kAdmissionWait);
+  AdmissionTicket ticket(&admission_, client_id);
+  admission_span.End();
+  if (!ticket.admitted()) {
+    if (ticket.decision() == AdmissionController::Decision::kShuttingDown) {
+      return abort_request(503, "server is draining");
+    }
+    sessions_.ForClient(client_id)->NoteAdmissionRejected();
+    return abort_request(429, "server overloaded; retry the bulk load");
+  }
+
+  // Resolve (or create) the target relation. ?schema= creates it when
+  // absent — through the WAL, so the DDL is as durable as the rows.
+  DurableDatabase* durable = options_.durable;
+  auto existing = durable->pdb().database().Get(relation_name);
+  Schema schema;
+  if (existing.ok()) {
+    schema = (*existing)->schema();
+  } else if (params.count("schema")) {
+    auto parsed = ParseSchemaSpec(params["schema"]);
+    if (!parsed.ok()) {
+      return abort_request(400, parsed.status().message());
+    }
+    schema = *parsed;
+    Status created = durable->CreateRelation(relation_name, schema);
+    if (!created.ok()) {
+      return abort_request(400, created.message());
+    }
+  } else {
+    return abort_request(
+        400, StrFormat("unknown relation '%s' (pass ?schema= to create it)",
+                       relation_name.c_str()));
+  }
+
+  // The ingest loop: consume body chunks as they arrive, split into lines,
+  // parse rows, and commit every kIngestBatchRows rows as one WriteBatch
+  // through the group-commit WAL. `pending` holds the trailing partial
+  // line between chunks; nothing else is buffered.
+  size_t rows = 0;
+  size_t committed_rows = 0;
+  size_t batches = 0;
+  uint64_t body_bytes = 0;
+  WriteBatch batch;
+  std::string pending;
+  Status failure;
+
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    const size_t batch_rows = batch.count();
+    Status applied = durable->ApplyBatch(&batch);
+    batch.Clear();
+    if (applied.ok()) {
+      batches += 1;
+      committed_rows += batch_rows;
+      ingest_batches_->Add(1);
+    }
+    return applied;
+  };
+  auto consume_line = [&](std::string line) -> Status {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (skip_header) {
+      skip_header = false;
+      return Status::OK();
+    }
+    if (StrTrim(line).empty()) return Status::OK();
+    auto row = ParseCsvRow(schema, line, csv);
+    if (!row.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "row %zu: %s", rows + 1, row.status().message().c_str()));
+    }
+    batch.Insert(relation_name, std::move(row->first), row->second);
+    rows += 1;
+    if (batch.count() >= kIngestBatchRows) return flush();
+    return Status::OK();
+  };
+  auto consume_chunk = [&](const std::string& chunk) {
+    if (!failure.ok()) return;  // drain the rest without parsing
+    body_bytes += chunk.size();
+    pending += chunk;
+    size_t start = 0;
+    size_t eol;
+    while (failure.ok() &&
+           (eol = pending.find('\n', start)) != std::string::npos) {
+      failure = consume_line(pending.substr(start, eol - start));
+      start = eol + 1;
+    }
+    pending.erase(0, start);
+  };
+
+  // First drain whatever body bytes arrived with the head, then recv the
+  // rest. The parser flips to kComplete when the final body byte is taken.
+  consume_chunk(parser->TakeBodyChunk());
+  char buffer[kRecvBufferBytes];
+  uint64_t idle_ms = 0;
+  while (failure.ok() &&
+         parser->state() != HttpRequestParser::State::kComplete) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return abort_request(503, "server is shutting down");
+    }
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      idle_ms = 0;
+      parser->Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      consume_chunk(parser->TakeBodyChunk());
+    } else if (n == 0) {
+      // Peer closed mid-body: committed batches stay (each was durable on
+      // commit), but there is nobody left to answer.
+      request_latency_us_->Record(NowMicros() - start_us);
+      return false;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      idle_ms += kRecvTimeoutMs;
+      if (idle_ms >= options_.idle_timeout_ms) {
+        return abort_request(408, "timed out waiting for request body");
+      }
+    } else if (errno != EINTR) {
+      request_latency_us_->Record(NowMicros() - start_us);
+      return false;
+    }
+  }
+  // A final line without a trailing newline is still a row.
+  if (failure.ok() && !pending.empty()) {
+    failure = consume_line(std::move(pending));
+  }
+  if (failure.ok()) failure = flush();
+
+  if (!failure.ok()) {
+    // Ingest is transactional per batch, not per request: batches that
+    // committed before the failure are durable. Report how far we got.
+    return abort_request(
+        StatusToHttp(failure),
+        StrFormat("%s (%zu rows in %zu batches committed before the error)",
+                  failure.message().c_str(), committed_rows, batches));
+  }
+
+  ingest_rows_->Add(rows);
+  CountResponse(200);
+  std::string body = StrFormat(
+      "{\"relation\":\"%s\",\"rows\":%zu,\"batches\":%zu,\"bytes\":%llu,"
+      "\"elapsed_us\":%llu}\n",
+      JsonEscape(relation_name).c_str(), rows, batches,
+      static_cast<unsigned long long>(body_bytes),
+      static_cast<unsigned long long>(NowMicros() - start_us));
+  TraceSpan respond_span(trace.get(), TracePhase::kHttpRespond);
+  bool sent = SendAll(
+      fd, RenderHttpResponse(200, "application/json", body,
+                             request.keep_alive));
+  respond_span.End();
+  if (trace) trace->Finish();
+  request_latency_us_->Record(NowMicros() - start_us);
+  return sent && request.keep_alive;
 }
 
 bool PdbServer::HandleHealthz(int fd, const HttpRequest& request) {
@@ -643,17 +914,20 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request,
   // requests never touch the engine; they tick the session's
   // pdb_admission_rejected_total / pdb_shed_total and answer 429 fast.
   TraceSpan admission_span(trace.get(), TracePhase::kAdmissionWait);
-  AdmissionTicket ticket(&admission_);
+  AdmissionTicket ticket(&admission_, client_id);
   admission_span.End();
   if (!ticket.admitted()) {
     if (ticket.decision() == AdmissionController::Decision::kShuttingDown) {
       return SendError(fd, 503, "server is draining", /*keep_alive=*/false);
     }
     session->NoteAdmissionRejected();
-    const char* reason =
-        ticket.decision() == AdmissionController::Decision::kShedQueueFull
-            ? "admission queue full"
-            : "timed out waiting for an execution slot";
+    const char* reason = "timed out waiting for an execution slot";
+    if (ticket.decision() == AdmissionController::Decision::kShedQueueFull) {
+      reason = "admission queue full";
+    } else if (ticket.decision() ==
+               AdmissionController::Decision::kShedClientLimit) {
+      reason = "client has too many requests in flight";
+    }
     return SendError(
         fd, 429, reason, request.keep_alive,
         {{"Retry-After", StrFormat("%llu", static_cast<unsigned long long>(

@@ -17,6 +17,12 @@
 ///                       Headers: X-Client-Id (session affinity),
 ///                       X-Deadline-Ms (per-request wall-clock budget,
 ///                       clamped to `max_deadline_ms`).
+///   POST /ingest        Streaming CSV bulk load into the durable store
+///                       (?relation=R[&schema=a:int,...][&header=1]). The
+///                       body is consumed incrementally off the socket —
+///                       never buffered whole — and rows are grouped into
+///                       WriteBatches committed through the group-commit
+///                       WAL. 400 when the server is in-memory.
 ///   GET  /metrics       Prometheus text: the server's listener registry
 ///                       merged with every pooled session's registry.
 ///   GET  /healthz       200 "ok" (503 "draining" during shutdown).
@@ -50,6 +56,8 @@
 #include "util/status.h"
 
 namespace pdb {
+
+class DurableDatabase;
 
 /// The server's session-pool defaults: every pooled session runs its
 /// queries sequentially on the connection thread (see ServerOptions).
@@ -108,6 +116,10 @@ struct ServerOptions {
   /// spans), aggregated into GET /debug/profile. Not owned; must outlive
   /// the server. Null when storage is in-memory.
   const QueryTrace* io_trace = nullptr;
+  /// Durable write path for POST /ingest streaming bulk load (not owned;
+  /// must outlive the server). Null (the in-memory default) answers
+  /// /ingest with 400 — bulk writes only make sense against the WAL.
+  DurableDatabase* durable = nullptr;
 };
 
 class PdbServer {
@@ -162,6 +174,13 @@ class PdbServer {
                      std::shared_ptr<QueryTrace> trace);
   bool HandleQuery(int fd, const HttpRequest& request,
                    std::shared_ptr<QueryTrace> trace);
+  /// Streaming bulk load: owns the connection's recv loop until the body
+  /// is fully consumed (the parser is in streaming mode). Rows are grouped
+  /// into WriteBatches and committed through the durable layer's group
+  /// commit; every failure closes the connection (keep-alive would require
+  /// draining the remaining body).
+  bool HandleIngest(int fd, HttpRequestParser* parser,
+                    std::shared_ptr<QueryTrace> trace);
   bool HandleMetrics(int fd, const HttpRequest& request);
   bool HandleHealthz(int fd, const HttpRequest& request);
   bool HandleTraces(int fd, const HttpRequest& request);
@@ -201,6 +220,9 @@ class PdbServer {
   Counter* http_429_;
   Counter* http_parse_errors_;
   Counter* shutdown_cancelled_;
+  Counter* ingest_requests_;
+  Counter* ingest_rows_;
+  Counter* ingest_batches_;
   Gauge* connections_active_;
   Gauge* draining_gauge_;
   Histogram* request_latency_us_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 #include "storage/relation.h"
 #include "util/check.h"
@@ -61,6 +62,32 @@ std::vector<uint32_t> BuildCodeTranslation(const std::vector<Value>& src,
   return xlat;
 }
 
+size_t DistinctComposite(const ColumnarRelation& cols,
+                         const std::vector<size_t>& key_cols) {
+  if (key_cols.empty()) return 0;
+  // Mixed-radix multipliers, same construction as ColumnarIndex; the
+  // composite code of a row is unique per distinct key combination.
+  std::vector<uint64_t> radix(key_cols.size(), 1);
+  for (size_t p = key_cols.size(); p-- > 1;) {
+    uint64_t dict_size = cols.distinct(key_cols[p]);
+    if (dict_size == 0) dict_size = 1;
+    if (radix[p] > UINT64_MAX / dict_size) return 0;
+    radix[p - 1] = radix[p] * dict_size;
+  }
+  uint64_t lead = cols.distinct(key_cols[0]);
+  if (lead > 0 && radix[0] > UINT64_MAX / lead) return 0;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(cols.num_rows());
+  for (size_t row = 0; row < cols.num_rows(); ++row) {
+    uint64_t code = 0;
+    for (size_t p = 0; p < key_cols.size(); ++p) {
+      code += radix[p] * cols.codes(key_cols[p])[row];
+    }
+    seen.insert(code);
+  }
+  return seen.size();
+}
+
 ColumnarIndex::ColumnarIndex(std::shared_ptr<const ColumnarRelation> cols,
                              std::vector<size_t> key_cols)
     : cols_(std::move(cols)), key_cols_(std::move(key_cols)) {
@@ -107,6 +134,14 @@ ColumnarIndex::ColumnarIndex(std::shared_ptr<const ColumnarRelation> cols,
     }
     buckets_[code].push_back(static_cast<uint32_t>(row));
   }
+}
+
+size_t ColumnarIndex::num_buckets() const {
+  if (overflow_) return 0;
+  // Single-column CSR buckets are never empty: every dictionary entry came
+  // from at least one row, so the bucket count is the dictionary size.
+  if (key_cols_.size() == 1) return offsets_.empty() ? 0 : offsets_.size() - 1;
+  return buckets_.size();
 }
 
 void ColumnarIndex::Lookup(uint64_t code, const uint32_t** rows,

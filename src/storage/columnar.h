@@ -87,6 +87,15 @@ class ColumnarRelation {
 std::vector<uint32_t> BuildCodeTranslation(const std::vector<Value>& src,
                                            const std::vector<Value>& dst);
 
+/// Number of distinct composite keys over `key_cols` of `cols` — the
+/// multi-column selectivity statistic. Unlike the per-column independence
+/// product, this counts the key combinations that actually occur, so a
+/// correlated pair (say y == x) reports n instead of n². Returns 0 when
+/// the mixed-radix composite code would overflow 64 bits (callers fall
+/// back to the independence product) or when `key_cols` is empty.
+size_t DistinctComposite(const ColumnarRelation& cols,
+                         const std::vector<size_t>& key_cols);
+
 /// Equality index over a relation's code columns: rows grouped by the
 /// composite code of `key_cols`. Bucket rows ascend, matching `HashIndex`.
 class ColumnarIndex {
@@ -109,6 +118,11 @@ class ColumnarIndex {
   /// Rows whose composite key code equals `code`, as a pointer + count
   /// span (empty when the code has no rows).
   void Lookup(uint64_t code, const uint32_t** rows, size_t* count) const;
+
+  /// Number of non-empty buckets — the distinct composite key count this
+  /// index observed (0 when the composite overflowed). Single-column keys
+  /// have one bucket per dictionary entry by construction.
+  size_t num_buckets() const;
 
  private:
   std::shared_ptr<const ColumnarRelation> cols_;

@@ -60,6 +60,40 @@ Result<Relation> RelationFromCsv(const std::string& name, const Schema& schema,
   return relation;
 }
 
+Result<std::pair<Tuple, double>> ParseCsvRow(const Schema& schema,
+                                             const std::string& line,
+                                             const CsvOptions& options) {
+  std::vector<std::string> fields = StrSplit(line, options.separator);
+  const bool with_prob =
+      options.has_probability_column && fields.size() == schema.arity() + 1;
+  if (!with_prob && fields.size() != schema.arity()) {
+    return Status::InvalidArgument(StrFormat(
+        "expected %zu fields%s, got %zu", schema.arity(),
+        options.has_probability_column ? " (+1 for probability)" : "",
+        fields.size()));
+  }
+  Tuple tuple;
+  tuple.reserve(schema.arity());
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    auto value = Value::Parse(fields[i], schema.attribute(i).type);
+    if (!value.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("field %zu: %s", i, value.status().message().c_str()));
+    }
+    tuple.push_back(std::move(*value));
+  }
+  double p = 1.0;
+  if (with_prob) {
+    auto prob = Value::Parse(fields.back(), ValueType::kDouble);
+    if (!prob.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("bad probability '%s'", fields.back().c_str()));
+    }
+    p = prob->AsDouble();
+  }
+  return std::make_pair(std::move(tuple), p);
+}
+
 Result<Relation> RelationFromCsvFile(const std::string& name,
                                      const Schema& schema,
                                      const std::string& path,

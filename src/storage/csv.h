@@ -10,6 +10,7 @@
 #define PDB_STORAGE_CSV_H_
 
 #include <string>
+#include <utility>
 
 #include "storage/relation.h"
 #include "util/status.h"
@@ -30,6 +31,16 @@ struct CsvOptions {
 Result<Relation> RelationFromCsv(const std::string& name, const Schema& schema,
                                  const std::string& text,
                                  const CsvOptions& options = {});
+
+/// Parses ONE data row (no trailing newline) against `schema` — the
+/// incremental unit for streaming bulk ingest, where rows arrive off the
+/// wire one network chunk at a time and are grouped into `WriteBatch`es
+/// instead of materializing a whole relation. Accepts `arity` fields
+/// (probability 1) or, when `options.has_probability_column`, `arity + 1`
+/// fields with the probability last.
+Result<std::pair<Tuple, double>> ParseCsvRow(const Schema& schema,
+                                             const std::string& line,
+                                             const CsvOptions& options = {});
 
 /// Reads a relation from the file at `path`.
 Result<Relation> RelationFromCsvFile(const std::string& name,

@@ -1,7 +1,9 @@
 #include "storage/durable_db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
+#include <utility>
 
 #include "storage/coding.h"
 #include "util/string_util.h"
@@ -9,10 +11,6 @@
 namespace pdb {
 
 namespace {
-
-/// WAL operation codes (first byte after the sequence number).
-constexpr uint8_t kOpAddRelation = 1;
-constexpr uint8_t kOpInsert = 2;
 
 /// Snapshot / component-store record magics (first 4 bytes of a record).
 constexpr uint32_t kSnapshotHeaderMagic = 0x50444253;  // "SBDP" LE
@@ -172,6 +170,47 @@ Result<SyncMode> ParseSyncMode(const std::string& text) {
                                  "' (want always|none)");
 }
 
+void DurableDatabase::EncodeOp(std::string* dst, const WriteBatch::Op& op) {
+  dst->push_back(static_cast<char>(op.code));
+  if (op.code == kWalOpAddRelation) {
+    EncodeRelation(dst, op.relation);
+  } else {
+    PutLengthPrefixed(dst, op.target);
+    PutVarint64(dst, op.tuple.size());
+    for (const Value& v : op.tuple) EncodeValue(dst, v);
+    PutDouble(dst, op.p);
+  }
+}
+
+bool DurableDatabase::DecodeOpBody(std::string_view* in, WriteBatch::Op* op) {
+  if (op->code == kWalOpAddRelation) {
+    return DecodeRelation(in, &op->relation);
+  }
+  if (op->code == kWalOpInsert) {
+    std::string_view target;
+    uint64_t arity = 0;
+    if (!GetLengthPrefixed(in, &target) || !GetVarint64(in, &arity)) {
+      return false;
+    }
+    op->target = std::string(target);
+    for (uint64_t c = 0; c < arity; ++c) {
+      Value v;
+      if (!DecodeValue(in, &v)) return false;
+      op->tuple.push_back(std::move(v));
+    }
+    return GetDouble(in, &op->p);
+  }
+  return false;
+}
+
+bool DurableDatabase::DecodeOp(std::string_view* in, WriteBatch::Op* op) {
+  if (in->empty()) return false;
+  op->code = static_cast<uint8_t>(in->front());
+  in->remove_prefix(1);
+  if (op->code == kWalOpWriteBatch) return false;  // batches do not nest
+  return DecodeOpBody(in, op);
+}
+
 DurableDatabase::DurableDatabase(std::string data_dir,
                                  const DurableOptions& options)
     : dir_(std::move(data_dir)),
@@ -180,6 +219,10 @@ DurableDatabase::DurableDatabase(std::string data_dir,
   wal_records_ = metrics_.GetCounter("pdb_wal_records_total");
   wal_bytes_ = metrics_.GetCounter("pdb_wal_bytes_total");
   wal_syncs_ = metrics_.GetCounter("pdb_wal_syncs_total");
+  wal_batch_records_ = metrics_.GetCounter("pdb_wal_batch_records_total");
+  wal_batch_mutations_ =
+      metrics_.GetCounter("pdb_wal_batch_mutations_total");
+  group_commits_ = metrics_.GetCounter("pdb_wal_group_commits_total");
   recovery_replayed_ =
       metrics_.GetCounter("pdb_recovery_replayed_records_total");
   recovery_truncations_ =
@@ -193,6 +236,8 @@ DurableDatabase::DurableDatabase(std::string data_dir,
   // record MICROSECONDS (a seconds-resolution histogram would collapse
   // every fsync into bucket 0).
   wal_sync_seconds_ = metrics_.GetHistogram("pdb_wal_sync_seconds");
+  // Mutations per commit group: how well fsyncs amortize under load.
+  group_size_ = metrics_.GetHistogram("pdb_wal_group_size");
   wmc_store_entries_ = metrics_.GetGauge("pdb_wmc_store_entries");
   last_seq_gauge_ = metrics_.GetGauge("pdb_data_last_seq");
   relations_gauge_ = metrics_.GetGauge("pdb_data_relations");
@@ -208,6 +253,10 @@ Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
   std::unique_ptr<DurableDatabase> db(
       new DurableDatabase(data_dir, options));
   PDB_RETURN_NOT_OK(db->Recover());
+  if (options.background_checkpoints) {
+    db->checkpoint_thread_ =
+        std::thread(&DurableDatabase::CheckpointThreadMain, db.get());
+  }
   return db;
 }
 
@@ -347,8 +396,41 @@ Status DurableDatabase::ReplaySegment(const std::string& name, bool* stop) {
       damaged = true;
       break;
     }
-    if (seq <= last_seq_) {
+    uint8_t code = static_cast<uint8_t>(in.front());
+    in.remove_prefix(1);
+
+    // Decode the record into its mutations: one for a legacy single-op
+    // record, N for a WriteBatch record. A batch decodes (and below,
+    // validates and applies) as a unit — recovery can never surface a
+    // prefix of a batch.
+    std::vector<WriteBatch::Op> ops;
+    bool decode_ok = true;
+    if (code == kWalOpWriteBatch) {
+      uint64_t count = 0;
+      decode_ok = GetVarint64(&in, &count) && count > 0;
+      for (uint64_t i = 0; i < count && decode_ok; ++i) {
+        WriteBatch::Op op;
+        decode_ok = DecodeOp(&in, &op);
+        if (decode_ok) ops.push_back(std::move(op));
+      }
+      decode_ok = decode_ok && in.empty();
+    } else {
+      WriteBatch::Op op;
+      op.code = code;
+      decode_ok = DecodeOpBody(&in, &op) && in.empty();
+      if (decode_ok) ops.push_back(std::move(op));
+    }
+    if (!decode_ok) {
+      damaged = true;
+      break;
+    }
+
+    const uint64_t end_seq = seq + ops.size() - 1;
+    if (end_seq <= last_seq_) {
       // Covered by the snapshot (segment straddles the boundary).
+      // Snapshots are fenced at group boundaries, so a batch is either
+      // fully covered or not at all; a straddling batch would fail the
+      // gap check below.
       applied_prefix = reader.valid_prefix_size();
       continue;
     }
@@ -358,44 +440,37 @@ Status DurableDatabase::ReplaySegment(const std::string& name, bool* stop) {
       damaged = true;
       break;
     }
-    uint8_t op = static_cast<uint8_t>(in.front());
-    in.remove_prefix(1);
-    bool applied = false;
-    if (op == kOpAddRelation) {
-      Relation rel;
-      if (DecodeRelation(&in, &rel) && in.empty()) {
-        applied = pdb_.AddRelation(std::move(rel)).ok();
-      }
-    } else if (op == kOpInsert) {
-      std::string_view target;
-      uint64_t arity = 0;
-      if (GetLengthPrefixed(&in, &target) && GetVarint64(&in, &arity)) {
-        Tuple tuple;
-        bool decode_ok = true;
-        for (uint64_t c = 0; c < arity && decode_ok; ++c) {
-          Value v;
-          decode_ok = DecodeValue(&in, &v);
-          if (decode_ok) tuple.push_back(std::move(v));
-        }
-        double p = 0;
-        if (decode_ok && GetDouble(&in, &p) && in.empty()) {
-          auto rel = pdb_.database().GetMutable(std::string(target));
-          if (rel.ok()) {
-            applied = (*rel)->AddTuple(std::move(tuple), p).ok();
-            if (applied) pdb_.BumpGeneration();
-          }
-        }
+
+    // Validate the whole record against the recovered state first (the
+    // same checks the commit path ran), then apply. A CRC-valid record
+    // that does not validate is corrupted beyond what framing can detect,
+    // or written by a future version — same policy as framing damage: cut
+    // here, applying none of it.
+    PendingState pending;
+    bool valid = true;
+    for (const WriteBatch::Op& op : ops) {
+      if (!ValidateOpLocked(op, &pending).ok()) {
+        valid = false;
+        break;
       }
     }
-    if (!applied) {
-      // A CRC-valid record that does not decode or apply: corrupted
-      // beyond what framing can detect, or written by a future version.
-      // Same policy as framing damage — cut here.
+    if (!valid) {
       damaged = true;
       break;
     }
-    last_seq_ = seq;
-    ++recovery_.replayed_records;
+    bool applied = true;
+    for (WriteBatch::Op& op : ops) {
+      if (!ApplyOpLocked(std::move(op)).ok()) {
+        applied = false;  // unreachable post-validation; defensive
+        break;
+      }
+    }
+    if (!applied) {
+      damaged = true;
+      break;
+    }
+    recovery_.replayed_records += ops.size();
+    last_seq_ = end_seq;
     applied_prefix = reader.valid_prefix_size();
   }
   if (reader.corruption_detected()) damaged = true;
@@ -436,33 +511,163 @@ void DurableDatabase::SetIoErrorLocked(const Status& status) {
   if (io_error_.ok()) io_error_ = status;
 }
 
-Status DurableDatabase::LogThenApplyLocked(
-    std::string payload, const std::function<Status()>& apply) {
-  if (closed_) return Status::FailedPrecondition("database is closed");
-  if (!io_error_.ok()) {
-    return Status::FailedPrecondition(
-        "database is read-only after an I/O error: " + io_error_.ToString());
+void DurableDatabase::SetIoError(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetIoErrorLocked(status);
+}
+
+Status DurableDatabase::ValidateOpLocked(const WriteBatch::Op& op,
+                                         PendingState* pending) {
+  switch (op.code) {
+    case kWalOpAddRelation: {
+      const std::string& name = op.relation.name();
+      if (pdb_.database().HasRelation(name) ||
+          pending->new_relations.count(name) != 0) {
+        return Status::InvalidArgument("duplicate relation: " + name);
+      }
+      pending->new_relations.emplace(name, op.relation.schema());
+      auto& rows = pending->new_tuples[name];
+      for (const Tuple& t : op.relation.tuples()) rows.insert(t);
+      return Status::OK();
+    }
+    case kWalOpInsert: {
+      const Schema* schema = nullptr;
+      const Relation* live = nullptr;
+      auto rel = pdb_.database().Get(op.target);
+      if (rel.ok()) {
+        live = *rel;
+        schema = &live->schema();
+      } else {
+        auto created = pending->new_relations.find(op.target);
+        if (created == pending->new_relations.end()) return rel.status();
+        schema = &created->second;
+      }
+      PDB_RETURN_NOT_OK(schema->Validate(op.tuple));
+      auto rows = pending->new_tuples.find(op.target);
+      if ((live != nullptr && live->Contains(op.tuple)) ||
+          (rows != pending->new_tuples.end() &&
+           rows->second.count(op.tuple) != 0)) {
+        return Status::InvalidArgument("duplicate tuple in " + op.target);
+      }
+      if (!(op.p >= 0.0 && op.p <= 1.0)) {
+        return Status::OutOfRange("probability outside [0, 1]");
+      }
+      pending->new_tuples[op.target].insert(op.tuple);
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unknown WAL op code");
   }
+}
+
+Status DurableDatabase::ApplyOpLocked(WriteBatch::Op op) {
+  if (op.code == kWalOpAddRelation) {
+    return pdb_.AddRelation(std::move(op.relation));
+  }
+  auto rel = pdb_.database().GetMutable(op.target);
+  if (!rel.ok()) return rel.status();
+  Status status = (*rel)->AddTuple(std::move(op.tuple), op.p);
+  if (status.ok()) pdb_.BumpGeneration();
+  return status;
+}
+
+void DurableDatabase::CommitGroupLocked(const std::vector<Writer*>& group,
+                                        bool* want_checkpoint) {
+  *want_checkpoint = false;
+  if (closed_) {
+    Status status = Status::FailedPrecondition("database is closed");
+    for (Writer* w : group) w->status = status;
+    return;
+  }
+  if (!io_error_.ok()) {
+    Status status = Status::FailedPrecondition(
+        "database is read-only after an I/O error: " + io_error_.ToString());
+    for (Writer* w : group) w->status = status;
+    return;
+  }
+
+  // Validate every batch against the catalog plus the accepted effects of
+  // the batches ahead of it in the group. A batch with any invalid op is
+  // rejected whole — it consumes no sequence numbers, contributes nothing
+  // to the log, and later batches are validated as if it never existed.
+  // The write-ahead rule holds per batch: an op that cannot apply is never
+  // written to the log.
+  PendingState pending;
+  std::vector<Writer*> accepted;
+  for (Writer* w : group) {
+    PendingState trial = pending;
+    Status status;
+    for (const WriteBatch::Op& op : w->batch->ops_) {
+      status = ValidateOpLocked(op, &trial);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) {
+      pending = std::move(trial);
+      accepted.push_back(w);
+    } else {
+      w->status = status;
+    }
+  }
+  if (accepted.empty()) return;
+
+  // Log: one record per batch (the legacy single-op format when a batch
+  // holds exactly one mutation, so old binaries can replay it), then ONE
+  // sync for the whole group.
   const uint64_t append_start = io_trace_.NowNs();
-  Status status = wal_->AddRecord(payload);
+  uint64_t next_seq = last_seq_ + 1;
+  uint64_t total_mutations = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t appended_records = 0;
+  uint64_t batch_records = 0;
+  uint64_t batch_mutations = 0;
+  Status status;
+  for (Writer* w : accepted) {
+    const auto& ops = w->batch->ops_;
+    std::string payload;
+    PutVarint64(&payload, next_seq);
+    if (ops.size() == 1) {
+      EncodeOp(&payload, ops[0]);
+    } else {
+      payload.push_back(static_cast<char>(kWalOpWriteBatch));
+      PutVarint64(&payload, ops.size());
+      for (const WriteBatch::Op& op : ops) EncodeOp(&payload, op);
+    }
+    status = wal_->AddRecord(payload);
+    if (!status.ok()) break;
+    if (ops.size() > 1) {
+      ++batch_records;
+      batch_mutations += ops.size();
+    }
+    appended_bytes += payload.size();
+    ++appended_records;
+    next_seq += ops.size();
+    total_mutations += ops.size();
+  }
   if (!status.ok()) {
     SetIoErrorLocked(status);
-    return status;
+    for (Writer* w : accepted) w->status = status;
+    return;
   }
   if (wal_append_spans_.fetch_add(1, std::memory_order_relaxed) <
       kMaxIoSpansPerPhase) {
     io_trace_.RecordSpan(TracePhase::kWalAppend, append_start,
                          io_trace_.NowNs() - append_start,
-                         {{"bytes", payload.size()}});
+                         {{"bytes", appended_bytes}});
   }
-  wal_records_->Add(1);
-  wal_bytes_->Add(payload.size());
+  wal_records_->Add(appended_records);
+  wal_bytes_->Add(appended_bytes);
+  wal_batch_records_->Add(batch_records);
+  wal_batch_mutations_->Add(batch_mutations);
+  group_commits_->Add(1);
+  group_size_->Record(total_mutations);
+
   if (options_.sync_mode == SyncMode::kAlways) {
     const uint64_t sync_start = io_trace_.NowNs();
     status = wal_file_->Sync();
     if (!status.ok()) {
       SetIoErrorLocked(status);
-      return status;
+      for (Writer* w : accepted) w->status = status;
+      return;
     }
     const uint64_t sync_ns = io_trace_.NowNs() - sync_start;
     wal_sync_seconds_->Record(sync_ns / 1'000);  // microseconds
@@ -472,40 +677,116 @@ Status DurableDatabase::LogThenApplyLocked(
     }
     wal_syncs_->Add(1);
   }
-  // The write-ahead rule held: the record is on the log (and durable in
-  // kAlways). Applying cannot fail for a validated op; if it somehow does,
-  // the in-memory and logged states diverge — poison the handle.
-  status = apply();
-  if (!status.ok()) {
-    SetIoErrorLocked(Status::Internal(
-        "validated op failed to apply after logging: " + status.ToString()));
-    return io_error_;
+
+  // The write-ahead rule held: every accepted batch is on the log (and
+  // durable in kAlways). Applying cannot fail for a validated op; if it
+  // somehow does, the in-memory and logged states diverge — poison the
+  // handle and fail the rest of the group.
+  bool poisoned = false;
+  for (Writer* w : accepted) {
+    if (poisoned) {
+      w->status = io_error_;
+      continue;
+    }
+    for (const WriteBatch::Op& op : w->batch->ops_) {
+      Status applied = ApplyOpLocked(op);
+      if (!applied.ok()) {
+        SetIoErrorLocked(Status::Internal(
+            "validated op failed to apply after logging: " +
+            applied.ToString()));
+        w->status = io_error_;
+        poisoned = true;
+        break;
+      }
+    }
+    if (!poisoned) {
+      last_seq_ += w->batch->ops_.size();
+      records_since_checkpoint_ += w->batch->ops_.size();
+    }
   }
-  ++last_seq_;
   if (options_.sync_mode == SyncMode::kAlways) last_synced_seq_ = last_seq_;
-  ++records_since_checkpoint_;
   last_seq_gauge_->Set(static_cast<int64_t>(last_seq_));
   relations_gauge_->Set(
       static_cast<int64_t>(pdb_.database().RelationNames().size()));
-  if (options_.checkpoint_every_n > 0 &&
+  if (!poisoned && options_.checkpoint_every_n > 0 &&
       records_since_checkpoint_ >= options_.checkpoint_every_n) {
-    PDB_RETURN_NOT_OK(CheckpointLocked());
+    *want_checkpoint = true;
   }
-  return Status::OK();
+}
+
+Status DurableDatabase::CommitBatch(WriteBatch* batch) {
+  if (batch->ops_.empty()) return Status::OK();
+  Writer writer(batch);
+  inflight_writers_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> queue_lock(writers_mu_);
+  writers_.push_back(&writer);
+  writers_cv_.wait(queue_lock,
+                   [&] { return writer.done || writers_.front() == &writer; });
+  if (writer.done) {
+    inflight_writers_.fetch_sub(1, std::memory_order_relaxed);
+    return writer.status;
+  }
+
+  // Group-commit window (PostgreSQL commit_delay shape): other writers are
+  // mid-commit but not yet queued — sleep out the window so they join this
+  // group and share its single sync. The wait is unconditional once
+  // entered (an early exit on "everyone is queued" misfires: the in-flight
+  // count transiently dips while a committed writer hands back, shrinking
+  // groups); it releases the queue lock so stragglers can enqueue behind
+  // the leader. A lone writer skips the window entirely.
+  if (options_.group_commit_window_us > 0 &&
+      options_.sync_mode == SyncMode::kAlways &&
+      writers_.size() < inflight_writers_.load(std::memory_order_relaxed)) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.group_commit_window_us);
+    while (writers_cv_.wait_until(queue_lock, deadline) !=
+           std::cv_status::timeout) {
+    }
+  }
+
+  // Leader (RocksDB JoinBatchGroup shape): adopt every writer currently
+  // queued — self included — as one commit group, then log/sync/apply it
+  // under mu_ without holding the queue lock, so new arrivals enqueue
+  // behind and form the next group.
+  std::vector<Writer*> group(writers_.begin(), writers_.end());
+  queue_lock.unlock();
+
+  bool want_checkpoint = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CommitGroupLocked(group, &want_checkpoint);
+  }
+  if (want_checkpoint) {
+    if (options_.background_checkpoints) {
+      RequestBackgroundCheckpoint();
+    } else {
+      // Inline (deterministic) mode: the triggering group pays for the
+      // checkpoint, and a failure is reported to every writer whose
+      // commit otherwise succeeded — matching the old synchronous path.
+      Status status = DoCheckpoint(/*only_if_dirty=*/true);
+      if (!status.ok()) {
+        for (Writer* w : group) {
+          if (w->status.ok()) w->status = status;
+        }
+      }
+    }
+  }
+
+  queue_lock.lock();
+  writers_.erase(writers_.begin(), writers_.begin() + group.size());
+  for (Writer* w : group) w->done = true;
+  Status result = writer.status;
+  queue_lock.unlock();
+  writers_cv_.notify_all();
+  inflight_writers_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
 }
 
 Status DurableDatabase::AddRelation(Relation relation) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (pdb_.database().HasRelation(relation.name())) {
-    return Status::InvalidArgument("duplicate relation: " + relation.name());
-  }
-  std::string payload;
-  PutVarint64(&payload, last_seq_ + 1);
-  payload.push_back(static_cast<char>(kOpAddRelation));
-  EncodeRelation(&payload, relation);
-  return LogThenApplyLocked(std::move(payload), [&] {
-    return pdb_.AddRelation(std::move(relation));
-  });
+  WriteBatch batch;
+  batch.AddRelation(std::move(relation));
+  return CommitBatch(&batch);
 }
 
 Status DurableDatabase::CreateRelation(const std::string& name,
@@ -515,76 +796,91 @@ Status DurableDatabase::CreateRelation(const std::string& name,
 
 Status DurableDatabase::Insert(const std::string& relation, Tuple tuple,
                                double p) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Validate fully before logging: an op that cannot apply must never
-  // reach the WAL, or replay would diverge from the acknowledged state.
-  auto rel = pdb_.database().GetMutable(relation);
-  if (!rel.ok()) return rel.status();
-  PDB_RETURN_NOT_OK((*rel)->schema().Validate(tuple));
-  if ((*rel)->Contains(tuple)) {
-    return Status::InvalidArgument("duplicate tuple in " + relation);
-  }
-  if (!(p >= 0.0 && p <= 1.0)) {
-    return Status::OutOfRange("probability outside [0, 1]");
-  }
-  std::string payload;
-  PutVarint64(&payload, last_seq_ + 1);
-  payload.push_back(static_cast<char>(kOpInsert));
-  PutLengthPrefixed(&payload, relation);
-  PutVarint64(&payload, tuple.size());
-  for (const Value& v : tuple) EncodeValue(&payload, v);
-  PutDouble(&payload, p);
-  Relation* target = *rel;
-  return LogThenApplyLocked(std::move(payload), [&] {
-    Status status = target->AddTuple(std::move(tuple), p);
-    if (status.ok()) pdb_.BumpGeneration();
-    return status;
-  });
+  WriteBatch batch;
+  batch.Insert(relation, std::move(tuple), p);
+  return CommitBatch(&batch);
 }
 
-Status DurableDatabase::CheckpointLocked() {
+Status DurableDatabase::ApplyBatch(WriteBatch* batch) {
+  return CommitBatch(batch);
+}
+
+Status DurableDatabase::InsertMany(
+    const std::string& relation,
+    std::vector<std::pair<Tuple, double>> rows) {
+  WriteBatch batch;
+  for (auto& [tuple, p] : rows) {
+    batch.Insert(relation, std::move(tuple), p);
+  }
+  return CommitBatch(&batch);
+}
+
+Status DurableDatabase::PrepareCheckpointLocked(CheckpointFence* fence) {
   if (closed_) return Status::FailedPrecondition("database is closed");
   if (!io_error_.ok()) {
     return Status::FailedPrecondition(
         "database is read-only after an I/O error: " + io_error_.ToString());
   }
-  const uint64_t seq = last_seq_;
+  fence->seq = last_seq_;
+
+  // Serialize the catalog to records in memory — the only work that has
+  // to happen under the commit mutex. The file I/O happens off-lock in
+  // WriteCheckpointFence while writers keep committing.
+  const Database& db = pdb_.database();
+  std::vector<std::string> names = db.RelationNames();
+  std::string record;
+  PutFixed32(&record, kSnapshotHeaderMagic);
+  PutVarint64(&record, kFormatVersion);
+  PutVarint64(&record, fence->seq);
+  PutVarint64(&record, names.size());
+  fence->records.push_back(std::move(record));
+  for (const std::string& name : names) {
+    record.clear();
+    EncodeRelation(&record, *db.Get(name).value());
+    fence->records.push_back(std::move(record));
+  }
+  record.clear();
+  PutFixed32(&record, kSnapshotFooterMagic);
+  PutVarint64(&record, names.size());
+  fence->records.push_back(std::move(record));
+
+  // Roll a fresh segment: writers resume on it immediately, and the sync
+  // inside the roll makes everything up to the fence durable — so the
+  // fence advances last_synced_seq_ even under kNone. Crash-safe at every
+  // point: until the snapshot file is renamed into place below, the old
+  // snapshot plus the full segment chain still recovers this exact state.
+  Status status = RollWalLocked();
+  if (!status.ok()) {
+    SetIoErrorLocked(status);
+    return status;
+  }
+  records_since_checkpoint_ = 0;
+  last_synced_seq_ = last_seq_;
+  return Status::OK();
+}
+
+Status DurableDatabase::WriteCheckpointFence(CheckpointFence fence) {
+  const uint64_t seq = fence.seq;
   const uint64_t checkpoint_start = io_trace_.NowNs();
   const std::string final_name = SnapshotName(seq);
   const std::string tmp_path = JoinPath(dir_, final_name + ".tmp");
 
   auto fail = [&](const Status& status) {
-    SetIoErrorLocked(status);
+    SetIoError(status);
     return status;
   };
 
-  // Write the whole catalog to a temp file, sync, then atomically rename:
-  // a crash at any point leaves either the old state or the new snapshot,
-  // never a half-written file under the final name.
+  // Write the fenced catalog to a temp file, sync, then atomically
+  // rename: a crash at any point leaves either the old state or the new
+  // snapshot, never a half-written file under the final name.
   {
     auto file = env_->NewWritableFile(tmp_path);
     if (!file.ok()) return fail(file.status());
     LogWriter writer(file->get());
-
-    const Database& db = pdb_.database();
-    std::vector<std::string> names = db.RelationNames();
-    std::string record;
-    PutFixed32(&record, kSnapshotHeaderMagic);
-    PutVarint64(&record, kFormatVersion);
-    PutVarint64(&record, seq);
-    PutVarint64(&record, names.size());
-    Status status = writer.AddRecord(record);
-    for (const std::string& name : names) {
+    Status status;
+    for (const std::string& record : fence.records) {
+      status = writer.AddRecord(record);
       if (!status.ok()) break;
-      record.clear();
-      EncodeRelation(&record, *db.Get(name).value());
-      status = writer.AddRecord(record);
-    }
-    if (status.ok()) {
-      record.clear();
-      PutFixed32(&record, kSnapshotFooterMagic);
-      PutVarint64(&record, names.size());
-      status = writer.AddRecord(record);
     }
     if (status.ok()) status = (*file)->Sync();
     if (status.ok()) status = (*file)->Close();
@@ -593,17 +889,11 @@ Status DurableDatabase::CheckpointLocked() {
   Status renamed = env_->RenameFile(tmp_path, JoinPath(dir_, final_name));
   if (!renamed.ok()) return fail(renamed);
 
-  // The snapshot now covers every logged op: roll a fresh WAL segment and
-  // delete the files it made redundant.
-  Status status = RollWalLocked();
-  if (!status.ok()) return fail(status);
-  records_since_checkpoint_ = 0;
   checkpoints_->Add(1);
   const uint64_t checkpoint_ns = io_trace_.NowNs() - checkpoint_start;
   checkpoint_duration_us_->Add(checkpoint_ns / 1'000);
   io_trace_.RecordSpan(TracePhase::kCheckpoint, checkpoint_start,
                        checkpoint_ns, {{"snapshot_seq", seq}});
-  last_synced_seq_ = last_seq_;
 
   // Retention GC: keep the `retain_checkpoints` newest snapshots (the one
   // just written included) and every WAL segment still needed to recover
@@ -655,9 +945,48 @@ Status DurableDatabase::CheckpointLocked() {
   return Status::OK();
 }
 
+Status DurableDatabase::DoCheckpoint(bool only_if_dirty) {
+  // checkpoint_mu_ orders concurrent checkpoints (explicit, auto,
+  // background) so fences hit the disk in fence order. It is never taken
+  // while holding mu_, so writers are only ever blocked for the fence.
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  CheckpointFence fence;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (only_if_dirty && records_since_checkpoint_ == 0) {
+      return Status::OK();
+    }
+    PDB_RETURN_NOT_OK(PrepareCheckpointLocked(&fence));
+  }
+  return WriteCheckpointFence(std::move(fence));
+}
+
 Status DurableDatabase::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return CheckpointLocked();
+  return DoCheckpoint(/*only_if_dirty=*/false);
+}
+
+void DurableDatabase::RequestBackgroundCheckpoint() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_checkpoint_requested_ = true;
+  }
+  bg_cv_.notify_all();
+}
+
+void DurableDatabase::CheckpointThreadMain() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  for (;;) {
+    bg_cv_.wait(lock,
+                [&] { return bg_checkpoint_requested_ || bg_stop_; });
+    if (bg_stop_) return;
+    bg_checkpoint_requested_ = false;
+    lock.unlock();
+    // Failures latch io_error_ inside; nothing more to do with the status
+    // here (the next writer observes the read-only condition).
+    Status status = DoCheckpoint(/*only_if_dirty=*/true);
+    (void)status;
+    lock.lock();
+  }
 }
 
 Status DurableDatabase::SyncWal() {
@@ -768,6 +1097,15 @@ Result<uint64_t> DurableDatabase::LoadWmcCache(WmcCache* cache) {
 }
 
 Status DurableDatabase::Close() {
+  // Stop the background checkpoint thread first; it takes mu_ itself, so
+  // the join must happen before this thread holds it.
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return Status::OK();
   closed_ = true;

@@ -40,6 +40,41 @@ Status Schema::Validate(const Tuple& tuple) const {
   return Status::OK();
 }
 
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Attribute> attributes;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string field = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t colon = field.find(':');
+    if (field.empty() || colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument(
+          StrFormat("bad schema field '%s' (want name:type)", field.c_str()));
+    }
+    Attribute attr;
+    attr.name = field.substr(0, colon);
+    std::string type = field.substr(colon + 1);
+    if (type == "int") {
+      attr.type = ValueType::kInt;
+    } else if (type == "double") {
+      attr.type = ValueType::kDouble;
+    } else if (type == "string") {
+      attr.type = ValueType::kString;
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "bad attribute type '%s' (want int|double|string)", type.c_str()));
+    }
+    attributes.push_back(std::move(attr));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("empty schema");
+  }
+  return Schema(std::move(attributes));
+}
+
 std::string Schema::ToString() const {
   std::string out = "(";
   for (size_t i = 0; i < attributes_.size(); ++i) {

@@ -51,6 +51,11 @@ class Schema {
   std::vector<Attribute> attributes_;
 };
 
+/// Parses a schema spec "name:type,name:type,..." with type one of
+/// int|double|string — the format of pdbd's `--table SCHEMA` operand and
+/// the `/ingest ?schema=` parameter.
+Result<Schema> ParseSchemaSpec(const std::string& spec);
+
 }  // namespace pdb
 
 #endif  // PDB_STORAGE_SCHEMA_H_

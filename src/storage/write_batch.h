@@ -1,0 +1,91 @@
+/// \file write_batch.h
+/// \brief A batch of mutations committed (and WAL-logged) atomically.
+///
+/// The RocksDB idiom: callers stage any number of mutations in a
+/// `WriteBatch`, then hand it to `DurableDatabase::ApplyBatch`. The whole
+/// batch is serialized into ONE CRC-framed WAL record (`kWalOpWriteBatch`),
+/// synced once, and applied as a unit — recovery replays it all-or-nothing,
+/// so a torn tail can never surface half a batch. Batching is also what
+/// makes group commit pay: one fsync amortizes over every mutation in the
+/// group instead of one fsync per tuple.
+///
+/// A batch is validated as a unit at commit time: if any staged op is
+/// invalid (missing relation, schema mismatch, duplicate, bad probability),
+/// the whole batch is rejected and nothing reaches the log.
+///
+/// Not thread-safe; build a batch on one thread, then commit it. The batch
+/// is not cleared by a commit — call `Clear` to reuse the allocation.
+
+#ifndef PDB_STORAGE_WRITE_BATCH_H_
+#define PDB_STORAGE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace pdb {
+
+/// WAL operation codes (the byte after the sequence number in a record).
+/// Shared between the WriteBatch payload encoding and the legacy
+/// single-operation records, so a batch body is just a varint count
+/// followed by `count` back-to-back single-op bodies.
+enum WalOp : uint8_t {
+  kWalOpAddRelation = 1,
+  kWalOpInsert = 2,
+  /// One record carrying N mutations, replayed atomically.
+  kWalOpWriteBatch = 3,
+};
+
+/// An ordered list of mutations to commit atomically.
+class WriteBatch {
+ public:
+  /// Stages one tuple insert into `relation`.
+  void Insert(std::string relation, Tuple tuple, double p = 1.0) {
+    Op op;
+    op.code = kWalOpInsert;
+    op.target = std::move(relation);
+    op.tuple = std::move(tuple);
+    op.p = p;
+    ops_.push_back(std::move(op));
+  }
+
+  /// Stages a whole-relation add (schema + any tuples it already holds).
+  void AddRelation(Relation relation) {
+    Op op;
+    op.code = kWalOpAddRelation;
+    op.relation = std::move(relation);
+    ops_.push_back(std::move(op));
+  }
+
+  /// Stages the registration of an empty relation.
+  void CreateRelation(std::string name, Schema schema) {
+    AddRelation(Relation(std::move(name), std::move(schema)));
+  }
+
+  /// Number of staged mutations.
+  size_t count() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void Clear() { ops_.clear(); }
+
+ private:
+  friend class DurableDatabase;
+
+  struct Op {
+    uint8_t code = 0;
+    std::string target;  // kWalOpInsert: destination relation name
+    Tuple tuple;         // kWalOpInsert
+    double p = 1.0;      // kWalOpInsert
+    Relation relation;   // kWalOpAddRelation
+  };
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace pdb
+
+#endif  // PDB_STORAGE_WRITE_BATCH_H_

@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "boolean/lineage.h"
+#include "storage/coding.h"
+#include "storage/durable_db.h"
 #include "storage/env.h"
 #include "storage/wal.h"
+#include "storage/write_batch.h"
 #include "exec/context.h"
 #include "exec/thread_pool.h"
 #include "kc/obdd.h"
@@ -471,6 +474,156 @@ TEST_P(WalReaderFuzz, ArbitraryGarbageNeverCrashesTheReader) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WalReaderFuzz,
                          ::testing::Range<uint64_t>(0, 12));
+
+// ---------------------------------------------------------------------
+// WriteBatch record robustness: one level above log framing. A
+// CRC-valid record whose *payload* is a malformed batch (truncated op
+// list, inflated count, unknown op byte, trailing garbage) must be
+// treated as damage — recovery keeps everything before it, applies NONE
+// of the batch's mutations (never a prefix), drops the untrusted
+// suffix, and leaves a writable database.
+
+/// Record payloads of the single WAL segment under `dir`, in log order.
+std::vector<std::string> WalRecords(MemEnv* env, const std::string& dir) {
+  auto children = env->GetChildren(dir);
+  PDB_CHECK(children.ok());
+  std::string wal_name;
+  for (const std::string& name : *children) {
+    if (name.rfind("wal-", 0) == 0) {
+      PDB_CHECK(wal_name.empty());  // the builder ran without checkpoints
+      wal_name = name;
+    }
+  }
+  PDB_CHECK(!wal_name.empty());
+  const std::string contents = env->FileContents(dir + "/" + wal_name);
+  LogReader reader(contents);
+  std::vector<std::string> records;
+  std::string record;
+  while (reader.ReadRecord(&record)) records.push_back(record);
+  PDB_CHECK(!reader.corruption_detected());
+  return records;
+}
+
+class BatchRecordFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchRecordFuzz, MalformedBatchPayloadsNeverApplyPartially) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 0xd1342543de82ef95ULL + 29);
+
+  // Build a genuine WAL: create + single insert (seqs 1-2), one batch of
+  // three (seqs 3-5), then a post-batch insert (seq 6) that must vanish
+  // with the untrusted suffix once the batch record is damaged.
+  MemEnv source;
+  {
+    DurableOptions options;
+    options.env = &source;
+    auto db = DurableDatabase::Open("/src", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE(
+        (*db)->CreateRelation("R", Schema::Anonymous(1)).ok());
+    ASSERT_TRUE((*db)->Insert("R", {Value(int64_t{1})}, 0.5).ok());
+    ASSERT_TRUE((*db)->InsertMany("R", {{{Value(int64_t{10})}, 0.5},
+                                        {{Value(int64_t{11})}, 0.5},
+                                        {{Value(int64_t{12})}, 0.5}})
+                    .ok());
+    ASSERT_TRUE((*db)->Insert("R", {Value(int64_t{2})}, 0.5).ok());
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  std::vector<std::string> records = WalRecords(&source, "/src");
+  // Locate the batch record (varint seq, then the op byte).
+  size_t batch_index = records.size();
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::string_view in(records[i]);
+    uint64_t seq = 0;
+    ASSERT_TRUE(GetVarint64(&in, &seq));
+    ASSERT_FALSE(in.empty());
+    if (static_cast<uint8_t>(in.front()) == kWalOpWriteBatch) {
+      batch_index = i;
+      break;
+    }
+  }
+  ASSERT_LT(batch_index, records.size());
+  const std::string& batch = records[batch_index];
+  const size_t header = batch.size() - [&] {
+    std::string_view in(batch);
+    uint64_t seq = 0;
+    GetVarint64(&in, &seq);
+    return in.size() - 1;  // past the op byte
+  }();
+
+  // One corruption per seed round: all CRC-valid, all malformed payloads.
+  std::vector<std::string> mutants;
+  mutants.push_back(batch.substr(0, header));  // empty batch body
+  mutants.push_back(                           // truncated mid-op
+      batch.substr(0, header + 1 + rng.Uniform(batch.size() - header - 1)));
+  mutants.push_back(batch + "garbage");        // trailing bytes
+  {
+    std::string inflated = batch;
+    inflated[header] = static_cast<char>(inflated[header] + 1);  // count+1
+    mutants.push_back(std::move(inflated));
+  }
+  {
+    std::string bad_op = batch;
+    bad_op[header + 1] = '\x7f';  // first op's code byte: unknown op
+    mutants.push_back(std::move(bad_op));
+  }
+  {
+    std::string flipped = batch;  // random payload bit flip
+    size_t pos = header + rng.Uniform(flipped.size() - header);
+    flipped[pos] =
+        static_cast<char>(flipped[pos] ^ (1u << rng.Uniform(8)));
+    mutants.push_back(std::move(flipped));
+  }
+
+  for (size_t m = 0; m < mutants.size(); ++m) {
+    SCOPED_TRACE(StrFormat("mutant %zu (seed %llu)", m,
+                           static_cast<unsigned long long>(seed)));
+    // Re-frame the records with the damaged batch into a fresh WAL.
+    MemEnv env;
+    ASSERT_TRUE(env.CreateDirIfMissing("/db").ok());
+    auto file = env.NewWritableFile("/db/wal-00000000000000000001.log");
+    ASSERT_TRUE(file.ok());
+    {
+      LogWriter writer(file->get());
+      for (size_t i = 0; i < records.size(); ++i) {
+        ASSERT_TRUE(
+            writer.AddRecord(i == batch_index ? mutants[m] : records[i])
+                .ok());
+      }
+      ASSERT_TRUE((*file)->Close().ok());
+    }
+
+    DurableOptions options;
+    options.env = &env;
+    auto db = DurableDatabase::Open("/db", options);
+    ASSERT_TRUE(db.ok())
+        << "recovery must not fail on a malformed batch record: "
+        << db.status().ToString();
+    const Relation& rel = **(*db)->pdb().database().Get("R");
+    if ((*db)->last_seq() == 6u) {
+      // A random bit flip may leave a decodable, valid batch (e.g. a
+      // flipped probability bit): then everything replays.
+      ASSERT_EQ(m, mutants.size() - 1);
+      EXPECT_EQ(rel.size(), 5u);
+      continue;
+    }
+    // Damage detected: exactly the pre-batch prefix, none of the batch,
+    // and not the post-batch insert either.
+    EXPECT_EQ((*db)->last_seq(), 2u);
+    EXPECT_EQ(rel.size(), 1u);
+    EXPECT_TRUE(rel.Contains({Value(int64_t{1})}));
+    EXPECT_FALSE(rel.Contains({Value(int64_t{10})}));
+    EXPECT_FALSE(rel.Contains({Value(int64_t{11})}));
+    EXPECT_FALSE(rel.Contains({Value(int64_t{12})}));
+    EXPECT_FALSE(rel.Contains({Value(int64_t{2})}));
+    EXPECT_TRUE((*db)->recovery_stats().tail_truncated);
+    // The recovered handle accepts new writes on a clean tail.
+    EXPECT_TRUE((*db)->Insert("R", {Value(int64_t{99})}, 0.5).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchRecordFuzz,
+                         ::testing::Range<uint64_t>(0, 8));
 
 // ---------------------------------------------------------------------
 // Observability JSON readers: TraceFromJson and SlowQueryEntryFromJson are

@@ -453,5 +453,53 @@ TEST(SessionIndexCache, ReusedAcrossQueriesAndInvalidated) {
   EXPECT_GT(session.index_cache_stats().builds, second.builds);
 }
 
+// Planted correlation: Corr(x, y) carries y == x on every row, so the
+// independence product (size / distinct(x) / distinct(y) = 0.01 rows per
+// probe) wildly understates it, while the composite distinct count (100
+// observed pairs) prices the probe correctly at 1 row. The cost-based
+// order must therefore prefer the genuinely-selective Other — equally
+// priced at 1 row but smaller — over the correlated trap when both
+// columns are bound.
+TEST(CostBasedOrdering, CompositeDistinctBeatsIndependenceOnCorrelation) {
+  Database db;
+  Relation driver("Sm", Schema::Anonymous(2, ValueType::kInt));
+  for (int64_t i = 0; i < 10; ++i) {
+    PDB_CHECK(driver.AddTuple({Value(i), Value(i)}, 0.5).ok());
+  }
+  // 100 rows, y == x: distinct(x) = distinct(y) = 100, composite = 100.
+  Relation corr("Corr", Schema::Anonymous(2, ValueType::kInt));
+  for (int64_t i = 0; i < 100; ++i) {
+    PDB_CHECK(corr.AddTuple({Value(i), Value(i)}, 0.5).ok());
+  }
+  // 20 rows, (i mod 4, i mod 5): distinct(x) = 4, distinct(y) = 5, and by
+  // CRT all 20 pairs are distinct — composite = 20, so the composite and
+  // independence estimates agree at 1 row per probe.
+  Relation other("Other", Schema::Anonymous(2, ValueType::kInt));
+  for (int64_t i = 0; i < 20; ++i) {
+    PDB_CHECK(other.AddTuple({Value(i % 4), Value(i % 5)}, 0.5).ok());
+  }
+  PDB_CHECK(db.AddRelation(std::move(driver)).ok());
+  PDB_CHECK(db.AddRelation(std::move(corr)).ok());
+  PDB_CHECK(db.AddRelation(std::move(other)).ok());
+
+  ConjunctiveQuery cq({Atom("Corr", {Term::Var("x"), Term::Var("y")}),
+                       Atom("Other", {Term::Var("x"), Term::Var("y")}),
+                       Atom("Sm", {Term::Var("x"), Term::Var("y")})});
+  GroundingOptions options;
+  options.order = AtomOrderPolicy::kCostBased;
+  auto plan = PlanCqJoin(cq, db, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->steps.size(), 3u);
+  // Smallest relation drives; then both candidates estimate 1 row per
+  // probe under composite stats and the tie breaks to the smaller Other.
+  // (The independence product would order Corr second at 0.01 estimated
+  // rows — exactly the correlated-pair trap.)
+  EXPECT_EQ(plan->steps[0].predicate, "Sm");
+  EXPECT_EQ(plan->steps[1].predicate, "Other");
+  EXPECT_EQ(plan->steps[2].predicate, "Corr");
+  EXPECT_DOUBLE_EQ(plan->steps[1].estimated_rows, 1.0);
+  EXPECT_DOUBLE_EQ(plan->steps[2].estimated_rows, 1.0);
+}
+
 }  // namespace
 }  // namespace pdb

@@ -24,6 +24,7 @@
 #include "core/session.h"
 #include "fault_env.h"
 #include "storage/durable_db.h"
+#include "storage/write_batch.h"
 #include "test_common.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -38,11 +39,14 @@ using testing::RandomUcq;
 // Workload model: a deterministic op list derived from a seed.
 
 struct WorkloadOp {
-  enum Kind { kCreate, kInsert, kCheckpoint } kind = kInsert;
+  enum Kind { kCreate, kInsert, kCheckpoint, kBatch } kind = kInsert;
   std::string relation;
   size_t arity = 1;
   Tuple tuple;
   double prob = 1.0;
+  // kBatch: the staged mutations (kCreate / kInsert only), committed
+  // atomically through ApplyBatch — one WAL record, all-or-nothing.
+  std::vector<WorkloadOp> batch_ops;
 };
 
 std::vector<WorkloadOp> MakeWorkload(uint64_t seed, size_t num_ops) {
@@ -60,6 +64,17 @@ std::vector<WorkloadOp> MakeWorkload(uint64_t seed, size_t num_ops) {
     op.arity = vocab[i].arity;
     ops.push_back(op);
   }
+  auto random_insert = [&](WorkloadOp* op) {
+    op->kind = WorkloadOp::kInsert;
+    size_t v = rng.Uniform(4);
+    op->relation = vocab[v].name;
+    op->arity = vocab[v].arity;
+    for (size_t c = 0; c < vocab[v].arity; ++c) {
+      op->tuple.emplace_back(static_cast<int64_t>(1 + rng.Uniform(3)));
+    }
+    op->prob = rng.Bernoulli(0.1) ? (rng.Bernoulli(0.5) ? 0.0 : 1.0)
+                                  : rng.NextDouble();
+  };
   while (ops.size() < num_ops) {
     WorkloadOp op;
     uint64_t roll = rng.Uniform(100);
@@ -70,16 +85,28 @@ std::vector<WorkloadOp> MakeWorkload(uint64_t seed, size_t num_ops) {
       op.arity = vocab[v].arity;
     } else if (roll < 15) {
       op.kind = WorkloadOp::kCheckpoint;
-    } else {
-      op.kind = WorkloadOp::kInsert;
-      size_t v = rng.Uniform(4);
-      op.relation = vocab[v].name;
-      op.arity = vocab[v].arity;
-      for (size_t c = 0; c < vocab[v].arity; ++c) {
-        op.tuple.emplace_back(static_cast<int64_t>(1 + rng.Uniform(3)));
+    } else if (roll < 35) {
+      // Atomic batches, 2–5 mutations, occasionally leading with a DDL
+      // create so replay must honor the in-batch catalog change. The tiny
+      // value domain makes in-batch and cross-batch duplicates (which
+      // reject the WHOLE batch) routine.
+      op.kind = WorkloadOp::kBatch;
+      size_t n = 2 + rng.Uniform(4);
+      if (rng.Bernoulli(0.25)) {
+        WorkloadOp create;
+        create.kind = WorkloadOp::kCreate;
+        size_t v = rng.Uniform(4);
+        create.relation = vocab[v].name;
+        create.arity = vocab[v].arity;
+        op.batch_ops.push_back(std::move(create));
       }
-      op.prob = rng.Bernoulli(0.1) ? (rng.Bernoulli(0.5) ? 0.0 : 1.0)
-                                   : rng.NextDouble();
+      while (op.batch_ops.size() < n) {
+        WorkloadOp row;
+        random_insert(&row);
+        op.batch_ops.push_back(std::move(row));
+      }
+    } else {
+      random_insert(&op);
     }
     ops.push_back(std::move(op));
   }
@@ -105,8 +132,29 @@ bool OracleApply(Database* db, const WorkloadOp& op) {
     }
     case WorkloadOp::kCheckpoint:
       return false;  // no state change, no sequence number
+    case WorkloadOp::kBatch:
+      return false;  // handled by OracleApplyBatch (atomic, multi-seq)
   }
   return false;
+}
+
+// Atomic-batch oracle: mirrors DurableDatabase::ApplyBatch — the whole
+// batch is validated against a trial copy first; any invalid op rejects
+// everything (no state change, no sequence numbers). On success every
+// mutation applies in order. Returns the per-mutation intermediate states
+// appended (empty when rejected); only the LAST of those is a state
+// recovery may ever observe, since a batch replays all-or-nothing.
+std::vector<Database> OracleApplyBatch(Database* db, const WorkloadOp& op) {
+  Database trial(*db);
+  for (const WorkloadOp& sub : op.batch_ops) {
+    if (!OracleApply(&trial, sub)) return {};
+  }
+  std::vector<Database> intermediates;
+  for (const WorkloadOp& sub : op.batch_ops) {
+    PDB_CHECK(OracleApply(db, sub));
+    intermediates.push_back(*db);
+  }
+  return intermediates;
 }
 
 // Runs one op against the durable database (errors expected under crash
@@ -123,19 +171,48 @@ void DurableApply(DurableDatabase* db, const WorkloadOp& op) {
     case WorkloadOp::kCheckpoint:
       db->Checkpoint().ok();
       break;
+    case WorkloadOp::kBatch: {
+      WriteBatch batch;
+      for (const WorkloadOp& sub : op.batch_ops) {
+        if (sub.kind == WorkloadOp::kCreate) {
+          batch.CreateRelation(sub.relation, Schema::Anonymous(sub.arity));
+        } else {
+          batch.Insert(sub.relation, sub.tuple, sub.prob);
+        }
+      }
+      db->ApplyBatch(&batch).ok();  // rejection/fault are fine
+      break;
+    }
   }
 }
 
-// states[j] = the database after the first j *logged* ops; states[0] is
-// empty. The oracle for recovery at sequence number j.
-std::vector<Database> OracleStates(const std::vector<WorkloadOp>& ops) {
+// states[j] = the database after the first j *logged* mutations;
+// states[0] is empty. boundary[j] marks the seqs recovery may legally
+// land on: mid-batch seqs are NOT boundaries — a WriteBatch record
+// replays whole or not at all, so observing one is an atomicity bug.
+struct Oracle {
   std::vector<Database> states;
-  states.emplace_back();
+  std::vector<bool> boundary;
+};
+
+Oracle OracleStates(const std::vector<WorkloadOp>& ops) {
+  Oracle oracle;
+  oracle.states.emplace_back();
+  oracle.boundary.push_back(true);
   Database current;
   for (const WorkloadOp& op : ops) {
-    if (OracleApply(&current, op)) states.push_back(current);
+    if (op.kind == WorkloadOp::kBatch) {
+      std::vector<Database> mid = OracleApplyBatch(&current, op);
+      for (size_t i = 0; i < mid.size(); ++i) {
+        oracle.states.push_back(std::move(mid[i]));
+        oracle.boundary.push_back(i + 1 == mid.size());
+      }
+    } else if (OracleApply(&current, op)) {
+      oracle.states.push_back(current);
+      oracle.boundary.push_back(true);
+    }
   }
-  return states;
+  return oracle;
 }
 
 // Structural, bit-exact equality: names, schemas, rows, probabilities.
@@ -215,7 +292,8 @@ TEST_P(RecoveryCrashFuzz, EveryCrashPointRecoversTheSyncedPrefix) {
   // inside snapshot writes, renames, WAL rolls, and old-file deletion.
   const uint64_t checkpoint_every = (seed % 3 == 0) ? 4 : 0;
   std::vector<WorkloadOp> ops = MakeWorkload(seed, num_ops);
-  std::vector<Database> states = OracleStates(ops);
+  Oracle oracle = OracleStates(ops);
+  const std::vector<Database>& states = oracle.states;
 
   // Dry run: count the workload's I/O operations (open + ops + close).
   uint64_t total_io = 0;
@@ -265,6 +343,9 @@ TEST_P(RecoveryCrashFuzz, EveryCrashPointRecoversTheSyncedPrefix) {
         << "recovery must never fail on crashed state: "
         << reopened.status().ToString();
     ASSERT_LT(synced_seq, states.size());
+    ASSERT_TRUE(oracle.boundary[synced_seq])
+        << "acknowledged seq " << synced_seq
+        << " lands mid-batch: an ApplyBatch ack was not atomic";
     EXPECT_TRUE(
         DatabasesEqual((*reopened)->pdb().database(), states[synced_seq]))
         << "recovered state != oracle at synced seq " << synced_seq;
@@ -295,7 +376,8 @@ TEST_P(RecoveryCrashFuzz, TornCrashesRecoverSomeAcknowledgedPrefix) {
   const uint64_t seed = GetParam();
   const size_t num_ops = 10 + seed % 7;
   std::vector<WorkloadOp> ops = MakeWorkload(seed, num_ops);
-  std::vector<Database> states = OracleStates(ops);
+  Oracle oracle = OracleStates(ops);
+  const std::vector<Database>& states = oracle.states;
 
   uint64_t total_io = 0;
   {
@@ -336,6 +418,9 @@ TEST_P(RecoveryCrashFuzz, TornCrashesRecoverSomeAcknowledgedPrefix) {
     uint64_t recovered_seq = (*reopened)->last_seq();
     ASSERT_GE(recovered_seq, synced_seq);
     ASSERT_LT(recovered_seq, states.size());
+    ASSERT_TRUE(oracle.boundary[recovered_seq])
+        << "torn-tail recovery landed mid-batch at seq " << recovered_seq
+        << ": a WriteBatch record was split";
     EXPECT_TRUE(DatabasesEqual((*reopened)->pdb().database(),
                                states[recovered_seq]))
         << "recovered state is not the oracle prefix at its own seq "

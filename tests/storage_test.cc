@@ -249,6 +249,33 @@ TEST(ColumnarIndexTest, CompositeKeyLookup) {
   EXPECT_EQ(count, 0u);
 }
 
+TEST(ColumnarStatsTest, DistinctCompositeCountsObservedPairs) {
+  // y == x on every row: the composite distinct count sees the
+  // correlation (4 pairs), where the independence product would say 16.
+  Relation rel("Corr", Schema::Anonymous(2));
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rel.AddTuple({Value(i), Value(i)}, 1).ok());
+  }
+  auto cols = ColumnarRelation::Build(rel);
+  EXPECT_EQ(DistinctComposite(*cols, {0, 1}), 4u);
+  EXPECT_EQ(DistinctComposite(*cols, {0}), 4u);
+  EXPECT_EQ(DistinctComposite(*cols, {}), 0u);  // no key columns
+  // The stat matches what a ColumnarIndex over the same key observes.
+  ColumnarIndex index(cols, {0, 1});
+  EXPECT_EQ(index.num_buckets(), 4u);
+
+  Relation grid("Grid", Schema::Anonymous(2));
+  for (int64_t x = 0; x < 2; ++x) {
+    for (int64_t y = 0; y < 3; ++y) {
+      ASSERT_TRUE(grid.AddTuple({Value(x), Value(y)}, 1).ok());
+    }
+  }
+  auto grid_cols = ColumnarRelation::Build(grid);
+  EXPECT_EQ(DistinctComposite(*grid_cols, {0, 1}), 6u);  // full cross product
+  ColumnarIndex grid_index(grid_cols, {1});
+  EXPECT_EQ(grid_index.num_buckets(), 3u);  // CSR: one bucket per code
+}
+
 TEST(ColumnarTest, CodeTranslationAlignsTwoDictionaries) {
   std::vector<Value> src = {Value(1), Value(3), Value(5)};
   std::vector<Value> dst = {Value(3), Value(4), Value(5)};

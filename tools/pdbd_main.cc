@@ -6,8 +6,9 @@
 ///        [--table NAME SCHEMA FILE.csv]...
 ///        [--data-dir DIR] [--sync-mode always|none]
 ///        [--checkpoint-every-n N] [--retain-checkpoints N]
-///        [--wmc-spill-ms N]
+///        [--group-commit-window-us N] [--wmc-spill-ms N]
 ///        [--max-concurrent N] [--max-queue N] [--queue-timeout-ms N]
+///        [--max-per-client N]
 ///        [--max-deadline-ms N] [--drain-timeout-ms N]
 ///        [--slow-query-ms N] [--log-file PATH]
 ///
@@ -33,6 +34,17 @@
 /// clean shutdown), and `--retain-checkpoints` (default 1) keeps that many
 /// newest snapshots — plus the WAL segments needed to recover from the
 /// oldest one — when the checkpoint garbage-collects old files.
+///
+/// With a durable store, `POST /ingest?relation=R[&schema=...]` streams a
+/// CSV body straight into WriteBatches committed through the group-commit
+/// WAL, and checkpoints run on a background thread off the write path so
+/// `--checkpoint-every-n` does not stall writers.
+/// `--group-commit-window-us N` trades a bounded commit delay for larger
+/// sync-sharing groups under concurrent writers (the PostgreSQL
+/// commit_delay shape; 0, the default, commits immediately).
+/// `--max-per-client N`
+/// caps how many requests one X-Client-Id may have admitted or queued at
+/// once (0, the default, is unlimited).
 ///
 /// `--slow-query-ms N` captures every statement at or above N ms — full
 /// per-phase trace plus an EXPLAIN payload — into the ring served by
@@ -68,42 +80,6 @@ volatile std::sig_atomic_t g_shutdown_requested = 0;
 
 void HandleSignal(int) { g_shutdown_requested = 1; }
 
-/// Parses "name:type,name:type,..." into a Schema.
-pdb::Result<pdb::Schema> ParseSchemaSpec(const std::string& spec) {
-  std::vector<pdb::Attribute> attributes;
-  size_t pos = 0;
-  while (pos <= spec.size()) {
-    size_t comma = spec.find(',', pos);
-    std::string field = spec.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    size_t colon = field.find(':');
-    if (field.empty() || colon == std::string::npos || colon == 0) {
-      return pdb::Status::InvalidArgument(pdb::StrFormat(
-          "bad schema field '%s' (want name:type)", field.c_str()));
-    }
-    pdb::Attribute attr;
-    attr.name = field.substr(0, colon);
-    std::string type = field.substr(colon + 1);
-    if (type == "int") {
-      attr.type = pdb::ValueType::kInt;
-    } else if (type == "double") {
-      attr.type = pdb::ValueType::kDouble;
-    } else if (type == "string") {
-      attr.type = pdb::ValueType::kString;
-    } else {
-      return pdb::Status::InvalidArgument(pdb::StrFormat(
-          "bad attribute type '%s' (want int|double|string)", type.c_str()));
-    }
-    attributes.push_back(std::move(attr));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (attributes.empty()) {
-    return pdb::Status::InvalidArgument("empty schema");
-  }
-  return pdb::Schema(std::move(attributes));
-}
-
 /// The synthetic bipartite demo database: R(x), S(x,y), T(y) with smoothly
 /// varying probabilities — large enough that "R(x), S(x,y), T(y)" exercises
 /// the full inference pipeline, small enough to ground instantly.
@@ -136,9 +112,9 @@ int Usage(const char* argv0) {
       "          [--table NAME SCHEMA FILE.csv]...\n"
       "          [--data-dir DIR] [--sync-mode always|none]\n"
       "          [--checkpoint-every-n N] [--retain-checkpoints N]\n"
-      "          [--wmc-spill-ms N]\n"
+      "          [--group-commit-window-us N] [--wmc-spill-ms N]\n"
       "          [--max-concurrent N] [--max-queue N] "
-      "[--queue-timeout-ms N]\n"
+      "[--queue-timeout-ms N] [--max-per-client N]\n"
       "          [--max-deadline-ms N] [--drain-timeout-ms N]\n"
       "          [--slow-query-ms N] [--log-file PATH]\n"
       "SCHEMA example: \"src:int,dst:int\" (CSV rows end with a "
@@ -214,6 +190,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--retain-checkpoints") {
       if (!next_uint(&value) || value == 0) return Usage(argv[0]);
       durable_options.retain_checkpoints = static_cast<size_t>(value);
+    } else if (arg == "--group-commit-window-us") {
+      if (!next_uint(&value) || value > 1'000'000) return Usage(argv[0]);
+      durable_options.group_commit_window_us = static_cast<uint32_t>(value);
     } else if (arg == "--wmc-spill-ms") {
       if (!next_uint(&value)) return Usage(argv[0]);
       wmc_spill_ms = value;
@@ -226,6 +205,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue-timeout-ms") {
       if (!next_uint(&value)) return Usage(argv[0]);
       options.admission.queue_timeout_ms = value;
+    } else if (arg == "--max-per-client") {
+      if (!next_uint(&value)) return Usage(argv[0]);
+      options.admission.max_per_client = static_cast<size_t>(value);
     } else if (arg == "--max-deadline-ms") {
       if (!next_uint(&value)) return Usage(argv[0]);
       options.max_deadline_ms = value;
@@ -249,6 +231,10 @@ int main(int argc, char** argv) {
   std::shared_ptr<pdb::WmcCache> warm_cache;
   pdb::ProbDatabase* db = &memory_db;
   if (!data_dir.empty()) {
+    // The server opts into off-write-path checkpointing: a threshold crossed
+    // by a commit wakes the checkpoint thread instead of running the
+    // snapshot inline, so writers only pay for the brief fence.
+    durable_options.background_checkpoints = true;
     auto opened = pdb::DurableDatabase::Open(data_dir, durable_options);
     if (!opened.ok()) {
       std::fprintf(stderr, "pdbd: opening %s: %s\n", data_dir.c_str(),
@@ -281,6 +267,7 @@ int main(int argc, char** argv) {
     options.extra_metrics = &durable->metrics();
     options.data_dir_mode = "durable";
     options.io_trace = &durable->io_trace();
+    options.durable = durable.get();
   }
 
   // A mutation goes through the WAL when durable; relations that already
@@ -313,7 +300,7 @@ int main(int argc, char** argv) {
     loaded_any = true;
   }
   for (const TableSpec& spec : tables) {
-    auto schema = ParseSchemaSpec(spec.schema);
+    auto schema = pdb::ParseSchemaSpec(spec.schema);
     if (!schema.ok()) {
       std::fprintf(stderr, "pdbd: table %s: %s\n", spec.name.c_str(),
                    schema.status().ToString().c_str());
