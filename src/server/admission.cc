@@ -23,7 +23,7 @@ AdmissionController::AdmissionController(AdmissionOptions options)
       max_per_client_(options.max_per_client) {}
 
 void AdmissionController::DropClientLocked(const std::string& client_id) {
-  if (max_per_client_ == 0) return;
+  if (max_per_client_ == 0 || client_id.empty()) return;
   auto it = per_client_.find(client_id);
   if (it != per_client_.end() && --it->second == 0) per_client_.erase(it);
 }
@@ -39,8 +39,11 @@ AdmissionController::Decision AdmissionController::Admit(
   // and never takes a queue position, so the queue stays available to
   // everyone else. Occupancy counts queued requests too — the cap bounds
   // how much of the server one client id can tie up, not just how much it
-  // can execute.
-  if (max_per_client_ > 0) {
+  // can execute. Requests without an id are exempt: distinct anonymous
+  // clients are indistinguishable, and capping them as one shared
+  // identity would shed unrelated callers under normal load (the global
+  // gate still bounds them).
+  if (max_per_client_ > 0 && !client_id.empty()) {
     size_t& occupancy = per_client_[client_id];
     if (occupancy >= max_per_client_) {
       shed_client_limit_total_ += 1;

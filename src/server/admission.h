@@ -39,7 +39,9 @@ struct AdmissionOptions {
   /// Per-client fairness cap: at most this many requests from one client
   /// id may occupy slots or queue positions at once; the excess is refused
   /// instantly (`kShedClientLimit`) without consuming queue capacity, so a
-  /// chatty client cannot starve the rest. 0 = unlimited.
+  /// chatty client cannot starve the rest. Requests without an
+  /// X-Client-Id are exempt — they are distinct callers, not one client —
+  /// and stay bounded by the global gate only. 0 = unlimited.
   size_t max_per_client = 0;
 };
 

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -164,8 +165,9 @@ std::string UrlDecode(std::string_view s) {
   for (size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '+') {
       out.push_back(' ');
-    } else if (s[i] == '%' && i + 2 < s.size() && std::isxdigit(s[i + 1]) &&
-               std::isxdigit(s[i + 2])) {
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
       auto hex = [](char c) {
         if (c >= '0' && c <= '9') return c - '0';
         if (c >= 'a' && c <= 'f') return c - 'a' + 10;
@@ -202,6 +204,28 @@ std::map<std::string, std::string> ParseTargetParams(const std::string& target) 
   }
   return params;
 }
+
+/// Shared hold on the durable layer's read lock for the duration of one
+/// engine call: queries scan the ProbDatabase lock-free, and when a
+/// durable store is mounted POST /ingest mutates it concurrently — the
+/// commit path's apply step takes the exclusive side (durable_db.h).
+/// No-op when the server is in-memory: nothing mutates the database while
+/// serving. Release before streaming the response so a slow client never
+/// holds readers' state against a bulk load.
+class DbReadLock {
+ public:
+  explicit DbReadLock(DurableDatabase* durable) {
+    if (durable != nullptr) {
+      lock_ = std::shared_lock<std::shared_mutex>(durable->read_mutex());
+    }
+  }
+  void Release() {
+    if (lock_.owns_lock()) lock_.unlock();
+  }
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
 
 bool ParseDecimalHeader(const std::string& text, uint64_t* out) {
   if (text.empty()) return false;
@@ -577,13 +601,27 @@ bool PdbServer::HandleIngest(int fd, HttpRequestParser* parser,
   }
 
   // Resolve (or create) the target relation. ?schema= creates it when
-  // absent — through the WAL, so the DDL is as durable as the rows.
+  // absent — through the WAL, so the DDL is as durable as the rows. The
+  // catalog probe holds the durable read lock (another connection's batch
+  // may be mid-apply); CreateRelation and ApplyBatch take the exclusive
+  // side internally, so they must run with the lock released.
   DurableDatabase* durable = options_.durable;
-  auto existing = durable->pdb().database().Get(relation_name);
   Schema schema;
-  if (existing.ok()) {
-    schema = (*existing)->schema();
-  } else if (params.count("schema")) {
+  bool relation_exists = false;
+  {
+    DbReadLock db_lock(durable);
+    auto existing = durable->pdb().database().Get(relation_name);
+    if (existing.ok()) {
+      schema = (*existing)->schema();
+      relation_exists = true;
+    }
+  }
+  if (!relation_exists) {
+    if (!params.count("schema")) {
+      return abort_request(
+          400, StrFormat("unknown relation '%s' (pass ?schema= to create it)",
+                         relation_name.c_str()));
+    }
     auto parsed = ParseSchemaSpec(params["schema"]);
     if (!parsed.ok()) {
       return abort_request(400, parsed.status().message());
@@ -593,10 +631,6 @@ bool PdbServer::HandleIngest(int fd, HttpRequestParser* parser,
     if (!created.ok()) {
       return abort_request(400, created.message());
     }
-  } else {
-    return abort_request(
-        400, StrFormat("unknown relation '%s' (pass ?schema= to create it)",
-                       relation_name.c_str()));
   }
 
   // The ingest loop: consume body chunks as they arrive, split into lines,
@@ -875,7 +909,9 @@ void PdbServer::FinishQuery(Session* session, const std::string& client_id,
   std::string inner = statement;
   StripExplainPrefix(statement, &analyze, &inner);
   if (LooksLikeSql(inner)) {
+    DbReadLock db_lock(options_.durable);
     auto explain = session->ExplainSql(inner, /*analyze=*/false);
+    db_lock.Release();
     if (explain.ok()) entry.explain_json = explain->ToJson();
   }
   slow_query_log_->MaybeRecord(std::move(entry));
@@ -952,8 +988,10 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request,
       return SendError(fd, 400, "EXPLAIN requires a SQL SELECT statement",
                        request.keep_alive);
     }
+    DbReadLock db_lock(options_.durable);
     Result<ExplainResult> explain =
         session->ExplainSql(explain_inner, analyze, query_options);
+    db_lock.Release();
     if (!explain.ok()) {
       return SendError(fd, StatusToHttp(explain.status()),
                        explain.status().message(), request.keep_alive);
@@ -980,8 +1018,10 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request,
       return SendError(fd, 400, parsed.status().message(), request.keep_alive);
     }
     if (parsed->boolean) {
+      DbReadLock db_lock(options_.durable);
       Result<QueryAnswer> answer =
           session->QuerySqlBooleanTraced(request.body, query_options, trace);
+      db_lock.Release();
       if (!answer.ok()) {
         if (trace) trace->Finish();
         return SendError(fd, StatusToHttp(answer.status()),
@@ -1002,9 +1042,11 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request,
       return sent && request.keep_alive;
     }
     std::vector<AnswerTupleInfo> info;
+    DbReadLock db_lock(options_.durable);
     Result<Relation> answers =
         session->QuerySqlAnswersTraced(request.body, query_options, &info,
                                        trace);
+    db_lock.Release();  // `answers` owns its rows; stream without the lock
     if (!answers.ok()) {
       if (trace) trace->Finish();
       return SendError(fd, StatusToHttp(answers.status()),
@@ -1035,8 +1077,10 @@ bool PdbServer::HandleQuery(int fd, const HttpRequest& request,
   }
 
   // Not SQL: Boolean FO sentence / datalog-style UCQ shorthand.
+  DbReadLock db_lock(options_.durable);
   Result<QueryAnswer> answer =
       session->QueryTraced(request.body, query_options, trace);
+  db_lock.Release();
   if (!answer.ok()) {
     if (trace) trace->Finish();
     return SendError(fd, StatusToHttp(answer.status()),

@@ -119,13 +119,20 @@ struct ServerOptions {
   /// Durable write path for POST /ingest streaming bulk load (not owned;
   /// must outlive the server). Null (the in-memory default) answers
   /// /ingest with 400 — bulk writes only make sense against the WAL.
+  /// When set, ingest batches mutate the shared ProbDatabase while the
+  /// server runs; queries coordinate through the durable layer's
+  /// `read_mutex()` (shared for each engine call, exclusive for the
+  /// commit path's brief apply step).
   DurableDatabase* durable = nullptr;
 };
 
 class PdbServer {
  public:
-  /// Binds to `db`, which must outlive the server and stay unmutated while
-  /// the server runs (sessions cache against its generation).
+  /// Binds to `db`, which must outlive the server. Nothing but the
+  /// server's own /ingest path (present only with `options.durable`, and
+  /// serialized against queries via the durable layer's read lock) may
+  /// mutate it while the server runs (sessions cache against its
+  /// generation).
   explicit PdbServer(const ProbDatabase* db, ServerOptions options = {});
   ~PdbServer();
 

@@ -620,6 +620,7 @@ void DurableDatabase::CommitGroupLocked(const std::vector<Writer*>& group,
   uint64_t appended_records = 0;
   uint64_t batch_records = 0;
   uint64_t batch_mutations = 0;
+  size_t appended_writers = 0;
   Status status;
   for (Writer* w : accepted) {
     const auto& ops = w->batch->ops_;
@@ -634,6 +635,7 @@ void DurableDatabase::CommitGroupLocked(const std::vector<Writer*>& group,
     }
     status = wal_->AddRecord(payload);
     if (!status.ok()) break;
+    ++appended_writers;
     if (ops.size() > 1) {
       ++batch_records;
       batch_mutations += ops.size();
@@ -645,8 +647,17 @@ void DurableDatabase::CommitGroupLocked(const std::vector<Writer*>& group,
   }
   if (!status.ok()) {
     SetIoErrorLocked(status);
-    for (Writer* w : accepted) w->status = status;
-    return;
+    // Writers at or past the failure point fail truthfully: their record
+    // is absent or torn, and recovery truncates a torn tail. But records
+    // appended BEFORE the failing one are complete CRC-valid records that
+    // recovery WILL replay — those writers must be carried through the
+    // group's sync and apply and answered as committed, or a write whose
+    // "error" the client retries would silently reappear after restart.
+    for (size_t i = appended_writers; i < accepted.size(); ++i) {
+      accepted[i]->status = status;
+    }
+    if (appended_writers == 0) return;
+    accepted.resize(appended_writers);
   }
   if (wal_append_spans_.fetch_add(1, std::memory_order_relaxed) <
       kMaxIoSpansPerPhase) {
@@ -681,34 +692,43 @@ void DurableDatabase::CommitGroupLocked(const std::vector<Writer*>& group,
   // The write-ahead rule held: every accepted batch is on the log (and
   // durable in kAlways). Applying cannot fail for a validated op; if it
   // somehow does, the in-memory and logged states diverge — poison the
-  // handle and fail the rest of the group.
+  // handle and fail the rest of the group. The apply step is the one
+  // place the shared ProbDatabase mutates while queries may be scanning
+  // it, so it runs under the exclusive side of read_mutex(); the WAL
+  // append and sync above deliberately do not.
   bool poisoned = false;
-  for (Writer* w : accepted) {
-    if (poisoned) {
-      w->status = io_error_;
-      continue;
-    }
-    for (const WriteBatch::Op& op : w->batch->ops_) {
-      Status applied = ApplyOpLocked(op);
-      if (!applied.ok()) {
-        SetIoErrorLocked(Status::Internal(
-            "validated op failed to apply after logging: " +
-            applied.ToString()));
+  {
+    std::unique_lock<std::shared_mutex> apply_lock(apply_mu_);
+    for (Writer* w : accepted) {
+      if (poisoned) {
         w->status = io_error_;
-        poisoned = true;
-        break;
+        continue;
       }
-    }
-    if (!poisoned) {
-      last_seq_ += w->batch->ops_.size();
-      records_since_checkpoint_ += w->batch->ops_.size();
+      for (const WriteBatch::Op& op : w->batch->ops_) {
+        Status applied = ApplyOpLocked(op);
+        if (!applied.ok()) {
+          SetIoErrorLocked(Status::Internal(
+              "validated op failed to apply after logging: " +
+              applied.ToString()));
+          w->status = io_error_;
+          poisoned = true;
+          break;
+        }
+      }
+      if (!poisoned) {
+        last_seq_ += w->batch->ops_.size();
+        records_since_checkpoint_ += w->batch->ops_.size();
+      }
     }
   }
   if (options_.sync_mode == SyncMode::kAlways) last_synced_seq_ = last_seq_;
   last_seq_gauge_->Set(static_cast<int64_t>(last_seq_));
   relations_gauge_->Set(
       static_cast<int64_t>(pdb_.database().RelationNames().size()));
-  if (!poisoned && options_.checkpoint_every_n > 0 &&
+  // io_error_ set above (a mid-group append failure whose prefix still
+  // committed) suppresses the trigger: the checkpoint would fail on the
+  // read-only handle and, inline, overwrite the prefix's success.
+  if (!poisoned && io_error_.ok() && options_.checkpoint_every_n > 0 &&
       records_since_checkpoint_ >= options_.checkpoint_every_n) {
     *want_checkpoint = true;
   }

@@ -48,9 +48,14 @@
 /// deterministically, while pdbd opts in to the background thread.
 ///
 /// Concurrency: mutators are thread-safe and group-commit with each other.
-/// Queries run lock-free against the inner `ProbDatabase` (the same
-/// single-writer / many-readers contract the server already relies on: do
-/// not mutate while queries are in flight).
+/// The inner `ProbDatabase` itself has no synchronization, so readers and
+/// the commit path coordinate through `read_mutex()`: a query holds it
+/// shared for the duration of its execution, and a commit group's leader
+/// holds it exclusive only while applying the group's mutations to memory
+/// — the WAL append and fsync (the slow part of a commit) never exclude
+/// readers, and concurrent writers still amortize into one group. Callers
+/// that never mutate after startup (e.g. an in-memory pdbd) may skip the
+/// shared lock entirely.
 ///
 /// After any WAL I/O error the database becomes read-only — the log tail
 /// is no longer trustworthy, so accepting more writes could silently lose
@@ -66,6 +71,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -161,6 +167,13 @@ class DurableDatabase {
   /// mutators below, or the change will not survive a restart.
   ProbDatabase& pdb() { return pdb_; }
   const ProbDatabase& pdb() const { return pdb_; }
+
+  /// Reader–writer exclusion between queries and the in-memory apply step
+  /// of a commit. Hold shared while reading `pdb()` if mutations may run
+  /// concurrently (pdbd takes it around every query when serving a
+  /// durable store); the commit path takes it exclusive around the brief
+  /// apply-to-memory step only, so a reader never waits on WAL I/O.
+  std::shared_mutex& read_mutex() const { return apply_mu_; }
 
   /// Logs and applies a whole-relation add (schema + tuples). Fails
   /// without logging on a duplicate name.
@@ -339,6 +352,11 @@ class DurableDatabase {
   /// group-commit window is worth waiting out — if nobody else is in
   /// flight, no straggler can arrive and the window is skipped.
   std::atomic<uint64_t> inflight_writers_{0};
+
+  /// Excludes queries (shared holders) from the in-memory apply step of a
+  /// commit group (exclusive, taken under mu_). Never held while doing
+  /// I/O. Lock order: mu_ then apply_mu_; shared holders take it alone.
+  mutable std::shared_mutex apply_mu_;
 
   mutable std::mutex mu_;
   std::unique_ptr<WritableFile> wal_file_;       // guarded by mu_

@@ -6,6 +6,7 @@
 /// is stalled indefinitely.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -17,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault_env.h"
 #include "storage/durable_db.h"
 #include "storage/env.h"
 #include "storage/relation.h"
@@ -363,6 +365,83 @@ TEST(GroupCommit, InvalidOpRejectsWholeBatchWithoutLogging) {
   EXPECT_FALSE((*db)->ApplyBatch(&dup).ok());
   EXPECT_EQ((*db)->last_seq(), seq_before);
   ASSERT_TRUE((*db)->Close().ok());
+}
+
+// A WAL append that fails partway through a commit group must not lie in
+// either direction. A writer whose record was fully appended before the
+// failure left a complete CRC-framed entry that recovery WILL replay, so
+// it must be carried through the group's sync and apply and acknowledged
+// OK; a writer at or past the failure point left nothing (or a torn tail
+// recovery truncates) and must report the error. The oracle — recovered
+// state equals exactly the set of acknowledged writes, each batch whole
+// or absent — holds for every way the writers happen to group, so the
+// test does not need to control grouping.
+TEST(GroupCommit, MidGroupAppendFailureKeepsAckAndRecoveryConsistent) {
+  constexpr size_t kThreads = 4;
+  MemEnv mem;
+  testing::FaultInjectionEnv env(&mem);
+  DurableOptions options;
+  options.env = &env;
+  options.sync_mode = SyncMode::kAlways;
+
+  auto db = DurableDatabase::Open("/midgroup", options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(
+      (*db)->CreateRelation("R", Schema::Anonymous(1, ValueType::kInt)).ok());
+
+  // Fail one future append. Depending on how the 4 writers group, it can
+  // land mid-group, on a lone leader, or mid-record; every outcome must
+  // satisfy the oracle. (The fault env's op counter is safe here: all WAL
+  // I/O is serialized under the commit mutex.)
+  env.FailOnce("append", 2);
+
+  std::array<Status, kThreads> results;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = (*db)->InsertMany(
+          "R", {{{Value(static_cast<int64_t>(t))}, 0.5},
+                {{Value(static_cast<int64_t>(100 + t))}, 0.5}});
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // The injected failure poisons the handle, so at least one writer saw
+  // the error (later arrivals fail on the read-only check).
+  size_t failed = 0;
+  for (const Status& st : results) failed += st.ok() ? 0 : 1;
+  EXPECT_GE(failed, 1u);
+
+  // Ack == in-memory state, batch-atomically, before any restart.
+  {
+    auto relation = (*db)->pdb().database().Get("R");
+    ASSERT_TRUE(relation.ok());
+    for (size_t t = 0; t < kThreads; ++t) {
+      EXPECT_EQ((*relation)->Contains({Value(static_cast<int64_t>(t))}),
+                results[t].ok());
+      EXPECT_EQ((*relation)->Contains({Value(static_cast<int64_t>(100 + t))}),
+                results[t].ok());
+    }
+  }
+  (*db)->Close();  // may fail: the handle is poisoned — that's fine
+  db->reset();
+
+  // Ack == recovered state: every acknowledged batch is replayed whole,
+  // every failed batch is wholly absent.
+  env.ClearFaults();
+  auto reopened = DurableDatabase::Open("/midgroup", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto relation = (*reopened)->pdb().database().Get("R");
+  ASSERT_TRUE(relation.ok());
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ((*relation)->Contains({Value(static_cast<int64_t>(t))}),
+              results[t].ok())
+        << "writer " << t << " ack " << results[t].ToString();
+    EXPECT_EQ((*relation)->Contains({Value(static_cast<int64_t>(100 + t))}),
+              results[t].ok())
+        << "writer " << t << " batch must recover whole or not at all";
+  }
+  ASSERT_TRUE((*reopened)->Close().ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -273,6 +273,29 @@ TEST(AdmissionTest, PerClientCapShedsInstantlyWithoutStarvingOthers) {
   EXPECT_EQ(admission.stats().in_flight, 0u);
 }
 
+TEST(AdmissionTest, AnonymousRequestsAreExemptFromPerClientCap) {
+  AdmissionController admission(
+      {.max_concurrent = 8, .max_queue = 8, .max_per_client = 1});
+  // Requests without an X-Client-Id are distinct callers: pooling them
+  // under the empty-string identity would shed unrelated clients under
+  // normal load. They bypass the per-client cap (the global gate still
+  // bounds them).
+  EXPECT_EQ(admission.Admit(""), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(admission.Admit(""), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(admission.Admit(""), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(admission.stats().shed_client_limit, 0u);
+  // Identified clients still get capped.
+  EXPECT_EQ(admission.Admit("alice"),
+            AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(admission.Admit("alice"),
+            AdmissionController::Decision::kShedClientLimit);
+  admission.Release("alice");
+  admission.Release("");
+  admission.Release("");
+  admission.Release("");
+  EXPECT_EQ(admission.stats().in_flight, 0u);
+}
+
 TEST(AdmissionTest, TicketReleasesOnDestruction) {
   AdmissionController admission({.max_concurrent = 1, .max_queue = 0});
   {
@@ -1008,6 +1031,74 @@ TEST_F(ServerEndToEndTest, IngestStreamsCsvThroughBatchedCommits) {
             std::string::npos);
   EXPECT_NE(metrics.body.find("pdb_ingest_requests_total"),
             std::string::npos);
+
+  server_->Shutdown();
+  server_.reset();
+  ASSERT_TRUE(durable->Close().ok());
+}
+
+// Queries keep running while a bulk load streams into the same store:
+// every engine call holds the durable layer's read lock shared, and the
+// commit path applies each batch under the exclusive side — so a scan
+// never observes a relation's tuple vector reallocating underneath it.
+// The TSan job runs this test; in a plain build it is a crash/liveness
+// smoke over the same interleaving.
+TEST_F(ServerEndToEndTest, QueriesRunSafelyDuringConcurrentIngest) {
+  MemEnv env;
+  DurableOptions dopts;
+  dopts.env = &env;
+  auto opened = DurableDatabase::Open("/db", dopts);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  DurableDatabase* durable = opened->get();
+
+  // Seed the relation so queries can scan it from the first request.
+  ASSERT_TRUE(durable
+                  ->CreateRelation("P", Schema({{"a", ValueType::kInt},
+                                                {"b", ValueType::kDouble}}))
+                  .ok());
+  std::vector<std::pair<Tuple, double>> seed;
+  for (int64_t i = 0; i < 10; ++i) {
+    seed.push_back({{Value(i), Value(0.5)}, 0.25});
+  }
+  ASSERT_TRUE(durable->InsertMany("P", std::move(seed)).ok());
+
+  ServerOptions options;
+  options.data_dir_mode = "durable";
+  options.durable = durable;
+  server_ = std::make_unique<PdbServer>(&durable->pdb(), options);
+  ASSERT_TRUE(server_->Start().ok());
+  uint16_t port = server_->port();
+
+  // 2000 fresh rows: several commit batches' worth of tuple-vector growth
+  // racing the query scans below (kept modest so the TSan job stays fast).
+  std::string csv;
+  for (int i = 0; i < 2000; ++i) {
+    csv += std::to_string(10 + i) + "," + std::to_string(i) + ".5,0.25\n";
+  }
+  std::atomic<bool> ingest_done{false};
+  std::thread loader([port, &csv, &ingest_done] {
+    TestResponse resp =
+        Fetch(port, "POST", "/ingest?relation=P", {{"X-Client-Id", "loader"}},
+              csv);
+    EXPECT_EQ(resp.status, 200) << resp.body;
+    EXPECT_NE(resp.body.find("\"rows\":2000"), std::string::npos);
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  // Hammer Boolean scans over the growing relation until the load lands.
+  size_t queries = 0;
+  while (!ingest_done.load(std::memory_order_acquire) || queries < 3) {
+    TestResponse resp = Fetch(port, "POST", "/query", {}, "P(x,y)");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    EXPECT_NE(resp.body.find("\"probability\":"), std::string::npos);
+    ++queries;
+  }
+  loader.join();
+  EXPECT_GE(queries, 3u);
+
+  auto rel = durable->pdb().database().Get("P");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 2010u);
 
   server_->Shutdown();
   server_.reset();
